@@ -1,0 +1,12 @@
+"""EXP-B — Algorithm-1 batch-size ablation.
+
+How stale statistics (UPDATE() once per batch instead of per task)
+affect FP and MU quality.
+"""
+
+from repro.experiments import batching
+
+
+def test_exp_b_batch_size_ablation(run_experiment_once):
+    result = run_experiment_once(lambda: batching.run(batching.DEFAULT_SPEC))
+    assert result.rows

@@ -1,0 +1,14 @@
+"""EXP-D1 — Sec. IV demonstration: quality vs budget vs optimal.
+
+Regenerates the demonstration's headline figure: oracle corpus quality
+as a function of spent budget for FC/FP/MU/FP-MU against the optimal
+allocation, on the Delicious-like corpus.
+"""
+
+from repro.experiments import demo_budget
+
+
+def test_exp_d1_quality_vs_budget_curves(run_experiment_once):
+    result = run_experiment_once(lambda: demo_budget.run(demo_budget.DEFAULT_SPEC))
+    # One series per strategy plus the held-out trace-replay arm.
+    assert len(result.series) >= len(demo_budget.STRATEGIES)

@@ -1,0 +1,14 @@
+"""EXP-C1 — the quality metric's convergence figure ``q_i(k)``.
+
+Regenerates the rfd-stability convergence curve: oracle and observable
+quality vs number of posts, with diminishing returns — the property the
+whole budget-allocation problem rests on (Sec. II).
+"""
+
+from repro.experiments import convergence
+
+
+def test_exp_c1_quality_convergence_curve(run_experiment_once):
+    result = run_experiment_once(lambda: convergence.run(convergence.DEFAULT_SPEC))
+    oracle = next(series for series in result.series if series.name == "oracle")
+    assert oracle.ys[-1] > oracle.ys[0]

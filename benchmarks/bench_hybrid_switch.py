@@ -1,0 +1,14 @@
+"""EXP-H — Table I (FP-MU row) ablation: the FP→MU switch rule.
+
+Regenerates the switch-point sweep (coverage rule and budget-fraction
+rule) showing the hybrid is robust to its one knob.
+"""
+
+from repro.experiments import hybrid_switch
+
+
+def test_exp_h_switch_point_ablation(run_experiment_once):
+    result = run_experiment_once(
+        lambda: hybrid_switch.run(hybrid_switch.DEFAULT_SPEC)
+    )
+    assert result.rows

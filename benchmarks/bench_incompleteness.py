@@ -1,0 +1,14 @@
+"""EXP-I — incomplete posts: tagger thoroughness vs achievable quality.
+
+Sweeps mean post size / vocabulary breadth; informed allocation stays
+ahead of free choice at every incompleteness level.
+"""
+
+from repro.experiments import incompleteness
+
+
+def test_exp_i_incompleteness_sweep(run_experiment_once):
+    result = run_experiment_once(
+        lambda: incompleteness.run(incompleteness.DEFAULT_SPEC)
+    )
+    assert result.rows

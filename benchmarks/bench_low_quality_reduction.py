@@ -1,0 +1,12 @@
+"""EXP-LQ — Table I (FP row): shrinking the low-quality tail.
+
+Regenerates the low-quality-count-vs-budget series: FP (and FP-MU)
+drain the tail fastest while FC leaves it nearly untouched.
+"""
+
+from repro.experiments import low_quality
+
+
+def test_exp_lq_low_quality_reduction(run_experiment_once):
+    result = run_experiment_once(lambda: low_quality.run(low_quality.DEFAULT_SPEC))
+    assert len(result.series) == len(low_quality.STRATEGIES)

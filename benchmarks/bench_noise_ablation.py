@@ -1,0 +1,14 @@
+"""EXP-N — Sec. I robustness: strategy ordering under tagger noise.
+
+Regenerates the noise-rate sweep: achievable quality falls with ε but
+the informed-beats-FC ordering survives every noise level.
+"""
+
+from repro.experiments import noise_ablation
+
+
+def test_exp_n_noise_rate_sweep(run_experiment_once):
+    result = run_experiment_once(
+        lambda: noise_ablation.run(noise_ablation.DEFAULT_SPEC)
+    )
+    assert len(result.series) == len(noise_ablation.STRATEGIES)

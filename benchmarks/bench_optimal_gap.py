@@ -1,0 +1,12 @@
+"""EXP-OPT — Sec. IV: the optimal-allocation yardstick.
+
+Cross-checks greedy == DP on concave oracle curves (and DP > greedy on
+a non-concave trap), then regenerates the strategy-vs-optimal gap table.
+"""
+
+from repro.experiments import optimal_gap
+
+
+def test_exp_opt_greedy_dp_and_gap(run_experiment_once):
+    result = run_experiment_once(lambda: optimal_gap.run(optimal_gap.DEFAULT_SPEC))
+    assert any("greedy == DP" in claim.claim for claim in result.claims)

@@ -1,0 +1,14 @@
+"""EXP-P — Secs. I/III: platform choice (MTurk vs expert community).
+
+Regenerates the platform comparison for specialist corpora: quality and
+cost-per-quality of the same campaign on the two worker pools.
+"""
+
+from repro.experiments import platform_choice
+
+
+def test_exp_p_platform_choice(run_experiment_once):
+    result = run_experiment_once(
+        lambda: platform_choice.run(platform_choice.DEFAULT_SPEC)
+    )
+    assert len(result.rows) == 2

@@ -1,0 +1,12 @@
+"""EXP-L — platform turnaround/makespan (speed side of platform choice).
+
+Publishes a burst of tasks through the asynchronous platform machinery
+and measures mean turnaround and makespan on each pool.
+"""
+
+from repro.experiments import latency
+
+
+def test_exp_l_platform_turnaround(run_experiment_once):
+    result = run_experiment_once(lambda: latency.run(latency.DEFAULT_SPEC))
+    assert len(result.rows) == 2

@@ -1,0 +1,14 @@
+"""EXP-POP — the Sec. I motivation: the popularity/quality gap.
+
+Quality stratified by popularity quartile before budget, after FC, and
+after FP-MU: FC preserves the gap, FP-MU closes it.
+"""
+
+from repro.experiments import popularity_gap
+
+
+def test_exp_pop_popularity_gap(run_experiment_once):
+    result = run_experiment_once(
+        lambda: popularity_gap.run(popularity_gap.DEFAULT_SPEC)
+    )
+    assert len(result.rows) == 3

@@ -1,0 +1,14 @@
+"""EXP-ST — Fig. 2 substrate: embedded-store throughput.
+
+Microbenchmarks of the MySQL-substitute under campaign-shaped
+workloads (bulk insert, indexed queries, transactional updates, WAL).
+"""
+
+from repro.experiments import store_ops
+
+
+def test_exp_st_store_throughput(run_experiment_once, tmp_path):
+    result = run_experiment_once(
+        lambda: store_ops.run(rows=5000, wal_path=tmp_path / "bench.wal")
+    )
+    assert len(result.rows) == 5

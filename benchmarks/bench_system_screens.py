@@ -1,0 +1,16 @@
+"""EXP-UI — Figs. 3-8: the system screens over a scripted campaign.
+
+Drives the full provider/tagger scenario through the facade (create,
+upload, start, run, promote, stop, add budget, switch strategy,
+complete) and checks every screen's documented behaviour.
+"""
+
+from repro.experiments import system_screens
+
+
+def test_exp_ui_system_screens(run_experiment_once):
+    result = run_experiment_once(
+        lambda: system_screens.run(system_screens.DEFAULT_SPEC)
+    )
+    rendered = {row[0] for row in result.rows}
+    assert {"Fig.3 provider console", "Fig.5 project details"} <= rendered

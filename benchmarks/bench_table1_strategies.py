@@ -1,0 +1,14 @@
+"""EXP-T1 — Table I: the strategy comparison (paper-scale).
+
+Regenerates the Table-I characteristics: per-strategy quality
+improvement, low-quality tail, threshold satisfaction, and checks the
+published ordering claims (FC weak, FP tail-reduction, MU threshold,
+FP-MU most effective, simple ≈ optimal).
+"""
+
+from repro.experiments import table1
+
+
+def test_exp_t1_table1_strategy_comparison(run_experiment_once):
+    result = run_experiment_once(lambda: table1.run(table1.DEFAULT_SPEC))
+    assert len(result.rows) == len(table1.STRATEGIES)

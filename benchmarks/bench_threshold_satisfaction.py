@@ -1,0 +1,12 @@
+"""EXP-TH — Table I (MU row): resources satisfying the quality bar.
+
+Regenerates the threshold-satisfaction-vs-budget series: MU (and FP-MU)
+push the most resources over the quality requirement.
+"""
+
+from repro.experiments import threshold
+
+
+def test_exp_th_threshold_satisfaction(run_experiment_once):
+    result = run_experiment_once(lambda: threshold.run(threshold.DEFAULT_SPEC))
+    assert len(result.series) == len(threshold.STRATEGIES)

@@ -1,0 +1,47 @@
+"""Benchmark harness configuration.
+
+Each benchmark runs one paper experiment at full (paper-scale)
+parameters exactly once (``rounds=1``) — the experiments are end-to-end
+campaigns, not microbenchmarks, so statistical timing repetition would
+multiply minutes for no insight.  Every benchmark:
+
+- prints the experiment report (the rows/series the paper reports),
+- saves it under ``benchmarks/out/<EXP-ID>.{txt,json}``,
+- asserts the paper's claims (shape checks) hold.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture()
+def run_experiment_once(benchmark, report_dir):
+    """Run an experiment callable once under the benchmark timer and
+    persist + print its report."""
+
+    def _run(experiment_fn, *, expect_claims: bool = True):
+        result = benchmark.pedantic(experiment_fn, rounds=1, iterations=1)
+        text = result.to_text()
+        print()
+        print(text)
+        (report_dir / f"{result.experiment_id}.txt").write_text(
+            text + "\n", encoding="utf-8"
+        )
+        result.save(report_dir / f"{result.experiment_id}.json")
+        if expect_claims:
+            failed = [str(claim) for claim in result.claims if not claim.passed]
+            assert not failed, f"paper claims failed: {failed}"
+        return result
+
+    return _run

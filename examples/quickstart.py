@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: improve tagging quality of an under-tagged corpus.
+
+Generates a Delicious-like corpus (heavy-tailed popularity — most
+resources barely tagged), then spends a budget of 400 tagging tasks
+with the paper's recommended FP-MU strategy, and reports the quality
+improvement against the free-choice baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AllocationEngine, QualityBoard, make_delicious_like, make_strategy
+from repro.datasets import dataset_report
+from repro.rng import RngRegistry
+
+BUDGET = 400
+SEED = 7
+
+
+def run_strategy(name: str) -> float:
+    data = make_delicious_like(
+        n_resources=120, initial_posts_total=1200, master_seed=SEED,
+        population_size=80,
+    )
+    corpus = data.provider_corpus
+    targets = data.dataset.oracle_targets()
+    engine = AllocationEngine(
+        corpus,
+        data.dataset.population,
+        make_strategy(name),
+        budget=BUDGET,
+        board=QualityBoard(corpus),
+        oracle_targets=targets,
+        rng=RngRegistry(SEED).stream(f"engine.{name}"),
+        record_every=100,
+    )
+    result = engine.run()
+    print(
+        f"  {name:6s}: oracle quality {result.initial_oracle:.3f} -> "
+        f"{result.final_oracle:.3f}  (improvement {result.oracle_improvement:+.3f})"
+    )
+    return result.oracle_improvement
+
+
+def main() -> None:
+    data = make_delicious_like(
+        n_resources=120, initial_posts_total=1200, master_seed=SEED,
+        population_size=80,
+    )
+    print("The starting corpus (note the popularity skew):\n")
+    print(dataset_report(data.provider_corpus))
+    print(f"\nSpending a budget of {BUDGET} tagging tasks:\n")
+    fc = run_strategy("fc")
+    hybrid = run_strategy("fp-mu")
+    print(
+        f"\nFP-MU extracted {hybrid / fc:.1f}x the quality improvement of "
+        "letting taggers choose freely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Platform choice for specialist content (Sec. I's scientific papers).
+
+"Scientific papers resources will highly likely be getting better tags
+with taggers from scientific communities other than MTurk."  This
+example runs the same paper-tagging campaign against the MTurk-like
+pool and the expert/social pool and compares quality and cost.
+
+Run:  python examples/scientific_papers.py
+"""
+
+from repro import AllocationEngine, QualityBoard, make_delicious_like, make_strategy
+from repro.analysis import render_table
+from repro.crowd import MTURK_MIXTURE, SOCIAL_MIXTURE
+from repro.rng import RngRegistry
+
+SEED = 5
+BUDGET = 300
+PAY = 0.08  # specialist tagging pays more per task
+FEES = {"mturk": 0.20, "social (experts)": 0.0}
+POOLS = {"mturk": MTURK_MIXTURE, "social (experts)": SOCIAL_MIXTURE}
+
+
+def main() -> None:
+    rows = []
+    for platform_name, mixture in POOLS.items():
+        data = make_delicious_like(
+            n_resources=60,
+            initial_posts_total=300,
+            master_seed=SEED,
+            population_size=60,
+            mixture=dict(mixture),
+        )
+        corpus = data.provider_corpus
+        engine = AllocationEngine(
+            corpus,
+            data.dataset.population,
+            make_strategy("fp-mu"),
+            budget=BUDGET,
+            board=QualityBoard(corpus),
+            oracle_targets=data.dataset.oracle_targets(),
+            rng=RngRegistry(SEED).stream(f"engine.{platform_name}"),
+            record_every=BUDGET,
+        )
+        result = engine.run()
+        fee = FEES[platform_name]
+        money = BUDGET * PAY * (1.0 + fee)
+        rows.append(
+            [
+                platform_name,
+                f"{result.final_oracle:.4f}",
+                f"{result.oracle_improvement:+.4f}",
+                f"${money:.2f}",
+                f"${money / max(result.oracle_improvement, 1e-9) / 100:.3f}",
+            ]
+        )
+    print(
+        "Tagging a corpus of scientific papers: the same FP-MU campaign\n"
+        "through two worker pools (Sec. I platform-choice motivation):\n"
+    )
+    print(
+        render_table(
+            ["platform", "final quality", "improvement", "money spent",
+             "cost / 0.01 quality"],
+            rows,
+        )
+    )
+    print(
+        "\nThe expert pool wins on both quality and cost per unit of quality —"
+        "\nexactly why iTag lets providers choose the platform per project."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — reproduction of *iTag: Incentive-Based Tagging* (ICDE 2014).
+
+An incentive-based tagging system: given a set of resources with
+existing posts and a budget of ``B`` tagging tasks, allocate tasks to
+resources (via simulated crowdsourcing platforms) to maximize the
+corpus tagging quality, defined on the stability of each resource's
+relative tag-frequency distribution.
+
+Quickstart::
+
+    from repro import make_delicious_like, AllocationEngine, make_strategy
+
+    data = make_delicious_like(n_resources=100, master_seed=7)
+    corpus = data.provider_corpus
+    engine = AllocationEngine(
+        corpus, data.dataset.population, make_strategy("fp-mu"),
+        budget=500, oracle_targets=data.dataset.oracle_targets(),
+    )
+    result = engine.run()
+    print(result.oracle_improvement)
+
+Subpackages: ``store`` (embedded relational engine), ``tagging`` (data
+model), ``quality`` (metrics), ``taggers`` (simulated workers),
+``datasets`` (Delicious-like generator), ``strategies`` (FC/FP/MU/
+FP-MU/optimal + Algorithm 1), ``crowd`` (platform simulators),
+``system`` (the iTag managers/facade), ``experiments`` (paper
+reproduction harness), ``analysis`` (tables/plots).
+"""
+
+from .config import (
+    CampaignConfig,
+    DatasetConfig,
+    QualityConfig,
+    StrategyConfig,
+    TaggerConfig,
+)
+from .datasets import make_delicious_like
+from .errors import ReproError
+from .quality import QualityBoard, corpus_oracle_quality
+from .rng import RngRegistry
+from .strategies import (
+    AllocationEngine,
+    AllocationResult,
+    make_strategy,
+)
+from .system import ITagSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError", "RngRegistry",
+    "DatasetConfig", "TaggerConfig", "QualityConfig", "StrategyConfig",
+    "CampaignConfig",
+    "make_delicious_like",
+    "QualityBoard", "corpus_oracle_quality",
+    "AllocationEngine", "AllocationResult", "make_strategy",
+    "ITagSystem",
+]

@@ -1,0 +1,11 @@
+"""Analysis utilities: text tables, ASCII figures, aggregation."""
+
+from .ascii_plot import line_plot, multi_line_plot, sparkline
+from .summarize import SeriesStats, aggregate, mean_std
+from .tables import render_markdown_table, render_table
+
+__all__ = [
+    "render_table", "render_markdown_table",
+    "line_plot", "multi_line_plot", "sparkline",
+    "SeriesStats", "aggregate", "mean_std",
+]

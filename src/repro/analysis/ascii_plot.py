@@ -1,0 +1,111 @@
+"""ASCII line plots: terminal "figures" for the benchmark harness.
+
+Every figure the paper's evaluation implies (quality-vs-budget curves,
+convergence curves) is rendered as a text chart so the reproduction is
+inspectable without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["line_plot", "multi_line_plot", "sparkline"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line chart: ▁▂▃▅▇ (constant series render as midline)."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high - low < 1e-12:
+        return _SPARK_CHARS[3] * len(values)
+    scale = (len(_SPARK_CHARS) - 1) / (high - low)
+    return "".join(
+        _SPARK_CHARS[int(round((value - low) * scale))] for value in values
+    )
+
+
+def line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Single-series scatter/line chart on a character grid."""
+    return multi_line_plot(xs, {label or "y": ys}, width=width, height=height)
+
+
+def multi_line_plot(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Several series over a shared x axis; one marker letter each.
+
+    Markers are the first letters of (sorted) series names, uppercased
+    and deduplicated by falling back to digits.
+    """
+    if not xs or not series:
+        return "(no data)"
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, x has {len(xs)}"
+            )
+    x_low, x_high = min(xs), max(xs)
+    all_values = [value for ys in series.values() for value in ys]
+    y_low, y_high = min(all_values), max(all_values)
+    if x_high - x_low < 1e-12:
+        x_high = x_low + 1.0
+    if y_high - y_low < 1e-12:
+        y_high = y_low + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers: dict[str, str] = {}
+    used: set[str] = set()
+    for name in sorted(series):
+        candidate = (name[:1] or "?").upper()
+        if candidate in used:
+            for digit in "0123456789":
+                if digit not in used:
+                    candidate = digit
+                    break
+        markers[name] = candidate
+        used.add(candidate)
+    for name in sorted(series):
+        ys = series[name]
+        mark = markers[name]
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_low) / (x_high - x_low) * (width - 1)))
+            row = int(round((y - y_low) / (y_high - y_low) * (height - 1)))
+            grid[height - 1 - row][col] = mark
+    lines = []
+    top_label = f"{y_high:.3f}"
+    bottom_label = f"{y_low:.3f}"
+    gutter = max(len(top_label), len(bottom_label))
+    for index, row_chars in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(gutter)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(row_chars)}")
+    axis = " " * gutter + " +" + "-" * width
+    x_axis_label = (
+        " " * gutter
+        + "  "
+        + f"{x_low:.0f}".ljust(width - 8)
+        + f"{x_high:.0f}".rjust(8)
+    )
+    legend = "  ".join(f"{markers[name]}={name}" for name in sorted(series))
+    lines.append(axis)
+    lines.append(x_axis_label)
+    lines.append(" " * gutter + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Aggregation helpers for repeated experiment runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["SeriesStats", "aggregate", "mean_std"]
+
+
+def mean_std(values: Sequence[float]) -> tuple[float, float]:
+    """Sample mean and (population) standard deviation."""
+    if not values:
+        raise ValueError("mean_std needs at least one value")
+    mean = sum(values) / len(values)
+    variance = sum((value - mean) ** 2 for value in values) / len(values)
+    return mean, math.sqrt(variance)
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Mean ± std of one metric over repetitions."""
+
+    mean: float
+    std: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.std:.4f} (n={self.n})"
+
+    @property
+    def ci95_half_width(self) -> float:
+        """Normal-approximation 95% half-width (fine for n >= 3 summaries)."""
+        if self.n <= 1:
+            return 0.0
+        return 1.96 * self.std / math.sqrt(self.n)
+
+
+def aggregate(values: Sequence[float]) -> SeriesStats:
+    mean, std = mean_std(values)
+    return SeriesStats(mean=mean, std=std, n=len(values))

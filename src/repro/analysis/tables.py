@@ -1,0 +1,56 @@
+"""Plain-text tables (aligned columns) and Markdown rendering."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "render_markdown_table"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(header: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width table with a header rule.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+-------
+    1 | 2.5000
+    """
+    string_rows = [[_cell(value) for value in row] for row in rows]
+    columns = len(header)
+    for row in string_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, header has {columns}: {row}"
+            )
+    widths = [len(name) for name in header]
+    for row in string_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    header_line = " | ".join(
+        name.ljust(widths[index]) for index, name in enumerate(header)
+    ).rstrip()
+    rule = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(
+            value.ljust(widths[index]) for index, value in enumerate(row)
+        ).rstrip()
+        for row in string_rows
+    ]
+    return "\n".join([header_line, rule, *body])
+
+
+def render_markdown_table(
+    header: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """GitHub-flavoured Markdown table (for EXPERIMENTS.md exports)."""
+    string_rows = [[_cell(value) for value in row] for row in rows]
+    head = "| " + " | ".join(header) + " |"
+    rule = "|" + "|".join("---" for _ in header) + "|"
+    body = ["| " + " | ".join(row) + " |" for row in string_rows]
+    return "\n".join([head, rule, *body])

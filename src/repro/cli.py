@@ -1,0 +1,177 @@
+"""Command-line interface: ``itag`` (or ``python -m repro``).
+
+Subcommands::
+
+    itag list-experiments
+    itag run-experiment EXP-T1 [--fast] [--save out.json]
+    itag generate-dataset --resources 300 --posts 3000 --seed 7 \\
+        [--out corpus.json.gz] [--report]
+    itag demo [--seed 11]
+    itag version
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="itag",
+        description="Reproduction of 'iTag: Incentive-Based Tagging' (ICDE 2014)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("version", help="print the package version")
+
+    subparsers.add_parser(
+        "list-experiments", help="list reproducible tables/figures"
+    )
+
+    run_parser = subparsers.add_parser(
+        "run-experiment", help="run one experiment and print its report"
+    )
+    run_parser.add_argument("experiment_id", help="e.g. EXP-T1 (see list-experiments)")
+    run_parser.add_argument(
+        "--fast", action="store_true", help="CI-sized variant (seconds, looser stats)"
+    )
+    run_parser.add_argument("--save", metavar="PATH", help="save the result as JSON")
+
+    run_all_parser = subparsers.add_parser(
+        "run-all", help="run every experiment, write reports + SUMMARY.md"
+    )
+    run_all_parser.add_argument("--fast", action="store_true")
+    run_all_parser.add_argument("--out", metavar="DIR", help="report directory")
+    run_all_parser.add_argument(
+        "--only", nargs="+", metavar="EXP", help="subset of experiment ids"
+    )
+
+    dataset_parser = subparsers.add_parser(
+        "generate-dataset", help="generate a Delicious-like corpus"
+    )
+    dataset_parser.add_argument("--resources", type=int, default=300)
+    dataset_parser.add_argument("--posts", type=int, default=3000)
+    dataset_parser.add_argument("--seed", type=int, default=0)
+    dataset_parser.add_argument("--out", metavar="PATH", help="write corpus JSON(.gz)")
+    dataset_parser.add_argument(
+        "--report", action="store_true", help="print skew statistics"
+    )
+
+    demo_parser = subparsers.add_parser(
+        "demo", help="run the scripted provider/tagger demo (Figs. 3-8)"
+    )
+    demo_parser.add_argument("--seed", type=int, default=11)
+    return parser
+
+
+def _cmd_version() -> int:
+    print(f"repro {__version__}")
+    return 0
+
+
+def _cmd_list_experiments() -> int:
+    from .experiments import list_experiments
+
+    rows = list_experiments()
+    width = max(len(row[0]) for row in rows)
+    for experiment_id, title, artifact in rows:
+        print(f"{experiment_id.ljust(width)}  {title}  [{artifact}]")
+    return 0
+
+
+def _cmd_run_experiment(args: argparse.Namespace) -> int:
+    from .experiments import run_experiment
+
+    result = run_experiment(args.experiment_id, fast=args.fast)
+    print(result.to_text())
+    if args.save:
+        path = result.save(args.save)
+        print(f"saved: {path}")
+    return 0 if result.all_claims_pass else 1
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from .experiments.runner import run_all
+
+    summary = run_all(fast=args.fast, out_dir=args.out, only=args.only)
+    passed, total = summary.total_claims()
+    for experiment_id in sorted(summary.results):
+        result = summary.results[experiment_id]
+        ok = sum(1 for claim in result.claims if claim.passed)
+        print(
+            f"{experiment_id:8s} {ok}/{len(result.claims)} claims  "
+            f"({summary.elapsed_seconds[experiment_id]:.1f}s)  {result.title}"
+        )
+    for experiment_id, message in sorted(summary.errors.items()):
+        print(f"{experiment_id:8s} ERROR: {message}")
+    print(f"total: {passed}/{total} claims pass")
+    if args.out:
+        print(f"reports: {args.out}/SUMMARY.md")
+    return 0 if summary.all_claims_pass else 1
+
+
+def _cmd_generate_dataset(args: argparse.Namespace) -> int:
+    from .datasets import dataset_report, make_delicious_like, save_corpus
+
+    data = make_delicious_like(
+        n_resources=args.resources,
+        initial_posts_total=args.posts,
+        master_seed=args.seed,
+    )
+    print(data.describe())
+    if args.report:
+        print(dataset_report(data.dataset.corpus))
+    if args.out:
+        path = save_corpus(data.dataset.corpus, args.out)
+        print(f"saved: {path}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .experiments.harness import CampaignSpec
+    from .experiments.system_screens import run as run_screens
+
+    result = run_screens(
+        CampaignSpec(
+            n_resources=30,
+            initial_posts_total=200,
+            population_size=40,
+            budget=150,
+            seeds=(args.seed,),
+        )
+    )
+    print(result.to_text())
+    return 0 if result.all_claims_pass else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "version":
+            return _cmd_version()
+        if args.command == "list-experiments":
+            return _cmd_list_experiments()
+        if args.command == "run-experiment":
+            return _cmd_run_experiment(args)
+        if args.command == "run-all":
+            return _cmd_run_all(args)
+        if args.command == "generate-dataset":
+            return _cmd_generate_dataset(args)
+        if args.command == "demo":
+            return _cmd_demo(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,188 @@
+"""Typed configuration objects shared across the library.
+
+Each config is a frozen dataclass with a ``validate()`` method that
+raises :class:`repro.errors.ConfigError` naming the offending field.
+Construction helpers (``replace``) come from :mod:`dataclasses`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from .errors import ConfigError
+
+__all__ = [
+    "DatasetConfig",
+    "TaggerConfig",
+    "QualityConfig",
+    "StrategyConfig",
+    "CampaignConfig",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Parameters of the synthetic Delicious-like corpus.
+
+    Attributes mirror the statistics the paper's motivation relies on:
+    a heavy-tailed popularity so that "most tags are added to the few
+    highly-popular resources, while most of the resources receive few
+    tags" (Sec. I).
+    """
+
+    n_resources: int = 300
+    vocabulary_size: int = 2000
+    n_topics: int = 20
+    tags_per_resource_min: int = 8
+    tags_per_resource_max: int = 40
+    zipf_exponent: float = 1.1
+    initial_posts_total: int = 3000
+    min_initial_posts: int = 0
+    topic_concentration: float = 0.3
+    within_resource_concentration: float = 0.8
+
+    def validate(self) -> "DatasetConfig":
+        _require(self.n_resources >= 1, f"n_resources must be >= 1, got {self.n_resources}")
+        _require(
+            self.vocabulary_size >= self.tags_per_resource_max,
+            "vocabulary_size must be >= tags_per_resource_max "
+            f"({self.vocabulary_size} < {self.tags_per_resource_max})",
+        )
+        _require(self.n_topics >= 1, f"n_topics must be >= 1, got {self.n_topics}")
+        _require(self.tags_per_resource_min >= 1, "tags_per_resource_min must be >= 1")
+        _require(
+            self.tags_per_resource_max >= self.tags_per_resource_min,
+            "tags_per_resource_max must be >= tags_per_resource_min",
+        )
+        _require(self.zipf_exponent > 0.0, "zipf_exponent must be positive")
+        _require(self.initial_posts_total >= 0, "initial_posts_total must be >= 0")
+        _require(self.min_initial_posts >= 0, "min_initial_posts must be >= 0")
+        _require(self.topic_concentration > 0.0, "topic_concentration must be positive")
+        _require(
+            self.within_resource_concentration > 0.0,
+            "within_resource_concentration must be positive",
+        )
+        return self
+
+
+@dataclass(frozen=True)
+class TaggerConfig:
+    """Parameters of simulated tagger behaviour (Sec. I: noisy, incomplete)."""
+
+    noise_rate: float = 0.10
+    mean_tags_per_post: float = 3.0
+    max_tags_per_post: int = 10
+    typo_rate: float = 0.25
+    vocabulary_breadth: float = 1.0
+
+    def validate(self) -> "TaggerConfig":
+        _require(0.0 <= self.noise_rate <= 1.0, f"noise_rate must be in [0,1], got {self.noise_rate}")
+        _require(self.mean_tags_per_post >= 1.0, "mean_tags_per_post must be >= 1")
+        _require(self.max_tags_per_post >= 1, "max_tags_per_post must be >= 1")
+        _require(
+            self.max_tags_per_post >= self.mean_tags_per_post / 2,
+            "max_tags_per_post is too small relative to mean_tags_per_post",
+        )
+        _require(0.0 <= self.typo_rate <= 1.0, "typo_rate must be in [0,1]")
+        _require(0.0 < self.vocabulary_breadth <= 1.0, "vocabulary_breadth must be in (0,1]")
+        return self
+
+
+@dataclass(frozen=True)
+class QualityConfig:
+    """Parameters of the stability-based quality estimator (Sec. II)."""
+
+    estimator: str = "ewma"
+    ewma_alpha: float = 0.25
+    window: int = 10
+    min_posts_for_estimate: int = 2
+    distance: str = "tv"
+
+    _ESTIMATORS = ("ewma", "window", "split_half")
+    _DISTANCES = ("tv", "l2", "js", "hellinger", "cosine")
+
+    def validate(self) -> "QualityConfig":
+        _require(
+            self.estimator in self._ESTIMATORS,
+            f"estimator must be one of {self._ESTIMATORS}, got {self.estimator!r}",
+        )
+        _require(0.0 < self.ewma_alpha <= 1.0, "ewma_alpha must be in (0,1]")
+        _require(self.window >= 2, "window must be >= 2")
+        _require(self.min_posts_for_estimate >= 2, "min_posts_for_estimate must be >= 2")
+        _require(
+            self.distance in self._DISTANCES,
+            f"distance must be one of {self._DISTANCES}, got {self.distance!r}",
+        )
+        return self
+
+
+@dataclass(frozen=True)
+class StrategyConfig:
+    """Strategy-specific knobs (Table I)."""
+
+    name: str = "fp-mu"
+    batch_size: int = 1
+    hybrid_min_posts: int = 5
+    hybrid_budget_fraction: float = 0.5
+    free_choice_popularity_exponent: float = 1.0
+    recompute_every: int = 1
+
+    _NAMES = (
+        "fc", "fp", "mu", "fp-mu", "random", "round-robin", "optimal", "adaptive"
+    )
+
+    def validate(self) -> "StrategyConfig":
+        _require(
+            self.name in self._NAMES,
+            f"strategy name must be one of {self._NAMES}, got {self.name!r}",
+        )
+        _require(self.batch_size >= 1, "batch_size must be >= 1")
+        _require(self.hybrid_min_posts >= 0, "hybrid_min_posts must be >= 0")
+        _require(
+            0.0 <= self.hybrid_budget_fraction <= 1.0,
+            "hybrid_budget_fraction must be in [0,1]",
+        )
+        _require(
+            self.free_choice_popularity_exponent >= 0.0,
+            "free_choice_popularity_exponent must be >= 0",
+        )
+        _require(self.recompute_every >= 1, "recompute_every must be >= 1")
+        return self
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Top-level configuration of one allocation campaign (Algorithm 1 run)."""
+
+    budget: int = 1000
+    pay_per_task: float = 0.05
+    master_seed: int = 0
+    dataset: DatasetConfig = field(default_factory=DatasetConfig)
+    tagger: TaggerConfig = field(default_factory=TaggerConfig)
+    quality: QualityConfig = field(default_factory=QualityConfig)
+    strategy: StrategyConfig = field(default_factory=StrategyConfig)
+
+    def validate(self) -> "CampaignConfig":
+        _require(self.budget >= 0, f"budget must be >= 0, got {self.budget}")
+        _require(self.pay_per_task >= 0.0, "pay_per_task must be >= 0")
+        for sub in (self.dataset, self.tagger, self.quality, self.strategy):
+            sub.validate()
+        return self
+
+    def describe(self) -> str:
+        """One-line human-readable summary, used by monitors and the CLI."""
+        return (
+            f"budget={self.budget} pay/task={self.pay_per_task:.3f} "
+            f"strategy={self.strategy.name} n={self.dataset.n_resources} "
+            f"seed={self.master_seed}"
+        )
+
+
+def config_fields(config: object) -> dict[str, object]:
+    """Return a plain dict of a config dataclass (for JSON round-trips)."""
+    return {f.name: getattr(config, f.name) for f in fields(config)}

@@ -1,0 +1,23 @@
+"""Crowdsourcing platform simulation: tasks, workers, platforms,
+approval, payments (Sec. III).
+
+The substitutes for MTurk/Facebook the original system integrates with
+(see DESIGN.md §2).
+"""
+
+from .approval import AgreementApprovalPolicy, ApprovalBook, ApprovalPolicy
+from .mturk import MTURK_MIXTURE, MTurkPlatform
+from .payments import LedgerEntry, PaymentLedger
+from .platform import CrowdPlatform, PlatformStats
+from .social import SOCIAL_MIXTURE, SocialPlatform
+from .tasks import TaggingTask, TaskState
+from .worker import CrowdWorker
+
+__all__ = [
+    "TaggingTask", "TaskState", "CrowdWorker",
+    "CrowdPlatform", "PlatformStats",
+    "MTurkPlatform", "MTURK_MIXTURE",
+    "SocialPlatform", "SOCIAL_MIXTURE",
+    "ApprovalPolicy", "AgreementApprovalPolicy", "ApprovalBook",
+    "PaymentLedger", "LedgerEntry",
+]

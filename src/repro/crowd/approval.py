@@ -1,0 +1,120 @@
+"""The mutual approval process (Sec. III-A).
+
+"The role of this approval process is to avoid two undesired outcomes:
+(i) taggers which provide low-quality tags to resources on a consistent
+basis, and (ii) providers which hold back on approving tags, thus
+delaying the payment of incentives."
+
+Provider side: a simulated provider cannot see the latent distribution,
+so the default policy judges a post by *agreement with the resource's
+established tags*: the fraction of the post's tags that already appear
+among the resource's observed tags.  Young resources (few posts) get
+the benefit of the doubt — there is nothing to agree with yet.
+
+Tagger side: taggers rate providers by payment behaviour; a provider
+who rejects a large share of posts (or withholds approvals) loses
+tagger approval, which the project screens surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ApprovalError
+from ..tagging.post import Post
+from ..tagging.resource import TaggedResource
+
+__all__ = ["ApprovalPolicy", "AgreementApprovalPolicy", "ApprovalBook"]
+
+
+class ApprovalPolicy:
+    """Decides whether a provider approves a submitted post."""
+
+    def should_approve(self, resource: TaggedResource, post: Post) -> bool:
+        raise NotImplementedError
+
+
+class AgreementApprovalPolicy(ApprovalPolicy):
+    """Approve when enough of the post agrees with the resource's tags."""
+
+    def __init__(
+        self,
+        *,
+        min_agreement: float = 0.2,
+        benefit_of_doubt_posts: int = 3,
+    ) -> None:
+        if not 0.0 <= min_agreement <= 1.0:
+            raise ApprovalError(
+                f"min_agreement must be in [0,1], got {min_agreement}"
+            )
+        if benefit_of_doubt_posts < 0:
+            raise ApprovalError("benefit_of_doubt_posts must be >= 0")
+        self.min_agreement = min_agreement
+        self.benefit_of_doubt_posts = benefit_of_doubt_posts
+
+    def should_approve(self, resource: TaggedResource, post: Post) -> bool:
+        if resource.n_posts <= self.benefit_of_doubt_posts:
+            return True
+        known = set(resource.counter.counts())
+        if not known:
+            return True
+        overlap = sum(1 for tag_id in post.tag_ids if tag_id in known)
+        return overlap / len(post.tag_ids) >= self.min_agreement
+
+
+@dataclass
+class ApprovalBook:
+    """Mutual approval-rate bookkeeping for one project.
+
+    Tracks, per worker, posts approved/rejected by the provider; and,
+    per provider, the payment behaviour taggers see (approvals granted
+    vs. decisions owed).
+    """
+
+    provider_id: int
+    worker_approved: dict[int, int] = field(default_factory=dict)
+    worker_rejected: dict[int, int] = field(default_factory=dict)
+    decisions_made: int = 0
+    decisions_owed: int = 0
+
+    def record_submission(self) -> None:
+        self.decisions_owed += 1
+
+    def record_decision(self, worker_id: int, approved: bool) -> None:
+        if self.decisions_made >= self.decisions_owed:
+            raise ApprovalError(
+                f"provider {self.provider_id}: decision without a pending submission"
+            )
+        self.decisions_made += 1
+        if approved:
+            self.worker_approved[worker_id] = (
+                self.worker_approved.get(worker_id, 0) + 1
+            )
+        else:
+            self.worker_rejected[worker_id] = (
+                self.worker_rejected.get(worker_id, 0) + 1
+            )
+
+    def worker_approval_rate(self, worker_id: int) -> float:
+        approved = self.worker_approved.get(worker_id, 0)
+        rejected = self.worker_rejected.get(worker_id, 0)
+        total = approved + rejected
+        if total == 0:
+            return 1.0
+        return approved / total
+
+    @property
+    def provider_approval_rate(self) -> float:
+        """How taggers rate this provider: decided share × approval share.
+
+        Penalizes both withheld decisions (delayed payment) and heavy
+        rejection.
+        """
+        if self.decisions_owed == 0:
+            return 1.0
+        decided_share = self.decisions_made / self.decisions_owed
+        approved = sum(self.worker_approved.values())
+        rejected = sum(self.worker_rejected.values())
+        total = approved + rejected
+        approval_share = approved / total if total else 1.0
+        return decided_share * approval_share

@@ -1,0 +1,64 @@
+"""MTurk-like platform: large mixed-quality pool, platform fee.
+
+The default pool mirrors published MTurk demographics for tagging-style
+microtasks: mostly casual workers, a slice of experts, a tail of
+low-effort workers and a few spammers — the reason the approval
+process (Sec. III-A) exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..taggers.noise import NoiseModel
+from ..taggers.profiles import preset
+from .platform import CrowdPlatform
+from .worker import CrowdWorker
+
+__all__ = ["MTurkPlatform", "MTURK_MIXTURE"]
+
+MTURK_MIXTURE: dict[str, float] = {
+    "casual": 0.70,
+    "expert": 0.08,
+    "sloppy": 0.17,
+    "spammer": 0.05,
+}
+
+
+class MTurkPlatform(CrowdPlatform):
+    """Simulated Amazon Mechanical Turk."""
+
+    name = "mturk"
+
+    def __init__(
+        self,
+        noise_model: NoiseModel,
+        rng: np.random.Generator,
+        *,
+        pool_size: int = 500,
+        fee_rate: float = 0.20,
+        min_approval_rate: float = 0.5,
+        mean_latency: float = 0.5,
+        mixture: dict[str, float] | None = None,
+        first_worker_id: int = 10_000,
+    ) -> None:
+        mixture = mixture if mixture is not None else dict(MTURK_MIXTURE)
+        names = sorted(mixture)
+        weights = np.array([mixture[name] for name in names], dtype=np.float64)
+        weights = weights / weights.sum()
+        picks = rng.choice(len(names), size=pool_size, p=weights)
+        workers = [
+            CrowdWorker(
+                worker_id=first_worker_id + index,
+                profile=preset(names[int(pick)]),
+            )
+            for index, pick in enumerate(picks)
+        ]
+        super().__init__(
+            workers,
+            noise_model,
+            rng,
+            fee_rate=fee_rate,
+            min_approval_rate=min_approval_rate,
+            mean_latency=mean_latency,
+        )

@@ -1,0 +1,134 @@
+"""Payment ledger: escrowed budgets, per-task incentives, platform fees.
+
+"The Quality Manager will then offer the unit of incentive to taggers,
+once a tag has been approved by the provider" (Sec. III-B).  The ledger
+enforces conservation: money only moves between provider escrow, worker
+balances, platform fees, and provider refunds — nothing is created or
+destroyed (a hypothesis property test sums the books after arbitrary
+operation sequences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import LedgerError
+
+__all__ = ["PaymentLedger", "LedgerEntry"]
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One movement in the books."""
+
+    kind: str  # deposit | pay | fee | refund
+    amount: float
+    provider_id: int
+    worker_id: int | None = None
+    task_id: int | None = None
+
+
+@dataclass
+class PaymentLedger:
+    """Double-entry-style ledger for one iTag deployment."""
+
+    escrow: dict[int, float] = field(default_factory=dict)
+    worker_balance: dict[int, float] = field(default_factory=dict)
+    platform_fees: float = 0.0
+    refunded: dict[int, float] = field(default_factory=dict)
+    entries: list[LedgerEntry] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    def deposit(self, provider_id: int, amount: float) -> None:
+        """Provider funds a project budget into escrow."""
+        if amount < 0:
+            raise LedgerError(f"deposit must be >= 0, got {amount}")
+        self.escrow[provider_id] = self.escrow.get(provider_id, 0.0) + amount
+        self.entries.append(LedgerEntry("deposit", amount, provider_id))
+
+    def pay_task(
+        self,
+        provider_id: int,
+        worker_id: int,
+        task_id: int,
+        pay: float,
+        *,
+        fee_rate: float = 0.0,
+    ) -> None:
+        """Move one approved task's incentive from escrow to the worker.
+
+        The platform fee is charged *on top of* worker pay (MTurk
+        model): escrow decreases by ``pay × (1 + fee_rate)``.
+        """
+        if pay < 0:
+            raise LedgerError(f"pay must be >= 0, got {pay}")
+        if not 0.0 <= fee_rate < 1.0:
+            raise LedgerError(f"fee_rate must be in [0,1), got {fee_rate}")
+        fee = pay * fee_rate
+        total = pay + fee
+        available = self.escrow.get(provider_id, 0.0)
+        if available + 1e-9 < total:
+            raise LedgerError(
+                f"provider {provider_id}: escrow {available:.4f} cannot "
+                f"cover pay {pay:.4f} + fee {fee:.4f}"
+            )
+        self.escrow[provider_id] = available - total
+        self.worker_balance[worker_id] = (
+            self.worker_balance.get(worker_id, 0.0) + pay
+        )
+        self.platform_fees += fee
+        self.entries.append(
+            LedgerEntry("pay", pay, provider_id, worker_id, task_id)
+        )
+        if fee > 0:
+            self.entries.append(
+                LedgerEntry("fee", fee, provider_id, worker_id, task_id)
+            )
+
+    def refund(self, provider_id: int, amount: float | None = None) -> float:
+        """Return remaining escrow to the provider (project stopped)."""
+        available = self.escrow.get(provider_id, 0.0)
+        amount = available if amount is None else amount
+        if amount < 0:
+            raise LedgerError(f"refund must be >= 0, got {amount}")
+        if amount - 1e-9 > available:
+            raise LedgerError(
+                f"provider {provider_id}: cannot refund {amount:.4f} "
+                f"from escrow {available:.4f}"
+            )
+        self.escrow[provider_id] = available - amount
+        self.refunded[provider_id] = self.refunded.get(provider_id, 0.0) + amount
+        self.entries.append(LedgerEntry("refund", amount, provider_id))
+        return amount
+
+    # ------------------------------------------------------------------
+
+    def total_deposited(self) -> float:
+        return sum(
+            entry.amount for entry in self.entries if entry.kind == "deposit"
+        )
+
+    def total_outstanding(self) -> float:
+        """Escrow + worker balances + fees + refunds; must equal deposits."""
+        return (
+            sum(self.escrow.values())
+            + sum(self.worker_balance.values())
+            + self.platform_fees
+            + sum(self.refunded.values())
+        )
+
+    def verify_conservation(self) -> None:
+        deposited = self.total_deposited()
+        outstanding = self.total_outstanding()
+        if abs(deposited - outstanding) > 1e-6:
+            raise LedgerError(
+                f"ledger conservation violated: deposited {deposited:.6f} "
+                f"!= outstanding {outstanding:.6f}"
+            )
+
+    def escrow_of(self, provider_id: int) -> float:
+        return self.escrow.get(provider_id, 0.0)
+
+    def earned_by(self, worker_id: int) -> float:
+        return self.worker_balance.get(worker_id, 0.0)

@@ -1,0 +1,240 @@
+"""Crowdsourcing platform simulator (the MTurk/Facebook substitute).
+
+iTag "can push tagging tasks according to the selected strategy to
+MTurk with the help of MTurk APIs ... from which iTag will then
+aggregate results" (Sec. III-B).  The simulator reproduces that API
+surface:
+
+- ``publish(task)`` assigns a qualified worker and schedules the
+  submission after a worker-dependent latency;
+- ``tick(until)`` advances simulated time, materializing submissions
+  (the worker generates a post on the task's resource);
+- ``collect()`` drains finished submissions, like polling the MTurk
+  results endpoint.
+
+A synchronous convenience ``execute(task, resource)`` publishes, runs
+to completion and returns the submitted task — what the allocation
+engine uses when latency is irrelevant to the experiment.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PlatformError
+from ..taggers.behavior import PostGenerator
+from ..taggers.noise import NoiseModel
+from ..tagging.resource import TaggedResource
+from .tasks import TaggingTask, TaskState
+from .worker import CrowdWorker
+
+__all__ = ["PlatformStats", "CrowdPlatform"]
+
+
+@dataclass
+class PlatformStats:
+    """Counters surfaced to the Quality Manager's monitoring feed."""
+
+    published: int = 0
+    submitted: int = 0
+    expired: int = 0
+    fees_collected: float = 0.0
+    total_turnaround: float = 0.0
+
+    @property
+    def mean_turnaround(self) -> float:
+        """Mean publish-to-submission latency over completed tasks."""
+        if self.submitted == 0:
+            return 0.0
+        return self.total_turnaround / self.submitted
+
+
+class CrowdPlatform:
+    """Base simulated platform; subclasses fix pool composition and fees."""
+
+    name = "generic"
+
+    def __init__(
+        self,
+        workers: list[CrowdWorker],
+        noise_model: NoiseModel,
+        rng: np.random.Generator,
+        *,
+        fee_rate: float = 0.0,
+        min_approval_rate: float = 0.0,
+        mean_latency: float = 1.0,
+        resources: dict[int, TaggedResource] | None = None,
+    ) -> None:
+        if not workers:
+            raise PlatformError(f"platform {self.name!r} needs at least one worker")
+        if not 0.0 <= fee_rate < 1.0:
+            raise PlatformError(f"fee_rate must be in [0,1), got {fee_rate}")
+        if mean_latency <= 0:
+            raise PlatformError(f"mean_latency must be positive, got {mean_latency}")
+        self._workers = {worker.worker_id: worker for worker in workers}
+        if len(self._workers) != len(workers):
+            raise PlatformError("duplicate worker ids")
+        self._generator = PostGenerator(noise_model, rng)
+        self._rng = rng
+        self.fee_rate = fee_rate
+        self.min_approval_rate = min_approval_rate
+        self.mean_latency = mean_latency
+        self._resources = resources if resources is not None else {}
+        self._clock = 0.0
+        # (due time, sequence, task) — sequence breaks ties deterministically.
+        self._pending: list[tuple[float, int, TaggingTask]] = []
+        self._sequence = 0
+        self._done: list[TaggingTask] = []
+        self.stats = PlatformStats()
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+
+    def register_resource(self, resource: TaggedResource) -> None:
+        """Make a resource taggable on this platform."""
+        self._resources[resource.resource_id] = resource
+
+    def worker(self, worker_id: int) -> CrowdWorker:
+        if worker_id not in self._workers:
+            raise PlatformError(f"unknown worker {worker_id}")
+        return self._workers[worker_id]
+
+    def workers(self) -> list[CrowdWorker]:
+        return [self._workers[worker_id] for worker_id in sorted(self._workers)]
+
+    def qualified_workers(self) -> list[CrowdWorker]:
+        return [
+            worker
+            for worker in self.workers()
+            if worker.qualifies(self.min_approval_rate)
+        ]
+
+    @property
+    def now(self) -> float:
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # task flow
+    # ------------------------------------------------------------------
+
+    def publish(self, task: TaggingTask) -> TaggingTask:
+        """Publish a task: a qualified worker picks it up."""
+        if task.resource_id not in self._resources:
+            raise PlatformError(
+                f"platform {self.name!r}: resource {task.resource_id} "
+                "is not registered"
+            )
+        pool = self.qualified_workers()
+        if not pool:
+            raise PlatformError(
+                f"platform {self.name!r}: no qualified workers "
+                f"(min approval {self.min_approval_rate:.2f})"
+            )
+        task.publish()
+        task.published_at = self._clock
+        worker = pool[int(self._rng.integers(0, len(pool)))]
+        task.assign(worker.worker_id)
+        latency = float(self._rng.exponential(self.mean_latency))
+        self._sequence += 1
+        heapq.heappush(self._pending, (self._clock + latency, self._sequence, task))
+        self.stats.published += 1
+        return task
+
+    def tick(self, until: float) -> int:
+        """Advance the clock, materializing due submissions."""
+        if until < self._clock:
+            raise PlatformError(
+                f"cannot move clock backwards ({self._clock} -> {until})"
+            )
+        completed = 0
+        while self._pending and self._pending[0][0] <= until:
+            due, _seq, task = heapq.heappop(self._pending)
+            self._clock = due
+            self._submit(task)
+            completed += 1
+        self._clock = until
+        return completed
+
+    def _submit(self, task: TaggingTask) -> None:
+        worker = self.worker(task.worker_id)
+        resource = self._resources[task.resource_id]
+        post = self._generator.generate(
+            resource, worker.profile, worker.worker_id, timestamp=self._clock
+        )
+        task.submit(post, at=self._clock)
+        self._done.append(task)
+        self.stats.submitted += 1
+        if task.turnaround is not None:
+            self.stats.total_turnaround += task.turnaround
+
+    def collect(self) -> list[TaggingTask]:
+        """Drain submitted tasks (poll results, Sec. III-B)."""
+        drained, self._done = self._done, []
+        return drained
+
+    def execute(self, task: TaggingTask) -> TaggingTask:
+        """Synchronous publish + run-to-submission (no latency modeling).
+
+        Advances the clock exactly to this task's due time, so earlier-
+        due tasks also complete (their submissions stay in the collect
+        queue); later-due tasks remain pending.
+        """
+        self.publish(task)
+        due = max(
+            entry_due
+            for entry_due, _seq, pending_task in self._pending
+            if pending_task is task
+        )
+        self.tick(due)
+        if task.state is not TaskState.SUBMITTED:
+            raise PlatformError(
+                f"task {task.task_id} failed to complete synchronously "
+                f"(state {task.state.value})"
+            )
+        self._done = [done for done in self._done if done is not task]
+        return task
+
+    # ------------------------------------------------------------------
+
+    def record_fee(self, amount: float) -> None:
+        if amount < 0:
+            raise PlatformError(f"fee must be >= 0, got {amount}")
+        self.stats.fees_collected += amount
+
+    def churn(self, rng: np.random.Generator, *, leave_fraction: float) -> int:
+        """Deactivate a random fraction of active workers (worker churn).
+
+        Real crowd pools are not static; campaigns must survive workers
+        leaving mid-run.  Already-assigned tasks still complete (the
+        worker finishes in-flight work before leaving).  At least one
+        worker always remains active.  Returns the number deactivated.
+        """
+        if not 0.0 <= leave_fraction <= 1.0:
+            raise PlatformError(
+                f"leave_fraction must be in [0,1], got {leave_fraction}"
+            )
+        active = [worker for worker in self.workers() if worker.active]
+        if len(active) <= 1:
+            return 0
+        leave_count = min(
+            int(round(leave_fraction * len(active))), len(active) - 1
+        )
+        if leave_count <= 0:
+            return 0
+        picks = rng.choice(len(active), size=leave_count, replace=False)
+        for pick in picks:
+            active[int(pick)].deactivate()
+        return leave_count
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(workers={len(self._workers)}, "
+            f"fee={self.fee_rate:.0%}, pending={len(self._pending)})"
+        )

@@ -1,0 +1,64 @@
+"""Social-network platform (Facebook-like, cf. CrowdSearcher [6]).
+
+Sec. I: "scientific papers resources will highly likely be getting
+better tags with taggers from scientific communities other than MTurk"
+and "iTag can be extended to other platforms such as social networks".
+This pool is smaller and slower but expert-heavy and fee-free —
+the platform-choice experiment (EXP-P) quantifies the trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..taggers.noise import NoiseModel
+from ..taggers.profiles import preset
+from .platform import CrowdPlatform
+from .worker import CrowdWorker
+
+__all__ = ["SocialPlatform", "SOCIAL_MIXTURE"]
+
+SOCIAL_MIXTURE: dict[str, float] = {
+    "expert": 0.55,
+    "casual": 0.40,
+    "sloppy": 0.05,
+}
+
+
+class SocialPlatform(CrowdPlatform):
+    """Simulated social-community platform (expert-heavy, slow, free)."""
+
+    name = "social"
+
+    def __init__(
+        self,
+        noise_model: NoiseModel,
+        rng: np.random.Generator,
+        *,
+        pool_size: int = 80,
+        fee_rate: float = 0.0,
+        min_approval_rate: float = 0.0,
+        mean_latency: float = 4.0,
+        mixture: dict[str, float] | None = None,
+        first_worker_id: int = 50_000,
+    ) -> None:
+        mixture = mixture if mixture is not None else dict(SOCIAL_MIXTURE)
+        names = sorted(mixture)
+        weights = np.array([mixture[name] for name in names], dtype=np.float64)
+        weights = weights / weights.sum()
+        picks = rng.choice(len(names), size=pool_size, p=weights)
+        workers = [
+            CrowdWorker(
+                worker_id=first_worker_id + index,
+                profile=preset(names[int(pick)]),
+            )
+            for index, pick in enumerate(picks)
+        ]
+        super().__init__(
+            workers,
+            noise_model,
+            rng,
+            fee_rate=fee_rate,
+            min_approval_rate=min_approval_rate,
+            mean_latency=mean_latency,
+        )

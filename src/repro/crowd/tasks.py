@@ -1,0 +1,126 @@
+"""Tagging tasks: the HIT lifecycle iTag pushes to platforms (Sec. III-B).
+
+State machine::
+
+    CREATED -> PUBLISHED -> ASSIGNED -> SUBMITTED -> APPROVED
+                                   \\-> EXPIRED      \\-> REJECTED
+    (any pre-SUBMITTED state) -> CANCELLED
+
+Illegal transitions raise :class:`~repro.errors.PlatformError` naming
+both states.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import PlatformError
+from ..tagging.post import Post
+
+__all__ = ["TaskState", "TaggingTask"]
+
+
+class TaskState(enum.Enum):
+    CREATED = "created"
+    PUBLISHED = "published"
+    ASSIGNED = "assigned"
+    SUBMITTED = "submitted"
+    APPROVED = "approved"
+    REJECTED = "rejected"
+    EXPIRED = "expired"
+    CANCELLED = "cancelled"
+
+
+_ALLOWED: dict[TaskState, tuple[TaskState, ...]] = {
+    TaskState.CREATED: (TaskState.PUBLISHED, TaskState.CANCELLED),
+    TaskState.PUBLISHED: (TaskState.ASSIGNED, TaskState.CANCELLED, TaskState.EXPIRED),
+    TaskState.ASSIGNED: (TaskState.SUBMITTED, TaskState.EXPIRED, TaskState.CANCELLED),
+    TaskState.SUBMITTED: (TaskState.APPROVED, TaskState.REJECTED),
+    TaskState.APPROVED: (),
+    TaskState.REJECTED: (),
+    TaskState.EXPIRED: (),
+    TaskState.CANCELLED: (),
+}
+
+_task_ids = itertools.count(1)
+
+
+@dataclass
+class TaggingTask:
+    """One unit of paid tagging work on one resource."""
+
+    project_id: int
+    resource_id: int
+    pay: float
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    state: TaskState = TaskState.CREATED
+    worker_id: int | None = None
+    post: Post | None = None
+    created_at: float = 0.0
+    published_at: float | None = None
+    submitted_at: float | None = None
+    resolved_at: float | None = None
+
+    @property
+    def turnaround(self) -> float | None:
+        """Publish-to-submission latency, if both timestamps exist."""
+        if self.published_at is None or self.submitted_at is None:
+            return None
+        return self.submitted_at - self.published_at
+
+    def __post_init__(self) -> None:
+        if self.pay < 0:
+            raise PlatformError(f"task pay must be >= 0, got {self.pay}")
+
+    # ------------------------------------------------------------------
+
+    def _transition(self, target: TaskState) -> None:
+        if target not in _ALLOWED[self.state]:
+            raise PlatformError(
+                f"task {self.task_id}: illegal transition "
+                f"{self.state.value} -> {target.value}"
+            )
+        self.state = target
+
+    def publish(self) -> None:
+        self._transition(TaskState.PUBLISHED)
+
+    def assign(self, worker_id: int) -> None:
+        self._transition(TaskState.ASSIGNED)
+        self.worker_id = worker_id
+
+    def submit(self, post: Post, *, at: float = 0.0) -> None:
+        if post.resource_id != self.resource_id:
+            raise PlatformError(
+                f"task {self.task_id}: post targets resource {post.resource_id}, "
+                f"task is for {self.resource_id}"
+            )
+        self._transition(TaskState.SUBMITTED)
+        self.post = post
+        self.submitted_at = at
+
+    def approve(self, *, at: float = 0.0) -> None:
+        self._transition(TaskState.APPROVED)
+        self.resolved_at = at
+
+    def reject(self, *, at: float = 0.0) -> None:
+        self._transition(TaskState.REJECTED)
+        self.resolved_at = at
+
+    def expire(self) -> None:
+        self._transition(TaskState.EXPIRED)
+
+    def cancel(self) -> None:
+        self._transition(TaskState.CANCELLED)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        return not _ALLOWED[self.state]
+
+    @property
+    def payable(self) -> bool:
+        return self.state is TaskState.APPROVED

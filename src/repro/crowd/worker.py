@@ -1,0 +1,61 @@
+"""Crowd workers: taggers with identity, profile and approval history.
+
+The User Manager "tracks their approval rate, which is the ratio of
+providers approving the tags of a given tagger" (Sec. III-A); platforms
+use it for qualification gating, and iTag "guarantees that the approval
+rate of taggers from crowdsourcing platforms are at a reliable level".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PlatformError
+from ..taggers.profiles import TaggerProfile
+
+__all__ = ["CrowdWorker"]
+
+
+@dataclass
+class CrowdWorker:
+    """One platform worker."""
+
+    worker_id: int
+    profile: TaggerProfile
+    approved: int = 0
+    rejected: int = 0
+    earned: float = 0.0
+    active: bool = True
+    _prior_approved: float = field(default=4.0, repr=False)
+    _prior_total: float = field(default=5.0, repr=False)
+
+    def __post_init__(self) -> None:
+        self.profile.validate()
+        if self._prior_total <= 0 or self._prior_approved < 0:
+            raise PlatformError("worker approval priors must be positive")
+
+    @property
+    def completed(self) -> int:
+        return self.approved + self.rejected
+
+    @property
+    def approval_rate(self) -> float:
+        """Smoothed approval rate (Beta prior keeps new workers hirable)."""
+        return (self.approved + self._prior_approved) / (
+            self.completed + self._prior_total
+        )
+
+    def record_approval(self, pay: float) -> None:
+        if pay < 0:
+            raise PlatformError(f"pay must be >= 0, got {pay}")
+        self.approved += 1
+        self.earned += pay
+
+    def record_rejection(self) -> None:
+        self.rejected += 1
+
+    def deactivate(self) -> None:
+        self.active = False
+
+    def qualifies(self, min_approval_rate: float) -> bool:
+        return self.active and self.approval_rate >= min_approval_rate

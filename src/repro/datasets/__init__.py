@@ -1,0 +1,22 @@
+"""Datasets: synthetic Delicious-like generation, temporal splits, IO.
+
+Substitutes the paper's Delicious 2010 crawl (see DESIGN.md §2) with a
+generator that reproduces the popularity skew and rfd convergence the
+strategies depend on.
+"""
+
+from .delicious import PROVIDER_CUTOFF, DeliciousLike, make_delicious_like
+from .generator import DatasetGenerator, GeneratedDataset
+from .io import corpus_to_database, load_corpus, save_corpus
+from .real import LoadReport, load_delicious_tsv, parse_timestamp
+from .splits import TemporalSplit, split_corpus_at
+from .stats import dataset_report
+
+__all__ = [
+    "DatasetGenerator", "GeneratedDataset",
+    "DeliciousLike", "make_delicious_like", "PROVIDER_CUTOFF",
+    "TemporalSplit", "split_corpus_at",
+    "save_corpus", "load_corpus", "corpus_to_database",
+    "dataset_report",
+    "LoadReport", "load_delicious_tsv", "parse_timestamp",
+]

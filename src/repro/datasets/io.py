@@ -1,0 +1,123 @@
+"""Dataset (de)serialization: corpora to JSON and to the store."""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+from ..errors import DatasetError
+from ..store import Column, Database, DataType, Schema
+from ..tagging.corpus import Corpus
+
+__all__ = ["save_corpus", "load_corpus", "corpus_to_database"]
+
+
+def save_corpus(corpus: Corpus, path: str | Path) -> Path:
+    """Write a corpus as JSON (gzip when the suffix is ``.gz``)."""
+    path = Path(path)
+    payload = json.dumps(corpus.to_dict(), sort_keys=True)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(payload)
+    else:
+        path.write_text(payload, encoding="utf-8")
+    return path
+
+
+def load_corpus(path: str | Path) -> Corpus:
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no corpus file at {path}")
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = handle.read()
+    else:
+        payload = path.read_text(encoding="utf-8")
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"corrupt corpus file at {path}: {exc}") from exc
+    return Corpus.from_dict(data)
+
+
+def corpus_to_database(corpus: Corpus, name: str = "corpus") -> Database:
+    """Materialize a corpus into relational tables.
+
+    Tables: ``resources(id, name, kind, popularity, n_posts)``,
+    ``tags(id, tag)``, ``posts(id, resource_id, tagger_id, seq, ts)``
+    and ``post_tags(id, post_id, tag_id)`` — the classic tagging schema
+    the original iTag kept in MySQL.
+    """
+    database = Database(name)
+    resources = database.create_table(
+        "resources",
+        Schema(
+            [
+                Column("id", DataType.INT),
+                Column("name", DataType.TEXT, unique=True),
+                Column("kind", DataType.TEXT),
+                Column("popularity", DataType.FLOAT),
+                Column("n_posts", DataType.INT),
+            ],
+            primary_key="id",
+        ),
+    )
+    tags = database.create_table(
+        "tags",
+        Schema(
+            [Column("id", DataType.INT), Column("tag", DataType.TEXT, unique=True)],
+            primary_key="id",
+        ),
+    )
+    posts = database.create_table(
+        "posts",
+        Schema(
+            [
+                Column("id", DataType.INT),
+                Column("resource_id", DataType.INT),
+                Column("tagger_id", DataType.INT),
+                Column("seq", DataType.INT),
+                Column("ts", DataType.TIMESTAMP),
+            ],
+            primary_key="id",
+        ),
+    )
+    post_tags = database.create_table(
+        "post_tags",
+        Schema(
+            [
+                Column("id", DataType.INT),
+                Column("post_id", DataType.INT),
+                Column("tag_id", DataType.INT),
+            ],
+            primary_key="id",
+        ),
+    )
+    posts.create_index("resource_id", kind="hash")
+    post_tags.create_index("post_id", kind="hash")
+    for index, tag in enumerate(corpus.vocabulary):
+        tags.insert({"id": index, "tag": tag})
+    for resource in corpus:
+        resources.insert(
+            {
+                "id": resource.resource_id,
+                "name": resource.name,
+                "kind": resource.kind.value,
+                "popularity": resource.popularity,
+                "n_posts": resource.n_posts,
+            }
+        )
+        for post in resource.posts:
+            post_pk = posts.insert(
+                {
+                    "resource_id": post.resource_id,
+                    "tagger_id": post.tagger_id,
+                    "seq": post.index,
+                    "ts": post.timestamp,
+                }
+            )
+            for tag_id in post.tag_ids:
+                post_tags.insert({"post_id": post_pk, "tag_id": tag_id})
+    return database

@@ -1,0 +1,164 @@
+"""Loader for real Delicious-style bookmark dumps.
+
+The paper's demonstration ran on a Delicious 2010 crawl, which is not
+redistributable; this repository substitutes a synthetic corpus (see
+DESIGN.md §2).  Users who *do* have a crawl can load it here and run
+the exact Sec. IV protocol (temporal split at 2007-02-01, strategy
+comparison) on real data.
+
+Expected format — the common Delicious dump layout, one bookmark per
+line, tab-separated::
+
+    <timestamp>\t<user>\t<url>\t<tag1>[ <tag2> ...]
+
+``timestamp`` is ISO ``YYYY-MM-DD[...]`` or a float; tags are
+space-separated within the last column.  Lines with no usable tags
+after normalization are skipped and counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import DatasetError
+from ..tagging.corpus import Corpus
+from ..tagging.normalize import normalize_tag
+from ..tagging.post import Post
+from ..tagging.resource import ResourceKind, TaggedResource
+from ..tagging.vocabulary import Vocabulary
+
+__all__ = ["LoadReport", "load_delicious_tsv", "parse_timestamp"]
+
+
+@dataclass
+class LoadReport:
+    """What the loader did: corpus plus per-line accounting."""
+
+    corpus: Corpus
+    lines_read: int
+    posts_loaded: int
+    lines_skipped: int
+    users: int
+
+    def describe(self) -> str:
+        return (
+            f"loaded {self.posts_loaded} posts on {len(self.corpus)} resources "
+            f"({self.lines_skipped} of {self.lines_read} lines skipped, "
+            f"{self.users} distinct users)"
+        )
+
+
+def parse_timestamp(raw: str) -> float:
+    """Timestamp to float days-since-2000 (ISO date) or passthrough float.
+
+    The temporal split only needs a consistent ordering, so dates map to
+    days since 2000-01-01; plain numbers are taken as-is.
+    """
+    raw = raw.strip()
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    date_part = raw[:10]
+    pieces = date_part.split("-")
+    if len(pieces) != 3:
+        raise DatasetError(f"unparseable timestamp {raw!r}")
+    try:
+        year, month, day = (int(piece) for piece in pieces)
+    except ValueError as error:
+        raise DatasetError(f"unparseable timestamp {raw!r}") from error
+    # Days since 2000-01-01, proleptic 365.25-day years: monotone within
+    # realistic crawl ranges, which is all the split requires.
+    return (year - 2000) * 365.25 + (month - 1) * 30.44 + (day - 1)
+
+
+def load_delicious_tsv(
+    path: str | Path,
+    *,
+    min_posts_per_resource: int = 1,
+    max_resources: int | None = None,
+) -> LoadReport:
+    """Parse a Delicious-style TSV dump into a :class:`Corpus`.
+
+    Resources are URLs; users become tagger ids in first-seen order;
+    tags are normalized (lowercase, punctuation trim, stopwords) and
+    empty posts dropped.  Resources with fewer than
+    ``min_posts_per_resource`` posts are excluded at the end, and
+    ``max_resources`` (by post count, most-tagged first) caps the size.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no Delicious dump at {path}")
+    vocabulary = Vocabulary()
+    url_posts: dict[str, list[tuple[float, int, tuple[int, ...]]]] = {}
+    user_ids: dict[str, int] = {}
+    lines_read = 0
+    skipped = 0
+    with path.open("r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            lines_read += 1
+            parts = line.split("\t")
+            if len(parts) < 4:
+                skipped += 1
+                continue
+            raw_time, user, url, raw_tags = (
+                parts[0], parts[1], parts[2], parts[3],
+            )
+            try:
+                timestamp = parse_timestamp(raw_time)
+            except DatasetError:
+                skipped += 1
+                continue
+            tags = []
+            for raw_tag in raw_tags.split(" "):
+                cleaned = normalize_tag(raw_tag)
+                if cleaned is not None:
+                    tags.append(vocabulary.add(cleaned))
+            if not tags or not url.strip():
+                skipped += 1
+                continue
+            tagger_id = user_ids.setdefault(user, len(user_ids) + 1)
+            url_posts.setdefault(url.strip(), []).append(
+                (timestamp, tagger_id, tuple(sorted(set(tags))))
+            )
+    eligible = {
+        url: posts
+        for url, posts in url_posts.items()
+        if len(posts) >= min_posts_per_resource
+    }
+    ordered_urls = sorted(
+        eligible, key=lambda url: (-len(eligible[url]), url)
+    )
+    if max_resources is not None:
+        ordered_urls = ordered_urls[:max_resources]
+    corpus = Corpus(vocabulary)
+    posts_loaded = 0
+    for index, url in enumerate(sorted(ordered_urls), start=1):
+        resource = TaggedResource(
+            resource_id=index,
+            name=url,
+            kind=ResourceKind.URL,
+            popularity=float(len(eligible[url])),
+        )
+        corpus.add_resource(resource)
+        for timestamp, tagger_id, tag_ids in sorted(eligible[url]):
+            resource.add_post(
+                Post(
+                    resource_id=index,
+                    tagger_id=tagger_id,
+                    tag_ids=tag_ids,
+                    timestamp=timestamp,
+                )
+            )
+            posts_loaded += 1
+    return LoadReport(
+        corpus=corpus,
+        lines_read=lines_read,
+        posts_loaded=posts_loaded,
+        lines_skipped=skipped,
+        users=len(user_ids),
+    )

@@ -1,0 +1,32 @@
+"""Dataset statistic reports (motivation numbers of Sec. I)."""
+
+from __future__ import annotations
+
+from ..tagging.corpus import Corpus
+from ..tagging.statistics import (
+    posts_histogram,
+    summarize_corpus,
+)
+
+__all__ = ["dataset_report"]
+
+
+def dataset_report(corpus: Corpus) -> str:
+    """Multi-line text report: summary stats + post-count histogram.
+
+    Used by the CLI (``itag generate-dataset --report``) and examples to
+    show that the generated corpus reproduces the skew that motivates
+    incentive-based tagging.
+    """
+    summary = summarize_corpus(corpus)
+    lines = ["== corpus summary =="]
+    lines.extend(summary.lines())
+    lines.append("")
+    lines.append("== posts per resource ==")
+    histogram = posts_histogram(corpus)
+    width = max(len(label) for label in histogram)
+    total = sum(histogram.values()) or 1
+    for label, count in histogram.items():
+        bar = "#" * int(round(40.0 * count / total))
+        lines.append(f"{label.rjust(width)} | {str(count).rjust(5)} {bar}")
+    return "\n".join(lines)

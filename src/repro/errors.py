@@ -1,0 +1,61 @@
+"""Exception hierarchy for the iTag reproduction.
+
+Every package raises subclasses of :class:`ReproError`, so callers can
+catch one base type at API boundaries.  Error messages always name the
+offending entity (resource id, project id, table name) to keep
+diagnostics actionable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed or inconsistent."""
+
+
+class BudgetError(ReproError):
+    """A budget would be overdrawn, or an allocation violates Σx = B."""
+
+
+class VocabularyError(ReproError):
+    """A tag id or tag string is unknown to the vocabulary."""
+
+
+class PostError(ReproError):
+    """A post is malformed (e.g. empty tag set, unknown resource)."""
+
+
+class ResourceNotFoundError(ReproError):
+    """A resource id does not exist in the corpus or store."""
+
+
+class StrategyError(ReproError):
+    """A strategy was asked to choose from an empty or exhausted pool."""
+
+
+class PlatformError(ReproError):
+    """A crowdsourcing platform operation failed (no workers, bad task)."""
+
+
+class ApprovalError(ReproError):
+    """An approval decision references an unknown post or was repeated."""
+
+
+class LedgerError(ReproError):
+    """A payment operation would violate ledger conservation."""
+
+
+class ProjectError(ReproError):
+    """An operation is illegal in the project's current lifecycle state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or its parameters are invalid."""
+
+
+class DatasetError(ReproError):
+    """Dataset generation or (de)serialization failed."""

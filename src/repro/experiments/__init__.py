@@ -1,0 +1,11 @@
+"""Paper-reproduction experiments (see DESIGN.md §5 for the index)."""
+
+from .harness import CampaignRun, CampaignSpec, per_resource_oracle, run_campaign
+from .registry import EXPERIMENTS, list_experiments, run_experiment
+from .results import ClaimCheck, ExperimentResult, Series
+
+__all__ = [
+    "CampaignSpec", "CampaignRun", "run_campaign", "per_resource_oracle",
+    "ExperimentResult", "Series", "ClaimCheck",
+    "EXPERIMENTS", "list_experiments", "run_experiment",
+]

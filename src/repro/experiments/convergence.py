@@ -1,0 +1,114 @@
+"""EXP-C1 — rfd-stability quality convergence ``q_i(k)`` (Sec. II).
+
+The quality metric's defining property: as a resource accumulates
+posts, its rfd stabilizes and quality rises with diminishing returns.
+We tag resources from different popularity deciles k = 0..max_posts
+times and record both the oracle quality and the observable stability
+estimate at each k.
+
+This also exhibits the paper's motivation (Sec. I): before any budget
+is spent, popular resources sit high on the curve while the unpopular
+majority sits near the bottom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets import make_delicious_like
+from ..quality import QualityBoard, oracle_quality
+from .harness import CampaignSpec
+from .results import ExperimentResult
+
+__all__ = ["run", "DEFAULT_SPEC"]
+
+DEFAULT_SPEC = CampaignSpec(
+    n_resources=60,
+    initial_posts_total=0,
+    population_size=60,
+    seeds=(1, 2, 3),
+    extra={"max_posts": 120, "sample_every": 10},
+)
+
+
+def run(spec: CampaignSpec | None = None) -> ExperimentResult:
+    spec = spec if spec is not None else DEFAULT_SPEC
+    max_posts = int(spec.extra.get("max_posts", 120))
+    sample_every = int(spec.extra.get("sample_every", 10))
+    ks = list(range(0, max_posts + 1, sample_every))
+    result = ExperimentResult(
+        experiment_id="EXP-C1",
+        title="Quality convergence q_i(k) with posts",
+        params={
+            "n_resources": spec.n_resources,
+            "max_posts": max_posts,
+            "seeds": list(spec.seeds),
+        },
+        header=["k", "oracle quality", "observable quality"],
+    )
+    oracle_curves = []
+    observable_curves = []
+    for seed in spec.seeds:
+        data = make_delicious_like(
+            n_resources=spec.n_resources,
+            initial_posts_total=0,
+            master_seed=seed,
+            population_size=spec.population_size,
+        )
+        corpus = data.split.provider_corpus
+        targets = data.dataset.oracle_targets()
+        board = QualityBoard(corpus)
+        oracle_matrix = np.zeros((len(ks), len(corpus)))
+        observable_matrix = np.zeros((len(ks), len(corpus)))
+        sample_index = 0
+        for k in range(max_posts + 1):
+            if k in ks:
+                for column, resource in enumerate(corpus):
+                    oracle_matrix[sample_index, column] = oracle_quality(
+                        resource, targets[resource.resource_id]
+                    )
+                    observable_matrix[sample_index, column] = board.quality_of(
+                        resource.resource_id
+                    )
+                sample_index += 1
+            if k < max_posts:
+                for resource in corpus:
+                    post = data.dataset.population.tag_resource(resource)
+                    corpus.add_post(post)
+                    board.observe(resource)
+        oracle_curves.append(oracle_matrix.mean(axis=1))
+        observable_curves.append(observable_matrix.mean(axis=1))
+    oracle_mean = np.mean(oracle_curves, axis=0)
+    observable_mean = np.mean(observable_curves, axis=0)
+    for index, k in enumerate(ks):
+        result.add_row(k, f"{oracle_mean[index]:.4f}", f"{observable_mean[index]:.4f}")
+    result.add_series("oracle", [float(k) for k in ks], [float(v) for v in oracle_mean])
+    result.add_series(
+        "stability", [float(k) for k in ks], [float(v) for v in observable_mean]
+    )
+    _check_claims(result, ks, oracle_mean, observable_mean)
+    return result
+
+
+def _check_claims(
+    result: ExperimentResult,
+    ks: list[int],
+    oracle_mean: np.ndarray,
+    observable_mean: np.ndarray,
+) -> None:
+    result.check(
+        "oracle quality rises monotonically with posts (tolerance 0.01)",
+        bool(np.all(np.diff(oracle_mean) >= -0.01)),
+    )
+    early = oracle_mean[1] - oracle_mean[0] if len(oracle_mean) > 1 else 0.0
+    late = oracle_mean[-1] - oracle_mean[-2] if len(oracle_mean) > 1 else 0.0
+    result.check(
+        "diminishing returns: early gains exceed late gains",
+        early > late,
+        f"early {early:.4f} vs late {late:.4f}",
+    )
+    result.check(
+        "observable stability tracks oracle quality (corr > 0.9)",
+        bool(np.corrcoef(oracle_mean[1:], observable_mean[1:])[0, 1] > 0.9),
+        f"corr {float(np.corrcoef(oracle_mean[1:], observable_mean[1:])[0, 1]):.3f}",
+    )

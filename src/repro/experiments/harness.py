@@ -1,0 +1,98 @@
+"""Shared experiment machinery: seeded campaign runs and aggregation.
+
+Each experiment repeats its campaigns over several master seeds and
+reports mean ± std; :func:`run_campaign` is the one place the
+"dataset → engine → result" wiring lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import DatasetConfig, QualityConfig
+from ..datasets import DeliciousLike, make_delicious_like
+from ..quality import AnalyticGain, QualityBoard, oracle_quality
+from ..rng import RngRegistry
+from ..strategies import AllocationEngine, AllocationResult, make_strategy
+
+__all__ = ["CampaignSpec", "CampaignRun", "run_campaign", "per_resource_oracle"]
+
+
+@dataclass
+class CampaignSpec:
+    """Parameters of one simulated campaign family."""
+
+    n_resources: int = 150
+    initial_posts_total: int = 1500
+    population_size: int = 100
+    budget: int = 600
+    record_every: int = 50
+    strategy: str = "fp-mu"
+    seeds: tuple[int, ...] = (1, 2, 3)
+    dataset_config: DatasetConfig | None = None
+    quality_config: QualityConfig | None = None
+    mixture: dict[str, float] | None = None
+    profiles: list | None = None
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class CampaignRun:
+    """One seed's campaign: the dataset, the engine result, final corpus."""
+
+    seed: int
+    data: DeliciousLike
+    result: AllocationResult
+    targets: dict[int, np.ndarray]
+
+    def final_per_resource_oracle(self) -> np.ndarray:
+        return per_resource_oracle(self.data.split.provider_corpus, self.targets)
+
+
+def per_resource_oracle(corpus, targets) -> np.ndarray:
+    """Vector of per-resource oracle qualities (sorted by resource id)."""
+    return np.array(
+        [
+            oracle_quality(resource, targets[resource.resource_id])
+            for resource in corpus
+        ],
+        dtype=np.float64,
+    )
+
+
+def run_campaign(spec: CampaignSpec, seed: int, *, strategy: str | None = None) -> CampaignRun:
+    """Run one campaign: generate data, run Algorithm 1, return the run.
+
+    The provider corpus is mutated in place by the engine (the run's
+    final state is inspectable through ``data.split.provider_corpus``).
+    """
+    data = make_delicious_like(
+        n_resources=spec.n_resources,
+        initial_posts_total=spec.initial_posts_total,
+        master_seed=seed,
+        population_size=spec.population_size,
+        dataset_config=spec.dataset_config,
+        mixture=spec.mixture,
+        profiles=spec.profiles,
+    )
+    targets = data.dataset.oracle_targets()
+    strategy_name = strategy if strategy is not None else spec.strategy
+    gain_model = None
+    if strategy_name == "optimal":
+        gain_model = AnalyticGain(targets, data.dataset.mean_post_size)
+    corpus = data.split.provider_corpus
+    rng = RngRegistry(seed)
+    engine = AllocationEngine(
+        corpus,
+        data.dataset.population,
+        make_strategy(strategy_name, gain_model=gain_model),
+        budget=spec.budget,
+        board=QualityBoard(corpus, spec.quality_config),
+        oracle_targets=targets,
+        rng=rng.stream(f"engine.{strategy_name}"),
+        record_every=spec.record_every,
+    )
+    result = engine.run()
+    return CampaignRun(seed=seed, data=data, result=result, targets=targets)

@@ -1,0 +1,111 @@
+"""EXP-H — ablation of the FP→MU switch rule (Table I design choice).
+
+The hybrid strategy's one knob is *when* to hand over from FP to MU.
+We sweep the ``min_posts`` coverage rule and the ``budget_fraction``
+rule and report final quality.  Expectation: a moderate switch point is
+at least as good as either extreme (pure FP = switch never, pure MU =
+switch immediately), and the rule is not hypersensitive — the paper's
+"simple but close to optimal" positioning depends on that robustness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quality import QualityBoard
+from ..rng import RngRegistry
+from ..strategies import AllocationEngine, HybridFpMu
+from ..datasets import make_delicious_like
+from .harness import CampaignSpec
+from .results import ExperimentResult
+
+__all__ = ["run", "DEFAULT_SPEC"]
+
+DEFAULT_SPEC = CampaignSpec(
+    n_resources=120,
+    initial_posts_total=1200,
+    population_size=80,
+    budget=500,
+    seeds=(1, 2, 3),
+    extra={"min_posts_grid": (0, 2, 5, 10, 20), "fraction_grid": (0.25, 0.5, 0.75)},
+)
+
+
+def run(spec: CampaignSpec | None = None) -> ExperimentResult:
+    spec = spec if spec is not None else DEFAULT_SPEC
+    min_posts_grid = tuple(spec.extra.get("min_posts_grid", (0, 2, 5, 10, 20)))
+    fraction_grid = tuple(spec.extra.get("fraction_grid", (0.25, 0.5, 0.75)))
+    result = ExperimentResult(
+        experiment_id="EXP-H",
+        title="FP→MU switch-point ablation",
+        params={
+            "min_posts_grid": list(min_posts_grid),
+            "fraction_grid": list(fraction_grid),
+            "budget": spec.budget,
+        },
+        header=["switch rule", "oracle improvement"],
+    )
+    by_rule: dict[str, float] = {}
+    for min_posts in min_posts_grid:
+        key = f"min_posts={min_posts}"
+        by_rule[key] = _mean_improvement(
+            spec, lambda: HybridFpMu(min_posts=min_posts)
+        )
+        result.add_row(key, f"{by_rule[key]:+.4f}")
+    for fraction in fraction_grid:
+        key = f"budget_fraction={fraction:.2f}"
+        by_rule[key] = _mean_improvement(
+            spec, lambda: HybridFpMu(budget_fraction=fraction)
+        )
+        result.add_row(key, f"{by_rule[key]:+.4f}")
+    xs = [float(v) for v in min_posts_grid]
+    result.add_series(
+        "min_posts rule", xs, [by_rule[f"min_posts={v}"] for v in min_posts_grid]
+    )
+    _check_claims(result, by_rule, min_posts_grid)
+    return result
+
+
+def _mean_improvement(spec: CampaignSpec, strategy_factory) -> float:
+    values = []
+    for seed in spec.seeds:
+        data = make_delicious_like(
+            n_resources=spec.n_resources,
+            initial_posts_total=spec.initial_posts_total,
+            master_seed=seed,
+            population_size=spec.population_size,
+        )
+        corpus = data.split.provider_corpus
+        targets = data.dataset.oracle_targets()
+        engine = AllocationEngine(
+            corpus,
+            data.dataset.population,
+            strategy_factory(),
+            budget=spec.budget,
+            board=QualityBoard(corpus),
+            oracle_targets=targets,
+            rng=RngRegistry(seed).stream("engine.hybrid-ablation"),
+            record_every=max(spec.budget, 1),
+        )
+        values.append(engine.run().oracle_improvement)
+    return float(np.mean(values))
+
+
+def _check_claims(
+    result: ExperimentResult, by_rule: dict[str, float], min_posts_grid
+) -> None:
+    values = [by_rule[f"min_posts={v}"] for v in min_posts_grid]
+    best = max(by_rule.values())
+    moderate = [
+        by_rule[f"min_posts={v}"] for v in min_posts_grid if 2 <= v <= 10
+    ]
+    result.check(
+        "a moderate switch point is within 5% of the best rule",
+        bool(moderate) and max(moderate) >= 0.95 * best,
+        f"best moderate {max(moderate):+.4f} vs best {best:+.4f}",
+    )
+    result.check(
+        "the switch rule is robust (all rules within 20% of best)",
+        min(values) >= 0.8 * best,
+        f"worst {min(values):+.4f} vs best {best:+.4f}",
+    )

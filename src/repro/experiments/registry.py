@@ -1,0 +1,208 @@
+"""Experiment registry: id -> runner, with fast variants for CI.
+
+The ``fast`` parameterizations shrink seeds/sizes so the full matrix
+runs in seconds (used by tests); the default parameterizations are what
+the benchmark harness runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ExperimentError
+from . import (
+    batching,
+    convergence,
+    demo_budget,
+    hybrid_switch,
+    incompleteness,
+    latency,
+    low_quality,
+    noise_ablation,
+    optimal_gap,
+    platform_choice,
+    popularity_gap,
+    store_ops,
+    system_screens,
+    table1,
+    threshold,
+)
+from .harness import CampaignSpec
+from .results import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "list_experiments", "run_experiment"]
+
+
+def _fast_spec(**overrides) -> CampaignSpec:
+    base = dict(
+        n_resources=40,
+        initial_posts_total=300,
+        population_size=30,
+        budget=120,
+        record_every=30,
+        seeds=(1, 2),
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+_FAST_SPECS: dict[str, Callable[[], ExperimentResult]] = {
+    "EXP-T1": lambda: table1.run(
+        _fast_spec(budget=240, extra={"tau_low": 0.40, "tau_req": 0.55})
+    ),
+    "EXP-D1": lambda: demo_budget.run(_fast_spec(budget=200, record_every=40)),
+    "EXP-C1": lambda: convergence.run(
+        _fast_spec(
+            n_resources=20,
+            initial_posts_total=0,
+            extra={"max_posts": 40, "sample_every": 10},
+        )
+    ),
+    "EXP-TH": lambda: threshold.run(
+        _fast_spec(budget=240, extra={"tau": 0.55, "budget_points": (120, 240)})
+    ),
+    "EXP-LQ": lambda: low_quality.run(
+        _fast_spec(extra={"tau_low": 0.40, "budget_points": (60, 120)})
+    ),
+    "EXP-OPT": lambda: optimal_gap.run(
+        _fast_spec(extra={"dp_resources": 5, "dp_budget": 15})
+    ),
+    "EXP-N": lambda: noise_ablation.run(
+        _fast_spec(seeds=(1,), extra={"noise_rates": (0.0, 0.2)})
+    ),
+    "EXP-H": lambda: hybrid_switch.run(
+        _fast_spec(
+            seeds=(1,), extra={"min_posts_grid": (0, 5, 20), "fraction_grid": (0.5,)}
+        )
+    ),
+    "EXP-P": lambda: platform_choice.run(_fast_spec()),
+    "EXP-L": lambda: latency.run(
+        _fast_spec(n_resources=10, initial_posts_total=40, budget=60, seeds=(1,))
+    ),
+    "EXP-B": lambda: batching.run(
+        _fast_spec(seeds=(1,), extra={"batch_sizes": (1, 10), "strategies": ("fp", "mu")})
+    ),
+    "EXP-POP": lambda: popularity_gap.run(
+        _fast_spec(n_resources=60, initial_posts_total=600, budget=240)
+    ),
+    "EXP-I": lambda: incompleteness.run(
+        _fast_spec(seeds=(1,), extra={"grid": ((4.0, 1.0), (1.2, 0.5))})
+    ),
+    "EXP-UI": lambda: system_screens.run(
+        _fast_spec(n_resources=15, initial_posts_total=80, budget=60, seeds=(11,))
+    ),
+    "EXP-ST": lambda: store_ops.run(rows=1000),
+}
+
+EXPERIMENTS: dict[str, dict] = {
+    "EXP-T1": {
+        "title": "Table I strategy comparison",
+        "paper_artifact": "Table I",
+        "run": table1.run,
+        "fast": _FAST_SPECS["EXP-T1"],
+    },
+    "EXP-D1": {
+        "title": "Quality vs budget vs optimal (demonstration)",
+        "paper_artifact": "Sec. IV Real Dataset",
+        "run": demo_budget.run,
+        "fast": _FAST_SPECS["EXP-D1"],
+    },
+    "EXP-C1": {
+        "title": "Quality convergence q_i(k)",
+        "paper_artifact": "Sec. II quality metric",
+        "run": convergence.run,
+        "fast": _FAST_SPECS["EXP-C1"],
+    },
+    "EXP-TH": {
+        "title": "Resources satisfying quality threshold",
+        "paper_artifact": "Table I (MU row)",
+        "run": threshold.run,
+        "fast": _FAST_SPECS["EXP-TH"],
+    },
+    "EXP-LQ": {
+        "title": "Low-quality resource reduction",
+        "paper_artifact": "Table I (FP row)",
+        "run": low_quality.run,
+        "fast": _FAST_SPECS["EXP-LQ"],
+    },
+    "EXP-OPT": {
+        "title": "Greedy/DP optimality and strategy gap",
+        "paper_artifact": "Sec. IV optimal comparison",
+        "run": optimal_gap.run,
+        "fast": _FAST_SPECS["EXP-OPT"],
+    },
+    "EXP-N": {
+        "title": "Noise-rate ablation",
+        "paper_artifact": "Sec. I noisy tagging",
+        "run": noise_ablation.run,
+        "fast": _FAST_SPECS["EXP-N"],
+    },
+    "EXP-H": {
+        "title": "Hybrid switch-point ablation",
+        "paper_artifact": "Table I (FP-MU row)",
+        "run": hybrid_switch.run,
+        "fast": _FAST_SPECS["EXP-H"],
+    },
+    "EXP-P": {
+        "title": "Platform choice",
+        "paper_artifact": "Secs. I/III platform selection",
+        "run": platform_choice.run,
+        "fast": _FAST_SPECS["EXP-P"],
+    },
+    "EXP-L": {
+        "title": "Platform turnaround and makespan",
+        "paper_artifact": "Secs. I/III platform selection (speed side)",
+        "run": latency.run,
+        "fast": _FAST_SPECS["EXP-L"],
+    },
+    "EXP-B": {
+        "title": "Batch-size ablation of the Algorithm-1 round",
+        "paper_artifact": "Algorithm 1 step 3 (Rc is a set)",
+        "run": batching.run,
+        "fast": _FAST_SPECS["EXP-B"],
+    },
+    "EXP-POP": {
+        "title": "Quality by popularity quartile (the motivating gap)",
+        "paper_artifact": "Sec. I motivation / [5]",
+        "run": popularity_gap.run,
+        "fast": _FAST_SPECS["EXP-POP"],
+    },
+    "EXP-I": {
+        "title": "Incomplete posts: thoroughness vs achievable quality",
+        "paper_artifact": "Sec. I 'noisy and incomplete' (incomplete axis)",
+        "run": incompleteness.run,
+        "fast": _FAST_SPECS["EXP-I"],
+    },
+    "EXP-UI": {
+        "title": "System screens and provider controls",
+        "paper_artifact": "Figs. 3-8",
+        "run": system_screens.run,
+        "fast": _FAST_SPECS["EXP-UI"],
+    },
+    "EXP-ST": {
+        "title": "Store substrate throughput",
+        "paper_artifact": "Fig. 2 (MySQL substrate)",
+        "run": store_ops.run,
+        "fast": _FAST_SPECS["EXP-ST"],
+    },
+}
+
+
+def list_experiments() -> list[tuple[str, str, str]]:
+    """(id, title, paper artifact) for every registered experiment."""
+    return [
+        (experiment_id, entry["title"], entry["paper_artifact"])
+        for experiment_id, entry in sorted(EXPERIMENTS.items())
+    ]
+
+
+def run_experiment(experiment_id: str, *, fast: bool = False) -> ExperimentResult:
+    """Run one experiment by id (``fast=True`` for the CI variant)."""
+    if experiment_id not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; have {sorted(EXPERIMENTS)}"
+        )
+    entry = EXPERIMENTS[experiment_id]
+    if fast:
+        return entry["fast"]()
+    return entry["run"]()

@@ -1,0 +1,169 @@
+"""Experiment result containers: rows (tables), series (figures), claims.
+
+Every experiment returns one :class:`ExperimentResult`; the benchmark
+harness prints ``to_text()`` (the "same rows/series the paper reports")
+and EXPERIMENTS.md records the claim checks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..analysis.ascii_plot import multi_line_plot
+from ..analysis.tables import render_markdown_table, render_table
+
+__all__ = ["Series", "ClaimCheck", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: shared x values, one y per x."""
+
+    name: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.name!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """A paper claim and whether this run reproduced it."""
+
+    claim: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{mark}] {self.claim}{suffix}"
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    params: dict[str, Any] = field(default_factory=dict)
+    header: list[str] = field(default_factory=list)
+    rows: list[list[Any]] = field(default_factory=list)
+    series: list[Series] = field(default_factory=list)
+    claims: list[ClaimCheck] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    def add_row(self, *values: Any) -> None:
+        if self.header and len(values) != len(self.header):
+            raise ValueError(
+                f"{self.experiment_id}: row width {len(values)} != header "
+                f"width {len(self.header)}"
+            )
+        self.rows.append(list(values))
+
+    def add_series(self, name: str, xs: list[float], ys: list[float]) -> None:
+        self.series.append(Series(name, tuple(xs), tuple(ys)))
+
+    def check(self, claim: str, passed: bool, detail: str = "") -> None:
+        self.claims.append(ClaimCheck(claim, bool(passed), detail))
+
+    @property
+    def all_claims_pass(self) -> bool:
+        return all(claim.passed for claim in self.claims)
+
+    # ------------------------------------------------------------------
+
+    def to_text(self, *, plot_width: int = 64, plot_height: int = 12) -> str:
+        lines = [f"==== {self.experiment_id}: {self.title} ===="]
+        if self.params:
+            lines.append(
+                "params: "
+                + ", ".join(f"{key}={value}" for key, value in self.params.items())
+            )
+        if self.rows:
+            lines.append(render_table(self.header, self.rows))
+        if self.series:
+            shared = self._shared_series()
+            for xs, group in shared:
+                lines.append(
+                    multi_line_plot(
+                        list(xs),
+                        {series.name: list(series.ys) for series in group},
+                        width=plot_width,
+                        height=plot_height,
+                    )
+                )
+        for claim in self.claims:
+            lines.append(str(claim))
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def _shared_series(self) -> list[tuple[tuple[float, ...], list[Series]]]:
+        groups: dict[tuple[float, ...], list[Series]] = {}
+        for series in self.series:
+            groups.setdefault(series.xs, []).append(series)
+        return list(groups.items())
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.experiment_id}: {self.title}", ""]
+        if self.rows:
+            lines.append(render_markdown_table(self.header, self.rows))
+            lines.append("")
+        for claim in self.claims:
+            mark = "✅" if claim.passed else "❌"
+            lines.append(f"- {mark} {claim.claim}" + (f" — {claim.detail}" if claim.detail else ""))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "params": self.params,
+            "header": self.header,
+            "rows": self.rows,
+            "series": [
+                {"name": series.name, "xs": list(series.xs), "ys": list(series.ys)}
+                for series in self.series
+            ],
+            "claims": [
+                {"claim": c.claim, "passed": c.passed, "detail": c.detail}
+                for c in self.claims
+            ],
+            "notes": self.notes,
+        }
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True), encoding="utf-8"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentResult":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        result = cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            params=data["params"],
+            header=data["header"],
+            rows=data["rows"],
+            notes=data["notes"],
+        )
+        for series in data["series"]:
+            result.add_series(series["name"], series["xs"], series["ys"])
+        for claim in data["claims"]:
+            result.check(claim["claim"], claim["passed"], claim["detail"])
+        return result

@@ -1,0 +1,112 @@
+"""Batch experiment runner: run every registered experiment, write
+reports and a summary (the reproduce-everything entry point).
+
+Used by ``itag run-all`` and by release checks; each experiment's text
+and JSON reports land in the output directory, plus ``SUMMARY.md`` with
+the claim checklist across the whole matrix.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from .registry import EXPERIMENTS, run_experiment
+from .results import ExperimentResult
+
+__all__ = ["RunSummary", "run_all"]
+
+
+@dataclass
+class RunSummary:
+    """Outcome of one run-all invocation."""
+
+    results: dict[str, ExperimentResult]
+    errors: dict[str, str]
+    elapsed_seconds: dict[str, float]
+    out_dir: Path | None
+
+    @property
+    def all_claims_pass(self) -> bool:
+        if self.errors:
+            return False
+        return all(result.all_claims_pass for result in self.results.values())
+
+    def total_claims(self) -> tuple[int, int]:
+        """(passed, total) across all experiments."""
+        passed = sum(
+            sum(1 for claim in result.claims if claim.passed)
+            for result in self.results.values()
+        )
+        total = sum(len(result.claims) for result in self.results.values())
+        return passed, total
+
+    def to_markdown(self) -> str:
+        passed, total = self.total_claims()
+        lines = [
+            "# Reproduction summary",
+            "",
+            f"Claims: **{passed}/{total} pass** over {len(self.results)} "
+            "experiments.",
+            "",
+            "| experiment | title | claims | time (s) |",
+            "|---|---|---|---|",
+        ]
+        for experiment_id in sorted(self.results):
+            result = self.results[experiment_id]
+            ok = sum(1 for claim in result.claims if claim.passed)
+            lines.append(
+                f"| {experiment_id} | {result.title} | {ok}/{len(result.claims)} | "
+                f"{self.elapsed_seconds[experiment_id]:.1f} |"
+            )
+        for experiment_id, message in sorted(self.errors.items()):
+            lines.append(f"| {experiment_id} | **ERROR** | {message} | - |")
+        lines.append("")
+        for experiment_id in sorted(self.results):
+            lines.append(self.results[experiment_id].to_markdown())
+            lines.append("")
+        return "\n".join(lines)
+
+
+def run_all(
+    *,
+    fast: bool = False,
+    out_dir: str | Path | None = None,
+    only: list[str] | None = None,
+) -> RunSummary:
+    """Run every (or a subset of) registered experiment(s).
+
+    Errors are captured per experiment so one failure cannot hide the
+    rest of the matrix.
+    """
+    ids = sorted(EXPERIMENTS) if only is None else list(only)
+    results: dict[str, ExperimentResult] = {}
+    errors: dict[str, str] = {}
+    elapsed: dict[str, float] = {}
+    directory = Path(out_dir) if out_dir is not None else None
+    if directory is not None:
+        directory.mkdir(parents=True, exist_ok=True)
+    for experiment_id in ids:
+        start = time.perf_counter()
+        try:
+            result = run_experiment(experiment_id, fast=fast)
+        except Exception as error:  # noqa: BLE001 - reported, not hidden
+            errors[experiment_id] = f"{type(error).__name__}: {error}"
+            elapsed[experiment_id] = time.perf_counter() - start
+            continue
+        elapsed[experiment_id] = time.perf_counter() - start
+        results[experiment_id] = result
+        if directory is not None:
+            (directory / f"{experiment_id}.txt").write_text(
+                result.to_text() + "\n", encoding="utf-8"
+            )
+            result.save(directory / f"{experiment_id}.json")
+    summary = RunSummary(
+        results=results, errors=errors, elapsed_seconds=elapsed, out_dir=directory
+    )
+    if directory is not None:
+        (directory / "SUMMARY.md").write_text(
+            summary.to_markdown() + "\n", encoding="utf-8"
+        )
+    return summary

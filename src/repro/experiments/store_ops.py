@@ -1,0 +1,115 @@
+"""EXP-ST — store substrate throughput (the Fig. 2 MySQL replacement).
+
+Micro-benchmarks of the embedded store under campaign-shaped workloads:
+bulk inserts, indexed point/range queries, transactional updates, WAL
+append+replay.  There is no paper number to match; the claim is only
+that the substrate sustains campaign workloads comfortably (>10k
+simple ops/sec), so system-layer experiments measure allocation, not
+storage overhead.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..store import (
+    Between,
+    Column,
+    Database,
+    DataType,
+    Eq,
+    Query,
+    Schema,
+    WriteAheadLog,
+)
+from .results import ExperimentResult
+
+__all__ = ["run", "build_rows"]
+
+
+def build_rows(count: int) -> list[dict]:
+    return [
+        {
+            "name": f"resource-{index:05d}",
+            "kind": ("url", "image", "video")[index % 3],
+            "n_posts": index % 50,
+            "quality": (index % 100) / 100.0,
+        }
+        for index in range(count)
+    ]
+
+
+def _schema() -> Schema:
+    return Schema(
+        [
+            Column("id", DataType.INT),
+            Column("name", DataType.TEXT, unique=True),
+            Column("kind", DataType.TEXT),
+            Column("n_posts", DataType.INT),
+            Column("quality", DataType.FLOAT),
+        ],
+        primary_key="id",
+    )
+
+
+def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="EXP-ST",
+        title="Store substrate throughput",
+        params={"rows": rows},
+        header=["operation", "ops", "seconds", "ops/sec"],
+    )
+    database = Database("bench")
+    table = database.create_table("resources", _schema())
+    table.create_index("kind", kind="hash")
+    table.create_index("quality", kind="sorted")
+    payload = build_rows(rows)
+
+    def timed(name: str, ops: int, fn) -> float:
+        start = time.perf_counter()
+        fn()
+        elapsed = max(time.perf_counter() - start, 1e-9)
+        result.add_row(name, ops, f"{elapsed:.4f}", f"{ops / elapsed:,.0f}")
+        return ops / elapsed
+
+    insert_rate = timed(
+        "insert (2 indexes)", rows, lambda: [table.insert(row) for row in payload]
+    )
+    timed(
+        "point query (hash index)",
+        1000,
+        lambda: [
+            Query(table).where(Eq("kind", "url")).limit(5).all() for _ in range(1000)
+        ],
+    )
+    timed(
+        "range query (sorted index)",
+        500,
+        lambda: [
+            Query(table).where(Between("quality", 0.40, 0.60)).count()
+            for _ in range(500)
+        ],
+    )
+
+    def transactional_updates() -> None:
+        for pk in range(1, 1001):
+            with database.transaction():
+                table.update(pk, {"n_posts": 99})
+
+    timed("transactional update", 1000, transactional_updates)
+    if wal_path is not None:
+        wal = WriteAheadLog(wal_path)
+        database.attach_wal(wal)
+        timed(
+            "WAL-journaled update",
+            500,
+            lambda: [table.update(pk, {"quality": 0.5}) for pk in range(1, 501)],
+        )
+        database.detach_wal()
+    result.check(
+        "the substrate sustains campaign workloads (>10k inserts/sec)",
+        insert_rate > 10_000,
+        f"{insert_rate:,.0f} inserts/sec",
+    )
+    database.verify()
+    return result

@@ -1,0 +1,127 @@
+"""EXP-T1 — Table I: strategy characteristics and ordering claims.
+
+Reproduces the paper's strategy comparison.  For each strategy we
+report, averaged over seeds:
+
+- mean oracle quality improvement (the objective of Sec. II),
+- number of low-quality resources remaining (FP's "Pro" row),
+- number of resources satisfying the quality requirement (MU's "Pro"),
+- mean observable (stability) quality.
+
+Claim checks encode Table I:
+
+- FC "may not improve tag quality of R significantly": FC captures a
+  small fraction of the best strategy's improvement.
+- FP "reduce[s] the number of resources with low tag quality": fewest
+  low-quality resources among {FC, MU} (within tolerance of FP-MU).
+- MU "increase[s] the number of resources that can satisfy a certain
+  quality requirement": at least as many above-threshold as FP/FC.
+- FP-MU "most effective in improving tag quality of R": improvement
+  within noise of the best, and >= FC by a wide margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.summarize import aggregate
+from .harness import CampaignSpec, run_campaign
+from .results import ExperimentResult
+
+__all__ = ["run", "DEFAULT_SPEC"]
+
+STRATEGIES = ("fc", "random", "fp", "mu", "fp-mu", "optimal")
+
+DEFAULT_SPEC = CampaignSpec(
+    n_resources=150,
+    initial_posts_total=1500,
+    population_size=100,
+    budget=500,
+    seeds=(1, 2, 3, 4, 5),
+)
+
+LOW_QUALITY_THRESHOLD = 0.40
+REQUIREMENT_THRESHOLD = 0.65
+
+
+def run(spec: CampaignSpec | None = None) -> ExperimentResult:
+    spec = spec if spec is not None else DEFAULT_SPEC
+    tau_low = float(spec.extra.get("tau_low", LOW_QUALITY_THRESHOLD))
+    tau_req = float(spec.extra.get("tau_req", REQUIREMENT_THRESHOLD))
+    result = ExperimentResult(
+        experiment_id="EXP-T1",
+        title="Table I — task allocation strategies",
+        params={
+            "n_resources": spec.n_resources,
+            "budget": spec.budget,
+            "seeds": list(spec.seeds),
+            "tau_low": tau_low,
+            "tau_req": tau_req,
+        },
+        header=[
+            "strategy",
+            "oracle improvement",
+            "low-quality left",
+            "satisfying q>=tau",
+            "observable quality",
+        ],
+    )
+    metrics: dict[str, dict[str, list[float]]] = {
+        name: {"imp": [], "low": [], "sat": [], "obs": []} for name in STRATEGIES
+    }
+    for name in STRATEGIES:
+        for seed in spec.seeds:
+            run_ = run_campaign(spec, seed, strategy=name)
+            per_resource = run_.final_per_resource_oracle()
+            metrics[name]["imp"].append(run_.result.oracle_improvement)
+            metrics[name]["low"].append(float((per_resource < tau_low).sum()))
+            metrics[name]["sat"].append(float((per_resource >= tau_req).sum()))
+            metrics[name]["obs"].append(run_.result.final_observable)
+    summary: dict[str, dict[str, float]] = {}
+    for name in STRATEGIES:
+        stats = {key: aggregate(values) for key, values in metrics[name].items()}
+        summary[name] = {key: stat.mean for key, stat in stats.items()}
+        result.add_row(
+            name,
+            f"{stats['imp'].mean:+.4f} ± {stats['imp'].std:.4f}",
+            f"{stats['low'].mean:.1f}",
+            f"{stats['sat'].mean:.1f}",
+            f"{stats['obs'].mean:.4f}",
+        )
+    _check_claims(result, summary)
+    return result
+
+
+def _check_claims(result: ExperimentResult, summary: dict[str, dict[str, float]]) -> None:
+    best_improvement = max(values["imp"] for values in summary.values())
+    fc = summary["fc"]
+    fp = summary["fp"]
+    mu = summary["mu"]
+    hybrid = summary["fp-mu"]
+    result.check(
+        "FC does not improve tag quality of R significantly",
+        fc["imp"] < 0.5 * best_improvement,
+        f"FC {fc['imp']:+.4f} vs best {best_improvement:+.4f}",
+    )
+    result.check(
+        "FP reduces the number of low-quality resources (vs FC and MU)",
+        fp["low"] <= mu["low"] + 2.0 and fp["low"] < 0.75 * fc["low"],
+        f"FP {fp['low']:.1f}, MU {mu['low']:.1f}, FC {fc['low']:.1f}",
+    )
+    result.check(
+        "MU increases the number of resources satisfying the quality requirement",
+        mu["sat"] + 1e-9 >= fp["sat"] and mu["sat"] > fc["sat"],
+        f"MU {mu['sat']:.1f}, FP {fp['sat']:.1f}, FC {fc['sat']:.1f}",
+    )
+    result.check(
+        "FP-MU is (near-)most effective in improving tag quality of R",
+        hybrid["imp"] >= 0.93 * best_improvement and hybrid["imp"] > 3 * fc["imp"],
+        f"FP-MU {hybrid['imp']:+.4f} vs best {best_improvement:+.4f}",
+    )
+    result.check(
+        "simple strategies are close to optimal (Sec. I)",
+        max(fp["imp"], mu["imp"], hybrid["imp"])
+        >= 0.9 * summary["optimal"]["imp"],
+        f"best simple {max(fp['imp'], mu['imp'], hybrid['imp']):+.4f} "
+        f"vs optimal {summary['optimal']['imp']:+.4f}",
+    )

@@ -1,0 +1,96 @@
+"""EXP-TH — MU's claim: resources satisfying a quality requirement.
+
+Sweeps the budget and counts, per strategy, how many resources end at
+oracle quality >= τ.  Table I credits MU with maximizing this count;
+FP-MU should match it, FC should barely move it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .harness import CampaignSpec, run_campaign
+from .results import ExperimentResult
+
+__all__ = ["run", "DEFAULT_SPEC"]
+
+STRATEGIES = ("fc", "fp", "mu", "fp-mu")
+
+DEFAULT_SPEC = CampaignSpec(
+    n_resources=150,
+    initial_posts_total=1500,
+    population_size=100,
+    budget=900,
+    seeds=(1, 2, 3),
+    extra={"tau": 0.65, "budget_points": (150, 300, 600, 900)},
+)
+
+
+def run(spec: CampaignSpec | None = None) -> ExperimentResult:
+    spec = spec if spec is not None else DEFAULT_SPEC
+    tau = float(spec.extra.get("tau", 0.65))
+    budget_points = tuple(spec.extra.get("budget_points", (150, 300, 600, 900)))
+    result = ExperimentResult(
+        experiment_id="EXP-TH",
+        title=f"Resources satisfying quality >= {tau} vs budget",
+        params={"tau": tau, "budgets": list(budget_points), "seeds": list(spec.seeds)},
+        header=["strategy", *(f"B={b}" for b in budget_points)],
+    )
+    counts: dict[str, list[float]] = {}
+    for name in STRATEGIES:
+        per_budget = []
+        for budget in budget_points:
+            budget_spec = _with_budget(spec, budget)
+            values = []
+            for seed in spec.seeds:
+                run_ = run_campaign(budget_spec, seed, strategy=name)
+                per_resource = run_.final_per_resource_oracle()
+                values.append(float((per_resource >= tau).sum()))
+            per_budget.append(float(np.mean(values)))
+        counts[name] = per_budget
+        result.add_row(name, *(f"{value:.1f}" for value in per_budget))
+        result.add_series(name, [float(b) for b in budget_points], per_budget)
+    _check_claims(result, counts)
+    return result
+
+
+def _with_budget(spec: CampaignSpec, budget: int) -> CampaignSpec:
+    return CampaignSpec(
+        n_resources=spec.n_resources,
+        initial_posts_total=spec.initial_posts_total,
+        population_size=spec.population_size,
+        budget=budget,
+        record_every=max(budget, 1),
+        seeds=spec.seeds,
+        dataset_config=spec.dataset_config,
+        quality_config=spec.quality_config,
+        mixture=spec.mixture,
+        profiles=spec.profiles,
+        extra=spec.extra,
+    )
+
+
+def _check_claims(result: ExperimentResult, counts: dict[str, list[float]]) -> None:
+    result.check(
+        "MU satisfies at least as many resources as FP at the final budget",
+        counts["mu"][-1] + 1e-9 >= counts["fp"][-1],
+        f"MU {counts['mu'][-1]:.1f} vs FP {counts['fp'][-1]:.1f}",
+    )
+    # At very small budgets MU is still bootstrapping the zero-post
+    # tail (instability needs >= 2 posts to be measurable), so FC's
+    # popularity ride can momentarily match it; the claim manifests
+    # from mid budget onward.
+    result.check(
+        "MU beats FC from mid budget onward",
+        all(mu > fc for mu, fc in zip(counts["mu"][-2:], counts["fc"][-2:])),
+        f"MU {counts['mu']}, FC {counts['fc']}",
+    )
+    result.check(
+        "FP-MU matches MU's satisfaction count (within 10%)",
+        counts["fp-mu"][-1] >= 0.9 * counts["mu"][-1],
+        f"FP-MU {counts['fp-mu'][-1]:.1f} vs MU {counts['mu'][-1]:.1f}",
+    )
+    result.check(
+        "satisfaction count grows with budget for informed strategies",
+        counts["mu"][-1] > counts["mu"][0] and counts["fp"][-1] > counts["fp"][0],
+    )

@@ -1,0 +1,44 @@
+"""Tagging-quality metrics (Sec. II): rfd stability, oracle quality,
+quality curves and marginal-gain models."""
+
+from .curves import QualityCurve, fit_quality_curve
+from .divergence import (
+    DISTANCES,
+    cosine_similarity,
+    distance,
+    hellinger,
+    js_divergence,
+    kl_divergence,
+    l2_distance,
+    total_variation,
+)
+from .estimator import QualityBoard
+from .gain import AnalyticGain, EstimatedGain, GainModel
+from .oracle import (
+    asymptotic_distribution,
+    concentration_coefficient,
+    corpus_oracle_quality,
+    expected_quality_at,
+    expected_quality_curve,
+    oracle_quality,
+)
+from .stability import (
+    EwmaStability,
+    SplitHalfStability,
+    StabilityEstimator,
+    WindowStability,
+    make_estimator,
+)
+
+__all__ = [
+    "total_variation", "l2_distance", "cosine_similarity", "kl_divergence",
+    "js_divergence", "hellinger", "distance", "DISTANCES",
+    "StabilityEstimator", "EwmaStability", "WindowStability",
+    "SplitHalfStability", "make_estimator",
+    "asymptotic_distribution", "oracle_quality", "corpus_oracle_quality",
+    "expected_quality_curve", "expected_quality_at",
+    "concentration_coefficient",
+    "QualityCurve", "fit_quality_curve",
+    "GainModel", "AnalyticGain", "EstimatedGain",
+    "QualityBoard",
+]

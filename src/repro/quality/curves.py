@@ -1,0 +1,105 @@
+"""Quality curves: parametric ``q(k)`` models fit from observations.
+
+The optimal allocator and the Quality Manager's "projected quality
+gains" (Sec. III-A) both need a per-resource curve ``k -> quality``.
+The parametric family is ``q(k) = q_max − a/√(k + b)`` (concave,
+saturating), fit by least squares on observed (k, quality) samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import least_squares
+
+__all__ = ["QualityCurve", "fit_quality_curve"]
+
+
+@dataclass(frozen=True)
+class QualityCurve:
+    """q(k) = clip(q_max − a / sqrt(k + b), 0, 1)."""
+
+    q_max: float
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if self.a < 0:
+            raise ValueError(f"a must be >= 0, got {self.a}")
+        if self.b <= 0:
+            raise ValueError(f"b must be > 0, got {self.b}")
+        if not 0.0 <= self.q_max <= 1.0:
+            raise ValueError(f"q_max must be in [0,1], got {self.q_max}")
+
+    def evaluate(self, k: int | float | np.ndarray) -> np.ndarray | float:
+        """q(k); unclipped below 0 so marginal gains stay concave.
+
+        (``q_max <= 1`` and ``a >= 0`` already bound it above by 1;
+        clipping below would zero the gains of barely-tagged resources
+        — see the discussion on ``expected_quality_at``.)
+        """
+        k_array = np.asarray(k, dtype=np.float64)
+        values = self.q_max - self.a / np.sqrt(k_array + self.b)
+        if np.isscalar(k) or k_array.ndim == 0:
+            return float(values)
+        return values
+
+    def marginal(self, k: int) -> float:
+        """Gain of the (k+1)-th post: q(k+1) − q(k); >= 0 by construction."""
+        return float(self.evaluate(k + 1)) - float(self.evaluate(k))
+
+    def marginals(self, start: int, count: int) -> np.ndarray:
+        """Vector of gains for posts start+1 .. start+count."""
+        ks = np.arange(start, start + count + 1, dtype=np.float64)
+        values = np.asarray(self.evaluate(ks))
+        return np.diff(values)
+
+    def is_concave(self, upto: int = 200) -> bool:
+        """Check diminishing marginal gains over k = 0..upto."""
+        gains = self.marginals(0, upto)
+        return bool(np.all(np.diff(gains) <= 1e-12))
+
+    def to_dict(self) -> dict:
+        return {"q_max": self.q_max, "a": self.a, "b": self.b}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QualityCurve":
+        return cls(q_max=data["q_max"], a=data["a"], b=data["b"])
+
+
+def fit_quality_curve(
+    ks: np.ndarray | list[int],
+    qualities: np.ndarray | list[float],
+    *,
+    q_max_bound: float = 1.0,
+) -> QualityCurve:
+    """Least-squares fit of the saturating-concave family.
+
+    Needs at least 3 samples; raises ``ValueError`` otherwise.  The fit
+    is robust to unsorted/duplicated k values.
+    """
+    ks = np.asarray(ks, dtype=np.float64)
+    qualities = np.asarray(qualities, dtype=np.float64)
+    if ks.shape != qualities.shape:
+        raise ValueError(f"shape mismatch: {ks.shape} vs {qualities.shape}")
+    if ks.size < 3:
+        raise ValueError(f"need >= 3 samples to fit a curve, got {ks.size}")
+    if np.any(ks < 0):
+        raise ValueError("k values must be >= 0")
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        q_max, a, b = params
+        prediction = q_max - a / np.sqrt(ks + b)
+        return prediction - qualities
+
+    q0 = float(np.clip(qualities.max(), 0.05, q_max_bound))
+    initial = np.array([q0, max(0.1, q0 - float(qualities.min())), 1.0])
+    result = least_squares(
+        residuals,
+        initial,
+        bounds=(np.array([0.0, 0.0, 1e-6]), np.array([q_max_bound, 10.0, 1e4])),
+        max_nfev=2000,
+    )
+    q_max, a, b = result.x
+    return QualityCurve(q_max=float(q_max), a=float(a), b=float(b))

@@ -1,0 +1,129 @@
+"""Distances and similarities between tag distributions.
+
+All functions take dense, aligned numpy vectors.  Inputs are validated
+to be non-negative; they are renormalized internally when they do not
+sum to one (all-zeros vectors are treated as "no information" and get
+maximum distance to anything with mass).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "total_variation",
+    "l2_distance",
+    "cosine_similarity",
+    "kl_divergence",
+    "js_divergence",
+    "hellinger",
+    "distance",
+    "DISTANCES",
+]
+
+_EPS = 1e-12
+
+
+def _as_distribution(vector: np.ndarray, name: str) -> np.ndarray:
+    array = np.asarray(vector, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {array.shape}")
+    if np.any(array < -_EPS):
+        raise ValueError(f"{name} has negative entries")
+    total = array.sum()
+    if total <= _EPS:
+        return array  # all-zero: handled by callers
+    return array / total
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """TV distance in [0, 1]; 0 iff equal, 1 iff disjoint support."""
+    p = _as_distribution(p, "p")
+    q = _as_distribution(q, "q")
+    if p.sum() <= _EPS and q.sum() <= _EPS:
+        return 0.0
+    if p.sum() <= _EPS or q.sum() <= _EPS:
+        return 1.0
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def l2_distance(p: np.ndarray, q: np.ndarray) -> float:
+    p = _as_distribution(p, "p")
+    q = _as_distribution(q, "q")
+    return float(np.linalg.norm(p - q))
+
+
+def cosine_similarity(p: np.ndarray, q: np.ndarray) -> float:
+    """Cosine similarity in [0, 1] for non-negative vectors."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    norm_p = np.linalg.norm(p)
+    norm_q = np.linalg.norm(q)
+    if norm_p <= _EPS and norm_q <= _EPS:
+        return 1.0
+    if norm_p <= _EPS or norm_q <= _EPS:
+        return 0.0
+    return float(np.clip(np.dot(p, q) / (norm_p * norm_q), 0.0, 1.0))
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray, *, smoothing: float = 1e-9) -> float:
+    """KL(p || q) with additive smoothing to keep it finite."""
+    p = _as_distribution(p, "p")
+    q = _as_distribution(q, "q")
+    if p.sum() <= _EPS:
+        return 0.0
+    p_s = (p + smoothing) / (p + smoothing).sum()
+    q_s = (q + smoothing) / (q + smoothing).sum()
+    return float(np.sum(p_s * np.log(p_s / q_s)))
+
+
+def js_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """Jensen-Shannon divergence, base-2 logs, range [0, 1]."""
+    p = _as_distribution(p, "p")
+    q = _as_distribution(q, "q")
+    zero_p = p.sum() <= _EPS
+    zero_q = q.sum() <= _EPS
+    if zero_p and zero_q:
+        return 0.0
+    if zero_p or zero_q:
+        return 1.0
+    mixture = 0.5 * (p + q)
+
+    def _half(term: np.ndarray) -> float:
+        mask = term > _EPS
+        return float(np.sum(term[mask] * np.log2(term[mask] / mixture[mask])))
+
+    return float(np.clip(0.5 * _half(p) + 0.5 * _half(q), 0.0, 1.0))
+
+
+def hellinger(p: np.ndarray, q: np.ndarray) -> float:
+    """Hellinger distance in [0, 1]."""
+    p = _as_distribution(p, "p")
+    q = _as_distribution(q, "q")
+    zero_p = p.sum() <= _EPS
+    zero_q = q.sum() <= _EPS
+    if zero_p and zero_q:
+        return 0.0
+    if zero_p or zero_q:
+        return 1.0
+    return float(np.sqrt(np.clip(0.5 * np.sum((np.sqrt(p) - np.sqrt(q)) ** 2), 0.0, 1.0)))
+
+
+def _cosine_distance(p: np.ndarray, q: np.ndarray) -> float:
+    return 1.0 - cosine_similarity(p, q)
+
+
+DISTANCES = {
+    "tv": total_variation,
+    "l2": l2_distance,
+    "js": js_divergence,
+    "hellinger": hellinger,
+    "cosine": _cosine_distance,
+}
+
+
+def distance(name: str, p: np.ndarray, q: np.ndarray) -> float:
+    """Dispatch by configured distance name (see QualityConfig.distance)."""
+    if name not in DISTANCES:
+        raise ValueError(f"unknown distance {name!r}; have {sorted(DISTANCES)}")
+    return DISTANCES[name](p, q)

@@ -1,0 +1,117 @@
+"""System-facing quality facade.
+
+The Quality Manager (Sec. III-A) needs, for every resource: the current
+observable quality, the corpus average, the quality history (for the
+project-details chart, Fig. 5), and threshold bucketing (good / low
+quality) for the promote/stop UI.  This facade owns a stability
+estimator and caches per-resource scores keyed by post count, so
+repeated reads during one allocation round are O(1).
+"""
+
+from __future__ import annotations
+
+from ..config import QualityConfig
+from ..tagging.corpus import Corpus
+from ..tagging.resource import TaggedResource
+from .stability import StabilityEstimator, make_estimator
+
+__all__ = ["QualityBoard"]
+
+
+class QualityBoard:
+    """Tracks observable quality for every resource of a corpus."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        config: QualityConfig | None = None,
+        estimator: StabilityEstimator | None = None,
+    ) -> None:
+        self.corpus = corpus
+        self.config = (config or QualityConfig()).validate()
+        self.estimator = estimator if estimator is not None else make_estimator(self.config)
+        # cache: resource id -> (n_posts when scored, score)
+        self._cache: dict[int, tuple[int, float]] = {}
+        self._history: dict[int, list[tuple[int, float]]] = {}
+
+    # ------------------------------------------------------------------
+
+    def quality_of(self, resource_id: int) -> float:
+        """Observable quality of one resource (cached by post count)."""
+        resource = self.corpus.resource(resource_id)
+        cached = self._cache.get(resource_id)
+        if cached is not None and cached[0] == resource.n_posts:
+            return cached[1]
+        score = self.estimator.quality(resource)
+        self._cache[resource_id] = (resource.n_posts, score)
+        history = self._history.setdefault(resource_id, [])
+        if not history or history[-1][0] != resource.n_posts:
+            history.append((resource.n_posts, score))
+        return score
+
+    def instability_of(self, resource_id: int) -> float:
+        return 1.0 - self.quality_of(resource_id)
+
+    def qualities(self) -> dict[int, float]:
+        return {
+            resource_id: self.quality_of(resource_id)
+            for resource_id in self.corpus.resource_ids()
+        }
+
+    def average_quality(self) -> float:
+        """The paper's q(R, k⃗) on observable scores."""
+        ids = self.corpus.resource_ids()
+        if not ids:
+            return 0.0
+        return sum(self.quality_of(resource_id) for resource_id in ids) / len(ids)
+
+    # ------------------------------------------------------------------
+
+    def history_of(self, resource_id: int) -> list[tuple[int, float]]:
+        """(post count, quality) samples observed so far (Fig. 6 chart)."""
+        self.quality_of(resource_id)
+        return list(self._history.get(resource_id, []))
+
+    def below(self, threshold: float) -> list[int]:
+        """Resource ids with quality < threshold (the low-quality set)."""
+        return [
+            resource_id
+            for resource_id in self.corpus.resource_ids()
+            if self.quality_of(resource_id) < threshold
+        ]
+
+    def at_least(self, threshold: float) -> list[int]:
+        """Resource ids satisfying the quality requirement (MU's target)."""
+        return [
+            resource_id
+            for resource_id in self.corpus.resource_ids()
+            if self.quality_of(resource_id) >= threshold
+        ]
+
+    def most_unstable(self, count: int = 1) -> list[int]:
+        """The ``count`` resources with highest instability (MU's pick).
+
+        Ties break toward fewer posts, then lower id — deterministic.
+        """
+        scored = [
+            (
+                -self.instability_of(resource_id),
+                self.corpus.resource(resource_id).n_posts,
+                resource_id,
+            )
+            for resource_id in self.corpus.resource_ids()
+        ]
+        scored.sort()
+        return [resource_id for _neg, _posts, resource_id in scored[:count]]
+
+    def invalidate(self, resource_id: int | None = None) -> None:
+        """Drop cached scores (all, or one resource)."""
+        if resource_id is None:
+            self._cache.clear()
+            return
+        self._cache.pop(resource_id, None)
+
+    def observe(self, resource: TaggedResource) -> float:
+        """Convenience: refresh and return the score after a new post."""
+        self._cache.pop(resource.resource_id, None)
+        return self.quality_of(resource.resource_id)

@@ -1,0 +1,116 @@
+"""Marginal-gain models for budget allocation.
+
+The optimal allocator repeatedly asks: "if resource i gets one more
+post, how much does corpus quality rise?"  Two answers:
+
+- :class:`AnalyticGain` — closed-form expected gain from the oracle
+  curve ``1 − a_i/√(k+1)`` (simulation-only; used by the optimal
+  strategy the demo compares against).
+- :class:`EstimatedGain` — gain from a fitted :class:`QualityCurve`
+  over *observed* stability scores (what a deployed iTag could use for
+  projected-gain feedback, Sec. III-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tagging.corpus import Corpus
+from .curves import QualityCurve, fit_quality_curve
+from .oracle import concentration_coefficient, expected_quality_at
+
+__all__ = ["GainModel", "AnalyticGain", "EstimatedGain"]
+
+
+class GainModel:
+    """Maps (resource id, current posts k) -> expected gain of post k+1."""
+
+    def gain(self, resource_id: int, k: int) -> float:
+        raise NotImplementedError
+
+    def quality(self, resource_id: int, k: int) -> float:
+        raise NotImplementedError
+
+    def gain_table(self, resource_id: int, k0: int, budget: int) -> np.ndarray:
+        """Gains of the next ``budget`` posts starting from ``k0``."""
+        return np.array(
+            [self.gain(resource_id, k0 + j) for j in range(budget)],
+            dtype=np.float64,
+        )
+
+
+class AnalyticGain(GainModel):
+    """Oracle expected gains from per-resource concentration coefficients."""
+
+    def __init__(
+        self,
+        targets: dict[int, np.ndarray],
+        mean_post_size: float,
+    ) -> None:
+        if mean_post_size <= 0:
+            raise ValueError("mean_post_size must be positive")
+        self._coefficients = {
+            resource_id: concentration_coefficient(target, mean_post_size)
+            for resource_id, target in targets.items()
+        }
+
+    @classmethod
+    def from_corpus(cls, corpus: Corpus, mean_post_size: float) -> "AnalyticGain":
+        targets = {}
+        for resource in corpus:
+            if resource.theta is None:
+                raise ValueError(
+                    f"resource {resource.resource_id} has no theta; "
+                    "AnalyticGain needs simulated resources"
+                )
+            targets[resource.resource_id] = resource.theta
+        return cls(targets, mean_post_size)
+
+    def coefficient(self, resource_id: int) -> float:
+        if resource_id not in self._coefficients:
+            raise KeyError(f"no gain coefficient for resource {resource_id}")
+        return self._coefficients[resource_id]
+
+    def quality(self, resource_id: int, k: int) -> float:
+        return float(expected_quality_at(k, self.coefficient(resource_id)))
+
+    def gain(self, resource_id: int, k: int) -> float:
+        coefficient = self.coefficient(resource_id)
+        now = float(expected_quality_at(k, coefficient))
+        then = float(expected_quality_at(k + 1, coefficient))
+        return max(0.0, then - now)
+
+
+class EstimatedGain(GainModel):
+    """Gains from quality curves fit to observed (k, quality) samples."""
+
+    def __init__(self, curves: dict[int, QualityCurve]) -> None:
+        self._curves = dict(curves)
+
+    @classmethod
+    def fit(
+        cls, samples: dict[int, list[tuple[int, float]]]
+    ) -> "EstimatedGain":
+        """``samples``: resource id -> [(k, observed quality), ...]."""
+        curves: dict[int, QualityCurve] = {}
+        for resource_id, points in samples.items():
+            if len(points) < 3:
+                continue
+            ks = [k for k, _quality in points]
+            qs = [quality for _k, quality in points]
+            curves[resource_id] = fit_quality_curve(ks, qs)
+        return cls(curves)
+
+    def has_curve(self, resource_id: int) -> bool:
+        return resource_id in self._curves
+
+    def curve(self, resource_id: int) -> QualityCurve:
+        if resource_id not in self._curves:
+            raise KeyError(f"no fitted curve for resource {resource_id}")
+        return self._curves[resource_id]
+
+    def quality(self, resource_id: int, k: int) -> float:
+        return float(self.curve(resource_id).evaluate(k))
+
+    def gain(self, resource_id: int, k: int) -> float:
+        return max(0.0, self.curve(resource_id).marginal(k))

@@ -1,0 +1,129 @@
+"""Observable quality: stability of the rfd as posts arrive (Sec. II).
+
+The paper defines ``q_i(k_i)`` "based on the stability of relative
+frequency distributions of the tags given to r_i".  The running system
+cannot see the latent distribution, so it estimates stability from the
+rfd trajectory.  Three estimators are provided:
+
+- ``ewma`` (default): 1 − EWMA of total-variation distances between
+  consecutive rfds.  Cheap (consumes the per-post deltas resources
+  already track) and responsive.
+- ``window``: 1 − mean of the last ``window`` consecutive-rfd distances.
+- ``split_half``: 1 − distance between the rfds of the first and second
+  half of the post sequence (a classic stability diagnostic; needs a
+  replay, so it is the most expensive).
+
+All estimators return values in [0, 1]; resources with fewer than
+``min_posts_for_estimate`` posts score 0 — nothing is stable yet, which
+is exactly why MU prioritizes them last only after they have evidence.
+"""
+
+from __future__ import annotations
+
+from ..config import QualityConfig
+from ..tagging.resource import TaggedResource
+from ..tagging.rfd import TagCounter
+from .divergence import distance
+
+__all__ = [
+    "StabilityEstimator",
+    "EwmaStability",
+    "WindowStability",
+    "SplitHalfStability",
+    "make_estimator",
+]
+
+
+class StabilityEstimator:
+    """Base: maps a resource's observable state to quality in [0, 1]."""
+
+    name = "base"
+
+    def __init__(self, config: QualityConfig | None = None) -> None:
+        self.config = (config or QualityConfig()).validate()
+
+    def quality(self, resource: TaggedResource) -> float:
+        if resource.n_posts < self.config.min_posts_for_estimate:
+            return 0.0
+        value = self._estimate(resource)
+        return float(min(1.0, max(0.0, value)))
+
+    def _estimate(self, resource: TaggedResource) -> float:
+        raise NotImplementedError
+
+    def instability(self, resource: TaggedResource) -> float:
+        """1 − quality; the sort key of the MU strategy."""
+        return 1.0 - self.quality(resource)
+
+
+class EwmaStability(StabilityEstimator):
+    """Exponentially weighted average of successive-rfd TV distances."""
+
+    name = "ewma"
+
+    def _estimate(self, resource: TaggedResource) -> float:
+        deltas = resource.successive_deltas
+        if not deltas:
+            return 0.0
+        alpha = self.config.ewma_alpha
+        ewma = deltas[0]
+        for delta in deltas[1:]:
+            ewma = alpha * delta + (1.0 - alpha) * ewma
+        return 1.0 - ewma
+
+
+class WindowStability(StabilityEstimator):
+    """Plain average of the last ``window`` successive-rfd distances."""
+
+    name = "window"
+
+    def _estimate(self, resource: TaggedResource) -> float:
+        deltas = resource.successive_deltas
+        if not deltas:
+            return 0.0
+        recent = deltas[-self.config.window:]
+        return 1.0 - sum(recent) / len(recent)
+
+
+class SplitHalfStability(StabilityEstimator):
+    """1 − distance between first-half and second-half rfds."""
+
+    name = "split_half"
+
+    def _estimate(self, resource: TaggedResource) -> float:
+        posts = resource.posts
+        half = len(posts) // 2
+        if half == 0:
+            return 0.0
+        first = TagCounter()
+        second = TagCounter()
+        for post in posts[:half]:
+            first.add_post(post)
+        for post in posts[half:]:
+            second.add_post(post)
+        size = _max_tag_id(posts) + 1
+        gap = distance(
+            self.config.distance, first.vector(size), second.vector(size)
+        )
+        return 1.0 - gap
+
+
+def _max_tag_id(posts) -> int:
+    highest = 0
+    for post in posts:
+        if post.tag_ids:
+            highest = max(highest, post.tag_ids[-1])
+    return highest
+
+
+_ESTIMATORS = {
+    "ewma": EwmaStability,
+    "window": WindowStability,
+    "split_half": SplitHalfStability,
+}
+
+
+def make_estimator(config: QualityConfig | None = None) -> StabilityEstimator:
+    """Instantiate the estimator selected by ``config.estimator``."""
+    config = (config or QualityConfig()).validate()
+    return _ESTIMATORS[config.estimator](config)

@@ -1,0 +1,64 @@
+"""Embedded relational store — the MySQL substitute for the iTag system.
+
+Public surface::
+
+    from repro.store import Database, Schema, Column, DataType, Query, Eq
+
+    db = Database("itag")
+    db.create_table("resources", Schema([
+        Column("id", DataType.INT),
+        Column("name", DataType.TEXT, unique=True),
+        Column("quality", DataType.FLOAT, nullable=True),
+    ], primary_key="id"))
+"""
+
+from .database import Database
+from .errors import (
+    ConstraintError,
+    DuplicateKeyError,
+    QueryError,
+    RowNotFoundError,
+    SchemaError,
+    StoreError,
+    TransactionError,
+    UnknownColumnError,
+    UnknownTableError,
+    WalError,
+)
+from .index import HashIndex, SortedIndex
+from .persist import export_table_csv, load_database, save_database
+from .query import (
+    And,
+    Between,
+    Contains,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    TruePredicate,
+    hash_join,
+)
+from .schema import Column, Schema
+from .table import Table
+from .transaction import Transaction
+from .types import DataType
+from .wal import WriteAheadLog
+
+__all__ = [
+    "Database", "Table", "Schema", "Column", "DataType", "Transaction",
+    "WriteAheadLog", "Query", "Predicate", "TruePredicate",
+    "Eq", "Ne", "Lt", "Le", "Gt", "Ge", "In", "Between", "Contains",
+    "And", "Or", "Not", "hash_join",
+    "HashIndex", "SortedIndex",
+    "save_database", "load_database", "export_table_csv",
+    "StoreError", "SchemaError", "ConstraintError", "DuplicateKeyError",
+    "RowNotFoundError", "UnknownTableError", "UnknownColumnError",
+    "TransactionError", "QueryError", "WalError",
+]

@@ -1,0 +1,178 @@
+"""The database object: a named collection of tables with transactions
+and an optional write-ahead log."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .errors import TransactionError, UnknownTableError
+from .schema import Schema
+from .table import ChangeEvent, Table
+from .transaction import Transaction
+from .wal import WriteAheadLog
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An embedded, in-memory relational database.
+
+    >>> db = Database("itag")
+    >>> db.create_table("resources", schema)
+    >>> with db.transaction():
+    ...     db.table("resources").insert({"name": "url-1", ...})
+    """
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._transaction: Transaction | None = None
+        self._wal: WriteAheadLog | None = None
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        if name in self._tables:
+            raise TransactionError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        table.add_listener(self._on_change)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise UnknownTableError(f"no table {name!r} to drop")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise UnknownTableError(
+                f"unknown table {name!r}; have {sorted(self._tables)}"
+            )
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def transaction(self) -> Transaction:
+        """Create a transaction; use as a context manager (see Transaction)."""
+        return Transaction(self)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._transaction is not None
+
+    def _begin_transaction(self, transaction: Transaction) -> None:
+        if self._transaction is not None:
+            raise TransactionError(
+                f"database {self.name!r}: nested transactions are not supported"
+            )
+        self._transaction = transaction
+
+    def _end_transaction(self, transaction: Transaction) -> None:
+        if self._transaction is not transaction:
+            raise TransactionError("ending a transaction that is not active")
+        self._transaction = None
+
+    # ------------------------------------------------------------------
+    # change routing (undo log + WAL)
+    # ------------------------------------------------------------------
+
+    def _on_change(self, event: ChangeEvent) -> None:
+        if self._transaction is not None:
+            self._transaction._observe(event)
+        if self._wal is not None:
+            self._wal.append(event)
+
+    # ------------------------------------------------------------------
+    # WAL
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, wal: WriteAheadLog) -> None:
+        """Start journaling committed changes to ``wal``.
+
+        Note: changes rolled back by a transaction are journaled along
+        with their inverse applications, so replay reproduces the same
+        final state (physical logging).
+        """
+        self._wal = wal
+
+    def detach_wal(self) -> WriteAheadLog | None:
+        wal, self._wal = self._wal, None
+        return wal
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        return self._wal
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot the database and truncate the WAL (if attached)."""
+        snapshot = self.to_snapshot()
+        if self._wal is not None:
+            self._wal.truncate()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def to_snapshot(self) -> dict[str, Any]:
+        """Full JSON-serializable image: schemas + rows of every table.
+
+        Rows are serialized in primary-key order so the snapshot is a
+        canonical representation: two databases with equal logical
+        content produce equal snapshots regardless of operation history.
+        """
+        return {
+            "name": self.name,
+            "tables": {
+                name: {
+                    "schema": table.schema.to_dict(),
+                    "rows": sorted(
+                        table.scan(),
+                        key=lambda row: row[table.schema.primary_key],
+                    ),
+                    "indexes": [
+                        {"column": column, "kind": index.kind}
+                        for column, index in (
+                            (column, table.index_for(column))
+                            for column in table.index_columns()
+                        )
+                        if index is not None
+                    ],
+                }
+                for name, table in self._tables.items()
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict[str, Any]) -> "Database":
+        database = cls(snapshot.get("name", "db"))
+        for table_name, payload in snapshot["tables"].items():
+            schema = Schema.from_dict(payload["schema"])
+            table = database.create_table(table_name, schema)
+            for index_info in payload.get("indexes", []):
+                if table.index_for(index_info["column"]) is None:
+                    table.create_index(index_info["column"], kind=index_info["kind"])
+                elif index_info["kind"] == "sorted":
+                    table.create_index(index_info["column"], kind="sorted")
+            for row in payload["rows"]:
+                table.apply("insert", row[schema.primary_key], row)
+        return database
+
+    def verify(self) -> None:
+        """Run internal consistency checks across all tables."""
+        for table in self._tables.values():
+            table.verify_indexes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.name!r}, tables={self.table_names()})"

@@ -1,0 +1,45 @@
+"""Errors raised by the embedded relational store."""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+class StoreError(ReproError):
+    """Base class for storage-layer errors."""
+
+
+class SchemaError(StoreError):
+    """A schema definition or a row violates the declared schema."""
+
+
+class ConstraintError(StoreError):
+    """A NOT NULL / UNIQUE / type constraint was violated."""
+
+
+class DuplicateKeyError(ConstraintError):
+    """An insert or update would duplicate a primary or unique key."""
+
+
+class RowNotFoundError(StoreError):
+    """No row exists for the given primary key."""
+
+
+class UnknownTableError(StoreError):
+    """The database has no table with the given name."""
+
+
+class UnknownColumnError(StoreError):
+    """A query or schema operation referenced a column that does not exist."""
+
+
+class TransactionError(StoreError):
+    """Illegal transaction usage (nested begin, commit without begin, ...)."""
+
+
+class QueryError(StoreError):
+    """A query is malformed (bad predicate, bad aggregate, ...)."""
+
+
+class WalError(StoreError):
+    """The write-ahead log is corrupt or cannot be replayed."""

@@ -1,0 +1,192 @@
+"""Secondary indexes: hash (equality) and sorted (range) indexes.
+
+Indexes map column values to sets of primary keys and are maintained by
+:class:`repro.store.table.Table` on every insert/update/delete.  ``None``
+values are indexed too (equality lookups for ``None`` are legal);
+sorted indexes keep ``None`` out of the ordered array and track it in a
+side set, because ``None`` does not compare with other values.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Hashable, Iterator
+
+__all__ = ["HashIndex", "SortedIndex"]
+
+
+class HashIndex:
+    """Equality index: value -> set of primary keys."""
+
+    kind = "hash"
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._buckets: dict[Hashable, set[Any]] = {}
+
+    def add(self, value: Hashable, pk: Any) -> None:
+        self._buckets.setdefault(value, set()).add(pk)
+
+    def remove(self, value: Hashable, pk: Any) -> None:
+        bucket = self._buckets.get(value)
+        if bucket is None:
+            return
+        bucket.discard(pk)
+        if not bucket:
+            del self._buckets[value]
+
+    def lookup(self, value: Hashable) -> set[Any]:
+        return set(self._buckets.get(value, ()))
+
+    def lookup_many(self, values: Iterator[Hashable]) -> set[Any]:
+        out: set[Any] = set()
+        for value in values:
+            out |= self._buckets.get(value, set())
+        return out
+
+    def distinct_values(self) -> list[Hashable]:
+        return list(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+
+class SortedIndex:
+    """Order index: parallel sorted arrays of (value, pk) for range scans.
+
+    Duplicate values are allowed; within one value, pk order is the
+    insertion-sorted (value, pk) order, which is deterministic.
+    """
+
+    kind = "sorted"
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._keys: list[tuple[Any, Any]] = []
+        self._nulls: set[Any] = set()
+
+    def add(self, value: Any, pk: Any) -> None:
+        if value is None:
+            self._nulls.add(pk)
+            return
+        bisect.insort(self._keys, (value, _PkKey(pk)))
+
+    def remove(self, value: Any, pk: Any) -> None:
+        if value is None:
+            self._nulls.discard(pk)
+            return
+        entry = (value, _PkKey(pk))
+        position = bisect.bisect_left(self._keys, entry)
+        if position < len(self._keys) and self._keys[position] == entry:
+            del self._keys[position]
+
+    def lookup(self, value: Any) -> set[Any]:
+        if value is None:
+            return set(self._nulls)
+        lo = bisect.bisect_left(self._keys, (value, _PK_MIN))
+        hi = bisect.bisect_right(self._keys, (value, _PK_MAX))
+        return {entry[1].pk for entry in self._keys[lo:hi]}
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[Any]:
+        """Primary keys with ``low <= value <= high`` in value order.
+
+        ``None`` bounds mean unbounded on that side; rows whose value is
+        ``None`` never match a range scan (SQL-like semantics).
+        """
+        if low is None:
+            lo = 0
+        elif include_low:
+            lo = bisect.bisect_left(self._keys, (low, _PK_MIN))
+        else:
+            lo = bisect.bisect_right(self._keys, (low, _PK_MAX))
+        if high is None:
+            hi = len(self._keys)
+        elif include_high:
+            hi = bisect.bisect_right(self._keys, (high, _PK_MAX))
+        else:
+            hi = bisect.bisect_left(self._keys, (high, _PK_MIN))
+        return [entry[1].pk for entry in self._keys[lo:hi]]
+
+    def min_pks(self, count: int) -> list[Any]:
+        """Primary keys of the ``count`` smallest values (value order)."""
+        return [entry[1].pk for entry in self._keys[:count]]
+
+    def max_pks(self, count: int) -> list[Any]:
+        """Primary keys of the ``count`` largest values (descending)."""
+        if count <= 0:
+            return []
+        return [entry[1].pk for entry in reversed(self._keys[-count:])]
+
+    def __len__(self) -> int:
+        return len(self._keys) + len(self._nulls)
+
+    def clear(self) -> None:
+        self._keys.clear()
+        self._nulls.clear()
+
+
+class _PkKey:
+    """Wrapper making heterogeneous primary keys totally ordered.
+
+    Orders by ``(type name, value)`` so int and str pks can share an
+    index without raising ``TypeError`` during bisection.
+    """
+
+    __slots__ = ("pk",)
+
+    def __init__(self, pk: Any) -> None:
+        self.pk = pk
+
+    def _key(self) -> tuple[str, Any]:
+        return (type(self.pk).__name__, self.pk)
+
+    def __lt__(self, other: "_PkKey") -> bool:
+        if isinstance(other, _Sentinel):
+            return not other.is_min
+        return self._key() < other._key()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _PkKey):
+            return self.pk == other.pk
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.pk)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"_PkKey({self.pk!r})"
+
+
+class _Sentinel(_PkKey):
+    """Compares below (min) or above (max) every real primary key."""
+
+    __slots__ = ("is_min",)
+
+    def __init__(self, is_min: bool) -> None:
+        super().__init__(None)
+        self.is_min = is_min
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, _Sentinel):
+            return self.is_min and not other.is_min
+        return self.is_min
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+_PK_MIN = _Sentinel(is_min=True)
+_PK_MAX = _Sentinel(is_min=False)

@@ -1,0 +1,68 @@
+"""Persistence helpers: save/load database snapshots, CSV export."""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import json
+from pathlib import Path
+from typing import Any
+
+from .database import Database
+from .errors import StoreError
+
+__all__ = ["save_database", "load_database", "export_table_csv"]
+
+
+def save_database(database: Database, path: str | Path) -> Path:
+    """Write a full snapshot as JSON (gzip if the suffix is ``.gz``)."""
+    path = Path(path)
+    payload = json.dumps(database.to_snapshot(), sort_keys=True)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(payload)
+    else:
+        path.write_text(payload, encoding="utf-8")
+    return path
+
+
+def load_database(path: str | Path) -> Database:
+    """Load a snapshot written by :func:`save_database`."""
+    path = Path(path)
+    if not path.exists():
+        raise StoreError(f"no database snapshot at {path}")
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = handle.read()
+    else:
+        payload = path.read_text(encoding="utf-8")
+    try:
+        snapshot = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise StoreError(f"corrupt database snapshot at {path}: {exc}") from exc
+    return Database.from_snapshot(snapshot)
+
+
+def export_table_csv(database: Database, table_name: str, path: str | Path) -> Path:
+    """Export one table to CSV with a header row.
+
+    JSON columns are serialized as compact JSON strings so the CSV stays
+    one-value-per-cell.
+    """
+    table = database.table(table_name)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns = table.schema.column_names
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for row in table.scan():
+            writer.writerow([_cell(row[name]) for name in columns])
+    return path
+
+
+def _cell(value: Any) -> Any:
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True)
+    return value

@@ -1,0 +1,469 @@
+"""Query layer: composable predicates, ordered scans, joins, aggregates.
+
+The planner is deliberately simple but real: an equality predicate on an
+indexed column uses the index; a comparison predicate on a sorted index
+uses a range scan; everything else falls back to a full scan with
+predicate evaluation.  ``explain()`` reports which path was taken so
+tests can assert index usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from .errors import QueryError, UnknownColumnError
+from .index import HashIndex, SortedIndex
+from .table import Table
+
+__all__ = [
+    "Predicate", "Eq", "Ne", "Lt", "Le", "Gt", "Ge", "In", "Between",
+    "Contains", "And", "Or", "Not", "TruePredicate",
+    "Query", "hash_join",
+]
+
+
+class Predicate:
+    """Base predicate; subclasses implement ``matches(row)``."""
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+class TruePredicate(Predicate):
+    """Matches every row (the default WHERE clause)."""
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class _ColumnPredicate(Predicate):
+    column: str
+    value: Any = None
+
+    def _get(self, row: dict[str, Any]) -> Any:
+        if self.column not in row:
+            raise UnknownColumnError(f"predicate references unknown column {self.column!r}")
+        return row[self.column]
+
+
+class Eq(_ColumnPredicate):
+    def matches(self, row: dict[str, Any]) -> bool:
+        return self._get(row) == self.value
+
+
+class Ne(_ColumnPredicate):
+    def matches(self, row: dict[str, Any]) -> bool:
+        return self._get(row) != self.value
+
+
+class _OrderedPredicate(_ColumnPredicate):
+    def _cmp_value(self, row: dict[str, Any]) -> Any:
+        value = self._get(row)
+        if value is None:
+            return _NULL
+        return value
+
+
+_NULL = object()
+
+
+class Lt(_OrderedPredicate):
+    def matches(self, row: dict[str, Any]) -> bool:
+        value = self._cmp_value(row)
+        return value is not _NULL and value < self.value
+
+
+class Le(_OrderedPredicate):
+    def matches(self, row: dict[str, Any]) -> bool:
+        value = self._cmp_value(row)
+        return value is not _NULL and value <= self.value
+
+
+class Gt(_OrderedPredicate):
+    def matches(self, row: dict[str, Any]) -> bool:
+        value = self._cmp_value(row)
+        return value is not _NULL and value > self.value
+
+
+class Ge(_OrderedPredicate):
+    def matches(self, row: dict[str, Any]) -> bool:
+        value = self._cmp_value(row)
+        return value is not _NULL and value >= self.value
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    column: str
+    values: tuple
+
+    def __init__(self, column: str, values: Iterable[Any]) -> None:
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", tuple(values))
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        if self.column not in row:
+            raise UnknownColumnError(f"predicate references unknown column {self.column!r}")
+        return row[self.column] in self.values
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    column: str
+    low: Any
+    high: Any
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        if self.column not in row:
+            raise UnknownColumnError(f"predicate references unknown column {self.column!r}")
+        value = row[self.column]
+        if value is None:
+            return False
+        return self.low <= value <= self.high
+
+
+@dataclass(frozen=True)
+class Contains(Predicate):
+    """Substring match on TEXT columns (case-insensitive)."""
+
+    column: str
+    needle: str
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        if self.column not in row:
+            raise UnknownColumnError(f"predicate references unknown column {self.column!r}")
+        value = row[self.column]
+        if not isinstance(value, str):
+            return False
+        return self.needle.lower() in value.lower()
+
+
+class And(Predicate):
+    def __init__(self, *parts: Predicate) -> None:
+        if not parts:
+            raise QueryError("And() needs at least one predicate")
+        self.parts = parts
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return all(part.matches(row) for part in self.parts)
+
+
+class Or(Predicate):
+    def __init__(self, *parts: Predicate) -> None:
+        if not parts:
+            raise QueryError("Or() needs at least one predicate")
+        self.parts = parts
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return any(part.matches(row) for part in self.parts)
+
+
+class Not(Predicate):
+    def __init__(self, inner: Predicate) -> None:
+        self.inner = inner
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return not self.inner.matches(row)
+
+
+# ----------------------------------------------------------------------
+# Query
+# ----------------------------------------------------------------------
+
+
+class Query:
+    """Fluent query over one table.
+
+    >>> Query(table).where(Eq("status", "running")).order_by("quality",
+    ...     descending=True).limit(10).all()
+    """
+
+    def __init__(self, table: Table) -> None:
+        self._table = table
+        self._predicate: Predicate = TruePredicate()
+        self._order_column: str | None = None
+        self._order_descending = False
+        self._limit: int | None = None
+        self._offset = 0
+        self._projection: list[str] | None = None
+        self._last_plan = "none"
+
+    # builder steps ----------------------------------------------------
+
+    def where(self, predicate: Predicate) -> "Query":
+        if isinstance(self._predicate, TruePredicate):
+            self._predicate = predicate
+        else:
+            self._predicate = And(self._predicate, predicate)
+        return self
+
+    def order_by(self, column: str, *, descending: bool = False) -> "Query":
+        if not self._table.schema.has_column(column):
+            raise UnknownColumnError(
+                f"order_by: unknown column {column!r} on table {self._table.name!r}"
+            )
+        self._order_column = column
+        self._order_descending = descending
+        return self
+
+    def limit(self, count: int) -> "Query":
+        if count < 0:
+            raise QueryError(f"limit must be >= 0, got {count}")
+        self._limit = count
+        return self
+
+    def offset(self, count: int) -> "Query":
+        if count < 0:
+            raise QueryError(f"offset must be >= 0, got {count}")
+        self._offset = count
+        return self
+
+    def select(self, columns: list[str]) -> "Query":
+        for name in columns:
+            if not self._table.schema.has_column(name):
+                raise UnknownColumnError(
+                    f"select: unknown column {name!r} on table {self._table.name!r}"
+                )
+        self._projection = list(columns)
+        return self
+
+    # execution ----------------------------------------------------------
+
+    def all(self) -> list[dict[str, Any]]:
+        rows = self._candidate_rows()
+        rows = [row for row in rows if self._predicate.matches(row)]
+        if self._order_column is not None:
+            rows.sort(
+                key=lambda row: _order_key(row[self._order_column]),
+                reverse=self._order_descending,
+            )
+        if self._offset:
+            rows = rows[self._offset:]
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        if self._projection is not None:
+            rows = [{name: row[name] for name in self._projection} for row in rows]
+        return rows
+
+    def first(self) -> dict[str, Any] | None:
+        results = self.limit(1).all() if self._limit is None else self.all()
+        return results[0] if results else None
+
+    def count(self) -> int:
+        return len(self.all())
+
+    def pks(self) -> list[Any]:
+        pk_name = self._table.schema.primary_key
+        return [row[pk_name] for row in self.all()]
+
+    def distinct(self, column: str) -> list[Any]:
+        """Distinct values of ``column`` among matching rows, sorted."""
+        if not self._table.schema.has_column(column):
+            raise UnknownColumnError(
+                f"distinct: unknown column {column!r} on table {self._table.name!r}"
+            )
+        values = {row[column] for row in self.all()}
+        return sorted(values, key=_order_key)
+
+    def update_rows(self, changes: dict[str, Any]) -> int:
+        """UPDATE ... WHERE: apply ``changes`` to matching rows.
+
+        Returns the number of rows updated.  Runs through the table's
+        normal update path, so constraints, indexes, transactions and
+        the WAL all observe each row change.
+        """
+        pks = self.pks()
+        for pk in pks:
+            self._table.update(pk, changes)
+        return len(pks)
+
+    def delete_rows(self) -> int:
+        """DELETE ... WHERE: remove matching rows; returns the count."""
+        pks = self.pks()
+        for pk in pks:
+            self._table.delete(pk)
+        return len(pks)
+
+    def explain(self) -> str:
+        """Return the access path used by the last (or next) execution."""
+        self._candidate_rows()
+        return self._last_plan
+
+    # aggregation ----------------------------------------------------------
+
+    def aggregate(self, column: str, func: str) -> Any:
+        """Compute count/sum/avg/min/max over the matching rows."""
+        if func not in ("count", "sum", "avg", "min", "max"):
+            raise QueryError(f"unknown aggregate {func!r}")
+        values = [row[column] for row in self.all() if row[column] is not None]
+        if func == "count":
+            return len(values)
+        if not values:
+            return None
+        if func == "sum":
+            return sum(values)
+        if func == "avg":
+            return sum(values) / len(values)
+        if func == "min":
+            return min(values)
+        return max(values)
+
+    def group_by(
+        self, column: str, aggregates: dict[str, tuple[str, str]]
+    ) -> dict[Any, dict[str, Any]]:
+        """Group rows by ``column``; ``aggregates`` maps output name to
+        ``(column, func)``.
+
+        >>> q.group_by("status", {"n": ("id", "count"), "avg_q": ("quality", "avg")})
+        """
+        groups: dict[Any, list[dict[str, Any]]] = {}
+        for row in self.all():
+            groups.setdefault(row[column], []).append(row)
+        out: dict[Any, dict[str, Any]] = {}
+        for key, rows in groups.items():
+            result: dict[str, Any] = {}
+            for name, (agg_column, func) in aggregates.items():
+                values = [row[agg_column] for row in rows if row[agg_column] is not None]
+                if func == "count":
+                    result[name] = len(values)
+                elif not values:
+                    result[name] = None
+                elif func == "sum":
+                    result[name] = sum(values)
+                elif func == "avg":
+                    result[name] = sum(values) / len(values)
+                elif func == "min":
+                    result[name] = min(values)
+                elif func == "max":
+                    result[name] = max(values)
+                else:
+                    raise QueryError(f"unknown aggregate {func!r}")
+            out[key] = result
+        return out
+
+    # planner ----------------------------------------------------------
+
+    def _candidate_rows(self) -> list[dict[str, Any]]:
+        plan = self._index_plan(self._predicate)
+        if plan is not None:
+            pks, description = plan
+            self._last_plan = description
+            table = self._table
+            return [table.get(pk) for pk in pks if table.contains(pk)]
+        self._last_plan = f"full-scan({self._table.name})"
+        return list(self._table.scan())
+
+    def _index_plan(self, predicate: Predicate) -> tuple[list[Any], str] | None:
+        """Return (candidate pks, plan description) if an index applies."""
+        if isinstance(predicate, And):
+            for part in predicate.parts:
+                plan = self._index_plan(part)
+                if plan is not None:
+                    return plan
+            return None
+        if isinstance(predicate, Eq):
+            if predicate.column == self._table.schema.primary_key:
+                pk = predicate.value
+                pks = [pk] if self._table.contains(pk) else []
+                return pks, f"pk-lookup({self._table.name}.{predicate.column})"
+            index = self._table.index_for(predicate.column)
+            if index is not None:
+                return (
+                    sorted(index.lookup(predicate.value), key=_order_key),
+                    f"{index.kind}-index({self._table.name}.{predicate.column})",
+                )
+            return None
+        if isinstance(predicate, In):
+            index = self._table.index_for(predicate.column)
+            if isinstance(index, HashIndex):
+                pks = index.lookup_many(iter(predicate.values))
+                return sorted(pks, key=_order_key), (
+                    f"hash-index-in({self._table.name}.{predicate.column})"
+                )
+            return None
+        if isinstance(predicate, (Lt, Le, Gt, Ge, Between)):
+            index = self._table.index_for(predicate.column)
+            if not isinstance(index, SortedIndex):
+                return None
+            description = f"sorted-index-range({self._table.name}.{predicate.column})"
+            if isinstance(predicate, Between):
+                return index.range(predicate.low, predicate.high), description
+            if isinstance(predicate, Lt):
+                return index.range(high=predicate.value, include_high=False), description
+            if isinstance(predicate, Le):
+                return index.range(high=predicate.value), description
+            if isinstance(predicate, Gt):
+                return index.range(low=predicate.value, include_low=False), description
+            return index.range(low=predicate.value), description
+        return None
+
+
+def _order_key(value: Any) -> tuple:
+    """Total order over heterogeneous values with NULLs first."""
+    if value is None:
+        return (0, "", 0)
+    if isinstance(value, bool):
+        return (1, "", int(value))
+    if isinstance(value, (int, float)):
+        return (2, "", value)
+    return (3, type(value).__name__, value)
+
+
+# ----------------------------------------------------------------------
+# joins
+# ----------------------------------------------------------------------
+
+
+def hash_join(
+    left_rows: Iterable[dict[str, Any]],
+    right_rows: Iterable[dict[str, Any]],
+    *,
+    left_key: str,
+    right_key: str,
+    prefix_left: str = "",
+    prefix_right: str = "",
+    how: str = "inner",
+) -> list[dict[str, Any]]:
+    """Equi-join two row iterables on ``left_key == right_key``.
+
+    Output columns are prefixed to avoid collisions.  ``how`` is
+    ``"inner"`` or ``"left"`` (left-outer: unmatched left rows get
+    ``None`` for every right column).
+    """
+    if how not in ("inner", "left"):
+        raise QueryError(f"hash_join: how must be 'inner' or 'left', got {how!r}")
+    right_list = list(right_rows)
+    buckets: dict[Any, list[dict[str, Any]]] = {}
+    for row in right_list:
+        if right_key not in row:
+            raise UnknownColumnError(f"hash_join: right rows lack column {right_key!r}")
+        buckets.setdefault(row[right_key], []).append(row)
+    right_columns: list[str] = sorted({name for row in right_list for name in row})
+    out: list[dict[str, Any]] = []
+    for left in left_rows:
+        if left_key not in left:
+            raise UnknownColumnError(f"hash_join: left rows lack column {left_key!r}")
+        matches = buckets.get(left[left_key], [])
+        renamed_left = {f"{prefix_left}{name}": value for name, value in left.items()}
+        if matches:
+            for right in matches:
+                combined = dict(renamed_left)
+                combined.update(
+                    {f"{prefix_right}{name}": value for name, value in right.items()}
+                )
+                out.append(combined)
+        elif how == "left":
+            combined = dict(renamed_left)
+            combined.update({f"{prefix_right}{name}": None for name in right_columns})
+            out.append(combined)
+    return out

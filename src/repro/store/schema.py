@@ -1,0 +1,192 @@
+"""Table schemas: column declarations, validation and coercion of rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import ConstraintError, SchemaError, UnknownColumnError
+from .types import DataType, coerce_value
+
+__all__ = ["Column", "Schema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column declaration.
+
+    ``default`` may be a plain value or a zero-argument callable invoked
+    per row (e.g. ``list`` for an empty JSON array).
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = False
+    unique: bool = False
+    default: Any = None
+    has_default: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"column name must be a non-empty string, got {self.name!r}")
+        if self.name.startswith("_"):
+            raise SchemaError(f"column name {self.name!r} must not start with '_'")
+        if not isinstance(self.dtype, DataType):
+            raise SchemaError(f"column {self.name!r}: dtype must be a DataType")
+
+    def default_value(self) -> Any:
+        if callable(self.default):
+            return self.default()
+        return self.default
+
+
+class Schema:
+    """An ordered set of columns plus the primary-key column name.
+
+    The primary key must be an INT or TEXT column and is implicitly
+    unique and non-nullable.
+    """
+
+    def __init__(self, columns: list[Column], primary_key: str) -> None:
+        if not columns:
+            raise SchemaError("a schema needs at least one column")
+        names = [column.name for column in columns]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names: {sorted(duplicates)}")
+        if primary_key not in names:
+            raise SchemaError(f"primary key {primary_key!r} is not a declared column")
+        self._columns: dict[str, Column] = {column.name: column for column in columns}
+        self._order: list[str] = names
+        self._primary_key = primary_key
+        pk_column = self._columns[primary_key]
+        if pk_column.dtype not in (DataType.INT, DataType.TEXT):
+            raise SchemaError(
+                f"primary key {primary_key!r} must be INT or TEXT, "
+                f"got {pk_column.dtype.value}"
+            )
+        if pk_column.nullable:
+            raise SchemaError(f"primary key {primary_key!r} must not be nullable")
+
+    @property
+    def primary_key(self) -> str:
+        return self._primary_key
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._order)
+
+    @property
+    def columns(self) -> list[Column]:
+        return [self._columns[name] for name in self._order]
+
+    def column(self, name: str) -> Column:
+        if name not in self._columns:
+            raise UnknownColumnError(f"unknown column {name!r}; have {self._order}")
+        return self._columns[name]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def unique_columns(self) -> list[str]:
+        """Columns with a UNIQUE constraint, excluding the primary key."""
+        return [
+            name
+            for name in self._order
+            if self._columns[name].unique and name != self._primary_key
+        ]
+
+    def coerce_row(self, row: dict[str, Any], *, partial: bool = False) -> dict[str, Any]:
+        """Validate and coerce a row dict against this schema.
+
+        With ``partial=True`` (updates) only the provided columns are
+        checked and no defaults are applied; unknown columns always
+        raise.  Returns a new dict; the input is not mutated.
+        """
+        unknown = set(row) - set(self._columns)
+        if unknown:
+            raise UnknownColumnError(
+                f"unknown columns {sorted(unknown)}; schema has {self._order}"
+            )
+        out: dict[str, Any] = {}
+        names = row.keys() if partial else self._order
+        for name in names:
+            column = self._columns[name]
+            if name in row:
+                value = row[name]
+            elif column.has_default:
+                value = column.default_value()
+            elif column.nullable:
+                value = None
+            else:
+                raise ConstraintError(
+                    f"column {name!r} is NOT NULL and has no default"
+                )
+            if value is None:
+                if not column.nullable:
+                    raise ConstraintError(f"column {name!r} is NOT NULL")
+                out[name] = None
+                continue
+            out[name] = coerce_value(value, column.dtype, name)
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable description (for persistence)."""
+        return {
+            "primary_key": self._primary_key,
+            "columns": [
+                {
+                    "name": column.name,
+                    "dtype": column.dtype.value,
+                    "nullable": column.nullable,
+                    "unique": column.unique,
+                    "default": None if callable(column.default) else column.default,
+                    "has_default": column.has_default and not callable(column.default),
+                }
+                for column in self.columns
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Schema":
+        columns = [
+            Column(
+                name=item["name"],
+                dtype=DataType(item["dtype"]),
+                nullable=item["nullable"],
+                unique=item["unique"],
+                default=item["default"],
+                has_default=item["has_default"],
+            )
+            for item in data["columns"]
+        ]
+        return cls(columns, primary_key=data["primary_key"])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name}:{c.dtype.value}" for c in self.columns)
+        return f"Schema({cols}; pk={self._primary_key})"
+
+
+def column(
+    name: str,
+    dtype: DataType,
+    *,
+    nullable: bool = False,
+    unique: bool = False,
+    default: Any = None,
+    has_default: bool = False,
+) -> Column:
+    """Convenience constructor mirroring SQL column DDL."""
+    return Column(
+        name=name,
+        dtype=dtype,
+        nullable=nullable,
+        unique=unique,
+        default=default,
+        has_default=has_default,
+    )

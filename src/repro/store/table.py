@@ -1,0 +1,282 @@
+"""In-memory table with primary key, unique constraints and indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from .errors import (
+    ConstraintError,
+    DuplicateKeyError,
+    RowNotFoundError,
+    SchemaError,
+    UnknownColumnError,
+)
+from .index import HashIndex, SortedIndex
+from .schema import Schema
+from .types import DataType
+
+__all__ = ["Table", "ChangeEvent"]
+
+# (op, table_name, pk, before_row, after_row); rows are copies.
+ChangeEvent = tuple[str, str, Any, dict | None, dict | None]
+ChangeListener = Callable[[ChangeEvent], None]
+
+
+class Table:
+    """One table: rows keyed by primary key, plus secondary indexes.
+
+    Rows are stored and returned as plain dicts; all public accessors
+    return *copies* so callers cannot corrupt table state by mutating
+    results (JSON column values are shallow-copied).
+    """
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self._rows: dict[Any, dict[str, Any]] = {}
+        self._indexes: dict[str, HashIndex | SortedIndex] = {}
+        self._listeners: list[ChangeListener] = []
+        self._autoincrement = 1
+        pk_column = schema.column(schema.primary_key)
+        self._auto_pk = pk_column.dtype is DataType.INT
+        for unique_column in schema.unique_columns():
+            self._indexes[unique_column] = HashIndex(unique_column)
+
+    # ------------------------------------------------------------------
+    # listeners (used by Database for undo log + WAL)
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener: ChangeListener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: ChangeListener) -> None:
+        self._listeners.remove(listener)
+
+    def _emit(self, event: ChangeEvent) -> None:
+        for listener in self._listeners:
+            listener(event)
+
+    # ------------------------------------------------------------------
+    # CRUD
+    # ------------------------------------------------------------------
+
+    def insert(self, row: dict[str, Any]) -> Any:
+        """Insert a row, returning its primary key.
+
+        If the primary key is an INT column and absent from ``row``, an
+        autoincrement value is assigned.
+        """
+        pk_name = self.schema.primary_key
+        working = dict(row)
+        if pk_name not in working or working[pk_name] is None:
+            if not self._auto_pk:
+                raise ConstraintError(
+                    f"table {self.name!r}: TEXT primary key {pk_name!r} must be provided"
+                )
+            working[pk_name] = self._autoincrement
+        coerced = self.schema.coerce_row(working)
+        pk = coerced[pk_name]
+        if pk in self._rows:
+            raise DuplicateKeyError(
+                f"table {self.name!r}: duplicate primary key {pk!r}"
+            )
+        self._check_unique(coerced, exclude_pk=None)
+        self._rows[pk] = coerced
+        self._index_add(coerced, pk)
+        if self._auto_pk and isinstance(pk, int):
+            self._autoincrement = max(self._autoincrement, pk + 1)
+        self._emit(("insert", self.name, pk, None, dict(coerced)))
+        return pk
+
+    def get(self, pk: Any) -> dict[str, Any]:
+        if pk not in self._rows:
+            raise RowNotFoundError(f"table {self.name!r}: no row with pk {pk!r}")
+        return dict(self._rows[pk])
+
+    def get_or_none(self, pk: Any) -> dict[str, Any] | None:
+        row = self._rows.get(pk)
+        return dict(row) if row is not None else None
+
+    def contains(self, pk: Any) -> bool:
+        return pk in self._rows
+
+    def update(self, pk: Any, changes: dict[str, Any]) -> dict[str, Any]:
+        """Apply ``changes`` to the row at ``pk``; returns the new row."""
+        if pk not in self._rows:
+            raise RowNotFoundError(f"table {self.name!r}: no row with pk {pk!r}")
+        if self.schema.primary_key in changes:
+            new_pk = changes[self.schema.primary_key]
+            if new_pk != pk:
+                raise ConstraintError(
+                    f"table {self.name!r}: primary key is immutable "
+                    f"({pk!r} -> {new_pk!r})"
+                )
+        coerced_changes = self.schema.coerce_row(changes, partial=True)
+        before = self._rows[pk]
+        after = {**before, **coerced_changes}
+        self._check_unique(after, exclude_pk=pk)
+        self._index_remove(before, pk)
+        self._rows[pk] = after
+        self._index_add(after, pk)
+        self._emit(("update", self.name, pk, dict(before), dict(after)))
+        return dict(after)
+
+    def delete(self, pk: Any) -> dict[str, Any]:
+        """Delete and return the row at ``pk``."""
+        if pk not in self._rows:
+            raise RowNotFoundError(f"table {self.name!r}: no row with pk {pk!r}")
+        before = self._rows.pop(pk)
+        self._index_remove(before, pk)
+        self._emit(("delete", self.name, pk, dict(before), None))
+        return dict(before)
+
+    def upsert(self, row: dict[str, Any]) -> Any:
+        """Insert, or update if the primary key already exists."""
+        pk_name = self.schema.primary_key
+        pk = row.get(pk_name)
+        if pk is not None and pk in self._rows:
+            self.update(pk, {k: v for k, v in row.items() if k != pk_name})
+            return pk
+        return self.insert(row)
+
+    # ------------------------------------------------------------------
+    # low-level apply (used by undo/WAL replay; bypasses autoincrement
+    # bump side effects but keeps constraint + index maintenance)
+    # ------------------------------------------------------------------
+
+    def apply(self, op: str, pk: Any, row: dict[str, Any] | None) -> None:
+        """Apply a physical change, emitting the matching change event.
+
+        Used by undo-log rollbacks (the compensating change must reach
+        an attached WAL so replay reproduces the post-rollback state)
+        and by WAL replay/snapshot loading (which run on databases with
+        no WAL attached).
+        """
+        if op == "insert":
+            if row is None:
+                raise ConstraintError("apply(insert) needs a row")
+            restored = self.schema.coerce_row(row)
+            if pk in self._rows:
+                raise DuplicateKeyError(
+                    f"table {self.name!r}: apply(insert) duplicate pk {pk!r}"
+                )
+            self._rows[pk] = restored
+            self._index_add(restored, pk)
+            if self._auto_pk and isinstance(pk, int):
+                self._autoincrement = max(self._autoincrement, pk + 1)
+            self._emit(("insert", self.name, pk, None, dict(restored)))
+            return
+        if op == "update":
+            if row is None:
+                raise ConstraintError("apply(update) needs a row")
+            before = self._rows.get(pk)
+            if before is None:
+                raise RowNotFoundError(
+                    f"table {self.name!r}: apply(update) missing pk {pk!r}"
+                )
+            restored = self.schema.coerce_row(row)
+            self._index_remove(before, pk)
+            self._rows[pk] = restored
+            self._index_add(restored, pk)
+            self._emit(("update", self.name, pk, dict(before), dict(restored)))
+            return
+        if op == "delete":
+            before = self._rows.pop(pk, None)
+            if before is not None:
+                self._index_remove(before, pk)
+                self._emit(("delete", self.name, pk, dict(before), None))
+            return
+        raise ConstraintError(f"unknown apply op {op!r}")
+
+    # ------------------------------------------------------------------
+    # scanning / indexes
+    # ------------------------------------------------------------------
+
+    def scan(self) -> Iterator[dict[str, Any]]:
+        """Yield copies of all rows in primary-key insertion order."""
+        for row in list(self._rows.values()):
+            yield dict(row)
+
+    def primary_keys(self) -> list[Any]:
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def create_index(self, column: str, *, kind: str = "hash") -> None:
+        """Create (or re-create) a secondary index over ``column``."""
+        if not self.schema.has_column(column):
+            raise UnknownColumnError(
+                f"table {self.name!r}: cannot index unknown column {column!r}"
+            )
+        if self.schema.column(column).dtype is DataType.JSON:
+            raise SchemaError(f"table {self.name!r}: JSON columns cannot be indexed")
+        if kind == "hash":
+            index: HashIndex | SortedIndex = HashIndex(column)
+        elif kind == "sorted":
+            index = SortedIndex(column)
+        else:
+            raise SchemaError(f"unknown index kind {kind!r} (use 'hash' or 'sorted')")
+        for pk, row in self._rows.items():
+            index.add(row[column], pk)
+        self._indexes[column] = index
+
+    def index_for(self, column: str) -> HashIndex | SortedIndex | None:
+        return self._indexes.get(column)
+
+    def index_columns(self) -> list[str]:
+        return sorted(self._indexes)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _check_unique(self, row: dict[str, Any], exclude_pk: Any) -> None:
+        for unique_column in self.schema.unique_columns():
+            value = row.get(unique_column)
+            if value is None:
+                continue
+            index = self._indexes.get(unique_column)
+            if index is None:
+                continue
+            holders = index.lookup(value) - ({exclude_pk} if exclude_pk is not None else set())
+            if holders:
+                raise DuplicateKeyError(
+                    f"table {self.name!r}: UNIQUE column {unique_column!r} "
+                    f"already holds {value!r}"
+                )
+
+    def _index_add(self, row: dict[str, Any], pk: Any) -> None:
+        for column_name, index in self._indexes.items():
+            index.add(row[column_name], pk)
+
+    def _index_remove(self, row: dict[str, Any], pk: Any) -> None:
+        for column_name, index in self._indexes.items():
+            index.remove(row[column_name], pk)
+
+    def verify_indexes(self) -> None:
+        """Assert that every index exactly mirrors the row data.
+
+        Used by tests and by WAL recovery self-checks.
+        """
+        for column_name, index in self._indexes.items():
+            expected: dict[Any, set[Any]] = {}
+            for pk, row in self._rows.items():
+                expected.setdefault(row[column_name], set()).add(pk)
+            for value, pks in expected.items():
+                found = index.lookup(value)
+                if found != pks:
+                    raise ConstraintError(
+                        f"table {self.name!r}: index on {column_name!r} "
+                        f"inconsistent at value {value!r}: {found} != {pks}"
+                    )
+            if len(index) != len(self._rows):
+                raise ConstraintError(
+                    f"table {self.name!r}: index on {column_name!r} has "
+                    f"{len(index)} entries for {len(self._rows)} rows"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={len(self._rows)})"

@@ -1,0 +1,106 @@
+"""Transactions: undo-log based atomicity for the embedded store.
+
+A transaction records the inverse of every change while it is active;
+``rollback()`` replays the inverses in reverse order.  Transactions are
+flat (no nesting) per database, mirroring classic autocommit engines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from .errors import TransactionError
+from .table import ChangeEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import Database
+
+__all__ = ["Transaction", "UndoLog"]
+
+
+class UndoLog:
+    """Accumulates inverse operations for an active transaction."""
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[str, str, Any, dict | None]] = []
+
+    def record(self, event: ChangeEvent) -> None:
+        op, table_name, pk, before, after = event
+        if op == "insert":
+            self._entries.append(("delete", table_name, pk, None))
+        elif op == "update":
+            self._entries.append(("update", table_name, pk, before))
+        elif op == "delete":
+            self._entries.append(("insert", table_name, pk, before))
+        else:
+            raise TransactionError(f"unknown change op {op!r}")
+
+    def rollback_into(self, database: "Database") -> None:
+        for op, table_name, pk, row in reversed(self._entries):
+            table = database.table(table_name)
+            table.apply(op, pk, row)
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class Transaction:
+    """Context manager implementing begin/commit/rollback.
+
+    >>> with db.transaction():
+    ...     db.table("projects").insert({...})
+    ...     db.table("budgets").update(pk, {...})
+
+    On normal exit the transaction commits; on exception it rolls back
+    and re-raises.  Explicit ``commit()`` / ``rollback()`` also work.
+    """
+
+    def __init__(self, database: "Database") -> None:
+        self._database = database
+        self._undo = UndoLog()
+        self._active = False
+        self._finished = False
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def begin(self) -> "Transaction":
+        if self._active or self._finished:
+            raise TransactionError("transaction already begun")
+        self._database._begin_transaction(self)
+        self._active = True
+        return self
+
+    def commit(self) -> None:
+        if not self._active:
+            raise TransactionError("commit without active transaction")
+        self._database._end_transaction(self)
+        self._active = False
+        self._finished = True
+
+    def rollback(self) -> None:
+        if not self._active:
+            raise TransactionError("rollback without active transaction")
+        # Stop recording before replaying inverses, so the undo of the
+        # undo is not recorded again.
+        self._database._end_transaction(self)
+        self._active = False
+        self._finished = True
+        self._undo.rollback_into(self._database)
+
+    def _observe(self, event: ChangeEvent) -> None:
+        self._undo.record(event)
+
+    def __enter__(self) -> "Transaction":
+        return self.begin()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._active:
+            return False
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False

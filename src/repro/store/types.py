@@ -1,0 +1,128 @@
+"""Column data types for the embedded store.
+
+The store is schema-typed: every column declares a :class:`DataType`,
+and rows are validated/coerced on insert and update.  The supported
+types cover what the iTag system tables need (ids, counters, money,
+text, flags, JSON blobs for tag vectors, timestamps as floats).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any
+
+from .errors import ConstraintError
+
+__all__ = ["DataType", "coerce_value", "validate_value"]
+
+
+class DataType(enum.Enum):
+    """Supported column types."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+    JSON = "json"
+    TIMESTAMP = "timestamp"
+
+    @property
+    def python_types(self) -> tuple[type, ...]:
+        return _PYTHON_TYPES[self]
+
+
+_PYTHON_TYPES: dict[DataType, tuple[type, ...]] = {
+    DataType.INT: (int,),
+    DataType.FLOAT: (float, int),
+    DataType.TEXT: (str,),
+    DataType.BOOL: (bool,),
+    DataType.JSON: (dict, list, str, int, float, bool, type(None)),
+    DataType.TIMESTAMP: (float, int),
+}
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _is_json_value(value: Any) -> bool:
+    if isinstance(value, _JSON_SCALARS):
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_is_json_value(item) for item in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(key, str) and _is_json_value(item)
+            for key, item in value.items()
+        )
+    return False
+
+
+def validate_value(value: Any, dtype: DataType, column: str) -> None:
+    """Raise :class:`ConstraintError` unless ``value`` fits ``dtype``.
+
+    ``None`` is handled by the nullability check in the schema layer and
+    is rejected here.
+    """
+    if value is None:
+        raise ConstraintError(f"column {column!r}: None not allowed at type check")
+    if dtype is DataType.BOOL:
+        if not isinstance(value, bool):
+            raise ConstraintError(
+                f"column {column!r}: expected bool, got {type(value).__name__}"
+            )
+        return
+    if dtype is DataType.INT:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConstraintError(
+                f"column {column!r}: expected int, got {type(value).__name__}"
+            )
+        return
+    if dtype in (DataType.FLOAT, DataType.TIMESTAMP):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConstraintError(
+                f"column {column!r}: expected float, got {type(value).__name__}"
+            )
+        if isinstance(value, float) and not math.isfinite(value):
+            raise ConstraintError(f"column {column!r}: non-finite float {value!r}")
+        return
+    if dtype is DataType.TEXT:
+        if not isinstance(value, str):
+            raise ConstraintError(
+                f"column {column!r}: expected str, got {type(value).__name__}"
+            )
+        return
+    if dtype is DataType.JSON:
+        if not _is_json_value(value):
+            raise ConstraintError(
+                f"column {column!r}: value is not JSON-serializable"
+            )
+        return
+    raise ConstraintError(f"column {column!r}: unsupported dtype {dtype!r}")
+
+
+def coerce_value(value: Any, dtype: DataType, column: str) -> Any:
+    """Coerce ``value`` to the canonical Python type for ``dtype``.
+
+    Performs only loss-less, unsurprising coercions (int → float for
+    FLOAT/TIMESTAMP columns, tuple → list inside JSON); everything else
+    must already be the right type.
+    """
+    if value is None:
+        return None
+    if dtype in (DataType.FLOAT, DataType.TIMESTAMP) and isinstance(value, int) \
+            and not isinstance(value, bool):
+        value = float(value)
+    if dtype is DataType.JSON:
+        value = _normalize_json(value)
+    validate_value(value, dtype, column)
+    return value
+
+
+def _normalize_json(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_normalize_json(item) for item in value]
+    if isinstance(value, list):
+        return [_normalize_json(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _normalize_json(item) for key, item in value.items()}
+    return value

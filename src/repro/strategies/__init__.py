@@ -1,0 +1,73 @@
+"""Allocation strategies (Table I) and the Algorithm-1 framework.
+
+Use :func:`make_strategy` to build a strategy from a
+:class:`~repro.config.StrategyConfig`; the ``optimal`` strategy
+additionally needs a gain model (it is simulation-only).
+"""
+
+from ..config import StrategyConfig
+from ..errors import StrategyError
+from ..quality.gain import GainModel
+from .adaptive import AdaptiveEstimatedGain
+from .base import AllocationContext, Strategy
+from .dp import dp_allocate, dp_value
+from .fewest_posts import FewestPostsFirst
+from .framework import AllocationEngine, AllocationResult, TrajectoryPoint
+from .free_choice import FreeChoice
+from .hybrid import HybridFpMu
+from .most_unstable import MostUnstableFirst
+from .optimal import OracleGreedy, allocation_value, greedy_allocate
+from .random_strategy import UniformRandom
+from .replay import TracePlayer, replay_free_choice
+from .round_robin import RoundRobin
+
+__all__ = [
+    "Strategy", "AllocationContext",
+    "FreeChoice", "FewestPostsFirst", "MostUnstableFirst", "HybridFpMu",
+    "UniformRandom", "RoundRobin", "OracleGreedy", "AdaptiveEstimatedGain",
+    "TracePlayer", "replay_free_choice",
+    "greedy_allocate", "allocation_value", "dp_allocate", "dp_value",
+    "AllocationEngine", "AllocationResult", "TrajectoryPoint",
+    "make_strategy", "STRATEGY_NAMES",
+]
+
+STRATEGY_NAMES = (
+    "fc", "fp", "mu", "fp-mu", "random", "round-robin", "optimal", "adaptive"
+)
+
+
+def make_strategy(
+    config: StrategyConfig | str,
+    *,
+    gain_model: GainModel | None = None,
+) -> Strategy:
+    """Instantiate a strategy by config or plain name.
+
+    >>> make_strategy("fp-mu")
+    HybridFpMu(name='fp-mu')
+    """
+    if isinstance(config, str):
+        config = StrategyConfig(name=config)
+    config.validate()
+    name = config.name
+    if name == "fc":
+        return FreeChoice(popularity_exponent=config.free_choice_popularity_exponent)
+    if name == "fp":
+        return FewestPostsFirst()
+    if name == "mu":
+        return MostUnstableFirst()
+    if name == "fp-mu":
+        return HybridFpMu(min_posts=config.hybrid_min_posts)
+    if name == "random":
+        return UniformRandom()
+    if name == "round-robin":
+        return RoundRobin()
+    if name == "optimal":
+        if gain_model is None:
+            raise StrategyError(
+                "the optimal strategy needs a gain model (simulation-only)"
+            )
+        return OracleGreedy(gain_model)
+    if name == "adaptive":
+        return AdaptiveEstimatedGain()
+    raise StrategyError(f"unknown strategy {name!r}")

@@ -1,0 +1,94 @@
+"""Exact dynamic-programming allocator (cross-check for greedy).
+
+Solves ``max Σ_i q_i(c_i + x_i) s.t. Σ x_i = B`` exactly in
+``O(n · B²)`` time — only feasible for small instances, which is all
+the cross-check needs: on concave gain sequences DP and greedy must
+agree (EXP-OPT); on *non-concave* sequences DP is strictly better,
+which the tests also exercise to prove the DP is not itself greedy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StrategyError
+from ..quality.gain import GainModel
+
+__all__ = ["dp_allocate", "dp_value"]
+
+
+def dp_allocate(
+    gain_model: GainModel,
+    initial_counts: dict[int, int],
+    budget: int,
+) -> dict[int, int]:
+    """Exact optimal allocation by DP over (resource prefix, budget used).
+
+    Returns resource id -> tasks with ``Σ x_i == budget``.  Intended
+    for small instances (n·B² table); raises on absurd sizes to protect
+    callers from accidental quadratic blowups.
+    """
+    if budget < 0:
+        raise StrategyError(f"budget must be >= 0, got {budget}")
+    resource_ids = sorted(initial_counts)
+    n = len(resource_ids)
+    if n == 0:
+        raise StrategyError("dp_allocate needs at least one resource")
+    if n * budget * budget > 50_000_000:
+        raise StrategyError(
+            f"dp_allocate instance too large (n={n}, B={budget}); "
+            "use greedy_allocate for big instances"
+        )
+    # value[i][b]: best improvement using resources[0..i) and budget b.
+    value = np.full((n + 1, budget + 1), -np.inf, dtype=np.float64)
+    value[0][0] = 0.0
+    choice = np.zeros((n + 1, budget + 1), dtype=np.int64)
+    improvements: list[np.ndarray] = []
+    for resource_id in resource_ids:
+        start = initial_counts[resource_id]
+        base = gain_model.quality(resource_id, start)
+        improvements.append(
+            np.array(
+                [
+                    gain_model.quality(resource_id, start + x) - base
+                    for x in range(budget + 1)
+                ],
+                dtype=np.float64,
+            )
+        )
+    for i in range(1, n + 1):
+        gains = improvements[i - 1]
+        for b in range(budget + 1):
+            best = -np.inf
+            best_x = 0
+            for x in range(b + 1):
+                prev = value[i - 1][b - x]
+                if prev == -np.inf:
+                    continue
+                candidate = prev + gains[x]
+                if candidate > best + 1e-15:
+                    best = candidate
+                    best_x = x
+            value[i][b] = best
+            choice[i][b] = best_x
+    allocation: dict[int, int] = {}
+    remaining = budget
+    for i in range(n, 0, -1):
+        x = int(choice[i][remaining])
+        allocation[resource_ids[i - 1]] = x
+        remaining -= x
+    if remaining != 0:
+        raise StrategyError(f"DP backtrack left {remaining} unassigned tasks")
+    return allocation
+
+
+def dp_value(
+    gain_model: GainModel,
+    initial_counts: dict[int, int],
+    budget: int,
+) -> float:
+    """The optimal objective value (improvement sum) for ``budget``."""
+    from .optimal import allocation_value
+
+    allocation = dp_allocate(gain_model, initial_counts, budget)
+    return allocation_value(gain_model, initial_counts, allocation)

@@ -1,0 +1,30 @@
+"""Fewest Posts First (FP): "prioritize resources with fewest posts".
+
+Table I: reduces the number of resources with low tag quality — the
+untagged tail gets posts first, so the worst resources improve fastest.
+Ties break by resource id for determinism.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from .base import AllocationContext, Strategy
+
+__all__ = ["FewestPostsFirst"]
+
+
+class FewestPostsFirst(Strategy):
+    """Pick the eligible resources with the fewest posts."""
+
+    name = "fp"
+
+    def choose(self, context: AllocationContext, count: int) -> list[int]:
+        ids = self._require_eligible(context)
+        # nsmallest over (post count, id) is O(m log count) per round and
+        # naturally spreads a batch over distinct resources.
+        ranked = heapq.nsmallest(
+            count,
+            ((context.post_count(resource_id), resource_id) for resource_id in ids),
+        )
+        return [resource_id for _posts, resource_id in ranked]

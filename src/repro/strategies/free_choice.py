@@ -1,0 +1,43 @@
+"""Free Choice (FC): "let taggers freely choose resources to tag".
+
+Table I: captures taggers' preferences and resource popularity, but
+"may not improve tag quality of R significantly" — the choice follows
+preferential attachment (static popularity + current post count), so
+the budget flows to resources that are already well tagged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AllocationContext, Strategy
+
+__all__ = ["FreeChoice"]
+
+
+class FreeChoice(Strategy):
+    """Popularity-proportional sampling (taggers pick, not the provider)."""
+
+    name = "fc"
+
+    def __init__(self, popularity_exponent: float = 1.0) -> None:
+        if popularity_exponent < 0:
+            raise ValueError(
+                f"popularity_exponent must be >= 0, got {popularity_exponent}"
+            )
+        self.popularity_exponent = popularity_exponent
+
+    def choose(self, context: AllocationContext, count: int) -> list[int]:
+        ids = self._require_eligible(context)
+        attractiveness = np.array(
+            [
+                context.corpus.resource(resource_id).popularity
+                + context.corpus.resource(resource_id).n_posts
+                for resource_id in ids
+            ],
+            dtype=np.float64,
+        )
+        attractiveness = np.maximum(attractiveness, 1e-9) ** self.popularity_exponent
+        weights = attractiveness / attractiveness.sum()
+        picks = context.rng.choice(len(ids), size=count, p=weights)
+        return [ids[int(pick)] for pick in picks]

@@ -1,0 +1,37 @@
+"""Most Unstable First (MU): "prioritize resources with most unstable rfds".
+
+Table I: increases the number of resources that can satisfy a certain
+quality requirement — the budget goes to resources whose rfds are still
+moving, i.e. where a post buys the most stabilization.
+
+Resources with fewer than the estimator's minimum posts score quality 0
+(maximal instability), so MU bootstraps them with a couple of posts
+before their instability becomes measurable; ties break toward fewer
+posts, then lower id (see ``QualityBoard.most_unstable``).
+"""
+
+from __future__ import annotations
+
+from .base import AllocationContext, Strategy
+
+__all__ = ["MostUnstableFirst"]
+
+
+class MostUnstableFirst(Strategy):
+    """Pick the eligible resources with the most unstable rfds."""
+
+    name = "mu"
+
+    def choose(self, context: AllocationContext, count: int) -> list[int]:
+        ids = self._require_eligible(context)
+        eligible = set(ids)
+        scored = [
+            (
+                -context.board.instability_of(resource_id),
+                context.post_count(resource_id),
+                resource_id,
+            )
+            for resource_id in eligible
+        ]
+        scored.sort()
+        return [resource_id for _neg, _posts, resource_id in scored[:count]]

@@ -1,0 +1,23 @@
+"""Uniform-random baseline (not in the paper's Table I).
+
+Included as the neutral yardstick between FC (popularity-biased, worse)
+and the informed strategies (better): it spreads budget uniformly
+without using any statistics.
+"""
+
+from __future__ import annotations
+
+from .base import AllocationContext, Strategy
+
+__all__ = ["UniformRandom"]
+
+
+class UniformRandom(Strategy):
+    """Pick eligible resources uniformly at random (with replacement)."""
+
+    name = "random"
+
+    def choose(self, context: AllocationContext, count: int) -> list[int]:
+        ids = self._require_eligible(context)
+        picks = context.rng.integers(0, len(ids), size=count)
+        return [ids[int(pick)] for pick in picks]

@@ -1,0 +1,33 @@
+"""Round-robin baseline: perfectly even task spreading.
+
+Equivalent to FP when all resources start at the same count; differs on
+skewed starts (it ignores the existing imbalance).  Useful in tests to
+separate "spread evenly from now on" (round-robin) from "equalize
+counts" (FP).
+"""
+
+from __future__ import annotations
+
+from .base import AllocationContext, Strategy
+
+__all__ = ["RoundRobin"]
+
+
+class RoundRobin(Strategy):
+    """Cycle over eligible resource ids in sorted order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, context: AllocationContext, count: int) -> list[int]:
+        ids = self._require_eligible(context)
+        chosen = []
+        for _ in range(count):
+            chosen.append(ids[self._cursor % len(ids)])
+            self._cursor += 1
+        return chosen
+
+    def reset(self) -> None:
+        self._cursor = 0

@@ -1,0 +1,38 @@
+"""The iTag system (Sec. III): managers, projects, facade, UI screens.
+
+This is the system layer of the reproduction — the Fig. 2 architecture
+running on the embedded store with simulated crowd platforms.
+"""
+
+from .export import export_project_csv, export_project_json
+from .itag import ITagSystem
+from .models import PROJECT_STATES, build_system_database
+from .monitor import (
+    add_project_summary,
+    main_provider_screen,
+    project_details_screen,
+    resource_details_screen,
+    suggest_promotions,
+    suggest_stops,
+    tagger_projects_screen,
+    tagging_screen,
+)
+from .notifications import NOTIFICATION_KINDS, NotificationCenter
+from .project import ProjectRegistry
+from .quality_manager import ProjectRuntime, QualityManager, TaskOutcome
+from .resource_manager import ResourceManager
+from .tag_manager import TagManager
+from .user_manager import UserManager
+
+__all__ = [
+    "ITagSystem",
+    "build_system_database", "PROJECT_STATES",
+    "UserManager", "ResourceManager", "TagManager",
+    "QualityManager", "ProjectRuntime", "TaskOutcome",
+    "ProjectRegistry", "NotificationCenter", "NOTIFICATION_KINDS",
+    "main_provider_screen", "add_project_summary",
+    "project_details_screen", "resource_details_screen",
+    "tagger_projects_screen", "tagging_screen",
+    "suggest_promotions", "suggest_stops",
+    "export_project_json", "export_project_csv",
+]

@@ -1,0 +1,86 @@
+"""Export of tagged resources (the "export resources with the desired
+tags" control on the main provider screen, Fig. 3)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..errors import ProjectError
+from .itag import ITagSystem
+
+__all__ = ["export_project_json", "export_project_csv"]
+
+
+def _project_payload(system: ITagSystem, project_id: int, top_tags: int) -> dict:
+    row = system.projects.get(project_id)
+    tag_manager = system.tag_manager_of(project_id)
+    resources = system.resources.of_project(project_id)
+    return {
+        "project": {
+            "id": row["id"],
+            "name": row["name"],
+            "kind": row["kind"],
+            "state": row["state"],
+            "budget_total": row["budget_total"],
+            "budget_spent": row["budget_spent"],
+            "avg_quality": row["avg_quality"],
+        },
+        "resources": [
+            {
+                "id": resource["id"],
+                "name": resource["name"],
+                "kind": resource["kind"],
+                "n_posts": resource["n_posts"],
+                "quality": resource["quality"],
+                "tags": [
+                    {"tag": tag, "count": count}
+                    for tag, count in tag_manager.top_tags(resource["id"], top_tags)
+                ],
+            }
+            for resource in resources
+        ],
+    }
+
+
+def export_project_json(
+    system: ITagSystem, project_id: int, path: str | Path, *, top_tags: int = 20
+) -> Path:
+    """Write the project's resources + tags + qualities as JSON."""
+    payload = _project_payload(system, project_id, top_tags)
+    if not payload["resources"]:
+        raise ProjectError(f"project {project_id} has no resources to export")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def export_project_csv(
+    system: ITagSystem, project_id: int, path: str | Path, *, top_tags: int = 20
+) -> Path:
+    """Write one CSV row per resource: name, quality, top tags."""
+    payload = _project_payload(system, project_id, top_tags)
+    if not payload["resources"]:
+        raise ProjectError(f"project {project_id} has no resources to export")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["resource_id", "name", "kind", "n_posts", "quality", "tags"])
+        for resource in payload["resources"]:
+            tags = ";".join(
+                f"{entry['tag']}:{entry['count']}" for entry in resource["tags"]
+            )
+            writer.writerow(
+                [
+                    resource["id"],
+                    resource["name"],
+                    resource["kind"],
+                    resource["n_posts"],
+                    f"{resource['quality']:.4f}",
+                    tags,
+                ]
+            )
+    return path

@@ -1,0 +1,77 @@
+"""Notification center: the Fig. 6 "Notification section".
+
+"The Notification section reminds providers of the latest tagging
+(allowing them to approve or reject ...) as well as changes in the
+quality status of resources."  Notifications are persisted rows; the
+center offers unread-feed and mark-read semantics.
+"""
+
+from __future__ import annotations
+
+from ..store import Database, Eq, Query
+
+__all__ = ["NotificationCenter", "NOTIFICATION_KINDS"]
+
+NOTIFICATION_KINDS = (
+    "post_submitted",
+    "post_approved",
+    "post_rejected",
+    "quality_up",
+    "quality_threshold",
+    "budget_exhausted",
+    "project_state",
+)
+
+
+class NotificationCenter:
+    """Append + read notifications over the store."""
+
+    def __init__(self, database: Database) -> None:
+        self._notifications = database.table("notifications")
+
+    def notify(
+        self,
+        recipient_id: int,
+        kind: str,
+        message: str,
+        *,
+        ts: float = 0.0,
+    ) -> int:
+        if kind not in NOTIFICATION_KINDS:
+            raise ValueError(
+                f"unknown notification kind {kind!r}; have {NOTIFICATION_KINDS}"
+            )
+        return self._notifications.insert(
+            {
+                "recipient_id": recipient_id,
+                "kind": kind,
+                "message": message,
+                "ts": ts,
+                "read": False,
+            }
+        )
+
+    def feed(
+        self, recipient_id: int, *, unread_only: bool = False, limit: int = 20
+    ) -> list[dict]:
+        query = Query(self._notifications).where(Eq("recipient_id", recipient_id))
+        if unread_only:
+            query = query.where(Eq("read", False))
+        return query.order_by("id", descending=True).limit(limit).all()
+
+    def mark_read(self, notification_id: int) -> None:
+        self._notifications.update(notification_id, {"read": True})
+
+    def mark_all_read(self, recipient_id: int) -> int:
+        rows = self.feed(recipient_id, unread_only=True, limit=10**9)
+        for row in rows:
+            self._notifications.update(row["id"], {"read": True})
+        return len(rows)
+
+    def unread_count(self, recipient_id: int) -> int:
+        return (
+            Query(self._notifications)
+            .where(Eq("recipient_id", recipient_id))
+            .where(Eq("read", False))
+            .count()
+        )

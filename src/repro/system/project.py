@@ -1,0 +1,135 @@
+"""Project lifecycle (the Add Project / More Details screens, Figs. 3-5).
+
+States::
+
+    draft -> running <-> paused
+    running|paused -> completed (budget exhausted)
+    running|paused -> stopped   (provider stops early, escrow refunded)
+
+Illegal transitions raise :class:`~repro.errors.ProjectError`.
+"""
+
+from __future__ import annotations
+
+from ..errors import ProjectError
+from ..store import Database, Eq, Query
+
+__all__ = ["ProjectRegistry"]
+
+_TRANSITIONS: dict[str, tuple[str, ...]] = {
+    "draft": ("running",),
+    "running": ("paused", "completed", "stopped"),
+    "paused": ("running", "completed", "stopped"),
+    "completed": (),
+    "stopped": (),
+}
+
+
+class ProjectRegistry:
+    """CRUD + lifecycle over the ``projects`` table."""
+
+    def __init__(self, database: Database) -> None:
+        self._projects = database.table("projects")
+
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        provider_id: int,
+        name: str,
+        *,
+        description: str = "",
+        kind: str = "url",
+        strategy: str = "fp-mu",
+        platform: str = "mturk",
+        budget: int = 0,
+        pay_per_task: float = 0.05,
+        created_at: float = 0.0,
+    ) -> int:
+        if budget < 0:
+            raise ProjectError(f"budget must be >= 0, got {budget}")
+        if pay_per_task < 0:
+            raise ProjectError(f"pay_per_task must be >= 0, got {pay_per_task}")
+        return self._projects.insert(
+            {
+                "provider_id": provider_id,
+                "name": name,
+                "description": description,
+                "kind": kind,
+                "state": "draft",
+                "strategy": strategy,
+                "platform": platform,
+                "budget_total": budget,
+                "budget_spent": 0,
+                "pay_per_task": pay_per_task,
+                "avg_quality": 0.0,
+                "created_at": created_at,
+            }
+        )
+
+    def get(self, project_id: int) -> dict:
+        return self._projects.get(project_id)
+
+    def of_provider(self, provider_id: int) -> list[dict]:
+        return (
+            Query(self._projects)
+            .where(Eq("provider_id", provider_id))
+            .order_by("id")
+            .all()
+        )
+
+    def list_by_quality(self, *, descending: bool = True) -> list[dict]:
+        """Main-screen ordering: "sorted according to ... tagging quality"."""
+        return (
+            Query(self._projects).order_by("avg_quality", descending=descending).all()
+        )
+
+    def in_state(self, state: str) -> list[dict]:
+        return Query(self._projects).where(Eq("state", state)).order_by("id").all()
+
+    # ------------------------------------------------------------------
+
+    def transition(self, project_id: int, target: str) -> dict:
+        row = self._projects.get(project_id)
+        current = row["state"]
+        if target not in _TRANSITIONS:
+            raise ProjectError(f"unknown project state {target!r}")
+        if target not in _TRANSITIONS[current]:
+            raise ProjectError(
+                f"project {project_id}: illegal transition {current} -> {target}"
+            )
+        return self._projects.update(project_id, {"state": target})
+
+    def add_budget(self, project_id: int, extra: int) -> dict:
+        if extra < 0:
+            raise ProjectError(f"extra budget must be >= 0, got {extra}")
+        row = self._projects.get(project_id)
+        if row["state"] in ("completed", "stopped"):
+            raise ProjectError(
+                f"project {project_id}: cannot add budget in state {row['state']}"
+            )
+        return self._projects.update(
+            project_id, {"budget_total": row["budget_total"] + extra}
+        )
+
+    def set_strategy(self, project_id: int, strategy: str) -> dict:
+        return self._projects.update(project_id, {"strategy": strategy})
+
+    def record_spend(self, project_id: int, *, avg_quality: float) -> dict:
+        row = self._projects.get(project_id)
+        spent = row["budget_spent"] + 1
+        if spent > row["budget_total"]:
+            raise ProjectError(
+                f"project {project_id}: spend {spent} exceeds budget "
+                f"{row['budget_total']}"
+            )
+        return self._projects.update(
+            project_id, {"budget_spent": spent, "avg_quality": avg_quality}
+        )
+
+    def update_quality(self, project_id: int, avg_quality: float) -> dict:
+        return self._projects.update(project_id, {"avg_quality": avg_quality})
+
+    def budget_remaining(self, project_id: int) -> int:
+        row = self._projects.get(project_id)
+        return row["budget_total"] - row["budget_spent"]

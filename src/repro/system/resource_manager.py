@@ -1,0 +1,129 @@
+"""Resource Manager: upload, bookkeeping and control of resources.
+
+"The resources are then managed by the Resource Manager, which is in
+charge of controlling the operations on resources and their related
+tags, and is responsible for storing resource and tagging information"
+(Sec. III-A).  Rows live in the store; the live rfd state lives in the
+per-project :class:`~repro.tagging.corpus.Corpus` held by the Quality
+Manager — this manager keeps the two in sync.
+"""
+
+from __future__ import annotations
+
+from ..errors import ResourceNotFoundError
+from ..store import Database, Eq, Query
+from ..tagging.corpus import Corpus
+from ..tagging.resource import TaggedResource
+
+__all__ = ["ResourceManager"]
+
+
+class ResourceManager:
+    """CRUD over the ``resources`` table, synced with live corpora."""
+
+    def __init__(self, database: Database) -> None:
+        self._resources = database.table("resources")
+        self._posts = database.table("posts")
+
+    # ------------------------------------------------------------------
+
+    def upload(self, project_id: int, corpus: Corpus) -> int:
+        """Register every corpus resource under a project; returns count.
+
+        Pre-existing posts (the provider's own tagging data, Sec. IV)
+        are persisted as post rows too.  Resource ids are global across
+        the deployment: uploading a corpus whose ids are already taken
+        (typically a second project reusing ids 1..n) is rejected with
+        a pointer to renumbering.
+        """
+        taken = [
+            resource.resource_id
+            for resource in corpus
+            if self._resources.contains(resource.resource_id)
+        ]
+        if taken:
+            raise ResourceNotFoundError(
+                f"resource ids already registered: {taken[:5]}"
+                f"{'...' if len(taken) > 5 else ''}; resource ids are global "
+                "across projects — renumber the corpus before uploading"
+            )
+        count = 0
+        for resource in corpus:
+            self._resources.apply(
+                "insert",
+                resource.resource_id,
+                {
+                    "id": resource.resource_id,
+                    "project_id": project_id,
+                    "name": resource.name,
+                    "kind": resource.kind.value,
+                    "n_posts": resource.n_posts,
+                    "quality": 0.0,
+                    "promoted": False,
+                    "stopped": False,
+                },
+            )
+            for post in resource.posts:
+                self._posts.insert(
+                    {
+                        "resource_id": post.resource_id,
+                        "tagger_id": post.tagger_id,
+                        "tag_ids": list(post.tag_ids),
+                        "seq": post.index,
+                        "ts": post.timestamp,
+                    }
+                )
+            count += 1
+        return count
+
+    def get(self, resource_id: int) -> dict:
+        row = self._resources.get_or_none(resource_id)
+        if row is None:
+            raise ResourceNotFoundError(f"no resource row {resource_id}")
+        return row
+
+    def of_project(self, project_id: int) -> list[dict]:
+        return (
+            Query(self._resources)
+            .where(Eq("project_id", project_id))
+            .order_by("id")
+            .all()
+        )
+
+    # ------------------------------------------------------------------
+
+    def record_post(self, resource: TaggedResource, quality: float) -> None:
+        """Persist a newly approved post's effect on its resource row."""
+        latest = resource.posts[-1]
+        self._posts.insert(
+            {
+                "resource_id": latest.resource_id,
+                "tagger_id": latest.tagger_id,
+                "tag_ids": list(latest.tag_ids),
+                "seq": latest.index,
+                "ts": latest.timestamp,
+            }
+        )
+        self._resources.update(
+            resource.resource_id,
+            {"n_posts": resource.n_posts, "quality": quality},
+        )
+
+    def update_quality(self, resource_id: int, quality: float) -> None:
+        self._resources.update(resource_id, {"quality": quality})
+
+    def set_promoted(self, resource_id: int, promoted: bool) -> None:
+        self.get(resource_id)
+        self._resources.update(resource_id, {"promoted": promoted})
+
+    def set_stopped(self, resource_id: int, stopped: bool) -> None:
+        self.get(resource_id)
+        self._resources.update(resource_id, {"stopped": stopped})
+
+    def posts_of(self, resource_id: int) -> list[dict]:
+        return (
+            Query(self._posts)
+            .where(Eq("resource_id", resource_id))
+            .order_by("seq")
+            .all()
+        )

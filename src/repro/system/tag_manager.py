@@ -1,0 +1,62 @@
+"""Tag Manager: linking tags to resources, frequency views, export.
+
+"The linking of tags to resources is handled by the Tag Manager, after
+the desired resource has been tagged" (Sec. III-B).  It owns the tag
+vocabulary view of the store and answers the frequency queries behind
+the single-resource screen (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from ..errors import ResourceNotFoundError
+from ..store import Database, Eq, Query
+from ..tagging.corpus import Corpus
+from ..tagging.vocabulary import Vocabulary
+
+__all__ = ["TagManager"]
+
+
+class TagManager:
+    """Tag frequency and naming services over the posts table."""
+
+    def __init__(self, database: Database, vocabulary: Vocabulary) -> None:
+        self._posts = database.table("posts")
+        self._vocabulary = vocabulary
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self._vocabulary
+
+    # ------------------------------------------------------------------
+
+    def tag_frequencies(self, resource_id: int) -> list[tuple[str, int]]:
+        """(tag string, count) pairs for a resource, most frequent first."""
+        rows = (
+            Query(self._posts).where(Eq("resource_id", resource_id)).all()
+        )
+        counts: dict[int, int] = {}
+        for row in rows:
+            for tag_id in row["tag_ids"]:
+                counts[tag_id] = counts.get(tag_id, 0) + 1
+        ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return [
+            (self._vocabulary.tag_of(tag_id), count) for tag_id, count in ordered
+        ]
+
+    def top_tags(self, resource_id: int, count: int = 10) -> list[tuple[str, int]]:
+        return self.tag_frequencies(resource_id)[:count]
+
+    def resource_tags_from_corpus(
+        self, corpus: Corpus, resource_id: int, count: int = 10
+    ) -> list[tuple[str, int]]:
+        """Frequency view straight from the live corpus (no store round-trip)."""
+        if not corpus.has_resource(resource_id):
+            raise ResourceNotFoundError(f"no resource {resource_id} in corpus")
+        pairs = corpus.resource(resource_id).counter.top_tags(count)
+        return [
+            (self._vocabulary.tag_of(tag_id), tag_count)
+            for tag_id, tag_count in pairs
+        ]
+
+    def rename_view(self, tag_ids: list[int]) -> list[str]:
+        return [self._vocabulary.tag_of(tag_id) for tag_id in tag_ids]

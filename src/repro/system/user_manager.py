@@ -1,0 +1,74 @@
+"""User Manager: provider/tagger profiles and mutual approval rates.
+
+"The provider's and taggers' profile information is handled by the User
+Manager, which also tracks their approval rate" (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+from ..errors import ApprovalError
+from ..store import Database, Eq, Query
+
+__all__ = ["UserManager"]
+
+_ROLES = ("provider", "tagger")
+
+
+class UserManager:
+    """CRUD + approval bookkeeping over the ``users`` table."""
+
+    def __init__(self, database: Database) -> None:
+        self._users = database.table("users")
+
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, role: str) -> int:
+        if role not in _ROLES:
+            raise ApprovalError(f"role must be one of {_ROLES}, got {role!r}")
+        return self._users.insert({"name": name, "role": role})
+
+    def ensure_tagger(self, worker_id: int, name: str | None = None) -> int:
+        """Idempotently mirror a platform worker into the users table."""
+        if self._users.contains(worker_id):
+            return worker_id
+        self._users.apply(
+            "insert",
+            worker_id,
+            {
+                "id": worker_id,
+                "name": name if name is not None else f"worker-{worker_id}",
+                "role": "tagger",
+                "approved": 0,
+                "rejected": 0,
+                "approval_rate": 1.0,
+            },
+        )
+        return worker_id
+
+    def get(self, user_id: int) -> dict:
+        return self._users.get(user_id)
+
+    def by_role(self, role: str) -> list[dict]:
+        return Query(self._users).where(Eq("role", role)).order_by("id").all()
+
+    # ------------------------------------------------------------------
+
+    def record_decision(self, user_id: int, *, approved: bool) -> float:
+        """Update a user's approval counters; returns the new rate."""
+        row = self._users.get(user_id)
+        approved_count = row["approved"] + (1 if approved else 0)
+        rejected_count = row["rejected"] + (0 if approved else 1)
+        total = approved_count + rejected_count
+        rate = approved_count / total if total else 1.0
+        self._users.update(
+            user_id,
+            {
+                "approved": approved_count,
+                "rejected": rejected_count,
+                "approval_rate": rate,
+            },
+        )
+        return rate
+
+    def approval_rate(self, user_id: int) -> float:
+        return self._users.get(user_id)["approval_rate"]

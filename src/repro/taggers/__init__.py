@@ -1,0 +1,22 @@
+"""Simulated taggers: profiles, noise, post generation, populations.
+
+The paper's demo falls back to "simulated taggers in case there is not
+enough audience participation" (Sec. IV); this package is that
+simulator, parameterized to reproduce noisy/incomplete tagging.
+"""
+
+from .behavior import PostGenerator, sample_post_size
+from .noise import NoiseModel, zipf_weights
+from .population import (
+    SimulatedTagger,
+    TaggerPopulation,
+    default_mixture,
+)
+from .profiles import PROFILE_PRESETS, TaggerProfile, preset
+
+__all__ = [
+    "TaggerProfile", "PROFILE_PRESETS", "preset",
+    "NoiseModel", "zipf_weights",
+    "PostGenerator", "sample_post_size",
+    "SimulatedTagger", "TaggerPopulation", "default_mixture",
+]

@@ -1,0 +1,131 @@
+"""Post generation: how a simulated tagger tags a resource.
+
+A post of size ``L`` (truncated Poisson, min 1) is built by drawing
+distinct tags; each draw is a noise tag with probability ``noise_rate``
+(profile) and otherwise a tag from the resource's true distribution
+``θ_i``.  This realizes the paper's "noisy and incomplete" posts: small
+L = incomplete coverage of the resource's aspects, noise draws = tags
+"that are typos or are irrelevant to the resource" (Sec. I).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PostError
+from ..tagging.post import Post
+from ..tagging.resource import TaggedResource
+from .noise import NoiseModel
+from .profiles import TaggerProfile
+
+__all__ = ["PostGenerator", "sample_post_size"]
+
+
+def sample_post_size(
+    rng: np.random.Generator, mean: float, maximum: int
+) -> int:
+    """Truncated-Poisson post size in [1, maximum].
+
+    The Poisson is shifted by 1 (a post is non-empty by definition), so
+    the configured ``mean`` is matched by a Poisson(mean − 1) part.
+    """
+    if maximum < 1:
+        raise PostError(f"maximum post size must be >= 1, got {maximum}")
+    lam = max(0.0, mean - 1.0)
+    size = 1 + int(rng.poisson(lam))
+    return min(size, maximum)
+
+
+class PostGenerator:
+    """Generates posts for resources given a tagger profile.
+
+    Sampling tables (support + cumulative weights per resource and
+    breadth level) are cached: ``theta`` never changes after dataset
+    generation, so inverse-CDF draws via ``searchsorted`` replace the
+    much slower per-draw ``rng.choice(..., p=...)``.
+    """
+
+    def __init__(
+        self,
+        noise_model: NoiseModel,
+        rng: np.random.Generator,
+    ) -> None:
+        self.noise_model = noise_model
+        self._rng = rng
+        self._tables: dict[tuple[int, float], tuple[np.ndarray, np.ndarray]] = {}
+        self._noise_cdf = np.cumsum(noise_model.noise_distribution())
+        self._typo_pool = noise_model.typo_pool
+
+    def _table(
+        self, resource: TaggedResource, breadth: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        key = (resource.resource_id, breadth)
+        cached = self._tables.get(key)
+        if cached is not None:
+            return cached
+        theta = resource.theta
+        support = np.flatnonzero(theta)
+        if breadth < 1.0 and support.size > 1:
+            # An incomplete tagger only knows a prefix of the resource's
+            # aspects (ordered by true weight).
+            order = support[np.argsort(theta[support])[::-1]]
+            keep = max(1, int(np.ceil(breadth * order.size)))
+            support = np.sort(order[:keep])
+        weights = theta[support]
+        cdf = np.cumsum(weights / weights.sum())
+        self._tables[key] = (support, cdf)
+        return support, cdf
+
+    def generate(
+        self,
+        resource: TaggedResource,
+        profile: TaggerProfile,
+        tagger_id: int,
+        *,
+        timestamp: float = 0.0,
+    ) -> Post:
+        """One post by a tagger with ``profile`` on ``resource``."""
+        if resource.theta is None:
+            raise PostError(
+                f"resource {resource.resource_id} has no true distribution; "
+                "PostGenerator only works on simulated resources"
+            )
+        if resource.theta.shape[0] != self.noise_model.vocabulary_size:
+            raise PostError(
+                f"resource {resource.resource_id}: theta size "
+                f"{resource.theta.shape[0]} != vocabulary size "
+                f"{self.noise_model.vocabulary_size}"
+            )
+        rng = self._rng
+        size = sample_post_size(
+            rng, profile.mean_tags_per_post, profile.max_tags_per_post
+        )
+        support, cdf = self._table(resource, profile.vocabulary_breadth)
+        chosen: set[int] = set()
+        attempts = 0
+        max_attempts = 20 * size + 20
+        while len(chosen) < size and attempts < max_attempts:
+            attempts += 1
+            if rng.random() < profile.noise_rate:
+                tag_id = self._sample_noise_tag(rng, profile.typo_rate)
+            else:
+                position = int(np.searchsorted(cdf, rng.random(), side="right"))
+                tag_id = int(support[min(position, support.size - 1)])
+            chosen.add(tag_id)
+        if not chosen:
+            # Degenerate corner (size >= 1 always tries at least once,
+            # but guard anyway): fall back to the resource's top tag.
+            chosen.add(int(support[0]))
+        return Post.from_tags(
+            resource.resource_id,
+            tagger_id,
+            sorted(chosen),
+            timestamp=timestamp,
+        )
+
+    def _sample_noise_tag(self, rng: np.random.Generator, typo_rate: float) -> int:
+        pool = self._typo_pool
+        if pool and rng.random() < typo_rate:
+            return int(pool[rng.integers(0, len(pool))])
+        position = int(np.searchsorted(self._noise_cdf, rng.random(), side="right"))
+        return min(position, self.noise_model.vocabulary_size - 1)

@@ -1,0 +1,105 @@
+"""Noise model: where off-topic tags come from.
+
+Two noise sources, matching the paper's "noisy" characterization:
+
+- *popularity noise*: taggers add globally popular but off-topic tags
+  ("cool", "todo", "interesting" on Delicious).  Modelled as a Zipf
+  distribution over the whole vocabulary.
+- *typos*: misspellings of intended tags.  Modelled as dedicated typo
+  tag ids appended to the vocabulary, one pool per generator, drawn
+  uniformly when a typo fires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tagging.vocabulary import Vocabulary
+
+__all__ = ["NoiseModel", "zipf_weights"]
+
+
+def zipf_weights(size: int, exponent: float) -> np.ndarray:
+    """Normalized Zipf weights ``rank^(−exponent)`` for ranks 1..size."""
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    ranks = np.arange(1, size + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+class NoiseModel:
+    """Samples noise tags for posts.
+
+    ``typo_pool`` holds tag ids reserved for typo strings (added to the
+    vocabulary as ``~typo-N`` placeholders by the dataset generator, or
+    real corrupted strings when a string-level vocabulary is in play).
+    """
+
+    def __init__(
+        self,
+        vocabulary_size: int,
+        *,
+        popular_exponent: float = 1.2,
+        typo_pool: list[int] | None = None,
+    ) -> None:
+        if vocabulary_size < 1:
+            raise ValueError("vocabulary_size must be >= 1")
+        self.vocabulary_size = vocabulary_size
+        self._popular = zipf_weights(vocabulary_size, popular_exponent)
+        self._typo_pool = list(typo_pool) if typo_pool else []
+
+    @classmethod
+    def with_typo_tags(
+        cls,
+        vocabulary: Vocabulary,
+        n_typos: int,
+        *,
+        popular_exponent: float = 1.2,
+    ) -> "NoiseModel":
+        """Append ``n_typos`` reserved typo tags to ``vocabulary``."""
+        typo_ids = [vocabulary.add(f"~typo-{index}") for index in range(n_typos)]
+        return cls(
+            vocabulary_size=len(vocabulary),
+            popular_exponent=popular_exponent,
+            typo_pool=typo_ids,
+        )
+
+    @property
+    def typo_pool(self) -> list[int]:
+        return list(self._typo_pool)
+
+    def noise_distribution(self) -> np.ndarray:
+        """Dense distribution η over the vocabulary (popularity noise only).
+
+        Typo draws are modelled separately because each typo string is
+        essentially unique; η carries the *systematic* off-topic mass
+        that shifts the asymptotic rfd.
+        """
+        return self._popular.copy()
+
+    def effective_noise_distribution(self, typo_rate: float) -> np.ndarray:
+        """The full per-draw noise mixture, typo pool included.
+
+        A noise draw yields a typo tag (uniform over the pool) with
+        probability ``typo_rate`` and a popularity-noise tag otherwise —
+        this is the η that actually shifts the asymptotic rfd.
+        """
+        if not 0.0 <= typo_rate <= 1.0:
+            raise ValueError(f"typo_rate must be in [0,1], got {typo_rate}")
+        mixture = (1.0 - typo_rate) * self._popular
+        if self._typo_pool and typo_rate > 0.0:
+            per_typo = typo_rate / len(self._typo_pool)
+            mixture = mixture.copy()
+            for tag_id in self._typo_pool:
+                mixture[tag_id] += per_typo
+        total = mixture.sum()
+        return mixture / total if total > 0 else mixture
+
+    def sample_noise_tag(self, rng: np.random.Generator, typo_rate: float) -> int:
+        """Draw one noise tag id: typo with probability ``typo_rate``."""
+        if self._typo_pool and rng.random() < typo_rate:
+            return int(self._typo_pool[rng.integers(0, len(self._typo_pool))])
+        return int(rng.choice(self.vocabulary_size, p=self._popular))

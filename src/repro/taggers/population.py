@@ -1,0 +1,217 @@
+"""Tagger populations: pools of simulated taggers with mixed profiles.
+
+Provides the two sampling behaviours the strategies need:
+
+- *directed tagging*: the platform assigns a specific resource (FP, MU,
+  FP-MU, optimal) and a random available tagger produces the post;
+- *free choice* (FC): the tagger picks the resource, with probability
+  proportional to ``popularity^α`` — reproducing the rich-get-richer
+  dynamics of collaborative tagging (Sec. I / [5]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..tagging.corpus import Corpus
+from ..tagging.post import Post
+from ..tagging.resource import TaggedResource
+from .behavior import PostGenerator
+from .noise import NoiseModel
+from .profiles import PROFILE_PRESETS, TaggerProfile, preset
+
+__all__ = ["SimulatedTagger", "TaggerPopulation"]
+
+
+@dataclass(frozen=True)
+class SimulatedTagger:
+    """One simulated tagger: identity plus behaviour profile."""
+
+    tagger_id: int
+    profile: TaggerProfile
+
+    def __post_init__(self) -> None:
+        self.profile.validate()
+
+
+class TaggerPopulation:
+    """A pool of taggers sharing one noise model and RNG stream."""
+
+    def __init__(
+        self,
+        taggers: list[SimulatedTagger],
+        noise_model: NoiseModel,
+        rng: np.random.Generator,
+    ) -> None:
+        if not taggers:
+            raise ConfigError("a tagger population needs at least one tagger")
+        self._taggers = {tagger.tagger_id: tagger for tagger in taggers}
+        if len(self._taggers) != len(taggers):
+            raise ConfigError("duplicate tagger ids in population")
+        self._generator = PostGenerator(noise_model, rng)
+        self._rng = rng
+        self.noise_model = noise_model
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_mixture(
+        cls,
+        size: int,
+        mixture: dict[str, float],
+        noise_model: NoiseModel,
+        rng: np.random.Generator,
+        *,
+        first_id: int = 1,
+    ) -> "TaggerPopulation":
+        """Build ``size`` taggers from preset-name -> weight mixture.
+
+        >>> TaggerPopulation.from_mixture(
+        ...     100, {"casual": 0.8, "expert": 0.1, "sloppy": 0.1}, noise, rng)
+        """
+        if size < 1:
+            raise ConfigError(f"population size must be >= 1, got {size}")
+        if not mixture:
+            raise ConfigError("mixture must not be empty")
+        names = sorted(mixture)
+        weights = np.array([mixture[name] for name in names], dtype=np.float64)
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ConfigError("mixture weights must be non-negative, sum > 0")
+        weights = weights / weights.sum()
+        profiles = [preset(name) for name in names]
+        picks = rng.choice(len(names), size=size, p=weights)
+        taggers = [
+            SimulatedTagger(tagger_id=first_id + index, profile=profiles[pick])
+            for index, pick in enumerate(picks)
+        ]
+        return cls(taggers, noise_model, rng)
+
+    @classmethod
+    def uniform(
+        cls,
+        size: int,
+        profile: TaggerProfile,
+        noise_model: NoiseModel,
+        rng: np.random.Generator,
+        *,
+        first_id: int = 1,
+    ) -> "TaggerPopulation":
+        taggers = [
+            SimulatedTagger(tagger_id=first_id + index, profile=profile)
+            for index in range(size)
+        ]
+        return cls(taggers, noise_model, rng)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._taggers)
+
+    def tagger_ids(self) -> list[int]:
+        return sorted(self._taggers)
+
+    def tagger(self, tagger_id: int) -> SimulatedTagger:
+        if tagger_id not in self._taggers:
+            raise ConfigError(f"unknown tagger id {tagger_id}")
+        return self._taggers[tagger_id]
+
+    def profile_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for tagger in self._taggers.values():
+            counts[tagger.profile.name] = counts.get(tagger.profile.name, 0) + 1
+        return counts
+
+    def profile_distribution(self) -> list[tuple[TaggerProfile, float]]:
+        """(profile, frequency) pairs over the *actual* profile objects.
+
+        Use this (not preset-name lookups) to compute process averages:
+        profiles may be modified copies (e.g. ``with_noise``) that share
+        a preset's name but not its parameters.
+        """
+        groups: dict[TaggerProfile, int] = {}
+        for tagger in self._taggers.values():
+            groups[tagger.profile] = groups.get(tagger.profile, 0) + 1
+        total = len(self._taggers)
+        return [
+            (profile, count / total)
+            for profile, count in sorted(
+                groups.items(), key=lambda item: (item[0].name, -item[1])
+            )
+        ]
+
+    def mean_noise_rate(self) -> float:
+        """Frequency-weighted average noise rate of the pool."""
+        return sum(
+            weight * profile.noise_rate
+            for profile, weight in self.profile_distribution()
+        )
+
+    def mean_post_size(self) -> float:
+        """Frequency-weighted mean post size (capped by each max)."""
+        return sum(
+            weight * min(profile.mean_tags_per_post, profile.max_tags_per_post)
+            for profile, weight in self.profile_distribution()
+        )
+
+    def sample_tagger(self) -> SimulatedTagger:
+        ids = self.tagger_ids()
+        pick = int(self._rng.integers(0, len(ids)))
+        return self._taggers[ids[pick]]
+
+    # ------------------------------------------------------------------
+    # tagging operations
+    # ------------------------------------------------------------------
+
+    def tag_resource(
+        self,
+        resource: TaggedResource,
+        *,
+        tagger: SimulatedTagger | None = None,
+        timestamp: float = 0.0,
+    ) -> Post:
+        """Directed tagging: produce a post on ``resource``."""
+        worker = tagger if tagger is not None else self.sample_tagger()
+        return self._generator.generate(
+            resource, worker.profile, worker.tagger_id, timestamp=timestamp
+        )
+
+    def free_choice(
+        self,
+        corpus: Corpus,
+        *,
+        popularity_exponent: float = 1.0,
+        timestamp: float = 0.0,
+    ) -> Post:
+        """FC behaviour: the tagger picks the resource by popularity.
+
+        Popularity combines the static resource attractiveness with the
+        current post count (preferential attachment), matching the
+        observed concentration of tags on popular resources.
+        """
+        if popularity_exponent < 0:
+            raise ConfigError("popularity_exponent must be >= 0")
+        resources = corpus.resources()
+        attractiveness = np.array(
+            [
+                (resource.popularity + resource.n_posts)
+                for resource in resources
+            ],
+            dtype=np.float64,
+        )
+        attractiveness = np.maximum(attractiveness, 1e-9) ** popularity_exponent
+        weights = attractiveness / attractiveness.sum()
+        pick = int(self._rng.choice(len(resources), p=weights))
+        return self.tag_resource(resources[pick], timestamp=timestamp)
+
+
+def default_mixture() -> dict[str, float]:
+    """The MTurk-like default mixture used across experiments."""
+    return {"casual": 0.70, "expert": 0.10, "sloppy": 0.15, "spammer": 0.05}
+
+
+__all__ += ["default_mixture", "PROFILE_PRESETS"]

@@ -1,0 +1,86 @@
+"""Tagger profiles: parameterized behaviour archetypes.
+
+The paper's taggers are "casual web users" whose posts are noisy and
+incomplete (Sec. I).  A profile fixes the distribution of post size
+(incompleteness), the probability of drawing off-topic/noise tags, and
+the typo rate.  Platform simulators assemble worker pools as mixtures
+of these archetypes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+
+__all__ = ["TaggerProfile", "PROFILE_PRESETS", "preset"]
+
+
+@dataclass(frozen=True)
+class TaggerProfile:
+    """Behavioural parameters of one tagger archetype."""
+
+    name: str = "casual"
+    noise_rate: float = 0.10
+    mean_tags_per_post: float = 3.0
+    max_tags_per_post: int = 10
+    typo_rate: float = 0.25
+    vocabulary_breadth: float = 1.0
+    reliability: float = 0.9
+
+    def validate(self) -> "TaggerProfile":
+        if not 0.0 <= self.noise_rate <= 1.0:
+            raise ConfigError(f"noise_rate must be in [0,1], got {self.noise_rate}")
+        if self.mean_tags_per_post < 1.0:
+            raise ConfigError("mean_tags_per_post must be >= 1")
+        if self.max_tags_per_post < 1:
+            raise ConfigError("max_tags_per_post must be >= 1")
+        if not 0.0 <= self.typo_rate <= 1.0:
+            raise ConfigError("typo_rate must be in [0,1]")
+        if not 0.0 < self.vocabulary_breadth <= 1.0:
+            raise ConfigError("vocabulary_breadth must be in (0,1]")
+        if not 0.0 <= self.reliability <= 1.0:
+            raise ConfigError("reliability must be in [0,1]")
+        return self
+
+    def with_noise(self, noise_rate: float) -> "TaggerProfile":
+        return replace(self, noise_rate=noise_rate).validate()
+
+
+PROFILE_PRESETS: dict[str, TaggerProfile] = {
+    # The modal crowd worker: small posts, some noise.
+    "casual": TaggerProfile(
+        name="casual", noise_rate=0.10, mean_tags_per_post=3.0,
+        max_tags_per_post=10, typo_rate=0.25, vocabulary_breadth=1.0,
+        reliability=0.90,
+    ),
+    # Domain expert (e.g. scientific-paper taggers, Sec. I): larger,
+    # cleaner posts covering more aspects of the resource.
+    "expert": TaggerProfile(
+        name="expert", noise_rate=0.02, mean_tags_per_post=5.0,
+        max_tags_per_post=12, typo_rate=0.05, vocabulary_breadth=1.0,
+        reliability=0.99,
+    ),
+    # Low-effort worker: minimal posts, high noise.
+    "sloppy": TaggerProfile(
+        name="sloppy", noise_rate=0.30, mean_tags_per_post=1.6,
+        max_tags_per_post=4, typo_rate=0.45, vocabulary_breadth=0.6,
+        reliability=0.70,
+    ),
+    # Adversarial spammer: posts are almost pure noise; the approval
+    # process (Sec. III-A) exists to filter these out.
+    "spammer": TaggerProfile(
+        name="spammer", noise_rate=0.95, mean_tags_per_post=2.0,
+        max_tags_per_post=6, typo_rate=0.50, vocabulary_breadth=0.2,
+        reliability=0.15,
+    ),
+}
+
+
+def preset(name: str) -> TaggerProfile:
+    """Look up a preset profile by name."""
+    if name not in PROFILE_PRESETS:
+        raise ConfigError(
+            f"unknown tagger preset {name!r}; have {sorted(PROFILE_PRESETS)}"
+        )
+    return PROFILE_PRESETS[name]

@@ -1,0 +1,34 @@
+"""Tagging data model: vocabularies, posts, rfds, resources, corpora.
+
+Implements Sec. II of the paper: resources ``R``, tags ``T``, posts
+(non-empty tag sets) and per-resource post sequences, plus the relative
+frequency distributions (rfds) the quality metric is built on.
+"""
+
+from .corpus import Corpus
+from .normalize import (
+    DEFAULT_STOPWORDS,
+    TypoMerger,
+    edit_distance,
+    normalize_tag,
+)
+from .post import Post
+from .resource import ResourceKind, TaggedResource
+from .rfd import TagCounter, rfd_from_posts, rfd_vector
+from .statistics import (
+    CorpusSummary,
+    gini_coefficient,
+    posts_histogram,
+    summarize_corpus,
+    top_k_share,
+    vocabulary_growth,
+)
+from .vocabulary import Vocabulary
+
+__all__ = [
+    "Vocabulary", "Post", "TagCounter", "rfd_vector", "rfd_from_posts",
+    "TaggedResource", "ResourceKind", "Corpus",
+    "normalize_tag", "edit_distance", "TypoMerger", "DEFAULT_STOPWORDS",
+    "gini_coefficient", "top_k_share", "posts_histogram",
+    "vocabulary_growth", "CorpusSummary", "summarize_corpus",
+]

@@ -1,0 +1,126 @@
+"""The corpus: a set of resources sharing one vocabulary.
+
+This is the ``R`` of the paper, the object strategies allocate over.
+It exposes the post-count vector ``c⃗``, per-resource rfds, and routing
+of incoming posts to the right resource.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import PostError, ResourceNotFoundError
+from .post import Post
+from .resource import TaggedResource
+from .vocabulary import Vocabulary
+
+__all__ = ["Corpus"]
+
+
+class Corpus:
+    """Resources indexed by id, plus the shared vocabulary."""
+
+    def __init__(self, vocabulary: Vocabulary | None = None) -> None:
+        self.vocabulary = vocabulary if vocabulary is not None else Vocabulary()
+        self._resources: dict[int, TaggedResource] = {}
+
+    # ------------------------------------------------------------------
+
+    def add_resource(self, resource: TaggedResource) -> TaggedResource:
+        if resource.resource_id in self._resources:
+            raise PostError(
+                f"resource id {resource.resource_id} already exists in corpus"
+            )
+        self._resources[resource.resource_id] = resource
+        return resource
+
+    def resource(self, resource_id: int) -> TaggedResource:
+        if resource_id not in self._resources:
+            raise ResourceNotFoundError(
+                f"no resource {resource_id} in corpus of {len(self._resources)}"
+            )
+        return self._resources[resource_id]
+
+    def has_resource(self, resource_id: int) -> bool:
+        return resource_id in self._resources
+
+    def resource_ids(self) -> list[int]:
+        return sorted(self._resources)
+
+    def resources(self) -> list[TaggedResource]:
+        return [self._resources[resource_id] for resource_id in self.resource_ids()]
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+    def __iter__(self) -> Iterator[TaggedResource]:
+        return iter(self.resources())
+
+    # ------------------------------------------------------------------
+
+    def add_post(self, post: Post) -> Post:
+        """Route a post to its resource; returns the sequenced copy."""
+        return self.resource(post.resource_id).add_post(post)
+
+    def add_posts(self, posts: Iterable[Post]) -> int:
+        count = 0
+        for post in posts:
+            self.add_post(post)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+
+    def post_counts(self) -> dict[int, int]:
+        """The paper's ``c⃗``: resource id -> number of posts."""
+        return {
+            resource_id: self._resources[resource_id].n_posts
+            for resource_id in self.resource_ids()
+        }
+
+    def post_count_vector(self) -> np.ndarray:
+        """Post counts as an array aligned to sorted resource ids."""
+        return np.array(
+            [self._resources[rid].n_posts for rid in self.resource_ids()],
+            dtype=np.int64,
+        )
+
+    def total_posts(self) -> int:
+        return sum(resource.n_posts for resource in self._resources.values())
+
+    def popularity(self) -> dict[int, float]:
+        return {
+            resource_id: self._resources[resource_id].popularity
+            for resource_id in self.resource_ids()
+        }
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "vocabulary": self.vocabulary.to_list(),
+            "frozen": self.vocabulary.frozen,
+            "resources": [resource.to_dict() for resource in self.resources()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Corpus":
+        vocabulary = Vocabulary.from_list(
+            data["vocabulary"], frozen=data.get("frozen", False)
+        )
+        corpus = cls(vocabulary)
+        for resource_data in data["resources"]:
+            corpus.add_resource(TaggedResource.from_dict(resource_data))
+        return corpus
+
+    def copy(self) -> "Corpus":
+        """Deep copy (resources replay their post sequences)."""
+        return Corpus.from_dict(self.to_dict())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Corpus(resources={len(self)}, vocabulary={len(self.vocabulary)}, "
+            f"posts={self.total_posts()})"
+        )

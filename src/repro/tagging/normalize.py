@@ -1,0 +1,130 @@
+"""Tag normalization: the paper's "noisy" tags include typos and junk.
+
+The cleaner is intentionally conservative: lowercasing, whitespace and
+punctuation trimming, stopword removal, and optional merge of rare tags
+into a frequent tag at edit distance 1 (classic typo collapse).  The
+merge only fires when the frequent tag is at least ``merge_ratio`` times
+more common — merging "cat" into "car" on equal counts would be wrong.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+__all__ = [
+    "normalize_tag",
+    "edit_distance",
+    "TypoMerger",
+    "DEFAULT_STOPWORDS",
+]
+
+DEFAULT_STOPWORDS = frozenset(
+    {
+        "the", "a", "an", "and", "or", "of", "to", "in", "on", "for",
+        "is", "it", "this", "that", "with", "at", "by", "from",
+    }
+)
+
+_STRIP_CHARS = " \t\n\r\"'`.,;:!?()[]{}<>"
+
+
+def normalize_tag(tag: str, *, stopwords: frozenset[str] = DEFAULT_STOPWORDS) -> str | None:
+    """Canonical form of a raw tag, or ``None`` if it normalizes away.
+
+    >>> normalize_tag("  Machine-Learning! ")
+    'machine-learning'
+    >>> normalize_tag("THE") is None
+    True
+    """
+    if not isinstance(tag, str):
+        return None
+    cleaned = tag.strip(_STRIP_CHARS).lower()
+    cleaned = " ".join(cleaned.split())
+    cleaned = cleaned.replace(" ", "-")
+    if not cleaned:
+        return None
+    if cleaned in stopwords:
+        return None
+    return cleaned
+
+
+def edit_distance(left: str, right: str, *, limit: int = 2) -> int:
+    """Levenshtein distance with early exit once it exceeds ``limit``."""
+    if left == right:
+        return 0
+    if abs(len(left) - len(right)) > limit:
+        return limit + 1
+    if len(left) > len(right):
+        left, right = right, left
+    previous = list(range(len(left) + 1))
+    for row, right_char in enumerate(right, start=1):
+        current = [row]
+        best = row
+        for col, left_char in enumerate(left, start=1):
+            cost = 0 if left_char == right_char else 1
+            value = min(
+                previous[col] + 1,
+                current[col - 1] + 1,
+                previous[col - 1] + cost,
+            )
+            current.append(value)
+            best = min(best, value)
+        if best > limit:
+            return limit + 1
+        previous = current
+    return previous[-1]
+
+
+class TypoMerger:
+    """Maps rare tags to a much-more-frequent tag at edit distance 1.
+
+    Build once from corpus tag counts, then apply to tag strings.
+    """
+
+    def __init__(
+        self,
+        counts: Mapping[str, int],
+        *,
+        min_frequent_count: int = 10,
+        merge_ratio: float = 5.0,
+        max_rare_count: int = 2,
+    ) -> None:
+        if merge_ratio < 1.0:
+            raise ValueError(f"merge_ratio must be >= 1, got {merge_ratio}")
+        self._mapping: dict[str, str] = {}
+        frequent = [
+            (tag, count)
+            for tag, count in counts.items()
+            if count >= min_frequent_count
+        ]
+        by_length: dict[int, list[tuple[str, int]]] = {}
+        for tag, count in frequent:
+            by_length.setdefault(len(tag), []).append((tag, count))
+        for tag, count in counts.items():
+            if count > max_rare_count:
+                continue
+            best: tuple[str, int] | None = None
+            for length in (len(tag) - 1, len(tag), len(tag) + 1):
+                for candidate, candidate_count in by_length.get(length, ()):
+                    if candidate == tag:
+                        continue
+                    if candidate_count < merge_ratio * count:
+                        continue
+                    if edit_distance(tag, candidate, limit=1) <= 1:
+                        if best is None or candidate_count > best[1]:
+                            best = (candidate, candidate_count)
+            if best is not None:
+                self._mapping[tag] = best[0]
+
+    @property
+    def mapping(self) -> dict[str, str]:
+        return dict(self._mapping)
+
+    def apply(self, tag: str) -> str:
+        return self._mapping.get(tag, tag)
+
+    def apply_all(self, tags: Iterable[str]) -> list[str]:
+        return [self.apply(tag) for tag in tags]
+
+    def __len__(self) -> int:
+        return len(self._mapping)

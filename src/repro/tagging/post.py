@@ -1,0 +1,96 @@
+"""Posts: the unit of tagging work.
+
+"A post is a nonempty set of tags assigned to a resource by a tagger in
+one tagging operation" (Sec. II).  Tag ids inside a post are stored as a
+sorted tuple of distinct ids — set semantics with a deterministic order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+from ..errors import PostError
+
+__all__ = ["Post"]
+
+
+@dataclass(frozen=True)
+class Post:
+    """One tagging operation on one resource.
+
+    ``index`` is the 1-based position in the resource's post sequence
+    (``p_i(k)`` in the paper); 0 means "not yet sequenced".
+    """
+
+    resource_id: int
+    tagger_id: int
+    tag_ids: tuple[int, ...]
+    index: int = 0
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not len(self.tag_ids):
+            raise PostError(
+                f"post on resource {self.resource_id} must contain at least one tag"
+            )
+        # Coerce to plain ints (callers often pass numpy integers).
+        deduped = tuple(sorted({int(tag_id) for tag_id in self.tag_ids}))
+        if any(tag_id < 0 for tag_id in deduped):
+            raise PostError(f"negative tag id in post on resource {self.resource_id}")
+        object.__setattr__(self, "tag_ids", deduped)
+        if self.index < 0:
+            raise PostError(f"post index must be >= 0, got {self.index}")
+
+    @classmethod
+    def from_tags(
+        cls,
+        resource_id: int,
+        tagger_id: int,
+        tags: Iterable[int],
+        *,
+        index: int = 0,
+        timestamp: float = 0.0,
+    ) -> "Post":
+        return cls(
+            resource_id=resource_id,
+            tagger_id=tagger_id,
+            tag_ids=tuple(tags),
+            index=index,
+            timestamp=timestamp,
+        )
+
+    def with_index(self, index: int) -> "Post":
+        """Copy of this post sequenced at position ``index`` (1-based)."""
+        if index < 1:
+            raise PostError(f"sequenced post index must be >= 1, got {index}")
+        return Post(
+            resource_id=self.resource_id,
+            tagger_id=self.tagger_id,
+            tag_ids=self.tag_ids,
+            index=index,
+            timestamp=self.timestamp,
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.tag_ids)
+
+    def to_dict(self) -> dict:
+        return {
+            "resource_id": self.resource_id,
+            "tagger_id": self.tagger_id,
+            "tag_ids": list(self.tag_ids),
+            "index": self.index,
+            "timestamp": self.timestamp,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Post":
+        return cls(
+            resource_id=data["resource_id"],
+            tagger_id=data["tagger_id"],
+            tag_ids=tuple(data["tag_ids"]),
+            index=data.get("index", 0),
+            timestamp=data.get("timestamp", 0.0),
+        )

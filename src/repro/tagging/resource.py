@@ -1,0 +1,169 @@
+"""Tagged resources: post sequences plus incremental rfd state."""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..errors import PostError
+from .post import Post
+from .rfd import TagCounter
+
+__all__ = ["ResourceKind", "TaggedResource"]
+
+
+class ResourceKind(enum.Enum):
+    """The resource media types the paper's provider UI supports."""
+
+    URL = "url"
+    IMAGE = "image"
+    VIDEO = "video"
+    SOUND = "sound"
+    PAPER = "paper"
+
+    @classmethod
+    def coerce(cls, value: "ResourceKind | str") -> "ResourceKind":
+        if isinstance(value, cls):
+            return value
+        return cls(value)
+
+
+class TaggedResource:
+    """One resource ``r_i`` with its post sequence ``(p_i(1), p_i(2), ...)``.
+
+    Maintains the running :class:`TagCounter` and the distance history
+    between successive rfds (fed to stability estimators).  ``theta``
+    optionally carries the latent true tag distribution used by the
+    simulator and the oracle quality — production resources have
+    ``theta is None``.
+    """
+
+    def __init__(
+        self,
+        resource_id: int,
+        name: str,
+        *,
+        kind: ResourceKind | str = ResourceKind.URL,
+        theta: np.ndarray | None = None,
+        popularity: float = 1.0,
+    ) -> None:
+        if popularity < 0:
+            raise PostError(f"popularity must be >= 0, got {popularity}")
+        self.resource_id = resource_id
+        self.name = name
+        self.kind = ResourceKind.coerce(kind)
+        self.popularity = float(popularity)
+        self.theta = theta
+        self._posts: list[Post] = []
+        self._counter = TagCounter()
+        self._successive_deltas: list[float] = []
+        self._prev_frequencies: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_posts(self) -> int:
+        return len(self._posts)
+
+    @property
+    def counter(self) -> TagCounter:
+        return self._counter
+
+    @property
+    def posts(self) -> tuple[Post, ...]:
+        return tuple(self._posts)
+
+    @property
+    def successive_deltas(self) -> tuple[float, ...]:
+        """TV distances between consecutive rfds, one per post after the first."""
+        return tuple(self._successive_deltas)
+
+    def add_post(self, post: Post) -> Post:
+        """Append ``post`` to the sequence; returns the sequenced copy."""
+        if post.resource_id != self.resource_id:
+            raise PostError(
+                f"post targets resource {post.resource_id}, "
+                f"not {self.resource_id}"
+            )
+        sequenced = post.with_index(len(self._posts) + 1)
+        self._counter.add_post(sequenced)
+        new_frequencies = self._counter.frequencies()
+        if len(self._posts) >= 1:
+            self._successive_deltas.append(
+                _tv_sparse(self._prev_frequencies, new_frequencies)
+            )
+        self._prev_frequencies = new_frequencies
+        self._posts.append(sequenced)
+        return sequenced
+
+    def add_posts(self, posts: Iterable[Post]) -> None:
+        for post in posts:
+            self.add_post(post)
+
+    # ------------------------------------------------------------------
+
+    def frequencies(self) -> dict[int, float]:
+        """Current sparse rfd ``f_i(k)``."""
+        return self._counter.frequencies()
+
+    def rfd(self, vocabulary_size: int) -> np.ndarray:
+        """Current dense rfd aligned to the vocabulary."""
+        return self._counter.vector(vocabulary_size)
+
+    def rfd_at(self, k: int, vocabulary_size: int) -> np.ndarray:
+        """Dense rfd after the first ``k`` posts (replays the prefix)."""
+        if not 0 <= k <= len(self._posts):
+            raise PostError(
+                f"resource {self.resource_id}: rfd_at({k}) out of range "
+                f"[0, {len(self._posts)}]"
+            )
+        counter = TagCounter()
+        for post in self._posts[:k]:
+            counter.add_post(post)
+        return counter.vector(vocabulary_size)
+
+    def to_dict(self) -> dict:
+        return {
+            "resource_id": self.resource_id,
+            "name": self.name,
+            "kind": self.kind.value,
+            "popularity": self.popularity,
+            "theta": None if self.theta is None else self.theta.tolist(),
+            "posts": [post.to_dict() for post in self._posts],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaggedResource":
+        theta = data.get("theta")
+        resource = cls(
+            resource_id=data["resource_id"],
+            name=data["name"],
+            kind=data.get("kind", "url"),
+            theta=None if theta is None else np.asarray(theta, dtype=np.float64),
+            popularity=data.get("popularity", 1.0),
+        )
+        for post_data in data.get("posts", []):
+            post = Post.from_dict(post_data)
+            resource.add_post(
+                Post(
+                    resource_id=post.resource_id,
+                    tagger_id=post.tagger_id,
+                    tag_ids=post.tag_ids,
+                    timestamp=post.timestamp,
+                )
+            )
+        return resource
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaggedResource(id={self.resource_id}, name={self.name!r}, "
+            f"posts={self.n_posts})"
+        )
+
+
+def _tv_sparse(left: dict[int, float], right: dict[int, float]) -> float:
+    """Total-variation distance between two sparse distributions."""
+    keys = left.keys() | right.keys()
+    return 0.5 * sum(abs(left.get(key, 0.0) - right.get(key, 0.0)) for key in keys)

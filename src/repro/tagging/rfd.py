@@ -1,0 +1,141 @@
+"""Relative frequency distributions (rfds) of tags.
+
+The rfd after ``k`` posts, ``f_i(k)``, is the relative frequency of each
+tag among all tag occurrences in the first ``k`` posts of resource
+``r_i`` (Sec. II).  The paper's quality metric is built on the
+*stability* of this distribution as posts arrive.
+
+`TagCounter` maintains counts incrementally (O(|post|) per update) and
+can produce dense numpy vectors aligned to a vocabulary, or sparse
+dicts.  It also records the trajectory of distances between successive
+rfds, which the stability estimators consume without replaying history.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import PostError
+from .post import Post
+
+__all__ = ["TagCounter", "rfd_vector", "rfd_from_posts"]
+
+
+class TagCounter:
+    """Incremental tag-occurrence counts for one resource."""
+
+    def __init__(self) -> None:
+        self._counts: dict[int, int] = {}
+        self._total = 0
+        self._n_posts = 0
+
+    # ------------------------------------------------------------------
+
+    def add_post(self, post: Post | Iterable[int]) -> None:
+        """Count one post's tags (distinct tags, one occurrence each)."""
+        tag_ids = post.tag_ids if isinstance(post, Post) else tuple(post)
+        if not tag_ids:
+            raise PostError("cannot count an empty post")
+        for tag_id in tag_ids:
+            self._counts[tag_id] = self._counts.get(tag_id, 0) + 1
+        self._total += len(tag_ids)
+        self._n_posts += 1
+
+    def remove_post(self, post: Post | Iterable[int]) -> None:
+        """Undo :meth:`add_post` (used by transactional replays)."""
+        tag_ids = post.tag_ids if isinstance(post, Post) else tuple(post)
+        for tag_id in tag_ids:
+            current = self._counts.get(tag_id, 0)
+            if current <= 0:
+                raise PostError(f"cannot remove tag {tag_id}: count already zero")
+            if current == 1:
+                del self._counts[tag_id]
+            else:
+                self._counts[tag_id] = current - 1
+        self._total -= len(tag_ids)
+        self._n_posts -= 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_posts(self) -> int:
+        return self._n_posts
+
+    @property
+    def total_occurrences(self) -> int:
+        return self._total
+
+    @property
+    def support_size(self) -> int:
+        return len(self._counts)
+
+    def count_of(self, tag_id: int) -> int:
+        return self._counts.get(tag_id, 0)
+
+    def counts(self) -> dict[int, int]:
+        return dict(self._counts)
+
+    def frequencies(self) -> dict[int, float]:
+        """Sparse rfd: tag id -> relative frequency (sums to 1)."""
+        if self._total == 0:
+            return {}
+        return {tag_id: count / self._total for tag_id, count in self._counts.items()}
+
+    def top_tags(self, count: int) -> list[tuple[int, int]]:
+        """The ``count`` most frequent (tag id, count) pairs, ties by id."""
+        ordered = sorted(self._counts.items(), key=lambda item: (-item[1], item[0]))
+        return ordered[:count]
+
+    def vector(self, size: int) -> np.ndarray:
+        """Dense rfd over a vocabulary of ``size`` tags (zeros if empty)."""
+        return rfd_vector(self._counts, size, total=self._total)
+
+    def copy(self) -> "TagCounter":
+        clone = TagCounter()
+        clone._counts = dict(self._counts)
+        clone._total = self._total
+        clone._n_posts = self._n_posts
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TagCounter(posts={self._n_posts}, occurrences={self._total}, "
+            f"support={len(self._counts)})"
+        )
+
+
+def rfd_vector(
+    counts: Mapping[int, int], size: int, *, total: int | None = None
+) -> np.ndarray:
+    """Dense rfd vector from a sparse count mapping.
+
+    Raises if any tag id falls outside ``[0, size)``.  An empty counter
+    yields the all-zeros vector (not uniform): "no posts" carries no
+    information and quality treats it as minimally stable.
+    """
+    vector = np.zeros(size, dtype=np.float64)
+    if not counts:
+        return vector
+    ids = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+    values = np.fromiter(counts.values(), dtype=np.float64, count=len(counts))
+    if ids.size and (ids.min() < 0 or ids.max() >= size):
+        raise PostError(
+            f"tag id out of range for vocabulary of size {size}: "
+            f"[{ids.min()}, {ids.max()}]"
+        )
+    if total is None:
+        total = float(values.sum())
+    if total <= 0:
+        return vector
+    vector[ids] = values / total
+    return vector
+
+
+def rfd_from_posts(posts: Iterable[Post], size: int) -> np.ndarray:
+    """Dense rfd over all posts (convenience for tests and analysis)."""
+    counter = TagCounter()
+    for post in posts:
+        counter.add_post(post)
+    return counter.vector(size)

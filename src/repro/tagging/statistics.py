@@ -1,0 +1,150 @@
+"""Corpus statistics backing the paper's motivation (Sec. I).
+
+The key published phenomenon: "most tags are added to the few highly-
+popular resources, while most of the resources receive few tags"
+(Golder & Huberman 2006, cited as [5]).  These helpers quantify that:
+post-count skew, Gini coefficient, top-k coverage, and vocabulary
+growth, all of which the dataset generator's tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .corpus import Corpus
+
+__all__ = [
+    "gini_coefficient",
+    "top_k_share",
+    "posts_histogram",
+    "vocabulary_growth",
+    "CorpusSummary",
+    "summarize_corpus",
+]
+
+
+def gini_coefficient(values: np.ndarray | list[float]) -> float:
+    """Gini coefficient in [0, 1]; 0 = uniform, -> 1 = concentrated.
+
+    Uses the mean-absolute-difference formulation; empty or all-zero
+    inputs return 0.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    if np.any(array < 0):
+        raise ValueError("gini_coefficient requires non-negative values")
+    total = array.sum()
+    if total <= 0:
+        return 0.0
+    sorted_values = np.sort(array)
+    ranks = np.arange(1, array.size + 1, dtype=np.float64)
+    return float(
+        (2.0 * np.sum(ranks * sorted_values)) / (array.size * total)
+        - (array.size + 1.0) / array.size
+    )
+
+
+def top_k_share(values: np.ndarray | list[float], fraction: float = 0.1) -> float:
+    """Share of the total held by the top ``fraction`` of items.
+
+    ``top_k_share(posts, 0.1) == 0.6`` means the most-tagged 10% of
+    resources hold 60% of all posts.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0,1], got {fraction}")
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    total = array.sum()
+    if total <= 0:
+        return 0.0
+    k = max(1, int(round(fraction * array.size)))
+    top = np.sort(array)[::-1][:k]
+    return float(top.sum() / total)
+
+
+def posts_histogram(corpus: Corpus, bins: list[int] | None = None) -> dict[str, int]:
+    """Histogram of post counts over paper-style buckets.
+
+    Default buckets: 0, 1–4, 5–9, 10–49, 50–99, 100+.
+    """
+    edges = bins if bins is not None else [0, 1, 5, 10, 50, 100]
+    counts = corpus.post_count_vector()
+    labels: list[str] = []
+    for position, low in enumerate(edges):
+        if position + 1 < len(edges):
+            high = edges[position + 1] - 1
+            labels.append(str(low) if high == low else f"{low}-{high}")
+        else:
+            labels.append(f"{low}+")
+    histogram = {label: 0 for label in labels}
+    for value in counts:
+        for position in range(len(edges) - 1, -1, -1):
+            if value >= edges[position]:
+                histogram[labels[position]] += 1
+                break
+    return histogram
+
+
+def vocabulary_growth(corpus: Corpus) -> list[tuple[int, int]]:
+    """(total posts processed, distinct tags seen) trajectory.
+
+    Replays posts resource-by-resource in id order; the curve is used to
+    sanity-check Heaps-like sublinear growth of the tag vocabulary.
+    """
+    seen: set[int] = set()
+    trajectory: list[tuple[int, int]] = []
+    processed = 0
+    for resource in corpus.resources():
+        for post in resource.posts:
+            processed += 1
+            seen.update(post.tag_ids)
+            trajectory.append((processed, len(seen)))
+    return trajectory
+
+
+@dataclass(frozen=True)
+class CorpusSummary:
+    """One-screen corpus description used by the CLI and examples."""
+
+    n_resources: int
+    n_tags: int
+    total_posts: int
+    mean_posts: float
+    median_posts: float
+    max_posts: int
+    zero_post_resources: int
+    gini: float
+    top10_share: float
+
+    def lines(self) -> list[str]:
+        return [
+            f"resources        : {self.n_resources}",
+            f"vocabulary       : {self.n_tags}",
+            f"total posts      : {self.total_posts}",
+            f"posts/resource   : mean {self.mean_posts:.2f}, "
+            f"median {self.median_posts:.1f}, max {self.max_posts}",
+            f"untagged         : {self.zero_post_resources}",
+            f"gini(posts)      : {self.gini:.3f}",
+            f"top-10% share    : {self.top10_share:.1%}",
+        ]
+
+
+def summarize_corpus(corpus: Corpus) -> CorpusSummary:
+    counts = corpus.post_count_vector()
+    if counts.size == 0:
+        return CorpusSummary(0, len(corpus.vocabulary), 0, 0.0, 0.0, 0, 0, 0.0, 0.0)
+    return CorpusSummary(
+        n_resources=len(corpus),
+        n_tags=len(corpus.vocabulary),
+        total_posts=int(counts.sum()),
+        mean_posts=float(counts.mean()),
+        median_posts=float(np.median(counts)),
+        max_posts=int(counts.max()),
+        zero_post_resources=int((counts == 0).sum()),
+        gini=gini_coefficient(counts),
+        top10_share=top_k_share(counts, 0.1),
+    )

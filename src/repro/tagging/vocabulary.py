@@ -1,0 +1,93 @@
+"""Tag vocabulary: a bidirectional mapping tag string <-> integer id.
+
+All rfd computations work on integer tag ids (dense numpy-friendly);
+the vocabulary is the single owner of the mapping.  A vocabulary can be
+*frozen* once a dataset is generated, after which unknown tags raise
+instead of being added silently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..errors import VocabularyError
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Grows monotonically; ids are assigned densely from 0."""
+
+    def __init__(self, tags: Iterable[str] = ()) -> None:
+        self._tag_to_id: dict[str, int] = {}
+        self._id_to_tag: list[str] = []
+        self._frozen = False
+        for tag in tags:
+            self.add(tag)
+
+    # ------------------------------------------------------------------
+
+    def add(self, tag: str) -> int:
+        """Add ``tag`` if new; return its id either way."""
+        if not isinstance(tag, str) or not tag:
+            raise VocabularyError(f"tags must be non-empty strings, got {tag!r}")
+        existing = self._tag_to_id.get(tag)
+        if existing is not None:
+            return existing
+        if self._frozen:
+            raise VocabularyError(f"vocabulary is frozen; cannot add {tag!r}")
+        tag_id = len(self._id_to_tag)
+        self._tag_to_id[tag] = tag_id
+        self._id_to_tag.append(tag)
+        return tag_id
+
+    def add_all(self, tags: Iterable[str]) -> list[int]:
+        return [self.add(tag) for tag in tags]
+
+    def id_of(self, tag: str) -> int:
+        if tag not in self._tag_to_id:
+            raise VocabularyError(f"unknown tag {tag!r}")
+        return self._tag_to_id[tag]
+
+    def tag_of(self, tag_id: int) -> str:
+        if not 0 <= tag_id < len(self._id_to_tag):
+            raise VocabularyError(
+                f"unknown tag id {tag_id}; vocabulary has {len(self._id_to_tag)} tags"
+            )
+        return self._id_to_tag[tag_id]
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._tag_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_tag)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_tag)
+
+    # ------------------------------------------------------------------
+
+    def freeze(self) -> "Vocabulary":
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def to_list(self) -> list[str]:
+        """Tags in id order (serialization format)."""
+        return list(self._id_to_tag)
+
+    @classmethod
+    def from_list(cls, tags: list[str], *, frozen: bool = False) -> "Vocabulary":
+        vocabulary = cls(tags)
+        if len(vocabulary) != len(tags):
+            raise VocabularyError("duplicate tags in serialized vocabulary")
+        if frozen:
+            vocabulary.freeze()
+        return vocabulary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "frozen" if self._frozen else "open"
+        return f"Vocabulary(size={len(self)}, {state})"

@@ -1,0 +1,74 @@
+"""Shared fixtures: small deterministic datasets, stores, systems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_delicious_like
+from repro.rng import RngRegistry
+from repro.store import Column, Database, DataType, Schema
+from repro.tagging import Corpus, Post, TaggedResource, Vocabulary
+
+
+@pytest.fixture(scope="session")
+def small_data():
+    """A session-scoped small Delicious-like dataset (read-only!).
+
+    Tests that mutate the corpus must use ``small_data_copy`` or build
+    their own.
+    """
+    return make_delicious_like(
+        n_resources=30,
+        initial_posts_total=240,
+        master_seed=42,
+        population_size=30,
+    )
+
+
+@pytest.fixture()
+def small_data_copy(small_data):
+    """A mutable deep copy of the small dataset's provider corpus."""
+    return small_data.split.provider_corpus.copy()
+
+
+@pytest.fixture()
+def rng():
+    return RngRegistry(123)
+
+
+@pytest.fixture()
+def resources_table():
+    """A fresh store table with the canonical test schema + indexes."""
+    database = Database("test")
+    schema = Schema(
+        [
+            Column("id", DataType.INT),
+            Column("name", DataType.TEXT, unique=True),
+            Column("kind", DataType.TEXT),
+            Column("quality", DataType.FLOAT, nullable=True),
+            Column("meta", DataType.JSON, nullable=True),
+        ],
+        primary_key="id",
+    )
+    table = database.create_table("resources", schema)
+    table.create_index("kind", kind="hash")
+    table.create_index("quality", kind="sorted")
+    return database, table
+
+
+@pytest.fixture()
+def tiny_corpus():
+    """Three resources, tiny vocab, hand-built posts."""
+    vocabulary = Vocabulary(["cat", "dog", "bird", "fish", "noise"])
+    corpus = Corpus(vocabulary)
+    theta_a = np.array([0.6, 0.4, 0.0, 0.0, 0.0])
+    theta_b = np.array([0.0, 0.0, 0.7, 0.3, 0.0])
+    theta_c = np.array([0.25, 0.25, 0.25, 0.25, 0.0])
+    corpus.add_resource(TaggedResource(1, "a", theta=theta_a, popularity=10.0))
+    corpus.add_resource(TaggedResource(2, "b", theta=theta_b, popularity=1.0))
+    corpus.add_resource(TaggedResource(3, "c", theta=theta_c, popularity=1.0))
+    corpus.add_post(Post.from_tags(1, 100, [0, 1]))
+    corpus.add_post(Post.from_tags(1, 101, [0]))
+    corpus.add_post(Post.from_tags(2, 100, [2, 3]))
+    return corpus

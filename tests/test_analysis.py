@@ -1,0 +1,90 @@
+"""Unit tests: tables, ASCII plots, aggregation."""
+
+import pytest
+
+from repro.analysis import (
+    SeriesStats,
+    aggregate,
+    line_plot,
+    mean_std,
+    multi_line_plot,
+    render_markdown_table,
+    render_table,
+    sparkline,
+)
+
+
+class TestTables:
+    def test_alignment_and_rule(self):
+        text = render_table(["name", "v"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row has"):
+            render_table(["a", "b"], [[1]])
+
+    def test_markdown_table(self):
+        text = render_markdown_table(["a", "b"], [[1, 2]])
+        assert text.splitlines()[0] == "| a | b |"
+        assert text.splitlines()[1] == "|---|---|"
+
+
+class TestPlots:
+    def test_sparkline_shapes(self):
+        assert sparkline([]) == ""
+        assert len(sparkline([1, 2, 3])) == 3
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+        rising = sparkline([0, 1, 2, 3])
+        assert rising[0] == "▁" and rising[-1] == "█"
+
+    def test_line_plot_contains_markers_and_labels(self):
+        text = line_plot([0.0, 1.0, 2.0], [0.0, 0.5, 1.0], label="q")
+        assert "Q" in text
+        assert "1.000" in text and "0.000" in text
+
+    def test_multi_line_distinct_markers(self):
+        text = multi_line_plot(
+            [0.0, 1.0],
+            {"fp": [0.1, 0.5], "fc": [0.1, 0.2]},
+            width=20,
+            height=5,
+        )
+        legend = text.splitlines()[-1]
+        assert "F=fc" in legend
+        assert "0=fp" in legend or "P=fp" in legend  # dedup fallback
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            multi_line_plot([0.0, 1.0], {"x": [0.1]})
+
+    def test_empty_input(self):
+        assert multi_line_plot([], {}) == "(no data)"
+
+    def test_constant_series_no_crash(self):
+        text = line_plot([0.0, 1.0], [0.5, 0.5])
+        assert "|" in text
+
+
+class TestAggregation:
+    def test_mean_std(self):
+        mean, std = mean_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx((2 / 3) ** 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_std([])
+
+    def test_aggregate_and_format(self):
+        stats = aggregate([1.0, 1.0, 1.0])
+        assert stats == SeriesStats(mean=1.0, std=0.0, n=3)
+        assert "n=3" in str(stats)
+        assert stats.ci95_half_width == 0.0
+        assert SeriesStats(1.0, 0.0, 1).ci95_half_width == 0.0

@@ -1,0 +1,63 @@
+"""Unit tests: the itag CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["version"]).command == "version"
+        args = parser.parse_args(["run-experiment", "EXP-T1", "--fast"])
+        assert args.experiment_id == "EXP-T1"
+        assert args.fast
+
+
+class TestCommands:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-T1" in out
+        assert "EXP-UI" in out
+
+    def test_run_experiment_fast_with_save(self, tmp_path, capsys):
+        path = tmp_path / "result.json"
+        code = main(["run-experiment", "EXP-ST", "--fast", "--save", str(path)])
+        assert code == 0
+        assert path.exists()
+        assert "EXP-ST" in capsys.readouterr().out
+
+    def test_run_unknown_experiment_exits_2(self, capsys):
+        assert main(["run-experiment", "EXP-NOPE"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_generate_dataset_report(self, tmp_path, capsys):
+        out = tmp_path / "corpus.json"
+        code = main(
+            [
+                "generate-dataset",
+                "--resources", "10",
+                "--posts", "40",
+                "--seed", "3",
+                "--report",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "gini" in captured
+        assert "saved:" in captured
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--seed", "11"]) == 0
+        assert "EXP-UI" in capsys.readouterr().out

@@ -1,0 +1,72 @@
+"""Tests: platform turnaround accounting and the EXP-L experiment."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import CrowdWorker, CrowdPlatform, TaggingTask
+from repro.taggers import NoiseModel, preset
+from repro.tagging import TaggedResource, Vocabulary
+
+
+def make_platform(mean_latency: float):
+    vocabulary = Vocabulary([f"t{i}" for i in range(8)])
+    noise = NoiseModel.with_typo_tags(vocabulary, 2)
+    workers = [
+        CrowdWorker(worker_id=10 + index, profile=preset("casual"))
+        for index in range(4)
+    ]
+    platform = CrowdPlatform(
+        workers, noise, np.random.default_rng(3), mean_latency=mean_latency
+    )
+    theta = np.zeros(len(vocabulary))
+    theta[:3] = [0.5, 0.3, 0.2]
+    platform.register_resource(TaggedResource(1, "r", theta=theta))
+    return platform
+
+
+class TestTurnaround:
+    def test_task_turnaround_recorded(self):
+        platform = make_platform(mean_latency=2.0)
+        task = TaggingTask(project_id=1, resource_id=1, pay=0.01)
+        platform.execute(task)
+        assert task.published_at is not None
+        assert task.turnaround is not None
+        assert task.turnaround >= 0.0
+
+    def test_turnaround_none_before_submission(self):
+        task = TaggingTask(project_id=1, resource_id=1, pay=0.01)
+        assert task.turnaround is None
+
+    def test_stats_mean_turnaround(self):
+        platform = make_platform(mean_latency=1.0)
+        for _ in range(20):
+            platform.publish(TaggingTask(project_id=1, resource_id=1, pay=0.01))
+        platform.tick(10_000.0)
+        stats = platform.stats
+        assert stats.submitted == 20
+        assert stats.mean_turnaround > 0.0
+        done = platform.collect()
+        expected = sum(task.turnaround for task in done) / len(done)
+        assert stats.mean_turnaround == pytest.approx(expected)
+
+    def test_empty_stats_mean_is_zero(self):
+        platform = make_platform(mean_latency=1.0)
+        assert platform.stats.mean_turnaround == 0.0
+
+    def test_slower_pool_has_larger_turnaround(self):
+        fast = make_platform(mean_latency=0.5)
+        slow = make_platform(mean_latency=8.0)
+        for platform in (fast, slow):
+            for _ in range(40):
+                platform.publish(TaggingTask(project_id=1, resource_id=1, pay=0.01))
+            platform.tick(10_000.0)
+        assert slow.stats.mean_turnaround > fast.stats.mean_turnaround
+
+
+class TestLatencyExperiment:
+    def test_fast_variant_claims(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("EXP-L", fast=True)
+        assert result.all_claims_pass
+        assert len(result.rows) == 2

@@ -1,0 +1,148 @@
+"""Unit tests: platform simulators (publish/tick/collect, pools, fees)."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import (
+    CrowdPlatform,
+    CrowdWorker,
+    MTurkPlatform,
+    SocialPlatform,
+    TaggingTask,
+    TaskState,
+)
+from repro.errors import PlatformError
+from repro.taggers import NoiseModel, preset
+from repro.tagging import TaggedResource, Vocabulary
+
+
+def make_platform(*, pool=3, min_approval=0.0, latency=1.0):
+    vocabulary = Vocabulary([f"t{i}" for i in range(10)])
+    noise = NoiseModel.with_typo_tags(vocabulary, 2)
+    workers = [
+        CrowdWorker(worker_id=100 + index, profile=preset("casual"))
+        for index in range(pool)
+    ]
+    platform = CrowdPlatform(
+        workers, noise, np.random.default_rng(0),
+        min_approval_rate=min_approval, mean_latency=latency,
+    )
+    theta = np.zeros(len(vocabulary))
+    theta[:3] = [0.5, 0.3, 0.2]
+    resource = TaggedResource(7, "r", theta=theta)
+    platform.register_resource(resource)
+    return platform, resource
+
+
+class TestPublishTickCollect:
+    def test_async_flow(self):
+        platform, _resource = make_platform()
+        task = TaggingTask(project_id=1, resource_id=7, pay=0.05)
+        platform.publish(task)
+        assert task.state is TaskState.ASSIGNED
+        assert platform.pending_count() == 1
+        completed = platform.tick(1000.0)
+        assert completed == 1
+        drained = platform.collect()
+        assert drained == [task]
+        assert task.post is not None
+        assert task.post.resource_id == 7
+
+    def test_tick_respects_due_times(self):
+        platform, _resource = make_platform(latency=10.0)
+        for _ in range(5):
+            platform.publish(TaggingTask(project_id=1, resource_id=7, pay=0.01))
+        early = platform.tick(0.001)
+        late = platform.tick(10_000.0)
+        assert early + late == 5
+        assert late >= 1
+
+    def test_clock_monotone(self):
+        platform, _resource = make_platform()
+        platform.tick(5.0)
+        with pytest.raises(PlatformError, match="backwards"):
+            platform.tick(1.0)
+
+    def test_execute_synchronous(self):
+        platform, _resource = make_platform()
+        task = TaggingTask(project_id=1, resource_id=7, pay=0.05)
+        platform.execute(task)
+        assert task.state is TaskState.SUBMITTED
+        assert platform.collect() == []  # execute removes its own task
+
+    def test_execute_preserves_other_pending(self):
+        platform, _resource = make_platform(latency=5.0)
+        other = TaggingTask(project_id=1, resource_id=7, pay=0.01)
+        platform.publish(other)
+        task = TaggingTask(project_id=1, resource_id=7, pay=0.01)
+        platform.execute(task)
+        # `other` may or may not have completed depending on latency draw,
+        # but it must never be lost.
+        assert platform.pending_count() + len(platform.collect()) == 1
+
+    def test_unregistered_resource_rejected(self):
+        platform, _resource = make_platform()
+        with pytest.raises(PlatformError, match="not registered"):
+            platform.publish(TaggingTask(project_id=1, resource_id=99, pay=0.01))
+
+    def test_stats_track_flow(self):
+        platform, _resource = make_platform()
+        for _ in range(3):
+            platform.execute(TaggingTask(project_id=1, resource_id=7, pay=0.01))
+        assert platform.stats.published == 3
+        assert platform.stats.submitted == 3
+
+
+class TestQualification:
+    def test_unqualified_workers_skipped(self):
+        # Fresh workers start at the 0.8 Beta prior, so a 0.5 bar keeps
+        # them hirable while the rejected worker falls below it.
+        platform, _resource = make_platform(pool=2, min_approval=0.5)
+        bad = platform.workers()[0]
+        for _ in range(30):
+            bad.record_rejection()
+        qualified = platform.qualified_workers()
+        assert bad not in qualified
+        assert len(qualified) == 1
+
+    def test_no_qualified_workers_raises(self):
+        platform, _resource = make_platform(pool=1, min_approval=0.99)
+        worker = platform.workers()[0]
+        for _ in range(50):
+            worker.record_rejection()
+        with pytest.raises(PlatformError, match="no qualified workers"):
+            platform.publish(TaggingTask(project_id=1, resource_id=7, pay=0.01))
+
+    def test_empty_pool_rejected(self):
+        vocabulary = Vocabulary(["a"])
+        noise = NoiseModel.with_typo_tags(vocabulary, 1)
+        with pytest.raises(PlatformError, match="at least one worker"):
+            CrowdPlatform([], noise, np.random.default_rng(0))
+
+
+class TestPresetPlatforms:
+    def test_mturk_pool_composition(self):
+        vocabulary = Vocabulary([f"t{i}" for i in range(5)])
+        noise = NoiseModel.with_typo_tags(vocabulary, 1)
+        platform = MTurkPlatform(noise, np.random.default_rng(1), pool_size=200)
+        profiles = [worker.profile.name for worker in platform.workers()]
+        assert profiles.count("casual") > profiles.count("expert")
+        assert platform.fee_rate == 0.20
+
+    def test_social_pool_is_expert_heavy(self):
+        vocabulary = Vocabulary([f"t{i}" for i in range(5)])
+        noise = NoiseModel.with_typo_tags(vocabulary, 1)
+        platform = SocialPlatform(noise, np.random.default_rng(1), pool_size=100)
+        profiles = [worker.profile.name for worker in platform.workers()]
+        assert profiles.count("expert") > profiles.count("sloppy")
+        assert platform.fee_rate == 0.0
+        assert platform.mean_latency > 1.0
+
+    def test_worker_id_namespaces_disjoint(self):
+        vocabulary = Vocabulary([f"t{i}" for i in range(5)])
+        noise = NoiseModel.with_typo_tags(vocabulary, 1)
+        mturk = MTurkPlatform(noise, np.random.default_rng(1), pool_size=10)
+        social = SocialPlatform(noise, np.random.default_rng(1), pool_size=10)
+        mturk_ids = {worker.worker_id for worker in mturk.workers()}
+        social_ids = {worker.worker_id for worker in social.workers()}
+        assert mturk_ids.isdisjoint(social_ids)

@@ -1,0 +1,63 @@
+"""Property-based tests: ledger conservation under arbitrary histories."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crowd import PaymentLedger
+from repro.errors import LedgerError
+
+# Operations: (kind, provider, worker, amount-in-cents, fee-percent)
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["deposit", "pay", "refund"]),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=100, max_value=105),
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=40),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(_ops)
+@settings(max_examples=80, deadline=None)
+def test_ledger_conserves_money_under_any_history(ops):
+    """Σ deposits == escrow + worker balances + fees + refunds, always."""
+    ledger = PaymentLedger()
+    for kind, provider, worker, cents, fee_percent in ops:
+        amount = cents / 100.0
+        try:
+            if kind == "deposit":
+                ledger.deposit(provider, amount)
+            elif kind == "pay":
+                ledger.pay_task(
+                    provider, worker, 0, amount, fee_rate=fee_percent / 100.0
+                )
+            else:
+                ledger.refund(provider, amount)
+        except LedgerError:
+            pass  # overdrafts are rejected, never partially applied
+        ledger.verify_conservation()
+
+
+@given(_ops)
+@settings(max_examples=40, deadline=None)
+def test_ledger_balances_never_negative(ops):
+    ledger = PaymentLedger()
+    for kind, provider, worker, cents, fee_percent in ops:
+        amount = cents / 100.0
+        try:
+            if kind == "deposit":
+                ledger.deposit(provider, amount)
+            elif kind == "pay":
+                ledger.pay_task(
+                    provider, worker, 0, amount, fee_rate=fee_percent / 100.0
+                )
+            else:
+                ledger.refund(provider, amount)
+        except LedgerError:
+            pass
+    assert all(balance >= -1e-9 for balance in ledger.escrow.values())
+    assert all(balance >= 0 for balance in ledger.worker_balance.values())
+    assert ledger.platform_fees >= 0

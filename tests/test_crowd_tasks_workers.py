@@ -1,0 +1,204 @@
+"""Unit tests: task lifecycle, workers, approval, payments."""
+
+import pytest
+
+from repro.crowd import (
+    AgreementApprovalPolicy,
+    ApprovalBook,
+    CrowdWorker,
+    PaymentLedger,
+    TaggingTask,
+    TaskState,
+)
+from repro.errors import ApprovalError, LedgerError, PlatformError
+from repro.taggers import preset
+from repro.tagging import Post, TaggedResource
+
+
+class TestTaskLifecycle:
+    def make(self) -> TaggingTask:
+        return TaggingTask(project_id=1, resource_id=7, pay=0.05)
+
+    def test_happy_path(self):
+        task = self.make()
+        task.publish()
+        task.assign(worker_id=42)
+        task.submit(Post.from_tags(7, 42, [0]), at=1.5)
+        task.approve(at=2.0)
+        assert task.state is TaskState.APPROVED
+        assert task.payable
+        assert task.terminal
+
+    def test_rejection_path(self):
+        task = self.make()
+        task.publish()
+        task.assign(42)
+        task.submit(Post.from_tags(7, 42, [0]))
+        task.reject()
+        assert task.state is TaskState.REJECTED
+        assert not task.payable
+
+    def test_illegal_transitions(self):
+        task = self.make()
+        with pytest.raises(PlatformError, match="illegal transition"):
+            task.approve()
+        task.publish()
+        with pytest.raises(PlatformError):
+            task.submit(Post.from_tags(7, 42, [0]))
+        task.assign(42)
+        task.submit(Post.from_tags(7, 42, [0]))
+        with pytest.raises(PlatformError):
+            task.publish()
+
+    def test_post_must_match_resource(self):
+        task = self.make()
+        task.publish()
+        task.assign(42)
+        with pytest.raises(PlatformError, match="targets resource"):
+            task.submit(Post.from_tags(8, 42, [0]))
+
+    def test_cancel_and_expire(self):
+        task = self.make()
+        task.cancel()
+        assert task.state is TaskState.CANCELLED
+        other = self.make()
+        other.publish()
+        other.expire()
+        assert other.terminal
+
+    def test_negative_pay_rejected(self):
+        with pytest.raises(PlatformError):
+            TaggingTask(project_id=1, resource_id=1, pay=-0.01)
+
+    def test_unique_task_ids(self):
+        assert self.make().task_id != self.make().task_id
+
+
+class TestWorker:
+    def test_smoothed_approval_rate(self):
+        worker = CrowdWorker(worker_id=1, profile=preset("casual"))
+        assert worker.approval_rate == pytest.approx(0.8)  # prior only
+        worker.record_approval(0.05)
+        assert worker.approval_rate > 0.8
+        worker.record_rejection()
+        assert worker.completed == 2
+
+    def test_earnings_accumulate(self):
+        worker = CrowdWorker(worker_id=1, profile=preset("casual"))
+        worker.record_approval(0.05)
+        worker.record_approval(0.10)
+        assert worker.earned == pytest.approx(0.15)
+
+    def test_qualification(self):
+        worker = CrowdWorker(worker_id=1, profile=preset("spammer"))
+        for _ in range(20):
+            worker.record_rejection()
+        assert not worker.qualifies(0.5)
+        worker.deactivate()
+        assert not worker.qualifies(0.0)
+
+    def test_negative_pay_rejected(self):
+        worker = CrowdWorker(worker_id=1, profile=preset("casual"))
+        with pytest.raises(PlatformError):
+            worker.record_approval(-1.0)
+
+
+class TestApprovalPolicy:
+    def make_resource(self) -> TaggedResource:
+        resource = TaggedResource(1, "r")
+        for _ in range(5):
+            resource.add_post(Post.from_tags(1, 9, [0, 1, 2]))
+        return resource
+
+    def test_agreeing_post_approved(self):
+        policy = AgreementApprovalPolicy(min_agreement=0.5)
+        assert policy.should_approve(self.make_resource(), Post.from_tags(1, 9, [0, 1]))
+
+    def test_junk_post_rejected(self):
+        policy = AgreementApprovalPolicy(min_agreement=0.5)
+        assert not policy.should_approve(
+            self.make_resource(), Post.from_tags(1, 9, [50, 51, 52])
+        )
+
+    def test_young_resource_benefit_of_doubt(self):
+        policy = AgreementApprovalPolicy(min_agreement=0.9, benefit_of_doubt_posts=3)
+        young = TaggedResource(1, "young")
+        young.add_post(Post.from_tags(1, 9, [0]))
+        assert policy.should_approve(young, Post.from_tags(1, 9, [99]))
+
+    def test_validation(self):
+        with pytest.raises(ApprovalError):
+            AgreementApprovalPolicy(min_agreement=1.5)
+        with pytest.raises(ApprovalError):
+            AgreementApprovalPolicy(benefit_of_doubt_posts=-1)
+
+
+class TestApprovalBook:
+    def test_mutual_rates(self):
+        book = ApprovalBook(provider_id=1)
+        for _ in range(4):
+            book.record_submission()
+        book.record_decision(10, True)
+        book.record_decision(10, False)
+        book.record_decision(11, True)
+        assert book.worker_approval_rate(10) == pytest.approx(0.5)
+        assert book.worker_approval_rate(11) == pytest.approx(1.0)
+        assert book.worker_approval_rate(12) == pytest.approx(1.0)  # unseen
+        # 3 of 4 decided, 2/3 approved.
+        assert book.provider_approval_rate == pytest.approx((3 / 4) * (2 / 3))
+
+    def test_decision_without_submission_rejected(self):
+        book = ApprovalBook(provider_id=1)
+        with pytest.raises(ApprovalError, match="pending"):
+            book.record_decision(10, True)
+
+    def test_fresh_book_rate_is_one(self):
+        assert ApprovalBook(provider_id=1).provider_approval_rate == 1.0
+
+
+class TestLedger:
+    def test_pay_moves_money(self):
+        ledger = PaymentLedger()
+        ledger.deposit(1, 10.0)
+        ledger.pay_task(1, 100, 7, 0.05, fee_rate=0.2)
+        assert ledger.escrow_of(1) == pytest.approx(10.0 - 0.06)
+        assert ledger.earned_by(100) == pytest.approx(0.05)
+        assert ledger.platform_fees == pytest.approx(0.01)
+        ledger.verify_conservation()
+
+    def test_overdraft_rejected(self):
+        ledger = PaymentLedger()
+        ledger.deposit(1, 0.05)
+        with pytest.raises(LedgerError, match="cannot cover"):
+            ledger.pay_task(1, 100, 7, 0.05, fee_rate=0.5)
+
+    def test_refund_full_and_partial(self):
+        ledger = PaymentLedger()
+        ledger.deposit(1, 5.0)
+        assert ledger.refund(1, 2.0) == 2.0
+        assert ledger.refund(1) == pytest.approx(3.0)
+        assert ledger.escrow_of(1) == pytest.approx(0.0)
+        ledger.verify_conservation()
+
+    def test_over_refund_rejected(self):
+        ledger = PaymentLedger()
+        ledger.deposit(1, 1.0)
+        with pytest.raises(LedgerError, match="cannot refund"):
+            ledger.refund(1, 2.0)
+
+    def test_validation(self):
+        ledger = PaymentLedger()
+        with pytest.raises(LedgerError):
+            ledger.deposit(1, -1.0)
+        ledger.deposit(1, 1.0)
+        with pytest.raises(LedgerError):
+            ledger.pay_task(1, 2, 3, -0.1)
+        with pytest.raises(LedgerError):
+            ledger.pay_task(1, 2, 3, 0.1, fee_rate=1.0)
+
+    def test_conservation_detects_tampering(self):
+        ledger = PaymentLedger()
+        ledger.deposit(1, 1.0)
+        ledger.platform_fees += 0.5  # corrupt the books
+        with pytest.raises(LedgerError, match="conservation"):
+            ledger.verify_conservation()

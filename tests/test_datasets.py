@@ -1,0 +1,169 @@
+"""Unit tests: dataset generation, temporal splits, IO."""
+
+import numpy as np
+import pytest
+
+from repro.config import DatasetConfig
+from repro.datasets import (
+    PROVIDER_CUTOFF,
+    DatasetGenerator,
+    corpus_to_database,
+    dataset_report,
+    load_corpus,
+    make_delicious_like,
+    save_corpus,
+    split_corpus_at,
+)
+from repro.rng import RngRegistry
+from repro.store import Eq, Query
+from repro.taggers.profiles import preset
+
+
+class TestGenerator:
+    def test_shapes(self, small_data):
+        corpus = small_data.dataset.corpus
+        assert len(corpus) == 30
+        assert corpus.total_posts() == 240
+        assert corpus.vocabulary.frozen
+
+    def test_thetas_are_distributions(self, small_data):
+        for resource in small_data.dataset.corpus:
+            assert resource.theta is not None
+            assert resource.theta.sum() == pytest.approx(1.0)
+            assert np.all(resource.theta >= 0)
+
+    def test_support_sizes_vary(self, small_data):
+        sizes = {
+            int(np.count_nonzero(resource.theta))
+            for resource in small_data.dataset.corpus
+        }
+        assert len(sizes) > 3
+
+    def test_determinism(self):
+        a = make_delicious_like(n_resources=10, initial_posts_total=50, master_seed=9,
+                                population_size=10)
+        b = make_delicious_like(n_resources=10, initial_posts_total=50, master_seed=9,
+                                population_size=10)
+        assert a.dataset.corpus.to_dict() == b.dataset.corpus.to_dict()
+
+    def test_different_seeds_differ(self):
+        a = make_delicious_like(n_resources=10, initial_posts_total=50, master_seed=1,
+                                population_size=10)
+        b = make_delicious_like(n_resources=10, initial_posts_total=50, master_seed=2,
+                                population_size=10)
+        assert a.dataset.corpus.to_dict() != b.dataset.corpus.to_dict()
+
+    def test_min_initial_posts_floor(self):
+        generator = DatasetGenerator(
+            DatasetConfig(
+                n_resources=8, vocabulary_size=100, n_topics=4,
+                initial_posts_total=30, min_initial_posts=2,
+            ),
+            rng=RngRegistry(3),
+            population_size=10,
+        )
+        dataset = generator.generate()
+        assert all(resource.n_posts >= 2 for resource in dataset.corpus)
+
+    def test_custom_profiles(self):
+        clean = preset("casual").with_noise(0.0)
+        data = make_delicious_like(
+            n_resources=6, initial_posts_total=30, master_seed=4,
+            population_size=6, profiles=[clean],
+        )
+        distribution = data.dataset.population.profile_distribution()
+        assert len(distribution) == 1
+        assert distribution[0][0].noise_rate == 0.0
+
+    def test_oracle_targets_are_distributions(self, small_data):
+        targets = small_data.dataset.oracle_targets()
+        assert set(targets) == set(small_data.dataset.corpus.resource_ids())
+        for target in targets.values():
+            assert target.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_oracle_targets_include_noise_mass(self):
+        noisy = preset("casual").with_noise(0.5)
+        data = make_delicious_like(
+            n_resources=4, initial_posts_total=10, master_seed=4,
+            population_size=4, profiles=[noisy],
+        )
+        targets = data.dataset.oracle_targets()
+        resource = data.dataset.corpus.resource(1)
+        off_support = np.flatnonzero(resource.theta == 0)
+        assert targets[1][off_support].sum() > 0.2  # ε/2-ish of mass off-support
+
+    def test_report_renders(self, small_data):
+        report = dataset_report(small_data.dataset.corpus)
+        assert "gini" in report
+        assert "posts per resource" in report
+
+
+class TestSplits:
+    def test_split_partitions_posts(self, small_data):
+        split = small_data.split
+        total = small_data.dataset.corpus.total_posts()
+        assert split.provider_post_count + split.heldout_post_count == total
+
+    def test_provider_posts_before_cutoff(self, small_data):
+        for resource in small_data.split.provider_corpus:
+            for post in resource.posts:
+                assert post.timestamp < PROVIDER_CUTOFF
+
+    def test_heldout_posts_after_cutoff_and_sorted(self, small_data):
+        heldout = small_data.split.heldout_posts
+        assert all(post.timestamp >= PROVIDER_CUTOFF for post in heldout)
+        times = [post.timestamp for post in heldout]
+        assert times == sorted(times)
+
+    def test_provider_corpus_resequenced(self, small_data):
+        for resource in small_data.split.provider_corpus:
+            indexes = [post.index for post in resource.posts]
+            assert indexes == list(range(1, len(indexes) + 1))
+
+    def test_split_keeps_all_resources(self, small_data):
+        assert len(small_data.split.provider_corpus) == len(small_data.dataset.corpus)
+
+    def test_split_at_zero_holds_everything(self, small_data):
+        split = split_corpus_at(small_data.dataset.corpus, 0.0)
+        assert split.provider_post_count == 0
+        assert split.heldout_post_count == small_data.dataset.corpus.total_posts()
+
+
+class TestIo:
+    def test_corpus_json_roundtrip(self, tmp_path, small_data):
+        path = save_corpus(small_data.dataset.corpus, tmp_path / "c.json")
+        loaded = load_corpus(path)
+        assert loaded.to_dict() == small_data.dataset.corpus.to_dict()
+
+    def test_corpus_gzip_roundtrip(self, tmp_path, small_data):
+        path = save_corpus(small_data.dataset.corpus, tmp_path / "c.json.gz")
+        loaded = load_corpus(path)
+        assert loaded.total_posts() == small_data.dataset.corpus.total_posts()
+
+    def test_load_missing(self, tmp_path):
+        from repro.errors import DatasetError
+
+        with pytest.raises(DatasetError):
+            load_corpus(tmp_path / "nope.json")
+
+    def test_corpus_to_database_schema(self, small_data):
+        database = corpus_to_database(small_data.dataset.corpus)
+        assert set(database.table_names()) == {"resources", "tags", "posts", "post_tags"}
+        corpus = small_data.dataset.corpus
+        assert len(database.table("resources")) == len(corpus)
+        assert len(database.table("tags")) == len(corpus.vocabulary)
+        assert len(database.table("posts")) == corpus.total_posts()
+
+    def test_corpus_to_database_join(self, small_data):
+        database = corpus_to_database(small_data.dataset.corpus)
+        # Pick a resource with posts; its post rows match the corpus.
+        resource = next(
+            r for r in small_data.dataset.corpus if r.n_posts > 0
+        )
+        rows = (
+            Query(database.table("posts"))
+            .where(Eq("resource_id", resource.resource_id))
+            .all()
+        )
+        assert len(rows) == resource.n_posts
+        database.verify()

@@ -1,0 +1,156 @@
+"""Tests: the real Delicious-dump loader and platform churn."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import PROVIDER_CUTOFF, load_delicious_tsv, parse_timestamp
+from repro.datasets.splits import split_corpus_at
+from repro.errors import DatasetError
+
+
+def write_dump(tmp_path, lines):
+    path = tmp_path / "delicious.tsv"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+GOOD_LINES = [
+    "2006-05-01\talice\thttp://a.example\tpython Programming",
+    "2006-06-02\tbob\thttp://a.example\tpython web",
+    "2007-03-03\tcarol\thttp://a.example\tPYTHON   django",
+    "2006-07-04\talice\thttp://b.example\tmusic jazz",
+    "2008-01-05\tdave\thttp://b.example\tmusic",
+    "2006-08-06\teve\thttp://c.example\tthe of and",  # all stopwords
+]
+
+
+class TestParseTimestamp:
+    def test_iso_dates_ordered(self):
+        early = parse_timestamp("2006-05-01")
+        late = parse_timestamp("2007-02-01")
+        assert early < late
+
+    def test_float_passthrough(self):
+        assert parse_timestamp("123.5") == 123.5
+
+    def test_datetime_suffix_tolerated(self):
+        assert parse_timestamp("2006-05-01T12:30:00Z") == parse_timestamp("2006-05-01")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DatasetError):
+            parse_timestamp("yesterday")
+
+
+class TestLoader:
+    def test_loads_resources_and_posts(self, tmp_path):
+        report = load_delicious_tsv(write_dump(tmp_path, GOOD_LINES))
+        assert len(report.corpus) == 2  # c.example normalized away
+        assert report.posts_loaded == 5
+        assert report.lines_skipped == 1
+        # eve's post normalized away, so she never registers as a user.
+        assert report.users == 4
+        assert "loaded 5 posts" in report.describe()
+
+    def test_tags_normalized_and_shared(self, tmp_path):
+        report = load_delicious_tsv(write_dump(tmp_path, GOOD_LINES))
+        vocabulary = report.corpus.vocabulary
+        assert "python" in vocabulary
+        assert "PYTHON" not in vocabulary
+        resource = next(
+            r for r in report.corpus if r.name == "http://a.example"
+        )
+        python_id = vocabulary.id_of("python")
+        assert resource.counter.count_of(python_id) == 3
+
+    def test_posts_time_ordered_per_resource(self, tmp_path):
+        report = load_delicious_tsv(write_dump(tmp_path, GOOD_LINES))
+        for resource in report.corpus:
+            times = [post.timestamp for post in resource.posts]
+            assert times == sorted(times)
+
+    def test_min_posts_filter(self, tmp_path):
+        report = load_delicious_tsv(
+            write_dump(tmp_path, GOOD_LINES), min_posts_per_resource=3
+        )
+        assert [r.name for r in report.corpus] == ["http://a.example"]
+
+    def test_max_resources_keeps_most_tagged(self, tmp_path):
+        report = load_delicious_tsv(
+            write_dump(tmp_path, GOOD_LINES), max_resources=1
+        )
+        assert [r.name for r in report.corpus] == ["http://a.example"]
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        lines = GOOD_LINES + [
+            "not-a-timestamp\tuser\thttp://x\ttag",
+            "2006-01-01\tuser",  # too few columns
+            "2006-01-01\tuser\t   \ttag",  # empty url
+        ]
+        report = load_delicious_tsv(write_dump(tmp_path, lines))
+        assert report.lines_skipped == 4
+        assert report.posts_loaded == 5
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="no Delicious dump"):
+            load_delicious_tsv(tmp_path / "nope.tsv")
+
+    def test_temporal_split_runs_on_loaded_corpus(self, tmp_path):
+        """The Sec. IV protocol applies directly to a real dump."""
+        report = load_delicious_tsv(write_dump(tmp_path, GOOD_LINES))
+        cutoff = parse_timestamp("2007-02-01")
+        split = split_corpus_at(report.corpus, cutoff)
+        assert split.provider_post_count == 3
+        assert split.heldout_post_count == 2
+
+
+class TestChurn:
+    def make_platform(self):
+        from repro.crowd import CrowdPlatform, CrowdWorker
+        from repro.taggers import NoiseModel, preset
+        from repro.tagging import Vocabulary
+
+        vocabulary = Vocabulary(["a", "b"])
+        noise = NoiseModel.with_typo_tags(vocabulary, 1)
+        workers = [
+            CrowdWorker(worker_id=index, profile=preset("casual"))
+            for index in range(10)
+        ]
+        return CrowdPlatform(workers, noise, np.random.default_rng(0))
+
+    def test_churn_deactivates_fraction(self):
+        platform = self.make_platform()
+        left = platform.churn(np.random.default_rng(1), leave_fraction=0.5)
+        assert left == 5
+        assert len(platform.qualified_workers()) == 5
+
+    def test_churn_never_empties_pool(self):
+        platform = self.make_platform()
+        platform.churn(np.random.default_rng(1), leave_fraction=1.0)
+        assert len(platform.qualified_workers()) >= 1
+
+    def test_churn_zero_is_noop(self):
+        platform = self.make_platform()
+        assert platform.churn(np.random.default_rng(1), leave_fraction=0.0) == 0
+
+    def test_churn_validation(self):
+        from repro.errors import PlatformError
+
+        platform = self.make_platform()
+        with pytest.raises(PlatformError):
+            platform.churn(np.random.default_rng(1), leave_fraction=1.5)
+
+    def test_campaign_survives_churn(self):
+        """The system keeps allocating after most workers leave."""
+        from repro.crowd import TaggingTask
+        from repro.tagging import TaggedResource
+
+        platform = self.make_platform()
+        theta = np.zeros(3)
+        theta[:2] = [0.6, 0.4]
+        platform.register_resource(TaggedResource(1, "r", theta=theta))
+        for _ in range(5):
+            platform.execute(TaggingTask(project_id=1, resource_id=1, pay=0.01))
+        platform.churn(np.random.default_rng(2), leave_fraction=0.9)
+        for _ in range(5):
+            platform.execute(TaggingTask(project_id=1, resource_id=1, pay=0.01))
+        assert platform.stats.submitted == 10

@@ -1,0 +1,91 @@
+"""Tests: experiment results container, registry, and the fast variants.
+
+The fast variants ARE the reproduction's integration tests: each runs
+the full pipeline (dataset -> strategies -> metrics) at CI scale and
+asserts the paper's claims hold.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    EXPERIMENTS,
+    ClaimCheck,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+
+
+class TestResultContainer:
+    def make(self) -> ExperimentResult:
+        result = ExperimentResult("EXP-X", "demo", header=["a", "b"])
+        result.add_row(1, 2.0)
+        result.add_series("s", [0.0, 1.0], [0.1, 0.2])
+        result.check("works", True, "detail")
+        result.notes.append("a note")
+        return result
+
+    def test_row_width_enforced(self):
+        result = ExperimentResult("EXP-X", "demo", header=["a"])
+        with pytest.raises(ValueError, match="row width"):
+            result.add_row(1, 2)
+
+    def test_series_length_enforced(self):
+        result = ExperimentResult("EXP-X", "demo")
+        with pytest.raises(ValueError):
+            result.add_series("s", [0.0], [0.1, 0.2])
+
+    def test_to_text_sections(self):
+        text = self.make().to_text()
+        assert "EXP-X" in text
+        assert "[PASS] works" in text
+        assert "note: a note" in text
+
+    def test_to_markdown(self):
+        markdown = self.make().to_markdown()
+        assert markdown.startswith("### EXP-X")
+        assert "✅" in markdown
+
+    def test_claims_all_pass_flag(self):
+        result = self.make()
+        assert result.all_claims_pass
+        result.check("fails", False)
+        assert not result.all_claims_pass
+
+    def test_save_load_roundtrip(self, tmp_path):
+        result = self.make()
+        path = result.save(tmp_path / "r.json")
+        loaded = ExperimentResult.load(path)
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_claimcheck_str(self):
+        assert str(ClaimCheck("c", False, "d")) == "[FAIL] c (d)"
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        artifacts = {entry["paper_artifact"] for entry in EXPERIMENTS.values()}
+        assert any("Table I" in artifact for artifact in artifacts)
+        assert any("Sec. IV" in artifact for artifact in artifacts)
+        assert any("Figs. 3-8" in artifact for artifact in artifacts)
+        assert any("Fig. 2" in artifact for artifact in artifacts)
+
+    def test_listing_sorted(self):
+        ids = [entry[0] for entry in list_experiments()]
+        assert ids == sorted(ids)
+        assert len(ids) == 15
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("EXP-NOPE")
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_fast_variant_reproduces_claims(experiment_id):
+    """Every experiment's fast variant runs green, claims included."""
+    result = run_experiment(experiment_id, fast=True)
+    assert result.experiment_id == experiment_id
+    failed = [str(claim) for claim in result.claims if not claim.passed]
+    assert not failed, f"{experiment_id} claims failed: {failed}"
+    assert result.rows, f"{experiment_id} produced no table rows"

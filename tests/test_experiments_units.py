@@ -1,0 +1,80 @@
+"""Unit tests for experiment-module internals (not the full runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import CampaignSpec, per_resource_oracle, run_campaign
+from repro.experiments.popularity_gap import _quartile_assignment
+from repro.tagging import Corpus, TaggedResource, Vocabulary
+
+
+class TestQuartileAssignment:
+    def make_corpus(self, popularity_values):
+        corpus = Corpus(Vocabulary(["a"]))
+        for index, popularity in enumerate(popularity_values, start=1):
+            corpus.add_resource(
+                TaggedResource(index, f"r{index}", popularity=popularity)
+            )
+        return corpus
+
+    def test_four_even_quartiles(self):
+        corpus = self.make_corpus([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+        quartiles = _quartile_assignment(corpus)
+        assert list(quartiles) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_least_popular_is_quartile_zero(self):
+        corpus = self.make_corpus([10.0, 0.1, 5.0, 7.0])
+        quartiles = _quartile_assignment(corpus)
+        ids = corpus.resource_ids()
+        assert quartiles[ids.index(2)] == 0
+        assert quartiles[ids.index(1)] == 3
+
+    def test_every_quartile_populated(self):
+        rng = np.random.default_rng(0)
+        corpus = self.make_corpus(list(rng.uniform(0.1, 9.0, size=40)))
+        quartiles = _quartile_assignment(corpus)
+        assert {0, 1, 2, 3} == set(quartiles)
+        counts = np.bincount(quartiles)
+        assert counts.min() == counts.max() == 10
+
+
+class TestCampaignHarness:
+    def test_run_campaign_spends_budget(self):
+        spec = CampaignSpec(
+            n_resources=8, initial_posts_total=40, population_size=8,
+            budget=12, seeds=(3,),
+        )
+        run = run_campaign(spec, 3, strategy="fp")
+        assert run.result.budget_spent == 12
+        assert run.seed == 3
+
+    def test_per_resource_oracle_shape(self):
+        spec = CampaignSpec(
+            n_resources=8, initial_posts_total=40, population_size=8,
+            budget=5, seeds=(3,),
+        )
+        run = run_campaign(spec, 3, strategy="fp")
+        values = per_resource_oracle(run.data.split.provider_corpus, run.targets)
+        assert values.shape == (8,)
+        assert np.all((0.0 <= values) & (values <= 1.0))
+
+    def test_optimal_strategy_gets_gain_model(self):
+        spec = CampaignSpec(
+            n_resources=6, initial_posts_total=30, population_size=6,
+            budget=6, seeds=(2,),
+        )
+        run = run_campaign(spec, 2, strategy="optimal")
+        assert run.result.budget_spent == 6
+
+
+class TestIncompletenessGridValidation:
+    def test_profile_grid_is_validated(self):
+        from repro.experiments import incompleteness
+
+        spec = CampaignSpec(
+            n_resources=10, initial_posts_total=40, population_size=8,
+            budget=10, seeds=(1,),
+            extra={"grid": ((2.0, 1.0),)},
+        )
+        result = incompleteness.run(spec)
+        assert len(result.rows) == 1

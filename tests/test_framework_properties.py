@@ -1,0 +1,110 @@
+"""Property-based tests: Algorithm-1 engine invariants under random
+provider-control sequences (promote/stop/resume/add-budget/switch/step).
+
+Invariants:
+- budget conservation: Σ x_i == budget_spent <= budget_total, always;
+- stopped resources receive no tasks while stopped;
+- the corpus gains exactly one post per executed task;
+- the engine never crashes while at least one resource stays eligible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import make_delicious_like
+from repro.quality import QualityBoard
+from repro.strategies import (
+    AllocationEngine,
+    FewestPostsFirst,
+    MostUnstableFirst,
+    UniformRandom,
+)
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["step", "promote", "stop", "resume", "add_budget", "switch"]),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+_DATA = make_delicious_like(
+    n_resources=10, initial_posts_total=60, master_seed=99, population_size=10
+)
+
+
+def _build_engine() -> AllocationEngine:
+    corpus = _DATA.split.provider_corpus.copy()
+    return AllocationEngine(
+        corpus,
+        _DATA.dataset.population,
+        FewestPostsFirst(),
+        budget=40,
+        board=QualityBoard(corpus),
+        rng=np.random.default_rng(0),
+        record_every=10,
+    )
+
+
+@given(_ops)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_engine_invariants_under_any_control_sequence(ops):
+    engine = _build_engine()
+    corpus = engine.corpus
+    ids = corpus.resource_ids()
+    posts_before = corpus.total_posts()
+    stopped: set[int] = set()
+    stopped_alloc_at_stop: dict[int, int] = {}
+    executed = []
+    engine.on_task(lambda rid, _spent: executed.append(rid))
+    strategies = [MostUnstableFirst(), UniformRandom(), FewestPostsFirst()]
+    for op, argument in ops:
+        resource_id = ids[argument % len(ids)]
+        if op == "step":
+            engine.step(1 + argument % 3)
+        elif op == "promote":
+            engine.promote(resource_id)
+            stopped.discard(resource_id)
+        elif op == "stop":
+            if len(stopped) < len(ids) - 1:  # keep one eligible
+                engine.stop(resource_id)
+                if resource_id not in stopped:
+                    stopped.add(resource_id)
+                    stopped_alloc_at_stop[resource_id] = engine._allocation[resource_id]
+        elif op == "resume":
+            engine.resume(resource_id)
+            stopped.discard(resource_id)
+        elif op == "add_budget":
+            engine.add_budget(argument)
+        else:
+            engine.switch_strategy(strategies[argument % len(strategies)])
+        # Invariant: allocation of currently-stopped resources is frozen.
+        for frozen_id in stopped:
+            assert engine._allocation[frozen_id] == stopped_alloc_at_stop[frozen_id]
+        # Invariant: budget books balance at every point.
+        assert sum(engine._allocation.values()) == engine._budget_spent
+        assert engine._budget_spent <= engine._budget_total
+    # Invariant: every executed task added exactly one post.
+    assert corpus.total_posts() == posts_before + len(executed)
+    assert len(executed) == engine._budget_spent
+
+
+@given(st.integers(min_value=0, max_value=60))
+@settings(max_examples=20, deadline=None)
+def test_run_spends_exactly_min_of_budget_and_available(budget):
+    corpus = _DATA.split.provider_corpus.copy()
+    engine = AllocationEngine(
+        corpus,
+        _DATA.dataset.population,
+        UniformRandom(),
+        budget=budget,
+        board=QualityBoard(corpus),
+        rng=np.random.default_rng(1),
+    )
+    result = engine.run()
+    assert result.budget_spent == budget
+    assert sum(result.allocation.values()) == budget

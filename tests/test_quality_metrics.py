@@ -1,0 +1,186 @@
+"""Unit tests: divergences, stability estimators, oracle quality."""
+
+import numpy as np
+import pytest
+
+from repro.config import QualityConfig
+from repro.quality import (
+    EwmaStability,
+    SplitHalfStability,
+    WindowStability,
+    asymptotic_distribution,
+    concentration_coefficient,
+    corpus_oracle_quality,
+    cosine_similarity,
+    distance,
+    expected_quality_at,
+    expected_quality_curve,
+    hellinger,
+    js_divergence,
+    kl_divergence,
+    l2_distance,
+    make_estimator,
+    oracle_quality,
+    total_variation,
+)
+from repro.tagging import Post, TaggedResource
+
+
+class TestDivergences:
+    p = np.array([0.5, 0.5, 0.0])
+    q = np.array([0.0, 0.5, 0.5])
+
+    def test_tv_basic(self):
+        assert total_variation(self.p, self.p) == pytest.approx(0.0)
+        assert total_variation(self.p, self.q) == pytest.approx(0.5)
+        disjoint = np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        assert total_variation(*disjoint) == pytest.approx(1.0)
+
+    def test_tv_renormalizes(self):
+        assert total_variation(np.array([2.0, 2.0]), np.array([1.0, 1.0])) == 0.0
+
+    def test_zero_vector_conventions(self):
+        zero = np.zeros(3)
+        assert total_variation(zero, zero) == 0.0
+        assert total_variation(zero, self.p) == 1.0
+        assert js_divergence(zero, self.p) == 1.0
+        assert hellinger(zero, zero) == 0.0
+        assert cosine_similarity(zero, zero) == 1.0
+        assert cosine_similarity(zero, self.p) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            total_variation(np.array([-0.1, 1.1]), self.p[:2])
+
+    def test_js_symmetric_bounded(self):
+        assert js_divergence(self.p, self.q) == pytest.approx(
+            js_divergence(self.q, self.p)
+        )
+        assert 0.0 <= js_divergence(self.p, self.q) <= 1.0
+
+    def test_kl_zero_iff_equal(self):
+        assert kl_divergence(self.p, self.p) == pytest.approx(0.0, abs=1e-6)
+        assert kl_divergence(self.p, self.q) > 0.0
+
+    def test_hellinger_and_l2(self):
+        assert hellinger(self.p, self.p) == pytest.approx(0.0)
+        assert l2_distance(self.p, self.q) == pytest.approx(np.sqrt(0.5))
+
+    def test_distance_dispatch(self):
+        assert distance("tv", self.p, self.q) == total_variation(self.p, self.q)
+        with pytest.raises(ValueError, match="unknown distance"):
+            distance("manhattan", self.p, self.q)
+
+
+def _resource_with_posts(posts: list[list[int]]) -> TaggedResource:
+    resource = TaggedResource(1, "r")
+    for tag_ids in posts:
+        resource.add_post(Post.from_tags(1, 7, tag_ids))
+    return resource
+
+
+class TestStabilityEstimators:
+    def test_below_min_posts_scores_zero(self):
+        resource = _resource_with_posts([[0]])
+        for estimator in (EwmaStability(), WindowStability(), SplitHalfStability()):
+            assert estimator.quality(resource) == 0.0
+
+    def test_identical_posts_are_perfectly_stable(self):
+        resource = _resource_with_posts([[0, 1]] * 6)
+        assert EwmaStability().quality(resource) == pytest.approx(1.0)
+        assert WindowStability().quality(resource) == pytest.approx(1.0)
+        assert SplitHalfStability().quality(resource) == pytest.approx(1.0)
+
+    def test_alternating_posts_are_unstable(self):
+        resource = _resource_with_posts([[0], [1], [0], [1], [0], [1]])
+        assert EwmaStability().quality(resource) < 0.9
+        stable = _resource_with_posts([[0]] * 6)
+        assert EwmaStability().quality(resource) < EwmaStability().quality(stable)
+
+    def test_quality_in_unit_interval(self):
+        resource = _resource_with_posts([[0], [1], [2], [0, 1, 2]])
+        for estimator in (EwmaStability(), WindowStability(), SplitHalfStability()):
+            assert 0.0 <= estimator.quality(resource) <= 1.0
+
+    def test_instability_complements_quality(self):
+        resource = _resource_with_posts([[0], [1], [0]])
+        estimator = EwmaStability()
+        assert estimator.instability(resource) == pytest.approx(
+            1.0 - estimator.quality(resource)
+        )
+
+    def test_make_estimator_dispatch(self):
+        assert isinstance(make_estimator(QualityConfig(estimator="ewma")), EwmaStability)
+        assert isinstance(
+            make_estimator(QualityConfig(estimator="window")), WindowStability
+        )
+        assert isinstance(
+            make_estimator(QualityConfig(estimator="split_half")), SplitHalfStability
+        )
+
+    def test_window_uses_recent_deltas_only(self):
+        # Early chaos then long stability: window sees only the calm tail.
+        posts = [[0], [1], [2], [3]] + [[0]] * 30
+        resource = _resource_with_posts(posts)
+        windowed = WindowStability(QualityConfig(estimator="window", window=5))
+        assert windowed.quality(resource) > 0.95
+
+
+class TestOracle:
+    def test_asymptotic_distribution_mixture(self):
+        theta = np.array([1.0, 0.0])
+        noise = np.array([0.0, 1.0])
+        mixture = asymptotic_distribution(theta, noise, 0.25)
+        assert mixture == pytest.approx(np.array([0.75, 0.25]))
+
+    def test_asymptotic_distribution_validation(self):
+        with pytest.raises(ValueError, match="noise_rate"):
+            asymptotic_distribution(np.array([1.0]), None, 1.5)
+        with pytest.raises(ValueError, match="positive mass"):
+            asymptotic_distribution(np.array([0.0]))
+        with pytest.raises(ValueError, match="shape"):
+            asymptotic_distribution(np.array([1.0]), np.array([0.5, 0.5]), 0.1)
+
+    def test_oracle_quality_improves_with_matching_posts(self):
+        target = np.array([0.5, 0.5, 0.0])
+        resource = TaggedResource(1, "r", theta=target)
+        empty_quality = oracle_quality(resource, target)
+        resource.add_post(Post.from_tags(1, 7, [0, 1]))
+        assert oracle_quality(resource, target) > empty_quality
+
+    def test_corpus_quality_is_mean(self, tiny_corpus):
+        targets = {
+            resource.resource_id: resource.theta for resource in tiny_corpus
+        }
+        value = corpus_oracle_quality(tiny_corpus, targets)
+        per_resource = [
+            oracle_quality(resource, targets[resource.resource_id])
+            for resource in tiny_corpus
+        ]
+        assert value == pytest.approx(sum(per_resource) / 3)
+
+    def test_corpus_quality_missing_target(self, tiny_corpus):
+        with pytest.raises(KeyError):
+            corpus_oracle_quality(tiny_corpus, {})
+
+    def test_expected_curve_monotone_concave(self):
+        target = np.full(20, 0.05)
+        curve = expected_quality_curve(target, 3.0, 100)
+        gains = np.diff(curve)
+        assert np.all(gains > 0)
+        assert np.all(np.diff(gains) <= 1e-12)
+
+    def test_concentration_coefficient_scaling(self):
+        spread = np.full(100, 0.01)
+        tight = np.zeros(100)
+        tight[0] = 1.0
+        assert concentration_coefficient(spread, 3.0) > concentration_coefficient(
+            tight, 3.0
+        )
+        with pytest.raises(ValueError):
+            concentration_coefficient(spread, 0.0)
+
+    def test_expected_quality_at_unclipped(self):
+        # Deliberately negative at k=0 for large coefficients.
+        assert expected_quality_at(0, 2.0) < 0.0
+        assert expected_quality_at(10_000, 2.0) > 0.95

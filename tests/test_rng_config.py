@@ -1,0 +1,114 @@
+"""Unit tests: RNG streams and configuration validation."""
+
+import pytest
+
+from repro.config import (
+    CampaignConfig,
+    DatasetConfig,
+    QualityConfig,
+    StrategyConfig,
+    TaggerConfig,
+)
+from repro.errors import ConfigError
+from repro.rng import RngRegistry, derive_seed
+
+
+class TestRngRegistry:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(7).stream("x").integers(0, 1 << 30)
+        b = RngRegistry(7).stream("x").integers(0, 1 << 30)
+        assert int(a) == int(b)
+
+    def test_different_names_different_streams(self):
+        registry = RngRegistry(7)
+        a = registry.stream("x").integers(0, 1 << 30)
+        b = registry.stream("y").integers(0, 1 << 30)
+        assert int(a) != int(b)
+
+    def test_stream_identity_cached(self):
+        registry = RngRegistry(7)
+        assert registry.stream("x") is registry.stream("x")
+
+    def test_creation_order_does_not_matter(self):
+        r1 = RngRegistry(9)
+        r1.stream("a")
+        v1 = r1.stream("b").integers(0, 1 << 30)
+        r2 = RngRegistry(9)
+        v2 = r2.stream("b").integers(0, 1 << 30)
+        assert int(v1) == int(v2)
+
+    def test_fork_isolated_but_deterministic(self):
+        v1 = RngRegistry(3).fork("rep-1").stream("x").integers(0, 1 << 30)
+        v2 = RngRegistry(3).fork("rep-1").stream("x").integers(0, 1 << 30)
+        v3 = RngRegistry(3).fork("rep-2").stream("x").integers(0, 1 << 30)
+        assert int(v1) == int(v2)
+        assert int(v1) != int(v3)
+
+    def test_reset_recreates_streams(self):
+        registry = RngRegistry(5)
+        first = registry.stream("x").integers(0, 1 << 30)
+        registry.reset()
+        again = registry.stream("x").integers(0, 1 << 30)
+        assert int(first) == int(again)
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngRegistry("seed")  # type: ignore[arg-type]
+
+    def test_streams_plural(self):
+        registry = RngRegistry(1)
+        streams = registry.streams(["a", "b"])
+        assert len(streams) == 2
+        assert streams[0] is registry.stream("a")
+
+
+class TestConfigs:
+    def test_defaults_valid(self):
+        CampaignConfig().validate()
+
+    def test_dataset_vocab_too_small(self):
+        with pytest.raises(ConfigError, match="vocabulary_size"):
+            DatasetConfig(vocabulary_size=5, tags_per_resource_max=40).validate()
+
+    def test_dataset_tag_range_order(self):
+        with pytest.raises(ConfigError, match="tags_per_resource_max"):
+            DatasetConfig(tags_per_resource_min=30, tags_per_resource_max=10).validate()
+
+    def test_dataset_zipf_positive(self):
+        with pytest.raises(ConfigError, match="zipf"):
+            DatasetConfig(zipf_exponent=0.0).validate()
+
+    def test_tagger_noise_bounds(self):
+        with pytest.raises(ConfigError, match="noise_rate"):
+            TaggerConfig(noise_rate=1.5).validate()
+
+    def test_quality_estimator_names(self):
+        QualityConfig(estimator="window").validate()
+        with pytest.raises(ConfigError, match="estimator"):
+            QualityConfig(estimator="magic").validate()
+
+    def test_quality_distance_names(self):
+        with pytest.raises(ConfigError, match="distance"):
+            QualityConfig(distance="euclid").validate()
+
+    def test_strategy_names(self):
+        for name in ("fc", "fp", "mu", "fp-mu", "random", "round-robin", "optimal"):
+            StrategyConfig(name=name).validate()
+        with pytest.raises(ConfigError, match="strategy name"):
+            StrategyConfig(name="greedy").validate()
+
+    def test_campaign_negative_budget(self):
+        with pytest.raises(ConfigError, match="budget"):
+            CampaignConfig(budget=-1).validate()
+
+    def test_campaign_validates_subconfigs(self):
+        bad = CampaignConfig(strategy=StrategyConfig(name="nope"))
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_describe_mentions_strategy(self):
+        assert "fp-mu" in CampaignConfig().describe()

@@ -1,0 +1,99 @@
+"""Tests: the run-all runner, batching experiment, promote/stop suggestions."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.runner import run_all
+
+
+class TestRunAll:
+    def test_subset_with_reports(self, tmp_path):
+        summary = run_all(fast=True, out_dir=tmp_path, only=["EXP-ST", "EXP-UI"])
+        assert set(summary.results) == {"EXP-ST", "EXP-UI"}
+        assert summary.all_claims_pass
+        assert (tmp_path / "EXP-ST.txt").exists()
+        assert (tmp_path / "EXP-UI.json").exists()
+        assert (tmp_path / "SUMMARY.md").exists()
+        markdown = (tmp_path / "SUMMARY.md").read_text(encoding="utf-8")
+        assert "Reproduction summary" in markdown
+        assert "EXP-ST" in markdown
+
+    def test_errors_captured_not_raised(self, tmp_path):
+        summary = run_all(fast=True, out_dir=None, only=["EXP-NOPE"])
+        assert "EXP-NOPE" in summary.errors
+        assert not summary.all_claims_pass
+
+    def test_claim_counting(self):
+        summary = run_all(fast=True, only=["EXP-ST"])
+        passed, total = summary.total_claims()
+        assert passed == total >= 1
+
+
+class TestBatchingExperiment:
+    def test_fast_variant(self):
+        result = run_experiment("EXP-B", fast=True)
+        assert result.all_claims_pass
+        assert len(result.rows) == 2
+
+
+class TestSuggestions:
+    @pytest.fixture()
+    def campaign(self):
+        from repro.datasets import make_delicious_like
+        from repro.system import ITagSystem
+
+        data = make_delicious_like(
+            n_resources=12, initial_posts_total=90, master_seed=31,
+            population_size=20,
+        )
+        system = ITagSystem(master_seed=31)
+        provider = system.register_provider("p")
+        project = system.create_project(provider, "proj", budget=60)
+        system.upload_resources(project, data.provider_corpus)
+        system.start_project(project, noise_model=data.dataset.noise_model)
+        system.run_project(project, tasks=40)
+        return system, project
+
+    def test_promotions_are_lowest_quality(self, campaign):
+        from repro.system import suggest_promotions
+
+        system, project = campaign
+        suggestions = suggest_promotions(system, project, count=3)
+        assert len(suggestions) == 3
+        qualities = [row["quality"] for row in suggestions]
+        assert qualities == sorted(qualities)
+        all_rows = system.resources.of_project(project)
+        minimum = min(row["quality"] for row in all_rows)
+        assert suggestions[0]["quality"] == minimum
+
+    def test_promotions_exclude_stopped(self, campaign):
+        from repro.system import suggest_promotions
+
+        system, project = campaign
+        worst = suggest_promotions(system, project, count=1)[0]
+        system.stop_resource(project, worst["id"])
+        refreshed = suggest_promotions(system, project, count=12)
+        assert all(row["id"] != worst["id"] for row in refreshed)
+
+    def test_stops_require_min_quality(self, campaign):
+        from repro.system import suggest_stops
+
+        system, project = campaign
+        strict = suggest_stops(system, project, min_quality=1.01)
+        assert strict == []
+        lax = suggest_stops(system, project, count=4, min_quality=0.0)
+        qualities = [row["quality"] for row in lax]
+        assert qualities == sorted(qualities, reverse=True)
+
+
+class TestCliRunAll:
+    def test_cli_run_all_subset(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["run-all", "--fast", "--only", "EXP-ST", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "claims pass" in out
+        assert (tmp_path / "SUMMARY.md").exists()

@@ -1,0 +1,113 @@
+"""Unit tests: database DDL, snapshots, persistence."""
+
+import pytest
+
+from repro.store import (
+    Column,
+    Database,
+    DataType,
+    Schema,
+    StoreError,
+    UnknownTableError,
+    export_table_csv,
+    load_database,
+    save_database,
+)
+
+
+def schema() -> Schema:
+    return Schema(
+        [
+            Column("id", DataType.INT),
+            Column("name", DataType.TEXT),
+            Column("payload", DataType.JSON, nullable=True),
+        ],
+        primary_key="id",
+    )
+
+
+class TestDdl:
+    def test_create_and_get(self):
+        database = Database("d")
+        database.create_table("t", schema())
+        assert database.has_table("t")
+        assert database.table_names() == ["t"]
+
+    def test_duplicate_table_rejected(self):
+        database = Database("d")
+        database.create_table("t", schema())
+        with pytest.raises(Exception, match="already exists"):
+            database.create_table("t", schema())
+
+    def test_unknown_table_raises_with_suggestions(self):
+        database = Database("d")
+        database.create_table("t", schema())
+        with pytest.raises(UnknownTableError, match="'t'"):
+            database.table("missing")
+
+    def test_drop_table(self):
+        database = Database("d")
+        database.create_table("t", schema())
+        database.drop_table("t")
+        assert not database.has_table("t")
+        with pytest.raises(UnknownTableError):
+            database.drop_table("t")
+
+
+class TestSnapshots:
+    def build(self) -> Database:
+        database = Database("d")
+        table = database.create_table("t", schema())
+        table.create_index("name", kind="hash")
+        table.insert({"name": "a", "payload": {"k": [1, 2]}})
+        table.insert({"name": "b", "payload": None})
+        return database
+
+    def test_snapshot_roundtrip(self):
+        database = self.build()
+        clone = Database.from_snapshot(database.to_snapshot())
+        assert clone.table_names() == ["t"]
+        assert list(clone.table("t").scan()) == list(database.table("t").scan())
+
+    def test_snapshot_restores_indexes(self):
+        database = self.build()
+        clone = Database.from_snapshot(database.to_snapshot())
+        index = clone.table("t").index_for("name")
+        assert index is not None
+        assert index.lookup("a") == {1}
+        clone.verify()
+
+    def test_snapshot_restores_autoincrement(self):
+        database = self.build()
+        clone = Database.from_snapshot(database.to_snapshot())
+        assert clone.table("t").insert({"name": "c"}) == 3
+
+    def test_save_load_json(self, tmp_path):
+        database = self.build()
+        path = save_database(database, tmp_path / "db.json")
+        loaded = load_database(path)
+        assert list(loaded.table("t").scan()) == list(database.table("t").scan())
+
+    def test_save_load_gzip(self, tmp_path):
+        database = self.build()
+        path = save_database(database, tmp_path / "db.json.gz")
+        loaded = load_database(path)
+        assert len(loaded.table("t")) == 2
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="no database snapshot"):
+            load_database(tmp_path / "nope.json")
+
+    def test_load_corrupt_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(StoreError, match="corrupt"):
+            load_database(path)
+
+    def test_csv_export(self, tmp_path):
+        database = self.build()
+        path = export_table_csv(database, "t", tmp_path / "t.csv")
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+        assert lines[0] == "id,name,payload"
+        assert len(lines) == 3
+        assert '""k"": [1, 2]' in lines[1] or '{""k"": [1, 2]}' in lines[1]

@@ -1,0 +1,110 @@
+"""Unit tests: hash and sorted secondary indexes."""
+
+from repro.store import HashIndex, SortedIndex
+
+
+class TestHashIndex:
+    def test_add_lookup(self):
+        index = HashIndex("kind")
+        index.add("url", 1)
+        index.add("url", 2)
+        index.add("image", 3)
+        assert index.lookup("url") == {1, 2}
+        assert index.lookup("image") == {3}
+        assert index.lookup("video") == set()
+
+    def test_remove(self):
+        index = HashIndex("kind")
+        index.add("url", 1)
+        index.add("url", 2)
+        index.remove("url", 1)
+        assert index.lookup("url") == {2}
+
+    def test_remove_last_drops_bucket(self):
+        index = HashIndex("kind")
+        index.add("url", 1)
+        index.remove("url", 1)
+        assert index.distinct_values() == []
+
+    def test_remove_missing_is_noop(self):
+        index = HashIndex("kind")
+        index.remove("url", 1)
+        assert len(index) == 0
+
+    def test_none_values_indexable(self):
+        index = HashIndex("kind")
+        index.add(None, 1)
+        assert index.lookup(None) == {1}
+
+    def test_lookup_many(self):
+        index = HashIndex("kind")
+        index.add("a", 1)
+        index.add("b", 2)
+        index.add("c", 3)
+        assert index.lookup_many(iter(["a", "c", "z"])) == {1, 3}
+
+    def test_len_counts_entries(self):
+        index = HashIndex("kind")
+        index.add("a", 1)
+        index.add("a", 2)
+        index.add("b", 3)
+        assert len(index) == 3
+
+
+class TestSortedIndex:
+    def build(self) -> SortedIndex:
+        index = SortedIndex("quality")
+        for pk, value in [(1, 0.5), (2, 0.1), (3, 0.9), (4, 0.5), (5, None)]:
+            index.add(value, pk)
+        return index
+
+    def test_lookup_exact(self):
+        index = self.build()
+        assert index.lookup(0.5) == {1, 4}
+        assert index.lookup(None) == {5}
+
+    def test_range_inclusive(self):
+        index = self.build()
+        assert set(index.range(0.1, 0.5)) == {1, 2, 4}
+
+    def test_range_exclusive_bounds(self):
+        index = self.build()
+        assert set(index.range(0.1, 0.5, include_low=False)) == {1, 4}
+        assert set(index.range(0.1, 0.5, include_high=False)) == {2}
+
+    def test_range_unbounded(self):
+        index = self.build()
+        assert set(index.range()) == {1, 2, 3, 4}  # None excluded
+        assert set(index.range(low=0.6)) == {3}
+        assert set(index.range(high=0.2)) == {2}
+
+    def test_range_returns_value_order(self):
+        index = self.build()
+        assert index.range() == [2, 1, 4, 3]
+
+    def test_min_max_pks(self):
+        index = self.build()
+        assert index.min_pks(2) == [2, 1]
+        assert index.max_pks(2) == [3, 4]
+        assert index.max_pks(0) == []
+
+    def test_remove(self):
+        index = self.build()
+        index.remove(0.5, 1)
+        assert index.lookup(0.5) == {4}
+        index.remove(None, 5)
+        assert index.lookup(None) == set()
+
+    def test_duplicate_values_with_many_pks(self):
+        index = SortedIndex("v")
+        for pk in range(50):
+            index.add(1.0, pk)
+        assert index.lookup(1.0) == set(range(50))
+        index.remove(1.0, 25)
+        assert 25 not in index.lookup(1.0)
+
+    def test_mixed_int_str_pks(self):
+        index = SortedIndex("v")
+        index.add(1.0, 5)
+        index.add(1.0, "abc")
+        assert index.lookup(1.0) == {5, "abc"}

@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) for the store substrate.
+
+Invariants:
+
+1. After any sequence of insert/update/delete, every secondary index
+   exactly mirrors the rows (``verify_indexes``).
+2. A rolled-back transaction leaves the database bit-identical.
+3. WAL replay from an empty database reproduces the final state.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.store import (
+    Column,
+    Database,
+    DataType,
+    DuplicateKeyError,
+    RowNotFoundError,
+    Schema,
+    WriteAheadLog,
+)
+
+# One op: (kind, pk-hint, value-hint)
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete"]),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=5),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _schema() -> Schema:
+    return Schema(
+        [
+            Column("id", DataType.INT),
+            Column("kind", DataType.TEXT),
+            Column("score", DataType.FLOAT, nullable=True),
+        ],
+        primary_key="id",
+    )
+
+
+def _build() -> Database:
+    database = Database("prop")
+    table = database.create_table("t", _schema())
+    table.create_index("kind", kind="hash")
+    table.create_index("score", kind="sorted")
+    return database
+
+
+def _apply(table, op: str, pk: int, hint: int) -> None:
+    kind = f"k{hint % 3}"
+    score = None if hint == 5 else hint / 5.0
+    try:
+        if op == "insert":
+            table.insert({"id": pk, "kind": kind, "score": score})
+        elif op == "update":
+            table.update(pk, {"kind": kind, "score": score})
+        else:
+            table.delete(pk)
+    except (DuplicateKeyError, RowNotFoundError):
+        pass  # collisions/misses are a legal part of random sequences
+
+
+@given(_ops)
+@settings(max_examples=60, deadline=None)
+def test_indexes_mirror_rows_after_any_op_sequence(ops):
+    database = _build()
+    table = database.table("t")
+    for op, pk, hint in ops:
+        _apply(table, op, pk, hint)
+    table.verify_indexes()
+
+
+@given(_ops, _ops)
+@settings(max_examples=40, deadline=None)
+def test_rollback_restores_exact_state(setup_ops, txn_ops):
+    database = _build()
+    table = database.table("t")
+    for op, pk, hint in setup_ops:
+        _apply(table, op, pk, hint)
+    before = database.to_snapshot()
+    with pytest.raises(RuntimeError):
+        with database.transaction():
+            for op, pk, hint in txn_ops:
+                _apply(table, op, pk, hint)
+            raise RuntimeError("force rollback")
+    assert database.to_snapshot() == before
+    table.verify_indexes()
+
+
+@given(_ops)
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_wal_replay_reproduces_final_state(tmp_path_factory, ops):
+    path = tmp_path_factory.mktemp("wal") / "p.wal"
+    database = _build()
+    wal = WriteAheadLog(path)
+    database.attach_wal(wal)
+    table = database.table("t")
+    for op, pk, hint in ops:
+        _apply(table, op, pk, hint)
+    final = {row["id"]: row for row in table.scan()}
+
+    recovered = _build()
+    WriteAheadLog(path).replay_into(recovered)
+    replayed = {row["id"]: row for row in recovered.table("t").scan()}
+    assert replayed == final

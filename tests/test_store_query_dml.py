@@ -1,0 +1,90 @@
+"""Tests: query-level DML (UPDATE/DELETE WHERE) and DISTINCT."""
+
+import pytest
+
+from repro.store import Eq, Ge, Query
+from repro.store.errors import UnknownColumnError
+
+
+@pytest.fixture()
+def filled(resources_table):
+    database, table = resources_table
+    for index in range(10):
+        table.insert(
+            {
+                "name": f"r{index}",
+                "kind": ("url", "image")[index % 2],
+                "quality": index / 10.0,
+            }
+        )
+    return database, table
+
+
+class TestDistinct:
+    def test_distinct_values_sorted(self, filled):
+        _db, table = filled
+        assert Query(table).distinct("kind") == ["image", "url"]
+
+    def test_distinct_respects_where(self, filled):
+        _db, table = filled
+        assert Query(table).where(Ge("quality", 0.8)).distinct("kind") == [
+            "image",
+            "url",
+        ]
+        assert Query(table).where(Ge("quality", 0.9)).distinct("kind") == ["image"]
+
+    def test_unknown_column(self, filled):
+        _db, table = filled
+        with pytest.raises(UnknownColumnError):
+            Query(table).distinct("bogus")
+
+
+class TestUpdateWhere:
+    def test_updates_only_matching(self, filled):
+        _db, table = filled
+        count = Query(table).where(Eq("kind", "url")).update_rows({"quality": 1.0})
+        assert count == 5
+        for row in table.scan():
+            if row["kind"] == "url":
+                assert row["quality"] == 1.0
+            else:
+                assert row["quality"] < 1.0
+
+    def test_indexes_follow_bulk_update(self, filled):
+        _db, table = filled
+        Query(table).where(Eq("kind", "url")).update_rows({"kind": "video"})
+        assert table.index_for("kind").lookup("url") == set()
+        assert len(table.index_for("kind").lookup("video")) == 5
+        table.verify_indexes()
+
+    def test_transactional_rollback_of_bulk_update(self, filled):
+        database, table = filled
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                Query(table).where(Eq("kind", "url")).update_rows({"quality": 0.0})
+                raise RuntimeError("boom")
+        assert Query(table).where(Eq("quality", 0.0)).count() == 1  # only r0
+
+
+class TestDeleteWhere:
+    def test_deletes_only_matching(self, filled):
+        _db, table = filled
+        count = Query(table).where(Ge("quality", 0.5)).delete_rows()
+        assert count == 5
+        assert len(table) == 5
+        assert Query(table).where(Ge("quality", 0.5)).count() == 0
+        table.verify_indexes()
+
+    def test_delete_everything(self, filled):
+        _db, table = filled
+        assert Query(table).delete_rows() == 10
+        assert len(table) == 0
+
+    def test_transactional_rollback_of_bulk_delete(self, filled):
+        database, table = filled
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                Query(table).delete_rows()
+                raise RuntimeError("boom")
+        assert len(table) == 10
+        table.verify_indexes()

@@ -1,0 +1,113 @@
+"""Unit tests: schema declaration and row validation."""
+
+import pytest
+
+from repro.store import Column, DataType, Schema
+from repro.store.errors import ConstraintError, SchemaError, UnknownColumnError
+
+
+def make_schema() -> Schema:
+    return Schema(
+        [
+            Column("id", DataType.INT),
+            Column("name", DataType.TEXT, unique=True),
+            Column("score", DataType.FLOAT, nullable=True),
+            Column("tags", DataType.JSON, default=list, has_default=True),
+        ],
+        primary_key="id",
+    )
+
+
+class TestSchemaDeclaration:
+    def test_column_names_in_order(self):
+        assert make_schema().column_names == ["id", "name", "score", "tags"]
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(
+                [Column("a", DataType.INT), Column("a", DataType.TEXT)],
+                primary_key="a",
+            )
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError, match="primary key"):
+            Schema([Column("a", DataType.INT)], primary_key="b")
+
+    def test_primary_key_must_be_int_or_text(self):
+        with pytest.raises(SchemaError, match="INT or TEXT"):
+            Schema([Column("a", DataType.FLOAT)], primary_key="a")
+
+    def test_primary_key_not_nullable(self):
+        with pytest.raises(SchemaError, match="nullable"):
+            Schema([Column("a", DataType.INT, nullable=True)], primary_key="a")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError, match="at least one column"):
+            Schema([], primary_key="a")
+
+    def test_underscore_column_names_rejected(self):
+        with pytest.raises(SchemaError, match="_"):
+            Column("_private", DataType.INT)
+
+    def test_unique_columns_excludes_pk(self):
+        assert make_schema().unique_columns() == ["name"]
+
+
+class TestRowCoercion:
+    def test_full_row_roundtrip(self):
+        row = make_schema().coerce_row(
+            {"id": 1, "name": "a", "score": 0.5, "tags": [1, 2]}
+        )
+        assert row == {"id": 1, "name": "a", "score": 0.5, "tags": [1, 2]}
+
+    def test_defaults_applied(self):
+        row = make_schema().coerce_row({"id": 1, "name": "a"})
+        assert row["tags"] == []
+        assert row["score"] is None
+
+    def test_callable_default_fresh_per_row(self):
+        schema = make_schema()
+        row1 = schema.coerce_row({"id": 1, "name": "a"})
+        row2 = schema.coerce_row({"id": 2, "name": "b"})
+        row1["tags"].append(99)
+        assert row2["tags"] == []
+
+    def test_missing_not_null_raises(self):
+        with pytest.raises(ConstraintError, match="'name'"):
+            make_schema().coerce_row({"id": 1})
+
+    def test_explicit_none_on_not_null_raises(self):
+        with pytest.raises(ConstraintError, match="NOT NULL"):
+            make_schema().coerce_row({"id": 1, "name": None})
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownColumnError, match="bogus"):
+            make_schema().coerce_row({"id": 1, "name": "a", "bogus": 1})
+
+    def test_partial_mode_skips_defaults(self):
+        row = make_schema().coerce_row({"score": 1.0}, partial=True)
+        assert row == {"score": 1.0}
+
+    def test_partial_mode_still_validates(self):
+        with pytest.raises(ConstraintError):
+            make_schema().coerce_row({"score": "bad"}, partial=True)
+
+    def test_input_not_mutated(self):
+        source = {"id": 1, "name": "a"}
+        make_schema().coerce_row(source)
+        assert source == {"id": 1, "name": "a"}
+
+
+class TestSchemaSerialization:
+    def test_roundtrip_preserves_equality(self):
+        schema = make_schema()
+        clone = Schema.from_dict(schema.to_dict())
+        assert clone == schema
+
+    def test_roundtrip_drops_callable_defaults_gracefully(self):
+        schema = make_schema()
+        clone = Schema.from_dict(schema.to_dict())
+        # The callable default (list) cannot be serialized; the clone
+        # treats the column as having no default.
+        with pytest.raises(ConstraintError):
+            clone.coerce_row({"id": 1, "name": "a"})

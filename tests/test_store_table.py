@@ -1,0 +1,156 @@
+"""Unit tests: table CRUD, constraints, index maintenance."""
+
+import pytest
+
+from repro.store import (
+    Column,
+    ConstraintError,
+    Database,
+    DataType,
+    DuplicateKeyError,
+    RowNotFoundError,
+    Schema,
+)
+from repro.store.errors import SchemaError, UnknownColumnError
+
+
+class TestInsert:
+    def test_autoincrement_pk(self, resources_table):
+        _db, table = resources_table
+        pk1 = table.insert({"name": "a", "kind": "url"})
+        pk2 = table.insert({"name": "b", "kind": "url"})
+        assert (pk1, pk2) == (1, 2)
+
+    def test_explicit_pk_bumps_autoincrement(self, resources_table):
+        _db, table = resources_table
+        table.insert({"id": 10, "name": "a", "kind": "url"})
+        assert table.insert({"name": "b", "kind": "url"}) == 11
+
+    def test_duplicate_pk_rejected(self, resources_table):
+        _db, table = resources_table
+        table.insert({"id": 1, "name": "a", "kind": "url"})
+        with pytest.raises(DuplicateKeyError, match="duplicate primary key"):
+            table.insert({"id": 1, "name": "b", "kind": "url"})
+
+    def test_unique_constraint(self, resources_table):
+        _db, table = resources_table
+        table.insert({"name": "a", "kind": "url"})
+        with pytest.raises(DuplicateKeyError, match="UNIQUE"):
+            table.insert({"name": "a", "kind": "image"})
+
+    def test_text_pk_must_be_provided(self):
+        database = Database("t")
+        table = database.create_table(
+            "t",
+            Schema([Column("key", DataType.TEXT)], primary_key="key"),
+        )
+        with pytest.raises(ConstraintError, match="must be provided"):
+            table.insert({})
+        assert table.insert({"key": "k1"}) == "k1"
+
+    def test_returned_rows_are_copies(self, resources_table):
+        _db, table = resources_table
+        pk = table.insert({"name": "a", "kind": "url", "meta": {"x": 1}})
+        row = table.get(pk)
+        row["name"] = "mutated"
+        assert table.get(pk)["name"] == "a"
+
+
+class TestUpdateDelete:
+    def test_update_changes_row(self, resources_table):
+        _db, table = resources_table
+        pk = table.insert({"name": "a", "kind": "url", "quality": 0.1})
+        table.update(pk, {"quality": 0.9})
+        assert table.get(pk)["quality"] == 0.9
+
+    def test_update_missing_raises(self, resources_table):
+        _db, table = resources_table
+        with pytest.raises(RowNotFoundError):
+            table.update(99, {"quality": 0.9})
+
+    def test_pk_is_immutable(self, resources_table):
+        _db, table = resources_table
+        pk = table.insert({"name": "a", "kind": "url"})
+        with pytest.raises(ConstraintError, match="immutable"):
+            table.update(pk, {"id": pk + 1})
+
+    def test_update_to_duplicate_unique_rejected(self, resources_table):
+        _db, table = resources_table
+        table.insert({"name": "a", "kind": "url"})
+        pk_b = table.insert({"name": "b", "kind": "url"})
+        with pytest.raises(DuplicateKeyError):
+            table.update(pk_b, {"name": "a"})
+
+    def test_update_unique_to_same_value_allowed(self, resources_table):
+        _db, table = resources_table
+        pk = table.insert({"name": "a", "kind": "url"})
+        table.update(pk, {"name": "a", "quality": 0.4})
+
+    def test_delete_returns_row(self, resources_table):
+        _db, table = resources_table
+        pk = table.insert({"name": "a", "kind": "url"})
+        row = table.delete(pk)
+        assert row["name"] == "a"
+        assert not table.contains(pk)
+
+    def test_delete_missing_raises(self, resources_table):
+        _db, table = resources_table
+        with pytest.raises(RowNotFoundError):
+            table.delete(1)
+
+    def test_upsert_inserts_then_updates(self, resources_table):
+        _db, table = resources_table
+        pk = table.upsert({"name": "a", "kind": "url"})
+        table.upsert({"id": pk, "name": "a", "kind": "image"})
+        assert table.get(pk)["kind"] == "image"
+        assert len(table) == 1
+
+
+class TestIndexMaintenance:
+    def test_indexes_follow_updates(self, resources_table):
+        _db, table = resources_table
+        pk = table.insert({"name": "a", "kind": "url", "quality": 0.2})
+        table.update(pk, {"kind": "image", "quality": 0.8})
+        assert table.index_for("kind").lookup("url") == set()
+        assert table.index_for("kind").lookup("image") == {pk}
+        assert table.index_for("quality").lookup(0.8) == {pk}
+
+    def test_indexes_follow_deletes(self, resources_table):
+        _db, table = resources_table
+        pk = table.insert({"name": "a", "kind": "url"})
+        table.delete(pk)
+        assert table.index_for("kind").lookup("url") == set()
+
+    def test_create_index_backfills(self, resources_table):
+        _db, table = resources_table
+        for index in range(5):
+            table.insert({"name": f"r{index}", "kind": "url"})
+        table.create_index("name", kind="hash")
+        assert table.index_for("name").lookup("r3") == {4}
+
+    def test_json_columns_not_indexable(self, resources_table):
+        _db, table = resources_table
+        with pytest.raises(SchemaError, match="JSON"):
+            table.create_index("meta")
+
+    def test_unknown_column_not_indexable(self, resources_table):
+        _db, table = resources_table
+        with pytest.raises(UnknownColumnError):
+            table.create_index("bogus")
+
+    def test_verify_indexes_passes_after_churn(self, resources_table):
+        _db, table = resources_table
+        for index in range(20):
+            table.insert({"name": f"r{index}", "kind": ("url", "image")[index % 2]})
+        for pk in range(1, 11):
+            table.update(pk, {"kind": "video"})
+        for pk in range(11, 16):
+            table.delete(pk)
+        table.verify_indexes()
+
+    def test_scan_order_and_len(self, resources_table):
+        _db, table = resources_table
+        for index in range(5):
+            table.insert({"name": f"r{index}", "kind": "url"})
+        assert [row["id"] for row in table.scan()] == [1, 2, 3, 4, 5]
+        assert len(table) == 5

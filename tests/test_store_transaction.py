@@ -1,0 +1,119 @@
+"""Unit tests: transaction atomicity and lifecycle."""
+
+import pytest
+
+from repro.store import TransactionError
+
+
+class TestCommitRollback:
+    def test_commit_keeps_changes(self, resources_table):
+        database, table = resources_table
+        with database.transaction():
+            table.insert({"name": "a", "kind": "url"})
+        assert len(table) == 1
+
+    def test_rollback_on_exception(self, resources_table):
+        database, table = resources_table
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                table.insert({"name": "a", "kind": "url"})
+                raise RuntimeError("boom")
+        assert len(table) == 0
+
+    def test_rollback_restores_updates(self, resources_table):
+        database, table = resources_table
+        pk = table.insert({"name": "a", "kind": "url", "quality": 0.1})
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                table.update(pk, {"quality": 0.9})
+                table.update(pk, {"kind": "image"})
+                raise RuntimeError("boom")
+        row = table.get(pk)
+        assert row["quality"] == 0.1
+        assert row["kind"] == "url"
+
+    def test_rollback_restores_deletes(self, resources_table):
+        database, table = resources_table
+        pk = table.insert({"name": "a", "kind": "url"})
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                table.delete(pk)
+                raise RuntimeError("boom")
+        assert table.get(pk)["name"] == "a"
+
+    def test_rollback_mixed_ops_in_reverse_order(self, resources_table):
+        database, table = resources_table
+        pk_a = table.insert({"name": "a", "kind": "url", "quality": 0.3})
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                pk_b = table.insert({"name": "b", "kind": "url"})
+                table.update(pk_a, {"quality": 0.7})
+                table.delete(pk_b)
+                table.delete(pk_a)
+                raise RuntimeError("boom")
+        assert len(table) == 1
+        assert table.get(pk_a)["quality"] == 0.3
+
+    def test_rollback_restores_indexes(self, resources_table):
+        database, table = resources_table
+        pk = table.insert({"name": "a", "kind": "url"})
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                table.update(pk, {"kind": "image"})
+                raise RuntimeError("boom")
+        assert table.index_for("kind").lookup("url") == {pk}
+        assert table.index_for("kind").lookup("image") == set()
+        table.verify_indexes()
+
+    def test_explicit_commit(self, resources_table):
+        database, table = resources_table
+        txn = database.transaction().begin()
+        table.insert({"name": "a", "kind": "url"})
+        txn.commit()
+        assert len(table) == 1
+
+    def test_explicit_rollback(self, resources_table):
+        database, table = resources_table
+        txn = database.transaction().begin()
+        table.insert({"name": "a", "kind": "url"})
+        txn.rollback()
+        assert len(table) == 0
+
+
+class TestLifecycle:
+    def test_nested_transactions_rejected(self, resources_table):
+        database, _table = resources_table
+        with database.transaction():
+            with pytest.raises(TransactionError, match="nested"):
+                database.transaction().begin()
+
+    def test_double_begin_rejected(self, resources_table):
+        database, _table = resources_table
+        txn = database.transaction().begin()
+        with pytest.raises(TransactionError):
+            txn.begin()
+        txn.rollback()
+
+    def test_commit_without_begin_rejected(self, resources_table):
+        database, _table = resources_table
+        with pytest.raises(TransactionError):
+            database.transaction().commit()
+
+    def test_reuse_after_commit_rejected(self, resources_table):
+        database, _table = resources_table
+        txn = database.transaction().begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.begin()
+
+    def test_in_transaction_flag(self, resources_table):
+        database, _table = resources_table
+        assert not database.in_transaction
+        with database.transaction():
+            assert database.in_transaction
+        assert not database.in_transaction
+
+    def test_changes_outside_transaction_are_autocommit(self, resources_table):
+        database, table = resources_table
+        table.insert({"name": "a", "kind": "url"})
+        assert len(table) == 1

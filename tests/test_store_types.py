@@ -1,0 +1,91 @@
+"""Unit tests: store column types, validation and coercion."""
+
+import math
+
+import pytest
+
+from repro.store import ConstraintError, DataType
+from repro.store.types import coerce_value, validate_value
+
+
+class TestValidateValue:
+    def test_int_accepts_int(self):
+        validate_value(5, DataType.INT, "x")
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(ConstraintError, match="expected int"):
+            validate_value(True, DataType.INT, "x")
+
+    def test_int_rejects_float(self):
+        with pytest.raises(ConstraintError, match="expected int"):
+            validate_value(5.0, DataType.INT, "x")
+
+    def test_float_accepts_int_and_float(self):
+        validate_value(5, DataType.FLOAT, "x")
+        validate_value(5.5, DataType.FLOAT, "x")
+
+    def test_float_rejects_nan_and_inf(self):
+        with pytest.raises(ConstraintError, match="non-finite"):
+            validate_value(math.nan, DataType.FLOAT, "x")
+        with pytest.raises(ConstraintError, match="non-finite"):
+            validate_value(math.inf, DataType.FLOAT, "x")
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(ConstraintError):
+            validate_value(True, DataType.FLOAT, "x")
+
+    def test_text_accepts_str_rejects_bytes(self):
+        validate_value("hello", DataType.TEXT, "x")
+        with pytest.raises(ConstraintError):
+            validate_value(b"hello", DataType.TEXT, "x")
+
+    def test_bool_accepts_only_bool(self):
+        validate_value(True, DataType.BOOL, "x")
+        with pytest.raises(ConstraintError):
+            validate_value(1, DataType.BOOL, "x")
+
+    def test_timestamp_accepts_numbers(self):
+        validate_value(1234.5, DataType.TIMESTAMP, "x")
+        validate_value(0, DataType.TIMESTAMP, "x")
+
+    def test_json_accepts_nested_structures(self):
+        validate_value({"a": [1, 2, {"b": None}]}, DataType.JSON, "x")
+
+    def test_json_rejects_non_string_keys(self):
+        with pytest.raises(ConstraintError, match="JSON"):
+            validate_value({1: "a"}, DataType.JSON, "x")
+
+    def test_json_rejects_arbitrary_objects(self):
+        with pytest.raises(ConstraintError, match="JSON"):
+            validate_value(object(), DataType.JSON, "x")
+
+    def test_none_always_rejected_here(self):
+        with pytest.raises(ConstraintError, match="None"):
+            validate_value(None, DataType.INT, "x")
+
+    def test_error_names_the_column(self):
+        with pytest.raises(ConstraintError, match="'quality'"):
+            validate_value("nope", DataType.FLOAT, "quality")
+
+
+class TestCoerceValue:
+    def test_int_to_float_coercion(self):
+        assert coerce_value(3, DataType.FLOAT, "x") == 3.0
+        assert isinstance(coerce_value(3, DataType.FLOAT, "x"), float)
+
+    def test_tuple_to_list_inside_json(self):
+        assert coerce_value((1, 2), DataType.JSON, "x") == [1, 2]
+
+    def test_nested_tuple_normalization(self):
+        assert coerce_value({"a": (1, (2,))}, DataType.JSON, "x") == {"a": [1, [2]]}
+
+    def test_none_passes_through(self):
+        assert coerce_value(None, DataType.TEXT, "x") is None
+
+    def test_no_lossy_coercion_of_str_to_int(self):
+        with pytest.raises(ConstraintError):
+            coerce_value("5", DataType.INT, "x")
+
+    def test_bool_not_coerced_to_float(self):
+        with pytest.raises(ConstraintError):
+            coerce_value(True, DataType.FLOAT, "x")

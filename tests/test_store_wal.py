@@ -1,0 +1,134 @@
+"""Unit tests: write-ahead log durability and recovery."""
+
+import json
+
+import pytest
+
+from repro.store import (
+    Column,
+    Database,
+    DataType,
+    Schema,
+    WalError,
+    WriteAheadLog,
+)
+
+
+def make_database() -> Database:
+    database = Database("walled")
+    database.create_table(
+        "items",
+        Schema(
+            [
+                Column("id", DataType.INT),
+                Column("value", DataType.TEXT),
+                Column("score", DataType.FLOAT, nullable=True),
+            ],
+            primary_key="id",
+        ),
+    )
+    return database
+
+
+class TestAppendReplay:
+    def test_replay_reproduces_state(self, tmp_path):
+        database = make_database()
+        wal = WriteAheadLog(tmp_path / "db.wal")
+        database.attach_wal(wal)
+        table = database.table("items")
+        table.insert({"value": "a", "score": 0.1})
+        table.insert({"value": "b", "score": 0.2})
+        table.update(1, {"score": 0.9})
+        table.delete(2)
+
+        recovered = make_database()
+        applied = WriteAheadLog(tmp_path / "db.wal").replay_into(recovered)
+        assert applied == 4
+        items = recovered.table("items")
+        assert len(items) == 1
+        assert items.get(1) == {"id": 1, "value": "a", "score": 0.9}
+
+    def test_sequence_numbers_monotone(self, tmp_path):
+        database = make_database()
+        wal = WriteAheadLog(tmp_path / "db.wal")
+        database.attach_wal(wal)
+        for index in range(5):
+            database.table("items").insert({"value": f"v{index}"})
+        records = wal.records()
+        assert [record["seq"] for record in records] == [1, 2, 3, 4, 5]
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        path = tmp_path / "db.wal"
+        database = make_database()
+        database.attach_wal(WriteAheadLog(path))
+        database.table("items").insert({"value": "a"})
+        database.detach_wal()
+
+        wal2 = WriteAheadLog(path)
+        assert wal2.sequence == 1
+        database.attach_wal(wal2)
+        database.table("items").insert({"value": "b"})
+        assert wal2.records()[-1]["seq"] == 2
+
+    def test_rolled_back_txn_replays_to_same_state(self, tmp_path):
+        database = make_database()
+        wal = WriteAheadLog(tmp_path / "db.wal")
+        database.attach_wal(wal)
+        table = database.table("items")
+        table.insert({"value": "keep"})
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                table.insert({"value": "gone"})
+                raise RuntimeError("boom")
+        recovered = make_database()
+        wal.replay_into(recovered)
+        values = [row["value"] for row in recovered.table("items").scan()]
+        assert values == ["keep"]
+
+    def test_truncate_resets(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "db.wal")
+        database = make_database()
+        database.attach_wal(wal)
+        database.table("items").insert({"value": "a"})
+        wal.truncate()
+        assert wal.records() == []
+        assert wal.sequence == 0
+
+    def test_checkpoint_snapshot_plus_wal(self, tmp_path):
+        database = make_database()
+        wal = WriteAheadLog(tmp_path / "db.wal")
+        database.attach_wal(wal)
+        table = database.table("items")
+        table.insert({"value": "pre"})
+        snapshot = database.checkpoint()
+        table.insert({"value": "post"})
+
+        recovered = Database.from_snapshot(snapshot)
+        WriteAheadLog(tmp_path / "db.wal").replay_into(recovered)
+        values = sorted(row["value"] for row in recovered.table("items").scan())
+        assert values == ["post", "pre"]
+
+
+class TestCorruption:
+    def test_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "db.wal"
+        path.write_text('{"seq": 1, "op": "insert"}\nnot-json\n', encoding="utf-8")
+        with pytest.raises(WalError, match="corrupt WAL line 2"):
+            WriteAheadLog(path).records()
+
+    def test_out_of_order_rejected(self, tmp_path):
+        path = tmp_path / "db.wal"
+        lines = [
+            json.dumps({"seq": 2, "op": "insert", "table": "items", "pk": 1,
+                        "row": {"id": 1, "value": "a", "score": None}}),
+            json.dumps({"seq": 1, "op": "insert", "table": "items", "pk": 2,
+                        "row": {"id": 2, "value": "b", "score": None}}),
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(WalError, match="out of order"):
+            WriteAheadLog(path).records()
+
+    def test_empty_file_is_fine(self, tmp_path):
+        path = tmp_path / "db.wal"
+        path.touch()
+        assert WriteAheadLog(path).records() == []

@@ -1,0 +1,172 @@
+"""Unit tests: the CHOOSERESOURCES implementations (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StrategyError
+from repro.quality import QualityBoard
+from repro.strategies import (
+    AllocationContext,
+    FewestPostsFirst,
+    FreeChoice,
+    HybridFpMu,
+    MostUnstableFirst,
+    RoundRobin,
+    UniformRandom,
+    make_strategy,
+)
+from repro.tagging import Post
+
+
+def make_context(corpus, *, eligible=None, budget=100, spent=0, seed=0):
+    return AllocationContext(
+        corpus=corpus,
+        board=QualityBoard(corpus),
+        rng=np.random.default_rng(seed),
+        eligible=set(eligible) if eligible else set(),
+        budget_total=budget,
+        budget_spent=spent,
+    )
+
+
+class TestFewestPosts:
+    def test_picks_least_tagged(self, tiny_corpus):
+        context = make_context(tiny_corpus)
+        assert FewestPostsFirst().choose(context, 1) == [3]
+
+    def test_batch_spreads_over_distinct(self, tiny_corpus):
+        context = make_context(tiny_corpus)
+        assert FewestPostsFirst().choose(context, 3) == [3, 2, 1]
+
+    def test_respects_eligibility(self, tiny_corpus):
+        context = make_context(tiny_corpus, eligible=[1, 2])
+        assert FewestPostsFirst().choose(context, 1) == [2]
+
+    def test_tie_break_by_id(self, small_data_copy):
+        corpus = small_data_copy
+        zero_posts = [rid for rid, n in corpus.post_counts().items() if n == 0]
+        if len(zero_posts) >= 2:
+            context = make_context(corpus, eligible=zero_posts)
+            assert FewestPostsFirst().choose(context, 2) == sorted(zero_posts)[:2]
+
+    def test_empty_pool_raises(self, tiny_corpus):
+        context = make_context(tiny_corpus)
+        context.eligible = set()
+        with pytest.raises(StrategyError, match="no eligible"):
+            FewestPostsFirst().choose(context, 1)
+
+
+class TestMostUnstable:
+    def test_prefers_zero_post_then_fewest(self, tiny_corpus):
+        context = make_context(tiny_corpus)
+        # resources 2 (1 post) and 3 (0 posts) both have quality 0.
+        assert MostUnstableFirst().choose(context, 2) == [3, 2]
+
+    def test_prefers_unstable_over_stable(self, tiny_corpus):
+        # Make resource 3 clearly stable, resource 1 unstable.
+        for _ in range(6):
+            tiny_corpus.add_post(Post.from_tags(3, 7, [0]))
+        for tag in (0, 1, 2, 3) * 2:
+            tiny_corpus.add_post(Post.from_tags(1, 7, [tag]))
+        for _ in range(6):
+            tiny_corpus.add_post(Post.from_tags(2, 7, [2, 3]))
+        context = make_context(tiny_corpus)
+        first = MostUnstableFirst().choose(context, 1)[0]
+        assert first == 1
+
+    def test_respects_eligibility(self, tiny_corpus):
+        context = make_context(tiny_corpus, eligible=[1])
+        assert MostUnstableFirst().choose(context, 1) == [1]
+
+
+class TestFreeChoice:
+    def test_follows_popularity(self, tiny_corpus):
+        context = make_context(tiny_corpus, seed=5)
+        picks = FreeChoice().choose(context, 300)
+        counts = {rid: picks.count(rid) for rid in (1, 2, 3)}
+        assert counts[1] > counts[2]
+        assert counts[1] > counts[3]
+
+    def test_exponent_zero_is_uniformish(self, tiny_corpus):
+        context = make_context(tiny_corpus, seed=5)
+        picks = FreeChoice(popularity_exponent=0.0).choose(context, 600)
+        counts = np.array([picks.count(rid) for rid in (1, 2, 3)])
+        assert counts.min() > 120  # roughly uniform
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            FreeChoice(popularity_exponent=-1.0)
+
+
+class TestHybrid:
+    def test_starts_in_fp_phase(self, tiny_corpus):
+        strategy = HybridFpMu(min_posts=5)
+        context = make_context(tiny_corpus)
+        assert not strategy.in_mu_phase
+        assert strategy.choose(context, 1) == [3]  # FP pick
+        assert not strategy.in_mu_phase
+
+    def test_switches_when_coverage_reached(self, tiny_corpus):
+        strategy = HybridFpMu(min_posts=1)
+        for resource_id in (1, 2, 3):
+            while tiny_corpus.resource(resource_id).n_posts < 1:
+                tiny_corpus.add_post(Post.from_tags(resource_id, 7, [0]))
+        context = make_context(tiny_corpus)
+        strategy.choose(context, 1)
+        assert strategy.in_mu_phase
+
+    def test_budget_fraction_rule(self, tiny_corpus):
+        strategy = HybridFpMu(budget_fraction=0.5)
+        early = make_context(tiny_corpus, budget=100, spent=10)
+        strategy.choose(early, 1)
+        assert not strategy.in_mu_phase
+        late = make_context(tiny_corpus, budget=100, spent=60)
+        strategy.choose(late, 1)
+        assert strategy.in_mu_phase
+
+    def test_reset_returns_to_fp(self, tiny_corpus):
+        strategy = HybridFpMu(budget_fraction=0.0)
+        strategy.choose(make_context(tiny_corpus), 1)
+        assert strategy.in_mu_phase
+        strategy.reset()
+        assert not strategy.in_mu_phase
+
+    def test_validation(self):
+        with pytest.raises(StrategyError):
+            HybridFpMu(min_posts=-1)
+        with pytest.raises(StrategyError):
+            HybridFpMu(budget_fraction=1.5)
+
+
+class TestBaselines:
+    def test_round_robin_cycles(self, tiny_corpus):
+        strategy = RoundRobin()
+        context = make_context(tiny_corpus)
+        assert strategy.choose(context, 4) == [1, 2, 3, 1]
+        strategy.reset()
+        assert strategy.choose(context, 1) == [1]
+
+    def test_uniform_random_covers_pool(self, tiny_corpus):
+        context = make_context(tiny_corpus, seed=3)
+        picks = set(UniformRandom().choose(context, 100))
+        assert picks == {1, 2, 3}
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name in ("fc", "fp", "mu", "fp-mu", "random", "round-robin"):
+            assert make_strategy(name).name == name
+
+    def test_optimal_requires_gain_model(self):
+        with pytest.raises(StrategyError, match="gain model"):
+            make_strategy("optimal")
+
+    def test_config_knobs_forwarded(self):
+        from repro.config import StrategyConfig
+
+        strategy = make_strategy(StrategyConfig(name="fp-mu", hybrid_min_posts=9))
+        assert strategy.min_posts == 9
+        fc = make_strategy(
+            StrategyConfig(name="fc", free_choice_popularity_exponent=2.0)
+        )
+        assert fc.popularity_exponent == 2.0

@@ -1,0 +1,181 @@
+"""Tests: the adaptive estimated-gain strategy and trace replay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StrategyError
+from repro.quality import QualityBoard
+from repro.rng import RngRegistry
+from repro.strategies import (
+    AdaptiveEstimatedGain,
+    AllocationEngine,
+    TracePlayer,
+    make_strategy,
+    replay_free_choice,
+)
+from repro.tagging import Corpus, Post, TaggedResource, Vocabulary
+
+
+class TestAdaptiveStrategy:
+    def test_factory_builds_it(self):
+        strategy = make_strategy("adaptive")
+        assert strategy.name == "adaptive"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveEstimatedGain(min_samples=2)
+        with pytest.raises(ValueError):
+            AdaptiveEstimatedGain(refit_every=0)
+        with pytest.raises(ValueError):
+            AdaptiveEstimatedGain(exploration_bonus=-1.0)
+
+    def test_runs_a_campaign(self, small_data, small_data_copy):
+        engine = AllocationEngine(
+            small_data_copy,
+            small_data.dataset.population,
+            AdaptiveEstimatedGain(),
+            budget=60,
+            board=QualityBoard(small_data_copy),
+            oracle_targets=small_data.dataset.oracle_targets(),
+            rng=RngRegistry(1).stream("adaptive"),
+            record_every=60,
+        )
+        result = engine.run()
+        assert result.budget_spent == 60
+        assert result.oracle_improvement > 0
+
+    def test_competitive_with_fp(self, small_data):
+        improvements = {}
+        for name in ("adaptive", "fp", "fc"):
+            corpus = small_data.split.provider_corpus.copy()
+            engine = AllocationEngine(
+                corpus,
+                small_data.dataset.population,
+                make_strategy(name),
+                budget=80,
+                board=QualityBoard(corpus),
+                oracle_targets=small_data.dataset.oracle_targets(),
+                rng=RngRegistry(2).stream(f"cmp.{name}"),
+                record_every=80,
+            )
+            improvements[name] = engine.run().oracle_improvement
+        # The learned strategy must land between FC and ~FP.
+        assert improvements["adaptive"] > improvements["fc"]
+        assert improvements["adaptive"] > 0.6 * improvements["fp"]
+
+    def test_reset_clears_state(self, small_data, small_data_copy):
+        strategy = AdaptiveEstimatedGain()
+        engine = AllocationEngine(
+            small_data_copy,
+            small_data.dataset.population,
+            strategy,
+            budget=20,
+            board=QualityBoard(small_data_copy),
+            rng=RngRegistry(3).stream("r"),
+        )
+        engine.run()
+        strategy.reset()
+        assert not strategy._fitted_once
+        assert strategy._curves == {}
+
+
+class TestTracePlayer:
+    def make_trace(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        corpus = Corpus(vocabulary)
+        corpus.add_resource(TaggedResource(1, "r1"))
+        corpus.add_resource(TaggedResource(2, "r2"))
+        trace = [
+            Post.from_tags(1, 9, [0], timestamp=1.0),
+            Post.from_tags(7, 9, [1], timestamp=2.0),  # unknown resource
+            Post.from_tags(2, 9, [1, 2], timestamp=3.0),
+        ]
+        return corpus, trace
+
+    def test_play_applies_in_order(self):
+        corpus, trace = self.make_trace()
+        player = TracePlayer(trace)
+        assert player.remaining == 3
+        first = player.play_one(corpus)
+        assert first.resource_id == 1
+        assert corpus.resource(1).n_posts == 1
+
+    def test_skip_and_exhaustion(self):
+        corpus, trace = self.make_trace()
+        player = TracePlayer(trace)
+        player.play_one(corpus)
+        player.skip_one()
+        player.play_one(corpus)
+        assert player.exhausted
+        with pytest.raises(StrategyError, match="exhausted"):
+            player.peek()
+
+    def test_reset(self):
+        corpus, trace = self.make_trace()
+        player = TracePlayer(trace)
+        player.play_one(corpus)
+        player.reset()
+        assert player.remaining == 3
+
+
+class TestReplayFreeChoice:
+    def test_replays_heldout_as_fc(self, small_data):
+        corpus = small_data.split.provider_corpus.copy()
+        targets = small_data.dataset.oracle_targets()
+        result = replay_free_choice(
+            corpus,
+            small_data.split.heldout_posts,
+            budget=40,
+            oracle_targets=targets,
+            record_every=10,
+        )
+        assert result.strategy_names == ["fc-trace"]
+        assert 0 < result.budget_spent <= 40
+        assert sum(result.allocation.values()) == result.budget_spent
+        assert result.trajectory[0].budget_spent == 0
+        assert result.trajectory[-1].budget_spent == result.budget_spent
+
+    def test_trace_shorter_than_budget(self, small_data):
+        corpus = small_data.split.provider_corpus.copy()
+        result = replay_free_choice(
+            corpus, small_data.split.heldout_posts, budget=10**6
+        )
+        assert result.budget_spent <= len(small_data.split.heldout_posts)
+
+    def test_skips_unknown_resources(self):
+        vocabulary = Vocabulary(["a"])
+        corpus = Corpus(vocabulary)
+        corpus.add_resource(TaggedResource(1, "r1"))
+        trace = [
+            Post.from_tags(99, 9, [0], timestamp=1.0),
+            Post.from_tags(1, 9, [0], timestamp=2.0),
+        ]
+        result = replay_free_choice(corpus, trace, budget=5)
+        assert result.budget_spent == 1
+        assert corpus.resource(1).n_posts == 1
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(StrategyError):
+            replay_free_choice(Corpus(Vocabulary(["a"])), [], budget=-1)
+
+    def test_trace_replay_matches_fc_magnitude(self, small_data):
+        """The trace IS free choice, so the gains must be FC-like (small)."""
+        targets = small_data.dataset.oracle_targets()
+        corpus_trace = small_data.split.provider_corpus.copy()
+        trace_result = replay_free_choice(
+            corpus_trace, small_data.split.heldout_posts, budget=60,
+            oracle_targets=targets,
+        )
+        corpus_fp = small_data.split.provider_corpus.copy()
+        engine = AllocationEngine(
+            corpus_fp,
+            small_data.dataset.population,
+            make_strategy("fp"),
+            budget=trace_result.budget_spent,
+            board=QualityBoard(corpus_fp),
+            oracle_targets=targets,
+            rng=RngRegistry(4).stream("fp-vs-trace"),
+            record_every=100,
+        )
+        fp_result = engine.run()
+        assert trace_result.oracle_improvement < fp_result.oracle_improvement

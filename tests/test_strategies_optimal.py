@@ -1,0 +1,126 @@
+"""Unit + property tests: greedy vs DP allocation optimality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StrategyError
+from repro.quality import AnalyticGain, QualityCurve
+from repro.quality.gain import GainModel
+from repro.strategies import allocation_value, dp_allocate, dp_value, greedy_allocate
+
+
+class CurveGain(GainModel):
+    """Gain model over explicit concave curves (test harness)."""
+
+    def __init__(self, curves: dict[int, QualityCurve]) -> None:
+        self._curves = curves
+
+    def quality(self, resource_id: int, k: int) -> float:
+        return float(self._curves[resource_id].evaluate(k))
+
+    def gain(self, resource_id: int, k: int) -> float:
+        return self._curves[resource_id].marginal(k)
+
+
+def make_gain(n: int, seed: int) -> tuple[CurveGain, dict[int, int]]:
+    rng = np.random.default_rng(seed)
+    curves = {}
+    counts = {}
+    for resource_id in range(1, n + 1):
+        curves[resource_id] = QualityCurve(
+            q_max=float(rng.uniform(0.7, 1.0)),
+            a=float(rng.uniform(0.2, 2.0)),
+            b=float(rng.uniform(0.5, 4.0)),
+        )
+        counts[resource_id] = int(rng.integers(0, 10))
+    return CurveGain(curves), counts
+
+
+class TestGreedy:
+    def test_budget_exactly_spent(self):
+        gain, counts = make_gain(5, 1)
+        allocation = greedy_allocate(gain, counts, 17)
+        assert sum(allocation.values()) == 17
+        assert all(x >= 0 for x in allocation.values())
+
+    def test_zero_budget(self):
+        gain, counts = make_gain(3, 1)
+        allocation = greedy_allocate(gain, counts, 0)
+        assert all(x == 0 for x in allocation.values())
+
+    def test_empty_resources_rejected(self):
+        gain, _counts = make_gain(1, 1)
+        with pytest.raises(StrategyError):
+            greedy_allocate(gain, {}, 5)
+        with pytest.raises(StrategyError):
+            greedy_allocate(gain, {1: 0}, -1)
+
+    def test_prefers_high_gain_resource(self):
+        curves = {
+            1: QualityCurve(q_max=1.0, a=2.0, b=1.0),   # steep: big gains
+            2: QualityCurve(q_max=1.0, a=0.05, b=1.0),  # nearly flat
+        }
+        allocation = greedy_allocate(CurveGain(curves), {1: 0, 2: 0}, 10)
+        assert allocation[1] > allocation[2]
+
+
+class TestDp:
+    def test_matches_greedy_on_concave(self):
+        for seed in range(5):
+            gain, counts = make_gain(6, seed)
+            budget = 20
+            greedy_val = allocation_value(
+                gain, counts, greedy_allocate(gain, counts, budget)
+            )
+            exact_val = dp_value(gain, counts, budget)
+            assert greedy_val == pytest.approx(exact_val, abs=1e-9)
+
+    def test_dp_allocation_sums_to_budget(self):
+        gain, counts = make_gain(4, 7)
+        allocation = dp_allocate(gain, counts, 12)
+        assert sum(allocation.values()) == 12
+
+    def test_size_guard(self):
+        gain, counts = make_gain(3, 1)
+        with pytest.raises(StrategyError, match="too large"):
+            dp_allocate(gain, counts, 10_000)
+
+    def test_analytic_gain_agreement(self, small_data):
+        """Greedy == DP on the real oracle curves of a generated corpus."""
+        targets = {
+            rid: small_data.dataset.oracle_targets()[rid]
+            for rid in list(small_data.dataset.corpus.resource_ids())[:6]
+        }
+        gain = AnalyticGain(targets, small_data.dataset.mean_post_size)
+        counts = {rid: 2 for rid in targets}
+        greedy_val = allocation_value(gain, counts, greedy_allocate(gain, counts, 15))
+        assert greedy_val == pytest.approx(dp_value(gain, counts, 15), abs=1e-9)
+
+
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_greedy_equals_dp_on_concave_curves(n, budget, seed):
+    """The core optimality property behind the paper's 'optimal' line."""
+    gain, counts = make_gain(n, seed)
+    greedy_val = allocation_value(gain, counts, greedy_allocate(gain, counts, budget))
+    exact_val = dp_value(gain, counts, budget)
+    assert greedy_val == pytest.approx(exact_val, abs=1e-8)
+
+
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=15),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_dp_never_below_greedy(n, budget, seed):
+    """DP is exact, so it can never do worse than greedy on anything."""
+    gain, counts = make_gain(n, seed)
+    greedy_val = allocation_value(gain, counts, greedy_allocate(gain, counts, budget))
+    assert dp_value(gain, counts, budget) >= greedy_val - 1e-9

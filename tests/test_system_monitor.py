@@ -1,0 +1,87 @@
+"""Unit tests: the text renderings of Figs. 3-8."""
+
+import pytest
+
+from repro.datasets import make_delicious_like
+from repro.system import (
+    ITagSystem,
+    add_project_summary,
+    main_provider_screen,
+    project_details_screen,
+    resource_details_screen,
+    tagger_projects_screen,
+    tagging_screen,
+)
+
+
+@pytest.fixture(scope="module")
+def ui_campaign():
+    data = make_delicious_like(
+        n_resources=12, initial_posts_total=80, master_seed=19, population_size=20
+    )
+    system = ITagSystem(master_seed=19)
+    provider = system.register_provider("ui-provider")
+    project = system.create_project(
+        provider, "ui-project", budget=50, pay_per_task=0.07,
+        strategy="fp-mu", platform="mturk", kind="image",
+    )
+    system.upload_resources(project, data.provider_corpus)
+    system.start_project(project, noise_model=data.dataset.noise_model)
+    system.run_project(project, tasks=25)
+    return system, provider, project
+
+
+class TestProviderScreens:
+    def test_fig3_main_screen(self, ui_campaign):
+        system, provider, _project = ui_campaign
+        screen = main_provider_screen(system, provider)
+        assert "ui-provider" in screen
+        assert "ui-project" in screen
+        assert "running" in screen
+        assert "25/50" in screen
+        assert "[Add Project]" in screen
+
+    def test_fig4_add_project(self, ui_campaign):
+        system, _provider, project = ui_campaign
+        screen = add_project_summary(system, project)
+        assert "budget      : 50 tasks" in screen
+        assert "pay/task    : 0.070" in screen
+        assert "resources   : 12 uploaded" in screen
+
+    def test_fig5_project_details_has_chart(self, ui_campaign):
+        system, _provider, project = ui_campaign
+        screen = project_details_screen(system, project)
+        assert "quality over budget" in screen
+        assert "projected gain" in screen
+        assert "strategy fp-mu" in screen
+
+    def test_fig6_resource_details(self, ui_campaign):
+        system, _provider, project = ui_campaign
+        resource_id = system.resources.of_project(project)[0]["id"]
+        screen = resource_details_screen(system, project, resource_id)
+        assert "posts" in screen
+        assert "[Promote]" in screen
+        assert "notifications:" in screen
+
+    def test_sorting_by_quality_on_main_screen(self, ui_campaign):
+        system, provider, _project = ui_campaign
+        second = system.create_project(provider, "zz-empty", budget=1)
+        screen = main_provider_screen(system, provider)
+        # Running project has quality > 0, draft has 0 -> listed first.
+        assert screen.index("ui-project") < screen.index("zz-empty")
+
+
+class TestTaggerScreens:
+    def test_fig7_project_selection(self, ui_campaign):
+        system, _provider, _project = ui_campaign
+        screen = tagger_projects_screen(system)
+        assert "pay/task" in screen
+        assert "0.070" in screen
+        assert "ui-provider" in screen
+
+    def test_fig8_tagging_screen(self, ui_campaign):
+        system, _provider, project = ui_campaign
+        resource_id = system.resources.of_project(project)[0]["id"]
+        screen = tagging_screen(system, project, resource_id)
+        assert "[Add Tag]" in screen
+        assert "existing tags:" in screen

@@ -1,0 +1,148 @@
+"""Unit tests: the Quality Manager's campaign mechanics and failure paths."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import CrowdWorker, CrowdPlatform, PaymentLedger
+from repro.datasets import make_delicious_like
+from repro.errors import BudgetError, PlatformError, ProjectError
+from repro.quality import QualityBoard
+from repro.strategies import FewestPostsFirst
+from repro.system import ProjectRuntime, QualityManager
+from repro.taggers import preset
+
+
+@pytest.fixture()
+def rig():
+    data = make_delicious_like(
+        n_resources=8, initial_posts_total=50, master_seed=23, population_size=10
+    )
+    corpus = data.split.provider_corpus
+    workers = [
+        CrowdWorker(worker_id=100 + index, profile=preset("casual"))
+        for index in range(5)
+    ]
+    platform = CrowdPlatform(
+        workers, data.dataset.noise_model, np.random.default_rng(0)
+    )
+    ledger = PaymentLedger()
+    ledger.deposit(1, 100.0)
+    manager = QualityManager(ledger)
+    runtime = ProjectRuntime(
+        project_id=7,
+        provider_id=1,
+        corpus=corpus,
+        board=QualityBoard(corpus),
+        strategy=FewestPostsFirst(),
+        platform=platform,
+        pay_per_task=0.05,
+    )
+    manager.attach(runtime)
+    return data, manager, runtime, ledger
+
+
+class TestRunOneTask:
+    def test_outcome_fields(self, rig):
+        _data, manager, runtime, _ledger = rig
+        outcome = manager.run_one_task(7, budget_total=10, budget_spent=0)
+        assert outcome.resource_id in runtime.allocation
+        assert runtime.allocation[outcome.resource_id] == 1
+        assert len(runtime.trajectory) == 1
+
+    def test_budget_guard(self, rig):
+        _data, manager, _runtime, _ledger = rig
+        with pytest.raises(BudgetError, match="exhausted"):
+            manager.run_one_task(7, budget_total=5, budget_spent=5)
+
+    def test_approved_task_pays_worker(self, rig):
+        _data, manager, runtime, ledger = rig
+        outcome = manager.run_one_task(7, budget_total=10, budget_spent=0)
+        if outcome.approved:
+            assert ledger.earned_by(outcome.worker_id) == pytest.approx(0.05)
+        ledger.verify_conservation()
+
+    def test_all_resources_stopped(self, rig):
+        _data, manager, runtime, _ledger = rig
+        for resource_id in list(runtime.eligible):
+            manager.stop_resource(7, resource_id)
+        with pytest.raises(ProjectError, match="all resources stopped"):
+            manager.run_one_task(7, budget_total=10, budget_spent=0)
+
+    def test_promoted_resource_chosen_first(self, rig):
+        _data, manager, runtime, _ledger = rig
+        target = max(
+            runtime.corpus.resource_ids(),
+            key=lambda rid: runtime.corpus.resource(rid).n_posts,
+        )
+        manager.promote(7, target)
+        outcome = manager.run_one_task(7, budget_total=10, budget_spent=0)
+        assert outcome.resource_id == target
+
+    def test_rejected_task_does_not_touch_corpus(self, rig):
+        from repro.crowd import ApprovalPolicy
+
+        class RejectAll(ApprovalPolicy):
+            def should_approve(self, resource, post):
+                return False
+
+        _data, manager, runtime, ledger = rig
+        runtime.approval_policy = RejectAll()
+        posts_before = runtime.corpus.total_posts()
+        outcome = manager.run_one_task(7, budget_total=10, budget_spent=0)
+        assert not outcome.approved
+        assert runtime.corpus.total_posts() == posts_before
+        assert sum(ledger.worker_balance.values()) == 0.0
+
+
+class TestRuntimeRegistry:
+    def test_attach_twice_rejected(self, rig):
+        _data, manager, runtime, _ledger = rig
+        with pytest.raises(ProjectError, match="already has a runtime"):
+            manager.attach(runtime)
+
+    def test_detach_then_access_rejected(self, rig):
+        _data, manager, _runtime, _ledger = rig
+        manager.detach(7)
+        assert not manager.is_attached(7)
+        with pytest.raises(ProjectError, match="not running"):
+            manager.runtime(7)
+        with pytest.raises(ProjectError):
+            manager.detach(7)
+
+    def test_controls_unknown_resource(self, rig):
+        _data, manager, _runtime, _ledger = rig
+        with pytest.raises(ProjectError):
+            manager.promote(7, 9999)
+        with pytest.raises(ProjectError):
+            manager.stop_resource(7, 9999)
+        with pytest.raises(ProjectError):
+            manager.resume_resource(7, 9999)
+
+
+class TestProjectedGain:
+    def test_needs_history(self, rig):
+        _data, manager, _runtime, _ledger = rig
+        assert manager.projected_gain(7, 100) == 0.0
+
+    def test_positive_slope_projects_positive_gain(self, rig):
+        _data, manager, _runtime, _ledger = rig
+        for spent in range(12):
+            manager.run_one_task(7, budget_total=50, budget_spent=spent)
+        gain = manager.projected_gain(7, 100)
+        assert gain >= 0.0
+
+    def test_zero_extra_tasks(self, rig):
+        _data, manager, _runtime, _ledger = rig
+        assert manager.projected_gain(7, 0) == 0.0
+
+
+class TestEscrowExhaustion:
+    def test_underfunded_escrow_raises_ledger_error(self, rig):
+        from repro.errors import LedgerError
+
+        _data, manager, runtime, ledger = rig
+        ledger.refund(1)  # drain the provider's escrow
+        ledger.deposit(1, 0.01)  # not enough for even one paid task
+        with pytest.raises(LedgerError, match="cannot"):
+            for spent in range(5):
+                manager.run_one_task(7, budget_total=50, budget_spent=spent)

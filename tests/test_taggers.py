@@ -1,0 +1,190 @@
+"""Unit tests: tagger profiles, noise model, post generation, populations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, PostError
+from repro.rng import RngRegistry
+from repro.taggers import (
+    NoiseModel,
+    PostGenerator,
+    TaggerPopulation,
+    TaggerProfile,
+    default_mixture,
+    preset,
+    sample_post_size,
+    zipf_weights,
+)
+from repro.tagging import TaggedResource, Vocabulary
+
+
+class TestProfiles:
+    def test_presets_valid(self):
+        for name in ("casual", "expert", "sloppy", "spammer"):
+            preset(name).validate()
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigError, match="unknown tagger preset"):
+            preset("ninja")
+
+    def test_with_noise(self):
+        modified = preset("casual").with_noise(0.5)
+        assert modified.noise_rate == 0.5
+        assert preset("casual").noise_rate == 0.10  # original untouched
+
+    def test_validation_bounds(self):
+        with pytest.raises(ConfigError):
+            TaggerProfile(noise_rate=2.0).validate()
+        with pytest.raises(ConfigError):
+            TaggerProfile(mean_tags_per_post=0.5).validate()
+        with pytest.raises(ConfigError):
+            TaggerProfile(vocabulary_breadth=0.0).validate()
+
+
+class TestNoise:
+    def test_zipf_weights_normalized_decreasing(self):
+        weights = zipf_weights(100, 1.2)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(weights) < 0)
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_with_typo_tags_extends_vocabulary(self):
+        vocabulary = Vocabulary(["a", "b"])
+        noise = NoiseModel.with_typo_tags(vocabulary, 5)
+        assert len(vocabulary) == 7
+        assert len(noise.typo_pool) == 5
+        assert noise.vocabulary_size == 7
+
+    def test_effective_noise_includes_typo_mass(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        noise = NoiseModel.with_typo_tags(vocabulary, 2)
+        eta = noise.effective_noise_distribution(0.5)
+        assert eta.sum() == pytest.approx(1.0)
+        typo_mass = sum(eta[tag_id] for tag_id in noise.typo_pool)
+        assert typo_mass >= 0.5 - 1e-9
+
+    def test_effective_noise_without_typos(self):
+        noise = NoiseModel(10)
+        eta = noise.effective_noise_distribution(0.0)
+        assert eta == pytest.approx(noise.noise_distribution())
+
+    def test_sample_noise_tag_in_range(self, rng):
+        noise = NoiseModel(50)
+        stream = rng.stream("noise")
+        samples = [noise.sample_noise_tag(stream, 0.0) for _ in range(100)]
+        assert all(0 <= s < 50 for s in samples)
+
+
+class TestPostGeneration:
+    def make(self, rng, breadth=1.0, noise_rate=0.0):
+        vocabulary = Vocabulary([f"t{i}" for i in range(20)])
+        noise = NoiseModel.with_typo_tags(vocabulary, 3)
+        theta = np.zeros(len(vocabulary))
+        theta[:5] = [0.4, 0.3, 0.15, 0.1, 0.05]
+        resource = TaggedResource(1, "r", theta=theta)
+        profile = TaggerProfile(
+            noise_rate=noise_rate, mean_tags_per_post=3.0,
+            max_tags_per_post=5, typo_rate=0.0, vocabulary_breadth=breadth,
+        )
+        return PostGenerator(noise, rng.stream("gen")), resource, profile
+
+    def test_post_size_bounds(self, rng):
+        stream = rng.stream("size")
+        sizes = [sample_post_size(stream, 3.0, 5) for _ in range(300)]
+        assert all(1 <= size <= 5 for size in sizes)
+        assert 2.0 < np.mean(sizes) < 4.0
+        with pytest.raises(PostError):
+            sample_post_size(stream, 3.0, 0)
+
+    def test_clean_tagger_draws_from_support(self, rng):
+        generator, resource, profile = self.make(rng)
+        for _ in range(50):
+            post = generator.generate(resource, profile, 1)
+            assert all(tag_id < 5 for tag_id in post.tag_ids)
+
+    def test_narrow_breadth_limits_tags(self, rng):
+        generator, resource, profile = self.make(rng, breadth=0.4)
+        seen = set()
+        for _ in range(100):
+            seen.update(generator.generate(resource, profile, 1).tag_ids)
+        assert seen <= {0, 1}  # top 40% of a 5-tag support = 2 tags
+
+    def test_noisy_tagger_leaves_support(self, rng):
+        generator, resource, profile = self.make(rng, noise_rate=0.9)
+        seen = set()
+        for _ in range(100):
+            seen.update(generator.generate(resource, profile, 1).tag_ids)
+        assert any(tag_id >= 5 for tag_id in seen)
+
+    def test_requires_theta(self, rng):
+        generator, _resource, profile = self.make(rng)
+        bare = TaggedResource(2, "no-theta")
+        with pytest.raises(PostError, match="no true distribution"):
+            generator.generate(bare, profile, 1)
+
+    def test_theta_size_mismatch(self, rng):
+        generator, _resource, profile = self.make(rng)
+        wrong = TaggedResource(3, "w", theta=np.array([1.0]))
+        with pytest.raises(PostError, match="vocabulary size"):
+            generator.generate(wrong, profile, 1)
+
+
+class TestPopulation:
+    def build(self, rng, size=20):
+        vocabulary = Vocabulary([f"t{i}" for i in range(10)])
+        noise = NoiseModel.with_typo_tags(vocabulary, 2)
+        return TaggerPopulation.from_mixture(
+            size, default_mixture(), noise, rng.stream("pop")
+        )
+
+    def test_mixture_produces_profiles(self, rng):
+        population = self.build(rng, size=200)
+        counts = population.profile_counts()
+        assert counts.get("casual", 0) > counts.get("spammer", 0)
+        assert len(population) == 200
+
+    def test_profile_distribution_sums_to_one(self, rng):
+        population = self.build(rng)
+        total = sum(weight for _profile, weight in population.profile_distribution())
+        assert total == pytest.approx(1.0)
+
+    def test_mean_noise_and_post_size(self, rng):
+        population = self.build(rng, size=100)
+        assert 0.0 < population.mean_noise_rate() < 1.0
+        assert 1.0 <= population.mean_post_size() <= 12.0
+
+    def test_free_choice_prefers_popular(self, rng):
+        from repro.tagging import Corpus
+
+        vocabulary = Vocabulary([f"t{i}" for i in range(10)])
+        noise = NoiseModel.with_typo_tags(vocabulary, 2)
+        population = TaggerPopulation.from_mixture(
+            10, {"casual": 1.0}, noise, rng.stream("fc")
+        )
+        corpus = Corpus(vocabulary)
+        theta = np.zeros(len(vocabulary))
+        theta[0] = 1.0
+        corpus.add_resource(TaggedResource(1, "popular", theta=theta, popularity=100.0))
+        corpus.add_resource(TaggedResource(2, "obscure", theta=theta, popularity=0.1))
+        hits = {1: 0, 2: 0}
+        for _ in range(200):
+            post = population.free_choice(corpus)
+            hits[post.resource_id] += 1
+            corpus.add_post(post)
+        assert hits[1] > 3 * hits[2]
+
+    def test_validation(self, rng):
+        vocabulary = Vocabulary(["a"])
+        noise = NoiseModel.with_typo_tags(vocabulary, 1)
+        with pytest.raises(ConfigError):
+            TaggerPopulation([], noise, rng.stream("x"))
+        with pytest.raises(ConfigError):
+            TaggerPopulation.from_mixture(0, {"casual": 1.0}, noise, rng.stream("y"))
+        with pytest.raises(ConfigError):
+            TaggerPopulation.from_mixture(5, {}, noise, rng.stream("z"))
+
+    def test_unknown_tagger_lookup(self, rng):
+        population = self.build(rng)
+        with pytest.raises(ConfigError, match="unknown tagger"):
+            population.tagger(999)

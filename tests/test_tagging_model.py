@@ -1,0 +1,224 @@
+"""Unit tests: vocabulary, posts, rfds, resources, corpus."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PostError, ResourceNotFoundError, VocabularyError
+from repro.tagging import (
+    Corpus,
+    Post,
+    TagCounter,
+    TaggedResource,
+    Vocabulary,
+    rfd_from_posts,
+    rfd_vector,
+)
+from repro.tagging.resource import ResourceKind
+
+
+class TestVocabulary:
+    def test_dense_ids(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        assert [vocabulary.id_of(t) for t in ("a", "b", "c")] == [0, 1, 2]
+
+    def test_add_idempotent(self):
+        vocabulary = Vocabulary()
+        assert vocabulary.add("x") == vocabulary.add("x") == 0
+        assert len(vocabulary) == 1
+
+    def test_unknown_lookups_raise(self):
+        vocabulary = Vocabulary(["a"])
+        with pytest.raises(VocabularyError, match="unknown tag"):
+            vocabulary.id_of("z")
+        with pytest.raises(VocabularyError, match="unknown tag id"):
+            vocabulary.tag_of(5)
+
+    def test_frozen_rejects_new(self):
+        vocabulary = Vocabulary(["a"]).freeze()
+        assert vocabulary.add("a") == 0  # existing still fine
+        with pytest.raises(VocabularyError, match="frozen"):
+            vocabulary.add("b")
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().add("")
+
+    def test_serialization_roundtrip(self):
+        vocabulary = Vocabulary(["a", "b"]).freeze()
+        clone = Vocabulary.from_list(vocabulary.to_list(), frozen=True)
+        assert clone.frozen and list(clone) == ["a", "b"]
+
+    def test_from_list_rejects_duplicates(self):
+        with pytest.raises(VocabularyError, match="duplicate"):
+            Vocabulary.from_list(["a", "a"])
+
+
+class TestPost:
+    def test_dedup_and_sort(self):
+        post = Post.from_tags(1, 2, [5, 3, 5, 1])
+        assert post.tag_ids == (1, 3, 5)
+        assert post.size == 3
+
+    def test_numpy_ints_coerced(self):
+        post = Post.from_tags(1, 2, list(np.array([4, 2], dtype=np.int64)))
+        assert all(type(tag_id) is int for tag_id in post.tag_ids)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PostError, match="at least one tag"):
+            Post.from_tags(1, 2, [])
+
+    def test_negative_tag_rejected(self):
+        with pytest.raises(PostError, match="negative"):
+            Post.from_tags(1, 2, [-1])
+
+    def test_with_index(self):
+        post = Post.from_tags(1, 2, [0]).with_index(3)
+        assert post.index == 3
+        with pytest.raises(PostError):
+            Post.from_tags(1, 2, [0]).with_index(0)
+
+    def test_dict_roundtrip(self):
+        post = Post.from_tags(1, 2, [0, 4], index=2, timestamp=1.5)
+        assert Post.from_dict(post.to_dict()) == post
+
+
+class TestTagCounter:
+    def test_add_and_frequencies(self):
+        counter = TagCounter()
+        counter.add_post([0, 1])
+        counter.add_post([0])
+        assert counter.n_posts == 2
+        assert counter.total_occurrences == 3
+        assert counter.frequencies() == {0: 2 / 3, 1: 1 / 3}
+
+    def test_remove_is_inverse(self):
+        counter = TagCounter()
+        counter.add_post([0, 1])
+        counter.add_post([1, 2])
+        counter.remove_post([1, 2])
+        assert counter.counts() == {0: 1, 1: 1}
+        assert counter.n_posts == 1
+
+    def test_remove_below_zero_raises(self):
+        counter = TagCounter()
+        counter.add_post([0])
+        with pytest.raises(PostError, match="already zero"):
+            counter.remove_post([1])
+
+    def test_top_tags_tie_break_by_id(self):
+        counter = TagCounter()
+        counter.add_post([3, 1])
+        counter.add_post([3, 1, 2])
+        assert counter.top_tags(2) == [(1, 2), (3, 2)]
+
+    def test_vector_normalized(self):
+        counter = TagCounter()
+        counter.add_post([0, 2])
+        vector = counter.vector(4)
+        assert vector.sum() == pytest.approx(1.0)
+        assert vector[1] == 0.0
+
+    def test_empty_vector_is_zeros(self):
+        assert TagCounter().vector(3).sum() == 0.0
+
+    def test_copy_independent(self):
+        counter = TagCounter()
+        counter.add_post([0])
+        clone = counter.copy()
+        clone.add_post([1])
+        assert counter.n_posts == 1
+
+
+class TestRfdHelpers:
+    def test_rfd_vector_range_check(self):
+        with pytest.raises(PostError, match="out of range"):
+            rfd_vector({5: 1}, 3)
+
+    def test_rfd_from_posts(self):
+        posts = [Post.from_tags(1, 1, [0]), Post.from_tags(1, 2, [0, 1])]
+        vector = rfd_from_posts(posts, 3)
+        assert vector[0] == pytest.approx(2 / 3)
+
+
+class TestTaggedResource:
+    def test_sequencing(self):
+        resource = TaggedResource(1, "r")
+        first = resource.add_post(Post.from_tags(1, 9, [0]))
+        second = resource.add_post(Post.from_tags(1, 9, [1]))
+        assert (first.index, second.index) == (1, 2)
+        assert resource.n_posts == 2
+
+    def test_wrong_resource_rejected(self):
+        resource = TaggedResource(1, "r")
+        with pytest.raises(PostError, match="targets resource 2"):
+            resource.add_post(Post.from_tags(2, 9, [0]))
+
+    def test_successive_deltas_lengths(self):
+        resource = TaggedResource(1, "r")
+        resource.add_post(Post.from_tags(1, 9, [0]))
+        assert resource.successive_deltas == ()
+        resource.add_post(Post.from_tags(1, 9, [0]))
+        assert len(resource.successive_deltas) == 1
+        assert resource.successive_deltas[0] == pytest.approx(0.0)
+
+    def test_delta_reflects_change(self):
+        resource = TaggedResource(1, "r")
+        resource.add_post(Post.from_tags(1, 9, [0]))
+        resource.add_post(Post.from_tags(1, 9, [1]))
+        # rfd went from {0: 1.0} to {0: .5, 1: .5}: TV = 0.5
+        assert resource.successive_deltas[0] == pytest.approx(0.5)
+
+    def test_rfd_at_prefix(self):
+        resource = TaggedResource(1, "r")
+        resource.add_post(Post.from_tags(1, 9, [0]))
+        resource.add_post(Post.from_tags(1, 9, [1]))
+        assert resource.rfd_at(1, 2)[0] == pytest.approx(1.0)
+        assert resource.rfd_at(0, 2).sum() == 0.0
+        with pytest.raises(PostError, match="out of range"):
+            resource.rfd_at(3, 2)
+
+    def test_kind_coercion(self):
+        assert TaggedResource(1, "r", kind="paper").kind is ResourceKind.PAPER
+        with pytest.raises(ValueError):
+            TaggedResource(1, "r", kind="hologram")
+
+    def test_dict_roundtrip_preserves_rfd(self):
+        resource = TaggedResource(1, "r", theta=np.array([0.5, 0.5]))
+        resource.add_post(Post.from_tags(1, 9, [0]))
+        resource.add_post(Post.from_tags(1, 9, [0, 1]))
+        clone = TaggedResource.from_dict(resource.to_dict())
+        assert clone.n_posts == 2
+        assert clone.frequencies() == resource.frequencies()
+        assert clone.successive_deltas == resource.successive_deltas
+
+
+class TestCorpus:
+    def test_post_routing(self, tiny_corpus):
+        assert tiny_corpus.resource(1).n_posts == 2
+        assert tiny_corpus.total_posts() == 3
+
+    def test_duplicate_resource_rejected(self, tiny_corpus):
+        with pytest.raises(PostError, match="already exists"):
+            tiny_corpus.add_resource(TaggedResource(1, "dup"))
+
+    def test_missing_resource_raises(self, tiny_corpus):
+        with pytest.raises(ResourceNotFoundError):
+            tiny_corpus.resource(99)
+        with pytest.raises(ResourceNotFoundError):
+            tiny_corpus.add_post(Post.from_tags(99, 1, [0]))
+
+    def test_post_counts_vector(self, tiny_corpus):
+        assert tiny_corpus.post_counts() == {1: 2, 2: 1, 3: 0}
+        assert list(tiny_corpus.post_count_vector()) == [2, 1, 0]
+
+    def test_copy_is_deep(self, tiny_corpus):
+        clone = tiny_corpus.copy()
+        clone.add_post(Post.from_tags(3, 1, [0]))
+        assert tiny_corpus.resource(3).n_posts == 0
+        assert clone.resource(3).n_posts == 1
+
+    def test_dict_roundtrip(self, tiny_corpus):
+        clone = Corpus.from_dict(tiny_corpus.to_dict())
+        assert len(clone) == 3
+        assert clone.post_counts() == tiny_corpus.post_counts()
+        assert list(clone.vocabulary) == list(tiny_corpus.vocabulary)

@@ -1,0 +1,134 @@
+"""Unit tests: tag normalization, typo merging, corpus statistics."""
+
+import numpy as np
+import pytest
+
+from repro.tagging import (
+    TypoMerger,
+    edit_distance,
+    gini_coefficient,
+    normalize_tag,
+    posts_histogram,
+    summarize_corpus,
+    top_k_share,
+    vocabulary_growth,
+)
+
+
+class TestNormalizeTag:
+    def test_lowercase_strip(self):
+        assert normalize_tag("  Machine-Learning! ") == "machine-learning"
+
+    def test_whitespace_collapsed_to_dash(self):
+        assert normalize_tag("new   york  city") == "new-york-city"
+
+    def test_stopwords_removed(self):
+        assert normalize_tag("THE") is None
+        assert normalize_tag("of") is None
+
+    def test_empty_and_punctuation_only(self):
+        assert normalize_tag("") is None
+        assert normalize_tag("!!!") is None
+
+    def test_non_string(self):
+        assert normalize_tag(42) is None  # type: ignore[arg-type]
+
+    def test_custom_stopwords(self):
+        assert normalize_tag("the", stopwords=frozenset()) == "the"
+
+
+class TestEditDistance:
+    def test_identity(self):
+        assert edit_distance("cat", "cat") == 0
+
+    def test_single_ops(self):
+        assert edit_distance("cat", "cats") == 1
+        assert edit_distance("cat", "bat") == 1
+        assert edit_distance("cat", "at") == 1
+
+    def test_limit_early_exit(self):
+        assert edit_distance("short", "completely-different", limit=2) == 3
+
+    def test_symmetric(self):
+        assert edit_distance("kitten", "sitting") == edit_distance("sitting", "kitten") == 3
+
+
+class TestTypoMerger:
+    def test_rare_typo_merged_to_frequent(self):
+        counts = {"python": 100, "pythn": 1, "java": 50}
+        merger = TypoMerger(counts)
+        assert merger.apply("pythn") == "python"
+        assert merger.apply("java") == "java"
+
+    def test_equal_frequency_not_merged(self):
+        counts = {"cat": 10, "car": 10}
+        merger = TypoMerger(counts)
+        assert merger.apply("cat") == "cat"
+
+    def test_merge_requires_ratio(self):
+        counts = {"python": 12, "pythn": 8}
+        merger = TypoMerger(counts, merge_ratio=5.0, max_rare_count=10)
+        assert merger.apply("pythn") == "pythn"
+
+    def test_prefers_most_frequent_target(self):
+        counts = {"cart": 100, "card": 40, "carx": 1}
+        merger = TypoMerger(counts)
+        assert merger.apply("carx") == "cart"
+
+    def test_apply_all_and_len(self):
+        counts = {"tag": 50, "tagg": 1}
+        merger = TypoMerger(counts)
+        assert merger.apply_all(["tagg", "tag"]) == ["tag", "tag"]
+        assert len(merger) == 1
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            TypoMerger({}, merge_ratio=0.5)
+
+
+class TestStatistics:
+    def test_gini_uniform_is_zero(self):
+        assert gini_coefficient([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_near_one(self):
+        values = [0.0] * 99 + [100.0]
+        assert gini_coefficient(values) > 0.95
+
+    def test_gini_empty_and_zero(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+    def test_gini_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1.0, 1.0])
+
+    def test_top_k_share(self):
+        values = [1.0] * 90 + [91.0] * 10
+        assert top_k_share(values, 0.1) == pytest.approx(910 / 1000)
+        with pytest.raises(ValueError):
+            top_k_share(values, 0.0)
+
+    def test_posts_histogram_buckets(self, tiny_corpus):
+        histogram = posts_histogram(tiny_corpus)
+        assert histogram["0"] == 1
+        assert histogram["1-4"] == 2
+
+    def test_vocabulary_growth_monotone(self, small_data):
+        trajectory = vocabulary_growth(small_data.dataset.corpus)
+        seen = [count for _posts, count in trajectory]
+        assert all(b >= a for a, b in zip(seen, seen[1:]))
+        assert trajectory[-1][0] == small_data.dataset.corpus.total_posts()
+
+    def test_summary_fields(self, small_data):
+        summary = summarize_corpus(small_data.dataset.corpus)
+        assert summary.n_resources == 30
+        assert summary.total_posts == 240
+        assert 0.0 <= summary.gini <= 1.0
+        assert any("gini" in line for line in summary.lines())
+
+    def test_generated_corpus_is_skewed(self, small_data):
+        """The Sec.-I motivation: most posts go to few resources."""
+        summary = summarize_corpus(small_data.dataset.corpus)
+        assert summary.gini > 0.5
+        assert summary.top10_share > 0.3
+        assert summary.median_posts < summary.mean_posts

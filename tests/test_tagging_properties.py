@@ -1,0 +1,103 @@
+"""Property-based tests: rfd and quality invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quality import (
+    hellinger,
+    js_divergence,
+    total_variation,
+)
+from repro.tagging import Post, TagCounter, TaggedResource, edit_distance
+
+_posts = st.lists(
+    st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=6),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(_posts)
+@settings(max_examples=100, deadline=None)
+def test_rfd_always_sums_to_one(posts):
+    counter = TagCounter()
+    for tags in posts:
+        counter.add_post(tags)
+    frequencies = counter.frequencies()
+    assert abs(sum(frequencies.values()) - 1.0) < 1e-9
+    vector = counter.vector(16)
+    assert abs(vector.sum() - 1.0) < 1e-9
+    assert np.all(vector >= 0)
+
+
+@given(_posts)
+@settings(max_examples=60, deadline=None)
+def test_counter_remove_inverts_add(posts):
+    counter = TagCounter()
+    for tags in posts:
+        counter.add_post(tags)
+    snapshot = counter.counts()
+    extra = [0, 7, 15]
+    counter.add_post(extra)
+    counter.remove_post(extra)
+    assert counter.counts() == snapshot
+
+
+@given(_posts)
+@settings(max_examples=60, deadline=None)
+def test_successive_deltas_bounded(posts):
+    resource = TaggedResource(1, "r")
+    for tags in posts:
+        resource.add_post(Post.from_tags(1, 2, tags))
+    assert len(resource.successive_deltas) == max(0, len(posts) - 1)
+    assert all(0.0 <= delta <= 1.0 for delta in resource.successive_deltas)
+
+
+_distribution = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=4,
+    max_size=4,
+).filter(lambda values: sum(values) > 0.01)
+
+
+@given(_distribution, _distribution)
+@settings(max_examples=100, deadline=None)
+def test_distances_are_symmetric_bounded_metrics(p_raw, q_raw):
+    p = np.array(p_raw)
+    q = np.array(q_raw)
+    for metric in (total_variation, js_divergence, hellinger):
+        forward = metric(p, q)
+        backward = metric(q, p)
+        assert abs(forward - backward) < 1e-9
+        assert -1e-9 <= forward <= 1.0 + 1e-9
+        assert metric(p, p) < 1e-9
+
+
+@given(_distribution, _distribution, _distribution)
+@settings(max_examples=60, deadline=None)
+def test_tv_triangle_inequality(p_raw, q_raw, r_raw):
+    p, q, r = np.array(p_raw), np.array(q_raw), np.array(r_raw)
+    assert total_variation(p, r) <= (
+        total_variation(p, q) + total_variation(q, r) + 1e-9
+    )
+
+
+_words = st.text(alphabet="abcdef", min_size=0, max_size=8)
+
+
+@given(_words, _words)
+@settings(max_examples=100, deadline=None)
+def test_edit_distance_symmetric_and_identity(left, right):
+    limit = 16
+    assert edit_distance(left, right, limit=limit) == edit_distance(
+        right, left, limit=limit
+    )
+    assert edit_distance(left, left, limit=limit) == 0
+
+
+@given(_words, _words)
+@settings(max_examples=60, deadline=None)
+def test_edit_distance_bounded_by_longer_word(left, right):
+    limit = 16
+    assert edit_distance(left, right, limit=limit) <= max(len(left), len(right))
