@@ -1,7 +1,8 @@
 """EXP-ST — Fig. 2 substrate: embedded-store throughput.
 
 Microbenchmarks of the MySQL-substitute under campaign-shaped
-workloads (bulk insert, indexed queries, transactional updates, WAL).
+workloads (bulk insert, indexed queries, cost-based And/top-k queries
+vs. their full-scan/full-sort baselines, transactional updates, WAL).
 """
 
 from repro.experiments import store_ops
@@ -11,4 +12,4 @@ def test_exp_st_store_throughput(run_experiment_once, tmp_path):
     result = run_experiment_once(
         lambda: store_ops.run(rows=5000, wal_path=tmp_path / "bench.wal")
     )
-    assert len(result.rows) == 5
+    assert len(result.rows) == 9

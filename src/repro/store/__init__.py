@@ -27,6 +27,20 @@ from .errors import (
 )
 from .index import HashIndex, SortedIndex
 from .persist import export_table_csv, load_database, save_database
+from .plan import (
+    Filter,
+    FullScan,
+    HashLookup,
+    IndexIn,
+    Intersect,
+    OrderedScan,
+    PkLookup,
+    Plan,
+    Sort,
+    SortedRange,
+    TopK,
+    Union,
+)
 from .query import (
     And,
     Between,
@@ -56,6 +70,8 @@ __all__ = [
     "WriteAheadLog", "Query", "Predicate", "TruePredicate",
     "Eq", "Ne", "Lt", "Le", "Gt", "Ge", "In", "Between", "Contains",
     "And", "Or", "Not", "hash_join",
+    "Plan", "FullScan", "PkLookup", "HashLookup", "IndexIn", "SortedRange",
+    "OrderedScan", "TopK", "Intersect", "Union", "Filter", "Sort",
     "HashIndex", "SortedIndex",
     "save_database", "load_database", "export_table_csv",
     "StoreError", "SchemaError", "ConstraintError", "DuplicateKeyError",

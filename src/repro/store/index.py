@@ -10,7 +10,7 @@ side set, because ``None`` does not compare with other values.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Hashable, Iterator
+from typing import Any, Hashable, Iterable, Iterator
 
 __all__ = ["HashIndex", "SortedIndex"]
 
@@ -46,6 +46,19 @@ class HashIndex:
 
     def distinct_values(self) -> list[Hashable]:
         return list(self._buckets)
+
+    # live statistics (consumed by the query planner) -------------------
+
+    def estimate_eq(self, value: Hashable) -> int:
+        """Exact cardinality of an equality lookup, without copying."""
+        return len(self._buckets.get(value, ()))
+
+    def estimate_in(self, values: Iterable[Hashable]) -> int:
+        """Upper bound on an IN() lookup (buckets may share no pks)."""
+        return sum(len(self._buckets.get(value, ())) for value in values)
+
+    def n_distinct(self) -> int:
+        return len(self._buckets)
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())
@@ -90,6 +103,24 @@ class SortedIndex:
         hi = bisect.bisect_right(self._keys, (value, _PK_MAX))
         return {entry[1].pk for entry in self._keys[lo:hi]}
 
+    def _span(
+        self, low: Any, high: Any, include_low: bool, include_high: bool
+    ) -> tuple[int, int]:
+        """(lo, hi) slice bounds of the requested range in ``_keys``."""
+        if low is None:
+            lo = 0
+        elif include_low:
+            lo = bisect.bisect_left(self._keys, (low, _PK_MIN))
+        else:
+            lo = bisect.bisect_right(self._keys, (low, _PK_MAX))
+        if high is None:
+            hi = len(self._keys)
+        elif include_high:
+            hi = bisect.bisect_right(self._keys, (high, _PK_MAX))
+        else:
+            hi = bisect.bisect_left(self._keys, (high, _PK_MIN))
+        return lo, hi
+
     def range(
         self,
         low: Any = None,
@@ -103,19 +134,52 @@ class SortedIndex:
         ``None`` bounds mean unbounded on that side; rows whose value is
         ``None`` never match a range scan (SQL-like semantics).
         """
-        if low is None:
-            lo = 0
-        elif include_low:
-            lo = bisect.bisect_left(self._keys, (low, _PK_MIN))
-        else:
-            lo = bisect.bisect_right(self._keys, (low, _PK_MAX))
-        if high is None:
-            hi = len(self._keys)
-        elif include_high:
-            hi = bisect.bisect_right(self._keys, (high, _PK_MAX))
-        else:
-            hi = bisect.bisect_left(self._keys, (high, _PK_MIN))
+        lo, hi = self._span(low, high, include_low, include_high)
         return [entry[1].pk for entry in self._keys[lo:hi]]
+
+    # live statistics (consumed by the query planner) -------------------
+
+    def estimate_eq(self, value: Any) -> int:
+        """Exact cardinality of an equality lookup, via two bisections."""
+        if value is None:
+            return len(self._nulls)
+        lo, hi = self._span(value, value, True, True)
+        return hi - lo
+
+    def estimate_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> int:
+        """Exact cardinality of a range scan, without copying pks."""
+        lo, hi = self._span(low, high, include_low, include_high)
+        return max(0, hi - lo)
+
+    def iter_pks(self, *, descending: bool = False) -> Iterator[Any]:
+        """Stream primary keys in value order.
+
+        NULL rows come first ascending and last descending (matching
+        the query layer's NULLs-first total order), and ties on equal
+        values always come out in primary-key order in both directions
+        so streamed results agree with the stable full-sort path.
+        """
+        nulls = sorted(self._nulls, key=_PkKey)
+        if not descending:
+            yield from nulls
+            for _value, pk_key in self._keys:
+                yield pk_key.pk
+            return
+        hi = len(self._keys)
+        while hi > 0:
+            value = self._keys[hi - 1][0]
+            lo = bisect.bisect_left(self._keys, (value, _PK_MIN), 0, hi)
+            for _value, pk_key in self._keys[lo:hi]:
+                yield pk_key.pk
+            hi = lo
+        yield from nulls
 
     def min_pks(self, count: int) -> list[Any]:
         """Primary keys of the ``count`` smallest values (value order)."""

@@ -1,0 +1,421 @@
+"""Physical query plans for the embedded store.
+
+The planner in :mod:`repro.store.query` compiles a predicate plus an
+order/limit specification into a tree of the nodes below (mirroring the
+Cozy ``Plan`` hierarchy of hash lookups, binary-search ranges,
+intersections, unions and filters).  Each node
+
+- estimates its output cardinality from live index statistics
+  (:meth:`Plan.estimate`), which is what the cost-based planner ranks,
+- executes lazily — :meth:`Plan.iter_pks` / :meth:`Plan.iter_rows` are
+  generators, so ``first()``/``count()``/``exists()`` never materialize
+  full result sets,
+- renders itself as an indented tree (:meth:`Plan.render`) for
+  ``Query.explain()``.
+
+Leaf access nodes (``PkLookup``, ``HashLookup``, ``IndexIn``,
+``SortedRange``) are *exact*: they produce precisely the rows matching
+their predicate, so no residual re-check is needed.  ``Intersect`` and
+``Union`` of exact plans stay exact; everything else is made exact by a
+``Filter`` wrapper.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from .index import HashIndex, SortedIndex
+from .table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .query import Predicate
+
+__all__ = [
+    "Plan", "FullScan", "PkLookup", "HashLookup", "IndexIn", "SortedRange",
+    "OrderedScan", "TopK", "Intersect", "Union", "Filter", "Sort",
+    "order_key",
+]
+
+# Heuristic output fraction of a residual Filter; only used to rank
+# candidate plans, never for correctness.
+_FILTER_SELECTIVITY = 1 / 3
+
+
+def order_key(value: Any) -> tuple:
+    """Total order over heterogeneous values with NULLs first."""
+    if value is None:
+        return (0, "", 0)
+    if isinstance(value, bool):
+        return (1, "", int(value))
+    if isinstance(value, (int, float)):
+        return (2, "", value)
+    return (3, type(value).__name__, value)
+
+
+class Plan:
+    """One node of a physical query plan."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+
+    def estimate(self) -> float:
+        """Estimated output cardinality, from live index statistics."""
+        raise NotImplementedError
+
+    def iter_pks(self) -> Iterator[Any]:
+        """Stream matching primary keys (order is node-specific)."""
+        pk_name = self.table.schema.primary_key
+        for row in self.iter_rows():
+            yield row[pk_name]
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        """Stream matching row copies (order is node-specific)."""
+        return self.table.rows_for_pks(self.iter_pks())
+
+    def describe(self) -> str:
+        """One-line summary of this node (no children)."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Plan", ...]:
+        return ()
+
+    def render(self) -> str:
+        """The full plan as an indented tree, one node per line."""
+        lines = [self.describe()]
+        for child in self.children():
+            lines.extend("  " + line for line in child.render().splitlines())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class FullScan(Plan):
+    """Every row in insertion order; the universal fallback."""
+
+    def estimate(self) -> float:
+        return float(len(self.table))
+
+    def iter_pks(self) -> Iterator[Any]:
+        return iter(self.table.primary_keys())
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        return self.table.scan()
+
+    def describe(self) -> str:
+        return f"full-scan({self.table.name}, rows={len(self.table)})"
+
+
+class PkLookup(Plan):
+    """Point read through the primary key."""
+
+    def __init__(self, table: Table, pk: Any) -> None:
+        super().__init__(table)
+        self.pk = pk
+
+    def estimate(self) -> float:
+        return 1.0 if self.table.contains(self.pk) else 0.0
+
+    def iter_pks(self) -> Iterator[Any]:
+        if self.table.contains(self.pk):
+            yield self.pk
+
+    def describe(self) -> str:
+        pk_name = self.table.schema.primary_key
+        return f"pk-lookup({self.table.name}.{pk_name}={self.pk!r})"
+
+
+class HashLookup(Plan):
+    """Equality probe of a hash or sorted index; pks in stable order."""
+
+    def __init__(
+        self, table: Table, column: str, value: Any,
+        index: HashIndex | SortedIndex,
+    ) -> None:
+        super().__init__(table)
+        self.column = column
+        self.value = value
+        self.index = index
+
+    def estimate(self) -> float:
+        return float(self.index.estimate_eq(self.value))
+
+    def iter_pks(self) -> Iterator[Any]:
+        return iter(sorted(self.index.lookup(self.value), key=order_key))
+
+    def describe(self) -> str:
+        return (
+            f"{self.index.kind}-index({self.table.name}.{self.column}"
+            f"={self.value!r}, est~{int(self.estimate())})"
+        )
+
+
+class IndexIn(Plan):
+    """IN() over an index: one probe per candidate value."""
+
+    def __init__(
+        self, table: Table, column: str, values: Sequence[Any],
+        index: HashIndex | SortedIndex,
+    ) -> None:
+        super().__init__(table)
+        self.column = column
+        self.values = tuple(values)
+        self.index = index
+
+    def estimate(self) -> float:
+        if isinstance(self.index, HashIndex):
+            return float(self.index.estimate_in(self.values))
+        return float(sum(self.index.estimate_eq(value) for value in self.values))
+
+    def iter_pks(self) -> Iterator[Any]:
+        if isinstance(self.index, HashIndex):
+            out = self.index.lookup_many(iter(self.values))
+        else:
+            out = set()
+            for value in self.values:
+                out |= self.index.lookup(value)
+        return iter(sorted(out, key=order_key))
+
+    def describe(self) -> str:
+        return (
+            f"{self.index.kind}-index-in({self.table.name}.{self.column}, "
+            f"{len(self.values)} values, est~{int(self.estimate())})"
+        )
+
+
+class SortedRange(Plan):
+    """Bisected range over a sorted index; pks in value order."""
+
+    def __init__(
+        self, table: Table, column: str, index: SortedIndex,
+        low: Any = None, high: Any = None,
+        *, include_low: bool = True, include_high: bool = True,
+    ) -> None:
+        super().__init__(table)
+        self.column = column
+        self.index = index
+        self.low = low
+        self.high = high
+        self.include_low = include_low
+        self.include_high = include_high
+
+    def estimate(self) -> float:
+        return float(
+            self.index.estimate_range(
+                self.low, self.high,
+                include_low=self.include_low, include_high=self.include_high,
+            )
+        )
+
+    def iter_pks(self) -> Iterator[Any]:
+        return iter(
+            self.index.range(
+                self.low, self.high,
+                include_low=self.include_low, include_high=self.include_high,
+            )
+        )
+
+    def describe(self) -> str:
+        bounds = []
+        if self.low is not None:
+            bounds.append(f"{self.low!r} {'<=' if self.include_low else '<'} v")
+        if self.high is not None:
+            bounds.append(f"v {'<=' if self.include_high else '<'} {self.high!r}")
+        shown = " and ".join(bounds) or "unbounded"
+        return (
+            f"sorted-index-range({self.table.name}.{self.column}, {shown}, "
+            f"est~{int(self.estimate())})"
+        )
+
+
+class OrderedScan(Plan):
+    """Full traversal in sorted-index order: ordered output, no sort."""
+
+    def __init__(
+        self, table: Table, column: str, index: SortedIndex,
+        descending: bool = False,
+    ) -> None:
+        super().__init__(table)
+        self.column = column
+        self.index = index
+        self.descending = descending
+
+    def estimate(self) -> float:
+        return float(len(self.table))
+
+    def iter_pks(self) -> Iterator[Any]:
+        return self.index.iter_pks(descending=self.descending)
+
+    def describe(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        return f"sorted-index-order({self.table.name}.{self.column} {direction})"
+
+
+class TopK(Plan):
+    """Stream the first ``count`` (filtered) rows of an ordered scan.
+
+    Replaces materialize-and-sort for ``order_by(col).limit(k)`` on a
+    sorted-indexed column: the index is walked in order and execution
+    stops as soon as ``count`` rows survive the optional residual
+    predicate.
+    """
+
+    def __init__(
+        self, table: Table, column: str, index: SortedIndex,
+        descending: bool, count: int, predicate: "Predicate | None" = None,
+    ) -> None:
+        super().__init__(table)
+        self.column = column
+        self.descending = descending
+        self.count = count
+        self.predicate = predicate
+        self.source = OrderedScan(table, column, index, descending)
+
+    def estimate(self) -> float:
+        return float(min(self.count, len(self.table)))
+
+    def iter_pks(self) -> Iterator[Any]:
+        if self.predicate is None:
+            return islice(self.source.iter_pks(), self.count)
+        return super().iter_pks()
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        remaining = self.count
+        if remaining <= 0:
+            return
+        for row in self.source.iter_rows():
+            if self.predicate is not None and not self.predicate.matches(row):
+                continue
+            yield row
+            remaining -= 1
+            if remaining == 0:
+                return
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.source,)
+
+    def describe(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        suffix = "" if self.predicate is None else f", filter={self.predicate!r}"
+        return (
+            f"top-k({self.table.name}.{self.column} {direction}, "
+            f"k={self.count}{suffix})"
+        )
+
+
+class Intersect(Plan):
+    """Primary-key intersection of exact sub-plans (AND of indexes)."""
+
+    def __init__(self, table: Table, plans: Sequence[Plan]) -> None:
+        super().__init__(table)
+        self.plans = tuple(plans)
+
+    def estimate(self) -> float:
+        return min(plan.estimate() for plan in self.plans)
+
+    def iter_pks(self) -> Iterator[Any]:
+        common = set(self.plans[0].iter_pks())
+        for plan in self.plans[1:]:
+            if not common:
+                break
+            common &= set(plan.iter_pks())
+        return iter(sorted(common, key=order_key))
+
+    def children(self) -> tuple[Plan, ...]:
+        return self.plans
+
+    def describe(self) -> str:
+        return f"intersect(est~{int(self.estimate())})"
+
+
+class Union(Plan):
+    """Deduplicated primary-key union of exact sub-plans (indexed OR)."""
+
+    def __init__(self, table: Table, plans: Sequence[Plan]) -> None:
+        super().__init__(table)
+        self.plans = tuple(plans)
+
+    def estimate(self) -> float:
+        total = sum(plan.estimate() for plan in self.plans)
+        return float(min(total, len(self.table)))
+
+    def iter_pks(self) -> Iterator[Any]:
+        out: set[Any] = set()
+        for plan in self.plans:
+            out |= set(plan.iter_pks())
+        return iter(sorted(out, key=order_key))
+
+    def children(self) -> tuple[Plan, ...]:
+        return self.plans
+
+    def describe(self) -> str:
+        return f"union(est~{int(self.estimate())})"
+
+
+class Filter(Plan):
+    """Residual predicate evaluation over a child plan's rows."""
+
+    def __init__(self, table: Table, child: Plan, predicate: "Predicate") -> None:
+        super().__init__(table)
+        self.child = child
+        self.predicate = predicate
+
+    def estimate(self) -> float:
+        return self.child.estimate() * _FILTER_SELECTIVITY
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        return (
+            row for row in self.child.iter_rows() if self.predicate.matches(row)
+        )
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"filter({self.predicate!r})"
+
+
+class Sort(Plan):
+    """In-memory sort of the child's rows (NULLs first).
+
+    Ties on equal sort values break in ascending primary-key order in
+    both directions, matching what ``OrderedScan``/``TopK`` stream out
+    of a sorted index, so the row order of a query does not change when
+    the cost model switches between the two paths.
+    """
+
+    def __init__(
+        self, table: Table, child: Plan, column: str, descending: bool = False
+    ) -> None:
+        super().__init__(table)
+        self.child = child
+        self.column = column
+        self.descending = descending
+
+    def estimate(self) -> float:
+        return self.child.estimate()
+
+    def iter_pks(self) -> Iterator[Any]:
+        # Ordering is irrelevant to pk consumers (count/set operations),
+        # so skip the sort entirely.
+        return self.child.iter_pks()
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        pk_name = self.table.schema.primary_key
+        rows = sorted(
+            self.child.iter_rows(), key=lambda row: order_key(row[pk_name])
+        )
+        # second, stable pass: ties keep the pk-ascending order above
+        rows.sort(
+            key=lambda row: order_key(row[self.column]),
+            reverse=self.descending,
+        )
+        return iter(rows)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        return f"sort({self.table.name}.{self.column} {direction})"

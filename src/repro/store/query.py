@@ -1,19 +1,67 @@
-"""Query layer: composable predicates, ordered scans, joins, aggregates.
+"""Query layer: composable predicates, a cost-based planner, joins,
+aggregates.
 
-The planner is deliberately simple but real: an equality predicate on an
-indexed column uses the index; a comparison predicate on a sorted index
-uses a range scan; everything else falls back to a full scan with
-predicate evaluation.  ``explain()`` reports which path was taken so
-tests can assert index usage.
+Queries compile to a tree of physical plan nodes (the
+:mod:`repro.store.plan` ADT)::
+
+    FullScan      every row, insertion order             cost ~ N
+    PkLookup      primary-key point read                 cost ~ 1
+    HashLookup    hash/sorted index equality probe       cost ~ |bucket|
+    IndexIn       IN() over an index, one probe/value    cost ~ sum |bucket|
+    SortedRange   bisected range over a sorted index     cost ~ |range|
+    OrderedScan   traversal in sorted-index order        cost ~ N, no sort
+    TopK          streaming first-k of an OrderedScan    cost ~ k (+ filter)
+    Intersect     pk-set intersection of exact plans     cost ~ sum inputs
+    Union         pk-set union (OR over indexed parts)   cost ~ sum inputs
+    Filter        residual predicate evaluation          cost ~ input rows
+    Sort          stable in-memory sort, NULLs first     cost ~ n log n
+
+Cost model.  Every node estimates its output cardinality from live
+index statistics (hash-bucket sizes, bisect spans).  ``And`` enumerates
+one candidate access path per conjunct, keeps the most selective, and
+intersects it with the second-most-selective path when that one's
+estimate is within a small factor of the best (set operations on a much
+larger pk set cost more than re-checking the few fetched rows);
+conjuncts not covered by the chosen indexes become a residual
+``Filter``.  ``Or`` becomes a
+``Union`` when every branch has an exact indexed plan, instead of
+degrading to a full scan.  For ``order_by`` the planner compares
+fetch-then-sort (``est * (1 + log2 est)``) against streaming the
+order column's sorted index (``offset + limit`` rows when no residual
+filter applies, ``N`` otherwise) and picks the cheaper, so
+``order_by(col).limit(k)`` on an otherwise unindexed query runs as a
+streaming ``TopK`` with no global sort.
+
+Execution is generator-based end to end: ``first()``, ``count()`` and
+``exists()`` stop as soon as they can and never materialize full result
+lists.  ``explain()`` returns the rendered plan tree so callers and
+tests can assert access paths.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from itertools import islice
+from typing import Any, Iterable, Iterator
 
 from .errors import QueryError, UnknownColumnError
-from .index import HashIndex, SortedIndex
+from .index import SortedIndex
+from .plan import (
+    Filter,
+    FullScan,
+    HashLookup,
+    IndexIn,
+    Intersect,
+    OrderedScan,
+    PkLookup,
+    Plan,
+    Sort,
+    SortedRange,
+    TopK,
+    Union,
+    order_key,
+)
 from .table import Table
 
 __all__ = [
@@ -44,6 +92,9 @@ class TruePredicate(Predicate):
 
     def matches(self, row: dict[str, Any]) -> bool:
         return True
+
+    def __repr__(self) -> str:
+        return "TruePredicate()"
 
 
 @dataclass(frozen=True)
@@ -110,11 +161,24 @@ class In(Predicate):
     def __init__(self, column: str, values: Iterable[Any]) -> None:
         object.__setattr__(self, "column", column)
         object.__setattr__(self, "values", tuple(values))
+        # Precompute a set for O(1) membership; unhashable candidate
+        # values force the linear fallback.
+        try:
+            value_set: frozenset | None = frozenset(self.values)
+        except TypeError:
+            value_set = None
+        object.__setattr__(self, "_value_set", value_set)
 
     def matches(self, row: dict[str, Any]) -> bool:
         if self.column not in row:
             raise UnknownColumnError(f"predicate references unknown column {self.column!r}")
-        return row[self.column] in self.values
+        value = row[self.column]
+        if self._value_set is not None:
+            try:
+                return value in self._value_set
+            except TypeError:
+                pass  # unhashable row value: compare linearly
+        return value in self.values
 
 
 @dataclass(frozen=True)
@@ -139,13 +203,17 @@ class Contains(Predicate):
     column: str
     needle: str
 
+    def __post_init__(self) -> None:
+        # Lower the needle once instead of on every row.
+        object.__setattr__(self, "_needle_lower", self.needle.lower())
+
     def matches(self, row: dict[str, Any]) -> bool:
         if self.column not in row:
             raise UnknownColumnError(f"predicate references unknown column {self.column!r}")
         value = row[self.column]
         if not isinstance(value, str):
             return False
-        return self.needle.lower() in value.lower()
+        return self._needle_lower in value.lower()
 
 
 class And(Predicate):
@@ -157,6 +225,9 @@ class And(Predicate):
     def matches(self, row: dict[str, Any]) -> bool:
         return all(part.matches(row) for part in self.parts)
 
+    def __repr__(self) -> str:
+        return f"And({', '.join(map(repr, self.parts))})"
+
 
 class Or(Predicate):
     def __init__(self, *parts: Predicate) -> None:
@@ -167,6 +238,9 @@ class Or(Predicate):
     def matches(self, row: dict[str, Any]) -> bool:
         return any(part.matches(row) for part in self.parts)
 
+    def __repr__(self) -> str:
+        return f"Or({', '.join(map(repr, self.parts))})"
+
 
 class Not(Predicate):
     def __init__(self, inner: Predicate) -> None:
@@ -174,6 +248,134 @@ class Not(Predicate):
 
     def matches(self, row: dict[str, Any]) -> bool:
         return not self.inner.matches(row)
+
+    def __repr__(self) -> str:
+        return f"Not({self.inner!r})"
+
+
+# ----------------------------------------------------------------------
+# planner
+# ----------------------------------------------------------------------
+
+
+def _flatten(kind: type, predicate: Predicate) -> list[Predicate]:
+    """Flatten nested And-of-And / Or-of-Or trees into one part list."""
+    parts: list[Predicate] = []
+    for part in predicate.parts:  # type: ignore[attr-defined]
+        if isinstance(part, kind):
+            parts.extend(_flatten(kind, part))
+        else:
+            parts.append(part)
+    return parts
+
+
+def _leaf_access_plan(table: Table, predicate: Predicate) -> Plan | None:
+    """An exact index-backed plan for one leaf predicate, or None.
+
+    The estimate probe doubles as a compatibility check: an unhashable
+    or type-mismatched query value raises TypeError inside the index
+    (dict hash or bisect comparison), in which case the predicate is
+    treated as unindexable and the residual filter evaluates it
+    row-by-row instead of crashing.
+    """
+    plan = _build_leaf_plan(table, predicate)
+    if plan is None:
+        return None
+    try:
+        plan.estimate()
+    except TypeError:
+        return None
+    return plan
+
+
+def _build_leaf_plan(table: Table, predicate: Predicate) -> Plan | None:
+    if isinstance(predicate, Eq):
+        if predicate.column == table.schema.primary_key:
+            return PkLookup(table, predicate.value)
+        index = table.index_for(predicate.column)
+        if index is not None:
+            return HashLookup(table, predicate.column, predicate.value, index)
+        return None
+    if isinstance(predicate, In):
+        index = table.index_for(predicate.column)
+        if index is not None:
+            return IndexIn(table, predicate.column, predicate.values, index)
+        return None
+    if isinstance(predicate, (Lt, Le, Gt, Ge, Between)):
+        index = table.index_for(predicate.column)
+        if not isinstance(index, SortedIndex):
+            return None
+        column = predicate.column
+        if isinstance(predicate, Between):
+            return SortedRange(table, column, index, predicate.low, predicate.high)
+        if isinstance(predicate, Lt):
+            return SortedRange(
+                table, column, index, high=predicate.value, include_high=False
+            )
+        if isinstance(predicate, Le):
+            return SortedRange(table, column, index, high=predicate.value)
+        if isinstance(predicate, Gt):
+            return SortedRange(
+                table, column, index, low=predicate.value, include_low=False
+            )
+        return SortedRange(table, column, index, low=predicate.value)
+    return None
+
+
+def _access_plan(table: Table, predicate: Predicate) -> Plan | None:
+    """An exact plan producing precisely ``predicate``'s rows, or None.
+
+    None means no index applies and the caller must fall back to
+    ``Filter(FullScan)``.
+    """
+    if isinstance(predicate, And):
+        return _and_access_plan(table, _flatten(And, predicate))
+    if isinstance(predicate, Or):
+        branches = []
+        for part in _flatten(Or, predicate):
+            branch = _access_plan(table, part)
+            if branch is None:
+                return None  # one unindexed branch forces a scan anyway
+            branches.append(branch)
+        if not branches:
+            return None
+        return Union(table, branches)
+    return _leaf_access_plan(table, predicate)
+
+
+# Intersect the runner-up index only when its estimate is within this
+# factor of the best one: materializing a pk set costs about an order of
+# magnitude less per element than fetching a row and evaluating the
+# residual predicate on it, so a runner-up much larger than the best
+# result set is cheaper to re-check row-by-row.
+_INTERSECT_FACTOR = 8
+
+
+def _and_access_plan(table: Table, parts: list[Predicate]) -> Plan | None:
+    """Pick the cheapest access path for a conjunction.
+
+    Ranks every indexable conjunct by estimated cardinality, keeps the
+    most selective, intersects with the runner-up when that one is
+    comparably selective, and re-checks the uncovered conjuncts in a
+    residual Filter.
+    """
+    ranked: list[tuple[float, int, Plan]] = []
+    for position, part in enumerate(parts):
+        candidate = _access_plan(table, part)
+        if candidate is not None:
+            ranked.append((candidate.estimate(), position, candidate))
+    if not ranked:
+        return None
+    ranked.sort(key=lambda entry: entry[:2])
+    covered = {ranked[0][1]}
+    plan: Plan = ranked[0][2]
+    if len(ranked) > 1 and ranked[1][0] <= ranked[0][0] * _INTERSECT_FACTOR:
+        plan = Intersect(table, [plan, ranked[1][2]])
+        covered.add(ranked[1][1])
+    residual = [part for position, part in enumerate(parts) if position not in covered]
+    if residual:
+        plan = Filter(table, plan, residual[0] if len(residual) == 1 else And(*residual))
+    return plan
 
 
 # ----------------------------------------------------------------------
@@ -196,7 +398,6 @@ class Query:
         self._limit: int | None = None
         self._offset = 0
         self._projection: list[str] | None = None
-        self._last_plan = "none"
 
     # builder steps ----------------------------------------------------
 
@@ -240,31 +441,25 @@ class Query:
     # execution ----------------------------------------------------------
 
     def all(self) -> list[dict[str, Any]]:
-        rows = self._candidate_rows()
-        rows = [row for row in rows if self._predicate.matches(row)]
-        if self._order_column is not None:
-            rows.sort(
-                key=lambda row: _order_key(row[self._order_column]),
-                reverse=self._order_descending,
-            )
-        if self._offset:
-            rows = rows[self._offset:]
-        if self._limit is not None:
-            rows = rows[: self._limit]
-        if self._projection is not None:
-            rows = [{name: row[name] for name in self._projection} for row in rows]
-        return rows
+        return list(self._execute())
 
     def first(self) -> dict[str, Any] | None:
-        results = self.limit(1).all() if self._limit is None else self.all()
-        return results[0] if results else None
+        """The first matching row, or None; does not mutate the query."""
+        return next(self._execute(limit_override=1), None)
+
+    def exists(self) -> bool:
+        """True if any row matches; stops at the first hit."""
+        return next(self._iter_rows(limit_override=1), None) is not None
 
     def count(self) -> int:
-        return len(self.all())
+        """Number of matching rows, without building row dicts when the
+        plan is purely index-backed."""
+        matched = self._window(self._build_plan(self._limit).iter_pks(), self._limit)
+        return sum(1 for _ in matched)
 
     def pks(self) -> list[Any]:
         pk_name = self._table.schema.primary_key
-        return [row[pk_name] for row in self.all()]
+        return [row[pk_name] for row in self._iter_rows()]
 
     def distinct(self, column: str) -> list[Any]:
         """Distinct values of ``column`` among matching rows, sorted."""
@@ -272,8 +467,8 @@ class Query:
             raise UnknownColumnError(
                 f"distinct: unknown column {column!r} on table {self._table.name!r}"
             )
-        values = {row[column] for row in self.all()}
-        return sorted(values, key=_order_key)
+        values = {row[column] for row in self._iter_rows()}
+        return sorted(values, key=order_key)
 
     def update_rows(self, changes: dict[str, Any]) -> int:
         """UPDATE ... WHERE: apply ``changes`` to matching rows.
@@ -295,28 +490,18 @@ class Query:
         return len(pks)
 
     def explain(self) -> str:
-        """Return the access path used by the last (or next) execution."""
-        self._candidate_rows()
-        return self._last_plan
+        """The physical plan this query executes, as an indented tree."""
+        return self._build_plan(self._limit).render()
 
     # aggregation ----------------------------------------------------------
 
     def aggregate(self, column: str, func: str) -> Any:
         """Compute count/sum/avg/min/max over the matching rows."""
-        if func not in ("count", "sum", "avg", "min", "max"):
-            raise QueryError(f"unknown aggregate {func!r}")
-        values = [row[column] for row in self.all() if row[column] is not None]
-        if func == "count":
-            return len(values)
-        if not values:
-            return None
-        if func == "sum":
-            return sum(values)
-        if func == "avg":
-            return sum(values) / len(values)
-        if func == "min":
-            return min(values)
-        return max(values)
+        _check_aggregate_func(func)
+        values = [
+            row[column] for row in self._iter_rows() if row[column] is not None
+        ]
+        return _fold_aggregate(values, func)
 
     def group_by(
         self, column: str, aggregates: dict[str, tuple[str, str]]
@@ -326,97 +511,118 @@ class Query:
 
         >>> q.group_by("status", {"n": ("id", "count"), "avg_q": ("quality", "avg")})
         """
+        for _name, (_agg_column, func) in aggregates.items():
+            _check_aggregate_func(func)
         groups: dict[Any, list[dict[str, Any]]] = {}
-        for row in self.all():
+        for row in self._iter_rows():
             groups.setdefault(row[column], []).append(row)
         out: dict[Any, dict[str, Any]] = {}
         for key, rows in groups.items():
             result: dict[str, Any] = {}
             for name, (agg_column, func) in aggregates.items():
-                values = [row[agg_column] for row in rows if row[agg_column] is not None]
-                if func == "count":
-                    result[name] = len(values)
-                elif not values:
-                    result[name] = None
-                elif func == "sum":
-                    result[name] = sum(values)
-                elif func == "avg":
-                    result[name] = sum(values) / len(values)
-                elif func == "min":
-                    result[name] = min(values)
-                elif func == "max":
-                    result[name] = max(values)
-                else:
-                    raise QueryError(f"unknown aggregate {func!r}")
+                values = [
+                    row[agg_column] for row in rows if row[agg_column] is not None
+                ]
+                result[name] = _fold_aggregate(values, func)
             out[key] = result
         return out
 
     # planner ----------------------------------------------------------
 
-    def _candidate_rows(self) -> list[dict[str, Any]]:
-        plan = self._index_plan(self._predicate)
-        if plan is not None:
-            pks, description = plan
-            self._last_plan = description
-            table = self._table
-            return [table.get(pk) for pk in pks if table.contains(pk)]
-        self._last_plan = f"full-scan({self._table.name})"
-        return list(self._table.scan())
+    def _build_plan(self, effective_limit: int | None) -> Plan:
+        """Compile predicate + order/limit into the cheapest plan tree."""
+        table = self._table
+        predicate = self._predicate
+        is_true = isinstance(predicate, TruePredicate)
+        access = None if is_true else _access_plan(table, predicate)
+        if self._order_column is None:
+            if access is not None:
+                return access
+            scan: Plan = FullScan(table)
+            return scan if is_true else Filter(table, scan, predicate)
+        base: Plan
+        if access is not None:
+            base = access
+        else:
+            base = FullScan(table)
+            if not is_true:
+                base = Filter(table, base, predicate)
+        order_index = table.index_for(self._order_column)
+        if isinstance(order_index, SortedIndex):
+            estimate = max(base.estimate(), 1.0)
+            sort_cost = estimate * (1.0 + math.log2(estimate + 1.0))
+            cap = None if effective_limit is None else self._offset + effective_limit
+            if is_true and cap is not None:
+                stream_cost = float(cap)
+            else:
+                # a residual filter (or no limit) forces walking the
+                # whole index in the worst case
+                stream_cost = float(len(table))
+            if stream_cost <= sort_cost:
+                residual = None if is_true else predicate
+                if cap is not None:
+                    return TopK(
+                        table, self._order_column, order_index,
+                        self._order_descending, cap, residual,
+                    )
+                ordered: Plan = OrderedScan(
+                    table, self._order_column, order_index, self._order_descending
+                )
+                return ordered if residual is None else Filter(table, ordered, residual)
+        return Sort(table, base, self._order_column, self._order_descending)
 
-    def _index_plan(self, predicate: Predicate) -> tuple[list[Any], str] | None:
-        """Return (candidate pks, plan description) if an index applies."""
-        if isinstance(predicate, And):
-            for part in predicate.parts:
-                plan = self._index_plan(part)
-                if plan is not None:
-                    return plan
-            return None
-        if isinstance(predicate, Eq):
-            if predicate.column == self._table.schema.primary_key:
-                pk = predicate.value
-                pks = [pk] if self._table.contains(pk) else []
-                return pks, f"pk-lookup({self._table.name}.{predicate.column})"
-            index = self._table.index_for(predicate.column)
-            if index is not None:
-                return (
-                    sorted(index.lookup(predicate.value), key=_order_key),
-                    f"{index.kind}-index({self._table.name}.{predicate.column})",
-                )
-            return None
-        if isinstance(predicate, In):
-            index = self._table.index_for(predicate.column)
-            if isinstance(index, HashIndex):
-                pks = index.lookup_many(iter(predicate.values))
-                return sorted(pks, key=_order_key), (
-                    f"hash-index-in({self._table.name}.{predicate.column})"
-                )
-            return None
-        if isinstance(predicate, (Lt, Le, Gt, Ge, Between)):
-            index = self._table.index_for(predicate.column)
-            if not isinstance(index, SortedIndex):
-                return None
-            description = f"sorted-index-range({self._table.name}.{predicate.column})"
-            if isinstance(predicate, Between):
-                return index.range(predicate.low, predicate.high), description
-            if isinstance(predicate, Lt):
-                return index.range(high=predicate.value, include_high=False), description
-            if isinstance(predicate, Le):
-                return index.range(high=predicate.value), description
-            if isinstance(predicate, Gt):
-                return index.range(low=predicate.value, include_low=False), description
-            return index.range(low=predicate.value), description
+    def _window(self, items: Iterator[Any], effective_limit: int | None) -> Iterator[Any]:
+        """Apply the query's offset + an effective limit to a stream."""
+        if self._offset or effective_limit is not None:
+            stop = (
+                None if effective_limit is None else self._offset + effective_limit
+            )
+            items = islice(items, self._offset, stop)
+        return items
+
+    def _iter_rows(self, limit_override: int | None = None) -> Iterator[dict[str, Any]]:
+        """Stream matching rows (ordered, offset/limit applied, no
+        projection) without mutating builder state."""
+        effective = self._limit
+        if limit_override is not None:
+            effective = (
+                limit_override if effective is None else min(effective, limit_override)
+            )
+        return self._window(self._build_plan(effective).iter_rows(), effective)
+
+    def _execute(self, limit_override: int | None = None) -> Iterator[dict[str, Any]]:
+        rows = self._iter_rows(limit_override)
+        if self._projection is not None:
+            names = self._projection
+            rows = ({name: row[name] for name in names} for row in rows)
+        return rows
+
+
+# ----------------------------------------------------------------------
+# aggregates (shared by Query.aggregate and Query.group_by)
+# ----------------------------------------------------------------------
+
+_AGGREGATE_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+def _check_aggregate_func(func: str) -> None:
+    if func not in _AGGREGATE_FUNCS:
+        raise QueryError(f"unknown aggregate {func!r}")
+
+
+def _fold_aggregate(values: list, func: str) -> Any:
+    """Fold non-NULL ``values`` with one of the known aggregates."""
+    if func == "count":
+        return len(values)
+    if not values:
         return None
-
-
-def _order_key(value: Any) -> tuple:
-    """Total order over heterogeneous values with NULLs first."""
-    if value is None:
-        return (0, "", 0)
-    if isinstance(value, bool):
-        return (1, "", int(value))
-    if isinstance(value, (int, float)):
-        return (2, "", value)
-    return (3, type(value).__name__, value)
+    if func == "sum":
+        return sum(values)
+    if func == "avg":
+        return sum(values) / len(values)
+    if func == "min":
+        return min(values)
+    return max(values)
 
 
 # ----------------------------------------------------------------------
@@ -433,12 +639,17 @@ def hash_join(
     prefix_left: str = "",
     prefix_right: str = "",
     how: str = "inner",
+    right_columns: Iterable[str] | None = None,
 ) -> list[dict[str, Any]]:
     """Equi-join two row iterables on ``left_key == right_key``.
 
     Output columns are prefixed to avoid collisions.  ``how`` is
     ``"inner"`` or ``"left"`` (left-outer: unmatched left rows get
-    ``None`` for every right column).
+    ``None`` for every right column).  For left-outer joins the padded
+    columns come from ``right_columns`` when given (e.g. a table's
+    schema columns); otherwise they are derived from the right rows
+    actually seen — pass the hint when the right side may be empty or
+    ragged so the output shape stays stable.
     """
     if how not in ("inner", "left"):
         raise QueryError(f"hash_join: how must be 'inner' or 'left', got {how!r}")
@@ -448,7 +659,10 @@ def hash_join(
         if right_key not in row:
             raise UnknownColumnError(f"hash_join: right rows lack column {right_key!r}")
         buckets.setdefault(row[right_key], []).append(row)
-    right_columns: list[str] = sorted({name for row in right_list for name in row})
+    if right_columns is not None:
+        padded_columns = list(right_columns)
+    else:
+        padded_columns = sorted({name for row in right_list for name in row})
     out: list[dict[str, Any]] = []
     for left in left_rows:
         if left_key not in left:
@@ -464,6 +678,6 @@ def hash_join(
                 out.append(combined)
         elif how == "left":
             combined = dict(renamed_left)
-            combined.update({f"{prefix_right}{name}": None for name in right_columns})
+            combined.update({f"{prefix_right}{name}": None for name in padded_columns})
             out.append(combined)
     return out

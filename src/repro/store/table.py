@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from .errors import (
     ConstraintError,
@@ -226,8 +226,24 @@ class Table:
     def index_for(self, column: str) -> HashIndex | SortedIndex | None:
         return self._indexes.get(column)
 
+    def indexes(self) -> dict[str, HashIndex | SortedIndex]:
+        """The live index registry (column -> index), for the planner."""
+        return dict(self._indexes)
+
     def index_columns(self) -> list[str]:
         return sorted(self._indexes)
+
+    def rows_for_pks(self, pks: Iterable[Any]) -> Iterator[dict[str, Any]]:
+        """Yield row copies for ``pks``, skipping keys no longer present.
+
+        Query plans stream primary keys out of index snapshots; a row
+        deleted between planning and fetch is silently dropped rather
+        than raising.
+        """
+        for pk in pks:
+            row = self._rows.get(pk)
+            if row is not None:
+                yield dict(row)
 
     # ------------------------------------------------------------------
     # internals

@@ -33,11 +33,7 @@ def suggest_promotions(
     Backs the Promote workflow of Fig. 3: "further decide to invest more
     on those of low quality".  Already-stopped resources are excluded.
     """
-    rows = [
-        row
-        for row in system.resources.of_project(project_id)
-        if not row["stopped"]
-    ]
+    rows = system.resources.active_of_project(project_id)
     rows.sort(key=lambda row: (row["quality"], row["n_posts"], row["id"]))
     return rows[:count]
 
@@ -51,11 +47,7 @@ def suggest_stops(
     tagging quality".  Only resources at or above ``min_quality`` are
     suggested.
     """
-    rows = [
-        row
-        for row in system.resources.of_project(project_id)
-        if not row["stopped"] and row["quality"] >= min_quality
-    ]
+    rows = system.resources.stop_candidates(project_id, min_quality=min_quality)
     rows.sort(key=lambda row: (-row["quality"], -row["n_posts"], row["id"]))
     return rows[:count]
 
@@ -63,11 +55,7 @@ def suggest_stops(
 def main_provider_screen(system: ITagSystem, provider_id: int) -> str:
     """Fig. 3: the provider's project list, sorted by tagging quality."""
     provider = system.users.get(provider_id)
-    rows = [
-        row
-        for row in system.projects.list_by_quality()
-        if row["provider_id"] == provider_id
-    ]
+    rows = system.projects.of_provider_by_quality(provider_id)
     table_rows = [
         [
             row["id"],

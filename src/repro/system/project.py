@@ -84,6 +84,18 @@ class ProjectRegistry:
             Query(self._projects).order_by("avg_quality", descending=descending).all()
         )
 
+    def of_provider_by_quality(
+        self, provider_id: int, *, descending: bool = True
+    ) -> list[dict]:
+        """One provider's projects in main-screen quality order; the
+        provider hash index narrows the set before the sort."""
+        return (
+            Query(self._projects)
+            .where(Eq("provider_id", provider_id))
+            .order_by("avg_quality", descending=descending)
+            .all()
+        )
+
     def in_state(self, state: str) -> list[dict]:
         return Query(self._projects).where(Eq("state", state)).order_by("id").all()
 

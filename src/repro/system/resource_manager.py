@@ -11,7 +11,7 @@ Manager — this manager keeps the two in sync.
 from __future__ import annotations
 
 from ..errors import ResourceNotFoundError
-from ..store import Database, Eq, Query
+from ..store import And, Database, Eq, Ge, Query
 from ..tagging.corpus import Corpus
 from ..tagging.resource import TaggedResource
 
@@ -87,6 +87,30 @@ class ResourceManager:
             Query(self._resources)
             .where(Eq("project_id", project_id))
             .order_by("id")
+            .all()
+        )
+
+    def active_of_project(self, project_id: int) -> list[dict]:
+        """A project's not-yet-stopped resources (planner pushdown for
+        the promote-suggestion screen)."""
+        return (
+            Query(self._resources)
+            .where(And(Eq("project_id", project_id), Eq("stopped", False)))
+            .all()
+        )
+
+    def stop_candidates(self, project_id: int, *, min_quality: float) -> list[dict]:
+        """Active resources at or above ``min_quality``; the planner
+        intersects the project hash index with the quality range."""
+        return (
+            Query(self._resources)
+            .where(
+                And(
+                    Eq("project_id", project_id),
+                    Eq("stopped", False),
+                    Ge("quality", min_quality),
+                )
+            )
             .all()
         )
 

@@ -1,0 +1,346 @@
+"""Tests for the cost-based query planner (the plan ADT in store/plan.py).
+
+Two layers:
+
+- explain() assertions that the planner picks the documented access
+  paths (most-selective index for And, Intersect of two selective
+  indexes, Union for indexed Or, streaming TopK for order_by+limit);
+- hypothesis property tests that every plan produces exactly the rows
+  a brute-force full scan produces, across random rows, predicates and
+  index layouts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import (
+    And,
+    Between,
+    Column,
+    Contains,
+    Database,
+    DataType,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    Query,
+    Schema,
+)
+
+# ----------------------------------------------------------------------
+# explain() / access-path assertions
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def skewed():
+    """100 rows: 'rare' kind on 10 of them, quality spread over [0, 1)."""
+    database = Database("planner")
+    schema = Schema(
+        [
+            Column("id", DataType.INT),
+            Column("kind", DataType.TEXT),
+            Column("owner", DataType.INT),
+            Column("quality", DataType.FLOAT, nullable=True),
+        ],
+        primary_key="id",
+    )
+    table = database.create_table("items", schema)
+    table.create_index("kind", kind="hash")
+    table.create_index("owner", kind="hash")
+    table.create_index("quality", kind="sorted")
+    for index in range(100):
+        table.insert(
+            {
+                "kind": "rare" if index % 10 == 0 else "common",
+                "owner": index % 3,
+                "quality": None if index == 99 else index / 100.0,
+            }
+        )
+    return table
+
+
+class TestAccessPaths:
+    def test_and_picks_most_selective_index(self, skewed):
+        # kind='rare' has 10 rows, owner=0 has ~34: kind must lead
+        query = Query(skewed).where(And(Eq("owner", 0), Eq("kind", "rare")))
+        plan = query.explain()
+        lines = plan.splitlines()
+        assert lines[0].startswith("intersect")
+        assert "kind='rare'" in lines[1]
+        assert "owner=0" in lines[2]
+        assert query.count() == 4  # ids 1, 31, 61, 91
+
+    def test_and_intersects_two_selective_indexes(self, skewed):
+        query = Query(skewed).where(
+            And(Eq("kind", "rare"), Ge("quality", 0.5))
+        )
+        plan = query.explain()
+        assert "intersect" in plan
+        assert "hash-index" in plan
+        assert "sorted-index-range" in plan
+        assert {row["id"] for row in query.all()} == {
+            row["id"]
+            for row in skewed.scan()
+            if row["kind"] == "rare"
+            and row["quality"] is not None
+            and row["quality"] >= 0.5
+        }
+
+    def test_and_with_unindexed_part_filters_residual(self, skewed):
+        query = Query(skewed).where(
+            And(Eq("kind", "rare"), Ne("quality", 0.0))
+        )
+        plan = query.explain()
+        assert plan.splitlines()[0].startswith("filter")
+        assert "hash-index" in plan
+        assert query.count() == 9
+
+    def test_or_over_indexed_columns_becomes_union(self, skewed):
+        query = Query(skewed).where(
+            Or(Eq("kind", "rare"), Gt("quality", 0.95))
+        )
+        plan = query.explain()
+        assert plan.splitlines()[0].startswith("union")
+        brute = [
+            row
+            for row in skewed.scan()
+            if row["kind"] == "rare"
+            or (row["quality"] is not None and row["quality"] > 0.95)
+        ]
+        assert query.count() == len(brute)
+
+    def test_or_with_unindexed_branch_scans(self, skewed):
+        query = Query(skewed).where(
+            Or(Eq("kind", "rare"), Contains("kind", "omm"))
+        )
+        assert "full-scan" in query.explain()
+        assert query.count() == 100
+
+    def test_order_by_limit_streams_topk(self, skewed):
+        query = Query(skewed).order_by("quality", descending=True).limit(3)
+        plan = query.explain()
+        assert plan.splitlines()[0].startswith("top-k")
+        assert "sorted-index-order" in plan
+        assert [row["quality"] for row in query.all()] == [0.98, 0.97, 0.96]
+
+    def test_topk_ascending_keeps_nulls_first(self, skewed):
+        rows = Query(skewed).order_by("quality").limit(2).all()
+        assert rows[0]["quality"] is None
+        assert rows[1]["quality"] == 0.0
+
+    def test_topk_applies_residual_filter_while_streaming(self, skewed):
+        query = (
+            Query(skewed)
+            .where(Contains("kind", "rare"))
+            .order_by("quality", descending=True)
+            .limit(2)
+        )
+        assert "top-k" in query.explain()
+        assert [row["quality"] for row in query.all()] == [0.9, 0.8]
+
+    def test_order_without_limit_uses_ordered_scan(self, skewed):
+        query = Query(skewed).order_by("quality")
+        assert "sorted-index-order" in query.explain()
+        values = [row["quality"] for row in query.all()]
+        assert values[0] is None
+        assert values[1:] == sorted(values[1:])
+
+    def test_selective_index_with_order_prefers_fetch_and_sort(self, skewed):
+        query = Query(skewed).where(Eq("kind", "rare")).order_by("quality")
+        plan = query.explain()
+        assert plan.splitlines()[0].startswith("sort")
+        assert "hash-index" in plan
+
+    def test_explain_does_not_execute(self, skewed):
+        query = Query(skewed).where(Eq("bogus", 1))
+        assert "full-scan" in query.explain()  # rendering never matches rows
+        with pytest.raises(Exception):
+            query.all()
+
+    def test_count_skips_row_materialization_on_index_paths(self, skewed):
+        query = Query(skewed).where(Eq("kind", "rare"))
+        assert query.count() == 10
+        assert query.count() == len(query.all())
+
+    def test_offset_limit_against_topk(self, skewed):
+        rows = (
+            Query(skewed)
+            .order_by("quality", descending=True)
+            .offset(2)
+            .limit(2)
+            .all()
+        )
+        assert [row["quality"] for row in rows] == [0.96, 0.95]
+
+
+class TestPlannerRobustness:
+    def test_type_mismatched_values_fall_back_to_scan(self, skewed):
+        # quality is FLOAT with a sorted index; a str probe value must
+        # not crash index bisection — these return empty instead
+        assert Query(skewed).where(In("quality", ["high"])).all() == []
+        assert (
+            Query(skewed).where(And(Eq("kind", "rare"), Eq("quality", "x"))).all()
+            == []
+        )
+
+    def test_unhashable_values_fall_back_to_scan(self, skewed):
+        assert Query(skewed).where(In("kind", [["a"]])).all() == []
+        assert Query(skewed).where(Eq("kind", ["a"])).all() == []
+        assert Query(skewed).where(Eq("id", ["a"])).all() == []
+
+    def test_barely_selective_runner_up_is_not_intersected(self, skewed):
+        # kind='rare' has 10 rows; quality>=0.0 has 99: materializing
+        # the big pk set would cost more than filtering 10 rows
+        query = Query(skewed).where(And(Eq("kind", "rare"), Ge("quality", 0.0)))
+        plan = query.explain()
+        assert "intersect" not in plan
+        assert plan.splitlines()[0].startswith("filter")
+        assert query.count() == 10
+
+    def test_sort_and_stream_paths_agree_on_ties(self):
+        # pks inserted out of order: both paths must break sort-value
+        # ties in ascending pk order, in both directions
+        database = Database("ties")
+        schema = Schema(
+            [
+                Column("id", DataType.INT),
+                Column("score", DataType.FLOAT),
+                Column("rank", DataType.FLOAT),
+            ],
+            primary_key="id",
+        )
+        table = database.create_table("t", schema)
+        table.create_index("score", kind="sorted")
+        for pk in (5, 2, 9, 1):
+            table.insert({"id": pk, "score": 0.5, "rank": 0.5})
+        for descending in (False, True):
+            streamed = Query(table).order_by("score", descending=descending).all()
+            sorted_rows = Query(table).order_by("rank", descending=descending).all()
+            assert [row["id"] for row in streamed] == [1, 2, 5, 9]
+            assert [row["id"] for row in sorted_rows] == [1, 2, 5, 9]
+
+
+# ----------------------------------------------------------------------
+# property tests: plans agree with brute force
+# ----------------------------------------------------------------------
+
+_KINDS = ("k0", "k1", "k2")
+_SCORES = (None, 0.0, 0.25, 0.5, 0.75, 1.0)
+_INDEX_LAYOUTS = (
+    (),
+    (("kind", "hash"),),
+    (("score", "sorted"),),
+    (("kind", "hash"), ("score", "sorted")),
+    (("kind", "sorted"), ("score", "hash")),
+)
+
+_rows_strategy = st.lists(
+    st.tuples(st.sampled_from(_KINDS), st.sampled_from(_SCORES)),
+    min_size=0,
+    max_size=25,
+)
+
+_leaf = st.one_of(
+    st.sampled_from(_KINDS).map(lambda kind: Eq("kind", kind)),
+    st.sampled_from(_SCORES).map(lambda score: Eq("score", score)),
+    st.sampled_from(_KINDS).map(lambda kind: Ne("kind", kind)),
+    st.sampled_from((0.25, 0.5, 0.75)).map(lambda score: Lt("score", score)),
+    st.sampled_from((0.25, 0.5, 0.75)).map(lambda score: Le("score", score)),
+    st.sampled_from((0.25, 0.5, 0.75)).map(lambda score: Gt("score", score)),
+    st.sampled_from((0.25, 0.5, 0.75)).map(lambda score: Ge("score", score)),
+    st.tuples(
+        st.sampled_from((0.0, 0.25)), st.sampled_from((0.5, 1.0))
+    ).map(lambda bounds: Between("score", bounds[0], bounds[1])),
+    st.lists(st.sampled_from(_KINDS), max_size=3).map(
+        lambda kinds: In("kind", kinds)
+    ),
+    st.sampled_from(("0", "1", "k")).map(lambda s: Contains("kind", s)),
+    st.integers(min_value=1, max_value=20).map(lambda pk: Eq("id", pk)),
+)
+
+_predicate = st.recursive(
+    _leaf,
+    lambda children: st.one_of(
+        st.tuples(children, children).map(lambda pair: And(*pair)),
+        st.tuples(children, children).map(lambda pair: Or(*pair)),
+        children.map(Not),
+    ),
+    max_leaves=6,
+)
+
+
+def _build_table(rows, layout):
+    database = Database("prop")
+    schema = Schema(
+        [
+            Column("id", DataType.INT),
+            Column("kind", DataType.TEXT),
+            Column("score", DataType.FLOAT, nullable=True),
+        ],
+        primary_key="id",
+    )
+    table = database.create_table("t", schema)
+    for column, kind in layout:
+        table.create_index(column, kind=kind)
+    for kind, score in rows:
+        table.insert({"kind": kind, "score": score})
+    return table
+
+
+@given(
+    rows=_rows_strategy,
+    layout=st.sampled_from(_INDEX_LAYOUTS),
+    predicate=_predicate,
+)
+@settings(max_examples=120, deadline=None)
+def test_plans_agree_with_brute_force(rows, layout, predicate):
+    table = _build_table(rows, layout)
+    query = Query(table).where(predicate)
+    brute = [row for row in table.scan() if predicate.matches(row)]
+    got = query.all()
+    assert sorted(row["id"] for row in got) == sorted(row["id"] for row in brute)
+    assert query.count() == len(brute)
+    assert query.exists() is (len(brute) > 0)
+    first = query.first()
+    assert (first is None) == (not brute)
+    # executing twice gives the same answer (no builder-state mutation)
+    assert query.all() == got
+
+
+@given(
+    rows=_rows_strategy,
+    layout=st.sampled_from(_INDEX_LAYOUTS),
+    predicate=_predicate,
+    descending=st.booleans(),
+    limit=st.integers(min_value=0, max_value=6),
+    offset=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=120, deadline=None)
+def test_ordered_plans_agree_with_sorted_brute_force(
+    rows, layout, predicate, descending, limit, offset
+):
+    from repro.store.plan import order_key
+
+    table = _build_table(rows, layout)
+    query = (
+        Query(table)
+        .where(predicate)
+        .order_by("score", descending=descending)
+        .offset(offset)
+        .limit(limit)
+    )
+    brute = [row for row in table.scan() if predicate.matches(row)]
+    brute.sort(key=lambda row: order_key(row["score"]), reverse=descending)
+    # pks equal insertion order here, so tie order is fully determined
+    assert query.all() == brute[offset : offset + limit]
+    assert query.count() == len(brute[offset : offset + limit])

@@ -58,6 +58,16 @@ class TestPredicates:
         _db, table = filled
         assert Query(table).where(Contains("name", "ALPH")).count() == 1
 
+    def test_in_handles_unhashable_values(self, filled):
+        _db, table = filled
+        table.insert(
+            {"name": "zeta", "kind": "url", "quality": 0.2, "meta": [1, 2]}
+        )
+        # unhashable candidate values force the linear fallback
+        assert Query(table).where(In("meta", [[1, 2]])).count() == 1
+        # unhashable row value against a hashable candidate set
+        assert Query(table).where(In("meta", ["x", None])).count() == 5
+
     def test_combinators(self, filled):
         _db, table = filled
         q = Query(table).where(
@@ -114,6 +124,18 @@ class TestOrderLimitProjection:
         _db, table = filled
         assert Query(table).where(Eq("kind", "url")).first()["name"] == "alpha"
         assert Query(table).where(Eq("kind", "pdf")).first() is None
+
+    def test_first_does_not_mutate_query(self, filled):
+        _db, table = filled
+        query = Query(table).where(Eq("kind", "url"))
+        assert query.first()["name"] == "alpha"
+        assert query.count() == 2  # regression: first() used to set limit=1
+        assert len(query.all()) == 2
+
+    def test_exists(self, filled):
+        _db, table = filled
+        assert Query(table).where(Eq("kind", "url")).exists()
+        assert not Query(table).where(Eq("kind", "pdf")).exists()
 
     def test_invalid_limit_offset(self, filled):
         _db, table = filled
@@ -202,6 +224,11 @@ class TestAggregates:
         with pytest.raises(QueryError):
             Query(table).aggregate("quality", "median")
 
+    def test_group_by_unknown_aggregate(self, filled):
+        _db, table = filled
+        with pytest.raises(QueryError):
+            Query(table).group_by("kind", {"m": ("quality", "median")})
+
     def test_group_by(self, filled):
         _db, table = filled
         groups = Query(table).group_by(
@@ -231,6 +258,29 @@ class TestHashJoin:
         assert len(joined) == 2
         missing = [row for row in joined if row["id"] == 2][0]
         assert missing["r_y"] is None
+
+    def test_left_join_empty_right_keeps_shape_with_hint(self):
+        # regression: with an empty right side there are no observed
+        # right columns, so unmatched left rows lost their padding
+        left = [{"id": 1}, {"id": 2}]
+        joined = hash_join(
+            left, [], left_key="id", right_key="rid", how="left",
+            prefix_right="r_", right_columns=["rid", "y"],
+        )
+        assert joined == [
+            {"id": 1, "r_rid": None, "r_y": None},
+            {"id": 2, "r_rid": None, "r_y": None},
+        ]
+
+    def test_left_join_ragged_right_with_hint(self):
+        left = [{"id": 1}, {"id": 2}]
+        right = [{"rid": 1, "y": 10}]
+        joined = hash_join(
+            left, right, left_key="id", right_key="rid", how="left",
+            prefix_right="r_", right_columns=["rid", "y", "z"],
+        )
+        missing = [row for row in joined if row["id"] == 2][0]
+        assert set(missing) == {"id", "r_rid", "r_y", "r_z"}
 
     def test_prefixes_avoid_collisions(self):
         left = [{"id": 1, "name": "L"}]
