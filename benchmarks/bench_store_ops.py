@@ -2,7 +2,9 @@
 
 Microbenchmarks of the MySQL-substitute under campaign-shaped
 workloads (bulk insert, indexed queries, cost-based And/top-k queries
-vs. their full-scan/full-sort baselines, transactional updates, WAL).
+vs. their full-scan/full-sort baselines, planned joins vs. the
+materializing hash_join helper, warm plan-cache vs. cold planning,
+transactional updates, WAL).
 """
 
 from repro.experiments import store_ops
@@ -12,4 +14,4 @@ def test_exp_st_store_throughput(run_experiment_once, tmp_path):
     result = run_experiment_once(
         lambda: store_ops.run(rows=5000, wal_path=tmp_path / "bench.wal")
     )
-    assert len(result.rows) == 9
+    assert len(result.rows) == 13

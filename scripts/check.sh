@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 check: the full test suite plus an EXP-ST smoke run, so
+# planner/store regressions fail fast with the experiment's own claims
+# (index paths beat scans, planned joins beat materializing hash_join,
+# warm plan cache beats cold planning).
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q
+python -m repro run-experiment EXP-ST --fast

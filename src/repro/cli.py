@@ -7,7 +7,15 @@ Subcommands::
     itag generate-dataset --resources 300 --posts 3000 --seed 7 \\
         [--out corpus.json.gz] [--report]
     itag demo [--seed 11]
+    itag store explain TABLE [--where "quality>=0.5" ...] \\
+        [--order-by COL] [--descending] [--limit N] \\
+        [--join TABLE --on LEFT=RIGHT [--how inner|left]] [--rows N]
     itag version
+
+``store explain`` prints the physical plan the cost-based planner picks
+for a query over the system schema (populated with ``--rows`` synthetic
+rows per table so index statistics are meaningful), including the join
+strategy and the ``[plan-cache: ...]`` line.
 """
 
 from __future__ import annotations
@@ -67,6 +75,35 @@ def build_parser() -> argparse.ArgumentParser:
         "demo", help="run the scripted provider/tagger demo (Figs. 3-8)"
     )
     demo_parser.add_argument("--seed", type=int, default=11)
+
+    store_parser = subparsers.add_parser(
+        "store", help="embedded-store debugging tools"
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+    explain_parser = store_sub.add_parser(
+        "explain", help="print the physical plan for a query over the system schema"
+    )
+    explain_parser.add_argument("table", help="system table (e.g. resources, posts)")
+    explain_parser.add_argument(
+        "--where", action="append", default=[], metavar="EXPR",
+        help="predicate like 'kind=url', 'quality>=0.5', 'name~needle' "
+        "(repeatable; combined with AND)",
+    )
+    explain_parser.add_argument("--order-by", metavar="COL")
+    explain_parser.add_argument("--descending", action="store_true")
+    explain_parser.add_argument("--limit", type=int)
+    explain_parser.add_argument("--offset", type=int, default=0)
+    explain_parser.add_argument(
+        "--join", metavar="TABLE", help="join with another system table"
+    )
+    explain_parser.add_argument(
+        "--on", metavar="LEFT=RIGHT", help="join keys, e.g. id=resource_id"
+    )
+    explain_parser.add_argument("--how", choices=("inner", "left"), default="inner")
+    explain_parser.add_argument(
+        "--rows", type=int, default=500,
+        help="synthetic rows per table backing the index statistics (default 500)",
+    )
     return parser
 
 
@@ -150,6 +187,123 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0 if result.all_claims_pass else 1
 
 
+def _synthetic_value(column, position: int, total: int):
+    """A deterministic value for one schema column of one synthetic row."""
+    from .store import DataType
+
+    if column.dtype is DataType.INT:
+        return position % max(1, total // 10)
+    if column.dtype is DataType.FLOAT:
+        return (position % 100) / 100.0
+    if column.dtype is DataType.BOOL:
+        return position % 2 == 0
+    if column.dtype is DataType.TIMESTAMP:
+        return float(position)
+    if column.dtype is DataType.JSON:
+        return []
+    if column.unique:
+        return f"{column.name}-{position}"
+    return f"{column.name}-{position % 7}"
+
+
+def _populate_system_database(rows: int):
+    """The system schema filled with ``rows`` synthetic rows per table,
+    so ``store explain`` runs against meaningful index statistics."""
+    from .system.models import build_system_database
+
+    database = build_system_database("explain")
+    for table_name in database.table_names():
+        table = database.table(table_name)
+        schema = table.schema
+        for position in range(rows):
+            row = {
+                column.name: _synthetic_value(column, position, rows)
+                for column in schema.columns
+                if column.name != schema.primary_key
+            }
+            row[schema.primary_key] = position + 1
+            table.insert(row)
+    return database
+
+
+_WHERE_OPS = ("<=", ">=", "!=", "~", "=", "<", ">")
+
+
+def _parse_where(schema, expression: str):
+    """One ``--where`` expression compiled to a predicate."""
+    from .store import Contains, Eq, Ge, Gt, Le, Lt, Ne, QueryError
+
+    for op in _WHERE_OPS:
+        column, separator, raw = expression.partition(op)
+        if separator:
+            break
+    else:
+        raise QueryError(
+            f"cannot parse --where {expression!r}; expected COL OP VALUE "
+            f"with OP in {_WHERE_OPS}"
+        )
+    column = column.strip()
+    if not schema.has_column(column):
+        from .store import UnknownColumnError
+
+        raise UnknownColumnError(f"--where references unknown column {column!r}")
+    if op == "~":
+        return Contains(column, raw.strip())
+    value = _coerce_cli_value(schema.column(column), raw.strip())
+    by_op = {"=": Eq, "!=": Ne, "<": Lt, "<=": Le, ">": Gt, ">=": Ge}
+    return by_op[op](column, value)
+
+
+def _coerce_cli_value(column, raw: str):
+    from .store import DataType
+
+    if raw.lower() in ("null", "none"):
+        return None
+    if column.dtype is DataType.INT:
+        return int(raw)
+    if column.dtype in (DataType.FLOAT, DataType.TIMESTAMP):
+        return float(raw)
+    if column.dtype is DataType.BOOL:
+        return raw.lower() in ("1", "true", "yes")
+    return raw
+
+
+def _cmd_store_explain(args: argparse.Namespace) -> int:
+    from .store import Query, QueryError
+
+    database = _populate_system_database(max(args.rows, 0))
+    table = database.table(args.table)
+    query = Query(table)
+    for expression in args.where:
+        query = query.where(_parse_where(table.schema, expression))
+    if args.order_by:
+        query = query.order_by(args.order_by, descending=args.descending)
+    if args.join:
+        if not args.on:
+            raise QueryError("--join requires --on LEFT=RIGHT")
+        left_key, separator, right_key = args.on.partition("=")
+        if not separator:
+            raise QueryError(f"cannot parse --on {args.on!r}; expected LEFT=RIGHT")
+        joined = query.join(
+            database.table(args.join),
+            on=(left_key.strip(), right_key.strip()),
+            how=args.how,
+            prefix_right=f"{args.join}_",
+        )
+        if args.offset:
+            joined = joined.offset(args.offset)
+        if args.limit is not None:
+            joined = joined.limit(args.limit)
+        print(joined.explain())
+        return 0
+    if args.offset:
+        query = query.offset(args.offset)
+    if args.limit is not None:
+        query = query.limit(args.limit)
+    print(query.explain())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -166,6 +320,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_generate_dataset(args)
         if args.command == "demo":
             return _cmd_demo(args)
+        if args.command == "store":
+            return _cmd_store_explain(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

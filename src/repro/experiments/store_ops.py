@@ -3,10 +3,13 @@
 Micro-benchmarks of the embedded store under campaign-shaped workloads:
 bulk inserts, indexed point/range queries, cost-based multi-predicate
 queries (vs. a full-scan twin table), streaming top-k (vs. a full-sort
-twin), transactional updates, WAL append+replay.  There is no paper
+twin), planned joins (vs. the materialize-both-sides ``hash_join``
+helper), warm plan-cache execution (vs. planning every query from
+scratch), transactional updates, WAL append+replay.  There is no paper
 number to match; the claims are that the substrate sustains campaign
 workloads comfortably (>10k simple ops/sec) and that the cost-based
-planner's index paths measurably beat their scan/sort baselines.
+planner's index, join and plan-cache paths measurably beat their
+scan/sort/materialize/replan baselines.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from ..store import (
     Query,
     Schema,
     WriteAheadLog,
+    hash_join,
 )
 from .results import ExperimentResult
 
@@ -82,12 +86,17 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
     table.create_index("quality", kind="sorted")
     payload = build_rows(rows)
 
-    def timed(name: str, ops: int, fn) -> float:
-        start = time.perf_counter()
-        fn()
-        elapsed = max(time.perf_counter() - start, 1e-9)
-        result.add_row(name, ops, f"{elapsed:.4f}", f"{ops / elapsed:,.0f}")
-        return ops / elapsed
+    def timed(name: str, ops: int, fn, *, repeats: int = 1) -> float:
+        """Time ``fn``; with ``repeats`` > 1 keep the best run, which
+        filters scheduler jitter out of close A/B comparisons."""
+        best = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            elapsed = max(time.perf_counter() - start, 1e-9)
+            best = elapsed if best is None else min(best, elapsed)
+        result.add_row(name, ops, f"{best:.4f}", f"{ops / best:,.0f}")
+        return ops / best
 
     insert_rate = timed(
         "insert (2 indexes)", rows, lambda: [table.insert(row) for row in payload]
@@ -138,6 +147,81 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
     topk_rate = timed("top-10 (streaming top-k)", and_queries, lambda: top10(table))
     sort_rate = timed("top-10 (full-sort baseline)", and_queries, lambda: top10(bare))
 
+    # planned join vs. the materialize-both-sides hash_join helper ------
+    posts = database.create_table(
+        "posts",
+        Schema(
+            [
+                Column("id", DataType.INT),
+                Column("resource_id", DataType.INT),
+                Column("tag", DataType.TEXT),
+            ],
+            primary_key="id",
+        ),
+    )
+    posts.create_index("resource_id", kind="hash")
+    for index in range(rows):
+        posts.insert({"resource_id": index + 1, "tag": f"tag-{index % 17}"})
+    join_range = Between("quality", 0.40, 0.41)
+    join_queries = 100
+
+    def planned_join() -> list[list[dict]]:
+        return [
+            Query(table)
+            .where(join_range)
+            .join(posts, on=("id", "resource_id"), prefix_right="post_")
+            .all()
+            for _ in range(join_queries)
+        ]
+
+    def manual_join() -> list[list[dict]]:
+        return [
+            hash_join(
+                Query(table).where(join_range).all(),
+                Query(posts).all(),
+                left_key="id",
+                right_key="resource_id",
+                prefix_right="post_",
+            )
+            for _ in range(join_queries)
+        ]
+
+    planned_rate = timed("join (planned, index-nl)", join_queries, planned_join)
+    manual_rate = timed("join (materialized hash_join)", join_queries, manual_join)
+
+    # warm plan cache vs. planning every query from scratch -------------
+    # Three conjuncts so cold planning pays for ranking three candidate
+    # access paths while the (unique-name) result stays tiny; values
+    # vary per query, only the predicate *shape* repeats.
+    cache_queries = 500
+
+    def shape_query(position: int) -> Query:
+        low = 0.40 + (position % 5) / 100.0
+        return Query(table).where(
+            And(
+                Eq("kind", "url"),
+                Between("quality", low, low + 0.02),
+                Eq("name", f"resource-{position % 50:05d}"),
+            )
+        )
+
+    def cold_plans() -> None:
+        for position in range(cache_queries):
+            table.plan_cache.clear()
+            shape_query(position).count()
+
+    def warm_plans() -> None:
+        for position in range(cache_queries):
+            shape_query(position).count()
+
+    # best-of-3 on both sides: the warm/cold gap (~1.5x) is close
+    # enough to timing noise that single runs flake under load
+    cold_rate = timed("And count (cold planning)", cache_queries, cold_plans, repeats=3)
+    table.plan_cache.clear()
+    warm_rate = timed("And count (warm plan cache)", cache_queries, warm_plans, repeats=3)
+    cache_stats = table.plan_cache.stats()
+    cached_explain = shape_query(0).explain()
+
     def transactional_updates() -> None:
         for pk in range(1, 1001):
             with database.transaction():
@@ -158,6 +242,9 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
         insert_rate > 10_000,
         f"{insert_rate:,.0f} inserts/sec",
     )
+    # the explain claims assert from-scratch plan choices, so keep them
+    # independent of whatever the timing loops left in the plan cache
+    table.plan_cache.clear()
     and_plan = Query(table).where(selective).explain()
     topk_plan = Query(table).order_by("quality", descending=True).limit(10).explain()
     result.check(
@@ -179,6 +266,34 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
         "streaming top-k beats the full-sort baseline (>2x)",
         topk_rate > 2 * sort_rate,
         f"{topk_rate:,.0f} vs {sort_rate:,.0f} ops/sec",
+    )
+    join_plan = (
+        Query(table)
+        .where(join_range)
+        .join(posts, on=("id", "resource_id"), prefix_right="post_")
+        .explain()
+    )
+    result.check(
+        "the join planner picks the index nested-loop strategy",
+        "index-nl-join" in join_plan,
+        join_plan.splitlines()[0],
+    )
+    result.check(
+        "planned join beats materialize-both-sides hash_join (>2x)",
+        planned_rate > 2 * manual_rate,
+        f"{planned_rate:,.0f} vs {manual_rate:,.0f} ops/sec",
+    )
+    result.check(
+        "warm plan cache beats cold planning (>1.15x)",
+        warm_rate > 1.15 * cold_rate,
+        f"{warm_rate:,.0f} vs {cold_rate:,.0f} ops/sec",
+    )
+    result.check(
+        "repeated predicate shapes hit the plan cache",
+        cache_stats["hits"] >= cache_queries - 1
+        and "[plan-cache: hit]" in cached_explain,
+        f"hits={cache_stats['hits']} misses={cache_stats['misses']}; "
+        + cached_explain.splitlines()[-1],
     )
     database.verify()
     return result

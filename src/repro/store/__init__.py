@@ -28,19 +28,24 @@ from .errors import (
 from .index import HashIndex, SortedIndex
 from .persist import export_table_csv, load_database, save_database
 from .plan import (
+    Empty,
     Filter,
     FullScan,
+    HashJoin,
     HashLookup,
     IndexIn,
+    IndexNestedLoopJoin,
     Intersect,
     OrderedScan,
     PkLookup,
     Plan,
+    RebindError,
     Sort,
     SortedRange,
     TopK,
     Union,
 )
+from .plancache import PlanCache
 from .query import (
     And,
     Between,
@@ -49,6 +54,7 @@ from .query import (
     Ge,
     Gt,
     In,
+    JoinQuery,
     Le,
     Lt,
     Ne,
@@ -67,11 +73,12 @@ from .wal import WriteAheadLog
 
 __all__ = [
     "Database", "Table", "Schema", "Column", "DataType", "Transaction",
-    "WriteAheadLog", "Query", "Predicate", "TruePredicate",
+    "WriteAheadLog", "Query", "JoinQuery", "Predicate", "TruePredicate",
     "Eq", "Ne", "Lt", "Le", "Gt", "Ge", "In", "Between", "Contains",
     "And", "Or", "Not", "hash_join",
-    "Plan", "FullScan", "PkLookup", "HashLookup", "IndexIn", "SortedRange",
-    "OrderedScan", "TopK", "Intersect", "Union", "Filter", "Sort",
+    "Plan", "FullScan", "Empty", "PkLookup", "HashLookup", "IndexIn",
+    "SortedRange", "OrderedScan", "TopK", "Intersect", "Union", "Filter",
+    "Sort", "HashJoin", "IndexNestedLoopJoin", "PlanCache", "RebindError",
     "HashIndex", "SortedIndex",
     "save_database", "load_database", "export_table_csv",
     "StoreError", "SchemaError", "ConstraintError", "DuplicateKeyError",

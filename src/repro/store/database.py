@@ -44,6 +44,8 @@ class Database:
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise UnknownTableError(f"no table {name!r} to drop")
+        # schema change: queries holding the table object must replan
+        self._tables[name].plan_cache.bump()
         del self._tables[name]
 
     def table(self, name: str) -> Table:

@@ -154,9 +154,23 @@ class SortedIndex:
         include_low: bool = True,
         include_high: bool = True,
     ) -> int:
-        """Exact cardinality of a range scan, without copying pks."""
+        """Exact cardinality of a range scan, without copying pks.
+
+        Reversed bounds (``low > high``) and half-open ranges bisect to
+        an empty or one-sided span, so the estimate is 0 exactly when
+        :meth:`range` produces no pks — planner and executor agree.
+        """
         lo, hi = self._span(low, high, include_low, include_high)
         return max(0, hi - lo)
+
+    def n_distinct(self) -> int:
+        """Distinct indexed values (the NULL group counts as one)."""
+        count = sum(
+            1
+            for position, entry in enumerate(self._keys)
+            if position == 0 or self._keys[position - 1][0] != entry[0]
+        )
+        return count + (1 if self._nulls else 0)
 
     def iter_pks(self, *, descending: bool = False) -> Iterator[Any]:
         """Stream primary keys in value order.

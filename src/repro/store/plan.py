@@ -18,13 +18,41 @@ Leaf access nodes (``PkLookup``, ``HashLookup``, ``IndexIn``,
 their predicate, so no residual re-check is needed.  ``Intersect`` and
 ``Union`` of exact plans stay exact; everything else is made exact by a
 ``Filter`` wrapper.
+
+Joins.  ``HashJoin`` and ``IndexNestedLoopJoin`` are binary nodes whose
+output is *combined* rows (left columns + prefixed right columns), so
+they stream through :meth:`Plan.iter_rows` but refuse
+:meth:`Plan.iter_pks`.  In ``explain()`` output a join reads as::
+
+    index-nl-join(resources.id = posts.resource_id via hash-index,
+                  how=inner, est~250)
+      sorted-index-range(resources.quality, ...)
+
+i.e. the probe side (always the left input) is the child subtree, and
+the describe line names the join strategy, the key pair, the access
+path used to probe the right side and the estimated output size.  A
+``hash-join`` line additionally shows which input is the build side
+(``build=left|right``) — the planner builds the hash table over the
+side with the smaller cardinality estimate.
+
+Plan-cache rebinding.  Compiled plans are cached per (table, predicate
+*shape*) — see :mod:`repro.store.plancache`.  On a cache hit the stored
+tree is *rebound* to the new predicate's values via
+:meth:`Plan.rebind`: every value-carrying leaf node remembers the leaf
+predicate it was compiled from (``source``) and rebuilds itself from
+the corresponding leaf of the new predicate.  Nodes that cannot be
+rebound safely (``Empty``, whose emptiness was derived from the old
+values, and the join nodes, which are never cached) raise
+:class:`RebindError`, which makes the cache fall back to planning from
+scratch.
 """
 
 from __future__ import annotations
 
 from itertools import islice
-from typing import TYPE_CHECKING, Any, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
+from .errors import QueryError, UnknownColumnError
 from .index import HashIndex, SortedIndex
 from .table import Table
 
@@ -32,10 +60,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .query import Predicate
 
 __all__ = [
-    "Plan", "FullScan", "PkLookup", "HashLookup", "IndexIn", "SortedRange",
-    "OrderedScan", "TopK", "Intersect", "Union", "Filter", "Sort",
-    "order_key",
+    "Plan", "FullScan", "Empty", "PkLookup", "HashLookup", "IndexIn",
+    "SortedRange", "OrderedScan", "TopK", "Intersect", "Union", "Filter",
+    "Sort", "HashJoin", "IndexNestedLoopJoin", "RebindError",
+    "order_key", "stream_hash_join",
 ]
+
+
+class RebindError(Exception):
+    """A cached plan could not be rebound to a new predicate's values."""
 
 # Heuristic output fraction of a residual Filter; only used to rank
 # candidate plans, never for correctness.
@@ -53,8 +86,40 @@ def order_key(value: Any) -> tuple:
     return (3, type(value).__name__, value)
 
 
+def _rebind_predicate(predicate: "Predicate", mapping: dict) -> "Predicate":
+    """The ``mapping``-image of a predicate held inside a cached plan.
+
+    ``mapping`` maps ``id(old node) -> new node`` for every node of the
+    predicate tree the plan was compiled from.  Residual filters can
+    also hold *synthetic* ``And``/``Or`` wrappers the planner built
+    around original subtrees; those are rebuilt part by part.
+    """
+    mapped = mapping.get(id(predicate))
+    if mapped is not None:
+        return mapped
+    parts = getattr(predicate, "parts", None)
+    if parts is not None:
+        return type(predicate)(
+            *[_rebind_predicate(part, mapping) for part in parts]
+        )
+    raise RebindError(f"unmapped predicate {predicate!r}")
+
+
+def _mapped_leaf(source: "Predicate | None", mapping: dict) -> "Predicate":
+    if source is None:
+        raise RebindError("plan node has no source predicate")
+    leaf = mapping.get(id(source))
+    if leaf is None:
+        raise RebindError(f"unmapped leaf {source!r}")
+    return leaf
+
+
 class Plan:
     """One node of a physical query plan."""
+
+    #: the leaf predicate a value-carrying access node was compiled
+    #: from; set by the planner, consumed by ``rebind``.
+    source: "Predicate | None" = None
 
     def __init__(self, table: Table) -> None:
         self.table = table
@@ -87,6 +152,14 @@ class Plan:
             lines.extend("  " + line for line in child.render().splitlines())
         return "\n".join(lines)
 
+    def rebind(self, mapping: dict) -> "Plan":
+        """This plan with its predicate values replaced via ``mapping``.
+
+        Raises :class:`RebindError` when the node cannot be rebound
+        (the caller then replans from scratch).
+        """
+        raise RebindError(f"{type(self).__name__} cannot be rebound")
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.describe()}>"
 
@@ -106,6 +179,41 @@ class FullScan(Plan):
     def describe(self) -> str:
         return f"full-scan({self.table.name}, rows={len(self.table)})"
 
+    def rebind(self, mapping: dict) -> "Plan":
+        return self
+
+
+class Empty(Plan):
+    """A plan that provably matches nothing (e.g. a NULL range bound).
+
+    SQL semantics make some predicates unsatisfiable regardless of the
+    data — a range comparison against NULL, or ``BETWEEN lo AND hi``
+    with ``lo > hi``.  The planner short-circuits those to this
+    zero-cost node instead of crashing in the index or degrading to a
+    full scan.  ``Empty`` is exact for its predicate, so it composes
+    with ``Intersect``/``Union`` like any other access plan.
+    """
+
+    def __init__(self, table: Table, reason: str = "") -> None:
+        super().__init__(table)
+        self.reason = reason
+
+    def estimate(self) -> float:
+        return 0.0
+
+    def iter_pks(self) -> Iterator[Any]:
+        return iter(())
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        return iter(())
+
+    def describe(self) -> str:
+        suffix = f": {self.reason}" if self.reason else ""
+        return f"empty({self.table.name}{suffix})"
+
+    # Emptiness was derived from the *old* predicate's values; a new
+    # binding of the same shape may match rows, so force a replan.
+
 
 class PkLookup(Plan):
     """Point read through the primary key."""
@@ -124,6 +232,12 @@ class PkLookup(Plan):
     def describe(self) -> str:
         pk_name = self.table.schema.primary_key
         return f"pk-lookup({self.table.name}.{pk_name}={self.pk!r})"
+
+    def rebind(self, mapping: dict) -> "Plan":
+        leaf = _mapped_leaf(self.source, mapping)
+        plan = PkLookup(self.table, leaf.value)
+        plan.source = leaf
+        return plan
 
 
 class HashLookup(Plan):
@@ -149,6 +263,12 @@ class HashLookup(Plan):
             f"{self.index.kind}-index({self.table.name}.{self.column}"
             f"={self.value!r}, est~{int(self.estimate())})"
         )
+
+    def rebind(self, mapping: dict) -> "Plan":
+        leaf = _mapped_leaf(self.source, mapping)
+        plan = HashLookup(self.table, self.column, leaf.value, self.index)
+        plan.source = leaf
+        return plan
 
 
 class IndexIn(Plan):
@@ -182,6 +302,12 @@ class IndexIn(Plan):
             f"{self.index.kind}-index-in({self.table.name}.{self.column}, "
             f"{len(self.values)} values, est~{int(self.estimate())})"
         )
+
+    def rebind(self, mapping: dict) -> "Plan":
+        leaf = _mapped_leaf(self.source, mapping)
+        plan = IndexIn(self.table, self.column, leaf.values, self.index)
+        plan.source = leaf
+        return plan
 
 
 class SortedRange(Plan):
@@ -228,6 +354,25 @@ class SortedRange(Plan):
             f"est~{int(self.estimate())})"
         )
 
+    def rebind(self, mapping: dict) -> "Plan":
+        leaf = _mapped_leaf(self.source, mapping)
+        if hasattr(leaf, "low"):  # Between-shaped leaf
+            low, high = leaf.low, leaf.high
+            if low is None or high is None:
+                raise RebindError("NULL range bound")
+        else:
+            value = leaf.value
+            if value is None:
+                raise RebindError("NULL comparison value")
+            low = value if self.low is not None else None
+            high = value if self.high is not None else None
+        plan = SortedRange(
+            self.table, self.column, self.index, low, high,
+            include_low=self.include_low, include_high=self.include_high,
+        )
+        plan.source = leaf
+        return plan
+
 
 class OrderedScan(Plan):
     """Full traversal in sorted-index order: ordered output, no sort."""
@@ -251,6 +396,9 @@ class OrderedScan(Plan):
         direction = "desc" if self.descending else "asc"
         return f"sorted-index-order({self.table.name}.{self.column} {direction})"
 
+    def rebind(self, mapping: dict) -> "Plan":
+        return self
+
 
 class TopK(Plan):
     """Stream the first ``count`` (filtered) rows of an ordered scan.
@@ -270,21 +418,21 @@ class TopK(Plan):
         self.descending = descending
         self.count = count
         self.predicate = predicate
-        self.source = OrderedScan(table, column, index, descending)
+        self.child = OrderedScan(table, column, index, descending)
 
     def estimate(self) -> float:
         return float(min(self.count, len(self.table)))
 
     def iter_pks(self) -> Iterator[Any]:
         if self.predicate is None:
-            return islice(self.source.iter_pks(), self.count)
+            return islice(self.child.iter_pks(), self.count)
         return super().iter_pks()
 
     def iter_rows(self) -> Iterator[dict[str, Any]]:
         remaining = self.count
         if remaining <= 0:
             return
-        for row in self.source.iter_rows():
+        for row in self.child.iter_rows():
             if self.predicate is not None and not self.predicate.matches(row):
                 continue
             yield row
@@ -293,7 +441,7 @@ class TopK(Plan):
                 return
 
     def children(self) -> tuple[Plan, ...]:
-        return (self.source,)
+        return (self.child,)
 
     def describe(self) -> str:
         direction = "desc" if self.descending else "asc"
@@ -301,6 +449,15 @@ class TopK(Plan):
         return (
             f"top-k({self.table.name}.{self.column} {direction}, "
             f"k={self.count}{suffix})"
+        )
+
+    def rebind(self, mapping: dict) -> "Plan":
+        predicate = None
+        if self.predicate is not None:
+            predicate = _rebind_predicate(self.predicate, mapping)
+        return TopK(
+            self.table, self.column, self.child.index, self.descending,
+            self.count, predicate,
         )
 
 
@@ -328,6 +485,9 @@ class Intersect(Plan):
     def describe(self) -> str:
         return f"intersect(est~{int(self.estimate())})"
 
+    def rebind(self, mapping: dict) -> "Plan":
+        return Intersect(self.table, [plan.rebind(mapping) for plan in self.plans])
+
 
 class Union(Plan):
     """Deduplicated primary-key union of exact sub-plans (indexed OR)."""
@@ -352,6 +512,9 @@ class Union(Plan):
     def describe(self) -> str:
         return f"union(est~{int(self.estimate())})"
 
+    def rebind(self, mapping: dict) -> "Plan":
+        return Union(self.table, [plan.rebind(mapping) for plan in self.plans])
+
 
 class Filter(Plan):
     """Residual predicate evaluation over a child plan's rows."""
@@ -374,6 +537,13 @@ class Filter(Plan):
 
     def describe(self) -> str:
         return f"filter({self.predicate!r})"
+
+    def rebind(self, mapping: dict) -> "Plan":
+        return Filter(
+            self.table,
+            self.child.rebind(mapping),
+            _rebind_predicate(self.predicate, mapping),
+        )
 
 
 class Sort(Plan):
@@ -419,3 +589,288 @@ class Sort(Plan):
     def describe(self) -> str:
         direction = "desc" if self.descending else "asc"
         return f"sort({self.table.name}.{self.column} {direction})"
+
+    def rebind(self, mapping: dict) -> "Plan":
+        return Sort(
+            self.table, self.child.rebind(mapping), self.column, self.descending
+        )
+
+
+# ----------------------------------------------------------------------
+# joins
+# ----------------------------------------------------------------------
+
+
+def _emit_joined(
+    left_row: dict[str, Any],
+    matches: Sequence[dict[str, Any]],
+    *,
+    prefix_left: str,
+    prefix_right: str,
+    how: str,
+    padded_columns: Sequence[str],
+) -> Iterator[dict[str, Any]]:
+    """Combined output rows for one probe: one row per match, or one
+    ``None``-padded row for unmatched left rows under ``how="left"``."""
+    renamed_left = {
+        f"{prefix_left}{name}": value for name, value in left_row.items()
+    }
+    if matches:
+        for right in matches:
+            combined = dict(renamed_left)
+            combined.update(
+                {f"{prefix_right}{name}": value for name, value in right.items()}
+            )
+            yield combined
+    elif how == "left":
+        combined = dict(renamed_left)
+        combined.update({f"{prefix_right}{name}": None for name in padded_columns})
+        yield combined
+
+
+def stream_hash_join(
+    left_rows: Iterable[dict[str, Any]],
+    right_rows: Iterable[dict[str, Any]],
+    *,
+    left_key: str,
+    right_key: str,
+    prefix_left: str = "",
+    prefix_right: str = "",
+    how: str = "inner",
+    right_columns: Iterable[str] | None = None,
+) -> Iterator[dict[str, Any]]:
+    """Equi-join core: build a hash table over the right side, stream the
+    left side through it.
+
+    SQL NULL semantics: ``None`` join keys never match — ``None``-keyed
+    build rows are dropped, ``None``-keyed probe rows are unmatched
+    (padded under ``how="left"``).  Unhashable keys (e.g. list-valued
+    payloads) do not crash the bucket build; they fall back to
+    nested-loop equality matching.
+    """
+    right_list = list(right_rows)
+    buckets: dict[Any, list[dict[str, Any]]] = {}
+    loose: list[tuple[Any, dict[str, Any]]] = []
+    for row in right_list:
+        if right_key not in row:
+            raise UnknownColumnError(
+                f"hash_join: right rows lack column {right_key!r}"
+            )
+        key = row[right_key]
+        if key is None:
+            continue  # NULL keys never equi-match
+        try:
+            buckets.setdefault(key, []).append(row)
+        except TypeError:
+            loose.append((key, row))
+    if right_columns is not None:
+        padded_columns = list(right_columns)
+    else:
+        padded_columns = sorted({name for row in right_list for name in row})
+    for left in left_rows:
+        if left_key not in left:
+            raise UnknownColumnError(
+                f"hash_join: left rows lack column {left_key!r}"
+            )
+        key = left[left_key]
+        if key is None:
+            matches: list[dict[str, Any]] = []
+        else:
+            try:
+                matches = buckets.get(key, [])
+            except TypeError:
+                # unhashable probe key: nested-loop over every build row
+                matches = [
+                    row
+                    for bucket_key, rows in buckets.items()
+                    for row in rows
+                    if bucket_key == key
+                ]
+                matches += [row for loose_key, row in loose if loose_key == key]
+            else:
+                if loose:
+                    matches = matches + [
+                        row for loose_key, row in loose if loose_key == key
+                    ]
+        yield from _emit_joined(
+            left, matches, prefix_left=prefix_left, prefix_right=prefix_right,
+            how=how, padded_columns=padded_columns,
+        )
+
+
+class _JoinPlan(Plan):
+    """Shared surface of the binary join nodes (combined-row output)."""
+
+    def __init__(
+        self, left: Plan, *, left_key: str, right_key: str,
+        prefix_left: str, prefix_right: str, how: str,
+        right_columns: Sequence[str],
+    ) -> None:
+        super().__init__(left.table)
+        self.left = left
+        self.left_key = left_key
+        self.right_key = right_key
+        self.prefix_left = prefix_left
+        self.prefix_right = prefix_right
+        self.how = how
+        self.right_columns = tuple(right_columns)
+
+    def iter_pks(self) -> Iterator[Any]:
+        raise QueryError(
+            f"{type(self).__name__} produces combined rows, not primary keys"
+        )
+
+
+class HashJoin(_JoinPlan):
+    """Build a hash table over one input, probe with the other.
+
+    The planner puts the build side on the input with the smaller
+    cardinality estimate; left-outer joins pin the build side to the
+    right input so unmatched left rows can be padded while streaming.
+    With ``build_side="left"`` (inner only) the output row *content* is
+    identical but rows come out in right-input order.
+    """
+
+    def __init__(
+        self, left: Plan, right: Plan, *, left_key: str, right_key: str,
+        prefix_left: str = "", prefix_right: str = "", how: str = "inner",
+        build_side: str = "right", right_columns: Sequence[str] = (),
+    ) -> None:
+        super().__init__(
+            left, left_key=left_key, right_key=right_key,
+            prefix_left=prefix_left, prefix_right=prefix_right, how=how,
+            right_columns=right_columns,
+        )
+        if build_side not in ("left", "right"):
+            raise QueryError(f"build_side must be 'left' or 'right', got {build_side!r}")
+        if build_side == "left" and how == "left":
+            raise QueryError("left-outer joins must build on the right side")
+        self.right = right
+        self.build_side = build_side
+
+    def estimate(self) -> float:
+        return max(self.left.estimate(), self.right.estimate())
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        if self.build_side == "right":
+            return stream_hash_join(
+                self.left.iter_rows(), self.right.iter_rows(),
+                left_key=self.left_key, right_key=self.right_key,
+                prefix_left=self.prefix_left, prefix_right=self.prefix_right,
+                how=self.how, right_columns=self.right_columns,
+            )
+        return stream_hash_join(
+            self.right.iter_rows(), self.left.iter_rows(),
+            left_key=self.right_key, right_key=self.left_key,
+            prefix_left=self.prefix_right, prefix_right=self.prefix_left,
+            how="inner",
+        )
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return (
+            f"hash-join({self.left.table.name}.{self.left_key} = "
+            f"{self.right.table.name}.{self.right_key}, how={self.how}, "
+            f"build={self.build_side}, est~{int(self.estimate())})"
+        )
+
+
+class IndexNestedLoopJoin(_JoinPlan):
+    """Probe the right table's index (or primary key) once per left row.
+
+    Beats a hash join when the left side is small and the right side is
+    large: the right table is never materialized — each left row costs
+    one point probe.  An optional residual predicate restricts the
+    right side (when the right input was a filtered query).
+    """
+
+    def __init__(
+        self, left: Plan, right_table: Table, *, left_key: str, right_key: str,
+        prefix_left: str = "", prefix_right: str = "", how: str = "inner",
+        right_predicate: "Predicate | None" = None,
+        right_columns: Sequence[str] = (),
+    ) -> None:
+        super().__init__(
+            left, left_key=left_key, right_key=right_key,
+            prefix_left=prefix_left, prefix_right=prefix_right, how=how,
+            right_columns=right_columns,
+        )
+        self.right_table = right_table
+        self.right_predicate = right_predicate
+        self.via_pk = right_key == right_table.schema.primary_key
+        self.index = None if self.via_pk else right_table.index_for(right_key)
+        if not self.via_pk and self.index is None:
+            raise QueryError(
+                f"index-nl-join: {right_table.name}.{right_key} is not indexed"
+            )
+
+    def avg_matches(self) -> float:
+        """Expected right rows per probe, from live index statistics."""
+        if self.via_pk:
+            return 1.0
+        distinct = self.index.n_distinct()
+        if distinct <= 0:
+            return 1.0
+        return len(self.right_table) / distinct
+
+    def estimate(self) -> float:
+        estimate = self.left.estimate() * self.avg_matches()
+        if self.how == "left":
+            estimate = max(estimate, self.left.estimate())
+        return estimate
+
+    def _probe_scan(self, key: Any) -> list[dict[str, Any]]:
+        return [
+            row for row in self.right_table.scan() if row[self.right_key] == key
+        ]
+
+    def _probe(self, key: Any) -> list[dict[str, Any]]:
+        if key is None:
+            return []  # NULL keys never equi-match
+        if self.via_pk:
+            try:
+                row = self.right_table.get_or_none(key)
+            except TypeError:  # unhashable probe key
+                return self._probe_scan(key)
+            return [row] if row is not None else []
+        try:
+            pks = self.index.lookup(key)
+        except TypeError:  # unhashable / type-mismatched probe key
+            return self._probe_scan(key)
+        if len(pks) > 1:  # deterministic match order only when it matters
+            pks = sorted(pks, key=order_key)
+        return list(self.right_table.rows_for_pks(pks))
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        for left_row in self.left.iter_rows():
+            if self.left_key not in left_row:
+                raise UnknownColumnError(
+                    f"join: left rows lack column {self.left_key!r}"
+                )
+            matches = self._probe(left_row[self.left_key])
+            if self.right_predicate is not None:
+                matches = [
+                    row for row in matches if self.right_predicate.matches(row)
+                ]
+            yield from _emit_joined(
+                left_row, matches,
+                prefix_left=self.prefix_left, prefix_right=self.prefix_right,
+                how=self.how, padded_columns=self.right_columns,
+            )
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left,)
+
+    def describe(self) -> str:
+        access = "pk" if self.via_pk else f"{self.index.kind}-index"
+        suffix = (
+            "" if self.right_predicate is None
+            else f", right-filter={self.right_predicate!r}"
+        )
+        return (
+            f"index-nl-join({self.left.table.name}.{self.left_key} = "
+            f"{self.right_table.name}.{self.right_key} via {access}, "
+            f"how={self.how}, est~{int(self.estimate())}{suffix})"
+        )

@@ -1,0 +1,155 @@
+"""Compiled-plan cache: skip the planner for repeated predicate shapes.
+
+Hot system queries repeat the same *shape* thousands of times per
+simulated round with only the bound values changing — "resources of
+project ``?`` that are not stopped", "posts of resource ``?``".  The
+cost-based planner re-ranks access paths from live index statistics on
+every call, which is pure overhead for such workloads.  Each
+:class:`~repro.store.table.Table` therefore owns a :class:`PlanCache`
+that memoizes the compiled physical plan per query shape.
+
+Cache keys
+==========
+
+A cache key is ``(predicate shape, order column, descending, effective
+limit, offset)``.  The *predicate shape* is the structural skeleton of
+the WHERE clause — node types and column names, but **not** the
+compared values::
+
+    And(Eq("kind", "url"), Between("quality", 0.4, 0.45))
+    -> ("And", (("Eq", "kind"), ("Between", "quality")))
+
+so ``kind='image' AND quality BETWEEN 0.7 AND 0.9`` hits the same
+entry.  On a hit, the cached plan tree is *rebound*
+(:meth:`repro.store.plan.Plan.rebind`): every value-carrying access
+node rebuilds itself from the matching leaf of the new predicate, and
+one guarded ``estimate()`` probe validates that the new values are
+compatible with the chosen indexes (an unhashable or type-mismatched
+value forces a replan instead of crashing mid-execution).
+
+Invalidation
+============
+
+* ``bump()`` — called by ``Table.create_index`` / ``Table.drop_index``
+  (the DDL that changes which access paths exist) — clears the cache.
+* Statistics drift — each entry remembers the table's row count at
+  planning time; a lookup whose current row count differs by more than
+  :data:`DRIFT_FACTOR` evicts the entry and replans, so a plan compiled
+  against an empty or tiny table does not survive a bulk load.
+* Rebind failure — entries whose values cannot be rebound (``Empty``
+  plans, unhashable values) are replanned and overwritten in place.
+
+``Query.explain()`` appends a ``[plan-cache: hit|miss|bypass]`` line so
+the cache's behaviour is visible in live debugging (``bypass`` marks
+uncacheable shapes, e.g. user-defined predicate classes).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .plan import Plan
+    from .query import Predicate
+
+__all__ = ["PlanCache", "DRIFT_FACTOR"]
+
+#: A cached plan is evicted when the table's row count at lookup time
+#: and at planning time differ by more than this factor (small-table
+#: noise is absorbed by the +4 floor).
+DRIFT_FACTOR = 2.0
+
+_MAX_ENTRIES = 128
+
+
+@dataclass
+class _Entry:
+    plan: "Plan"
+    predicate: "Predicate"
+    row_count: int
+
+
+class PlanCache:
+    """LRU cache of compiled plans for one table, with hit/miss stats."""
+
+    def __init__(self, max_entries: int = _MAX_ENTRIES) -> None:
+        self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: Hashable, row_count: int) -> _Entry | None:
+        """The live entry for ``key``, or None.
+
+        Does *not* bump hit/miss counters — the caller records a hit
+        only after the entry rebinds successfully.  Entries whose
+        planning-time row count has drifted past :data:`DRIFT_FACTOR`
+        are evicted here (row mutations invalidate lazily).
+        """
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        larger = max(entry.row_count, row_count)
+        smaller = max(min(entry.row_count, row_count), 4)
+        if larger > DRIFT_FACTOR * smaller:
+            del self._entries[key]
+            self.invalidations += 1
+            return None
+        self._entries.move_to_end(key)
+        return entry
+
+    def store(
+        self, key: Hashable, plan: "Plan", predicate: "Predicate", row_count: int
+    ) -> None:
+        if not self.enabled:
+            return
+        self._entries[key] = _Entry(plan, predicate, row_count)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+    def record_hit(self) -> None:
+        self.hits += 1
+
+    def record_miss(self) -> None:
+        self.misses += 1
+
+    # ------------------------------------------------------------------
+
+    def bump(self) -> None:
+        """Hard invalidation: the table's access paths changed (index
+        created or dropped, schema change)."""
+        if self._entries:
+            self.invalidations += 1
+        self._entries.clear()
+
+    def clear(self) -> None:
+        """Drop all entries and reset statistics (benchmarks, tests)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlanCache(entries={len(self._entries)}, hits={self.hits}, misses={self.misses})"

@@ -32,6 +32,21 @@ filter applies, ``N`` otherwise) and picks the cheaper, so
 ``order_by(col).limit(k)`` on an otherwise unindexed query runs as a
 streaming ``TopK`` with no global sort.
 
+Joins.  ``Query.join(other, on=...)`` compiles to one of two physical
+join strategies (see :mod:`repro.store.plan`): ``IndexNestedLoopJoin``
+when the right key is the right table's primary key or has a secondary
+index and the left side's estimate makes per-row probing cheaper, or
+``HashJoin`` (build side = smaller estimated input) otherwise.  Both
+stream: iterating a join never materializes the full result, and the
+index nested-loop never materializes the right table at all.  The
+``hash_join`` helper remains as a thin list-returning shim over the
+same streaming core for callers holding plain row iterables.
+
+Plan cache.  Each table memoizes compiled plans per predicate *shape*
+(structure + columns + operators — values are rebound at execution);
+see :mod:`repro.store.plancache` for the key format and invalidation
+rules.  ``explain()`` appends a ``[plan-cache: hit|miss|bypass]`` line.
+
 Execution is generator-based end to end: ``first()``, ``count()`` and
 ``exists()`` stop as soon as they can and never materialize full result
 lists.  ``explain()`` returns the rendered plan tree so callers and
@@ -48,26 +63,31 @@ from typing import Any, Iterable, Iterator
 from .errors import QueryError, UnknownColumnError
 from .index import SortedIndex
 from .plan import (
+    Empty,
     Filter,
     FullScan,
+    HashJoin,
     HashLookup,
     IndexIn,
+    IndexNestedLoopJoin,
     Intersect,
     OrderedScan,
     PkLookup,
     Plan,
+    RebindError,
     Sort,
     SortedRange,
     TopK,
     Union,
     order_key,
+    stream_hash_join,
 )
 from .table import Table
 
 __all__ = [
     "Predicate", "Eq", "Ne", "Lt", "Le", "Gt", "Ge", "In", "Between",
     "Contains", "And", "Or", "Not", "TruePredicate",
-    "Query", "hash_join",
+    "Query", "JoinQuery", "hash_join",
 ]
 
 
@@ -76,6 +96,14 @@ class Predicate:
 
     def matches(self, row: dict[str, Any]) -> bool:
         raise NotImplementedError
+
+    def shape(self) -> tuple | None:
+        """Structural skeleton used as a plan-cache key component.
+
+        None means "uncacheable" (unknown user-defined predicate
+        classes) and makes the query bypass the plan cache.
+        """
+        return None
 
     def __and__(self, other: "Predicate") -> "And":
         return And(self, other)
@@ -93,8 +121,23 @@ class TruePredicate(Predicate):
     def matches(self, row: dict[str, Any]) -> bool:
         return True
 
+    def shape(self) -> tuple:
+        return ("True",)
+
     def __repr__(self) -> str:
         return "TruePredicate()"
+
+
+def _leaf_shape(predicate: "Predicate") -> tuple | None:
+    """(type name, column) for the known leaf classes, else None.
+
+    Exact-type check on purpose: a user subclass may override
+    ``matches``, so sharing a cache entry with its base class could
+    execute the wrong plan.
+    """
+    if type(predicate) in _CACHEABLE_LEAVES:
+        return (type(predicate).__name__, predicate.column)
+    return None
 
 
 @dataclass(frozen=True)
@@ -106,6 +149,9 @@ class _ColumnPredicate(Predicate):
         if self.column not in row:
             raise UnknownColumnError(f"predicate references unknown column {self.column!r}")
         return row[self.column]
+
+    def shape(self) -> tuple | None:
+        return _leaf_shape(self)
 
 
 class Eq(_ColumnPredicate):
@@ -121,7 +167,9 @@ class Ne(_ColumnPredicate):
 class _OrderedPredicate(_ColumnPredicate):
     def _cmp_value(self, row: dict[str, Any]) -> Any:
         value = self._get(row)
-        if value is None:
+        # SQL-style three-valued logic: comparisons against NULL are
+        # never true, whether the NULL is in the row or in the query.
+        if value is None or self.value is None:
             return _NULL
         return value
 
@@ -180,6 +228,9 @@ class In(Predicate):
                 pass  # unhashable row value: compare linearly
         return value in self.values
 
+    def shape(self) -> tuple | None:
+        return _leaf_shape(self)
+
 
 @dataclass(frozen=True)
 class Between(Predicate):
@@ -191,9 +242,13 @@ class Between(Predicate):
         if self.column not in row:
             raise UnknownColumnError(f"predicate references unknown column {self.column!r}")
         value = row[self.column]
-        if value is None:
+        # NULL row values and NULL bounds never match (SQL BETWEEN)
+        if value is None or self.low is None or self.high is None:
             return False
         return self.low <= value <= self.high
+
+    def shape(self) -> tuple | None:
+        return _leaf_shape(self)
 
 
 @dataclass(frozen=True)
@@ -215,6 +270,9 @@ class Contains(Predicate):
             return False
         return self._needle_lower in value.lower()
 
+    def shape(self) -> tuple | None:
+        return _leaf_shape(self)
+
 
 class And(Predicate):
     def __init__(self, *parts: Predicate) -> None:
@@ -224,6 +282,9 @@ class And(Predicate):
 
     def matches(self, row: dict[str, Any]) -> bool:
         return all(part.matches(row) for part in self.parts)
+
+    def shape(self) -> tuple | None:
+        return _branch_shape(self, And)
 
     def __repr__(self) -> str:
         return f"And({', '.join(map(repr, self.parts))})"
@@ -238,6 +299,9 @@ class Or(Predicate):
     def matches(self, row: dict[str, Any]) -> bool:
         return any(part.matches(row) for part in self.parts)
 
+    def shape(self) -> tuple | None:
+        return _branch_shape(self, Or)
+
     def __repr__(self) -> str:
         return f"Or({', '.join(map(repr, self.parts))})"
 
@@ -249,8 +313,57 @@ class Not(Predicate):
     def matches(self, row: dict[str, Any]) -> bool:
         return not self.inner.matches(row)
 
+    def shape(self) -> tuple | None:
+        if type(self) is not Not:
+            return None
+        inner = self.inner.shape()
+        if inner is None:
+            return None
+        return ("Not", inner)
+
     def __repr__(self) -> str:
         return f"Not({self.inner!r})"
+
+
+_CACHEABLE_LEAVES = (Eq, Ne, Lt, Le, Gt, Ge, In, Between, Contains)
+
+
+def _branch_shape(predicate: "And | Or", expected: type) -> tuple | None:
+    if type(predicate) is not expected:
+        return None
+    shapes = []
+    for part in predicate.parts:
+        part_shape = part.shape()
+        if part_shape is None:
+            return None
+        shapes.append(part_shape)
+    return (expected.__name__, tuple(shapes))
+
+
+def _map_predicates(old: Predicate, new: Predicate, out: dict) -> bool:
+    """Fill ``out`` with ``id(old node) -> new node`` for every node of
+    two same-shaped predicate trees; False on structural mismatch.
+
+    An old node object aliased into several tree positions can only map
+    to one new node, so such trees are rejected (forcing a replan)
+    unless the new tree aliases the same way.
+    """
+    if type(old) is not type(new):
+        return False
+    existing = out.get(id(old))
+    if existing is not None and existing is not new:
+        return False
+    out[id(old)] = new
+    if isinstance(old, (And, Or)):
+        if len(old.parts) != len(new.parts):
+            return False
+        return all(
+            _map_predicates(old_part, new_part, out)
+            for old_part, new_part in zip(old.parts, new.parts)
+        )
+    if isinstance(old, Not):
+        return _map_predicates(old.inner, new.inner, out)
+    return True
 
 
 # ----------------------------------------------------------------------
@@ -288,37 +401,63 @@ def _leaf_access_plan(table: Table, predicate: Predicate) -> Plan | None:
     return plan
 
 
+def _sourced(plan: Plan, predicate: Predicate) -> Plan:
+    plan.source = predicate
+    return plan
+
+
 def _build_leaf_plan(table: Table, predicate: Predicate) -> Plan | None:
     if isinstance(predicate, Eq):
         if predicate.column == table.schema.primary_key:
-            return PkLookup(table, predicate.value)
+            return _sourced(PkLookup(table, predicate.value), predicate)
         index = table.index_for(predicate.column)
         if index is not None:
-            return HashLookup(table, predicate.column, predicate.value, index)
+            return _sourced(
+                HashLookup(table, predicate.column, predicate.value, index),
+                predicate,
+            )
         return None
     if isinstance(predicate, In):
         index = table.index_for(predicate.column)
         if index is not None:
-            return IndexIn(table, predicate.column, predicate.values, index)
+            return _sourced(
+                IndexIn(table, predicate.column, predicate.values, index),
+                predicate,
+            )
         return None
     if isinstance(predicate, (Lt, Le, Gt, Ge, Between)):
+        # unsatisfiable ranges are exact and free, no index required:
+        # a NULL bound never compares true, and a reversed BETWEEN
+        # matches nothing (estimate and execution agree on "empty")
+        if isinstance(predicate, Between):
+            if predicate.low is None or predicate.high is None:
+                return Empty(table, "NULL range bound")
+            try:
+                if predicate.low > predicate.high:
+                    return Empty(table, "reversed range bounds")
+            except TypeError:
+                pass  # incomparable bounds: leave it to index/filter paths
+        elif predicate.value is None:
+            return Empty(table, "NULL comparison value")
         index = table.index_for(predicate.column)
         if not isinstance(index, SortedIndex):
             return None
         column = predicate.column
         if isinstance(predicate, Between):
-            return SortedRange(table, column, index, predicate.low, predicate.high)
-        if isinstance(predicate, Lt):
-            return SortedRange(
+            plan = SortedRange(table, column, index, predicate.low, predicate.high)
+        elif isinstance(predicate, Lt):
+            plan = SortedRange(
                 table, column, index, high=predicate.value, include_high=False
             )
-        if isinstance(predicate, Le):
-            return SortedRange(table, column, index, high=predicate.value)
-        if isinstance(predicate, Gt):
-            return SortedRange(
+        elif isinstance(predicate, Le):
+            plan = SortedRange(table, column, index, high=predicate.value)
+        elif isinstance(predicate, Gt):
+            plan = SortedRange(
                 table, column, index, low=predicate.value, include_low=False
             )
-        return SortedRange(table, column, index, low=predicate.value)
+        else:
+            plan = SortedRange(table, column, index, low=predicate.value)
+        return _sourced(plan, predicate)
     return None
 
 
@@ -398,6 +537,9 @@ class Query:
         self._limit: int | None = None
         self._offset = 0
         self._projection: list[str] | None = None
+        #: how the last compiled plan was obtained: "hit" (plan cache),
+        #: "miss" (planned and cached) or "bypass" (uncacheable shape)
+        self._plan_source = "bypass"
 
     # builder steps ----------------------------------------------------
 
@@ -490,8 +632,29 @@ class Query:
         return len(pks)
 
     def explain(self) -> str:
-        """The physical plan this query executes, as an indented tree."""
-        return self._build_plan(self._limit).render()
+        """The physical plan this query executes, as an indented tree,
+        plus a trailing ``[plan-cache: hit|miss|bypass]`` line."""
+        rendered = self._build_plan(self._limit).render()
+        return f"{rendered}\n[plan-cache: {self._plan_source}]"
+
+    def join(
+        self,
+        right: "Table | Query",
+        *,
+        on: str | tuple[str, str],
+        how: str = "inner",
+        prefix_left: str = "",
+        prefix_right: str = "",
+    ) -> "JoinQuery":
+        """Planned, streaming equi-join with ``right`` (a Table or Query).
+
+        ``on`` is either one column name present on both sides or a
+        ``(left_column, right_column)`` pair.  See :class:`JoinQuery`.
+        """
+        return JoinQuery(
+            self, right, on=on, how=how,
+            prefix_left=prefix_left, prefix_right=prefix_right,
+        )
 
     # aggregation ----------------------------------------------------------
 
@@ -530,7 +693,54 @@ class Query:
     # planner ----------------------------------------------------------
 
     def _build_plan(self, effective_limit: int | None) -> Plan:
-        """Compile predicate + order/limit into the cheapest plan tree."""
+        """Compile predicate + order/limit into the cheapest plan tree.
+
+        Consults the table's compiled-plan cache first: on a shape hit
+        the cached tree is rebound to this query's values (and
+        validated with one guarded ``estimate()`` probe); otherwise the
+        query plans from scratch and the result is cached under its
+        shape key.
+        """
+        cache = self._table.plan_cache
+        shape = self._predicate.shape()
+        key = None
+        if shape is not None:
+            key = (
+                shape, self._order_column, self._order_descending,
+                effective_limit, self._offset,
+            )
+            entry = cache.lookup(key, len(self._table))
+            if entry is not None:
+                plan = self._rebind_cached(entry)
+                if plan is not None:
+                    cache.record_hit()
+                    self._plan_source = "hit"
+                    return plan
+        plan = self._plan_from_scratch(effective_limit)
+        if key is not None:
+            cache.record_miss()
+            cache.store(key, plan, self._predicate, len(self._table))
+            self._plan_source = "miss"
+        else:
+            self._plan_source = "bypass"
+        return plan
+
+    def _rebind_cached(self, entry) -> Plan | None:
+        """The cached plan rebound to this query's values, or None when
+        the new values are incompatible (forces a replan)."""
+        mapping: dict = {}
+        if not _map_predicates(entry.predicate, self._predicate, mapping):
+            return None
+        try:
+            plan = entry.plan.rebind(mapping)
+            # one probe validates value/index compatibility (unhashable
+            # or type-mismatched values raise here, not mid-execution)
+            plan.estimate()
+        except (RebindError, TypeError, KeyError):
+            return None
+        return plan
+
+    def _plan_from_scratch(self, effective_limit: int | None) -> Plan:
         table = self._table
         predicate = self._predicate
         is_true = isinstance(predicate, TruePredicate)
@@ -630,6 +840,180 @@ def _fold_aggregate(values: list, func: str) -> Any:
 # ----------------------------------------------------------------------
 
 
+class JoinQuery:
+    """A planned, streaming equi-join of two queries/tables.
+
+    Built by :meth:`Query.join`.  The planner compares an index
+    nested-loop (right key is the right table's primary key or an
+    indexed column; cost ≈ one probe per left row) against a hash join
+    (cost ≈ materializing the smaller side) using live cardinality
+    estimates, and ``explain()`` renders which strategy won.  Output
+    rows combine left columns and right columns, each optionally
+    prefixed; ``how="left"`` pads unmatched left rows with ``None`` for
+    every right schema column.
+
+    >>> (Query(resources).where(Eq("kind", "url"))
+    ...     .join(posts, on=("id", "resource_id"), prefix_right="post_")
+    ...     .all())
+    """
+
+    def __init__(
+        self,
+        left: Query,
+        right: "Table | Query",
+        *,
+        on: str | tuple[str, str],
+        how: str = "inner",
+        prefix_left: str = "",
+        prefix_right: str = "",
+    ) -> None:
+        if how not in ("inner", "left"):
+            raise QueryError(f"join: how must be 'inner' or 'left', got {how!r}")
+        if isinstance(on, str):
+            left_key = right_key = on
+        else:
+            left_key, right_key = on
+        self._left = left
+        self._right_query = right if isinstance(right, Query) else None
+        self._right_table = right._table if isinstance(right, Query) else right
+        self._left_key = left_key
+        self._right_key = right_key
+        self._how = how
+        self._prefix_left = prefix_left
+        self._prefix_right = prefix_right
+        self._filter: Predicate | None = None
+        self._limit: int | None = None
+        self._offset = 0
+        for query, side in ((left, "left"), (self._right_query, "right")):
+            if query is None:
+                continue
+            if query._limit is not None or query._offset:
+                raise QueryError(
+                    f"join: {side} input must not carry limit/offset "
+                    "(window the join instead)"
+                )
+            if query._projection is not None:
+                raise QueryError(f"join: {side} input must not carry a projection")
+        if not left._table.schema.has_column(left_key):
+            raise UnknownColumnError(
+                f"join: unknown column {left_key!r} on table {left._table.name!r}"
+            )
+        if not self._right_table.schema.has_column(right_key):
+            raise UnknownColumnError(
+                f"join: unknown column {right_key!r} on table "
+                f"{self._right_table.name!r}"
+            )
+
+    # builder steps ----------------------------------------------------
+
+    def where(self, predicate: Predicate) -> "JoinQuery":
+        """Post-join filter over the combined (prefixed) rows."""
+        self._filter = (
+            predicate if self._filter is None else And(self._filter, predicate)
+        )
+        return self
+
+    def limit(self, count: int) -> "JoinQuery":
+        if count < 0:
+            raise QueryError(f"limit must be >= 0, got {count}")
+        self._limit = count
+        return self
+
+    def offset(self, count: int) -> "JoinQuery":
+        if count < 0:
+            raise QueryError(f"offset must be >= 0, got {count}")
+        self._offset = count
+        return self
+
+    # planner ----------------------------------------------------------
+
+    def _build_plan(self) -> Plan:
+        left_plan = self._left._build_plan(None)
+        right_table = self._right_table
+        if self._right_query is not None:
+            right_plan = self._right_query._build_plan(None)
+            right_predicate = self._right_query._predicate
+            if isinstance(right_predicate, TruePredicate):
+                right_predicate = None
+        else:
+            right_plan = FullScan(right_table)
+            right_predicate = None
+        right_columns = right_table.schema.column_names
+        join_kwargs = dict(
+            left_key=self._left_key, right_key=self._right_key,
+            prefix_left=self._prefix_left, prefix_right=self._prefix_right,
+            how=self._how, right_columns=right_columns,
+        )
+        left_estimate = left_plan.estimate()
+        right_estimate = right_plan.estimate()
+        plan: Plan | None = None
+        probe_indexed = (
+            self._right_key == right_table.schema.primary_key
+            or right_table.index_for(self._right_key) is not None
+        )
+        if probe_indexed:
+            candidate = IndexNestedLoopJoin(
+                left_plan, right_table,
+                right_predicate=right_predicate, **join_kwargs,
+            )
+            probe_cost = left_estimate * (1.0 + candidate.avg_matches())
+            hash_cost = left_estimate + right_estimate
+            if probe_cost <= hash_cost:
+                plan = candidate
+        if plan is None:
+            # left-outer joins and explicitly ordered left inputs pin
+            # the build side to the right input so left-row order (and
+            # padding) survives; otherwise build over the smaller side
+            if (
+                self._how == "left"
+                or self._left._order_column is not None
+                or right_estimate <= left_estimate
+            ):
+                build_side = "right"
+            else:
+                build_side = "left"
+            plan = HashJoin(
+                left_plan, right_plan, build_side=build_side, **join_kwargs
+            )
+        if self._filter is not None:
+            plan = Filter(self._left._table, plan, self._filter)
+        return plan
+
+    def explain(self) -> str:
+        """The physical join plan, as an indented tree.
+
+        Join plans themselves are not cached (single-table entries
+        only), so the trailing ``[plan-cache: ...]`` line reports how
+        each *input* side's plan was obtained.
+        """
+        rendered = self._build_plan().render()
+        status = f"left={self._left._plan_source}"
+        if self._right_query is not None:
+            status += f" right={self._right_query._plan_source}"
+        return f"{rendered}\n[plan-cache: {status}]"
+
+    # execution --------------------------------------------------------
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        rows: Iterator[dict[str, Any]] = iter(self._build_plan().iter_rows())
+        if self._offset or self._limit is not None:
+            stop = None if self._limit is None else self._offset + self._limit
+            rows = islice(rows, self._offset, stop)
+        return rows
+
+    def all(self) -> list[dict[str, Any]]:
+        return list(self)
+
+    def first(self) -> dict[str, Any] | None:
+        return next(iter(self), None)
+
+    def exists(self) -> bool:
+        return self.first() is not None
+
+    def count(self) -> int:
+        return sum(1 for _ in self)
+
+
 def hash_join(
     left_rows: Iterable[dict[str, Any]],
     right_rows: Iterable[dict[str, Any]],
@@ -643,41 +1027,28 @@ def hash_join(
 ) -> list[dict[str, Any]]:
     """Equi-join two row iterables on ``left_key == right_key``.
 
+    Thin list-returning shim over the streaming core
+    (:func:`repro.store.plan.stream_hash_join`) for callers holding
+    plain row iterables; table-backed queries should prefer
+    :meth:`Query.join`, which is planned and streams.
+
     Output columns are prefixed to avoid collisions.  ``how`` is
     ``"inner"`` or ``"left"`` (left-outer: unmatched left rows get
     ``None`` for every right column).  For left-outer joins the padded
     columns come from ``right_columns`` when given (e.g. a table's
     schema columns); otherwise they are derived from the right rows
     actually seen — pass the hint when the right side may be empty or
-    ragged so the output shape stays stable.
+    ragged so the output shape stays stable.  ``None`` join keys never
+    match (SQL NULL semantics) and unhashable keys fall back to
+    nested-loop matching instead of crashing the bucket build.
     """
     if how not in ("inner", "left"):
         raise QueryError(f"hash_join: how must be 'inner' or 'left', got {how!r}")
-    right_list = list(right_rows)
-    buckets: dict[Any, list[dict[str, Any]]] = {}
-    for row in right_list:
-        if right_key not in row:
-            raise UnknownColumnError(f"hash_join: right rows lack column {right_key!r}")
-        buckets.setdefault(row[right_key], []).append(row)
-    if right_columns is not None:
-        padded_columns = list(right_columns)
-    else:
-        padded_columns = sorted({name for row in right_list for name in row})
-    out: list[dict[str, Any]] = []
-    for left in left_rows:
-        if left_key not in left:
-            raise UnknownColumnError(f"hash_join: left rows lack column {left_key!r}")
-        matches = buckets.get(left[left_key], [])
-        renamed_left = {f"{prefix_left}{name}": value for name, value in left.items()}
-        if matches:
-            for right in matches:
-                combined = dict(renamed_left)
-                combined.update(
-                    {f"{prefix_right}{name}": value for name, value in right.items()}
-                )
-                out.append(combined)
-        elif how == "left":
-            combined = dict(renamed_left)
-            combined.update({f"{prefix_right}{name}": None for name in padded_columns})
-            out.append(combined)
-    return out
+    return list(
+        stream_hash_join(
+            left_rows, right_rows,
+            left_key=left_key, right_key=right_key,
+            prefix_left=prefix_left, prefix_right=prefix_right,
+            how=how, right_columns=right_columns,
+        )
+    )

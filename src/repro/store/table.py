@@ -12,6 +12,7 @@ from .errors import (
     UnknownColumnError,
 )
 from .index import HashIndex, SortedIndex
+from .plancache import PlanCache
 from .schema import Schema
 from .types import DataType
 
@@ -37,6 +38,7 @@ class Table:
         self.schema = schema
         self._rows: dict[Any, dict[str, Any]] = {}
         self._indexes: dict[str, HashIndex | SortedIndex] = {}
+        self.plan_cache = PlanCache()
         self._listeners: list[ChangeListener] = []
         self._autoincrement = 1
         pk_column = schema.column(schema.primary_key)
@@ -222,6 +224,27 @@ class Table:
         for pk, row in self._rows.items():
             index.add(row[column], pk)
         self._indexes[column] = index
+        # new access path: compiled plans may now be suboptimal or hold
+        # a stale index object for this column
+        self.plan_cache.bump()
+
+    def drop_index(self, column: str) -> None:
+        """Drop the secondary index over ``column``.
+
+        UNIQUE columns keep their index — it enforces the constraint.
+        """
+        if column not in self._indexes:
+            raise SchemaError(
+                f"table {self.name!r}: no index on column {column!r} to drop"
+            )
+        if column in self.schema.unique_columns():
+            raise SchemaError(
+                f"table {self.name!r}: index on UNIQUE column {column!r} "
+                "enforces the constraint and cannot be dropped"
+            )
+        del self._indexes[column]
+        # compiled plans may reference the dropped index
+        self.plan_cache.bump()
 
     def index_for(self, column: str) -> HashIndex | SortedIndex | None:
         return self._indexes.get(column)

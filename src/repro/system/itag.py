@@ -348,8 +348,12 @@ class ITagSystem:
     # ------------------------------------------------------------------
 
     def open_projects(self) -> list[dict]:
-        """Projects taggers can join, with pay and provider approval rate."""
-        rows = self.projects.in_state("running")
+        """Projects taggers can join, with pay and provider approval rate.
+
+        One planned join (projects in state ``running`` probed into
+        ``users`` by primary key) instead of a per-row ``users.get``.
+        """
+        rows = self.projects.in_state_with_provider("running")
         out = []
         for row in rows:
             entry = {
@@ -357,7 +361,7 @@ class ITagSystem:
                 "name": row["name"],
                 "kind": row["kind"],
                 "pay_per_task": row["pay_per_task"],
-                "provider": self.users.get(row["provider_id"])["name"],
+                "provider": row["user_name"],
                 "provider_approval_rate": 1.0,
             }
             if self.quality.is_attached(row["id"]):

@@ -140,6 +140,12 @@ def resource_details_screen(
         )
     else:
         lines.append("(no tags yet)")
+    contributors = tag_manager.contributors(resource_id, count=5)
+    if contributors:
+        lines.append(
+            "contributors: "
+            + ", ".join(f"{name} ({posts})" for name, posts in contributors)
+        )
     if system.quality.is_attached(project_id):
         history = system.quality.runtime(project_id).board.history_of(resource_id)
         if len(history) >= 2:

@@ -30,6 +30,7 @@ class ProjectRegistry:
 
     def __init__(self, database: Database) -> None:
         self._projects = database.table("projects")
+        self._users = database.table("users")
 
     # ------------------------------------------------------------------
 
@@ -98,6 +99,22 @@ class ProjectRegistry:
 
     def in_state(self, state: str) -> list[dict]:
         return Query(self._projects).where(Eq("state", state)).order_by("id").all()
+
+    def in_state_with_provider(self, state: str) -> list[dict]:
+        """Projects in ``state`` joined with their provider's user row.
+
+        A planned index nested-loop join: the state hash index narrows
+        the left side, each provider is a primary-key probe into
+        ``users``.  Provider columns come back prefixed ``user_``
+        (``user_name``, ``user_approval_rate``, ...).
+        """
+        return (
+            Query(self._projects)
+            .where(Eq("state", state))
+            .order_by("id")
+            .join(self._users, on=("provider_id", "id"), prefix_right="user_")
+            .all()
+        )
 
     # ------------------------------------------------------------------
 

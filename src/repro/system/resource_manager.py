@@ -24,6 +24,7 @@ class ResourceManager:
     def __init__(self, database: Database) -> None:
         self._resources = database.table("resources")
         self._posts = database.table("posts")
+        self._users = database.table("users")
 
     # ------------------------------------------------------------------
 
@@ -149,5 +150,22 @@ class ResourceManager:
             Query(self._posts)
             .where(Eq("resource_id", resource_id))
             .order_by("seq")
+            .all()
+        )
+
+    def posts_with_taggers(self, resource_id: int) -> list[dict]:
+        """A resource's posts joined with their tagger's user row, in
+        post order (``user_name``, ``user_approval_rate``, ...).
+
+        Planned as an index nested-loop join: the posts hash index
+        narrows the left side, each tagger is a primary-key probe into
+        ``users``.  Left-outer so posts from taggers that never made it
+        into the users table (pre-existing provider data) still show.
+        """
+        return (
+            Query(self._posts)
+            .where(Eq("resource_id", resource_id))
+            .order_by("seq")
+            .join(self._users, on=("tagger_id", "id"), prefix_right="user_", how="left")
             .all()
         )

@@ -21,6 +21,7 @@ class TagManager:
 
     def __init__(self, database: Database, vocabulary: Vocabulary) -> None:
         self._posts = database.table("posts")
+        self._users = database.table("users")
         self._vocabulary = vocabulary
 
     @property
@@ -45,6 +46,25 @@ class TagManager:
 
     def top_tags(self, resource_id: int, count: int = 10) -> list[tuple[str, int]]:
         return self.tag_frequencies(resource_id)[:count]
+
+    def contributors(self, resource_id: int, count: int = 5) -> list[tuple[str, int]]:
+        """(tagger name, posts) for a resource, most active first.
+
+        A planned join of the resource's posts with ``users`` (one
+        primary-key probe per post) replaces a per-post ``users.get``
+        round-trip; ties break alphabetically for stable screens.
+        """
+        joined = (
+            Query(self._posts)
+            .where(Eq("resource_id", resource_id))
+            .join(self._users, on=("tagger_id", "id"), prefix_right="user_", how="left")
+        )
+        counts: dict[str, int] = {}
+        for row in joined:
+            name = row["user_name"] or f"worker-{row['tagger_id']}"
+            counts[name] = counts.get(name, 0) + 1
+        ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return ordered[:count]
 
     def resource_tags_from_corpus(
         self, corpus: Corpus, resource_id: int, count: int = 10

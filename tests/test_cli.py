@@ -40,6 +40,52 @@ class TestCommands:
         assert main(["run-experiment", "EXP-NOPE"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_store_explain_indexed_predicates(self, capsys):
+        code = main(
+            [
+                "store", "explain", "resources",
+                "--where", "project_id=3",
+                "--where", "quality>=0.5",
+                "--rows", "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hash-index(resources.project_id=3" in out
+        assert "[plan-cache:" in out
+
+    def test_store_explain_order_and_limit_streams_topk(self, capsys):
+        code = main(
+            [
+                "store", "explain", "resources",
+                "--order-by", "quality", "--descending", "--limit", "5",
+                "--rows", "100",
+            ]
+        )
+        assert code == 0
+        assert "top-k(resources.quality desc" in capsys.readouterr().out
+
+    def test_store_explain_join_shows_strategy(self, capsys):
+        code = main(
+            [
+                "store", "explain", "resources",
+                "--where", "project_id=3",
+                "--join", "posts", "--on", "id=resource_id",
+                "--rows", "200",
+            ]
+        )
+        assert code == 0
+        assert "index-nl-join(resources.id = posts.resource_id" in capsys.readouterr().out
+
+    def test_store_explain_rejects_unknown_inputs(self, capsys):
+        assert main(["store", "explain", "nope"]) == 2
+        assert main(["store", "explain", "resources", "--where", "bogus=1"]) == 2
+        assert main(["store", "explain", "resources", "--where", "quality?1"]) == 2
+        assert (
+            main(["store", "explain", "resources", "--join", "posts"]) == 2
+        )  # missing --on
+        capsys.readouterr()
+
     def test_generate_dataset_report(self, tmp_path, capsys):
         out = tmp_path / "corpus.json"
         code = main(

@@ -1,0 +1,308 @@
+"""Tests for the compiled-plan cache and the empty-range planner fixes.
+
+Covers the cache contract (hit/miss counting, value rebinding,
+invalidation on index create/drop and on row-count drift, rebind
+fallbacks for unhashable values and cached ``Empty`` plans) and the
+SQL semantics of unsatisfiable ranges (NULL bounds, reversed bounds).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import (
+    And,
+    Between,
+    Column,
+    Database,
+    DataType,
+    Eq,
+    Ge,
+    Gt,
+    Le,
+    Lt,
+    Or,
+    Query,
+    Schema,
+    SchemaError,
+    SortedIndex,
+)
+
+
+def _make_table(rows: int = 100):
+    database = Database("cache")
+    table = database.create_table(
+        "items",
+        Schema(
+            [
+                Column("id", DataType.INT),
+                Column("kind", DataType.TEXT),
+                Column("score", DataType.FLOAT, nullable=True),
+            ],
+            primary_key="id",
+        ),
+    )
+    table.create_index("kind", kind="hash")
+    table.create_index("score", kind="sorted")
+    for index in range(rows):
+        table.insert(
+            {
+                "kind": ("a", "b", "c")[index % 3],
+                "score": None if index % 10 == 9 else index / rows,
+            }
+        )
+    return database, table
+
+
+class TestPlanCacheHitsAndMisses:
+    def test_repeated_shape_hits_with_rebound_values(self):
+        _db, table = _make_table()
+        table.plan_cache.clear()
+        for position in range(10):
+            kind = ("a", "b", "c")[position % 3]
+            low = position / 100.0
+            query = Query(table).where(
+                And(Eq("kind", kind), Between("score", low, low + 0.1))
+            )
+            brute = [
+                row
+                for row in table.scan()
+                if row["kind"] == kind
+                and row["score"] is not None
+                and low <= row["score"] <= low + 0.1
+            ]
+            assert query.count() == len(brute)
+        assert table.plan_cache.misses == 1
+        assert table.plan_cache.hits == 9
+
+    def test_different_shapes_get_different_entries(self):
+        _db, table = _make_table()
+        table.plan_cache.clear()
+        Query(table).where(Eq("kind", "a")).count()
+        Query(table).where(Ge("score", 0.5)).count()
+        Query(table).where(Eq("kind", "a")).order_by("score").count()
+        Query(table).where(Eq("kind", "a")).limit(3).count()
+        assert table.plan_cache.misses == 4
+        assert len(table.plan_cache) == 4
+
+    def test_explain_reports_cache_status(self):
+        _db, table = _make_table()
+        table.plan_cache.clear()
+        query = Query(table).where(Eq("kind", "a"))
+        assert "[plan-cache: miss]" in query.explain()
+        assert "[plan-cache: hit]" in query.explain()
+
+    def test_custom_predicate_bypasses_cache(self):
+        from repro.store import Predicate
+
+        class Weird(Predicate):
+            def matches(self, row):
+                return row["id"] % 2 == 0
+
+        _db, table = _make_table()
+        table.plan_cache.clear()
+        query = Query(table).where(Weird())
+        assert query.count() == 50
+        assert "[plan-cache: bypass]" in query.explain()
+        assert len(table.plan_cache) == 0
+
+    def test_true_predicate_topk_is_cacheable(self):
+        _db, table = _make_table()
+        table.plan_cache.clear()
+        for _ in range(3):
+            rows = Query(table).order_by("score", descending=True).limit(2).all()
+        assert [row["score"] for row in rows] == [0.98, 0.97]
+        assert table.plan_cache.hits == 2
+
+
+class TestPlanCacheInvalidation:
+    def test_create_index_invalidates_and_replans(self):
+        database = Database("ddl")
+        table = database.create_table(
+            "t",
+            Schema(
+                [Column("id", DataType.INT), Column("kind", DataType.TEXT)],
+                primary_key="id",
+            ),
+        )
+        for index in range(20):
+            table.insert({"kind": "x" if index % 4 == 0 else "y"})
+        query = Query(table).where(Eq("kind", "x"))
+        assert "full-scan" in query.explain()
+        assert len(table.plan_cache) == 1
+        table.create_index("kind", kind="hash")
+        assert len(table.plan_cache) == 0
+        assert "hash-index" in query.explain()
+        assert query.count() == 5
+
+    def test_drop_index_invalidates_and_falls_back_to_scan(self):
+        _db, table = _make_table()
+        query = Query(table).where(Eq("kind", "a"))
+        assert "hash-index" in query.explain()
+        table.drop_index("kind")
+        assert len(table.plan_cache) == 0
+        assert "full-scan" in query.explain()
+        assert query.count() == 34
+
+    def test_drop_index_refuses_unique_and_unknown_columns(self):
+        database = Database("uniq")
+        table = database.create_table(
+            "t",
+            Schema(
+                [
+                    Column("id", DataType.INT),
+                    Column("name", DataType.TEXT, unique=True),
+                ],
+                primary_key="id",
+            ),
+        )
+        with pytest.raises(SchemaError):
+            table.drop_index("name")
+        with pytest.raises(SchemaError):
+            table.drop_index("id")
+
+    def test_row_count_drift_evicts_stale_plans(self):
+        _db, table = _make_table(rows=20)
+        table.plan_cache.clear()
+        query = Query(table).where(Eq("kind", "a"))
+        query.count()
+        assert table.plan_cache.misses == 1
+        for index in range(100, 300):
+            table.insert({"id": index, "kind": "a", "score": 0.5})
+        query.count()  # 20 -> 220 rows: the cached plan must not survive
+        assert table.plan_cache.invalidations >= 1
+        assert table.plan_cache.misses == 2
+        assert query.count() == 7 + 200
+
+    def test_mutations_within_drift_keep_the_entry(self):
+        _db, table = _make_table(rows=100)
+        table.plan_cache.clear()
+        query = Query(table).where(Eq("kind", "a"))
+        first = query.count()
+        table.insert({"id": 1000, "kind": "a", "score": 0.1})
+        assert query.count() == first + 1  # correctness with a cached plan
+        assert table.plan_cache.hits >= 1
+
+
+class TestPlanCacheRebindFallbacks:
+    def test_unhashable_value_after_cached_shape_replans(self):
+        _db, table = _make_table()
+        table.plan_cache.clear()
+        assert Query(table).where(Eq("kind", "a")).count() == 34
+        # same shape, unhashable value: must not crash probing the index
+        assert Query(table).where(Eq("kind", ["a"])).all() == []
+        # and the shape keeps working for hashable values afterwards
+        assert Query(table).where(Eq("kind", "b")).count() == 33
+
+    def test_cached_empty_plan_does_not_poison_the_shape(self):
+        _db, table = _make_table()
+        table.plan_cache.clear()
+        assert Query(table).where(Between("score", 0.9, 0.1)).count() == 0
+        query = Query(table).where(Between("score", 0.1, 0.9))
+        assert query.count() > 0
+        # and a reversed range again after the live replan
+        assert Query(table).where(Between("score", 0.5, 0.2)).count() == 0
+
+    def test_aliased_predicate_objects_do_not_misbind(self):
+        # old tree reuses ONE Eq object in both slots; the new tree has
+        # two distinct values of the same shape — a naive id-keyed
+        # rebind would bind both slots to the second value
+        _db, table = _make_table()
+        table.plan_cache.clear()
+        shared = Eq("kind", "a")
+        assert Query(table).where(shared).where(shared).count() == 34
+        query = Query(table).where(Eq("kind", "a")).where(Eq("kind", "b"))
+        assert query.count() == 0
+
+    def test_pk_lookup_rebinds(self):
+        _db, table = _make_table()
+        table.plan_cache.clear()
+        assert Query(table).where(Eq("id", 1)).count() == 1
+        assert Query(table).where(Eq("id", 999)).count() == 0
+        assert table.plan_cache.hits == 1
+
+
+class TestUnsatisfiableRanges:
+    """Satellite: estimate and execution agree on empty/reversed ranges."""
+
+    def test_sorted_index_reversed_and_half_open_spans(self):
+        index = SortedIndex("score")
+        for position, value in enumerate((0.1, 0.2, 0.3, 0.4)):
+            index.add(value, position)
+        assert index.estimate_range(0.4, 0.1) == 0
+        assert index.range(0.4, 0.1) == []
+        assert index.estimate_range(low=0.3) == len(index.range(low=0.3)) == 2
+        assert index.estimate_range(high=0.2) == len(index.range(high=0.2)) == 2
+        assert index.estimate_range() == 4
+
+    def test_reversed_between_plans_empty(self):
+        _db, table = _make_table()
+        query = Query(table).where(Between("score", 0.8, 0.2))
+        assert "empty(" in query.explain()
+        assert query.all() == []
+
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            Lt("score", None),
+            Le("score", None),
+            Gt("score", None),
+            Ge("score", None),
+            Between("score", None, 0.5),
+            Between("score", 0.5, None),
+        ],
+    )
+    def test_null_bounds_match_nothing_indexed_or_not(self, predicate):
+        _db, table = _make_table()
+        query = Query(table).where(predicate)
+        assert "empty(" in query.explain()
+        assert query.all() == []
+        # unindexed twin: the residual filter path agrees
+        database = Database("bare")
+        bare = database.create_table(
+            "t",
+            Schema(
+                [
+                    Column("id", DataType.INT),
+                    Column("score", DataType.FLOAT, nullable=True),
+                ],
+                primary_key="id",
+            ),
+        )
+        bare.insert({"score": 0.3})
+        bare.insert({"score": None})
+        assert Query(bare).where(predicate).all() == []
+
+    def test_empty_range_composes_with_and_or(self):
+        _db, table = _make_table()
+        empty = Between("score", 0.9, 0.1)
+        assert Query(table).where(And(Eq("kind", "a"), empty)).count() == 0
+        union = Query(table).where(Or(Eq("kind", "a"), empty))
+        assert union.count() == 34
+
+
+# ----------------------------------------------------------------------
+# property test: cached execution always agrees with brute force
+# ----------------------------------------------------------------------
+
+_shape_values = st.tuples(
+    st.sampled_from(("a", "b", "c")),
+    st.sampled_from((0.0, 0.2, 0.5, 0.8, None)),
+    st.sampled_from((0.1, 0.4, 0.9, None)),
+)
+
+
+@given(bindings=st.lists(_shape_values, min_size=1, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_cached_plans_agree_with_brute_force_across_bindings(bindings):
+    """Reusing one shape with many value bindings (including NULL and
+    reversed bounds) never changes results vs. a fresh filter."""
+    _db, table = _make_table(rows=40)
+    table.plan_cache.clear()
+    for kind, low, high in bindings:
+        predicate = And(Eq("kind", kind), Between("score", low, high))
+        got = Query(table).where(predicate).all()
+        brute = [row for row in table.scan() if predicate.matches(row)]
+        assert sorted(row["id"] for row in got) == sorted(row["id"] for row in brute)

@@ -292,6 +292,37 @@ class TestHashJoin:
         assert joined[0]["l_name"] == "L"
         assert joined[0]["r_name"] == "R"
 
+    def test_unhashable_build_keys_fall_back_to_nested_loop(self):
+        # regression: list-valued join keys (e.g. tag payloads) crashed
+        # the bucket build with a bare TypeError
+        left = [{"k": [1, 2], "a": 1}, {"k": 3, "a": 2}]
+        right = [{"k": [1, 2], "b": 10}, {"k": [9], "b": 11}, {"k": 3, "b": 12}]
+        joined = hash_join(left, right, left_key="k", right_key="k", prefix_right="r_")
+        assert len(joined) == 2
+        assert {row["r_b"] for row in joined} == {10, 12}
+
+    def test_unhashable_probe_key_matches_linearly(self):
+        left = [{"k": [7], "a": 1}]
+        right = [{"k": [7], "b": 10}, {"k": 7, "b": 11}]
+        joined = hash_join(left, right, left_key="k", right_key="k", prefix_right="r_")
+        assert [row["r_b"] for row in joined] == [10]
+
+    def test_none_keys_never_cross_match(self):
+        # regression: None build keys shared a bucket, so NULL == NULL
+        # rows cross-matched; SQL equi-joins must not match NULL keys
+        left = [{"k": None, "a": 1}, {"k": 1, "a": 2}]
+        right = [{"k": None, "b": 10}, {"k": 1, "b": 11}]
+        inner = hash_join(left, right, left_key="k", right_key="k", prefix_right="r_")
+        assert [(row["a"], row["r_b"]) for row in inner] == [(2, 11)]
+
+    def test_none_left_keys_padded_under_left_join(self):
+        left = [{"k": None, "a": 1}]
+        right = [{"k": None, "b": 10}]
+        joined = hash_join(
+            left, right, left_key="k", right_key="k", how="left", prefix_right="r_"
+        )
+        assert joined == [{"k": None, "a": 1, "r_k": None, "r_b": None}]
+
     def test_bad_how_rejected(self):
         with pytest.raises(QueryError):
             hash_join([], [], left_key="a", right_key="b", how="outer")

@@ -98,6 +98,17 @@ class TestResourceManager:
         with pytest.raises(ResourceNotFoundError):
             manager.get(99)
 
+    def test_posts_with_taggers_joins_user_rows(self, loaded):
+        database, _corpus, manager = loaded
+        users = UserManager(database)
+        users.ensure_tagger(50, name="carol")
+        joined = manager.posts_with_taggers(1)
+        assert [row["seq"] for row in joined] == [1, 2]
+        assert joined[0]["tagger_id"] == 50
+        assert joined[0]["user_name"] == "carol"
+        # tagger 51 never registered: left join pads, post still shows
+        assert joined[1]["user_name"] is None
+
 
 class TestTagManager:
     def test_frequencies_sorted(self, loaded):
@@ -120,6 +131,13 @@ class TestTagManager:
         database, corpus, _manager = loaded
         tags = TagManager(database, corpus.vocabulary)
         assert tags.rename_view([0, 2]) == ["python", "web"]
+
+    def test_contributors_join_counts_posts_per_tagger(self, loaded):
+        database, corpus, _manager = loaded
+        UserManager(database).ensure_tagger(50, name="carol")
+        tags = TagManager(database, corpus.vocabulary)
+        assert tags.contributors(1) == [("carol", 1), ("worker-51", 1)]
+        assert tags.contributors(2) == []
 
 
 class TestProjectRegistry:
@@ -173,6 +191,21 @@ class TestProjectRegistry:
         projects.update_quality(high, 0.9)
         ordered = [row["name"] for row in projects.list_by_quality()]
         assert ordered == ["high", "low"]
+
+    def test_in_state_with_provider_joins_user_row(self, database):
+        users = UserManager(database)
+        alice = users.register("alice", "provider")
+        bob = users.register("bob", "provider")
+        projects = ProjectRegistry(database)
+        first = projects.create(alice, "p1", budget=1)
+        second = projects.create(bob, "p2", budget=1)
+        projects.create(alice, "draft-only", budget=1)
+        projects.transition(first, "running")
+        projects.transition(second, "running")
+        joined = projects.in_state_with_provider("running")
+        assert [(row["id"], row["user_name"]) for row in joined] == [
+            (first, "alice"), (second, "bob"),
+        ]
 
     def test_validation(self, database):
         projects = ProjectRegistry(database)
