@@ -2,7 +2,10 @@
 # Tier-1 check: the full test suite plus an EXP-ST smoke run, so
 # planner/store regressions fail fast with the experiment's own claims
 # (index paths beat scans, planned joins beat materializing hash_join,
-# warm plan cache beats cold planning).
+# warm plan cache beats cold planning, group commit beats per-commit
+# fsync, snapshot readers stay untorn, crash recovery matches the
+# committed state), plus two durability smokes: crash recovery of a
+# WAL with a torn tail via the CLI, and the concurrent-session driver.
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -11,3 +14,38 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m pytest -x -q
 python -m repro run-experiment EXP-ST --fast
+
+# recovery smoke: a durability directory whose WAL ends in a torn
+# (crash-truncated) record must recover the committed prefix, repair
+# the tail, and verify clean — via the CLI, exit code gates the merge.
+fixture_dir="$(mktemp -d)"
+trap 'rm -rf "$fixture_dir"' EXIT
+python - "$fixture_dir" <<'PY'
+import sys
+from pathlib import Path
+from repro.store import Column, DataType, Database, Schema
+
+state = Path(sys.argv[1]) / "state"
+db = Database.open(state, fsync="never")
+table = db.create_table(
+    "items",
+    Schema([Column("id", DataType.INT), Column("v", DataType.TEXT)], primary_key="id"),
+)
+for i in range(20):
+    with db.transaction():
+        table.insert({"v": f"v{i}"})
+db.checkpoint()
+for i in range(5):
+    table.insert({"v": f"post-{i}"})
+db.close()
+# simulate a crash mid-append: a half-written record at the tail
+with (state / "wal.log").open("ab") as handle:
+    handle.write(b'00000000 {"lsn": 999, "txn": [["insert", "items"')
+print(f"fixture ready: {state}")
+PY
+python -m repro store recover --dir "$fixture_dir/state" | tee "$fixture_dir/recover.out"
+grep -q "discarded torn tail" "$fixture_dir/recover.out"
+grep -q "verify: ok" "$fixture_dir/recover.out"
+
+# concurrency smoke: 1 writer vs snapshot readers, zero torn reads
+python -m repro store smoke --readers 3 --tasks 40

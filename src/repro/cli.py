@@ -10,12 +10,23 @@ Subcommands::
     itag store explain TABLE [--where "quality>=0.5" ...] \\
         [--order-by COL] [--descending] [--limit N] \\
         [--join TABLE --on LEFT=RIGHT [--how inner|left]] [--rows N]
+    itag store recover --dir STATE_DIR [--fsync POLICY]
+    itag store checkpoint --dir STATE_DIR [--fsync POLICY]
+    itag store smoke [--readers N] [--tasks N] [--seed N]
     itag version
 
 ``store explain`` prints the physical plan the cost-based planner picks
 for a query over the system schema (populated with ``--rows`` synthetic
 rows per table so index statistics are meaningful), including the join
 strategy and the ``[plan-cache: ...]`` line.
+
+``store recover`` opens a managed durability directory, reports what
+crash recovery did (checkpoint loaded, committed records replayed, torn
+tail discarded/repaired), and exits 0 when the recovered state passes
+the store's consistency checks.  ``store checkpoint`` persists an
+atomic snapshot and prunes the covered WAL prefix.  ``store smoke``
+runs the concurrent-session driver (1 writer vs N snapshot readers) on
+a small synthetic campaign and fails on any torn read.
 """
 
 from __future__ import annotations
@@ -104,6 +115,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--rows", type=int, default=500,
         help="synthetic rows per table backing the index statistics (default 500)",
     )
+
+    def add_durability_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--dir", required=True, metavar="STATE_DIR",
+            help="managed durability directory (checkpoints + wal.log)",
+        )
+        sub.add_argument(
+            "--fsync", choices=("always", "interval", "never"), default="interval",
+            help="group-commit fsync policy (default interval)",
+        )
+
+    recover_parser = store_sub.add_parser(
+        "recover",
+        help="crash-recover a durability directory and report what happened",
+    )
+    add_durability_flags(recover_parser)
+
+    checkpoint_parser = store_sub.add_parser(
+        "checkpoint",
+        help="write an atomic snapshot and prune the covered WAL prefix",
+    )
+    add_durability_flags(checkpoint_parser)
+
+    smoke_parser = store_sub.add_parser(
+        "smoke",
+        help="concurrent-session smoke: 1 writer vs N snapshot readers",
+    )
+    smoke_parser.add_argument("--readers", type=int, default=3)
+    smoke_parser.add_argument("--tasks", type=int, default=40)
+    smoke_parser.add_argument("--seed", type=int, default=7)
     return parser
 
 
@@ -268,6 +309,77 @@ def _coerce_cli_value(column, raw: str):
     return raw
 
 
+def _cmd_store_recover(args: argparse.Namespace) -> int:
+    from .store import Database
+
+    database = Database.open(args.dir, fsync=args.fsync)
+    try:
+        report = database.recovery
+        print(report.describe())
+        database.verify()
+        rows = {
+            name: len(database.table(name)) for name in database.table_names()
+        }
+        print(f"  tables: {rows if rows else 'none'}")
+        print("  verify: ok")
+    finally:
+        database.close()
+    return 0
+
+
+def _cmd_store_checkpoint(args: argparse.Namespace) -> int:
+    from .store import Database
+
+    database = Database.open(args.dir, fsync=args.fsync)
+    try:
+        print(database.recovery.describe())
+        wal = database.wal
+        records_before = len(wal) if wal is not None else 0
+        database.checkpoint()
+        records_after = len(wal) if wal is not None else 0
+        written = database.last_checkpoint_path
+        print(
+            f"checkpoint written: {written.name if written else '?'} "
+            f"(wal records {records_before} -> {records_after})"
+        )
+    finally:
+        database.close()
+    return 0
+
+
+def _cmd_store_smoke(args: argparse.Namespace) -> int:
+    from .datasets import make_delicious_like
+    from .system import ITagSystem, SessionDriver
+
+    data = make_delicious_like(
+        n_resources=12,
+        initial_posts_total=80,
+        master_seed=args.seed,
+        population_size=20,
+    )
+    system = ITagSystem(master_seed=args.seed)
+    provider = system.register_provider("smoke-provider")
+    project = system.create_project(provider, "smoke", budget=args.tasks * 3)
+    system.upload_resources(project, data.provider_corpus)
+    system.start_project(project, noise_model=data.dataset.noise_model)
+    driver = SessionDriver(
+        system, project, readers=args.readers, writer_tasks=args.tasks
+    )
+    report = driver.run()
+    print(report.describe())
+    return 0 if report.consistent else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    if args.store_command == "recover":
+        return _cmd_store_recover(args)
+    if args.store_command == "checkpoint":
+        return _cmd_store_checkpoint(args)
+    if args.store_command == "smoke":
+        return _cmd_store_smoke(args)
+    return _cmd_store_explain(args)
+
+
 def _cmd_store_explain(args: argparse.Namespace) -> int:
     from .store import Query, QueryError
 
@@ -321,7 +433,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "demo":
             return _cmd_demo(args)
         if args.command == "store":
-            return _cmd_store_explain(args)
+            return _cmd_store(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -5,16 +5,23 @@ bulk inserts, indexed point/range queries, cost-based multi-predicate
 queries (vs. a full-scan twin table), streaming top-k (vs. a full-sort
 twin), planned joins (vs. the materialize-both-sides ``hash_join``
 helper), warm plan-cache execution (vs. planning every query from
-scratch), transactional updates, WAL append+replay.  There is no paper
-number to match; the claims are that the substrate sustains campaign
-workloads comfortably (>10k simple ops/sec) and that the cost-based
-planner's index, join and plan-cache paths measurably beat their
-scan/sort/materialize/replan baselines.
+scratch), transactional updates, plus the durable write path: commit
+throughput per group-commit fsync policy, concurrent snapshot readers
+vs. a transactional writer, and crash-recovery time vs. WAL length.
+There is no paper number to match; the claims are that the substrate
+sustains campaign workloads comfortably (>10k simple ops/sec), that
+the cost-based planner's index, join and plan-cache paths measurably
+beat their scan/sort/materialize/replan baselines, that group commit
+with ``interval`` fsync beats per-commit fsync, and that concurrent
+snapshot readers return consistent (untorn) results under writer load.
 """
 
 from __future__ import annotations
 
+import tempfile
+import threading
 import time
+from pathlib import Path
 
 from ..store import (
     And,
@@ -186,8 +193,15 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
             for _ in range(join_queries)
         ]
 
-    planned_rate = timed("join (planned, index-nl)", join_queries, planned_join)
-    manual_rate = timed("join (materialized hash_join)", join_queries, manual_join)
+    # best-of-3: the first execution of a join shape pays one-time
+    # interpreter warm-up (~ms) that would otherwise dominate the
+    # ~10ms measurement window and flake the A/B claim
+    planned_rate = timed(
+        "join (planned, index-nl)", join_queries, planned_join, repeats=3
+    )
+    manual_rate = timed(
+        "join (materialized hash_join)", join_queries, manual_join, repeats=3
+    )
 
     # warm plan cache vs. planning every query from scratch -------------
     # Three conjuncts so cold planning pays for ranking three candidate
@@ -229,7 +243,7 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
 
     timed("transactional update", 1000, transactional_updates)
     if wal_path is not None:
-        wal = WriteAheadLog(wal_path)
+        wal = WriteAheadLog(wal_path, fsync="never")
         database.attach_wal(wal)
         timed(
             "WAL-journaled update",
@@ -237,6 +251,141 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
             lambda: [table.update(pk, {"quality": 0.5}) for pk in range(1, 501)],
         )
         database.detach_wal()
+        wal.close()
+
+    # durable write path: group commit per fsync policy -----------------
+    policy_rates: dict[str, float] = {}
+    abort_growth = None
+    with tempfile.TemporaryDirectory() as raw_dir:
+        for policy, commits in (("always", 150), ("interval", 600), ("never", 600)):
+            durable = Database.open(
+                Path(raw_dir) / f"state-{policy}", fsync=policy
+            )
+            commit_table = durable.create_table("commits", _bare_schema())
+
+            def commit_burst(target=commit_table, db=durable, count=commits) -> None:
+                for position in range(count):
+                    with db.transaction():
+                        target.insert(
+                            {
+                                "name": f"r{position}",
+                                "kind": "url",
+                                "n_posts": position,
+                                "quality": 0.5,
+                            }
+                        )
+
+            policy_rates[policy] = timed(
+                f"txn commit (fsync={policy})", commits, commit_burst
+            )
+            if policy == "never":
+                durable.wal.flush()
+                size_before = (Path(raw_dir) / "state-never" / "wal.log").stat().st_size
+                try:
+                    with durable.transaction():
+                        commit_table.insert({"name": "aborted", "kind": "url",
+                                             "n_posts": 0, "quality": 0.0})
+                        raise _BenchAbort()
+                except _BenchAbort:
+                    pass
+                durable.wal.flush()
+                size_after = (Path(raw_dir) / "state-never" / "wal.log").stat().st_size
+                abort_growth = size_after - size_before
+            durable.close()
+
+    # concurrent snapshot readers vs one transactional writer -----------
+    live = database.create_table(
+        "live",
+        Schema(
+            [Column("id", DataType.INT), Column("stamp", DataType.INT)],
+            primary_key="id",
+        ),
+    )
+    stamp_rows = 200
+    for _ in range(stamp_rows):
+        live.insert({"stamp": 0})
+    writer_rounds = 60
+    torn_reads = 0
+    reader_passes = 0
+    reader_errors: list[str] = []
+    stats_lock = threading.Lock()
+    writer_done = threading.Event()
+
+    def stamp_writer() -> None:
+        for stamp in range(1, writer_rounds + 1):
+            with database.transaction():
+                for pk in range(1, stamp_rows + 1):
+                    live.update(pk, {"stamp": stamp})
+        writer_done.set()
+
+    def snapshot_reader() -> None:
+        nonlocal torn_reads, reader_passes
+        while True:
+            stopping = writer_done.is_set()
+            try:
+                view = live.read_view()
+                stamps = {row["stamp"] for row in view.scan()}
+                repeat = {row["stamp"] for row in view.scan()}
+                with stats_lock:
+                    reader_passes += 1
+                    if len(stamps) > 1 or repeat != stamps or len(view) != stamp_rows:
+                        torn_reads += 1
+            except Exception as exc:  # noqa: BLE001 - counted as failure
+                with stats_lock:
+                    reader_errors.append(repr(exc))
+                return
+            if stopping:
+                return
+
+    reader_threads = [threading.Thread(target=snapshot_reader) for _ in range(2)]
+    concurrent_start = time.perf_counter()
+    for thread in reader_threads:
+        thread.start()
+    stamp_writer()
+    for thread in reader_threads:
+        thread.join(timeout=30.0)
+    concurrent_elapsed = max(time.perf_counter() - concurrent_start, 1e-9)
+    result.add_row(
+        "concurrent writer (txn/sec)",
+        writer_rounds,
+        f"{concurrent_elapsed:.4f}",
+        f"{writer_rounds / concurrent_elapsed:,.0f}",
+    )
+    result.add_row(
+        "concurrent snapshot readers (views/sec)",
+        reader_passes,
+        f"{concurrent_elapsed:.4f}",
+        f"{reader_passes / concurrent_elapsed:,.0f}",
+    )
+
+    # crash-recovery time vs WAL length ---------------------------------
+    recovery_matches = True
+    with tempfile.TemporaryDirectory() as raw_dir:
+        for wal_records in (200, 2000):
+            state_dir = Path(raw_dir) / f"recover-{wal_records}"
+            source = Database.open(state_dir, fsync="never")
+            source_table = source.create_table("events", _bare_schema())
+            for position in range(wal_records):
+                source_table.insert(
+                    {"name": f"e{position}", "kind": "url",
+                     "n_posts": position, "quality": 0.1}
+                )
+            expected_tables = source.to_snapshot()["tables"]
+            source.close()
+
+            start = time.perf_counter()
+            recovered = Database.open(state_dir, fsync="never")
+            elapsed = max(time.perf_counter() - start, 1e-9)
+            recovery_matches = recovery_matches and (
+                recovered.to_snapshot()["tables"] == expected_tables
+            )
+            recovered.close()
+            result.add_row(
+                f"crash recovery ({wal_records}-record WAL)",
+                wal_records,
+                f"{elapsed:.4f}",
+                f"{wal_records / elapsed:,.0f}",
+            )
     result.check(
         "the substrate sustains campaign workloads (>10k inserts/sec)",
         insert_rate > 10_000,
@@ -295,5 +444,30 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
         f"hits={cache_stats['hits']} misses={cache_stats['misses']}; "
         + cached_explain.splitlines()[-1],
     )
+    result.check(
+        "group commit with interval fsync beats per-commit fsync (>2x)",
+        policy_rates["interval"] > 2 * policy_rates["always"],
+        f"{policy_rates['interval']:,.0f} vs {policy_rates['always']:,.0f} commits/sec",
+    )
+    result.check(
+        "an aborted transaction leaves zero bytes of net WAL growth",
+        abort_growth == 0,
+        f"{abort_growth} bytes",
+    )
+    result.check(
+        "concurrent snapshot readers stay consistent under writer load",
+        torn_reads == 0 and reader_passes > 0 and not reader_errors,
+        f"{reader_passes} reader passes, {torn_reads} torn, "
+        f"{len(reader_errors)} errors",
+    )
+    result.check(
+        "crash recovery reproduces exactly the committed state",
+        recovery_matches,
+        "checkpoint-free replay matched for 200- and 2000-record WALs",
+    )
     database.verify()
     return result
+
+
+class _BenchAbort(Exception):
+    """Sentinel forcing a benchmark transaction rollback."""

@@ -12,7 +12,7 @@ Public surface::
     ], primary_key="id"))
 """
 
-from .database import Database
+from .database import CHECKPOINT_KEEP, Database, RecoveryReport
 from .errors import (
     ConstraintError,
     DuplicateKeyError,
@@ -26,7 +26,14 @@ from .errors import (
     WalError,
 )
 from .index import HashIndex, SortedIndex
-from .persist import export_table_csv, load_database, save_database
+from .locking import RWLock
+from .persist import (
+    export_table_csv,
+    load_database,
+    save_database,
+    write_bytes_atomic,
+    write_text_atomic,
+)
 from .plan import (
     Empty,
     Filter,
@@ -69,11 +76,15 @@ from .schema import Column, Schema
 from .table import Table
 from .transaction import Transaction
 from .types import DataType
-from .wal import WriteAheadLog
+from .views import DatabaseView, ReadView
+from .wal import FSYNC_POLICIES, WalRecord, WriteAheadLog
 
 __all__ = [
     "Database", "Table", "Schema", "Column", "DataType", "Transaction",
-    "WriteAheadLog", "Query", "JoinQuery", "Predicate", "TruePredicate",
+    "WriteAheadLog", "WalRecord", "FSYNC_POLICIES", "RecoveryReport",
+    "CHECKPOINT_KEEP", "ReadView", "DatabaseView", "RWLock",
+    "write_text_atomic", "write_bytes_atomic",
+    "Query", "JoinQuery", "Predicate", "TruePredicate",
     "Eq", "Ne", "Lt", "Le", "Gt", "Ge", "In", "Between", "Contains",
     "And", "Or", "Not", "hash_join",
     "Plan", "FullScan", "Empty", "PkLookup", "HashLookup", "IndexIn",

@@ -1,24 +1,96 @@
-"""The database object: a named collection of tables with transactions
-and an optional write-ahead log."""
+"""The database object: tables, transactions, durability, recovery.
+
+Two ways to run one:
+
+* **In-memory** (the default): ``Database("itag")`` — tables live in
+  process memory; an optional WAL can be attached by hand.
+* **Managed durability directory**: ``Database.open(dir)`` owns a
+  directory holding ``checkpoint-NNNNNN.json`` snapshot files plus
+  ``wal.log`` and implements crash recovery — load the newest valid
+  checkpoint, replay only the committed WAL suffix (records with
+  ``lsn`` greater than the checkpoint's ``wal_lsn``), and discard torn
+  tail records instead of raising.  ``close()`` flushes and releases
+  the log; ``checkpoint()`` persists a snapshot atomically (temp file +
+  ``os.replace``) and only then garbage-collects the covered WAL
+  prefix.
+
+Concurrency model (single-writer / multi-reader):
+
+* Transactions are exclusive: a second thread's ``begin()`` blocks
+  until the active transaction finishes; the same thread nesting
+  transactions is an error.
+* Autocommit mutations are serialized per table by the table's write
+  lock and journaled as single-change commit records.
+* Readers never block writers: :meth:`read_view` returns a
+  copy-on-write snapshot of every table, consistent at a transaction
+  boundary, for torn-free long scans and joins.
+"""
 
 from __future__ import annotations
 
-from typing import Any
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
 
 from .errors import TransactionError, UnknownTableError
 from .schema import Schema
 from .table import ChangeEvent, Table
 from .transaction import Transaction
-from .wal import WriteAheadLog
+from .wal import DEFAULT_FSYNC_INTERVAL, WriteAheadLog
 
-__all__ = ["Database"]
+__all__ = ["Database", "RecoveryReport", "CHECKPOINT_KEEP"]
+
+#: How many checkpoint generations to keep: the newest plus one
+#: fallback (atomic replace makes a corrupt newest nearly impossible,
+#: but a fallback costs one file).
+CHECKPOINT_KEEP = 2
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`Database.open` found and did."""
+
+    directory: str
+    checkpoint_path: str | None = None
+    checkpoint_lsn: int = 0
+    records_replayed: int = 0
+    changes_applied: int = 0
+    torn_tail: str | None = None
+    repaired_bytes: int = 0
+    skipped_checkpoints: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [f"recovered database from {self.directory}"]
+        if self.checkpoint_path:
+            lines.append(
+                f"  checkpoint: {self.checkpoint_path} (wal_lsn {self.checkpoint_lsn})"
+            )
+        else:
+            lines.append("  checkpoint: none (replaying the full log)")
+        for name in self.skipped_checkpoints:
+            lines.append(f"  skipped unreadable checkpoint: {name}")
+        lines.append(
+            f"  replayed {self.records_replayed} committed records "
+            f"({self.changes_applied} changes)"
+        )
+        if self.torn_tail:
+            lines.append(
+                f"  discarded torn tail: {self.torn_tail} "
+                f"({self.repaired_bytes} bytes)"
+            )
+        else:
+            lines.append("  torn tail: none")
+        return "\n".join(lines)
 
 
 class Database:
-    """An embedded, in-memory relational database.
+    """An embedded relational database with optional durability.
 
-    >>> db = Database("itag")
-    >>> db.create_table("resources", schema)
+    >>> db = Database("itag")                      # in-memory
+    >>> db = Database.open("state/")               # durable directory
     >>> with db.transaction():
     ...     db.table("resources").insert({"name": "url-1", ...})
     """
@@ -27,39 +99,204 @@ class Database:
         self.name = name
         self._tables: dict[str, Table] = {}
         self._transaction: Transaction | None = None
+        self._txn_owner: int | None = None
+        # RLock: read_view() holds it while capturing per-table views,
+        # each of which re-enters it through the table's view barrier
+        self._txn_mutex = threading.RLock()
+        self._local = threading.local()
         self._wal: WriteAheadLog | None = None
+        self._recovering = False
+        self._directory: Path | None = None
+        self._checkpoint_index = 0
+        #: the WAL LSN covered by the *previous* checkpoint generation;
+        #: the log keeps records above it so a fallback to that
+        #: generation can still replay forward (never-lossy fallback)
+        self._covered_lsn = 0
+        #: path of the newest checkpoint written by this process (None
+        #: until the first managed checkpoint())
+        self.last_checkpoint_path: Path | None = None
+        self.recovery: RecoveryReport | None = None
+
+    # ------------------------------------------------------------------
+    # durability directory
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        *,
+        name: str | None = None,
+        fsync: str = "interval",
+        fsync_interval: float = DEFAULT_FSYNC_INTERVAL,
+    ) -> "Database":
+        """Open (or create) a managed durability directory.
+
+        Loads the newest valid checkpoint, replays the committed WAL
+        suffix on top (torn tail records are discarded and the file is
+        repaired in place), attaches the log, and returns the database
+        with a :class:`RecoveryReport` in :attr:`recovery`.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        report = RecoveryReport(directory=str(directory))
+
+        database: "Database" | None = None
+        checkpoint_lsn = 0
+        max_index = 0
+        for path in sorted(directory.glob("checkpoint-*.json"), reverse=True):
+            try:
+                index = int(path.stem.split("-", 1)[1])
+            except ValueError:
+                report.skipped_checkpoints.append(path.name)
+                continue
+            max_index = max(max_index, index)
+            if database is not None:
+                continue
+            # materialize inside the try: a checkpoint that parses as
+            # JSON but is structurally broken must fall back to the
+            # older generation, not abort recovery
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                lsn = int(payload.pop("wal_lsn", 0))
+                database = cls.from_snapshot(payload)
+                checkpoint_lsn = lsn
+                report.checkpoint_path = str(path)
+                report.checkpoint_lsn = lsn
+            except Exception:  # noqa: BLE001 - any unreadable generation
+                report.skipped_checkpoints.append(path.name)
+                # Quarantine: an unreadable generation must not count
+                # toward CHECKPOINT_KEEP, or the next prune would keep
+                # it and delete the readable fallback instead.
+                try:
+                    path.rename(path.with_name(path.name + ".corrupt"))
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+
+        if database is None:
+            database = cls(name or directory.name)
+        if name is not None:
+            database.name = name
+
+        wal = WriteAheadLog(
+            directory / "wal.log", fsync=fsync, fsync_interval=fsync_interval
+        )
+        wal.ensure_sequence_at_least(checkpoint_lsn)
+        report.torn_tail = wal.torn_tail
+        report.repaired_bytes = wal.repaired_bytes
+        committed = wal.records()
+        pending = [record for record in committed if record.lsn > checkpoint_lsn]
+        report.records_replayed = len(pending)
+        report.changes_applied = wal.apply_records(database, pending)
+
+        database._directory = directory
+        database._checkpoint_index = max_index
+        database._covered_lsn = checkpoint_lsn
+        database.attach_wal(wal)
+        database.recovery = report
+        return database
+
+    @property
+    def directory(self) -> Path | None:
+        """The managed durability directory, or None when in-memory."""
+        return self._directory
+
+    def close(self) -> None:
+        """Flush and close the attached WAL (idempotent).  The
+        in-memory state stays usable, but is no longer journaled."""
+        wal = self.detach_wal()
+        if wal is not None:
+            wal.close()
 
     # ------------------------------------------------------------------
     # DDL
     # ------------------------------------------------------------------
 
     def create_table(self, name: str, schema: Schema) -> Table:
-        if name in self._tables:
-            raise TransactionError(f"table {name!r} already exists")
-        table = Table(name, schema)
-        table.add_listener(self._on_change)
-        self._tables[name] = table
-        return table
+        self._reject_ddl_in_transaction("create_table")
+        # the txn mutex serializes DDL with checkpoint/to_snapshot/
+        # read_view, which iterate the table registry under it
+        with self._txn_mutex:
+            if name in self._tables:
+                raise TransactionError(f"table {name!r} already exists")
+            table = Table(name, schema)
+            table.add_listener(self._on_change)
+            table.set_ddl_listener(self._on_table_ddl)
+            table.set_view_barrier(self._view_barrier)
+            table.set_write_barrier(self._write_barrier)
+            self._tables[name] = table
+            self._log_ddl(
+                {"op": "create_table", "table": name, "schema": schema.to_dict()}
+            )
+            return table
 
     def drop_table(self, name: str) -> None:
-        if name not in self._tables:
-            raise UnknownTableError(f"no table {name!r} to drop")
-        # schema change: queries holding the table object must replan
-        self._tables[name].plan_cache.bump()
-        del self._tables[name]
+        self._reject_ddl_in_transaction("drop_table")
+        with self._txn_mutex:
+            if name not in self._tables:
+                raise UnknownTableError(f"no table {name!r} to drop")
+            # schema change: queries holding the table object must replan
+            self._tables[name].plan_cache.bump()
+            del self._tables[name]
+            self._log_ddl({"op": "drop_table", "table": name})
+
+    def _reject_ddl_in_transaction(self, op: str) -> None:
+        """Table DDL autocommits its own WAL record, so inside an open
+        transaction it would journal *before* (and apply independently
+        of) the transaction's commit record — a committed log that
+        replays out of order, and an undo log that cannot restore a
+        dropped table.  Forbid it, like classic embedded engines."""
+        if self._transaction is not None and self._txn_owner == threading.get_ident():
+            raise TransactionError(
+                f"{op} inside a transaction is not supported; commit or "
+                "roll back first"
+            )
 
     def table(self, name: str) -> Table:
-        if name not in self._tables:
+        table = self._tables.get(name)
+        if table is None:
             raise UnknownTableError(
                 f"unknown table {name!r}; have {sorted(self._tables)}"
             )
-        return self._tables[name]
+        return table
 
     def has_table(self, name: str) -> bool:
         return name in self._tables
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)
+
+    def _on_table_ddl(self, op: str, table_name: str, column: str, kind: str | None) -> None:
+        ddl: dict[str, Any] = {"op": op, "table": table_name, "column": column}
+        if kind is not None:
+            ddl["kind"] = kind
+        self._log_ddl(ddl)
+
+    def _log_ddl(self, ddl: dict[str, Any]) -> None:
+        if self._wal is None or self._recovering or self._wal_suppressed:
+            return
+        self._wal.log_ddl(ddl)
+
+    def _apply_ddl(self, ddl: dict[str, Any]) -> None:
+        """Apply one replayed DDL record (idempotent: recovery may see
+        DDL that a later checkpoint already materialized)."""
+        op = ddl["op"]
+        name = ddl["table"]
+        if op == "create_table":
+            if not self.has_table(name):
+                self.create_table(name, Schema.from_dict(ddl["schema"]))
+        elif op == "drop_table":
+            if self.has_table(name):
+                self.drop_table(name)
+        elif op == "create_index":
+            if self.has_table(name):
+                self.table(name).create_index(ddl["column"], kind=ddl.get("kind", "hash"))
+        elif op == "drop_index":
+            table = self._tables.get(name)
+            if table is not None and ddl["column"] in table.index_columns():
+                table.drop_index(ddl["column"])
+        else:
+            raise TransactionError(f"unknown DDL op {op!r} in WAL record")
 
     # ------------------------------------------------------------------
     # transactions
@@ -74,26 +311,75 @@ class Database:
         return self._transaction is not None
 
     def _begin_transaction(self, transaction: Transaction) -> None:
-        if self._transaction is not None:
+        if (
+            self._transaction is not None
+            and self._txn_owner == threading.get_ident()
+        ):
             raise TransactionError(
                 f"database {self.name!r}: nested transactions are not supported"
             )
+        # Another thread's transaction: block until it finishes
+        # (single-writer discipline), instead of raising.
+        self._txn_mutex.acquire()
         self._transaction = transaction
+        self._txn_owner = threading.get_ident()
 
     def _end_transaction(self, transaction: Transaction) -> None:
         if self._transaction is not transaction:
             raise TransactionError("ending a transaction that is not active")
         self._transaction = None
+        self._txn_owner = None
+        self._txn_mutex.release()
 
     # ------------------------------------------------------------------
     # change routing (undo log + WAL)
     # ------------------------------------------------------------------
 
+    @property
+    def _wal_suppressed(self) -> bool:
+        return getattr(self._local, "suppress_wal", False)
+
+    @contextmanager
+    def _no_wal(self) -> Iterator[None]:
+        """Suppress journaling on this thread (rollback inverses must
+        never reach the log — they compensate changes that were never
+        journaled)."""
+        previous = getattr(self._local, "suppress_wal", False)
+        self._local.suppress_wal = True
+        try:
+            yield
+        finally:
+            self._local.suppress_wal = previous
+
     def _on_change(self, event: ChangeEvent) -> None:
-        if self._transaction is not None:
-            self._transaction._observe(event)
-        if self._wal is not None:
-            self._wal.append(event)
+        transaction = self._transaction
+        if transaction is not None and self._txn_owner == threading.get_ident():
+            transaction._observe(event)
+            return
+        if self._wal is not None and not self._recovering and not self._wal_suppressed:
+            # Autocommit: one single-change commit record.  If the log
+            # rejects it, compensate the already-applied change so the
+            # caller's exception means what it says — memory and log
+            # must agree that the change did not happen.
+            try:
+                self._wal.commit_transaction([event])
+            except Exception:
+                op, table_name, pk, before, _after = event
+                inverse, row = {
+                    "insert": ("delete", None),
+                    "update": ("update", before),
+                    "delete": ("insert", before),
+                }[op]
+                with self._no_wal():
+                    self.table(table_name).apply(inverse, pk, row)
+                raise
+
+    def _log_commit(self, changes: list[ChangeEvent]) -> None:
+        """Journal one committed transaction as a single commit-scoped
+        record (called by Transaction.commit while still serialized)."""
+        if self._wal is None or self._recovering or not changes:
+            return
+        self._wal.commit_transaction(changes)
 
     # ------------------------------------------------------------------
     # WAL
@@ -102,9 +388,9 @@ class Database:
     def attach_wal(self, wal: WriteAheadLog) -> None:
         """Start journaling committed changes to ``wal``.
 
-        Note: changes rolled back by a transaction are journaled along
-        with their inverse applications, so replay reproduces the same
-        final state (physical logging).
+        Logging is commit-scoped: a transaction becomes one record at
+        commit time, an aborted transaction never touches the log, and
+        autocommit changes become single-change records.
         """
         self._wal = wal
 
@@ -116,12 +402,141 @@ class Database:
     def wal(self) -> WriteAheadLog | None:
         return self._wal
 
-    def checkpoint(self) -> dict[str, Any]:
-        """Snapshot the database and truncate the WAL (if attached)."""
-        snapshot = self.to_snapshot()
-        if self._wal is not None:
-            self._wal.truncate()
-        return snapshot
+    def checkpoint(self, path: str | Path | None = None) -> dict[str, Any]:
+        """Snapshot the database durably, then prune the covered log.
+
+        In a managed directory the snapshot is written atomically to
+        ``checkpoint-NNNNNN.json`` (temp file + ``os.replace``) and the
+        WAL is pruned **only after the rename lands** — a crash between
+        the two steps leaves the previous checkpoint plus the full log,
+        which recovery handles (replay is idempotent).  Pruning keeps
+        every record above the *previous* generation's ``wal_lsn``, so
+        if the newest checkpoint file is ever unreadable, recovery
+        falls back to the older generation and replays forward without
+        losing a single committed record (matching ``CHECKPOINT_KEEP``
+        retained generations).  With an explicit ``path`` the same
+        persist-then-prune order is used via :func:`save_database`.
+        With neither, the snapshot is returned and the WAL is left
+        untouched — the caller persists on its own and prunes
+        explicitly (``wal.truncate()`` / ``checkpoint(path=...)``) once
+        the snapshot is safe.
+
+        Serializes against transactions so the snapshot sits at a
+        commit boundary.
+        """
+        if self._transaction is not None and self._txn_owner == threading.get_ident():
+            raise TransactionError("checkpoint inside a transaction is not allowed")
+        if self._directory is not None:
+            if self._wal is None:
+                # After close() the WAL sequence is unknown; a snapshot
+                # stamped wal_lsn=0 would make recovery replay the full
+                # retained log *over* it and regress the state.
+                raise TransactionError(
+                    f"database {self.name!r}: checkpoint on a closed durable "
+                    "database (reopen with Database.open first)"
+                )
+            if path is not None:
+                raise TransactionError(
+                    "checkpoint(path=...) conflicts with a managed durability "
+                    "directory; use save_database for side exports"
+                )
+        self._txn_mutex.acquire()
+        try:
+            wal = self._wal
+            # Read the LSN *before* snapshotting: every record at or
+            # below it was applied before the snapshot began, so the
+            # snapshot covers it; later records survive the truncation.
+            covered_lsn = wal.sequence if wal is not None else 0
+            snapshot = self.to_snapshot()
+            if self._directory is not None:
+                from .persist import write_text_atomic
+
+                payload = dict(snapshot)
+                payload["wal_lsn"] = covered_lsn
+                index = self._checkpoint_index + 1
+                target = self._directory / f"checkpoint-{index:06d}.json"
+                write_text_atomic(
+                    target, json.dumps(payload, sort_keys=True)
+                )
+                self._checkpoint_index = index
+                self.last_checkpoint_path = target
+                if wal is not None:
+                    # keep the suffix the previous (still-retained)
+                    # generation would need, so falling back to it is
+                    # never lossy
+                    wal.truncate_through(self._covered_lsn)
+                self._covered_lsn = covered_lsn
+                self._prune_checkpoints()
+            elif path is not None:
+                from .persist import save_database
+
+                save_database(self, path)
+                if wal is not None:
+                    wal.truncate_through(covered_lsn)
+            # With neither directory nor path, nothing durable covers
+            # the log yet — the caller persists the returned snapshot —
+            # so the WAL is left untouched (persist-then-prune order
+            # holds everywhere; prune explicitly via wal.truncate() or
+            # checkpoint(path=...) once the snapshot is safe).
+            return snapshot
+        finally:
+            self._txn_mutex.release()
+
+    def _prune_checkpoints(self) -> None:
+        if self._directory is None:
+            return
+        paths = sorted(self._directory.glob("checkpoint-*.json"))
+        for stale in paths[:-CHECKPOINT_KEEP]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+
+    # ------------------------------------------------------------------
+    # snapshot-isolated reads
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _view_barrier(self) -> Iterator[None]:
+        """Hold the transaction slot while a view is captured, so the
+        capture sits at a commit boundary.  The owner of an active
+        transaction passes through (it sees its own writes)."""
+        if self._transaction is not None and self._txn_owner == threading.get_ident():
+            yield
+            return
+        with self._txn_mutex:
+            yield
+
+    @contextmanager
+    def _write_barrier(self) -> Iterator[None]:
+        """Serialize autocommit mutations with transactions.
+
+        Taken by every table mutation *before* the table's write lock
+        (transaction owners re-enter the RLock), so an autocommit write
+        from another thread cannot interleave with an open transaction
+        — whose rollback would otherwise replay stale before-images
+        over the autocommitted (and already journaled) change.  Lock
+        order is always transaction mutex → table lock.
+        """
+        with self._txn_mutex:
+            yield
+
+    def read_view(self) -> "DatabaseView":
+        """A consistent copy-on-write view of every table.
+
+        Captured at a transaction boundary (blocks briefly if another
+        thread's transaction is mid-flight), so a long scan or a
+        planned join over the view is never torn by concurrent
+        writers.  Cheap: no rows are copied until a writer actually
+        mutates a viewed table.
+        """
+        from .views import DatabaseView
+
+        with self._view_barrier():
+            return DatabaseView(
+                self.name,
+                {name: table.read_view() for name, table in self._tables.items()},
+            )
 
     # ------------------------------------------------------------------
     # snapshots
@@ -177,4 +592,5 @@ class Database:
             table.verify_indexes()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Database({self.name!r}, tables={self.table_names()})"
+        where = f", dir={str(self._directory)!r}" if self._directory else ""
+        return f"Database({self.name!r}, tables={self.table_names()}{where})"

@@ -1,0 +1,88 @@
+"""Reader-writer locking for the embedded store.
+
+The store follows a single-writer / multi-reader discipline: writers
+(row mutations, DDL) serialize on the write side of an :class:`RWLock`,
+while readers either run lock-free against copy-on-write snapshots
+(:mod:`repro.store.views`) or take the read side for short capture
+windows.  The lock is writer-reentrant so a mutation path that fans out
+into helper mutations (``Query.update_rows`` looping ``Table.update``,
+undo-log rollback replaying ``Table.apply``) never self-deadlocks.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """A reentrant-writer readers-writer lock.
+
+    * Any number of threads may hold the read side concurrently.
+    * The write side is exclusive against readers and other writers.
+    * The writing thread may re-acquire the write side (reentrant) and
+      may also take the read side while writing (downgrade-free reads).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None
+        self._writer_depth = 0
+
+    # ------------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            while self._writer is not None and self._writer != me:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            while self._writer is not None or self._readers > 0:
+                self._cond.wait()
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RWLock(readers={self._readers}, writer={self._writer})"

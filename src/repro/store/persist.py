@@ -1,30 +1,61 @@
-"""Persistence helpers: save/load database snapshots, CSV export."""
+"""Persistence helpers: atomic snapshot save/load, CSV export.
+
+Snapshot writes are **atomic**: the payload goes to a temp file in the
+target directory, is fsynced, and is moved over the destination with
+``os.replace`` (plus a best-effort directory fsync).  A crash mid-save
+therefore leaves the previous snapshot intact instead of a truncated
+half-written file — which is what makes persist-then-truncate
+checkpointing safe (see ``Database.checkpoint``).
+"""
 
 from __future__ import annotations
 
 import csv
 import gzip
 import json
+import os
 from pathlib import Path
 from typing import Any
 
 from .database import Database
 from .errors import StoreError
+from .wal import fsync_directory as _fsync_directory
 
-__all__ = ["save_database", "load_database", "export_table_csv"]
+__all__ = [
+    "save_database",
+    "load_database",
+    "export_table_csv",
+    "write_text_atomic",
+    "write_bytes_atomic",
+]
+
+
+def write_bytes_atomic(path: str | Path, payload: bytes) -> Path:
+    """Write ``payload`` to ``path`` atomically (temp + ``os.replace``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)
+    return path
+
+
+def write_text_atomic(path: str | Path, payload: str) -> Path:
+    return write_bytes_atomic(path, payload.encode("utf-8"))
 
 
 def save_database(database: Database, path: str | Path) -> Path:
-    """Write a full snapshot as JSON (gzip if the suffix is ``.gz``)."""
+    """Write a full snapshot as JSON (gzip if the suffix is ``.gz``),
+    atomically."""
     path = Path(path)
     payload = json.dumps(database.to_snapshot(), sort_keys=True)
-    path.parent.mkdir(parents=True, exist_ok=True)
     if path.suffix == ".gz":
-        with gzip.open(path, "wt", encoding="utf-8") as handle:
-            handle.write(payload)
-    else:
-        path.write_text(payload, encoding="utf-8")
-    return path
+        return write_bytes_atomic(path, gzip.compress(payload.encode("utf-8")))
+    return write_text_atomic(path, payload)
 
 
 def load_database(path: str | Path) -> Database:

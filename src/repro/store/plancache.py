@@ -46,6 +46,7 @@ uncacheable shapes, e.g. user-defined predicate classes).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Hashable
@@ -77,6 +78,9 @@ class PlanCache:
     def __init__(self, max_entries: int = _MAX_ENTRIES) -> None:
         self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
         self._max_entries = max_entries
+        # lookups mutate LRU order, so even "reads" need the mutex;
+        # concurrent sessions share one cache per table
+        self._mutex = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -94,27 +98,29 @@ class PlanCache:
         """
         if not self.enabled:
             return None
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        larger = max(entry.row_count, row_count)
-        smaller = max(min(entry.row_count, row_count), 4)
-        if larger > DRIFT_FACTOR * smaller:
-            del self._entries[key]
-            self.invalidations += 1
-            return None
-        self._entries.move_to_end(key)
-        return entry
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            larger = max(entry.row_count, row_count)
+            smaller = max(min(entry.row_count, row_count), 4)
+            if larger > DRIFT_FACTOR * smaller:
+                del self._entries[key]
+                self.invalidations += 1
+                return None
+            self._entries.move_to_end(key)
+            return entry
 
     def store(
         self, key: Hashable, plan: "Plan", predicate: "Predicate", row_count: int
     ) -> None:
         if not self.enabled:
             return
-        self._entries[key] = _Entry(plan, predicate, row_count)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
+        with self._mutex:
+            self._entries[key] = _Entry(plan, predicate, row_count)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
 
     def record_hit(self) -> None:
         self.hits += 1
@@ -127,16 +133,18 @@ class PlanCache:
     def bump(self) -> None:
         """Hard invalidation: the table's access paths changed (index
         created or dropped, schema change)."""
-        if self._entries:
-            self.invalidations += 1
-        self._entries.clear()
+        with self._mutex:
+            if self._entries:
+                self.invalidations += 1
+            self._entries.clear()
 
     def clear(self) -> None:
         """Drop all entries and reset statistics (benchmarks, tests)."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
+        with self._mutex:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.invalidations = 0
 
     # ------------------------------------------------------------------
 

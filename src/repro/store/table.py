@@ -1,7 +1,18 @@
-"""In-memory table with primary key, unique constraints and indexes."""
+"""In-memory table with primary key, constraints, indexes and
+copy-on-write snapshot views.
+
+Concurrency: mutations take the table's write lock (reentrant for one
+writer), so the single-writer path is fully serialized per table.
+Plain reads stay lock-free — they capture the row mapping atomically —
+while :meth:`read_view` returns a frozen snapshot under the read lock:
+the next mutation copies the row mapping instead of mutating it in
+place, so the view observes a stable version forever.  Every mutation
+bumps :attr:`version`, which views use to report staleness.
+"""
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator
 
 from .errors import (
@@ -12,6 +23,7 @@ from .errors import (
     UnknownColumnError,
 )
 from .index import HashIndex, SortedIndex
+from .locking import RWLock
 from .plancache import PlanCache
 from .schema import Schema
 from .types import DataType
@@ -21,6 +33,8 @@ __all__ = ["Table", "ChangeEvent"]
 # (op, table_name, pk, before_row, after_row); rows are copies.
 ChangeEvent = tuple[str, str, Any, dict | None, dict | None]
 ChangeListener = Callable[[ChangeEvent], None]
+# (op, table_name, column, kind-or-None) for index DDL journaling.
+DdlListener = Callable[[str, str, str, str | None], None]
 
 
 class Table:
@@ -28,7 +42,10 @@ class Table:
 
     Rows are stored and returned as plain dicts; all public accessors
     return *copies* so callers cannot corrupt table state by mutating
-    results (JSON column values are shallow-copied).
+    results (JSON column values are shallow-copied).  Row dicts are
+    never mutated in place — updates bind a fresh merged dict — which
+    is what makes the copy-on-write views cheap (one shallow mapping
+    copy per viewed version, no per-row copies).
     """
 
     def __init__(self, name: str, schema: Schema) -> None:
@@ -40,7 +57,16 @@ class Table:
         self._indexes: dict[str, HashIndex | SortedIndex] = {}
         self.plan_cache = PlanCache()
         self._listeners: list[ChangeListener] = []
+        self._ddl_listener: DdlListener | None = None
+        self._view_barrier: Callable[[], Any] | None = None
+        self._write_barrier: Callable[[], Any] | None = None
         self._autoincrement = 1
+        self._lock = RWLock()
+        #: bumped on every mutation; read views record it at capture
+        self.version = 0
+        #: True while at least one read view may share ``_rows``; the
+        #: next mutation copies the mapping first (copy-on-write)
+        self._rows_shared = False
         pk_column = schema.column(schema.primary_key)
         self._auto_pk = pk_column.dtype is DataType.INT
         for unique_column in schema.unique_columns():
@@ -56,9 +82,69 @@ class Table:
     def remove_listener(self, listener: ChangeListener) -> None:
         self._listeners.remove(listener)
 
+    def set_ddl_listener(self, listener: DdlListener | None) -> None:
+        """Register the database's index-DDL journaling hook."""
+        self._ddl_listener = listener
+
+    def set_view_barrier(self, barrier: Callable[[], Any] | None) -> None:
+        """Register a context-manager factory that view capture runs
+        under (the database's transaction boundary, so views never
+        observe a half-applied transaction)."""
+        self._view_barrier = barrier
+
+    def set_write_barrier(self, barrier: Callable[[], Any] | None) -> None:
+        """Register a context-manager factory that every mutation runs
+        under (the database's transaction mutex, so autocommit writes
+        serialize with open transactions instead of interleaving)."""
+        self._write_barrier = barrier
+
+    @contextmanager
+    def _write_locked(self) -> Iterator[None]:
+        """The full mutation envelope: write barrier (if any), then the
+        table's write lock — lock order is fixed database-wide."""
+        if self._write_barrier is not None:
+            with self._write_barrier():
+                with self._lock.write_locked():
+                    yield
+            return
+        with self._lock.write_locked():
+            yield
+
     def _emit(self, event: ChangeEvent) -> None:
         for listener in self._listeners:
             listener(event)
+
+    # ------------------------------------------------------------------
+    # snapshot views (copy-on-write)
+    # ------------------------------------------------------------------
+
+    def read_view(self):
+        """A frozen, consistent view of this table (see ReadView).
+
+        O(1): marks the current row mapping as shared; the next writer
+        copies it instead of mutating in place.  For a table owned by a
+        database, capture waits for any in-flight transaction to finish
+        (the view barrier), so a view never observes a half-applied
+        transaction.
+        """
+        from .views import ReadView
+
+        if self._view_barrier is not None:
+            with self._view_barrier():
+                with self._lock.read_locked():
+                    self._rows_shared = True
+                    return ReadView(self, self._rows, self.version)
+        with self._lock.read_locked():
+            self._rows_shared = True
+            return ReadView(self, self._rows, self.version)
+
+    def _prepare_write(self) -> None:
+        """Copy-on-write barrier: called under the write lock before
+        every mutation; detaches live read views from the mapping."""
+        self.version += 1
+        if self._rows_shared:
+            self._rows = dict(self._rows)
+            self._rows_shared = False
 
     # ------------------------------------------------------------------
     # CRUD
@@ -70,32 +156,37 @@ class Table:
         If the primary key is an INT column and absent from ``row``, an
         autoincrement value is assigned.
         """
-        pk_name = self.schema.primary_key
-        working = dict(row)
-        if pk_name not in working or working[pk_name] is None:
-            if not self._auto_pk:
-                raise ConstraintError(
-                    f"table {self.name!r}: TEXT primary key {pk_name!r} must be provided"
+        with self._write_locked():
+            pk_name = self.schema.primary_key
+            working = dict(row)
+            if pk_name not in working or working[pk_name] is None:
+                if not self._auto_pk:
+                    raise ConstraintError(
+                        f"table {self.name!r}: TEXT primary key {pk_name!r} must be provided"
+                    )
+                working[pk_name] = self._autoincrement
+            coerced = self.schema.coerce_row(working)
+            pk = coerced[pk_name]
+            if pk in self._rows:
+                raise DuplicateKeyError(
+                    f"table {self.name!r}: duplicate primary key {pk!r}"
                 )
-            working[pk_name] = self._autoincrement
-        coerced = self.schema.coerce_row(working)
-        pk = coerced[pk_name]
-        if pk in self._rows:
-            raise DuplicateKeyError(
-                f"table {self.name!r}: duplicate primary key {pk!r}"
-            )
-        self._check_unique(coerced, exclude_pk=None)
-        self._rows[pk] = coerced
-        self._index_add(coerced, pk)
-        if self._auto_pk and isinstance(pk, int):
-            self._autoincrement = max(self._autoincrement, pk + 1)
-        self._emit(("insert", self.name, pk, None, dict(coerced)))
-        return pk
+            self._check_unique(coerced, exclude_pk=None)
+            self._prepare_write()
+            self._rows[pk] = coerced
+            self._index_add(coerced, pk)
+            if self._auto_pk and isinstance(pk, int):
+                self._autoincrement = max(self._autoincrement, pk + 1)
+            self._emit(("insert", self.name, pk, None, dict(coerced)))
+            return pk
 
     def get(self, pk: Any) -> dict[str, Any]:
-        if pk not in self._rows:
+        # single-step read: a membership check followed by a subscript
+        # could race a concurrent delete into a raw KeyError
+        row = self._rows.get(pk)
+        if row is None:
             raise RowNotFoundError(f"table {self.name!r}: no row with pk {pk!r}")
-        return dict(self._rows[pk])
+        return dict(row)
 
     def get_or_none(self, pk: Any) -> dict[str, Any] | None:
         row = self._rows.get(pk)
@@ -106,42 +197,46 @@ class Table:
 
     def update(self, pk: Any, changes: dict[str, Any]) -> dict[str, Any]:
         """Apply ``changes`` to the row at ``pk``; returns the new row."""
-        if pk not in self._rows:
-            raise RowNotFoundError(f"table {self.name!r}: no row with pk {pk!r}")
-        if self.schema.primary_key in changes:
-            new_pk = changes[self.schema.primary_key]
-            if new_pk != pk:
-                raise ConstraintError(
-                    f"table {self.name!r}: primary key is immutable "
-                    f"({pk!r} -> {new_pk!r})"
-                )
-        coerced_changes = self.schema.coerce_row(changes, partial=True)
-        before = self._rows[pk]
-        after = {**before, **coerced_changes}
-        self._check_unique(after, exclude_pk=pk)
-        self._index_remove(before, pk)
-        self._rows[pk] = after
-        self._index_add(after, pk)
-        self._emit(("update", self.name, pk, dict(before), dict(after)))
-        return dict(after)
+        with self._write_locked():
+            if pk not in self._rows:
+                raise RowNotFoundError(f"table {self.name!r}: no row with pk {pk!r}")
+            if self.schema.primary_key in changes:
+                new_pk = changes[self.schema.primary_key]
+                if new_pk != pk:
+                    raise ConstraintError(
+                        f"table {self.name!r}: primary key is immutable "
+                        f"({pk!r} -> {new_pk!r})"
+                    )
+            coerced_changes = self.schema.coerce_row(changes, partial=True)
+            before = self._rows[pk]
+            after = {**before, **coerced_changes}
+            self._check_unique(after, exclude_pk=pk)
+            self._prepare_write()
+            self._rows[pk] = after
+            self._index_update(before, after, pk)
+            self._emit(("update", self.name, pk, dict(before), dict(after)))
+            return dict(after)
 
     def delete(self, pk: Any) -> dict[str, Any]:
         """Delete and return the row at ``pk``."""
-        if pk not in self._rows:
-            raise RowNotFoundError(f"table {self.name!r}: no row with pk {pk!r}")
-        before = self._rows.pop(pk)
-        self._index_remove(before, pk)
-        self._emit(("delete", self.name, pk, dict(before), None))
-        return dict(before)
+        with self._write_locked():
+            if pk not in self._rows:
+                raise RowNotFoundError(f"table {self.name!r}: no row with pk {pk!r}")
+            self._prepare_write()
+            before = self._rows.pop(pk)
+            self._index_remove(before, pk)
+            self._emit(("delete", self.name, pk, dict(before), None))
+            return dict(before)
 
     def upsert(self, row: dict[str, Any]) -> Any:
         """Insert, or update if the primary key already exists."""
-        pk_name = self.schema.primary_key
-        pk = row.get(pk_name)
-        if pk is not None and pk in self._rows:
-            self.update(pk, {k: v for k, v in row.items() if k != pk_name})
-            return pk
-        return self.insert(row)
+        with self._write_locked():
+            pk_name = self.schema.primary_key
+            pk = row.get(pk_name)
+            if pk is not None and pk in self._rows:
+                self.update(pk, {k: v for k, v in row.items() if k != pk_name})
+                return pk
+            return self.insert(row)
 
     # ------------------------------------------------------------------
     # low-level apply (used by undo/WAL replay; bypasses autoincrement
@@ -156,41 +251,44 @@ class Table:
         and by WAL replay/snapshot loading (which run on databases with
         no WAL attached).
         """
-        if op == "insert":
-            if row is None:
-                raise ConstraintError("apply(insert) needs a row")
-            restored = self.schema.coerce_row(row)
-            if pk in self._rows:
-                raise DuplicateKeyError(
-                    f"table {self.name!r}: apply(insert) duplicate pk {pk!r}"
-                )
-            self._rows[pk] = restored
-            self._index_add(restored, pk)
-            if self._auto_pk and isinstance(pk, int):
-                self._autoincrement = max(self._autoincrement, pk + 1)
-            self._emit(("insert", self.name, pk, None, dict(restored)))
-            return
-        if op == "update":
-            if row is None:
-                raise ConstraintError("apply(update) needs a row")
-            before = self._rows.get(pk)
-            if before is None:
-                raise RowNotFoundError(
-                    f"table {self.name!r}: apply(update) missing pk {pk!r}"
-                )
-            restored = self.schema.coerce_row(row)
-            self._index_remove(before, pk)
-            self._rows[pk] = restored
-            self._index_add(restored, pk)
-            self._emit(("update", self.name, pk, dict(before), dict(restored)))
-            return
-        if op == "delete":
-            before = self._rows.pop(pk, None)
-            if before is not None:
-                self._index_remove(before, pk)
-                self._emit(("delete", self.name, pk, dict(before), None))
-            return
-        raise ConstraintError(f"unknown apply op {op!r}")
+        with self._write_locked():
+            if op == "insert":
+                if row is None:
+                    raise ConstraintError("apply(insert) needs a row")
+                restored = self.schema.coerce_row(row)
+                if pk in self._rows:
+                    raise DuplicateKeyError(
+                        f"table {self.name!r}: apply(insert) duplicate pk {pk!r}"
+                    )
+                self._prepare_write()
+                self._rows[pk] = restored
+                self._index_add(restored, pk)
+                if self._auto_pk and isinstance(pk, int):
+                    self._autoincrement = max(self._autoincrement, pk + 1)
+                self._emit(("insert", self.name, pk, None, dict(restored)))
+                return
+            if op == "update":
+                if row is None:
+                    raise ConstraintError("apply(update) needs a row")
+                before = self._rows.get(pk)
+                if before is None:
+                    raise RowNotFoundError(
+                        f"table {self.name!r}: apply(update) missing pk {pk!r}"
+                    )
+                restored = self.schema.coerce_row(row)
+                self._prepare_write()
+                self._rows[pk] = restored
+                self._index_update(before, restored, pk)
+                self._emit(("update", self.name, pk, dict(before), dict(restored)))
+                return
+            if op == "delete":
+                if pk in self._rows:
+                    self._prepare_write()
+                    before = self._rows.pop(pk)
+                    self._index_remove(before, pk)
+                    self._emit(("delete", self.name, pk, dict(before), None))
+                return
+            raise ConstraintError(f"unknown apply op {op!r}")
 
     # ------------------------------------------------------------------
     # scanning / indexes
@@ -221,12 +319,18 @@ class Table:
             index = SortedIndex(column)
         else:
             raise SchemaError(f"unknown index kind {kind!r} (use 'hash' or 'sorted')")
-        for pk, row in self._rows.items():
-            index.add(row[column], pk)
-        self._indexes[column] = index
-        # new access path: compiled plans may now be suboptimal or hold
-        # a stale index object for this column
-        self.plan_cache.bump()
+        with self._write_locked():
+            for pk, row in self._rows.items():
+                index.add(row[column], pk)
+            self._indexes[column] = index
+            # new access path: compiled plans may now be suboptimal or hold
+            # a stale index object for this column
+            self.plan_cache.bump()
+            # journal inside the lock: WAL DDL order must match applied
+            # order, and a crash window between apply and journal would
+            # lose the index on recovery
+            if self._ddl_listener is not None:
+                self._ddl_listener("create_index", self.name, column, kind)
 
     def drop_index(self, column: str) -> None:
         """Drop the secondary index over ``column``.
@@ -242,9 +346,12 @@ class Table:
                 f"table {self.name!r}: index on UNIQUE column {column!r} "
                 "enforces the constraint and cannot be dropped"
             )
-        del self._indexes[column]
-        # compiled plans may reference the dropped index
-        self.plan_cache.bump()
+        with self._write_locked():
+            del self._indexes[column]
+            # compiled plans may reference the dropped index
+            self.plan_cache.bump()
+            if self._ddl_listener is not None:
+                self._ddl_listener("drop_index", self.name, column, None)
 
     def index_for(self, column: str) -> HashIndex | SortedIndex | None:
         return self._indexes.get(column)
@@ -295,11 +402,32 @@ class Table:
         for column_name, index in self._indexes.items():
             index.remove(row[column_name], pk)
 
+    def _index_update(self, before: dict[str, Any], after: dict[str, Any], pk: Any) -> None:
+        """Re-index one updated row, touching only columns whose value
+        actually changed — and adding to the new bucket *before*
+        removing from the old one.  A lock-free concurrent reader then
+        finds the pk in at least one bucket at every instant; the old
+        remove-everything-then-re-add order had a window where a row
+        vanished from every index even when the indexed column was
+        untouched by the update.
+        """
+        for column_name, index in self._indexes.items():
+            old_value = before[column_name]
+            new_value = after[column_name]
+            if old_value is new_value or old_value == new_value:
+                continue
+            index.add(new_value, pk)
+            index.remove(old_value, pk)
+
     def verify_indexes(self) -> None:
         """Assert that every index exactly mirrors the row data.
 
         Used by tests and by WAL recovery self-checks.
         """
+        with self._lock.read_locked():
+            self._verify_indexes_locked()
+
+    def _verify_indexes_locked(self) -> None:
         for column_name, index in self._indexes.items():
             expected: dict[Any, set[Any]] = {}
             for pk, row in self._rows.items():

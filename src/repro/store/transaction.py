@@ -1,8 +1,18 @@
-"""Transactions: undo-log based atomicity for the embedded store.
+"""Transactions: undo-log atomicity + commit-scoped redo logging.
 
-A transaction records the inverse of every change while it is active;
-``rollback()`` replays the inverses in reverse order.  Transactions are
-flat (no nesting) per database, mirroring classic autocommit engines.
+A transaction records two things per change while it is active:
+
+* the **inverse** (undo log) — ``rollback()`` replays the inverses in
+  reverse order, purely in memory;
+* the **after-image** (redo buffer) — ``commit()`` hands the whole
+  buffer to the database, which appends **one** commit-scoped record to
+  the write-ahead log.  An aborted transaction therefore leaves zero
+  bytes of net log growth: nothing is journaled until commit.
+
+Transactions are flat (no nesting) and exclusive per database: a
+second thread calling ``begin()`` blocks until the active transaction
+finishes (single-writer discipline); the *same* thread nesting
+transactions is an error, as in classic autocommit engines.
 """
 
 from __future__ import annotations
@@ -52,19 +62,27 @@ class Transaction:
     ...     db.table("projects").insert({...})
     ...     db.table("budgets").update(pk, {...})
 
-    On normal exit the transaction commits; on exception it rolls back
-    and re-raises.  Explicit ``commit()`` / ``rollback()`` also work.
+    On normal exit the transaction commits (journaling one commit-scoped
+    WAL record if a log is attached); on exception it rolls back in
+    memory — the log never sees the aborted changes — and re-raises.
+    Explicit ``commit()`` / ``rollback()`` also work.
     """
 
     def __init__(self, database: "Database") -> None:
         self._database = database
         self._undo = UndoLog()
+        self._changes: list[ChangeEvent] = []
         self._active = False
         self._finished = False
+        self._rolling_back = False
 
     @property
     def active(self) -> bool:
         return self._active
+
+    @property
+    def change_count(self) -> int:
+        return len(self._changes)
 
     def begin(self) -> "Transaction":
         if self._active or self._finished:
@@ -76,22 +94,49 @@ class Transaction:
     def commit(self) -> None:
         if not self._active:
             raise TransactionError("commit without active transaction")
+        try:
+            # Journal before releasing the transaction slot so WAL order
+            # matches the serialization order of committed transactions.
+            self._database._log_commit(self._changes)
+        except Exception:
+            # A commit that cannot reach the log did not happen: undo the
+            # in-memory changes so memory and log agree, then re-raise.
+            self._rollback_in_place()
+            raise
         self._database._end_transaction(self)
         self._active = False
         self._finished = True
+        self._changes.clear()
 
     def rollback(self) -> None:
         if not self._active:
             raise TransactionError("rollback without active transaction")
-        # Stop recording before replaying inverses, so the undo of the
-        # undo is not recorded again.
+        self._rollback_in_place()
+
+    def _rollback_in_place(self) -> None:
+        """Replay the undo log, then release the transaction slot.
+
+        Order matters: the slot (and with it the database's transaction
+        mutex) is released only after memory is fully restored, so a
+        snapshot view or a blocked ``begin()`` on another thread never
+        observes aborted changes mid-undo.  While rolling back,
+        ``_observe`` is a no-op — the undo of the undo is not recorded
+        and never reaches the WAL, so an abort leaves zero bytes of net
+        log growth.
+        """
+        self._rolling_back = True
+        with self._database._no_wal():
+            self._undo.rollback_into(self._database)
         self._database._end_transaction(self)
         self._active = False
         self._finished = True
-        self._undo.rollback_into(self._database)
+        self._changes.clear()
 
     def _observe(self, event: ChangeEvent) -> None:
+        if self._rolling_back:
+            return
         self._undo.record(event)
+        self._changes.append(event)
 
     def __enter__(self) -> "Transaction":
         return self.begin()

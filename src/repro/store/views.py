@@ -1,0 +1,153 @@
+"""Snapshot-isolated read views: frozen, consistent table images.
+
+A :class:`ReadView` is a copy-on-write snapshot of one table: it pins
+the table's row mapping at capture time, and the next writer copies the
+mapping instead of mutating it in place (see ``Table._prepare_write``),
+so every read against the view — point lookups, long scans, aggregates,
+planned joins — observes exactly one version forever.  Capture is O(1);
+nothing is copied unless a writer actually mutates the viewed table.
+
+A view deliberately quacks like a :class:`~repro.store.table.Table`
+with **no secondary indexes**: ``Query(view)`` plans full scans and
+filters over the frozen rows (index structures are mutated in place by
+writers and therefore cannot be shared with a frozen view), and
+``Query(view_a).join(view_b, ...)`` builds hash joins — consistent
+across both sides.  For index-accelerated reads, query the live table;
+for torn-free reads under writer load, query a view.
+
+:class:`DatabaseView` bundles one view per table, captured together at
+a transaction boundary (``Database.read_view``), so cross-table reads
+see a transaction-consistent image.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from .errors import RowNotFoundError, UnknownTableError
+from .plancache import PlanCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .table import Table
+
+__all__ = ["ReadView", "DatabaseView"]
+
+
+def _disabled_plan_cache() -> PlanCache:
+    cache = PlanCache()
+    cache.enabled = False
+    return cache
+
+
+#: Shared no-op cache: view plans are FullScan/Filter trees whose cost
+#: is all in execution, and view predicates would pollute the live
+#: table's shape cache with wrong row counts.
+_VIEW_PLAN_CACHE = _disabled_plan_cache()
+
+
+class ReadView:
+    """A frozen snapshot of one table (snapshot-isolated reads).
+
+    Supports the full read surface of ``Table`` — ``scan``, ``get``,
+    ``rows_for_pks``, ``Query(view)``, ``Query(view).join(...)`` — and
+    raises ``TypeError``-free, loudly, on any mutation attempt (views
+    simply have no mutation methods).
+    """
+
+    def __init__(self, table: "Table", rows: dict[Any, dict[str, Any]], version: int) -> None:
+        self._table = table
+        self._rows = rows  # frozen by copy-on-write; never mutated
+        self.name = table.name
+        self.schema = table.schema
+        #: the table version this view observes
+        self.version = version
+        self.plan_cache = _VIEW_PLAN_CACHE
+
+    # ------------------------------------------------------------------
+    # reads (the Table read surface)
+    # ------------------------------------------------------------------
+
+    def get(self, pk: Any) -> dict[str, Any]:
+        row = self._rows.get(pk)
+        if row is None:
+            raise RowNotFoundError(
+                f"view of {self.name!r}@v{self.version}: no row with pk {pk!r}"
+            )
+        return dict(row)
+
+    def get_or_none(self, pk: Any) -> dict[str, Any] | None:
+        row = self._rows.get(pk)
+        return dict(row) if row is not None else None
+
+    def contains(self, pk: Any) -> bool:
+        return pk in self._rows
+
+    def scan(self) -> Iterator[dict[str, Any]]:
+        """Yield copies of all rows at the view's version."""
+        for row in list(self._rows.values()):
+            yield dict(row)
+
+    def primary_keys(self) -> list[Any]:
+        return list(self._rows)
+
+    def rows_for_pks(self, pks: Iterable[Any]) -> Iterator[dict[str, Any]]:
+        for pk in pks:
+            row = self._rows.get(pk)
+            if row is not None:
+                yield dict(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # ------------------------------------------------------------------
+    # planner surface: a view has no secondary indexes
+    # ------------------------------------------------------------------
+
+    def indexes(self) -> dict[str, Any]:
+        return {}
+
+    def index_for(self, column: str) -> None:
+        return None
+
+    def index_columns(self) -> list[str]:
+        return []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def stale(self) -> bool:
+        """True once the live table has moved past this view's version."""
+        return self._table.version != self.version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReadView({self.name!r}@v{self.version}, rows={len(self._rows)})"
+
+
+class DatabaseView:
+    """One frozen view per table, captured at a transaction boundary."""
+
+    def __init__(self, name: str, views: dict[str, ReadView]) -> None:
+        self.name = name
+        self._views = views
+
+    def table(self, name: str) -> ReadView:
+        view = self._views.get(name)
+        if view is None:
+            raise UnknownTableError(
+                f"view of {self.name!r}: unknown table {name!r}; "
+                f"have {sorted(self._views)}"
+            )
+        return view
+
+    def has_table(self, name: str) -> bool:
+        return name in self._views
+
+    def table_names(self) -> list[str]:
+        return sorted(self._views)
+
+    @property
+    def stale(self) -> bool:
+        return any(view.stale for view in self._views.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DatabaseView({self.name!r}, tables={self.table_names()})"

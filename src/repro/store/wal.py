@@ -1,11 +1,41 @@
-"""Write-ahead log: durable, replayable change journal.
+"""Write-ahead log: commit-scoped logical records with group commit.
 
-Each committed change is appended as one JSON line ``{seq, op, table,
-pk, row}``.  Recovery replays the log into an empty database built from
-a checkpointed schema catalog.  A checkpoint writes the full database
-snapshot and truncates the log.
+The log is a sequence of framed records, one line per **committed
+transaction** (aborted transactions never touch the log)::
 
-This mirrors what the original iTag deployment got from MySQL's
+    <crc32-hex8> {"lsn": 7, "txn": [["insert", "items", 1, {...}], ...]}\\n
+    <crc32-hex8> {"lsn": 8, "ddl": {"op": "create_index", ...}}\\n
+
+* ``lsn`` — log sequence number, strictly increasing, preserved across
+  truncation so checkpoints can name the exact suffix that still needs
+  replay.
+* ``txn`` — the committed change list as ``[op, table, pk, after_row]``
+  entries (full after-images, so replay is idempotent).
+* ``ddl`` — autocommitted schema changes (create/drop table, create/
+  drop index) so recovery can rebuild a database from an empty
+  directory with no separate catalog file.
+* the CRC32 frame plus the trailing newline make torn tails
+  *detectable*: a crash mid-``write`` leaves a record that fails the
+  frame check and is **discarded, not raised** — recovery stops at the
+  last intact record (the committed prefix).
+
+Writes go through a **group-commit pipeline** over one persistent
+buffered append handle: concurrent committers enqueue encoded records
+under the pipeline lock, one leader drains the queue with a single
+``write``+``flush`` (and an ``fsync`` depending on policy), and
+followers return once their record is on disk.  Fsync policies:
+
+* ``always``   — every commit is fsynced before it returns (group
+  fsync: one ``fsync`` covers the whole drained batch).
+* ``interval`` — commits are flushed to the OS on every drain and
+  fsynced when at least ``fsync_interval`` seconds have passed since
+  the last sync (the default).  Note: the fsync piggybacks on later
+  commits (or ``flush``/``sync``/``close``) — an idle tail stays
+  OS-buffered until one of those happens.
+* ``never``    — flush to the OS only; durability is left to the
+  kernel (fastest; used by tests and bulk loads).
+
+This replaces what the original iTag deployment got from MySQL's
 binlog/InnoDB; here it keeps campaign state recoverable across process
 restarts without any server.
 """
@@ -14,8 +44,12 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterable
 
 from .errors import WalError
 from .table import ChangeEvent
@@ -23,105 +57,552 @@ from .table import ChangeEvent
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .database import Database
 
-__all__ = ["WriteAheadLog"]
+__all__ = ["WriteAheadLog", "WalRecord", "FSYNC_POLICIES", "DEFAULT_FSYNC_INTERVAL"]
+
+FSYNC_POLICIES = ("always", "interval", "never")
+DEFAULT_FSYNC_INTERVAL = 0.05
+
+#: (op, table, pk, after_row) — the logical redo entry for one change.
+Change = tuple[str, str, Any, dict | None]
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One committed record: a transaction's change list or a DDL op."""
+
+    lsn: int
+    changes: tuple[Change, ...] = ()
+    ddl: dict[str, Any] | None = None
+
+    @property
+    def is_ddl(self) -> bool:
+        return self.ddl is not None
+
+
+@dataclass
+class _ScanResult:
+    records: list[WalRecord] = field(default_factory=list)
+    valid_bytes: int = 0
+    torn_tail: str | None = None
+    #: True when intact-looking records exist *after* the tear — that is
+    #: interior corruption (a damaged sector mid-log), not a crash-torn
+    #: tail, and must never be silently repaired away
+    data_after_tear: bool = False
+
+
+def _encode_record(lsn: int, *, changes: Iterable[Change] | None, ddl: dict | None) -> bytes:
+    payload: dict[str, Any] = {"lsn": lsn}
+    if ddl is not None:
+        payload["ddl"] = ddl
+    else:
+        payload["txn"] = [list(change) for change in (changes or ())]
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return b"%08x " % crc + body + b"\n"
+
+
+def _decode_line(line: bytes) -> WalRecord:
+    """Parse one framed line; raises ``ValueError`` on any anomaly."""
+    if len(line) < 10 or line[8:9] != b" ":
+        raise ValueError("bad frame header")
+    body = line[9:]
+    if int(line[:8], 16) != (zlib.crc32(body) & 0xFFFFFFFF):
+        raise ValueError("crc mismatch")
+    payload = json.loads(body)
+    lsn = int(payload["lsn"])
+    if "ddl" in payload:
+        return WalRecord(lsn=lsn, ddl=payload["ddl"])
+    changes = tuple(
+        (entry[0], entry[1], entry[2], entry[3]) for entry in payload["txn"]
+    )
+    return WalRecord(lsn=lsn, changes=changes)
+
+
+def _scan_log(raw: bytes) -> _ScanResult:
+    """Tolerant scan: the longest valid record prefix of ``raw``.
+
+    Stops (without raising) at the first torn record — a line that is
+    incomplete, fails its CRC, fails to parse, or breaks LSN
+    monotonicity.  Everything before the tear is the committed prefix.
+    """
+    result = _ScanResult()
+    offset = 0
+    last_lsn = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        if newline == -1:
+            result.torn_tail = "truncated record (no trailing newline)"
+            return result
+        line = raw[offset : newline + 1]
+        try:
+            record = _decode_line(line[:-1])
+        except (ValueError, KeyError, IndexError, TypeError) as exc:
+            result.torn_tail = f"invalid record at byte {offset}: {exc}"
+            result.data_after_tear = _any_intact_record(raw, newline + 1)
+            return result
+        if record.lsn <= last_lsn:
+            result.torn_tail = (
+                f"non-monotonic lsn {record.lsn} after {last_lsn} at byte {offset}"
+            )
+            result.data_after_tear = _any_intact_record(raw, newline + 1)
+            return result
+        last_lsn = record.lsn
+        result.records.append(record)
+        result.valid_bytes = newline + 1
+        offset = newline + 1
+    return result
+
+
+def _any_intact_record(raw: bytes, offset: int) -> bool:
+    """True if any complete line past ``offset`` still decodes as a
+    framed record (monotonicity aside)."""
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        if newline == -1:
+            return False
+        try:
+            _decode_line(raw[offset:newline])
+            return True
+        except (ValueError, KeyError, IndexError, TypeError):
+            offset = newline + 1
+    return False
 
 
 class WriteAheadLog:
-    """Append-only JSON-lines change log bound to one file path."""
+    """Commit-scoped append log bound to one file, with group commit.
 
-    def __init__(self, path: str | Path) -> None:
+    The constructor scans the existing file, repairs a torn tail in
+    place (truncates to the last intact record; set ``repair=False``
+    for read-only inspection), and keeps the append handle open for the
+    log's lifetime — appends never reopen the file.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: str = "interval",
+        fsync_interval: float = DEFAULT_FSYNC_INTERVAL,
+        repair: bool = True,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise WalError(
+                f"unknown fsync policy {fsync!r}; use one of {FSYNC_POLICIES}"
+            )
         self.path = Path(path)
-        self._sequence = 0
-        if self.path.exists():
-            self._sequence = self._scan_last_sequence()
+        self.fsync_policy = fsync
+        self.fsync_interval = float(fsync_interval)
+        self.repaired_bytes = 0
+        self.torn_tail: str | None = None
 
-    def _scan_last_sequence(self) -> int:
-        last = 0
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise WalError(
-                        f"corrupt WAL line {line_number} in {self.path}: {exc}"
-                    ) from exc
-                last = max(last, int(record.get("seq", 0)))
-        return last
+        raw = self.path.read_bytes() if self.path.exists() else b""
+        scan = _scan_log(raw)
+        self.torn_tail = scan.torn_tail
+        if scan.torn_tail is not None and repair:
+            if scan.data_after_tear:
+                # Intact records after the anomaly = interior corruption
+                # (damaged sector), not a crash-torn tail.  Silently
+                # truncating here would destroy every durably-acked
+                # record after the damage — refuse and let an operator
+                # intervene.
+                raise WalError(
+                    f"WAL {self.path} is corrupt mid-log ({scan.torn_tail}) "
+                    "with intact records after the damage; refusing to "
+                    "auto-repair — inspect with repair=False"
+                )
+            with self.path.open("r+b") as handle:
+                handle.truncate(scan.valid_bytes)
+            self.repaired_bytes = len(raw) - scan.valid_bytes
+        self._count = len(scan.records)
+        self._sequence = scan.records[-1].lsn if scan.records else 0
+        # the constructor already decoded the whole file; serve the
+        # first read_committed() from it (recovery reads the log right
+        # after opening) — invalidated by any append or truncation
+        self._scan_cache: tuple[list[WalRecord], str | None] | None = (
+            list(scan.records),
+            scan.torn_tail,
+        )
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("ab")
+        self._closed = False
+
+        # group-commit pipeline state ----------------------------------
+        self._cond = threading.Condition()
+        self._queue: list[bytes] = []
+        self._enqueued = 0
+        self._completed = 0
+        self._writing = False
+        #: sticky leader IO failure: tickets above ``_last_good`` were
+        #: never durably written, and the log refuses further commits
+        self._broken: BaseException | None = None
+        self._last_good = 0
+        self._last_sync = time.monotonic()
+        self.sync_count = 0
+        self.group_commits = 0
+        self.grouped_records = 0
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
 
     @property
     def sequence(self) -> int:
+        """The LSN of the newest committed record (monotonic, survives
+        truncation)."""
         return self._sequence
 
-    def append(self, event: ChangeEvent) -> int:
-        """Append one change; returns its sequence number."""
-        op, table_name, pk, _before, after = event
-        self._sequence += 1
-        record = {
-            "seq": self._sequence,
-            "op": op,
-            "table": table_name,
-            "pk": pk,
-            "row": after,
-        }
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-        return self._sequence
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
-    def records(self) -> list[dict[str, Any]]:
-        """All records in sequence order (validates ordering)."""
-        if not self.path.exists():
-            return []
-        out: list[dict[str, Any]] = []
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
+    def __len__(self) -> int:
+        """Number of committed records in the file (tracked
+        incrementally; never re-reads the log)."""
+        return self._count
+
+    def ensure_sequence_at_least(self, lsn: int) -> None:
+        """Raise the LSN floor (recovery: the checkpoint's ``wal_lsn``
+        must stay below every future record even if the log file is
+        empty)."""
+        with self._cond:
+            self._sequence = max(self._sequence, lsn)
+
+    # ------------------------------------------------------------------
+    # commit path (group commit)
+    # ------------------------------------------------------------------
+
+    def commit_transaction(self, changes: Iterable[ChangeEvent | Change]) -> int:
+        """Append one committed transaction; returns its LSN.
+
+        Accepts full :data:`ChangeEvent` tuples (before-images are
+        dropped — the log is redo-only) or bare ``(op, table, pk,
+        after)`` entries.  Blocks until the record is durable per the
+        fsync policy.
+        """
+        redo: list[Change] = []
+        for entry in changes:
+            if len(entry) == 5:  # ChangeEvent: (op, table, pk, before, after)
+                op, table_name, pk, _before, after = entry
+            else:
+                op, table_name, pk, after = entry
+            redo.append((op, table_name, pk, after))
+        return self._commit(changes=redo, ddl=None)
+
+    def log_ddl(self, ddl: dict[str, Any]) -> int:
+        """Append one autocommitted DDL record; returns its LSN."""
+        return self._commit(changes=None, ddl=ddl)
+
+    def _commit(self, *, changes: list[Change] | None, ddl: dict | None) -> int:
+        with self._cond:
+            self._check_usable()
+            self._scan_cache = None
+            self._sequence += 1
+            lsn = self._sequence
+            self._queue.append(_encode_record(lsn, changes=changes, ddl=ddl))
+            self._count += 1
+            self._enqueued += 1
+            ticket = self._enqueued
+        while True:
+            with self._cond:
+                if self._completed >= ticket:
+                    if self._broken is not None and ticket > self._last_good:
+                        # our batch's leader failed to write: this commit
+                        # was never durable, and the log is now unusable
+                        raise WalError(
+                            f"WAL {self.path} write failed: {self._broken!r}"
+                        ) from self._broken
+                    return lsn
+                if self._writing:
+                    self._cond.wait()
                     continue
+                self._writing = True
+                batch, self._queue = self._queue, []
+            self._lead_write(batch, fsync=None)
+
+    def _lead_write(self, batch: list[bytes], *, fsync: bool | None) -> None:
+        """Write one drained batch as the pipeline leader (``_writing``
+        is already claimed).  An IO failure marks the log broken: the
+        batch's committers — and all later ones — get an error instead
+        of a durability ack.  ``fsync=None`` follows the policy."""
+        if self._broken is not None:
+            # Once broken, nothing more may reach the disk: a record
+            # written *after* its committer was told the log failed
+            # would be resurrected by recovery.  Discard the batch; its
+            # committers raise (their tickets are above _last_good).
+            with self._cond:
+                self._writing = False
+                self._count -= len(batch)  # never reached the file
+                self._completed += len(batch)
+                self._cond.notify_all()
+            return
+        error: BaseException | None = None
+        offset_before = None
+        try:
+            if batch:
+                self._handle.flush()
+                offset_before = self._handle.tell()
+                self._handle.write(b"".join(batch))
+                self._handle.flush()
+            if fsync is None:
+                fsync = self.fsync_policy == "always" or (
+                    self.fsync_policy == "interval"
+                    and time.monotonic() - self._last_sync >= self.fsync_interval
+                )
+            if fsync:
+                os.fsync(self._handle.fileno())
+                self.sync_count += 1
+                self._last_sync = time.monotonic()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            error = exc
+            # The committers of this batch will be told their records
+            # were never durably written — so the records must not stay
+            # in the file (or the handle's retained write buffer, which
+            # a later flush would replay), or recovery would resurrect
+            # transactions the application observed as failed.  Discard
+            # the buffer by reopening, then truncate back to the
+            # pre-batch offset (we are the only writer).
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - buffer unflushable
+                pass
+            if offset_before is not None:
                 try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise WalError(
-                        f"corrupt WAL line {line_number} in {self.path}: {exc}"
-                    ) from exc
-                out.append(record)
-        sequences = [record["seq"] for record in out]
-        if sequences != sorted(sequences):
-            raise WalError(f"WAL {self.path} is out of order")
-        return out
+                    with self.path.open("r+b") as fix:
+                        fix.truncate(offset_before)
+                except OSError:  # pragma: no cover - disk fully gone
+                    pass
+            try:
+                self._handle = self.path.open("ab")
+            except OSError:  # pragma: no cover - disk fully gone
+                self._closed = True
+        finally:
+            with self._cond:
+                self._writing = False
+                if error is not None and self._broken is None:
+                    self._broken = error
+                    self._last_good = self._completed
+                    self._count -= len(batch)  # truncated back out
+                self._completed += len(batch)
+                self.group_commits += 1
+                self.grouped_records += len(batch)
+                self._cond.notify_all()
+        if error is not None:
+            raise WalError(f"WAL {self.path} write failed: {error!r}") from error
 
-    def replay_into(self, database: "Database") -> int:
-        """Apply all records to ``database``; returns the count applied.
+    def _quiesce(self) -> None:
+        """Claim pipeline leadership with an empty queue: on return,
+        ``_writing`` is held by the caller and no record write is in
+        flight, so the append handle can be flushed, fsynced, swapped
+        or closed safely.  Release with :meth:`_release`."""
+        while True:
+            with self._cond:
+                if self._writing:
+                    self._cond.wait()
+                    continue
+                if not self._queue:
+                    self._writing = True
+                    return
+                self._writing = True
+                batch, self._queue = self._queue, []
+            # policy-honoring drain: an 'always' committer racing this
+            # quiesce must still get its fsync before being acked
+            self._lead_write(batch, fsync=None)
 
-        Updates are logged with their full after-image, so replaying an
-        update applies the complete row; replay is idempotent given a
-        database restored from the matching checkpoint.
+    def _release(self) -> None:
+        with self._cond:
+            self._writing = False
+            self._cond.notify_all()
+
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise WalError(f"WAL {self.path} is closed")
+        if self._broken is not None:
+            raise WalError(
+                f"WAL {self.path} is broken by an earlier write failure: "
+                f"{self._broken!r}"
+            )
+
+    def flush(self) -> None:
+        """Drain the commit queue and flush the OS buffer."""
+        self._quiesce()
+        try:
+            if not self._closed and self._broken is None:
+                self._handle.flush()
+        finally:
+            self._release()
+
+    def sync(self) -> None:
+        """Drain, flush and fsync regardless of policy."""
+        self._quiesce()
+        try:
+            if not self._closed and self._broken is None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self.sync_count += 1
+                self._last_sync = time.monotonic()
+        finally:
+            self._release()
+
+    def close(self) -> None:
+        """Flush, fsync and close the append handle (idempotent).
+
+        A broken log skips the flush/fsync — after a write failure the
+        file was truncated back to its last good record, and nothing
+        that failed may reach the disk afterwards."""
+        self._quiesce()
+        try:
+            if self._closed:
+                return
+            if self._broken is None:
+                self._handle.flush()
+                try:
+                    os.fsync(self._handle.fileno())
+                except OSError:  # pragma: no cover - exotic filesystems
+                    pass
+            self._handle.close()
+            self._closed = True
+        finally:
+            self._release()
+
+    # ------------------------------------------------------------------
+    # reading / replay
+    # ------------------------------------------------------------------
+
+    def read_committed(self) -> tuple[list[WalRecord], str | None]:
+        """All intact records plus the torn-tail reason (None if clean).
+
+        Tolerant by construction: a torn tail ends the committed prefix
+        instead of raising.
+        """
+        cached = self._scan_cache
+        if cached is not None:
+            return list(cached[0]), cached[1]
+        if not self._closed:
+            self.flush()
+        raw = self.path.read_bytes() if self.path.exists() else b""
+        scan = _scan_log(raw)
+        return scan.records, scan.torn_tail
+
+    def records(self) -> list[WalRecord]:
+        """The committed records (the torn tail, if any, is excluded)."""
+        return self.read_committed()[0]
+
+    def replay_into(self, database: "Database", *, after_lsn: int = 0) -> int:
+        """Apply committed records with ``lsn > after_lsn``; returns the
+        number of *changes* applied."""
+        records, _torn = self.read_committed()
+        return self.apply_records(database, records, after_lsn=after_lsn)
+
+    def apply_records(
+        self,
+        database: "Database",
+        records: list[WalRecord],
+        *,
+        after_lsn: int = 0,
+    ) -> int:
+        """Apply already-read ``records`` with ``lsn > after_lsn``;
+        returns the number of *changes* applied.
+
+        Records carry full after-images, so replay is idempotent: an
+        insert whose pk already exists becomes an update (and vice
+        versa), a delete of a missing pk is a no-op.  DDL records are
+        applied through the database's DDL handler, which skips
+        already-existing objects.
         """
         count = 0
-        for record in self.records():
-            table = database.table(record["table"])
-            op = record["op"]
-            pk = record["pk"]
-            row = record["row"]
-            if op == "insert" and table.contains(pk):
-                # Idempotent replay after partial recovery.
-                table.apply("update", pk, row)
-            elif op == "update" and not table.contains(pk):
-                table.apply("insert", pk, row)
-            else:
-                table.apply(op, pk, row)
-            count += 1
+        was_recovering = database._recovering
+        database._recovering = True
+        try:
+            for record in records:
+                if record.lsn <= after_lsn:
+                    continue
+                if record.is_ddl:
+                    database._apply_ddl(record.ddl)
+                    continue
+                for op, table_name, pk, row in record.changes:
+                    table = database.table(table_name)
+                    if op == "insert" and table.contains(pk):
+                        table.apply("update", pk, row)
+                    elif op == "update" and not table.contains(pk):
+                        table.apply("insert", pk, row)
+                    else:
+                        table.apply(op, pk, row)
+                    count += 1
+        finally:
+            database._recovering = was_recovering
         for table_name in database.table_names():
             database.table(table_name).verify_indexes()
         return count
 
-    def truncate(self) -> None:
-        """Drop all records (after a checkpoint)."""
-        if self.path.exists():
-            os.truncate(self.path, 0)
-        self._sequence = 0
+    # ------------------------------------------------------------------
+    # truncation (checkpointing)
+    # ------------------------------------------------------------------
 
-    def __len__(self) -> int:
-        return len(self.records())
+    def truncate_through(self, lsn: int) -> int:
+        """Drop committed records with ``lsn <= lsn``; returns the
+        number dropped.
+
+        Used by checkpointing: records already covered by a durable
+        snapshot are garbage.  Records *after* ``lsn`` (commits that
+        raced the checkpoint) are preserved, and the sequence counter
+        never rewinds, so recovery can always tell snapshot-covered
+        records from the live suffix.  The survivor suffix is rewritten
+        atomically (temp file + ``os.replace``) with the pipeline
+        quiesced, so no concurrent group-commit leader can be mid-write
+        on the handle being swapped.
+        """
+        self._quiesce()
+        try:
+            self._check_usable()
+            self._scan_cache = None
+            self._handle.flush()
+            raw = self.path.read_bytes() if self.path.exists() else b""
+            scan = _scan_log(raw)
+            keep = [record for record in scan.records if record.lsn > lsn]
+            dropped = len(scan.records) - len(keep)
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            with tmp.open("wb") as handle:
+                for record in keep:
+                    handle.write(
+                        _encode_record(
+                            record.lsn,
+                            changes=list(record.changes) if not record.is_ddl else None,
+                            ddl=record.ddl,
+                        )
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle.close()
+            os.replace(tmp, self.path)
+            fsync_directory(self.path.parent)
+            self._handle = self.path.open("ab")
+            self._count = len(keep)
+            return dropped
+        finally:
+            self._release()
+
+    def truncate(self) -> int:
+        """Drop all committed records (the LSN floor is preserved)."""
+        return self.truncate_through(self._sequence)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WriteAheadLog({str(self.path)!r}, lsn={self._sequence}, "
+            f"records={self._count}, fsync={self.fsync_policy!r})"
+        )
+
+
+def fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync so renames survive a crash (shared
+    with :mod:`repro.store.persist`)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - exotic filesystems
+        pass
+    finally:
+        os.close(fd)

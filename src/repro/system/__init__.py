@@ -6,7 +6,8 @@ running on the embedded store with simulated crowd platforms.
 
 from .export import export_project_csv, export_project_json
 from .itag import ITagSystem
-from .models import PROJECT_STATES, build_system_database
+from .models import PROJECT_STATES, build_system_database, ensure_system_schema
+from .sessions import SessionDriver, SessionReport
 from .monitor import (
     add_project_summary,
     main_provider_screen,
@@ -26,7 +27,8 @@ from .user_manager import UserManager
 
 __all__ = [
     "ITagSystem",
-    "build_system_database", "PROJECT_STATES",
+    "build_system_database", "ensure_system_schema", "PROJECT_STATES",
+    "SessionDriver", "SessionReport",
     "UserManager", "ResourceManager", "TagManager",
     "QualityManager", "ProjectRuntime", "TaskOutcome",
     "ProjectRegistry", "NotificationCenter", "NOTIFICATION_KINDS",

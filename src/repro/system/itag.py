@@ -39,7 +39,7 @@ from ..strategies import make_strategy
 from ..tagging.corpus import Corpus
 from ..tagging.post import Post
 from ..taggers.noise import NoiseModel
-from .models import build_system_database
+from .models import build_system_database, ensure_system_schema
 from .notifications import NotificationCenter
 from .project import ProjectRegistry
 from .quality_manager import ProjectRuntime, QualityManager, TaskOutcome
@@ -59,9 +59,25 @@ class ITagSystem:
         master_seed: int = 0,
         database: Database | None = None,
         quality_config: QualityConfig | None = None,
+        data_dir: str | None = None,
+        fsync: str = "interval",
     ) -> None:
+        """``data_dir`` switches the deployment to a managed durability
+        directory: relational state is crash-recovered on startup and
+        journaled through the commit-scoped WAL (``fsync`` picks the
+        group-commit durability policy).  Mutually exclusive with an
+        explicit ``database``."""
         self.rng = RngRegistry(master_seed)
-        self.database = database if database is not None else build_system_database()
+        if database is not None and data_dir is not None:
+            raise ProjectError("pass either database= or data_dir=, not both")
+        if database is None:
+            if data_dir is not None:
+                database = ensure_system_schema(
+                    Database.open(data_dir, name="itag", fsync=fsync)
+                )
+            else:
+                database = build_system_database()
+        self.database = database
         self.ledger = PaymentLedger()
         self.users = UserManager(self.database)
         self.resources = ResourceManager(self.database)
@@ -74,6 +90,19 @@ class ITagSystem:
         self._platforms: dict[str, CrowdPlatform] = {}
         self._noise_models: dict[int, NoiseModel] = {}
         self._clock = 0.0
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Persist a snapshot of the relational state and prune the WAL
+        (managed ``data_dir`` deployments; no-op safe for in-memory)."""
+        self.database.checkpoint()
+
+    def close(self) -> None:
+        """Flush and close the durability layer (idempotent)."""
+        self.database.close()
 
     # ------------------------------------------------------------------
     # users
@@ -228,27 +257,31 @@ class ITagSystem:
         )
         self._clock = max(self._clock, runtime.platform.now)
         resource = runtime.corpus.resource(outcome.resource_id)
-        worker_id = self.users.ensure_tagger(outcome.worker_id)
-        self.users.record_decision(worker_id, approved=outcome.approved)
-        if outcome.approved:
-            self.resources.record_post(resource, outcome.quality_after)
-            self.notifications.notify(
-                row["provider_id"],
-                "post_approved",
-                f"resource {resource.name}: post by worker {outcome.worker_id} "
-                f"approved (quality {outcome.quality_after:.3f})",
-                ts=self._clock,
-            )
-        else:
-            self.notifications.notify(
-                row["provider_id"],
-                "post_rejected",
-                f"resource {resource.name}: post by worker {outcome.worker_id} "
-                "rejected",
-                ts=self._clock,
-            )
-        average = runtime.board.average_quality()
-        self.projects.record_spend(project_id, avg_quality=average)
+        # One task = one transaction = one commit-scoped WAL record:
+        # concurrent snapshot readers see the decision, the resource
+        # stats, the notification and the spend together or not at all.
+        with self.database.transaction():
+            worker_id = self.users.ensure_tagger(outcome.worker_id)
+            self.users.record_decision(worker_id, approved=outcome.approved)
+            if outcome.approved:
+                self.resources.record_post(resource, outcome.quality_after)
+                self.notifications.notify(
+                    row["provider_id"],
+                    "post_approved",
+                    f"resource {resource.name}: post by worker {outcome.worker_id} "
+                    f"approved (quality {outcome.quality_after:.3f})",
+                    ts=self._clock,
+                )
+            else:
+                self.notifications.notify(
+                    row["provider_id"],
+                    "post_rejected",
+                    f"resource {resource.name}: post by worker {outcome.worker_id} "
+                    "rejected",
+                    ts=self._clock,
+                )
+            average = runtime.board.average_quality()
+            self.projects.record_spend(project_id, avg_quality=average)
         return outcome
 
     def _complete(self, project_id: int) -> None:
@@ -364,8 +397,13 @@ class ITagSystem:
                 "provider": row["user_name"],
                 "provider_approval_rate": 1.0,
             }
-            if self.quality.is_attached(row["id"]):
+            try:
                 runtime = self.quality.runtime(row["id"])
+            except ProjectError:
+                # raced a completing project: a concurrent writer
+                # detached the runtime between the join and this read
+                runtime = None
+            if runtime is not None:
                 entry["provider_approval_rate"] = (
                     runtime.approval_book.provider_approval_rate
                 )

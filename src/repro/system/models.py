@@ -13,17 +13,35 @@ Tables:
 
 from __future__ import annotations
 
+from typing import Callable
+
 from ..store import Column, Database, DataType, Schema
 
-__all__ = ["build_system_database", "PROJECT_STATES"]
+__all__ = ["build_system_database", "ensure_system_schema", "PROJECT_STATES"]
 
 PROJECT_STATES = ("draft", "running", "paused", "completed", "stopped")
 
 
 def build_system_database(name: str = "itag") -> Database:
-    """Create all system tables with their indexes."""
-    database = Database(name)
+    """A fresh in-memory database with all system tables and indexes."""
+    return ensure_system_schema(Database(name))
 
+
+def ensure_system_schema(database: Database) -> Database:
+    """Create any system tables missing from ``database`` (idempotent).
+
+    Used both for fresh in-memory databases and for databases recovered
+    from a durability directory (``Database.open``), where some or all
+    tables already exist via checkpoint/WAL-DDL replay — existing
+    tables are left untouched.
+    """
+    for table_name, builder in _TABLE_BUILDERS.items():
+        if not database.has_table(table_name):
+            builder(database)
+    return database
+
+
+def _build_users(database: Database) -> None:
     database.create_table(
         "users",
         Schema(
@@ -40,6 +58,8 @@ def build_system_database(name: str = "itag") -> Database:
     )
     database.table("users").create_index("role", kind="hash")
 
+
+def _build_projects(database: Database) -> None:
     database.create_table(
         "projects",
         Schema(
@@ -65,6 +85,8 @@ def build_system_database(name: str = "itag") -> Database:
     database.table("projects").create_index("state", kind="hash")
     database.table("projects").create_index("avg_quality", kind="sorted")
 
+
+def _build_resources(database: Database) -> None:
     database.create_table(
         "resources",
         Schema(
@@ -85,6 +107,8 @@ def build_system_database(name: str = "itag") -> Database:
     database.table("resources").create_index("quality", kind="sorted")
     database.table("resources").create_index("n_posts", kind="sorted")
 
+
+def _build_posts(database: Database) -> None:
     database.create_table(
         "posts",
         Schema(
@@ -101,6 +125,8 @@ def build_system_database(name: str = "itag") -> Database:
     )
     database.table("posts").create_index("resource_id", kind="hash")
 
+
+def _build_tasks(database: Database) -> None:
     database.create_table(
         "tasks",
         Schema(
@@ -120,6 +146,8 @@ def build_system_database(name: str = "itag") -> Database:
     database.table("tasks").create_index("project_id", kind="hash")
     database.table("tasks").create_index("state", kind="hash")
 
+
+def _build_notifications(database: Database) -> None:
     database.create_table(
         "notifications",
         Schema(
@@ -136,4 +164,12 @@ def build_system_database(name: str = "itag") -> Database:
     )
     database.table("notifications").create_index("recipient_id", kind="hash")
 
-    return database
+
+_TABLE_BUILDERS: dict[str, Callable[[Database], None]] = {
+    "users": _build_users,
+    "projects": _build_projects,
+    "resources": _build_resources,
+    "posts": _build_posts,
+    "tasks": _build_tasks,
+    "notifications": _build_notifications,
+}

@@ -1,0 +1,175 @@
+"""Concurrent-session driver: parallel tagger sessions over one system.
+
+The original iTag deployment served many tagger browsers concurrently
+off MySQL; this driver reproduces that shape on the embedded store: one
+**writer session** runs platform tagging tasks (each task is one
+transaction — see ``ITagSystem._run_single``), while N **reader
+sessions** hammer the tagger-facing read path — ``open_projects()``
+(a live planned join) plus snapshot-isolated consistency sweeps over
+:meth:`~repro.store.database.Database.read_view`.
+
+Every reader pass checks two isolation invariants on its view:
+
+* **repeatable read** — re-running the same aggregates over the same
+  view returns identical results, no matter what the writer commits in
+  between;
+* **transaction atomicity** — the project's ``budget_spent`` equals
+  the number of per-task notifications in the *same* view: a task's
+  writes land together or not at all, so a torn (non-snapshot) read
+  would break the equality mid-transaction.
+
+Violations are counted, not raised, so the report shows exactly how
+(un)torn the read path is; the expected count is zero.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..store import Query, In
+
+__all__ = ["SessionReport", "SessionDriver"]
+
+#: per-task notification kinds (exactly one is written per tagging task)
+_TASK_KINDS = ("post_approved", "post_rejected")
+
+
+@dataclass
+class SessionReport:
+    """What a :class:`SessionDriver` run observed."""
+
+    readers: int = 0
+    writer_tasks: int = 0
+    reader_passes: int = 0
+    torn_reads: int = 0
+    atomicity_violations: int = 0
+    errors: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def consistent(self) -> bool:
+        return (
+            self.torn_reads == 0
+            and self.atomicity_violations == 0
+            and not self.errors
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"concurrent sessions: 1 writer ({self.writer_tasks} tasks), "
+            f"{self.readers} readers ({self.reader_passes} passes) "
+            f"in {self.elapsed_seconds:.2f}s",
+            f"  torn reads: {self.torn_reads}",
+            f"  atomicity violations: {self.atomicity_violations}",
+        ]
+        for message in self.errors:
+            lines.append(f"  error: {message}")
+        lines.append(
+            "  verdict: consistent" if self.consistent else "  verdict: INCONSISTENT"
+        )
+        return "\n".join(lines)
+
+
+class SessionDriver:
+    """Run one writer session against N snapshot-reader sessions.
+
+    >>> driver = SessionDriver(system, project_id, readers=3, writer_tasks=50)
+    >>> report = driver.run()
+    >>> assert report.consistent
+    """
+
+    def __init__(
+        self,
+        system,
+        project_id: int,
+        *,
+        readers: int = 3,
+        writer_tasks: int = 50,
+    ) -> None:
+        self._system = system
+        self._project_id = project_id
+        self._readers = max(1, readers)
+        self._writer_tasks = writer_tasks
+        self._stop = threading.Event()
+        self._report_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SessionReport:
+        report = SessionReport(readers=self._readers)
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(
+                target=self._reader_session, args=(report,), name=f"tagger-{index}"
+            )
+            for index in range(self._readers)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            self._writer_session(report)
+        finally:
+            self._stop.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        report.elapsed_seconds = time.perf_counter() - start
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _writer_session(self, report: SessionReport) -> None:
+        try:
+            for _ in range(self._writer_tasks):
+                state = self._system.projects.get(self._project_id)["state"]
+                if state != "running":
+                    break
+                self._system.run_project(self._project_id, tasks=1)
+                with self._report_lock:
+                    report.writer_tasks += 1
+        except Exception as exc:  # noqa: BLE001 - surfaced in the report
+            with self._report_lock:
+                report.errors.append(f"writer: {exc!r}")
+
+    def _reader_session(self, report: SessionReport) -> None:
+        database = self._system.database
+        project_id = self._project_id
+        while True:
+            stopping = self._stop.is_set()
+            try:
+                view = database.read_view()
+                first = self._sweep(view, project_id)
+                second = self._sweep(view, project_id)
+                torn = first != second
+                spent, task_notifications, _resource_posts = first
+                atomic = spent == task_notifications
+                # live read path under writer load (planned join)
+                self._system.open_projects()
+                with self._report_lock:
+                    report.reader_passes += 1
+                    if torn:
+                        report.torn_reads += 1
+                    if not atomic:
+                        report.atomicity_violations += 1
+            except Exception as exc:  # noqa: BLE001 - surfaced in the report
+                with self._report_lock:
+                    report.errors.append(f"reader: {exc!r}")
+                return
+            if stopping:
+                return
+
+    @staticmethod
+    def _sweep(view, project_id: int) -> tuple[int, int, int]:
+        """One consistency sweep over a frozen view: (budget_spent,
+        per-task notifications, resource post total)."""
+        project = view.table("projects").get(project_id)
+        notifications = (
+            Query(view.table("notifications"))
+            .where(In("kind", _TASK_KINDS))
+            .count()
+        )
+        resource_posts = (
+            Query(view.table("resources")).aggregate("n_posts", "sum") or 0
+        )
+        return int(project["budget_spent"]), int(notifications), int(resource_posts)

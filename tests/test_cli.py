@@ -86,6 +86,65 @@ class TestCommands:
         )  # missing --on
         capsys.readouterr()
 
+    def _make_state_dir(self, tmp_path, torn: bool = False):
+        from repro.store import Column, Database, DataType, Schema
+
+        state = tmp_path / "state"
+        database = Database.open(state, fsync="never")
+        table = database.create_table(
+            "items",
+            Schema(
+                [Column("id", DataType.INT), Column("v", DataType.TEXT)],
+                primary_key="id",
+            ),
+        )
+        for index in range(6):
+            table.insert({"v": f"v{index}"})
+        database.close()
+        if torn:
+            with (state / "wal.log").open("ab") as handle:
+                handle.write(b'00000000 {"lsn": 999, "txn": [')
+        return state
+
+    def test_store_recover_reports_clean_state(self, tmp_path, capsys):
+        state = self._make_state_dir(tmp_path)
+        assert main(["store", "recover", "--dir", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 7 committed records" in out  # 1 DDL + 6 inserts
+        assert "torn tail: none" in out
+        assert "verify: ok" in out
+
+    def test_store_recover_discards_torn_tail(self, tmp_path, capsys):
+        state = self._make_state_dir(tmp_path, torn=True)
+        assert main(["store", "recover", "--dir", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "discarded torn tail" in out
+        assert "'items': 6" in out
+        assert "verify: ok" in out
+
+    def test_store_checkpoint_prunes_wal(self, tmp_path, capsys):
+        state = self._make_state_dir(tmp_path)
+        assert main(["store", "checkpoint", "--dir", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint written: checkpoint-000001.json" in out
+        # the first generation retains the full suffix (fallback safety)
+        assert "7 -> 7" in out
+        # recovery loads the checkpoint and replays nothing
+        assert main(["store", "recover", "--dir", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 0 committed records" in out
+        # a second generation prunes what the first one covers
+        assert main(["store", "checkpoint", "--dir", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint written: checkpoint-000002.json" in out
+        assert "7 -> 0" in out
+
+    def test_store_smoke_is_consistent(self, capsys):
+        assert main(["store", "smoke", "--readers", "2", "--tasks", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "torn reads: 0" in out
+        assert "verdict: consistent" in out
+
     def test_generate_dataset_report(self, tmp_path, capsys):
         out = tmp_path / "corpus.json"
         code = main(

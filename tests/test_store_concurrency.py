@@ -1,0 +1,346 @@
+"""Concurrency suite: snapshot readers vs writers, serialized txns,
+group commit under thread load.
+
+The store's contract is single-writer / multi-reader: transactions from
+different threads serialize (blocking, not raising), autocommit writes
+are safe from any thread, and readers using copy-on-write views are
+never torn — a view observes exactly one version of each table forever.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.store import (
+    Column,
+    Database,
+    DataType,
+    Eq,
+    Query,
+    Schema,
+    WriteAheadLog,
+)
+
+
+def make_table(database: Database, name: str = "items"):
+    return database.create_table(
+        name,
+        Schema(
+            [
+                Column("id", DataType.INT),
+                Column("stamp", DataType.INT, default=0, has_default=True),
+                Column("label", DataType.TEXT, default="", has_default=True),
+            ],
+            primary_key="id",
+        ),
+    )
+
+
+def run_threads(targets, timeout: float = 30.0) -> None:
+    threads = [threading.Thread(target=target) for target in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+        assert not thread.is_alive(), "thread deadlocked"
+
+
+class TestSnapshotReaders:
+    def test_views_never_torn_by_transactional_writer(self):
+        """One writer stamps every row per transaction; view readers
+        must always see a single stamp value (all-or-nothing)."""
+        database = Database("c")
+        table = make_table(database)
+        n_rows = 40
+        for _ in range(n_rows):
+            table.insert({})
+        rounds = 150
+        errors: list[str] = []
+        torn = [0]
+        passes = [0]
+        done = threading.Event()
+
+        def writer():
+            try:
+                for stamp in range(1, rounds + 1):
+                    with database.transaction():
+                        for pk in range(1, n_rows + 1):
+                            table.update(pk, {"stamp": stamp})
+            except Exception as exc:  # noqa: BLE001
+                errors.append(f"writer: {exc!r}")
+            finally:
+                done.set()
+
+        def reader():
+            try:
+                while True:
+                    stopping = done.is_set()
+                    view = table.read_view()
+                    stamps = {row["stamp"] for row in view.scan()}
+                    if len(stamps) > 1:
+                        torn[0] += 1
+                    # repeatable read: the same view, asked again,
+                    # answers the same
+                    if {row["stamp"] for row in view.scan()} != stamps:
+                        torn[0] += 1
+                    if Query(view).count() != n_rows:
+                        torn[0] += 1
+                    passes[0] += 1
+                    if stopping:
+                        return
+            except Exception as exc:  # noqa: BLE001
+                errors.append(f"reader: {exc!r}")
+
+        run_threads([writer, reader, reader])
+        assert not errors, errors
+        assert torn[0] == 0
+        assert passes[0] > 0
+        assert {row["stamp"] for row in table.scan()} == {rounds}
+        table.verify_indexes()
+
+    def test_view_pins_version_while_live_table_moves(self):
+        database = Database("c")
+        table = make_table(database)
+        for index in range(5):
+            table.insert({"label": f"v{index}"})
+        view = table.read_view()
+        assert not view.stale
+        table.update(1, {"label": "mutated"})
+        table.delete(2)
+        table.insert({"label": "new"})
+        assert view.stale
+        assert len(view) == 5
+        assert view.get(1)["label"] == "v0"
+        assert view.contains(2)
+        assert len(table) == 5  # 5 - 1 + 1
+        assert table.get(1)["label"] == "mutated"
+
+    def test_joined_views_are_mutually_consistent(self):
+        database = Database("c")
+        left = make_table(database, "left")
+        right = database.create_table(
+            "right",
+            Schema(
+                [Column("id", DataType.INT), Column("left_id", DataType.INT)],
+                primary_key="id",
+            ),
+        )
+        for index in range(10):
+            left.insert({"label": f"L{index}"})
+            right.insert({"left_id": index + 1})
+        snapshot = database.read_view()
+        joined_before = (
+            Query(snapshot.table("left"))
+            .join(snapshot.table("right"), on=("id", "left_id"), prefix_right="r_")
+            .all()
+        )
+        left.delete(3)
+        right.delete(7)
+        joined_after = (
+            Query(snapshot.table("left"))
+            .join(snapshot.table("right"), on=("id", "left_id"), prefix_right="r_")
+            .all()
+        )
+        assert joined_before == joined_after
+        assert len(joined_before) == 10
+
+    def test_indexed_reads_never_miss_rows_while_unrelated_columns_update(self):
+        """Regression: Table.update used to remove the pk from *every*
+        index and re-add it, so an indexed read racing an update of an
+        unrelated column could miss committed rows.  Index maintenance
+        now touches only changed columns (add-before-remove)."""
+        database = Database("c")
+        table = make_table(database)
+        table.create_index("label", kind="hash")
+        n_rows = 300
+        for _ in range(n_rows):
+            table.insert({"label": "steady"})
+        errors: list[str] = []
+        misses = [0]
+        done = threading.Event()
+
+        def writer():
+            try:
+                for stamp in range(400):
+                    table.update((stamp % n_rows) + 1, {"stamp": stamp})
+            except Exception as exc:  # noqa: BLE001
+                errors.append(f"writer: {exc!r}")
+            finally:
+                done.set()
+
+        def reader():
+            try:
+                while True:
+                    stopping = done.is_set()
+                    if Query(table).where(Eq("label", "steady")).count() != n_rows:
+                        misses[0] += 1
+                    if stopping:
+                        return
+            except Exception as exc:  # noqa: BLE001
+                errors.append(f"reader: {exc!r}")
+
+        run_threads([writer, reader, reader])
+        assert not errors, errors
+        assert misses[0] == 0
+        table.verify_indexes()
+
+    def test_view_planner_filters_match_live_semantics(self):
+        database = Database("c")
+        table = make_table(database)
+        for index in range(20):
+            table.insert({"stamp": index % 4})
+        view = table.read_view()
+        assert Query(view).where(Eq("stamp", 2)).count() == Query(table).where(
+            Eq("stamp", 2)
+        ).count()
+
+
+class TestTransactionSerialization:
+    def test_cross_thread_increments_never_lost(self):
+        database = Database("c")
+        table = make_table(database)
+        table.insert({"stamp": 0})
+        per_thread = 200
+
+        def bump():
+            for _ in range(per_thread):
+                with database.transaction():
+                    current = table.get(1)["stamp"]
+                    table.update(1, {"stamp": current + 1})
+
+        run_threads([bump, bump, bump])
+        assert table.get(1)["stamp"] == 3 * per_thread
+
+    def test_rollback_completes_before_transaction_slot_is_released(self):
+        """Regression: rollback used to release the transaction mutex
+        *before* replaying the undo log, so a concurrent ``read_view``
+        (or ``begin()``) could observe aborted changes mid-undo.  Every
+        undo application must happen while the transaction is still
+        registered."""
+        database = Database("c")
+        table = make_table(database)
+        table.insert({"stamp": 1})
+        seen_in_txn: list[bool] = []
+
+        def spy(event):
+            seen_in_txn.append(database.in_transaction)
+
+        table.add_listener(spy)
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                table.insert({"stamp": 2})
+                table.update(1, {"stamp": 99})
+                raise RuntimeError("abort")
+        table.remove_listener(spy)
+        # 2 forward changes + 2 undo applications, all inside the txn slot
+        assert len(seen_in_txn) == 4
+        assert all(seen_in_txn)
+        assert table.get(1)["stamp"] == 1
+        assert len(table) == 1
+
+    def test_same_thread_nested_transaction_still_rejected(self):
+        from repro.store import TransactionError
+
+        database = Database("c")
+        make_table(database)
+        with database.transaction():
+            with pytest.raises(TransactionError, match="nested"):
+                database.transaction().begin()
+
+
+class TestGroupCommit:
+    def test_concurrent_autocommit_inserts_all_journaled(self, tmp_path):
+        database = Database("c")
+        table = make_table(database)
+        wal = WriteAheadLog(tmp_path / "c.wal", fsync="never")
+        database.attach_wal(wal)
+        per_thread = 100
+
+        def insert_block(base: int):
+            def run():
+                for offset in range(per_thread):
+                    table.insert({"id": base + offset, "label": f"t{base}"})
+            return run
+
+        run_threads([insert_block(1_000), insert_block(2_000), insert_block(3_000)])
+        database.close()
+        replayed = Database("c2")
+        make_table(replayed)
+        reopened = WriteAheadLog(tmp_path / "c.wal")
+        assert len(reopened) == 3 * per_thread
+        reopened.replay_into(replayed)
+        assert len(replayed.table("items")) == 3 * per_thread
+        replayed.verify()
+
+    def test_fsync_always_groups_concurrent_commits(self, tmp_path):
+        database = Database("c")
+        table = make_table(database)
+        wal = WriteAheadLog(tmp_path / "c.wal", fsync="always")
+        database.attach_wal(wal)
+        per_thread = 25
+
+        def insert_block(base: int):
+            def run():
+                for offset in range(per_thread):
+                    table.insert({"id": base + offset})
+            return run
+
+        run_threads([insert_block(1_000), insert_block(2_000), insert_block(3_000)])
+        assert len(wal) == 3 * per_thread
+        # every record was fsynced before its commit returned, but one
+        # group fsync may cover several concurrent committers
+        assert 1 <= wal.sync_count <= 3 * per_thread
+        database.close()
+
+
+class TestPlanCacheThreadSafety:
+    def test_queries_race_index_ddl_without_crashing(self):
+        database = Database("c")
+        table = make_table(database)
+        for index in range(200):
+            table.insert({"stamp": index % 10})
+        errors: list[str] = []
+        done = threading.Event()
+
+        def query_loop():
+            try:
+                while not done.is_set():
+                    assert Query(table).where(Eq("stamp", 3)).count() == 20
+            except Exception as exc:  # noqa: BLE001
+                errors.append(repr(exc))
+
+        def ddl_loop():
+            try:
+                for _ in range(30):
+                    table.create_index("stamp", kind="hash")
+                    table.drop_index("stamp")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(repr(exc))
+            finally:
+                done.set()
+
+        run_threads([query_loop, query_loop, ddl_loop])
+        assert not errors, errors
+
+
+class TestSessionDriver:
+    def test_concurrent_tagger_sessions_stay_consistent(self):
+        from repro.datasets import make_delicious_like
+        from repro.system import ITagSystem, SessionDriver
+
+        data = make_delicious_like(
+            n_resources=8, initial_posts_total=40, master_seed=5, population_size=12
+        )
+        system = ITagSystem(master_seed=5)
+        provider = system.register_provider("p")
+        project = system.create_project(provider, "campaign", budget=90)
+        system.upload_resources(project, data.provider_corpus)
+        system.start_project(project, noise_model=data.dataset.noise_model)
+        report = SessionDriver(
+            system, project, readers=2, writer_tasks=25
+        ).run()
+        assert report.consistent, report.describe()
+        assert report.writer_tasks == 25
+        assert report.reader_passes > 0

@@ -1,0 +1,414 @@
+"""Durability suite: managed directories, checkpoints, crash recovery.
+
+The centerpiece is a hypothesis property: for a random sequence of
+transactions (insert/update/delete ops, committed or aborted) journaled
+to a WAL, a crash at *any byte boundary* of the log recovers exactly
+the state after some prefix of committed records — never a torn state,
+never an aborted change, never an exception.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.store import (
+    CHECKPOINT_KEEP,
+    Column,
+    Database,
+    DataType,
+    Schema,
+    StoreError,
+    load_database,
+    save_database,
+)
+
+
+def item_schema() -> Schema:
+    return Schema(
+        [
+            Column("id", DataType.INT),
+            Column("value", DataType.TEXT),
+            Column("score", DataType.FLOAT, nullable=True),
+        ],
+        primary_key="id",
+    )
+
+
+def open_with_items(directory, **kwargs) -> Database:
+    database = Database.open(directory, fsync="never", **kwargs)
+    if not database.has_table("items"):
+        database.create_table("items", item_schema())
+    return database
+
+
+# ---------------------------------------------------------------------------
+# crash-recovery property
+# ---------------------------------------------------------------------------
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete"]),
+        st.integers(min_value=1, max_value=6),  # pk
+        st.integers(min_value=0, max_value=99),  # value payload
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+_TXNS = st.lists(
+    st.tuples(_OPS, st.booleans()),  # (ops, commit?)
+    min_size=1,
+    max_size=8,
+)
+
+
+def _apply_op(table, op: str, pk: int, value: int) -> None:
+    """Apply one op if it is legal in the current state (else skip)."""
+    if op == "insert" and not table.contains(pk):
+        table.insert({"id": pk, "value": f"v{value}", "score": value / 100.0})
+    elif op == "update" and table.contains(pk):
+        table.update(pk, {"value": f"u{value}"})
+    elif op == "delete" and table.contains(pk):
+        table.delete(pk)
+
+
+@given(txns=_TXNS, cut_fraction=st.floats(min_value=0.0, max_value=1.0))
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_recovery_from_any_crash_point_is_a_committed_prefix(txns, cut_fraction):
+    with tempfile.TemporaryDirectory() as raw_dir:
+        directory = Path(raw_dir) / "state"
+        database = open_with_items(directory)
+        table = database.table("items")
+        wal = database.wal
+
+        # state after each WAL record, by record index (the schema DDL
+        # for "items" is itself record 1)
+        states_after_record = [None]  # index 0: empty directory, no tables
+        records_seen = 0
+        while len(wal) > records_seen:
+            records_seen += 1
+            states_after_record.append(database.to_snapshot()["tables"])
+
+        for ops, commit in txns:
+            try:
+                with database.transaction():
+                    for op, pk, value in ops:
+                        _apply_op(table, op, pk, value)
+                    if not commit:
+                        raise _Abort()
+            except _Abort:
+                pass
+            while len(wal) > records_seen:  # empty commits log nothing
+                records_seen += 1
+                states_after_record.append(database.to_snapshot()["tables"])
+        database.close()
+
+        # crash: truncate the log at an arbitrary byte boundary
+        wal_path = directory / "wal.log"
+        raw = wal_path.read_bytes()
+        cut = round(cut_fraction * len(raw))
+        crashed = Path(raw_dir) / "crashed"
+        crashed.mkdir()
+        (crashed / "wal.log").write_bytes(raw[:cut])
+
+        # how many records fit entirely below the cut?
+        survivors = 0
+        offset = 0
+        while True:
+            newline = raw.find(b"\n", offset)
+            if newline == -1 or newline + 1 > cut:
+                break
+            survivors += 1
+            offset = newline + 1
+
+        recovered = Database.open(crashed, fsync="never")
+        try:
+            expected = states_after_record[survivors]
+            got = recovered.to_snapshot()["tables"]
+            assert got == (expected if expected is not None else {})
+            recovered.verify()
+            assert recovered.recovery.records_replayed == survivors
+        finally:
+            recovered.close()
+
+
+class _Abort(Exception):
+    """Sentinel forcing a rollback inside the property run."""
+
+
+# ---------------------------------------------------------------------------
+# checkpoint atomicity (regression: snapshot-then-truncate ordering)
+# ---------------------------------------------------------------------------
+
+class TestCheckpointAtomicity:
+    def test_crash_during_snapshot_write_preserves_wal(self, tmp_path, monkeypatch):
+        """Injected crash *before* the atomic rename lands: the WAL must
+        still hold every committed record, so nothing is lost."""
+        database = open_with_items(tmp_path / "state")
+        table = database.table("items")
+        for index in range(4):
+            table.insert({"value": f"v{index}"})
+        records_before = len(database.wal)
+
+        def explode(path, payload):
+            raise OSError("simulated crash during checkpoint write")
+
+        monkeypatch.setattr("repro.store.persist.write_bytes_atomic", explode)
+        with pytest.raises(OSError, match="simulated crash"):
+            database.checkpoint()
+        monkeypatch.undo()
+
+        assert len(database.wal) == records_before  # not truncated
+        assert not list((tmp_path / "state").glob("checkpoint-*.json"))
+        database.close()
+
+        recovered = Database.open(tmp_path / "state", fsync="never")
+        assert [row["value"] for row in recovered.table("items").scan()] == [
+            "v0", "v1", "v2", "v3",
+        ]
+        recovered.close()
+
+    def test_crash_between_rename_and_truncate_recovers_cleanly(
+        self, tmp_path, monkeypatch
+    ):
+        """Injected crash *after* the snapshot landed but before the WAL
+        prune: replay of already-checkpointed records is idempotent."""
+        database = open_with_items(tmp_path / "state")
+        table = database.table("items")
+        for index in range(4):
+            table.insert({"value": f"v{index}"})
+        expected = database.to_snapshot()["tables"]
+
+        monkeypatch.setattr(
+            type(database.wal),
+            "truncate_through",
+            lambda self, lsn: (_ for _ in ()).throw(OSError("crash before prune")),
+        )
+        with pytest.raises(OSError, match="crash before prune"):
+            database.checkpoint()
+        monkeypatch.undo()
+        database.close()
+
+        # checkpoint landed AND the full WAL survived
+        assert list((tmp_path / "state").glob("checkpoint-*.json"))
+        recovered = Database.open(tmp_path / "state", fsync="never")
+        assert recovered.to_snapshot()["tables"] == expected
+        recovered.verify()
+        recovered.close()
+
+    def test_checkpoint_prunes_covered_records_and_old_files(self, tmp_path):
+        """The WAL retains exactly the suffix the previous (retained)
+        checkpoint generation would need — never less."""
+        database = open_with_items(tmp_path / "state")
+        table = database.table("items")
+        previous_lsn = 0
+        for round_number in range(CHECKPOINT_KEEP + 2):
+            table.insert({"value": f"round-{round_number}"})
+            lsn_before = database.wal.sequence
+            database.checkpoint()
+            # records above the *previous* generation's lsn survive
+            kept = [record.lsn for record in database.wal.records()]
+            assert kept == [
+                lsn for lsn in range(previous_lsn + 1, lsn_before + 1)
+            ]
+            previous_lsn = lsn_before
+        checkpoints = sorted((tmp_path / "state").glob("checkpoint-*.json"))
+        assert len(checkpoints) == CHECKPOINT_KEEP
+        database.close()
+
+        recovered = Database.open(tmp_path / "state", fsync="never")
+        assert len(recovered.table("items")) == CHECKPOINT_KEEP + 2
+        recovered.close()
+
+    def test_corrupt_newest_checkpoint_falls_back_without_loss(self, tmp_path):
+        """An unreadable newest checkpoint falls back to the previous
+        generation, whose WAL suffix was retained — full recovery."""
+        database = open_with_items(tmp_path / "state")
+        table = database.table("items")
+        table.insert({"value": "gen1"})
+        database.checkpoint()
+        table.insert({"value": "gen2"})
+        database.checkpoint()
+        table.insert({"value": "tail"})
+        expected = database.to_snapshot()["tables"]
+        database.close()
+
+        newest = sorted((tmp_path / "state").glob("checkpoint-*.json"))[-1]
+        newest.write_text("{half a snapshot", encoding="utf-8")
+        recovered = Database.open(tmp_path / "state", fsync="never")
+        assert newest.name in recovered.recovery.skipped_checkpoints
+        assert recovered.recovery.checkpoint_path is not None  # older gen
+        assert recovered.to_snapshot()["tables"] == expected
+        recovered.verify()
+        recovered.close()
+
+    def test_structurally_broken_newest_checkpoint_falls_back(self, tmp_path):
+        """Valid JSON with a malformed payload must also fall back, not
+        abort recovery."""
+        database = open_with_items(tmp_path / "state")
+        database.table("items").insert({"value": "gen1"})
+        database.checkpoint()
+        database.table("items").insert({"value": "gen2"})
+        database.checkpoint()
+        expected = database.to_snapshot()["tables"]
+        database.close()
+
+        newest = sorted((tmp_path / "state").glob("checkpoint-*.json"))[-1]
+        newest.write_text('{"wal_lsn": 3, "tables": {"items": {}}}', encoding="utf-8")
+        recovered = Database.open(tmp_path / "state", fsync="never")
+        assert newest.name in recovered.recovery.skipped_checkpoints
+        assert recovered.to_snapshot()["tables"] == expected
+        recovered.close()
+
+    def test_checkpoint_inside_transaction_rejected(self, tmp_path):
+        from repro.store import TransactionError
+
+        database = open_with_items(tmp_path / "state")
+        with pytest.raises(TransactionError, match="checkpoint inside"):
+            with database.transaction():
+                database.checkpoint()
+        database.close()
+
+    def test_checkpoint_after_close_rejected(self, tmp_path):
+        """A snapshot stamped with an unknown (zero) wal_lsn would make
+        recovery replay the full retained log over it."""
+        from repro.store import TransactionError
+
+        database = open_with_items(tmp_path / "state")
+        database.table("items").insert({"value": "a"})
+        database.close()
+        with pytest.raises(TransactionError, match="closed durable database"):
+            database.checkpoint()
+
+    def test_table_ddl_inside_transaction_rejected(self, tmp_path):
+        """Regression: DDL autocommits its own WAL record, so inside a
+        transaction it journaled *before* the commit record — a
+        committed drop_table+insert log replayed out of order and made
+        the directory permanently unrecoverable."""
+        from repro.store import TransactionError
+
+        database = open_with_items(tmp_path / "state")
+        table = database.table("items")
+        with pytest.raises(TransactionError, match="not supported"):
+            with database.transaction():
+                table.insert({"value": "x"})
+                database.drop_table("items")
+        # the rejected DDL aborted the transaction cleanly
+        assert len(table) == 0
+        with pytest.raises(TransactionError, match="not supported"):
+            with database.transaction():
+                database.create_table("other", item_schema())
+        database.close()
+
+        recovered = Database.open(tmp_path / "state", fsync="never")
+        assert recovered.table_names() == ["items"]
+        recovered.verify()
+        recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# recovery semantics
+# ---------------------------------------------------------------------------
+
+class TestRecovery:
+    def test_checkpoint_plus_suffix_replay(self, tmp_path):
+        database = open_with_items(tmp_path / "state")
+        table = database.table("items")
+        table.insert({"value": "pre"})
+        database.checkpoint()
+        table.insert({"value": "post"})
+        expected = database.to_snapshot()["tables"]
+        database.close()
+
+        recovered = Database.open(tmp_path / "state", fsync="never")
+        report = recovered.recovery
+        assert report.checkpoint_path is not None
+        assert report.records_replayed == 1  # only the post-checkpoint insert
+        assert recovered.to_snapshot()["tables"] == expected
+        recovered.close()
+
+    def test_ddl_after_checkpoint_is_replayed(self, tmp_path):
+        database = open_with_items(tmp_path / "state")
+        database.checkpoint()
+        database.create_table(
+            "extras",
+            Schema([Column("id", DataType.INT), Column("k", DataType.TEXT)],
+                   primary_key="id"),
+        )
+        database.table("extras").create_index("k", kind="hash")
+        database.table("extras").insert({"k": "x"})
+        database.close()
+
+        recovered = Database.open(tmp_path / "state", fsync="never")
+        extras = recovered.table("extras")
+        assert extras.index_columns() == ["k"]
+        assert extras.index_for("k").lookup("x") == {1}
+        recovered.verify()
+        recovered.close()
+
+    def test_autoincrement_survives_recovery(self, tmp_path):
+        database = open_with_items(tmp_path / "state")
+        database.table("items").insert({"value": "a"})
+        database.table("items").insert({"value": "b"})
+        database.table("items").delete(2)
+        database.close()
+
+        recovered = Database.open(tmp_path / "state", fsync="never")
+        # replaying insert+delete of pk 2 must not recycle the pk
+        assert recovered.table("items").insert({"value": "c"}) == 3
+        recovered.close()
+
+    def test_reopen_after_recovery_continues_journaling(self, tmp_path):
+        database = open_with_items(tmp_path / "state")
+        database.table("items").insert({"value": "a"})
+        database.close()
+        second = Database.open(tmp_path / "state", fsync="never")
+        second.table("items").insert({"value": "b"})
+        second.close()
+        third = Database.open(tmp_path / "state", fsync="never")
+        assert sorted(r["value"] for r in third.table("items").scan()) == ["a", "b"]
+        third.close()
+
+
+# ---------------------------------------------------------------------------
+# atomic snapshot writes (save_database)
+# ---------------------------------------------------------------------------
+
+class TestAtomicSave:
+    def test_failed_save_preserves_previous_snapshot(self, tmp_path, monkeypatch):
+        database = Database("d")
+        database.create_table("items", item_schema())
+        database.table("items").insert({"value": "original"})
+        target = tmp_path / "db.json"
+        save_database(database, target)
+
+        database.table("items").insert({"value": "newer"})
+        monkeypatch.setattr(
+            "repro.store.persist.os.replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("simulated crash")),
+        )
+        with pytest.raises(OSError, match="simulated crash"):
+            save_database(database, target)
+        monkeypatch.undo()
+
+        loaded = load_database(target)
+        assert [row["value"] for row in loaded.table("items").scan()] == ["original"]
+
+    def test_gzip_roundtrip_still_works(self, tmp_path):
+        database = Database("d")
+        database.create_table("items", item_schema())
+        database.table("items").insert({"value": "z"})
+        path = save_database(database, tmp_path / "db.json.gz")
+        assert len(load_database(path).table("items")) == 1
+
+    def test_load_missing_still_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="no database snapshot"):
+            load_database(tmp_path / "nope.json")

@@ -1,6 +1,6 @@
-"""Unit tests: write-ahead log durability and recovery."""
+"""Unit tests: commit-scoped WAL — framing, group commit, recovery."""
 
-import json
+import os
 
 import pytest
 
@@ -30,16 +30,17 @@ def make_database() -> Database:
     return database
 
 
-class TestAppendReplay:
+class TestCommitScopedRecords:
     def test_replay_reproduces_state(self, tmp_path):
         database = make_database()
-        wal = WriteAheadLog(tmp_path / "db.wal")
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
         database.attach_wal(wal)
         table = database.table("items")
         table.insert({"value": "a", "score": 0.1})
         table.insert({"value": "b", "score": 0.2})
         table.update(1, {"score": 0.9})
         table.delete(2)
+        wal.flush()
 
         recovered = make_database()
         applied = WriteAheadLog(tmp_path / "db.wal").replay_into(recovered)
@@ -48,31 +49,69 @@ class TestAppendReplay:
         assert len(items) == 1
         assert items.get(1) == {"id": 1, "value": "a", "score": 0.9}
 
-    def test_sequence_numbers_monotone(self, tmp_path):
+    def test_transaction_is_one_record(self, tmp_path):
         database = make_database()
-        wal = WriteAheadLog(tmp_path / "db.wal")
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
+        database.attach_wal(wal)
+        table = database.table("items")
+        with database.transaction():
+            table.insert({"value": "a"})
+            table.insert({"value": "b"})
+            table.update(1, {"value": "a2"})
+        records = wal.records()
+        assert len(records) == 1
+        assert len(records[0].changes) == 3
+        assert records[0].lsn == 1
+
+    def test_lsn_monotone_and_len_incremental(self, tmp_path):
+        database = make_database()
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
         database.attach_wal(wal)
         for index in range(5):
             database.table("items").insert({"value": f"v{index}"})
-        records = wal.records()
-        assert [record["seq"] for record in records] == [1, 2, 3, 4, 5]
+        assert len(wal) == 5  # tracked without re-reading the file
+        assert [record.lsn for record in wal.records()] == [1, 2, 3, 4, 5]
 
     def test_reopen_continues_sequence(self, tmp_path):
         path = tmp_path / "db.wal"
         database = make_database()
-        database.attach_wal(WriteAheadLog(path))
+        wal = WriteAheadLog(path, fsync="never")
+        database.attach_wal(wal)
         database.table("items").insert({"value": "a"})
-        database.detach_wal()
+        database.close()
 
-        wal2 = WriteAheadLog(path)
+        wal2 = WriteAheadLog(path, fsync="never")
         assert wal2.sequence == 1
+        assert len(wal2) == 1
         database.attach_wal(wal2)
         database.table("items").insert({"value": "b"})
-        assert wal2.records()[-1]["seq"] == 2
+        assert wal2.records()[-1].lsn == 2
+
+    def test_aborted_transaction_leaves_zero_net_log_growth(self, tmp_path):
+        """Regression: aborted transactions used to be journaled twice
+        (changes plus their undo inverses); now they never touch the log."""
+        path = tmp_path / "db.wal"
+        database = make_database()
+        wal = WriteAheadLog(path, fsync="never")
+        database.attach_wal(wal)
+        table = database.table("items")
+        table.insert({"value": "keep"})
+        wal.flush()
+        size_before = os.path.getsize(path)
+        records_before = len(wal)
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                table.insert({"value": "gone"})
+                table.update(1, {"value": "mutated"})
+                raise RuntimeError("boom")
+        wal.flush()
+        assert os.path.getsize(path) == size_before
+        assert len(wal) == records_before
+        assert table.get(1)["value"] == "keep"
 
     def test_rolled_back_txn_replays_to_same_state(self, tmp_path):
         database = make_database()
-        wal = WriteAheadLog(tmp_path / "db.wal")
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
         database.attach_wal(wal)
         table = database.table("items")
         table.insert({"value": "keep"})
@@ -85,50 +124,198 @@ class TestAppendReplay:
         values = [row["value"] for row in recovered.table("items").scan()]
         assert values == ["keep"]
 
-    def test_truncate_resets(self, tmp_path):
-        wal = WriteAheadLog(tmp_path / "db.wal")
+    def test_truncate_preserves_lsn_floor(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
         database = make_database()
         database.attach_wal(wal)
         database.table("items").insert({"value": "a"})
-        wal.truncate()
+        dropped = wal.truncate()
+        assert dropped == 1
         assert wal.records() == []
-        assert wal.sequence == 0
+        assert len(wal) == 0
+        # the sequence never rewinds: post-truncate records must sort
+        # after everything a checkpoint may have covered
+        assert wal.sequence == 1
+        database.table("items").insert({"value": "b"})
+        assert wal.records()[0].lsn == 2
+
+    def test_truncate_through_keeps_suffix(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
+        database = make_database()
+        database.attach_wal(wal)
+        for index in range(4):
+            database.table("items").insert({"value": f"v{index}"})
+        dropped = wal.truncate_through(2)
+        assert dropped == 2
+        assert [record.lsn for record in wal.records()] == [3, 4]
 
     def test_checkpoint_snapshot_plus_wal(self, tmp_path):
         database = make_database()
-        wal = WriteAheadLog(tmp_path / "db.wal")
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
         database.attach_wal(wal)
         table = database.table("items")
         table.insert({"value": "pre"})
         snapshot = database.checkpoint()
         table.insert({"value": "post"})
+        database.close()
 
         recovered = Database.from_snapshot(snapshot)
         WriteAheadLog(tmp_path / "db.wal").replay_into(recovered)
         values = sorted(row["value"] for row in recovered.table("items").scan())
         assert values == ["post", "pre"]
 
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(WalError, match="fsync policy"):
+            WriteAheadLog(tmp_path / "db.wal", fsync="sometimes")
 
-class TestCorruption:
-    def test_corrupt_line_raises(self, tmp_path):
-        path = tmp_path / "db.wal"
-        path.write_text('{"seq": 1, "op": "insert"}\nnot-json\n', encoding="utf-8")
-        with pytest.raises(WalError, match="corrupt WAL line 2"):
-            WriteAheadLog(path).records()
+    def test_commit_after_close_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
+        wal.close()
+        with pytest.raises(WalError, match="closed"):
+            wal.commit_transaction([("insert", "items", 1, {"id": 1})])
 
-    def test_out_of_order_rejected(self, tmp_path):
+    def test_write_failure_is_not_acked_and_breaks_the_log(self, tmp_path, monkeypatch):
+        """A commit whose leader write fails must raise — never report
+        durability it does not have — and the log refuses further use."""
+        database = make_database()
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
+        database.attach_wal(wal)
+        table = database.table("items")
+        table.insert({"value": "good"})
+
+        monkeypatch.setattr(
+            wal._handle, "write",
+            lambda data: (_ for _ in ()).throw(OSError("disk full")),
+            raising=False,
+        )
+        with pytest.raises(WalError, match="disk full"):
+            with database.transaction():
+                table.insert({"value": "lost"})
+        monkeypatch.undo()
+        # the failed transaction rolled back in memory: log and memory agree
+        assert [row["value"] for row in table.scan()] == ["good"]
+        with pytest.raises(WalError, match="broken"):
+            table.insert({"value": "after-break"})
+
+
+class TestTornTails:
+    """Crash mid-append: torn records are discarded, never raised."""
+
+    def _seed(self, tmp_path) -> WriteAheadLog:
+        database = make_database()
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
+        database.attach_wal(wal)
+        for index in range(3):
+            database.table("items").insert({"value": f"v{index}"})
+        database.close()
+        return wal
+
+    def test_half_written_record_discarded(self, tmp_path):
+        self._seed(tmp_path)
         path = tmp_path / "db.wal"
-        lines = [
-            json.dumps({"seq": 2, "op": "insert", "table": "items", "pk": 1,
-                        "row": {"id": 1, "value": "a", "score": None}}),
-            json.dumps({"seq": 1, "op": "insert", "table": "items", "pk": 2,
-                        "row": {"id": 2, "value": "b", "score": None}}),
-        ]
-        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
-        with pytest.raises(WalError, match="out of order"):
-            WriteAheadLog(path).records()
+        raw = path.read_bytes()
+        path.write_bytes(raw + b'00000000 {"lsn": 4, "txn": [')
+        wal = WriteAheadLog(path, fsync="never", repair=False)
+        assert len(wal.records()) == 3
+        assert wal.torn_tail is not None
+        assert path.read_bytes() == raw + b'00000000 {"lsn": 4, "txn": ['
+
+    def test_repair_truncates_in_place(self, tmp_path):
+        self._seed(tmp_path)
+        path = tmp_path / "db.wal"
+        raw = path.read_bytes()
+        path.write_bytes(raw + b"garbage-that-is-not-a-record\n")
+        wal = WriteAheadLog(path, fsync="never")
+        assert wal.repaired_bytes == len(b"garbage-that-is-not-a-record\n")
+        assert path.read_bytes() == raw
+        assert len(wal) == 3
+
+    def test_interior_corruption_refuses_auto_repair(self, tmp_path):
+        """A damaged record with intact records *after* it is not a
+        crash-torn tail: silently truncating would destroy durably-acked
+        commits, so opening for write refuses; inspection still works."""
+        self._seed(tmp_path)
+        path = tmp_path / "db.wal"
+        lines = path.read_bytes().splitlines(keepends=True)
+        corrupted = bytearray(lines[1])
+        corrupted[-5] ^= 0xFF
+        damaged = lines[0] + bytes(corrupted) + lines[2]
+        path.write_bytes(damaged)
+        with pytest.raises(WalError, match="refusing to auto-repair"):
+            WriteAheadLog(path, fsync="never")
+        assert path.read_bytes() == damaged  # nothing destroyed
+        records, torn = WriteAheadLog(path, fsync="never", repair=False).read_committed()
+        assert [record.lsn for record in records] == [1]
+        assert torn is not None
+
+    def test_crc_mismatch_ends_committed_prefix(self, tmp_path):
+        self._seed(tmp_path)
+        path = tmp_path / "db.wal"
+        lines = path.read_bytes().splitlines(keepends=True)
+        # flip one byte inside the second record's payload
+        corrupted = bytearray(lines[1])
+        corrupted[-5] ^= 0xFF
+        path.write_bytes(lines[0] + bytes(corrupted) + lines[2])
+        wal = WriteAheadLog(path, fsync="never", repair=False)
+        records, torn = wal.read_committed()
+        # everything from the first bad record on is untrusted,
+        # including the structurally-valid record after it
+        assert [record.lsn for record in records] == [1]
+        assert "crc mismatch" in torn
+
+    def test_non_monotonic_lsn_ends_committed_prefix(self, tmp_path):
+        self._seed(tmp_path)
+        path = tmp_path / "db.wal"
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(lines[0] + lines[2] + lines[1])
+        wal = WriteAheadLog(path, fsync="never", repair=False)
+        records, torn = wal.read_committed()
+        assert [record.lsn for record in records] == [1, 3]
+        assert "non-monotonic" in torn
+
+    def test_recovery_applies_only_committed_prefix(self, tmp_path):
+        self._seed(tmp_path)
+        path = tmp_path / "db.wal"
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 7])  # crash mid-last-record
+        recovered = make_database()
+        applied = WriteAheadLog(path, fsync="never").replay_into(recovered)
+        assert applied == 2
+        values = sorted(row["value"] for row in recovered.table("items").scan())
+        assert values == ["v0", "v1"]
+        recovered.verify()
 
     def test_empty_file_is_fine(self, tmp_path):
         path = tmp_path / "db.wal"
         path.touch()
-        assert WriteAheadLog(path).records() == []
+        wal = WriteAheadLog(path)
+        assert wal.records() == []
+        assert wal.torn_tail is None
+
+
+class TestFsyncPolicies:
+    @pytest.mark.parametrize("policy", ["always", "interval", "never"])
+    def test_policies_commit_durably(self, tmp_path, policy):
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync=policy)
+        database = make_database()
+        database.attach_wal(wal)
+        for index in range(10):
+            database.table("items").insert({"value": f"v{index}"})
+        database.close()
+        assert len(WriteAheadLog(tmp_path / "db.wal").records()) == 10
+
+    def test_always_fsyncs_every_group(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="always")
+        database = make_database()
+        database.attach_wal(wal)
+        for index in range(5):
+            database.table("items").insert({"value": f"v{index}"})
+        assert wal.sync_count >= 5  # single-threaded: one group per commit
+
+    def test_never_does_not_fsync(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
+        database = make_database()
+        database.attach_wal(wal)
+        for index in range(5):
+            database.table("items").insert({"value": f"v{index}"})
+        assert wal.sync_count == 0
