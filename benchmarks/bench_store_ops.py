@@ -1,11 +1,13 @@
 """EXP-ST — Fig. 2 substrate: embedded-store throughput.
 
 Microbenchmarks of the MySQL-substitute under campaign-shaped
-workloads (bulk insert, indexed queries, cost-based And/top-k queries
-vs. their full-scan/full-sort baselines, planned joins vs. the
-materializing hash_join helper, warm plan-cache vs. cold planning,
-transactional updates, WAL, group-commit fsync policies, concurrent
-snapshot readers vs. a transactional writer, crash recovery).
+workloads (bulk insert, indexed point queries on the live table and on
+snapshot views, cost-based And/top-k queries vs. their
+full-scan/full-sort baselines, planned joins vs. the materializing
+hash_join helper, warm plan-cache vs. cold planning, maintained
+statistics vs. their O(n) baselines, transactional updates, WAL,
+group-commit fsync policies, concurrent snapshot readers vs. a
+transactional writer, crash recovery).
 """
 
 from repro.experiments import store_ops
@@ -15,4 +17,4 @@ def test_exp_st_store_throughput(run_experiment_once, tmp_path):
     result = run_experiment_once(
         lambda: store_ops.run(rows=5000, wal_path=tmp_path / "bench.wal")
     )
-    assert len(result.rows) == 20
+    assert len(result.rows) == 24

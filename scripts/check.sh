@@ -15,6 +15,11 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python -m pytest -x -q
 python -m repro run-experiment EXP-ST --fast
 
+# perf-regression smoke gate: the zero-copy read-path claim subset
+# (point query, view-indexed read, warm plan cache, O(1) statistics)
+# fails the merge on regression even below functional-test visibility
+python scripts/perf_gate.py
+
 # recovery smoke: a durability directory whose WAL ends in a torn
 # (crash-truncated) record must recover the committed prefix, repair
 # the tail, and verify clean — via the CLI, exit code gates the merge.

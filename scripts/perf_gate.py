@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Perf-regression smoke gate: the EXP-ST read-path claim subset.
+
+Runs a reduced EXP-ST (small row count, no WAL) and fails — exit code
+1 — if any of the zero-copy read-path claims regressed:
+
+* hash-index point-query throughput (the >12k ops/sec floor, 5x the
+  pre-zero-copy baseline),
+* snapshot-view indexed reads within 2x of the live table (and planned
+  as indexed access paths, not full scans),
+* warm plan cache beating cold planning,
+* maintained O(1) statistics (n_distinct counter, histogram accuracy).
+
+Called from scripts/check.sh and as a dedicated CI step, so a read-path
+regression fails the merge even when it is not large enough to break a
+functional test.
+
+Usage: PYTHONPATH=src python scripts/perf_gate.py [rows]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import store_ops
+
+#: Substrings identifying the gated claim subset in EXP-ST.
+GATED_CLAIMS = (
+    "zero-copy hash point queries",
+    "snapshot-view indexed point queries",
+    "snapshot views plan indexed access paths",
+    "warm plan cache beats cold planning",
+    "n_distinct is O(1)",
+    "sampled histogram matches exact range selectivity",
+)
+
+
+def main() -> int:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    result = store_ops.run(rows=rows)
+    gated = [
+        claim
+        for claim in result.claims
+        if any(fragment in claim.claim for fragment in GATED_CLAIMS)
+    ]
+    if len(gated) != len(GATED_CLAIMS):
+        print(
+            f"perf gate: expected {len(GATED_CLAIMS)} gated claims, "
+            f"found {len(gated)} — gate out of sync with EXP-ST"
+        )
+        return 1
+    for claim in gated:
+        print(claim)
+    failed = [claim for claim in gated if not claim.passed]
+    if failed:
+        print(f"perf gate: {len(failed)} claim(s) REGRESSED")
+        return 1
+    print(f"perf gate: all {len(gated)} read-path claims hold (rows={rows})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

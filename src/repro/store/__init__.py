@@ -25,7 +25,12 @@ from .errors import (
     UnknownTableError,
     WalError,
 )
-from .index import HashIndex, SortedIndex
+from .index import (
+    HashIndex,
+    HashIndexSnapshot,
+    SortedIndex,
+    SortedIndexSnapshot,
+)
 from .locking import RWLock
 from .persist import (
     export_table_csv,
@@ -73,6 +78,7 @@ from .query import (
     hash_join,
 )
 from .schema import Column, Schema
+from .stats import EquiWidthHistogram
 from .table import Table
 from .transaction import Transaction
 from .types import DataType
@@ -90,7 +96,8 @@ __all__ = [
     "Plan", "FullScan", "Empty", "PkLookup", "HashLookup", "IndexIn",
     "SortedRange", "OrderedScan", "TopK", "Intersect", "Union", "Filter",
     "Sort", "HashJoin", "IndexNestedLoopJoin", "PlanCache", "RebindError",
-    "HashIndex", "SortedIndex",
+    "HashIndex", "SortedIndex", "HashIndexSnapshot", "SortedIndexSnapshot",
+    "EquiWidthHistogram",
     "save_database", "load_database", "export_table_csv",
     "StoreError", "SchemaError", "ConstraintError", "DuplicateKeyError",
     "RowNotFoundError", "UnknownTableError", "UnknownColumnError",

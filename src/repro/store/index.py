@@ -1,10 +1,64 @@
-"""Secondary indexes: hash (equality) and sorted (range) indexes.
+"""Secondary indexes: hash (equality) and sorted (range) indexes, with
+copy-on-write snapshots and maintained O(1) statistics.
 
-Indexes map column values to sets of primary keys and are maintained by
-:class:`repro.store.table.Table` on every insert/update/delete.  ``None``
-values are indexed too (equality lookups for ``None`` are legal);
-sorted indexes keep ``None`` out of the ordered array and track it in a
-side set, because ``None`` does not compare with other values.
+Indexes map column values to primary keys and are maintained by
+:class:`repro.store.table.Table` on every insert/update/delete.
+``None`` values are indexed too (equality lookups for ``None`` are
+legal); sorted indexes keep ``None`` out of the ordered array and track
+it in a side set, because ``None`` does not compare with other values.
+
+Zero-copy reads
+===============
+
+Lookups come in two flavours.  The classic ``lookup``/``range`` methods
+return materialized copies (a fresh ``set`` / ``list``) and remain the
+safe public surface — callers can do set algebra on the result without
+touching index internals.  The ``iter_*`` methods (``iter_eq``,
+``iter_in``, ``iter_range``, ``iter_pks``) are *lazy*: they stream
+primary keys straight out of the index structures without materializing
+the bucket or span, which is what the physical plan nodes use — a
+``limit 5`` point query touches 5 entries of a 10,000-entry bucket
+instead of copying and sorting all of it.
+
+Hash buckets are insertion-ordered ``dict[pk, None]`` mappings, so lazy
+iteration is deterministic (first-inserted first) without a sort.
+
+Live indexes vs snapshots: on a **live** index the ``iter_*`` methods
+capture the touched bucket/span with one atomic C-level copy (a
+pointer-level ``list()``/slice — no per-entry work, no sort) so
+lock-free readers can never observe a concurrent writer reshuffling the
+structure mid-iteration; on a **snapshot** the structures are frozen,
+so iteration is fully lazy and touches only the entries consumed.
+
+Copy-on-write snapshots
+=======================
+
+``snapshot()`` pins the index's current state in O(1) and returns an
+immutable ``*IndexSnapshot`` exposing the full read/statistics surface.
+Writers detach lazily:
+
+* a **hash index** shallow-copies the bucket directory on the first
+  mutation after a snapshot and then clones **only the touched bucket**
+  the first time each bucket is written in the new generation
+  (``_owned`` tracks privatized buckets);
+* a **sorted index** clones its key array (a pointer-level shallow
+  copy) and NULL set on the first mutation after a snapshot — a flat
+  bisect array has no sub-structure to clone at finer grain, and the
+  clone is a single C-level copy amortized over the whole generation.
+
+Snapshots therefore cost nothing unless a writer actually mutates the
+index, and writers pay per-generation, not per-snapshot.  A useful side
+effect: once a snapshot exists, in-flight lazy iterators keep reading
+the detached (frozen) structures and never observe the writer.
+
+Maintained statistics
+=====================
+
+Both index kinds keep O(1) statistics for the planner: ``__len__`` and
+``n_distinct`` are maintained counters (the sorted index previously
+walked all n entries to count distinct values — the first planner cost
+to hurt on big indexes), and ``estimate_eq``/``estimate_range`` stay
+exact (bucket length / two bisections).
 """
 
 from __future__ import annotations
@@ -12,96 +66,230 @@ from __future__ import annotations
 import bisect
 from typing import Any, Hashable, Iterable, Iterator
 
-__all__ = ["HashIndex", "SortedIndex"]
+__all__ = [
+    "HashIndex", "SortedIndex", "HashIndexSnapshot", "SortedIndexSnapshot",
+]
+
+#: Shared empty bucket for misses: no per-miss allocation.
+_EMPTY: tuple = ()
 
 
-class HashIndex:
-    """Equality index: value -> set of primary keys."""
+# ----------------------------------------------------------------------
+# hash indexes
+# ----------------------------------------------------------------------
+
+
+class _HashReadSurface:
+    """Read + statistics surface shared by :class:`HashIndex` and its
+    snapshots.  ``_buckets`` maps value -> insertion-ordered
+    ``dict[pk, None]``; buckets are disjoint (one value per pk)."""
 
     kind = "hash"
-
-    def __init__(self, column: str) -> None:
-        self.column = column
-        self._buckets: dict[Hashable, set[Any]] = {}
-
-    def add(self, value: Hashable, pk: Any) -> None:
-        self._buckets.setdefault(value, set()).add(pk)
-
-    def remove(self, value: Hashable, pk: Any) -> None:
-        bucket = self._buckets.get(value)
-        if bucket is None:
-            return
-        bucket.discard(pk)
-        if not bucket:
-            del self._buckets[value]
+    column: str
+    _buckets: dict[Hashable, dict[Any, None]]
 
     def lookup(self, value: Hashable) -> set[Any]:
-        return set(self._buckets.get(value, ()))
+        """Materialized copy of one bucket (safe for set algebra)."""
+        return set(self._buckets.get(value, _EMPTY))
 
-    def lookup_many(self, values: Iterator[Hashable]) -> set[Any]:
+    def iter_eq(self, value: Hashable) -> Iterator[Any]:
+        """Stream one bucket's pks in insertion order (lazy; overridden
+        with an atomic capture on the live index)."""
+        return iter(self._buckets.get(value, _EMPTY))
+
+    def lookup_many(self, values: Iterable[Hashable]) -> set[Any]:
         out: set[Any] = set()
         for value in values:
-            out |= self._buckets.get(value, set())
+            bucket = self._buckets.get(value)
+            if bucket:
+                out.update(bucket)
         return out
+
+    def iter_in(self, values: Iterable[Hashable]) -> Iterator[Any]:
+        """Stream the pks of several buckets.
+
+        Buckets are disjoint by construction, so only the *values* need
+        deduplication (``IN (x, x)`` must not yield a pk twice).
+        """
+        for value in dict.fromkeys(values):
+            bucket = self._buckets.get(value)
+            if bucket:
+                yield from bucket
+
+    def contains_entry(self, value: Hashable, pk: Any) -> bool:
+        """True when ``pk`` is indexed under ``value`` (no copying)."""
+        return pk in self._buckets.get(value, _EMPTY)
 
     def distinct_values(self) -> list[Hashable]:
         return list(self._buckets)
 
-    # live statistics (consumed by the query planner) -------------------
+    # statistics (consumed by the query planner) ------------------------
 
     def estimate_eq(self, value: Hashable) -> int:
         """Exact cardinality of an equality lookup, without copying."""
-        return len(self._buckets.get(value, ()))
+        return len(self._buckets.get(value, _EMPTY))
 
     def estimate_in(self, values: Iterable[Hashable]) -> int:
-        """Upper bound on an IN() lookup (buckets may share no pks)."""
-        return sum(len(self._buckets.get(value, ())) for value in values)
+        """Exact cardinality of an IN() lookup (buckets are disjoint;
+        duplicate candidate values are counted once)."""
+        return sum(
+            len(self._buckets.get(value, _EMPTY)) for value in dict.fromkeys(values)
+        )
 
     def n_distinct(self) -> int:
         return len(self._buckets)
 
-    def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._buckets.values())
 
-    def clear(self) -> None:
-        self._buckets.clear()
-
-
-class SortedIndex:
-    """Order index: parallel sorted arrays of (value, pk) for range scans.
-
-    Duplicate values are allowed; within one value, pk order is the
-    insertion-sorted (value, pk) order, which is deterministic.
-    """
-
-    kind = "sorted"
+class HashIndex(_HashReadSurface):
+    """Equality index: value -> insertion-ordered pks, with bucket-level
+    copy-on-write against live snapshots."""
 
     def __init__(self, column: str) -> None:
         self.column = column
-        self._keys: list[tuple[Any, Any]] = []
-        self._nulls: set[Any] = set()
+        self._buckets: dict[Hashable, dict[Any, None]] = {}
+        self._size = 0
+        #: a snapshot pins the current bucket directory
+        self._shared = False
+        #: at least one snapshot was ever taken: bucket writes must
+        #: check ownership before mutating in place
+        self._cow = False
+        #: buckets privatized since the last snapshot
+        self._owned: set[Hashable] = set()
 
-    def add(self, value: Any, pk: Any) -> None:
-        if value is None:
-            self._nulls.add(pk)
-            return
-        bisect.insort(self._keys, (value, _PkKey(pk)))
+    # ------------------------------------------------------------------
 
-    def remove(self, value: Any, pk: Any) -> None:
-        if value is None:
-            self._nulls.discard(pk)
+    def snapshot(self) -> "HashIndexSnapshot":
+        """Pin the current state in O(1) (see module docstring)."""
+        self._cow = True
+        self._shared = True
+        # every bucket is pinned by the new snapshot, owned or not
+        self._owned = set()
+        return HashIndexSnapshot(self.column, self._buckets, self._size)
+
+    def _detach(self) -> None:
+        """First mutation after a snapshot: shallow-copy the bucket
+        directory (buckets stay shared until individually touched)."""
+        if self._shared:
+            self._buckets = dict(self._buckets)
+            self._shared = False
+
+    def _owned_bucket(self, value: Hashable) -> dict[Any, None]:
+        """The bucket for ``value``, privatized for this generation."""
+        bucket = self._buckets[value]
+        if self._cow and value not in self._owned:
+            bucket = dict(bucket)
+            self._buckets[value] = bucket
+            self._owned.add(value)
+        return bucket
+
+    # ------------------------------------------------------------------
+
+    # live-read safety: capture the touched bucket with one atomic
+    # C-level pointer copy, so a lock-free reader iterating the result
+    # can never see a concurrent writer's in-place bucket mutation
+    # (snapshots skip the capture — their structures are frozen)
+
+    def iter_eq(self, value: Hashable) -> Iterator[Any]:
+        bucket = self._buckets.get(value)
+        return iter(list(bucket) if bucket else _EMPTY)
+
+    def iter_in(self, values: Iterable[Hashable]) -> Iterator[Any]:
+        for value in dict.fromkeys(values):
+            bucket = self._buckets.get(value)
+            if bucket:
+                yield from list(bucket)
+
+    def add(self, value: Hashable, pk: Any) -> None:
+        self._detach()
+        if value not in self._buckets:
+            self._buckets[value] = {pk: None}
+            if self._cow:
+                self._owned.add(value)
+            self._size += 1
             return
-        entry = (value, _PkKey(pk))
-        position = bisect.bisect_left(self._keys, entry)
-        if position < len(self._keys) and self._keys[position] == entry:
-            del self._keys[position]
+        bucket = self._owned_bucket(value)
+        if pk not in bucket:
+            bucket[pk] = None
+            self._size += 1
+
+    def remove(self, value: Hashable, pk: Any) -> None:
+        bucket = self._buckets.get(value)
+        if bucket is None or pk not in bucket:
+            return
+        self._detach()
+        bucket = self._owned_bucket(value)
+        del bucket[pk]
+        self._size -= 1
+        if not bucket:
+            del self._buckets[value]
+            self._owned.discard(value)
+
+    def clear(self) -> None:
+        # a fresh directory: any snapshot keeps the old one untouched
+        self._buckets = {}
+        self._size = 0
+        self._shared = False
+        self._owned = set()
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class HashIndexSnapshot(_HashReadSurface):
+    """An immutable pin of a hash index (no mutation methods)."""
+
+    __slots__ = ("column", "_buckets", "_size")
+
+    def __init__(
+        self, column: str, buckets: dict[Hashable, dict[Any, None]], size: int
+    ) -> None:
+        self.column = column
+        self._buckets = buckets
+        self._size = size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashIndexSnapshot({self.column!r}, entries={self._size})"
+
+
+# ----------------------------------------------------------------------
+# sorted indexes
+# ----------------------------------------------------------------------
+
+
+class _SortedReadSurface:
+    """Read + statistics surface shared by :class:`SortedIndex` and its
+    snapshots.  ``_keys`` is a sorted array of ``(value, _PkKey)``;
+    ``_nulls`` holds the pks of NULL-valued rows; ``_distinct`` is the
+    maintained count of distinct non-NULL values."""
+
+    kind = "sorted"
+    column: str
+    _keys: list[tuple[Any, "_PkKey"]]
+    _nulls: set[Any]
+    _distinct: int
 
     def lookup(self, value: Any) -> set[Any]:
+        """Materialized copy of one value's pk set."""
         if value is None:
             return set(self._nulls)
         lo = bisect.bisect_left(self._keys, (value, _PK_MIN))
         hi = bisect.bisect_right(self._keys, (value, _PK_MAX))
         return {entry[1].pk for entry in self._keys[lo:hi]}
+
+    def iter_eq(self, value: Any) -> Iterator[Any]:
+        """Stream one value's pks in pk order (lazy; overridden with an
+        atomic span capture on the live index)."""
+        if value is None:
+            yield from sorted(self._nulls, key=_PkKey)
+            return
+        keys = self._keys
+        lo = bisect.bisect_left(keys, (value, _PK_MIN))
+        hi = bisect.bisect_right(keys, (value, _PK_MAX))
+        for position in range(lo, hi):
+            yield keys[position][1].pk
 
     def _span(
         self, low: Any, high: Any, include_low: bool, include_high: bool
@@ -137,7 +325,33 @@ class SortedIndex:
         lo, hi = self._span(low, high, include_low, include_high)
         return [entry[1].pk for entry in self._keys[lo:hi]]
 
-    # live statistics (consumed by the query planner) -------------------
+    def iter_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Any]:
+        """Stream a range's pks in value order.
+
+        Lazy over the frozen key array (snapshots); the live index
+        overrides it with an atomic span capture.
+        """
+        keys = self._keys
+        lo, hi = self._span(low, high, include_low, include_high)
+        for position in range(lo, min(hi, len(keys))):
+            yield keys[position][1].pk
+
+    def contains_entry(self, value: Any, pk: Any) -> bool:
+        """True when ``pk`` is indexed under ``value`` (no copying)."""
+        if value is None:
+            return pk in self._nulls
+        entry = (value, _PkKey(pk))
+        position = bisect.bisect_left(self._keys, entry)
+        return position < len(self._keys) and self._keys[position] == entry
+
+    # statistics (consumed by the query planner) ------------------------
 
     def estimate_eq(self, value: Any) -> int:
         """Exact cardinality of an equality lookup, via two bisections."""
@@ -164,7 +378,17 @@ class SortedIndex:
         return max(0, hi - lo)
 
     def n_distinct(self) -> int:
-        """Distinct indexed values (the NULL group counts as one)."""
+        """Distinct indexed values, O(1) (the NULL group counts as one).
+
+        Maintained incrementally by ``add``/``remove`` — the previous
+        implementation walked all n entries per call, which the join
+        planner paid on every index-nested-loop costing.
+        """
+        return self._distinct + (1 if self._nulls else 0)
+
+    def recount_distinct(self) -> int:
+        """O(n) recount of :meth:`n_distinct` (tests, benchmarks): the
+        walk the maintained counter replaced."""
         count = sum(
             1
             for position, entry in enumerate(self._keys)
@@ -180,17 +404,18 @@ class SortedIndex:
         values always come out in primary-key order in both directions
         so streamed results agree with the stable full-sort path.
         """
+        keys = self._keys
         nulls = sorted(self._nulls, key=_PkKey)
         if not descending:
             yield from nulls
-            for _value, pk_key in self._keys:
+            for _value, pk_key in keys:
                 yield pk_key.pk
             return
-        hi = len(self._keys)
+        hi = len(keys)
         while hi > 0:
-            value = self._keys[hi - 1][0]
-            lo = bisect.bisect_left(self._keys, (value, _PK_MIN), 0, hi)
-            for _value, pk_key in self._keys[lo:hi]:
+            value = keys[hi - 1][0]
+            lo = bisect.bisect_left(keys, (value, _PK_MIN), 0, hi)
+            for _value, pk_key in keys[lo:hi]:
                 yield pk_key.pk
             hi = lo
         yield from nulls
@@ -205,12 +430,131 @@ class SortedIndex:
             return []
         return [entry[1].pk for entry in reversed(self._keys[-count:])]
 
+
+class SortedIndex(_SortedReadSurface):
+    """Order index: parallel sorted arrays of (value, pk) for range
+    scans, with generation-level copy-on-write against snapshots.
+
+    Duplicate values are allowed; within one value, pk order is the
+    insertion-sorted (value, pk) order, which is deterministic.
+    """
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._keys: list[tuple[Any, _PkKey]] = []
+        self._nulls: set[Any] = set()
+        self._distinct = 0
+        #: a snapshot pins the current key array + NULL set
+        self._shared = False
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "SortedIndexSnapshot":
+        """Pin the current state in O(1) (see module docstring)."""
+        self._shared = True
+        return SortedIndexSnapshot(
+            self.column, self._keys, self._nulls, self._distinct
+        )
+
+    def _detach(self) -> None:
+        """First mutation after a snapshot: clone the key array (one
+        pointer-level copy) and the NULL set for this generation."""
+        if self._shared:
+            self._keys = self._keys.copy()
+            self._nulls = set(self._nulls)
+            self._shared = False
+
+    # ------------------------------------------------------------------
+
+    # live-read safety: capture the requested span with one atomic
+    # C-level slice, so lock-free readers never observe a concurrent
+    # writer shifting the key array mid-iteration (the pre-existing
+    # caveat for *whole-index* ordered streams — ``iter_pks`` — still
+    # stands; use a read view for those under writer load)
+
+    def iter_eq(self, value: Any) -> Iterator[Any]:
+        if value is None:
+            return iter(sorted(self._nulls, key=_PkKey))
+        lo, hi = self._span(value, value, True, True)
+        return iter([entry[1].pk for entry in self._keys[lo:hi]])
+
+    def iter_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Any]:
+        lo, hi = self._span(low, high, include_low, include_high)
+        return iter([entry[1].pk for entry in self._keys[lo:hi]])
+
+    def add(self, value: Any, pk: Any) -> None:
+        self._detach()
+        if value is None:
+            self._nulls.add(pk)
+            return
+        entry = (value, _PkKey(pk))
+        keys = self._keys
+        position = bisect.bisect_left(keys, entry)
+        present = (position > 0 and keys[position - 1][0] == value) or (
+            position < len(keys) and keys[position][0] == value
+        )
+        keys.insert(position, entry)
+        if not present:
+            self._distinct += 1
+
+    def remove(self, value: Any, pk: Any) -> None:
+        if value is None:
+            self._detach()
+            self._nulls.discard(pk)
+            return
+        entry = (value, _PkKey(pk))
+        position = bisect.bisect_left(self._keys, entry)
+        if not (position < len(self._keys) and self._keys[position] == entry):
+            return
+        self._detach()
+        keys = self._keys
+        del keys[position]
+        still_present = (position > 0 and keys[position - 1][0] == value) or (
+            position < len(keys) and keys[position][0] == value
+        )
+        if not still_present:
+            self._distinct -= 1
+
+    def clear(self) -> None:
+        # fresh arrays: any snapshot keeps the old generation untouched
+        self._keys = []
+        self._nulls = set()
+        self._distinct = 0
+        self._shared = False
+
     def __len__(self) -> int:
         return len(self._keys) + len(self._nulls)
 
-    def clear(self) -> None:
-        self._keys.clear()
-        self._nulls.clear()
+
+class SortedIndexSnapshot(_SortedReadSurface):
+    """An immutable pin of a sorted index (no mutation methods)."""
+
+    __slots__ = ("column", "_keys", "_nulls", "_distinct")
+
+    def __init__(
+        self,
+        column: str,
+        keys: list[tuple[Any, "_PkKey"]],
+        nulls: set[Any],
+        distinct: int,
+    ) -> None:
+        self.column = column
+        self._keys = keys
+        self._nulls = nulls
+        self._distinct = distinct
+
+    def __len__(self) -> int:
+        return len(self._keys) + len(self._nulls)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SortedIndexSnapshot({self.column!r}, entries={len(self)})"
 
 
 class _PkKey:

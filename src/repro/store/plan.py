@@ -13,6 +13,18 @@ intersections, unions and filters).  Each node
 - renders itself as an indented tree (:meth:`Plan.render`) for
   ``Query.explain()``.
 
+Zero-copy discipline.  Plan nodes stream row **references**
+internally: :meth:`Plan.iter_rows_refs` yields the store's own row
+dicts (safe because rows are never mutated in place — updates bind
+fresh dicts), and index access nodes use the indexes' lazy iterators
+(``iter_eq``/``iter_in``/``iter_range``) instead of materialized
+bucket copies.  :meth:`Plan.iter_rows` is the public boundary: it
+copies each surviving row exactly once — unless the node already
+produces fresh dicts (joins, projections), flagged by
+:attr:`Plan.fresh_rows`, in which case no copy is needed at all.
+Consumers that only *read* rows (counts, aggregates, joins' inner
+stages) stay on the reference surface end to end.
+
 Leaf access nodes (``PkLookup``, ``HashLookup``, ``IndexIn``,
 ``SortedRange``) are *exact*: they produce precisely the rows matching
 their predicate, so no residual re-check is needed.  ``Intersect`` and
@@ -121,6 +133,10 @@ class Plan:
     #: from; set by the planner, consumed by ``rebind``.
     source: "Predicate | None" = None
 
+    #: True when :meth:`iter_rows_refs` yields freshly built dicts that
+    #: no store structure aliases (joins); the boundary copy is skipped.
+    fresh_rows = False
+
     def __init__(self, table: Table) -> None:
         self.table = table
 
@@ -131,12 +147,24 @@ class Plan:
     def iter_pks(self) -> Iterator[Any]:
         """Stream matching primary keys (order is node-specific)."""
         pk_name = self.table.schema.primary_key
-        for row in self.iter_rows():
+        for row in self.iter_rows_refs():
             yield row[pk_name]
 
+    def iter_rows_refs(self) -> Iterator[dict[str, Any]]:
+        """Stream matching row *references* (zero-copy internal
+        surface; callers must not mutate the yielded dicts)."""
+        return self.table.refs_for_pks(self.iter_pks())
+
     def iter_rows(self) -> Iterator[dict[str, Any]]:
-        """Stream matching row copies (order is node-specific)."""
-        return self.table.rows_for_pks(self.iter_pks())
+        """Stream matching rows, safe to mutate: the public boundary.
+
+        Copies each row exactly once — or not at all when the node
+        produces fresh dicts (:attr:`fresh_rows`).
+        """
+        refs = self.iter_rows_refs()
+        if self.fresh_rows:
+            return refs
+        return (dict(row) for row in refs)
 
     def describe(self) -> str:
         """One-line summary of this node (no children)."""
@@ -173,8 +201,8 @@ class FullScan(Plan):
     def iter_pks(self) -> Iterator[Any]:
         return iter(self.table.primary_keys())
 
-    def iter_rows(self) -> Iterator[dict[str, Any]]:
-        return self.table.scan()
+    def iter_rows_refs(self) -> Iterator[dict[str, Any]]:
+        return self.table.scan_refs()
 
     def describe(self) -> str:
         return f"full-scan({self.table.name}, rows={len(self.table)})"
@@ -204,7 +232,7 @@ class Empty(Plan):
     def iter_pks(self) -> Iterator[Any]:
         return iter(())
 
-    def iter_rows(self) -> Iterator[dict[str, Any]]:
+    def iter_rows_refs(self) -> Iterator[dict[str, Any]]:
         return iter(())
 
     def describe(self) -> str:
@@ -256,7 +284,9 @@ class HashLookup(Plan):
         return float(self.index.estimate_eq(self.value))
 
     def iter_pks(self) -> Iterator[Any]:
-        return iter(sorted(self.index.lookup(self.value), key=order_key))
+        # lazy bucket/span iteration: a limited query touches only the
+        # entries it consumes instead of copying + sorting the bucket
+        return self.index.iter_eq(self.value)
 
     def describe(self) -> str:
         return (
@@ -284,18 +314,25 @@ class IndexIn(Plan):
         self.index = index
 
     def estimate(self) -> float:
-        if isinstance(self.index, HashIndex):
+        if self.index.kind == "hash":
             return float(self.index.estimate_in(self.values))
-        return float(sum(self.index.estimate_eq(value) for value in self.values))
+        return float(
+            sum(
+                self.index.estimate_eq(value)
+                for value in dict.fromkeys(self.values)
+            )
+        )
 
     def iter_pks(self) -> Iterator[Any]:
-        if isinstance(self.index, HashIndex):
-            out = self.index.lookup_many(iter(self.values))
-        else:
-            out = set()
-            for value in self.values:
-                out |= self.index.lookup(value)
-        return iter(sorted(out, key=order_key))
+        if self.index.kind == "hash":
+            return self.index.iter_in(self.values)
+        # one value per pk, so spans of distinct values are disjoint:
+        # chaining per-value spans needs no dedup set
+        return (
+            pk
+            for value in dict.fromkeys(self.values)
+            for pk in self.index.iter_eq(value)
+        )
 
     def describe(self) -> str:
         return (
@@ -335,11 +372,9 @@ class SortedRange(Plan):
         )
 
     def iter_pks(self) -> Iterator[Any]:
-        return iter(
-            self.index.range(
-                self.low, self.high,
-                include_low=self.include_low, include_high=self.include_high,
-            )
+        return self.index.iter_range(
+            self.low, self.high,
+            include_low=self.include_low, include_high=self.include_high,
         )
 
     def describe(self) -> str:
@@ -428,11 +463,11 @@ class TopK(Plan):
             return islice(self.child.iter_pks(), self.count)
         return super().iter_pks()
 
-    def iter_rows(self) -> Iterator[dict[str, Any]]:
+    def iter_rows_refs(self) -> Iterator[dict[str, Any]]:
         remaining = self.count
         if remaining <= 0:
             return
-        for row in self.child.iter_rows():
+        for row in self.child.iter_rows_refs():
             if self.predicate is not None and not self.predicate.matches(row):
                 continue
             yield row
@@ -501,10 +536,14 @@ class Union(Plan):
         return float(min(total, len(self.table)))
 
     def iter_pks(self) -> Iterator[Any]:
-        out: set[Any] = set()
+        # lazily stream each branch, deduplicating as we go: first-seen
+        # order is deterministic and nothing is materialized up front
+        seen: set[Any] = set()
         for plan in self.plans:
-            out |= set(plan.iter_pks())
-        return iter(sorted(out, key=order_key))
+            for pk in plan.iter_pks():
+                if pk not in seen:
+                    seen.add(pk)
+                    yield pk
 
     def children(self) -> tuple[Plan, ...]:
         return self.plans
@@ -523,13 +562,22 @@ class Filter(Plan):
         super().__init__(table)
         self.child = child
         self.predicate = predicate
+        self.fresh_rows = child.fresh_rows
 
     def estimate(self) -> float:
-        return self.child.estimate() * _FILTER_SELECTIVITY
+        # value-aware when statistics exist (index stats, sampled
+        # histograms), the classic 1/3 guess otherwise; plan-cache
+        # revalidation leans on this being sensitive to bound values
+        selectivity = getattr(self.predicate, "selectivity", None)
+        if selectivity is None:
+            return self.child.estimate() * _FILTER_SELECTIVITY
+        return self.child.estimate() * selectivity(self.table)
 
-    def iter_rows(self) -> Iterator[dict[str, Any]]:
+    def iter_rows_refs(self) -> Iterator[dict[str, Any]]:
         return (
-            row for row in self.child.iter_rows() if self.predicate.matches(row)
+            row
+            for row in self.child.iter_rows_refs()
+            if self.predicate.matches(row)
         )
 
     def children(self) -> tuple[Plan, ...]:
@@ -562,6 +610,7 @@ class Sort(Plan):
         self.child = child
         self.column = column
         self.descending = descending
+        self.fresh_rows = child.fresh_rows
 
     def estimate(self) -> float:
         return self.child.estimate()
@@ -571,10 +620,10 @@ class Sort(Plan):
         # so skip the sort entirely.
         return self.child.iter_pks()
 
-    def iter_rows(self) -> Iterator[dict[str, Any]]:
+    def iter_rows_refs(self) -> Iterator[dict[str, Any]]:
         pk_name = self.table.schema.primary_key
         rows = sorted(
-            self.child.iter_rows(), key=lambda row: order_key(row[pk_name])
+            self.child.iter_rows_refs(), key=lambda row: order_key(row[pk_name])
         )
         # second, stable pass: ties keep the pk-ascending order above
         rows.sort(
@@ -699,7 +748,12 @@ def stream_hash_join(
 
 
 class _JoinPlan(Plan):
-    """Shared surface of the binary join nodes (combined-row output)."""
+    """Shared surface of the binary join nodes (combined-row output).
+
+    Joins build fresh combined dicts from the input references, so the
+    boundary copy is skipped (``fresh_rows``)."""
+
+    fresh_rows = True
 
     def __init__(
         self, left: Plan, *, left_key: str, right_key: str,
@@ -751,16 +805,16 @@ class HashJoin(_JoinPlan):
     def estimate(self) -> float:
         return max(self.left.estimate(), self.right.estimate())
 
-    def iter_rows(self) -> Iterator[dict[str, Any]]:
+    def iter_rows_refs(self) -> Iterator[dict[str, Any]]:
         if self.build_side == "right":
             return stream_hash_join(
-                self.left.iter_rows(), self.right.iter_rows(),
+                self.left.iter_rows_refs(), self.right.iter_rows_refs(),
                 left_key=self.left_key, right_key=self.right_key,
                 prefix_left=self.prefix_left, prefix_right=self.prefix_right,
                 how=self.how, right_columns=self.right_columns,
             )
         return stream_hash_join(
-            self.right.iter_rows(), self.left.iter_rows(),
+            self.right.iter_rows_refs(), self.left.iter_rows_refs(),
             left_key=self.right_key, right_key=self.left_key,
             prefix_left=self.prefix_right, prefix_right=self.prefix_left,
             how="inner",
@@ -807,13 +861,25 @@ class IndexNestedLoopJoin(_JoinPlan):
             )
 
     def avg_matches(self) -> float:
-        """Expected right rows per probe, from live index statistics."""
+        """Expected right rows per probe, from maintained statistics.
+
+        ``n_distinct`` is an O(1) maintained counter on both index
+        kinds; a filtered right side scales the expectation by the
+        predicate's estimated selectivity (index stats + sampled
+        histograms).
+        """
         if self.via_pk:
-            return 1.0
-        distinct = self.index.n_distinct()
-        if distinct <= 0:
-            return 1.0
-        return len(self.right_table) / distinct
+            matches = 1.0
+        else:
+            distinct = self.index.n_distinct()
+            if distinct <= 0:
+                return 1.0
+            matches = len(self.right_table) / distinct
+        if self.right_predicate is not None:
+            selectivity = getattr(self.right_predicate, "selectivity", None)
+            if selectivity is not None:
+                matches *= selectivity(self.right_table)
+        return matches
 
     def estimate(self) -> float:
         estimate = self.left.estimate() * self.avg_matches()
@@ -823,15 +889,19 @@ class IndexNestedLoopJoin(_JoinPlan):
 
     def _probe_scan(self, key: Any) -> list[dict[str, Any]]:
         return [
-            row for row in self.right_table.scan() if row[self.right_key] == key
+            row
+            for row in self.right_table.scan_refs()
+            if row[self.right_key] == key
         ]
 
     def _probe(self, key: Any) -> list[dict[str, Any]]:
+        """Matching right-row *references* for one probe key (combined
+        rows are built fresh, so references are safe end to end)."""
         if key is None:
             return []  # NULL keys never equi-match
         if self.via_pk:
             try:
-                row = self.right_table.get_or_none(key)
+                row = self.right_table.ref_or_none(key)
             except TypeError:  # unhashable probe key
                 return self._probe_scan(key)
             return [row] if row is not None else []
@@ -841,10 +911,10 @@ class IndexNestedLoopJoin(_JoinPlan):
             return self._probe_scan(key)
         if len(pks) > 1:  # deterministic match order only when it matters
             pks = sorted(pks, key=order_key)
-        return list(self.right_table.rows_for_pks(pks))
+        return list(self.right_table.refs_for_pks(pks))
 
-    def iter_rows(self) -> Iterator[dict[str, Any]]:
-        for left_row in self.left.iter_rows():
+    def iter_rows_refs(self) -> Iterator[dict[str, Any]]:
+        for left_row in self.left.iter_rows_refs():
             if self.left_key not in left_row:
                 raise UnknownColumnError(
                     f"join: left rows lack column {self.left_key!r}"

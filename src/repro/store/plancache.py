@@ -36,6 +36,14 @@ Invalidation
   planning time; a lookup whose current row count differs by more than
   :data:`DRIFT_FACTOR` evicts the entry and replans, so a plan compiled
   against an empty or tiny table does not survive a bulk load.
+* Selectivity drift — each entry also remembers the plan's estimated
+  output cardinality at planning time.  On a hit, the rebound plan's
+  one ``estimate()`` probe (value-sensitive: index cardinalities,
+  histogram-backed residual selectivity) is compared against it; a
+  strategy compiled for a narrow binding whose new estimate blew past
+  :data:`RECHECK_FACTOR` is replanned instead of reused, so ``kind =
+  'rare-kind'`` does not pin an access path that a ``kind =
+  'everything'`` binding of the same shape would regret.
 * Rebind failure — entries whose values cannot be rebound (``Empty``
   plans, unhashable values) are replanned and overwritten in place.
 
@@ -55,12 +63,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .plan import Plan
     from .query import Predicate
 
-__all__ = ["PlanCache", "DRIFT_FACTOR"]
+__all__ = ["PlanCache", "DRIFT_FACTOR", "RECHECK_FACTOR"]
 
 #: A cached plan is evicted when the table's row count at lookup time
 #: and at planning time differ by more than this factor (small-table
 #: noise is absorbed by the +4 floor).
 DRIFT_FACTOR = 2.0
+
+#: A rebound plan is replanned (not reused) when its value-sensitive
+#: estimate exceeds the planning-time estimate by more than this
+#: factor — the cached strategy was chosen for a much narrower binding.
+RECHECK_FACTOR = 8.0
+
+#: Estimates below this row count never trigger the selectivity
+#: re-check (tiny absolute results cannot make a strategy regrettable).
+RECHECK_FLOOR = 16.0
 
 _MAX_ENTRIES = 128
 
@@ -70,6 +87,9 @@ class _Entry:
     plan: "Plan"
     predicate: "Predicate"
     row_count: int
+    #: the plan's estimated output cardinality at planning time; None
+    #: when the estimate probe failed (re-check then always passes)
+    estimate: float | None = None
 
 
 class PlanCache:
@@ -84,6 +104,8 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        #: hits rejected by the per-entry selectivity re-check
+        self.rechecks = 0
         self.enabled = True
 
     # ------------------------------------------------------------------
@@ -112,15 +134,33 @@ class PlanCache:
             return entry
 
     def store(
-        self, key: Hashable, plan: "Plan", predicate: "Predicate", row_count: int
+        self,
+        key: Hashable,
+        plan: "Plan",
+        predicate: "Predicate",
+        row_count: int,
+        estimate: float | None = None,
     ) -> None:
         if not self.enabled:
             return
         with self._mutex:
-            self._entries[key] = _Entry(plan, predicate, row_count)
+            self._entries[key] = _Entry(plan, predicate, row_count, estimate)
             self._entries.move_to_end(key)
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
+
+    def revalidate(self, entry: _Entry, new_estimate: float) -> bool:
+        """Per-entry selectivity re-check (see module docstring).
+
+        True when the rebound plan may be reused; False forces a replan
+        (the fresh plan then overwrites the entry via ``store``).
+        """
+        if entry.estimate is None:
+            return True
+        if new_estimate <= RECHECK_FACTOR * max(entry.estimate, RECHECK_FLOOR):
+            return True
+        self.rechecks += 1
+        return False
 
     def record_hit(self) -> None:
         self.hits += 1
@@ -145,6 +185,7 @@ class PlanCache:
             self.hits = 0
             self.misses = 0
             self.invalidations = 0
+            self.rechecks = 0
 
     # ------------------------------------------------------------------
 
@@ -157,6 +198,7 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "rechecks": self.rechecks,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -61,8 +61,8 @@ from itertools import islice
 from typing import Any, Iterable, Iterator
 
 from .errors import QueryError, UnknownColumnError
-from .index import SortedIndex
 from .plan import (
+    _FILTER_SELECTIVITY,
     Empty,
     Filter,
     FullScan,
@@ -105,6 +105,19 @@ class Predicate:
         """
         return None
 
+    def selectivity(self, table) -> float:
+        """Estimated fraction of ``table``'s rows this predicate keeps.
+
+        Value-aware where statistics exist — exact index cardinalities
+        for equality/range predicates on indexed columns, sampled
+        equi-width histograms for ranges on unindexed numeric columns —
+        and the classic fixed guess otherwise.  Consumed by residual
+        ``Filter`` costing, join planning, and the plan cache's
+        per-entry selectivity re-check.  Advisory only: never used for
+        correctness.
+        """
+        return _FILTER_SELECTIVITY
+
     def __and__(self, other: "Predicate") -> "And":
         return And(self, other)
 
@@ -124,8 +137,74 @@ class TruePredicate(Predicate):
     def shape(self) -> tuple:
         return ("True",)
 
+    def selectivity(self, table) -> float:
+        return 1.0
+
     def __repr__(self) -> str:
         return "TruePredicate()"
+
+
+def _eq_fraction(table, column: str, value: Any) -> float | None:
+    """Exact fraction of rows with ``column == value``, or None when no
+    index covers the column (or the value is index-incompatible)."""
+    rows = len(table)
+    if rows == 0:
+        return 0.0
+    if column == table.schema.primary_key:
+        try:
+            return (1.0 / rows) if table.contains(value) else 0.0
+        except TypeError:
+            return None
+    index = table.index_for(column)
+    if index is None:
+        return None
+    try:
+        return min(1.0, index.estimate_eq(value) / rows)
+    except TypeError:
+        return None
+
+
+def _range_fraction(
+    table,
+    column: str,
+    low: Any,
+    high: Any,
+    *,
+    include_low: bool = True,
+    include_high: bool = True,
+) -> float | None:
+    """Estimated fraction of rows in the range, or None when neither an
+    index nor a histogram covers the column."""
+    rows = len(table)
+    if rows == 0:
+        return 0.0
+    index = table.index_for(column)
+    if index is not None and index.kind == "sorted":
+        try:
+            return min(
+                1.0,
+                index.estimate_range(
+                    low, high, include_low=include_low, include_high=include_high
+                )
+                / rows,
+            )
+        except TypeError:
+            return None
+    if not _histogram_bound(low) or not _histogram_bound(high):
+        return None
+    histogram_of = getattr(table, "histogram", None)
+    if histogram_of is None:
+        return None
+    histogram = histogram_of(column)
+    if histogram is None:
+        return None
+    return histogram.selectivity(
+        low, high, include_low=include_low, include_high=include_high
+    )
+
+
+def _histogram_bound(value: Any) -> bool:
+    return value is None or isinstance(value, (int, float))
 
 
 def _leaf_shape(predicate: "Predicate") -> tuple | None:
@@ -158,10 +237,20 @@ class Eq(_ColumnPredicate):
     def matches(self, row: dict[str, Any]) -> bool:
         return self._get(row) == self.value
 
+    def selectivity(self, table) -> float:
+        fraction = _eq_fraction(table, self.column, self.value)
+        return _FILTER_SELECTIVITY if fraction is None else fraction
+
 
 class Ne(_ColumnPredicate):
     def matches(self, row: dict[str, Any]) -> bool:
         return self._get(row) != self.value
+
+    def selectivity(self, table) -> float:
+        fraction = _eq_fraction(table, self.column, self.value)
+        if fraction is None:
+            return _FILTER_SELECTIVITY
+        return max(0.0, 1.0 - fraction)
 
 
 class _OrderedPredicate(_ColumnPredicate):
@@ -182,11 +271,25 @@ class Lt(_OrderedPredicate):
         value = self._cmp_value(row)
         return value is not _NULL and value < self.value
 
+    def selectivity(self, table) -> float:
+        if self.value is None:
+            return 0.0
+        fraction = _range_fraction(
+            table, self.column, None, self.value, include_high=False
+        )
+        return _FILTER_SELECTIVITY if fraction is None else fraction
+
 
 class Le(_OrderedPredicate):
     def matches(self, row: dict[str, Any]) -> bool:
         value = self._cmp_value(row)
         return value is not _NULL and value <= self.value
+
+    def selectivity(self, table) -> float:
+        if self.value is None:
+            return 0.0
+        fraction = _range_fraction(table, self.column, None, self.value)
+        return _FILTER_SELECTIVITY if fraction is None else fraction
 
 
 class Gt(_OrderedPredicate):
@@ -194,11 +297,25 @@ class Gt(_OrderedPredicate):
         value = self._cmp_value(row)
         return value is not _NULL and value > self.value
 
+    def selectivity(self, table) -> float:
+        if self.value is None:
+            return 0.0
+        fraction = _range_fraction(
+            table, self.column, self.value, None, include_low=False
+        )
+        return _FILTER_SELECTIVITY if fraction is None else fraction
+
 
 class Ge(_OrderedPredicate):
     def matches(self, row: dict[str, Any]) -> bool:
         value = self._cmp_value(row)
         return value is not _NULL and value >= self.value
+
+    def selectivity(self, table) -> float:
+        if self.value is None:
+            return 0.0
+        fraction = _range_fraction(table, self.column, self.value, None)
+        return _FILTER_SELECTIVITY if fraction is None else fraction
 
 
 @dataclass(frozen=True)
@@ -231,6 +348,19 @@ class In(Predicate):
     def shape(self) -> tuple | None:
         return _leaf_shape(self)
 
+    def selectivity(self, table) -> float:
+        try:
+            distinct = tuple(dict.fromkeys(self.values))
+        except TypeError:  # unhashable candidate values
+            return _FILTER_SELECTIVITY
+        total = 0.0
+        for value in distinct:
+            fraction = _eq_fraction(table, self.column, value)
+            if fraction is None:
+                return _FILTER_SELECTIVITY
+            total += fraction
+        return min(1.0, total)
+
 
 @dataclass(frozen=True)
 class Between(Predicate):
@@ -249,6 +379,12 @@ class Between(Predicate):
 
     def shape(self) -> tuple | None:
         return _leaf_shape(self)
+
+    def selectivity(self, table) -> float:
+        if self.low is None or self.high is None:
+            return 0.0
+        fraction = _range_fraction(table, self.column, self.low, self.high)
+        return _FILTER_SELECTIVITY if fraction is None else fraction
 
 
 @dataclass(frozen=True)
@@ -286,6 +422,12 @@ class And(Predicate):
     def shape(self) -> tuple | None:
         return _branch_shape(self, And)
 
+    def selectivity(self, table) -> float:
+        product = 1.0
+        for part in self.parts:  # independence assumption
+            product *= part.selectivity(table)
+        return product
+
     def __repr__(self) -> str:
         return f"And({', '.join(map(repr, self.parts))})"
 
@@ -301,6 +443,9 @@ class Or(Predicate):
 
     def shape(self) -> tuple | None:
         return _branch_shape(self, Or)
+
+    def selectivity(self, table) -> float:
+        return min(1.0, sum(part.selectivity(table) for part in self.parts))
 
     def __repr__(self) -> str:
         return f"Or({', '.join(map(repr, self.parts))})"
@@ -320,6 +465,9 @@ class Not(Predicate):
         if inner is None:
             return None
         return ("Not", inner)
+
+    def selectivity(self, table) -> float:
+        return max(0.0, 1.0 - self.inner.selectivity(table))
 
     def __repr__(self) -> str:
         return f"Not({self.inner!r})"
@@ -440,7 +588,7 @@ def _build_leaf_plan(table: Table, predicate: Predicate) -> Plan | None:
         elif predicate.value is None:
             return Empty(table, "NULL comparison value")
         index = table.index_for(predicate.column)
-        if not isinstance(index, SortedIndex):
+        if index is None or index.kind != "sorted":
             return None
         column = predicate.column
         if isinstance(predicate, Between):
@@ -591,7 +739,7 @@ class Query:
 
     def exists(self) -> bool:
         """True if any row matches; stops at the first hit."""
-        return next(self._iter_rows(limit_override=1), None) is not None
+        return next(self._iter_row_refs(limit_override=1), None) is not None
 
     def count(self) -> int:
         """Number of matching rows, without building row dicts when the
@@ -601,7 +749,7 @@ class Query:
 
     def pks(self) -> list[Any]:
         pk_name = self._table.schema.primary_key
-        return [row[pk_name] for row in self._iter_rows()]
+        return [row[pk_name] for row in self._iter_row_refs()]
 
     def distinct(self, column: str) -> list[Any]:
         """Distinct values of ``column`` among matching rows, sorted."""
@@ -609,7 +757,7 @@ class Query:
             raise UnknownColumnError(
                 f"distinct: unknown column {column!r} on table {self._table.name!r}"
             )
-        values = {row[column] for row in self._iter_rows()}
+        values = {row[column] for row in self._iter_row_refs()}
         return sorted(values, key=order_key)
 
     def update_rows(self, changes: dict[str, Any]) -> int:
@@ -662,7 +810,7 @@ class Query:
         """Compute count/sum/avg/min/max over the matching rows."""
         _check_aggregate_func(func)
         values = [
-            row[column] for row in self._iter_rows() if row[column] is not None
+            row[column] for row in self._iter_row_refs() if row[column] is not None
         ]
         return _fold_aggregate(values, func)
 
@@ -677,7 +825,7 @@ class Query:
         for _name, (_agg_column, func) in aggregates.items():
             _check_aggregate_func(func)
         groups: dict[Any, list[dict[str, Any]]] = {}
-        for row in self._iter_rows():
+        for row in self._iter_row_refs():
             groups.setdefault(row[column], []).append(row)
         out: dict[Any, dict[str, Any]] = {}
         for key, rows in groups.items():
@@ -719,7 +867,11 @@ class Query:
         plan = self._plan_from_scratch(effective_limit)
         if key is not None:
             cache.record_miss()
-            cache.store(key, plan, self._predicate, len(self._table))
+            try:
+                estimate: float | None = plan.estimate()
+            except TypeError:
+                estimate = None
+            cache.store(key, plan, self._predicate, len(self._table), estimate)
             self._plan_source = "miss"
         else:
             self._plan_source = "bypass"
@@ -735,8 +887,14 @@ class Query:
             plan = entry.plan.rebind(mapping)
             # one probe validates value/index compatibility (unhashable
             # or type-mismatched values raise here, not mid-execution)
-            plan.estimate()
+            estimate = plan.estimate()
         except (RebindError, TypeError, KeyError):
+            return None
+        # selectivity re-check: a strategy compiled for a narrow binding
+        # (e.g. "intersect these two tiny index results") must not be
+        # silently reused for a wide binding of the same shape, where a
+        # different access path would win — replan and overwrite instead
+        if not self._table.plan_cache.revalidate(entry, estimate):
             return None
         return plan
 
@@ -758,7 +916,7 @@ class Query:
             if not is_true:
                 base = Filter(table, base, predicate)
         order_index = table.index_for(self._order_column)
-        if isinstance(order_index, SortedIndex):
+        if order_index is not None and order_index.kind == "sorted":
             estimate = max(base.estimate(), 1.0)
             sort_cost = estimate * (1.0 + math.log2(estimate + 1.0))
             cap = None if effective_limit is None else self._offset + effective_limit
@@ -790,22 +948,38 @@ class Query:
             items = islice(items, self._offset, stop)
         return items
 
-    def _iter_rows(self, limit_override: int | None = None) -> Iterator[dict[str, Any]]:
-        """Stream matching rows (ordered, offset/limit applied, no
-        projection) without mutating builder state."""
+    def _effective_limit(self, limit_override: int | None) -> int | None:
         effective = self._limit
         if limit_override is not None:
             effective = (
                 limit_override if effective is None else min(effective, limit_override)
             )
-        return self._window(self._build_plan(effective).iter_rows(), effective)
+        return effective
+
+    def _iter_row_refs(self, limit_override: int | None = None) -> Iterator[dict[str, Any]]:
+        """Stream matching row *references* (ordered, offset/limit
+        applied, no projection) without mutating builder state.
+
+        Internal read-only surface — counts, aggregates, pk extraction —
+        where the boundary copy would be pure waste.
+        """
+        effective = self._effective_limit(limit_override)
+        return self._window(
+            self._build_plan(effective).iter_rows_refs(), effective
+        )
 
     def _execute(self, limit_override: int | None = None) -> Iterator[dict[str, Any]]:
-        rows = self._iter_rows(limit_override)
+        """Stream result rows, copying exactly once at this public API
+        boundary (projection builds fresh dicts, so it never copies)."""
+        effective = self._effective_limit(limit_override)
+        plan = self._build_plan(effective)
+        rows = self._window(plan.iter_rows_refs(), effective)
         if self._projection is not None:
             names = self._projection
-            rows = ({name: row[name] for name in names} for row in rows)
-        return rows
+            return ({name: row[name] for name in names} for row in rows)
+        if plan.fresh_rows:
+            return rows
+        return (dict(row) for row in rows)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,155 @@
+"""Sampled table statistics: equi-width histograms for range selectivity.
+
+Secondary indexes answer cardinality questions exactly (bucket sizes,
+bisect spans, maintained distinct counters — see
+:mod:`repro.store.index`), so the planner consults them first.  For
+*unindexed* numeric columns the planner previously had nothing better
+than a fixed residual-selectivity guess (1/3).  A
+:class:`EquiWidthHistogram` closes that gap: it is built from a bounded
+systematic sample of column values (every k-th row, capped at
+:data:`SAMPLE_TARGET` values), so construction cost is O(sample) no
+matter how large the table grows, and a selectivity probe is O(1) —
+two bin interpolations.
+
+Consumers:
+
+* the join planner — an index-nested-loop join with a filtered right
+  side scales its expected matches per probe by the right predicate's
+  estimated selectivity;
+* residual ``Filter`` costing — ``Predicate.selectivity`` falls back to
+  the owning table's histogram for range predicates on unindexed
+  numeric columns, which in turn feeds the plan cache's per-entry
+  selectivity re-check (a plan compiled for a narrow binding is not
+  silently reused for a wide binding of the same shape).
+
+Tables build histograms lazily per column and rebuild them after
+mutation drift (see ``Table.histogram``); tiny tables
+(< :data:`MIN_ROWS` rows) return no histogram so the planner's
+small-table behaviour — where exact costs are cheap anyway — is
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["EquiWidthHistogram", "MIN_ROWS", "SAMPLE_TARGET", "numeric_sample"]
+
+#: Histograms are not built below this row count: the fixed fallback
+#: selectivity is fine for tiny tables and exact plans are cheap.
+MIN_ROWS = 64
+
+#: Upper bound on sampled values per histogram (systematic sampling:
+#: every k-th value), bounding build cost on huge tables.
+SAMPLE_TARGET = 512
+
+#: Number of equi-width bins.
+BIN_COUNT = 32
+
+
+def numeric_sample(values: Iterable[Any], population: int) -> list[float]:
+    """A systematic sample of the numeric values in ``values``.
+
+    Takes every k-th element so that at most :data:`SAMPLE_TARGET`
+    values survive; returns [] as soon as a non-numeric value is seen
+    (the column is not histogram-able).  ``bool`` counts as numeric
+    (it is an ``int``), ``None`` values are skipped — SQL range
+    predicates never match NULL anyway.
+    """
+    step = max(1, population // SAMPLE_TARGET)
+    sample: list[float] = []
+    for position, value in enumerate(values):
+        if value is None:
+            continue
+        if not isinstance(value, (int, float)):
+            return []
+        if position % step == 0:
+            sample.append(float(value))
+    return sample
+
+
+class EquiWidthHistogram:
+    """Equi-width histogram over a sample of one column's values.
+
+    ``selectivity`` answers "what fraction of non-NULL rows fall in
+    [low, high]" with linear interpolation inside boundary bins.  The
+    answer is an estimate (sampled, interpolated) — consumers use it
+    for cost ranking only, never for correctness.
+    """
+
+    __slots__ = ("low", "high", "bins", "sample_size")
+
+    def __init__(
+        self, low: float, high: float, bins: Sequence[int], sample_size: int
+    ) -> None:
+        self.low = low
+        self.high = high
+        self.bins = tuple(bins)
+        self.sample_size = sample_size
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[Any], population: int
+    ) -> "EquiWidthHistogram | None":
+        """Build from a column's values, or None when not histogram-able
+        (non-numeric values, or fewer than two distinct sample points).
+        """
+        sample = numeric_sample(values, population)
+        if len(sample) < 2:
+            return None
+        low = min(sample)
+        high = max(sample)
+        if low == high:
+            return None
+        width = (high - low) / BIN_COUNT
+        bins = [0] * BIN_COUNT
+        for value in sample:
+            position = int((value - low) / width)
+            if position >= BIN_COUNT:  # value == high lands in last bin
+                position = BIN_COUNT - 1
+            bins[position] += 1
+        return cls(low, high, bins, len(sample))
+
+    # ------------------------------------------------------------------
+
+    def _cumulative_at(self, value: float) -> float:
+        """Estimated fraction of sampled values strictly below ``value``
+        (linear interpolation inside the containing bin)."""
+        if value <= self.low:
+            return 0.0
+        if value >= self.high:
+            return 1.0
+        width = (self.high - self.low) / len(self.bins)
+        position = min(int((value - self.low) / width), len(self.bins) - 1)
+        below = sum(self.bins[:position])
+        inside = self.bins[position]
+        bin_low = self.low + position * width
+        fraction_of_bin = (value - bin_low) / width
+        return (below + inside * fraction_of_bin) / self.sample_size
+
+    def selectivity(
+        self,
+        low: float | None = None,
+        high: float | None = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> float:
+        """Estimated fraction of rows with ``low <= value <= high``.
+
+        ``None`` bounds are unbounded on that side.  Bound inclusivity
+        is ignored below sampling resolution (an equi-width histogram
+        cannot distinguish ``<`` from ``<=``), which is fine for cost
+        ranking.  The result is clamped to [0, 1].
+        """
+        lo = self._cumulative_at(low) if low is not None else 0.0
+        hi = self._cumulative_at(high) if high is not None else 1.0
+        return min(1.0, max(0.0, hi - lo))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EquiWidthHistogram([{self.low}, {self.high}], "
+            f"bins={len(self.bins)}, sample={self.sample_size})"
+        )

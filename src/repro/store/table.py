@@ -26,6 +26,7 @@ from .index import HashIndex, SortedIndex
 from .locking import RWLock
 from .plancache import PlanCache
 from .schema import Schema
+from .stats import MIN_ROWS, EquiWidthHistogram
 from .types import DataType
 
 __all__ = ["Table", "ChangeEvent"]
@@ -67,6 +68,8 @@ class Table:
         #: True while at least one read view may share ``_rows``; the
         #: next mutation copies the mapping first (copy-on-write)
         self._rows_shared = False
+        #: sampled per-column histograms: column -> (built version, hist)
+        self._histograms: dict[str, tuple[int, EquiWidthHistogram | None]] = {}
         pk_column = schema.column(schema.primary_key)
         self._auto_pk = pk_column.dtype is DataType.INT
         for unique_column in schema.unique_columns():
@@ -121,22 +124,30 @@ class Table:
     def read_view(self):
         """A frozen, consistent view of this table (see ReadView).
 
-        O(1): marks the current row mapping as shared; the next writer
-        copies it instead of mutating in place.  For a table owned by a
-        database, capture waits for any in-flight transaction to finish
-        (the view barrier), so a view never observes a half-applied
-        transaction.
+        O(1) in the table size: marks the current row mapping as shared
+        and pins a copy-on-write snapshot of every secondary index (one
+        O(1) pin per index), so the view plans the same indexed access
+        paths as the live table; the next writer copies the touched
+        structures instead of mutating them in place.  For a table
+        owned by a database, capture waits for any in-flight
+        transaction to finish (the view barrier), so a view never
+        observes a half-applied transaction.
         """
         from .views import ReadView
 
         if self._view_barrier is not None:
             with self._view_barrier():
                 with self._lock.read_locked():
-                    self._rows_shared = True
-                    return ReadView(self, self._rows, self.version)
+                    return self._capture_view(ReadView)
         with self._lock.read_locked():
-            self._rows_shared = True
-            return ReadView(self, self._rows, self.version)
+            return self._capture_view(ReadView)
+
+    def _capture_view(self, view_class):
+        self._rows_shared = True
+        index_snapshots = {
+            column: index.snapshot() for column, index in self._indexes.items()
+        }
+        return view_class(self, self._rows, self.version, index_snapshots)
 
     def _prepare_write(self) -> None:
         """Copy-on-write barrier: called under the write lock before
@@ -299,6 +310,18 @@ class Table:
         for row in list(self._rows.values()):
             yield dict(row)
 
+    def scan_refs(self) -> Iterator[dict[str, Any]]:
+        """Yield *references* to all rows (zero-copy internal surface).
+
+        Used by the plan executor, which copies once at the public API
+        boundary instead of once per pipeline stage.  The list capture
+        is a single pointer-level copy that keeps iteration safe while
+        concurrent writers add or delete rows; the row dicts themselves
+        are never mutated in place (updates bind fresh dicts), so the
+        references stay stable.
+        """
+        return iter(list(self._rows.values()))
+
     def primary_keys(self) -> list[Any]:
         return list(self._rows)
 
@@ -375,6 +398,46 @@ class Table:
             if row is not None:
                 yield dict(row)
 
+    def refs_for_pks(self, pks: Iterable[Any]) -> Iterator[dict[str, Any]]:
+        """Like :meth:`rows_for_pks` but yields row *references* — the
+        zero-copy internal surface used by plan execution (see
+        :meth:`scan_refs` for why references are safe)."""
+        rows = self._rows
+        for pk in pks:
+            row = rows.get(pk)
+            if row is not None:
+                yield row
+
+    def ref_or_none(self, pk: Any) -> dict[str, Any] | None:
+        """Row reference for ``pk``, or None (zero-copy internal read)."""
+        return self._rows.get(pk)
+
+    # ------------------------------------------------------------------
+    # sampled statistics
+    # ------------------------------------------------------------------
+
+    def histogram(self, column: str) -> EquiWidthHistogram | None:
+        """A sampled equi-width histogram of ``column``, or None.
+
+        None for non-numeric columns and for tables below the
+        histogram row floor.  Built lazily and rebuilt after mutation
+        drift (one eighth of the table's rows, floored); advisory only
+        — consumed by selectivity estimation, never for correctness.
+        """
+        if len(self._rows) < MIN_ROWS or not self.schema.has_column(column):
+            return None
+        cached = self._histograms.get(column)
+        if cached is not None:
+            built_version, histogram = cached
+            if self.version - built_version <= max(64, len(self._rows) // 8):
+                return histogram
+        histogram = EquiWidthHistogram.from_values(
+            (row.get(column) for row in list(self._rows.values())),
+            len(self._rows),
+        )
+        self._histograms[column] = (self.version, histogram)
+        return histogram
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -387,12 +450,22 @@ class Table:
             index = self._indexes.get(unique_column)
             if index is None:
                 continue
-            holders = index.lookup(value) - ({exclude_pk} if exclude_pk is not None else set())
-            if holders:
-                raise DuplicateKeyError(
-                    f"table {self.name!r}: UNIQUE column {unique_column!r} "
-                    f"already holds {value!r}"
-                )
+            # zero-copy membership math instead of materializing the
+            # bucket: a holder other than exclude_pk exists iff the
+            # bucket is non-empty and is not exactly {exclude_pk}
+            holders = index.estimate_eq(value)
+            if holders == 0:
+                continue
+            if (
+                exclude_pk is not None
+                and holders == 1
+                and index.contains_entry(value, exclude_pk)
+            ):
+                continue
+            raise DuplicateKeyError(
+                f"table {self.name!r}: UNIQUE column {unique_column!r} "
+                f"already holds {value!r}"
+            )
 
     def _index_add(self, row: dict[str, Any], pk: Any) -> None:
         for column_name, index in self._indexes.items():
@@ -443,6 +516,15 @@ class Table:
                 raise ConstraintError(
                     f"table {self.name!r}: index on {column_name!r} has "
                     f"{len(index)} entries for {len(self._rows)} rows"
+                )
+            if (
+                hasattr(index, "recount_distinct")
+                and index.n_distinct() != index.recount_distinct()
+            ):
+                raise ConstraintError(
+                    f"table {self.name!r}: index on {column_name!r} maintained "
+                    f"distinct counter {index.n_distinct()} != recount "
+                    f"{index.recount_distinct()}"
                 )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

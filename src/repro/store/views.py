@@ -1,19 +1,21 @@
 """Snapshot-isolated read views: frozen, consistent table images.
 
 A :class:`ReadView` is a copy-on-write snapshot of one table: it pins
-the table's row mapping at capture time, and the next writer copies the
-mapping instead of mutating it in place (see ``Table._prepare_write``),
-so every read against the view — point lookups, long scans, aggregates,
-planned joins — observes exactly one version forever.  Capture is O(1);
-nothing is copied unless a writer actually mutates the viewed table.
+the table's row mapping **and a snapshot of every secondary index** at
+capture time, and the next writer copies the touched structures instead
+of mutating them in place (see ``Table._prepare_write`` and the index
+module's copy-on-write protocol), so every read against the view —
+point lookups, long scans, aggregates, planned joins — observes exactly
+one version forever.  Capture is O(1) in the table size; nothing is
+copied unless a writer actually mutates the viewed table.
 
-A view deliberately quacks like a :class:`~repro.store.table.Table`
-with **no secondary indexes**: ``Query(view)`` plans full scans and
-filters over the frozen rows (index structures are mutated in place by
-writers and therefore cannot be shared with a frozen view), and
-``Query(view_a).join(view_b, ...)`` builds hash joins — consistent
-across both sides.  For index-accelerated reads, query the live table;
-for torn-free reads under writer load, query a view.
+A view quacks like a :class:`~repro.store.table.Table` *with* its
+secondary indexes: ``Query(view)`` plans the same
+``PkLookup``/``HashLookup``/``SortedRange``/index-nested-loop-join
+strategies as the live table (against the frozen index snapshots), so
+snapshot readers no longer pay the full-scan penalty that the first
+durability cut imposed.  Views have no mutation methods, so any write
+attempt fails loudly with ``AttributeError``.
 
 :class:`DatabaseView` bundles one view per table, captured together at
 a transaction boundary (``Database.read_view``), so cross-table reads
@@ -26,9 +28,13 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from .errors import RowNotFoundError, UnknownTableError
 from .plancache import PlanCache
+from .stats import MIN_ROWS, EquiWidthHistogram
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .index import HashIndexSnapshot, SortedIndexSnapshot
     from .table import Table
+
+    IndexSnapshot = HashIndexSnapshot | SortedIndexSnapshot
 
 __all__ = ["ReadView", "DatabaseView"]
 
@@ -39,9 +45,10 @@ def _disabled_plan_cache() -> PlanCache:
     return cache
 
 
-#: Shared no-op cache: view plans are FullScan/Filter trees whose cost
-#: is all in execution, and view predicates would pollute the live
-#: table's shape cache with wrong row counts.
+#: Shared no-op cache: views are ephemeral (plans compiled against
+#: their index snapshots must not outlive the view), and view
+#: predicates would pollute the live table's shape cache with stale
+#: index objects.
 _VIEW_PLAN_CACHE = _disabled_plan_cache()
 
 
@@ -49,19 +56,28 @@ class ReadView:
     """A frozen snapshot of one table (snapshot-isolated reads).
 
     Supports the full read surface of ``Table`` — ``scan``, ``get``,
-    ``rows_for_pks``, ``Query(view)``, ``Query(view).join(...)`` — and
-    raises ``TypeError``-free, loudly, on any mutation attempt (views
-    simply have no mutation methods).
+    ``rows_for_pks``, indexed ``Query(view)`` plans,
+    ``Query(view).join(...)`` — and raises loudly on any mutation
+    attempt (views simply have no mutation methods).
     """
 
-    def __init__(self, table: "Table", rows: dict[Any, dict[str, Any]], version: int) -> None:
+    def __init__(
+        self,
+        table: "Table",
+        rows: dict[Any, dict[str, Any]],
+        version: int,
+        indexes: "dict[str, IndexSnapshot] | None" = None,
+    ) -> None:
         self._table = table
         self._rows = rows  # frozen by copy-on-write; never mutated
+        self._indexes = indexes or {}
         self.name = table.name
         self.schema = table.schema
         #: the table version this view observes
         self.version = version
         self.plan_cache = _VIEW_PLAN_CACHE
+        #: per-column histograms built lazily from the frozen rows
+        self._histograms: dict[str, EquiWidthHistogram | None] = {}
 
     # ------------------------------------------------------------------
     # reads (the Table read surface)
@@ -79,13 +95,26 @@ class ReadView:
         row = self._rows.get(pk)
         return dict(row) if row is not None else None
 
+    def ref_or_none(self, pk: Any) -> dict[str, Any] | None:
+        """Row reference, or None (zero-copy internal read surface)."""
+        return self._rows.get(pk)
+
     def contains(self, pk: Any) -> bool:
         return pk in self._rows
 
     def scan(self) -> Iterator[dict[str, Any]]:
-        """Yield copies of all rows at the view's version."""
-        for row in list(self._rows.values()):
+        """Yield copies of all rows at the view's version.
+
+        Unlike ``Table.scan`` there is no defensive list capture: the
+        frozen mapping never changes size, so direct iteration is safe.
+        """
+        for row in self._rows.values():
             yield dict(row)
+
+    def scan_refs(self) -> Iterator[dict[str, Any]]:
+        """Yield row references (zero-copy internal surface); the
+        frozen mapping makes even the list capture unnecessary."""
+        return iter(self._rows.values())
 
     def primary_keys(self) -> list[Any]:
         return list(self._rows)
@@ -96,21 +125,41 @@ class ReadView:
             if row is not None:
                 yield dict(row)
 
+    def refs_for_pks(self, pks: Iterable[Any]) -> Iterator[dict[str, Any]]:
+        rows = self._rows
+        for pk in pks:
+            row = rows.get(pk)
+            if row is not None:
+                yield row
+
     def __len__(self) -> int:
         return len(self._rows)
 
     # ------------------------------------------------------------------
-    # planner surface: a view has no secondary indexes
+    # planner surface: frozen index snapshots + sampled statistics
     # ------------------------------------------------------------------
 
-    def indexes(self) -> dict[str, Any]:
-        return {}
+    def indexes(self) -> "dict[str, IndexSnapshot]":
+        return dict(self._indexes)
 
-    def index_for(self, column: str) -> None:
-        return None
+    def index_for(self, column: str) -> "IndexSnapshot | None":
+        return self._indexes.get(column)
 
     def index_columns(self) -> list[str]:
-        return []
+        return sorted(self._indexes)
+
+    def histogram(self, column: str) -> EquiWidthHistogram | None:
+        """A sampled histogram over the frozen rows (see
+        ``Table.histogram``); cached for the view's lifetime — the
+        underlying rows can never drift."""
+        if len(self._rows) < MIN_ROWS or not self.schema.has_column(column):
+            return None
+        if column not in self._histograms:
+            self._histograms[column] = EquiWidthHistogram.from_values(
+                (row.get(column) for row in self._rows.values()),
+                len(self._rows),
+            )
+        return self._histograms[column]
 
     # ------------------------------------------------------------------
 

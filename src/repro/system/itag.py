@@ -380,13 +380,42 @@ class ITagSystem:
     # tagger API (Figs. 7-8 / audience participation)
     # ------------------------------------------------------------------
 
-    def open_projects(self) -> list[dict]:
+    def read_view(self):
+        """A transaction-consistent snapshot of the relational state.
+
+        O(1) capture; the view plans the same indexed access paths as
+        the live tables (copy-on-write index snapshots), so concurrent
+        tagger sessions read at index speed without ever blocking — or
+        being torn by — the writer.
+        """
+        return self.database.read_view()
+
+    def open_projects(self, view=None) -> list[dict]:
         """Projects taggers can join, with pay and provider approval rate.
 
-        One planned join (projects in state ``running`` probed into
-        ``users`` by primary key) instead of a per-row ``users.get``.
+        One planned join (projects in state ``running`` — a hash-index
+        probe — index-nested-loop joined into ``users`` by primary key)
+        instead of a per-row ``users.get``.  With ``view`` (a
+        ``DatabaseView`` from :meth:`read_view`) the same indexed join
+        runs against the frozen snapshot: the tagger project list is
+        then immune to concurrent task commits mid-read.
         """
-        rows = self.projects.in_state_with_provider("running")
+        if view is None:
+            rows = self.projects.in_state_with_provider("running")
+        else:
+            from ..store import Eq, Query
+
+            rows = (
+                Query(view.table("projects"))
+                .where(Eq("state", "running"))
+                .order_by("id")
+                .join(
+                    view.table("users"),
+                    on=("provider_id", "id"),
+                    prefix_right="user_",
+                )
+                .all()
+            )
         out = []
         for row in rows:
             entry = {

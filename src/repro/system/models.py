@@ -33,11 +33,18 @@ def ensure_system_schema(database: Database) -> Database:
     Used both for fresh in-memory databases and for databases recovered
     from a durability directory (``Database.open``), where some or all
     tables already exist via checkpoint/WAL-DDL replay — existing
-    tables are left untouched.
+    tables are left untouched, except that indexes added in later
+    schema revisions are created on them (index DDL is journaled, so a
+    recovered deployment converges to the current access paths).
     """
     for table_name, builder in _TABLE_BUILDERS.items():
         if not database.has_table(table_name):
             builder(database)
+    # per-task notification kinds are the tagger read path's hottest
+    # filter (session consistency sweeps count them per pass)
+    notifications = database.table("notifications")
+    if "kind" not in notifications.index_columns():
+        notifications.create_index("kind", kind="hash")
     return database
 
 
@@ -163,6 +170,7 @@ def _build_notifications(database: Database) -> None:
         ),
     )
     database.table("notifications").create_index("recipient_id", kind="hash")
+    database.table("notifications").create_index("kind", kind="hash")
 
 
 _TABLE_BUILDERS: dict[str, Callable[[Database], None]] = {

@@ -4,9 +4,15 @@ The original iTag deployment served many tagger browsers concurrently
 off MySQL; this driver reproduces that shape on the embedded store: one
 **writer session** runs platform tagging tasks (each task is one
 transaction — see ``ITagSystem._run_single``), while N **reader
-sessions** hammer the tagger-facing read path — ``open_projects()``
-(a live planned join) plus snapshot-isolated consistency sweeps over
-:meth:`~repro.store.database.Database.read_view`.
+sessions** hammer the tagger-facing read path, primarily on snapshot
+views (:meth:`~repro.store.database.Database.read_view`): the
+``open_projects`` planned join and the consistency sweeps below run
+against the reader's frozen view, planned with the same indexed access
+paths as the live tables (copy-on-write index snapshots) — the
+snapshot-reader full-scan penalty is gone, and readers never observe a
+half-applied transaction.  Each pass also runs the live-table
+``open_projects`` join, keeping the lock-free live index read path
+exercised under concurrent commits.
 
 Every reader pass checks two isolation invariants on its view:
 
@@ -144,7 +150,11 @@ class SessionDriver:
                 torn = first != second
                 spent, task_notifications, _resource_posts = first
                 atomic = spent == task_notifications
-                # live read path under writer load (planned join)
+                # tagger read path under writer load: the planned
+                # projects-users join over this reader's own snapshot,
+                # plus the live-table variant so lock-free live index
+                # reads stay exercised under concurrent commits too
+                self._system.open_projects(view=view)
                 self._system.open_projects()
                 with self._report_lock:
                     report.reader_passes += 1
@@ -162,7 +172,12 @@ class SessionDriver:
     @staticmethod
     def _sweep(view, project_id: int) -> tuple[int, int, int]:
         """One consistency sweep over a frozen view: (budget_spent,
-        per-task notifications, resource post total)."""
+        per-task notifications, resource post total).
+
+        The notification count plans an ``IndexIn`` over the view's
+        snapshot of the ``kind`` hash index — snapshot reads keep index
+        speed instead of degrading to full scans.
+        """
         project = view.table("projects").get(project_id)
         notifications = (
             Query(view.table("notifications"))

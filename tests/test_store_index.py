@@ -108,3 +108,109 @@ class TestSortedIndex:
         index.add(1.0, 5)
         index.add(1.0, "abc")
         assert index.lookup(1.0) == {5, "abc"}
+
+
+class TestLazyIterators:
+    def test_hash_iter_eq_streams_insertion_order(self):
+        index = HashIndex("kind")
+        for pk in (3, 1, 2):
+            index.add("url", pk)
+        assert list(index.iter_eq("url")) == [3, 1, 2]
+        assert list(index.iter_eq("missing")) == []
+
+    def test_hash_iter_in_dedupes_values_not_pks(self):
+        index = HashIndex("kind")
+        index.add("a", 1)
+        index.add("b", 2)
+        assert list(index.iter_in(["a", "a", "b", "z"])) == [1, 2]
+        assert index.estimate_in(["a", "a", "b"]) == 2
+
+    def test_lookup_many_accepts_any_iterable(self):
+        index = HashIndex("kind")
+        index.add("a", 1)
+        index.add("c", 3)
+        assert index.lookup_many(["a", "c", "z"]) == {1, 3}
+        assert index.lookup_many(("z", "q")) == set()
+
+    def test_contains_entry(self):
+        index = HashIndex("kind")
+        index.add("a", 1)
+        assert index.contains_entry("a", 1)
+        assert not index.contains_entry("a", 2)
+        assert not index.contains_entry("b", 1)
+
+    def test_sorted_iter_eq_and_iter_range(self):
+        index = SortedIndex("q")
+        for pk, value in [(1, 0.5), (2, 0.1), (3, 0.9), (4, 0.5), (5, None)]:
+            index.add(value, pk)
+        assert list(index.iter_eq(0.5)) == [1, 4]
+        assert list(index.iter_eq(None)) == [5]
+        assert list(index.iter_range(0.1, 0.5)) == [2, 1, 4]
+        assert list(index.iter_range(0.2, 0.5, include_high=False)) == []
+        assert index.contains_entry(0.5, 4)
+        assert not index.contains_entry(0.5, 9)
+        assert index.contains_entry(None, 5)
+
+
+class TestMaintainedDistinct:
+    def test_counter_tracks_adds_and_removes(self):
+        index = SortedIndex("q")
+        assert index.n_distinct() == 0
+        index.add(0.5, 1)
+        index.add(0.5, 2)
+        index.add(0.9, 3)
+        index.add(None, 4)
+        assert index.n_distinct() == 3 == index.recount_distinct()
+        index.remove(0.5, 1)
+        assert index.n_distinct() == 3 == index.recount_distinct()
+        index.remove(0.5, 2)
+        index.remove(None, 4)
+        assert index.n_distinct() == 1 == index.recount_distinct()
+        index.clear()
+        assert index.n_distinct() == 0 == index.recount_distinct()
+
+
+class TestIndexSnapshots:
+    def test_hash_snapshot_is_frozen_and_cheap_generations(self):
+        index = HashIndex("kind")
+        index.add("a", 1)
+        snap = index.snapshot()
+        index.add("a", 2)
+        index.add("b", 3)
+        index.remove("a", 1)
+        assert snap.lookup("a") == {1}
+        assert snap.n_distinct() == 1
+        assert len(snap) == 1
+        assert index.lookup("a") == {2}
+        assert index.lookup("b") == {3}
+        assert len(index) == 2
+
+    def test_sorted_snapshot_is_frozen(self):
+        index = SortedIndex("q")
+        index.add(0.1, 1)
+        index.add(None, 2)
+        snap = index.snapshot()
+        index.add(0.2, 3)
+        index.remove(None, 2)
+        assert snap.range() == [1]
+        assert snap.lookup(None) == {2}
+        assert snap.n_distinct() == 2
+        assert index.range() == [1, 3]
+        assert index.lookup(None) == set()
+
+    def test_snapshots_have_no_mutation_methods(self):
+        import pytest
+
+        for snap in (HashIndex("k").snapshot(), SortedIndex("k").snapshot()):
+            with pytest.raises(AttributeError):
+                snap.add("x", 1)
+            with pytest.raises(AttributeError):
+                snap.remove("x", 1)
+
+    def test_clear_after_snapshot_keeps_snapshot(self):
+        index = HashIndex("kind")
+        index.add("a", 1)
+        snap = index.snapshot()
+        index.clear()
+        assert snap.lookup("a") == {1}
+        assert len(index) == 0
