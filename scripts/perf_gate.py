@@ -9,7 +9,10 @@ Runs a reduced EXP-ST (small row count, no WAL) and fails — exit code
 * snapshot-view indexed reads within 2x of the live table (and planned
   as indexed access paths, not full scans),
 * warm plan cache beating cold planning,
-* maintained O(1) statistics (n_distinct counter, histogram accuracy).
+* maintained O(1) statistics (n_distinct counter, histogram accuracy),
+* the 3-way-join order search beating the written left-deep baseline
+  (so multi-way join ordering can never silently regress below the
+  plans callers would have hand-written).
 
 Called from scripts/check.sh and as a dedicated CI step, so a read-path
 regression fails the merge even when it is not large enough to break a
@@ -32,6 +35,7 @@ GATED_CLAIMS = (
     "warm plan cache beats cold planning",
     "n_distinct is O(1)",
     "sampled histogram matches exact range selectivity",
+    "searched order beats the written left-deep order",
 )
 
 

@@ -9,7 +9,7 @@ Subcommands::
     itag demo [--seed 11]
     itag store explain TABLE [--where "quality>=0.5" ...] \\
         [--order-by COL] [--descending] [--limit N] \\
-        [--join TABLE --on LEFT=RIGHT [--how inner|left]] [--rows N]
+        [--join TABLE --on LEFT=RIGHT [--how inner|left]]... [--rows N]
     itag store recover --dir STATE_DIR [--fsync POLICY]
     itag store checkpoint --dir STATE_DIR [--fsync POLICY]
     itag store smoke [--readers N] [--tasks N] [--seed N]
@@ -17,8 +17,11 @@ Subcommands::
 
 ``store explain`` prints the physical plan the cost-based planner picks
 for a query over the system schema (populated with ``--rows`` synthetic
-rows per table so index statistics are meaningful), including the join
-strategy and the ``[plan-cache: ...]`` line.
+rows per table so index statistics are meaningful).  ``--join``/``--on``
+repeat: each pair chains another relation onto the join graph, and the
+printed tree shows the *planner-chosen* join order — the
+``[join-order: ...]`` line names the order and search algorithm, and
+``[plan-cache: ...]`` reports compiled-plan reuse.
 
 ``store recover`` opens a managed durability directory, reports what
 crash recovery did (checkpoint loaded, committed records replayed, torn
@@ -105,12 +108,21 @@ def build_parser() -> argparse.ArgumentParser:
     explain_parser.add_argument("--limit", type=int)
     explain_parser.add_argument("--offset", type=int, default=0)
     explain_parser.add_argument(
-        "--join", metavar="TABLE", help="join with another system table"
+        "--join", action="append", default=[], metavar="TABLE",
+        help="join with another system table (repeatable: each --join "
+        "TABLE pairs with the --on at the same position and chains "
+        "onto the join graph)",
     )
     explain_parser.add_argument(
-        "--on", metavar="LEFT=RIGHT", help="join keys, e.g. id=resource_id"
+        "--on", action="append", default=[], metavar="LEFT=RIGHT",
+        help="join keys for the matching --join; LEFT is an output "
+        "column (prefixed for chained joins), e.g. id=resource_id "
+        "then posts_tagger_id=id",
     )
-    explain_parser.add_argument("--how", choices=("inner", "left"), default="inner")
+    explain_parser.add_argument(
+        "--how", action="append", default=[], choices=("inner", "left"),
+        help="join kind for the matching --join (default inner)",
+    )
     explain_parser.add_argument(
         "--rows", type=int, default=500,
         help="synthetic rows per table backing the index statistics (default 500)",
@@ -390,18 +402,37 @@ def _cmd_store_explain(args: argparse.Namespace) -> int:
         query = query.where(_parse_where(table.schema, expression))
     if args.order_by:
         query = query.order_by(args.order_by, descending=args.descending)
+    if (args.on or args.how) and not args.join:
+        raise QueryError("--on/--how require a matching --join TABLE")
     if args.join:
-        if not args.on:
-            raise QueryError("--join requires --on LEFT=RIGHT")
-        left_key, separator, right_key = args.on.partition("=")
-        if not separator:
-            raise QueryError(f"cannot parse --on {args.on!r}; expected LEFT=RIGHT")
-        joined = query.join(
-            database.table(args.join),
-            on=(left_key.strip(), right_key.strip()),
-            how=args.how,
-            prefix_right=f"{args.join}_",
-        )
+        if len(args.on) != len(args.join):
+            raise QueryError(
+                f"--join needs one --on LEFT=RIGHT per join "
+                f"(got {len(args.join)} join(s), {len(args.on)} --on)"
+            )
+        if args.how and len(args.how) != len(args.join):
+            # argparse cannot see flag interleaving, so partial --how
+            # lists pair by position — demand one per join instead of
+            # silently guessing which join the user meant
+            raise QueryError(
+                f"--how must be given once per --join or not at all "
+                f"(got {len(args.join)} join(s), {len(args.how)} --how)"
+            )
+        joined = None
+        for position, (join_table, on) in enumerate(zip(args.join, args.on)):
+            left_key, separator, right_key = on.partition("=")
+            if not separator:
+                raise QueryError(f"cannot parse --on {on!r}; expected LEFT=RIGHT")
+            how = args.how[position] if position < len(args.how) else "inner"
+            join_args = dict(
+                on=(left_key.strip(), right_key.strip()),
+                how=how,
+                prefix_right=f"{join_table}_",
+            )
+            if joined is None:
+                joined = query.join(database.table(join_table), **join_args)
+            else:
+                joined = joined.join(database.table(join_table), **join_args)
         if args.offset:
             joined = joined.offset(args.offset)
         if args.limit is not None:

@@ -5,7 +5,10 @@ bulk inserts, indexed point/range queries (live table *and* snapshot
 view — the zero-copy read pipeline and copy-on-write index snapshots),
 cost-based multi-predicate queries (vs. a full-scan twin table),
 streaming top-k (vs. a full-sort twin), planned joins (vs. the
-materialize-both-sides ``hash_join`` helper), warm plan-cache execution
+materialize-both-sides ``hash_join`` helper), multi-way join ordering
+(the DP order search vs. the caller-written left-deep order, with a
+non-left-deep chosen tree), sort-merge joins over two sorted indexes,
+join plan-cache reuse, warm plan-cache execution
 (vs. planning every query from scratch), maintained planner statistics
 (O(1) ``n_distinct`` vs. the O(n) walk it replaced, sampled-histogram
 selectivity probes), transactional updates, plus the durable write
@@ -224,6 +227,100 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
     )
     manual_rate = timed(
         "join (materialized hash_join)", join_queries, manual_join, repeats=3
+    )
+
+    # multi-way join ordering: searched order vs written left-deep ------
+    # bare has no indexes, so the written order must hash-join the whole
+    # table against links before categories ever filter anything; the
+    # order search starts from the two rare categories instead.
+    links = database.create_table(
+        "links",
+        Schema(
+            [
+                Column("id", DataType.INT),
+                Column("group_id", DataType.INT),
+                Column("cat_id", DataType.INT),
+            ],
+            primary_key="id",
+        ),
+    )
+    links.create_index("cat_id", kind="hash")
+    cats = database.create_table(
+        "categories",
+        Schema(
+            [Column("id", DataType.INT), Column("kind", DataType.TEXT)],
+            primary_key="id",
+        ),
+    )
+    cats.create_index("kind", kind="hash")
+    for index in range(rows // 2):
+        links.insert({"group_id": index % 50, "cat_id": index % 40})
+    for index in range(40):
+        cats.insert({"kind": "rare" if index < 2 else "common"})
+
+    def three_way(search: bool):
+        join = (
+            Query(bare)
+            .join(links, on=("n_posts", "group_id"), prefix_right="link_")
+            .join(cats, on=("link_cat_id", "id"), prefix_right="cat_")
+            .where(Eq("cat_kind", "rare"))
+        )
+        join.order_search = search
+        return join
+
+    multiway_queries = 20
+    searched_rows = three_way(True).count()
+    written_rows = three_way(False).count()
+    searched_rate = timed(
+        "3-way join (searched order)",
+        multiway_queries,
+        lambda: [three_way(True).count() for _ in range(multiway_queries)],
+        repeats=3,
+    )
+    written_rate = timed(
+        "3-way join (written left-deep)",
+        multiway_queries,
+        lambda: [three_way(False).count() for _ in range(multiway_queries)],
+        repeats=3,
+    )
+    searched_plan = three_way(True).explain()
+    join_cache_explain = three_way(True).explain()  # same shape: a hit
+
+    # sort-merge join: both join columns sorted-indexed, with the range
+    # predicate pushed into the merge bounds
+    mirror = database.create_table(
+        "mirror",
+        Schema(
+            [Column("id", DataType.INT), Column("quality", DataType.FLOAT)],
+            primary_key="id",
+        ),
+    )
+    mirror.create_index("quality", kind="sorted")
+    for index in range(rows // 5):
+        mirror.insert({"quality": (index % 20) / 20.0})
+
+    def merge_join(search: bool):
+        join = (
+            Query(table)
+            .where(Between("quality", 0.40, 0.45))
+            .join(mirror, on=("quality", "quality"), prefix_right="m_")
+        )
+        join.order_search = search
+        return join
+
+    merge_plan = merge_join(True).explain()
+    merge_queries = 10
+    timed(
+        "join (sort-merge, sorted indexes)",
+        merge_queries,
+        lambda: [merge_join(True).count() for _ in range(merge_queries)],
+        repeats=3,
+    )
+    timed(
+        "join (same query, written hash)",
+        merge_queries,
+        lambda: [merge_join(False).count() for _ in range(merge_queries)],
+        repeats=3,
     )
 
     # warm plan cache vs. planning every query from scratch -------------
@@ -507,6 +604,35 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
         "planned join beats materialize-both-sides hash_join (>2x)",
         planned_rate > 2 * manual_rate,
         f"{planned_rate:,.0f} vs {manual_rate:,.0f} ops/sec",
+    )
+    result.check(
+        "3-way join: searched order beats the written left-deep order "
+        "(>1.5x) with identical rows",
+        searched_rate > 1.5 * written_rate and searched_rows == written_rows,
+        f"{searched_rate:,.0f} vs {written_rate:,.0f} ops/sec, "
+        f"{searched_rows} rows both",
+    )
+    searched_lines = searched_plan.splitlines()
+    result.check(
+        "the searched 3-way plan is a non-left-deep tree "
+        "(join subtree on the build side)",
+        searched_lines[0].startswith("hash-join")
+        and searched_lines[1].lstrip().startswith("full-scan")
+        and any(
+            line.startswith("  index-nl-join") for line in searched_lines
+        ),
+        " | ".join(searched_lines[:3]),
+    )
+    result.check(
+        "sorted-indexed equality joins run as a sort-merge join "
+        "with pushed-down merge bounds",
+        "sort-merge-join" in merge_plan and "0.4 <= v" in merge_plan,
+        merge_plan.splitlines()[0],
+    )
+    result.check(
+        "repeated join-graph shapes hit the join plan cache",
+        "[plan-cache: hit]" in join_cache_explain,
+        join_cache_explain.splitlines()[-1],
     )
     result.check(
         "warm plan cache beats cold planning (>1.15x)",

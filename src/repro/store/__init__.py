@@ -31,6 +31,7 @@ from .index import (
     SortedIndex,
     SortedIndexSnapshot,
 )
+from .joinorder import JoinEdge, JoinGraph, Relation, plan_join_graph
 from .locking import RWLock
 from .persist import (
     export_table_csv,
@@ -54,6 +55,7 @@ from .plan import (
     RebindError,
     Sort,
     SortedRange,
+    SortMergeJoin,
     TopK,
     Union,
 )
@@ -78,7 +80,7 @@ from .query import (
     hash_join,
 )
 from .schema import Column, Schema
-from .stats import EquiWidthHistogram
+from .stats import EquiWidthHistogram, MostCommonValues
 from .table import Table
 from .transaction import Transaction
 from .types import DataType
@@ -95,9 +97,11 @@ __all__ = [
     "And", "Or", "Not", "hash_join",
     "Plan", "FullScan", "Empty", "PkLookup", "HashLookup", "IndexIn",
     "SortedRange", "OrderedScan", "TopK", "Intersect", "Union", "Filter",
-    "Sort", "HashJoin", "IndexNestedLoopJoin", "PlanCache", "RebindError",
+    "Sort", "HashJoin", "IndexNestedLoopJoin", "SortMergeJoin",
+    "PlanCache", "RebindError",
+    "JoinGraph", "JoinEdge", "Relation", "plan_join_graph",
     "HashIndex", "SortedIndex", "HashIndexSnapshot", "SortedIndexSnapshot",
-    "EquiWidthHistogram",
+    "EquiWidthHistogram", "MostCommonValues",
     "save_database", "load_database", "export_table_csv",
     "StoreError", "SchemaError", "ConstraintError", "DuplicateKeyError",
     "RowNotFoundError", "UnknownTableError", "UnknownColumnError",

@@ -343,6 +343,29 @@ class _SortedReadSurface:
         for position in range(lo, min(hi, len(keys))):
             yield keys[position][1].pk
 
+    def iter_items(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Stream ``(value, pk)`` pairs of a range in key order.
+
+        The merge iterator behind :class:`~repro.store.plan.SortMergeJoin`:
+        two of these streams, one per side, merge without ever building a
+        hash table.  NULL-valued rows live in the side set, so they never
+        appear here (SQL equi-joins never match NULL anyway).  Lazy over
+        the frozen key array (snapshots); the live index overrides it
+        with an atomic span capture.
+        """
+        keys = self._keys
+        lo, hi = self._span(low, high, include_low, include_high)
+        for position in range(lo, min(hi, len(keys))):
+            value, pk_key = keys[position]
+            yield value, pk_key.pk
+
     def contains_entry(self, value: Any, pk: Any) -> bool:
         """True when ``pk`` is indexed under ``value`` (no copying)."""
         if value is None:
@@ -488,6 +511,17 @@ class SortedIndex(_SortedReadSurface):
     ) -> Iterator[Any]:
         lo, hi = self._span(low, high, include_low, include_high)
         return iter([entry[1].pk for entry in self._keys[lo:hi]])
+
+    def iter_items(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[tuple[Any, Any]]:
+        lo, hi = self._span(low, high, include_low, include_high)
+        return iter([(entry[0], entry[1].pk) for entry in self._keys[lo:hi]])
 
     def add(self, value: Any, pk: Any) -> None:
         self._detach()

@@ -31,10 +31,15 @@ their predicate, so no residual re-check is needed.  ``Intersect`` and
 ``Union`` of exact plans stay exact; everything else is made exact by a
 ``Filter`` wrapper.
 
-Joins.  ``HashJoin`` and ``IndexNestedLoopJoin`` are binary nodes whose
-output is *combined* rows (left columns + prefixed right columns), so
-they stream through :meth:`Plan.iter_rows` but refuse
-:meth:`Plan.iter_pks`.  In ``explain()`` output a join reads as::
+Joins.  ``HashJoin``, ``IndexNestedLoopJoin`` and ``SortMergeJoin``
+are binary nodes whose output is *combined* rows (left columns +
+prefixed right columns), so they stream through :meth:`Plan.iter_rows`
+but refuse :meth:`Plan.iter_pks`.  Their inputs are either base-table
+access plans (raw rows, renamed by the join via the ``prefix_*``
+arguments) or other join nodes (already-combined rows, empty prefix) —
+which is what lets the multi-way join-order search
+(:mod:`repro.store.joinorder`) build trees of any shape, not just
+left-deep chains.  In ``explain()`` output a join reads as::
 
     index-nl-join(resources.id = posts.resource_id via hash-index,
                   how=inner, est~250)
@@ -44,19 +49,20 @@ i.e. the probe side (always the left input) is the child subtree, and
 the describe line names the join strategy, the key pair, the access
 path used to probe the right side and the estimated output size.  A
 ``hash-join`` line additionally shows which input is the build side
-(``build=left|right``) — the planner builds the hash table over the
-side with the smaller cardinality estimate.
+(``build=left|right``); a ``sort-merge-join`` renders both sorted-index
+range inputs as children.
 
 Plan-cache rebinding.  Compiled plans are cached per (table, predicate
-*shape*) — see :mod:`repro.store.plancache`.  On a cache hit the stored
-tree is *rebound* to the new predicate's values via
-:meth:`Plan.rebind`: every value-carrying leaf node remembers the leaf
-predicate it was compiled from (``source``) and rebuilds itself from
-the corresponding leaf of the new predicate.  Nodes that cannot be
-rebound safely (``Empty``, whose emptiness was derived from the old
-values, and the join nodes, which are never cached) raise
-:class:`RebindError`, which makes the cache fall back to planning from
-scratch.
+*shape*) — single-table entries *and* whole join trees; see
+:mod:`repro.store.plancache`.  On a cache hit the stored tree is
+*rebound* to the new predicate's values via :meth:`Plan.rebind`: every
+value-carrying leaf node remembers the leaf predicate it was compiled
+from (``source``) and rebuilds itself from the corresponding leaf of
+the new predicate; join nodes rebind their inputs and pushed-down
+per-relation predicates recursively.  Nodes that cannot be rebound
+safely (``Empty``, whose emptiness was derived from the old values)
+raise :class:`RebindError`, which makes the cache fall back to
+planning from scratch.
 """
 
 from __future__ import annotations
@@ -74,8 +80,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "Plan", "FullScan", "Empty", "PkLookup", "HashLookup", "IndexIn",
     "SortedRange", "OrderedScan", "TopK", "Intersect", "Union", "Filter",
-    "Sort", "HashJoin", "IndexNestedLoopJoin", "RebindError",
-    "order_key", "stream_hash_join",
+    "Sort", "HashJoin", "IndexNestedLoopJoin", "SortMergeJoin",
+    "RebindError", "order_key", "stream_hash_join",
 ]
 
 
@@ -830,6 +836,15 @@ class HashJoin(_JoinPlan):
             f"build={self.build_side}, est~{int(self.estimate())})"
         )
 
+    def rebind(self, mapping: dict) -> "Plan":
+        return HashJoin(
+            self.left.rebind(mapping), self.right.rebind(mapping),
+            left_key=self.left_key, right_key=self.right_key,
+            prefix_left=self.prefix_left, prefix_right=self.prefix_right,
+            how=self.how, build_side=self.build_side,
+            right_columns=self.right_columns,
+        )
+
 
 class IndexNestedLoopJoin(_JoinPlan):
     """Probe the right table's index (or primary key) once per left row.
@@ -943,4 +958,177 @@ class IndexNestedLoopJoin(_JoinPlan):
             f"index-nl-join({self.left.table.name}.{self.left_key} = "
             f"{self.right_table.name}.{self.right_key} via {access}, "
             f"how={self.how}, est~{int(self.estimate())}{suffix})"
+        )
+
+    def rebind(self, mapping: dict) -> "Plan":
+        predicate = (
+            None
+            if self.right_predicate is None
+            else _rebind_predicate(self.right_predicate, mapping)
+        )
+        return IndexNestedLoopJoin(
+            self.left.rebind(mapping), self.right_table,
+            left_key=self.left_key, right_key=self.right_key,
+            prefix_left=self.prefix_left, prefix_right=self.prefix_right,
+            how=self.how, right_predicate=predicate,
+            right_columns=self.right_columns,
+        )
+
+
+#: "no value seen yet" sentinel for the sort-merge group buffer (None
+#: is a legal column value, so it cannot serve).
+_NO_GROUP = object()
+
+
+class SortMergeJoin(_JoinPlan):
+    """Merge two sorted indexes on the join columns: streaming, no
+    build table.
+
+    Applicable when *both* join columns carry sorted indexes (and the
+    planner has checked their declared types are mutually comparable).
+    Each side is a :class:`SortedRange` over its index — unbounded for
+    a pure equality join, bounded when a pushed-down range predicate on
+    the join column prunes the merge ("range/equality joins") — and the
+    merge walks both ``iter_items`` streams once, buffering only the
+    current right-side key group.  Unlike a hash join nothing is
+    materialized; unlike an index nested-loop nothing is probed
+    per-row, which wins when the probe side is larger than the right
+    side's distinct-key count.
+
+    NULL join keys live in the sorted indexes' side sets, so the merge
+    never sees them — SQL semantics for free; under ``how="left"`` the
+    NULL-keyed left rows are emitted padded up front (unless a bound
+    pruned them, since a range predicate never matches NULL).  Output
+    rows come out in join-key order.  Optional residual predicates
+    restrict each side before matching (and before padding).
+    """
+
+    def __init__(
+        self, left: "SortedRange", right: "SortedRange", *,
+        left_key: str, right_key: str,
+        prefix_left: str = "", prefix_right: str = "", how: str = "inner",
+        left_predicate: "Predicate | None" = None,
+        right_predicate: "Predicate | None" = None,
+        right_columns: Sequence[str] = (),
+    ) -> None:
+        super().__init__(
+            left, left_key=left_key, right_key=right_key,
+            prefix_left=prefix_left, prefix_right=prefix_right, how=how,
+            right_columns=right_columns,
+        )
+        self.right = right
+        self.left_predicate = left_predicate
+        self.right_predicate = right_predicate
+
+    def _side_selectivity(self, predicate, table) -> float:
+        if predicate is None:
+            return 1.0
+        selectivity = getattr(predicate, "selectivity", None)
+        if selectivity is None:
+            return _FILTER_SELECTIVITY
+        return selectivity(table)
+
+    def estimate(self) -> float:
+        left_est = self.left.estimate() * self._side_selectivity(
+            self.left_predicate, self.left.table
+        )
+        matches = self.right.estimate() / max(self.right.index.n_distinct(), 1)
+        matches *= self._side_selectivity(self.right_predicate, self.right.table)
+        estimate = left_est * matches
+        if self.how == "left":
+            estimate = max(estimate, left_est)
+        return estimate
+
+    def _pad_null_left_rows(self) -> Iterator[dict[str, Any]]:
+        """Left rows whose join key is NULL, padded (``how="left"`` on
+        an unbounded left side only — a range bound excludes NULL)."""
+        rows = self.left.table.refs_for_pks(self.left.index.iter_eq(None))
+        for row in rows:
+            if self.left_predicate is not None and not self.left_predicate.matches(row):
+                continue
+            yield from _emit_joined(
+                row, (), prefix_left=self.prefix_left,
+                prefix_right=self.prefix_right, how="left",
+                padded_columns=self.right_columns,
+            )
+
+    def iter_rows_refs(self) -> Iterator[dict[str, Any]]:
+        if self.how == "left" and self.left.low is None and self.left.high is None:
+            yield from self._pad_null_left_rows()
+        left_table = self.left.table
+        right_table = self.right.table
+        right_items = self.right.index.iter_items(
+            self.right.low, self.right.high,
+            include_low=self.right.include_low,
+            include_high=self.right.include_high,
+        )
+        pending = next(right_items, None)
+        group_value: Any = _NO_GROUP
+        group_rows: list[dict[str, Any]] = []
+        for value, pk in self.left.index.iter_items(
+            self.left.low, self.left.high,
+            include_low=self.left.include_low,
+            include_high=self.left.include_high,
+        ):
+            left_row = left_table.ref_or_none(pk)
+            if left_row is None:
+                continue  # deleted between index capture and fetch
+            if self.left_predicate is not None and not self.left_predicate.matches(
+                left_row
+            ):
+                continue
+            if group_value is _NO_GROUP or group_value != value:
+                # advance the right stream to this key and buffer its group
+                while pending is not None and pending[0] < value:
+                    pending = next(right_items, None)
+                group_value = value
+                group_rows = []
+                while pending is not None and pending[0] == value:
+                    right_row = right_table.ref_or_none(pending[1])
+                    if right_row is not None and (
+                        self.right_predicate is None
+                        or self.right_predicate.matches(right_row)
+                    ):
+                        group_rows.append(right_row)
+                    pending = next(right_items, None)
+            yield from _emit_joined(
+                left_row, group_rows,
+                prefix_left=self.prefix_left, prefix_right=self.prefix_right,
+                how=self.how, padded_columns=self.right_columns,
+            )
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        suffixes = ""
+        if self.left_predicate is not None:
+            suffixes += f", left-filter={self.left_predicate!r}"
+        if self.right_predicate is not None:
+            suffixes += f", right-filter={self.right_predicate!r}"
+        return (
+            f"sort-merge-join({self.left.table.name}.{self.left_key} = "
+            f"{self.right.table.name}.{self.right_key}, how={self.how}, "
+            f"est~{int(self.estimate())}{suffixes})"
+        )
+
+    def rebind(self, mapping: dict) -> "Plan":
+        def rebind_side(side: "SortedRange") -> "SortedRange":
+            if side.source is None:
+                if side.low is None and side.high is None:
+                    return side  # value-free: nothing to rebind
+                raise RebindError("bounded sort-merge input lost its source")
+            return side.rebind(mapping)  # type: ignore[return-value]
+
+        def rebind_predicate(predicate: "Predicate | None") -> "Predicate | None":
+            return None if predicate is None else _rebind_predicate(predicate, mapping)
+
+        return SortMergeJoin(
+            rebind_side(self.left), rebind_side(self.right),
+            left_key=self.left_key, right_key=self.right_key,
+            prefix_left=self.prefix_left, prefix_right=self.prefix_right,
+            how=self.how,
+            left_predicate=rebind_predicate(self.left_predicate),
+            right_predicate=rebind_predicate(self.right_predicate),
+            right_columns=self.right_columns,
         )

@@ -27,11 +27,29 @@ one guarded ``estimate()`` probe validates that the new values are
 compatible with the chosen indexes (an unhashable or type-mismatched
 value forces a replan instead of crashing mid-execution).
 
+Join plans
+==========
+
+Whole compiled join trees are cached too, in the *root* relation's
+cache, under a key describing the join-graph shape: participating
+tables, per-relation predicate shapes, join edges (columns + inner /
+left-outer), output prefixes and the root ordering.  Because a join
+plan bakes in access-path decisions for **every** participating table,
+a join entry records, per participant, the table's row count and its
+cache's DDL ``generation`` at planning time; ``lookup_join`` revalidates
+all of them — an index created or dropped on *any* table, or row-count
+drift past :data:`DRIFT_FACTOR` on *any* table, evicts the entry.
+Value rebinding and the selectivity re-check work exactly as for
+single-table entries (the join layer folds all per-relation predicates
+into one synthetic tree for mapping).
+
 Invalidation
 ============
 
 * ``bump()`` — called by ``Table.create_index`` / ``Table.drop_index``
-  (the DDL that changes which access paths exist) — clears the cache.
+  (the DDL that changes which access paths exist) — clears the cache
+  and advances the cache's ``generation`` (which invalidates join
+  entries cached on *other* tables that joined through this one).
 * Statistics drift — each entry remembers the table's row count at
   planning time; a lookup whose current row count differs by more than
   :data:`DRIFT_FACTOR` evicts the entry and replans, so a plan compiled
@@ -92,6 +110,27 @@ class _Entry:
     estimate: float | None = None
 
 
+@dataclass
+class _JoinEntry:
+    plan: "Plan"
+    #: synthetic predicate tree folding every relation's pushed-down
+    #: predicate plus the residual join filter (for value rebinding)
+    predicate: "Predicate"
+    #: per participating table: (table, cache generation, row count)
+    #: at planning time — all revalidated on lookup
+    participants: tuple[tuple[Any, int, int], ...]
+    estimate: float | None = None
+    #: the join-order search's result metadata (algorithm, order), so
+    #: ``explain()`` reports the chosen order on cache hits too
+    info: dict | None = None
+
+
+def _drifted(then_rows: int, now_rows: int) -> bool:
+    larger = max(then_rows, now_rows)
+    smaller = max(min(then_rows, now_rows), 4)
+    return larger > DRIFT_FACTOR * smaller
+
+
 class PlanCache:
     """LRU cache of compiled plans for one table, with hit/miss stats."""
 
@@ -106,6 +145,9 @@ class PlanCache:
         self.invalidations = 0
         #: hits rejected by the per-entry selectivity re-check
         self.rechecks = 0
+        #: advanced by every bump(); join entries on other tables pin
+        #: this table's generation and die when it moves
+        self.generation = 0
         self.enabled = True
 
     # ------------------------------------------------------------------
@@ -124,9 +166,7 @@ class PlanCache:
             entry = self._entries.get(key)
             if entry is None:
                 return None
-            larger = max(entry.row_count, row_count)
-            smaller = max(min(entry.row_count, row_count), 4)
-            if larger > DRIFT_FACTOR * smaller:
+            if _drifted(entry.row_count, row_count):
                 del self._entries[key]
                 self.invalidations += 1
                 return None
@@ -149,7 +189,59 @@ class PlanCache:
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
 
-    def revalidate(self, entry: _Entry, new_estimate: float) -> bool:
+    def lookup_join(
+        self, key: Hashable, tables: tuple
+    ) -> _JoinEntry | None:
+        """The live join entry for ``key``, or None.
+
+        ``tables`` are the current participating tables in graph order;
+        the entry dies when any participant changed identity, saw DDL
+        (its cache generation moved), or drifted in row count.
+        """
+        if not self.enabled:
+            return None
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None or not isinstance(entry, _JoinEntry):
+                return None
+            live = len(entry.participants) == len(tables) and all(
+                table is then_table
+                and then_generation == table.plan_cache.generation
+                and not _drifted(then_rows, len(table))
+                for (then_table, then_generation, then_rows), table in zip(
+                    entry.participants, tables
+                )
+            )
+            if not live:
+                del self._entries[key]
+                self.invalidations += 1
+                return None
+            self._entries.move_to_end(key)
+            return entry
+
+    def store_join(
+        self,
+        key: Hashable,
+        plan: "Plan",
+        predicate: "Predicate",
+        tables: tuple,
+        estimate: float | None = None,
+        info: dict | None = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        participants = tuple(
+            (table, table.plan_cache.generation, len(table)) for table in tables
+        )
+        with self._mutex:
+            self._entries[key] = _JoinEntry(
+                plan, predicate, participants, estimate, info
+            )
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+    def revalidate(self, entry: "_Entry | _JoinEntry", new_estimate: float) -> bool:
         """Per-entry selectivity re-check (see module docstring).
 
         True when the rebound plan may be reused; False forces a replan
@@ -172,11 +264,14 @@ class PlanCache:
 
     def bump(self) -> None:
         """Hard invalidation: the table's access paths changed (index
-        created or dropped, schema change)."""
+        created or dropped, schema change).  Also advances the DDL
+        generation, killing join entries on other tables' caches that
+        planned through this table."""
         with self._mutex:
             if self._entries:
                 self.invalidations += 1
             self._entries.clear()
+            self.generation += 1
 
     def clear(self) -> None:
         """Drop all entries and reset statistics (benchmarks, tests)."""

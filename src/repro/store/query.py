@@ -32,20 +32,29 @@ filter applies, ``N`` otherwise) and picks the cheaper, so
 ``order_by(col).limit(k)`` on an otherwise unindexed query runs as a
 streaming ``TopK`` with no global sort.
 
-Joins.  ``Query.join(other, on=...)`` compiles to one of two physical
-join strategies (see :mod:`repro.store.plan`): ``IndexNestedLoopJoin``
-when the right key is the right table's primary key or has a secondary
-index and the left side's estimate makes per-row probing cheaper, or
-``HashJoin`` (build side = smaller estimated input) otherwise.  Both
-stream: iterating a join never materializes the full result, and the
-index nested-loop never materializes the right table at all.  The
+Joins.  ``Query.join(other, on=...)`` returns a :class:`JoinQuery`,
+and further ``.join(...)`` calls chain: instead of eagerly nesting
+binary plans in written order, the join accumulates an n-ary **join
+graph** (relations, equi-join edges, per-relation predicates — WHERE
+conjuncts that touch a single non-outer relation are pushed down into
+its access plan).  :mod:`repro.store.joinorder` then searches join
+*orders* — DP over subsets for up to six reorderable relations, greedy
+beyond, caller-written order when output columns collide — and picks a
+physical operator per join: ``IndexNestedLoopJoin`` (probe the right
+table's index per row), ``SortMergeJoin`` (merge two sorted indexes,
+no build table), or ``HashJoin`` (either side as build).  Everything
+streams: iterating a join never materializes the full result.  The
 ``hash_join`` helper remains as a thin list-returning shim over the
 same streaming core for callers holding plain row iterables.
 
 Plan cache.  Each table memoizes compiled plans per predicate *shape*
-(structure + columns + operators — values are rebound at execution);
-see :mod:`repro.store.plancache` for the key format and invalidation
-rules.  ``explain()`` appends a ``[plan-cache: hit|miss|bypass]`` line.
+(structure + columns + operators — values are rebound at execution) —
+including whole join trees, cached on the root relation's table under
+the join-graph shape and invalidated by DDL or row-count drift on any
+participating table; see :mod:`repro.store.plancache` for the key
+format and invalidation rules.  ``explain()`` appends a ``[plan-cache:
+hit|miss|bypass]`` line (for joins, also a ``[join-order: ...]`` line
+naming the planner-chosen order).
 
 Execution is generator-based end to end: ``first()``, ``count()`` and
 ``exists()`` stop as soon as they can and never materialize full result
@@ -61,15 +70,14 @@ from itertools import islice
 from typing import Any, Iterable, Iterator
 
 from .errors import QueryError, UnknownColumnError
+from .joinorder import JoinEdge, JoinGraph, Relation, plan_join_graph
 from .plan import (
     _FILTER_SELECTIVITY,
     Empty,
     Filter,
     FullScan,
-    HashJoin,
     HashLookup,
     IndexIn,
-    IndexNestedLoopJoin,
     Intersect,
     OrderedScan,
     PkLookup,
@@ -207,6 +215,20 @@ def _histogram_bound(value: Any) -> bool:
     return value is None or isinstance(value, (int, float))
 
 
+def _text_eq_fraction(table, column: str, value: Any) -> float | None:
+    """MCV-estimated fraction of rows with ``column == value`` for
+    unindexed TEXT columns, or None when no MCV list exists."""
+    if not isinstance(value, str):
+        return None
+    common_values = getattr(table, "common_values", None)
+    if common_values is None:
+        return None
+    mcv = common_values(column)
+    if mcv is None:
+        return None
+    return mcv.eq_fraction(value)
+
+
 def _leaf_shape(predicate: "Predicate") -> tuple | None:
     """(type name, column) for the known leaf classes, else None.
 
@@ -239,6 +261,9 @@ class Eq(_ColumnPredicate):
 
     def selectivity(self, table) -> float:
         fraction = _eq_fraction(table, self.column, self.value)
+        if fraction is None:
+            # unindexed string equality: sampled most-common-value list
+            fraction = _text_eq_fraction(table, self.column, self.value)
         return _FILTER_SELECTIVITY if fraction is None else fraction
 
 
@@ -248,6 +273,8 @@ class Ne(_ColumnPredicate):
 
     def selectivity(self, table) -> float:
         fraction = _eq_fraction(table, self.column, self.value)
+        if fraction is None:
+            fraction = _text_eq_fraction(table, self.column, self.value)
         if fraction is None:
             return _FILTER_SELECTIVITY
         return max(0.0, 1.0 - fraction)
@@ -1015,20 +1042,34 @@ def _fold_aggregate(values: list, func: str) -> Any:
 
 
 class JoinQuery:
-    """A planned, streaming equi-join of two queries/tables.
+    """A planned, streaming n-ary equi-join.
 
-    Built by :meth:`Query.join`.  The planner compares an index
-    nested-loop (right key is the right table's primary key or an
-    indexed column; cost ≈ one probe per left row) against a hash join
-    (cost ≈ materializing the smaller side) using live cardinality
-    estimates, and ``explain()`` renders which strategy won.  Output
-    rows combine left columns and right columns, each optionally
-    prefixed; ``how="left"`` pads unmatched left rows with ``None`` for
-    every right schema column.
+    Built by :meth:`Query.join`; further :meth:`join` calls chain more
+    relations onto the accumulated **join graph** instead of nesting
+    binary plans.  The join-order search (:mod:`repro.store.joinorder`)
+    picks both the relation order (DP over subsets, greedy for wide
+    graphs, caller-written order when output column names collide) and
+    the physical operator per join — index nested-loop, sort-merge over
+    two sorted indexes, or hash join — from live statistics.
+    ``explain()`` renders the chosen tree plus ``[join-order: ...]``
+    and ``[plan-cache: ...]`` lines.
+
+    Output rows combine each relation's columns under its prefix;
+    ``how="left"`` pads unmatched left rows with ``None`` for every
+    right schema column.  WHERE conjuncts that touch exactly one
+    non-outer relation are pushed down into that relation's access
+    plan; the rest filter the combined rows.  A root query with
+    ``order_by`` keeps its row order through every join.
 
     >>> (Query(resources).where(Eq("kind", "url"))
     ...     .join(posts, on=("id", "resource_id"), prefix_right="post_")
+    ...     .join(users, on=("post_tagger_id", "id"), prefix_right="user_",
+    ...           how="left")
     ...     .all())
+
+    For chained joins the left key is an *output* column name (with
+    its relation's prefix); the first join also accepts the root
+    table's raw column names, as before.
     """
 
     def __init__(
@@ -1041,47 +1082,117 @@ class JoinQuery:
         prefix_left: str = "",
         prefix_right: str = "",
     ) -> None:
+        self._root = left
+        self._check_input(left, "left")
+        self._relations: list[Relation] = [
+            Relation(0, left._table, None, prefix_left)
+        ]
+        #: Query inputs per relation position — their predicates are
+        #: read at plan time, so builder-style .where() calls made
+        #: after .join() still count (root and right sides alike)
+        self._relation_queries: dict[int, Query] = {}
+        self._edges: list[JoinEdge] = []
+        self._filter: Predicate | None = None
+        self._limit: int | None = None
+        self._offset = 0
+        #: how the last compiled join plan was obtained (mirrors Query)
+        self._plan_source = "bypass"
+        self._order_info: dict = {}
+        #: set False to execute the caller-written left-deep order —
+        #: the baseline EXP-ST and the perf gate measure search against
+        self.order_search = True
+        self.join(right, on=on, how=how, prefix_right=prefix_right)
+
+    # graph building ---------------------------------------------------
+
+    def join(
+        self,
+        right: "Table | Query",
+        *,
+        on: str | tuple[str, str],
+        how: str = "inner",
+        prefix_right: str = "",
+    ) -> "JoinQuery":
+        """Chain another relation onto the join graph.
+
+        ``on`` is one column name present on both sides or a
+        ``(left_output_column, right_column)`` pair.
+        """
         if how not in ("inner", "left"):
             raise QueryError(f"join: how must be 'inner' or 'left', got {how!r}")
         if isinstance(on, str):
             left_key = right_key = on
         else:
             left_key, right_key = on
-        self._left = left
-        self._right_query = right if isinstance(right, Query) else None
-        self._right_table = right._table if isinstance(right, Query) else right
-        self._left_key = left_key
-        self._right_key = right_key
-        self._how = how
-        self._prefix_left = prefix_left
-        self._prefix_right = prefix_right
-        self._filter: Predicate | None = None
-        self._limit: int | None = None
-        self._offset = 0
-        for query, side in ((left, "left"), (self._right_query, "right")):
-            if query is None:
-                continue
-            if query._limit is not None or query._offset:
-                raise QueryError(
-                    f"join: {side} input must not carry limit/offset "
-                    "(window the join instead)"
-                )
-            if query._projection is not None:
-                raise QueryError(f"join: {side} input must not carry a projection")
-        if not left._table.schema.has_column(left_key):
-            raise UnknownColumnError(
-                f"join: unknown column {left_key!r} on table {left._table.name!r}"
-            )
-        if not self._right_table.schema.has_column(right_key):
+        right_query = right if isinstance(right, Query) else None
+        right_table = right._table if isinstance(right, Query) else right
+        if right_query is not None:
+            self._check_input(right_query, "right")
+        anchor, anchor_column = self._resolve_left_key(left_key)
+        if not right_table.schema.has_column(right_key):
             raise UnknownColumnError(
                 f"join: unknown column {right_key!r} on table "
-                f"{self._right_table.name!r}"
+                f"{right_table.name!r}"
             )
+        position = len(self._relations)
+        self._relations.append(
+            Relation(
+                position, right_table, None, prefix_right,
+                outer=(how == "left"),
+            )
+        )
+        if right_query is not None:
+            self._relation_queries[position] = right_query
+        self._edges.append(
+            JoinEdge(anchor, anchor_column, position, right_key, how)
+        )
+        return self
+
+    @staticmethod
+    def _check_input(query: Query, side: str) -> None:
+        if query._limit is not None or query._offset:
+            raise QueryError(
+                f"join: {side} input must not carry limit/offset "
+                "(window the join instead)"
+            )
+        if query._projection is not None:
+            raise QueryError(f"join: {side} input must not carry a projection")
+
+    def _resolve_output_column(self, name: str) -> tuple[int, str] | None:
+        """(relation position, raw column) for an output column name.
+
+        Reverse written order, matching collision semantics: on a name
+        collision the later relation's value wins in the combined row.
+        """
+        for relation in reversed(self._relations):
+            prefix = relation.prefix
+            if name.startswith(prefix) and relation.table.schema.has_column(
+                name[len(prefix):]
+            ):
+                return relation.position, name[len(prefix):]
+        return None
+
+    def _resolve_left_key(self, name: str) -> tuple[int, str]:
+        resolved = self._resolve_output_column(name)
+        if resolved is not None:
+            return resolved
+        # first-join compatibility: the root's raw column names work
+        # even when prefix_left renames them in the output
+        if self._relations[0].table.schema.has_column(name):
+            return 0, name
+        raise UnknownColumnError(
+            f"join: {name!r} matches no joined column "
+            f"(relations: {[r.table.name for r in self._relations]})"
+        )
 
     # builder steps ----------------------------------------------------
 
     def where(self, predicate: Predicate) -> "JoinQuery":
-        """Post-join filter over the combined (prefixed) rows."""
+        """Filter over the combined (prefixed) rows.
+
+        Conjuncts touching exactly one non-outer relation are pushed
+        down into that relation's access plan at planning time.
+        """
         self._filter = (
             predicate if self._filter is None else And(self._filter, predicate)
         )
@@ -1099,72 +1210,224 @@ class JoinQuery:
         self._offset = count
         return self
 
+    # predicate pushdown -----------------------------------------------
+
+    def _pushdown_target(self, conjunct: Predicate) -> tuple[int, str] | None:
+        """(position, prefix) of the single non-outer relation this
+        conjunct touches, or None when it must stay a residual."""
+        columns: list[str] = []
+        if not _collect_predicate_columns(conjunct, columns):
+            return None
+        targets: set[int] = set()
+        for name in columns:
+            resolved = self._resolve_output_column(name)
+            if resolved is None:
+                return None
+            targets.add(resolved[0])
+        if len(targets) != 1:
+            return None
+        position = targets.pop()
+        relation = self._relations[position]
+        if relation.outer:
+            # WHERE on a null-supplying side is not ON: it must see the
+            # padded NULLs, so it cannot move below the outer join
+            return None
+        return position, relation.prefix
+
+    def _effective_relations(self) -> tuple[list[Relation], Predicate | None]:
+        """Relations with pushed-down predicates merged in, plus the
+        residual combined-row filter."""
+        pushed: dict[int, list[Predicate]] = {}
+        residual_parts: list[Predicate] = []
+        if self._filter is not None:
+            conjuncts = (
+                _flatten(And, self._filter)
+                if isinstance(self._filter, And)
+                else [self._filter]
+            )
+            for conjunct in conjuncts:
+                target = self._pushdown_target(conjunct)
+                if target is None:
+                    residual_parts.append(conjunct)
+                else:
+                    position, prefix = target
+                    pushed.setdefault(position, []).append(
+                        _strip_column_prefix(conjunct, prefix)
+                    )
+        relations = []
+        for relation in self._relations:
+            # input-query WHEREs are read at plan time, so predicates
+            # added after .join() still count (root and right alike)
+            input_query = (
+                self._root
+                if relation.position == 0
+                else self._relation_queries.get(relation.position)
+            )
+            base_predicate = relation.predicate
+            if input_query is not None and not isinstance(
+                input_query._predicate, TruePredicate
+            ):
+                base_predicate = input_query._predicate
+            parts = [] if base_predicate is None else [base_predicate]
+            parts += pushed.get(relation.position, [])
+            if not parts:
+                predicate = None
+            elif len(parts) == 1:
+                predicate = parts[0]
+            else:
+                predicate = And(*parts)
+            relations.append(
+                Relation(
+                    relation.position, relation.table, predicate,
+                    relation.prefix, relation.outer,
+                )
+            )
+        if not residual_parts:
+            residual = None
+        elif len(residual_parts) == 1:
+            residual = residual_parts[0]
+        else:
+            residual = And(*residual_parts)
+        return relations, residual
+
     # planner ----------------------------------------------------------
 
+    def _plan_relation_builder(self, relations: list[Relation]):
+        root = self._root
+
+        def plan_relation(relation: Relation) -> Plan:
+            query = Query(relation.table)
+            if relation.predicate is not None:
+                query._predicate = relation.predicate
+            if relation.position == 0:
+                query._order_column = root._order_column
+                query._order_descending = root._order_descending
+            return query._build_plan(None)
+
+        return plan_relation
+
+    def _join_shape(
+        self, relations: list[Relation], residual: Predicate | None
+    ) -> tuple | None:
+        """The join-graph shape key, or None when uncacheable."""
+        relation_shapes = []
+        for relation in relations:
+            shape = (
+                ("True",)
+                if relation.predicate is None
+                else relation.predicate.shape()
+            )
+            if shape is None:
+                return None
+            relation_shapes.append(
+                (relation.table.name, relation.prefix, relation.outer, shape)
+            )
+        residual_shape: tuple | None = ("True",)
+        if residual is not None:
+            residual_shape = residual.shape()
+            if residual_shape is None:
+                return None
+        return (
+            "join",
+            tuple(relation_shapes),
+            tuple(
+                (e.left, e.left_column, e.right, e.right_column, e.how)
+                for e in self._edges
+            ),
+            self._root._order_column,
+            self._root._order_descending,
+            residual_shape,
+        )
+
+    @staticmethod
+    def _synthetic_predicate(
+        relations: list[Relation], residual: Predicate | None
+    ) -> Predicate:
+        """One tree spanning every bound value, for cache rebinding."""
+        parts = [
+            TruePredicate() if r.predicate is None else r.predicate
+            for r in relations
+        ]
+        parts.append(TruePredicate() if residual is None else residual)
+        return And(*parts)
+
     def _build_plan(self) -> Plan:
-        left_plan = self._left._build_plan(None)
-        right_table = self._right_table
-        if self._right_query is not None:
-            right_plan = self._right_query._build_plan(None)
-            right_predicate = self._right_query._predicate
-            if isinstance(right_predicate, TruePredicate):
-                right_predicate = None
+        relations, residual = self._effective_relations()
+        graph = JoinGraph(
+            relations, self._edges,
+            order_column=self._root._order_column,
+            order_descending=self._root._order_descending,
+        )
+        root_table = relations[0].table
+        cache = root_table.plan_cache
+        key = None
+        if self.order_search and all(
+            relation.table.plan_cache.enabled for relation in relations
+        ):
+            key = self._join_shape(relations, residual)
+        tables = tuple(relation.table for relation in relations)
+        if key is not None:
+            entry = cache.lookup_join(key, tables)
+            if entry is not None:
+                plan = self._rebind_cached(entry, relations, residual)
+                if plan is not None:
+                    cache.record_hit()
+                    self._plan_source = "hit"
+                    if entry.info is not None:
+                        self._order_info = entry.info
+                    return plan
+        plan, info = plan_join_graph(
+            graph,
+            self._plan_relation_builder(relations),
+            search=self.order_search,
+        )
+        if residual is not None:
+            plan = Filter(root_table, plan, residual)
+        self._order_info = info
+        if key is not None:
+            cache.record_miss()
+            try:
+                estimate: float | None = plan.estimate()
+            except TypeError:
+                estimate = None
+            cache.store_join(
+                key, plan, self._synthetic_predicate(relations, residual),
+                tables, estimate, info,
+            )
+            self._plan_source = "miss"
         else:
-            right_plan = FullScan(right_table)
-            right_predicate = None
-        right_columns = right_table.schema.column_names
-        join_kwargs = dict(
-            left_key=self._left_key, right_key=self._right_key,
-            prefix_left=self._prefix_left, prefix_right=self._prefix_right,
-            how=self._how, right_columns=right_columns,
-        )
-        left_estimate = left_plan.estimate()
-        right_estimate = right_plan.estimate()
-        plan: Plan | None = None
-        probe_indexed = (
-            self._right_key == right_table.schema.primary_key
-            or right_table.index_for(self._right_key) is not None
-        )
-        if probe_indexed:
-            candidate = IndexNestedLoopJoin(
-                left_plan, right_table,
-                right_predicate=right_predicate, **join_kwargs,
-            )
-            probe_cost = left_estimate * (1.0 + candidate.avg_matches())
-            hash_cost = left_estimate + right_estimate
-            if probe_cost <= hash_cost:
-                plan = candidate
-        if plan is None:
-            # left-outer joins and explicitly ordered left inputs pin
-            # the build side to the right input so left-row order (and
-            # padding) survives; otherwise build over the smaller side
-            if (
-                self._how == "left"
-                or self._left._order_column is not None
-                or right_estimate <= left_estimate
-            ):
-                build_side = "right"
-            else:
-                build_side = "left"
-            plan = HashJoin(
-                left_plan, right_plan, build_side=build_side, **join_kwargs
-            )
-        if self._filter is not None:
-            plan = Filter(self._left._table, plan, self._filter)
+            self._plan_source = "bypass"
+        return plan
+
+    def _rebind_cached(
+        self, entry, relations: list[Relation], residual: Predicate | None
+    ) -> Plan | None:
+        """The cached join plan rebound to this query's values, or None
+        (forces a replan)."""
+        mapping: dict = {}
+        new_synthetic = self._synthetic_predicate(relations, residual)
+        if not _map_predicates(entry.predicate, new_synthetic, mapping):
+            return None
+        try:
+            plan = entry.plan.rebind(mapping)
+            estimate = plan.estimate()
+        except (RebindError, TypeError, KeyError):
+            return None
+        if not self._relations[0].table.plan_cache.revalidate(entry, estimate):
+            return None
         return plan
 
     def explain(self) -> str:
-        """The physical join plan, as an indented tree.
-
-        Join plans themselves are not cached (single-table entries
-        only), so the trailing ``[plan-cache: ...]`` line reports how
-        each *input* side's plan was obtained.
-        """
+        """The physical join plan as an indented tree, plus
+        ``[join-order: ...]`` (the planner-chosen relation order and
+        search algorithm) and ``[plan-cache: ...]`` lines."""
         rendered = self._build_plan().render()
-        status = f"left={self._left._plan_source}"
-        if self._right_query is not None:
-            status += f" right={self._right_query._plan_source}"
-        return f"{rendered}\n[plan-cache: {status}]"
+        order = " -> ".join(self._order_info.get("order", ()))
+        algorithm = self._order_info.get("algorithm", "cached")
+        return (
+            f"{rendered}\n[join-order: {order or 'cached'} ({algorithm})]"
+            f"\n[plan-cache: {self._plan_source}]"
+        )
 
     # execution --------------------------------------------------------
 
@@ -1186,6 +1449,44 @@ class JoinQuery:
 
     def count(self) -> int:
         return sum(1 for _ in self)
+
+
+def _collect_predicate_columns(predicate: Predicate, out: list[str]) -> bool:
+    """Collect every column a predicate tree references; False when the
+    tree contains an unknown predicate class (not pushdown-safe)."""
+    if isinstance(predicate, (And, Or)):
+        return all(
+            _collect_predicate_columns(part, out) for part in predicate.parts
+        )
+    if isinstance(predicate, Not):
+        return _collect_predicate_columns(predicate.inner, out)
+    if isinstance(predicate, TruePredicate):
+        return True
+    if type(predicate) in _CACHEABLE_LEAVES:
+        out.append(predicate.column)
+        return True
+    return False
+
+
+def _strip_column_prefix(predicate: Predicate, prefix: str) -> Predicate:
+    """A copy of ``predicate`` with ``prefix`` removed from every
+    column name (pushdown rewrites output names to raw names)."""
+    if isinstance(predicate, (And, Or)):
+        return type(predicate)(
+            *[_strip_column_prefix(part, prefix) for part in predicate.parts]
+        )
+    if isinstance(predicate, Not):
+        return Not(_strip_column_prefix(predicate.inner, prefix))
+    if isinstance(predicate, TruePredicate):
+        return predicate
+    column = predicate.column[len(prefix):] if prefix else predicate.column
+    if isinstance(predicate, In):
+        return In(column, predicate.values)
+    if isinstance(predicate, Between):
+        return Between(column, predicate.low, predicate.high)
+    if isinstance(predicate, Contains):
+        return Contains(column, predicate.needle)
+    return type(predicate)(column, predicate.value)
 
 
 def hash_join(

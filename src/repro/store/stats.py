@@ -1,39 +1,52 @@
-"""Sampled table statistics: equi-width histograms for range selectivity.
+"""Sampled table statistics: equi-width histograms for range
+selectivity, most-common-value lists for string equality.
 
 Secondary indexes answer cardinality questions exactly (bucket sizes,
 bisect spans, maintained distinct counters — see
 :mod:`repro.store.index`), so the planner consults them first.  For
-*unindexed* numeric columns the planner previously had nothing better
-than a fixed residual-selectivity guess (1/3).  A
-:class:`EquiWidthHistogram` closes that gap: it is built from a bounded
-systematic sample of column values (every k-th row, capped at
-:data:`SAMPLE_TARGET` values), so construction cost is O(sample) no
-matter how large the table grows, and a selectivity probe is O(1) —
-two bin interpolations.
+*unindexed* columns the planner previously had nothing better than a
+fixed residual-selectivity guess (1/3).  Two sampled structures close
+that gap, both built from a bounded systematic sample of column values
+(every k-th row, capped at :data:`SAMPLE_TARGET` values) so
+construction cost is O(sample) no matter how large the table grows,
+and probes are O(1):
+
+* :class:`EquiWidthHistogram` — range selectivity on numeric columns
+  (two bin interpolations per probe);
+* :class:`MostCommonValues` — equality selectivity on TEXT columns: a
+  skewed column ("kind = 'url'" where 90% of rows are urls) is not the
+  same filter as a near-unique one ("name = '...'"), and the fixed
+  guess treated them identically.
 
 Consumers:
 
-* the join planner — an index-nested-loop join with a filtered right
+* the join planners — an index-nested-loop join with a filtered right
   side scales its expected matches per probe by the right predicate's
-  estimated selectivity;
+  estimated selectivity, and the multi-way join-order search
+  (:mod:`repro.store.joinorder`) costs pushed-down per-relation
+  predicates the same way;
 * residual ``Filter`` costing — ``Predicate.selectivity`` falls back to
-  the owning table's histogram for range predicates on unindexed
-  numeric columns, which in turn feeds the plan cache's per-entry
-  selectivity re-check (a plan compiled for a narrow binding is not
-  silently reused for a wide binding of the same shape).
+  the owning table's histogram (ranges) or MCV list (string equality)
+  for unindexed columns, which in turn feeds the plan cache's
+  per-entry selectivity re-check (a plan compiled for a narrow binding
+  is not silently reused for a wide binding of the same shape).
 
-Tables build histograms lazily per column and rebuild them after
-mutation drift (see ``Table.histogram``); tiny tables
-(< :data:`MIN_ROWS` rows) return no histogram so the planner's
+Tables build both structures lazily per column and rebuild them after
+mutation drift (see ``Table.histogram`` / ``Table.common_values``);
+tiny tables (< :data:`MIN_ROWS` rows) return neither so the planner's
 small-table behaviour — where exact costs are cheap anyway — is
 unchanged.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Iterable, Sequence
 
-__all__ = ["EquiWidthHistogram", "MIN_ROWS", "SAMPLE_TARGET", "numeric_sample"]
+__all__ = [
+    "EquiWidthHistogram", "MostCommonValues", "MCV_TARGET", "MIN_ROWS",
+    "SAMPLE_TARGET", "numeric_sample",
+]
 
 #: Histograms are not built below this row count: the fixed fallback
 #: selectivity is fine for tiny tables and exact plans are cheap.
@@ -45,6 +58,9 @@ SAMPLE_TARGET = 512
 
 #: Number of equi-width bins.
 BIN_COUNT = 32
+
+#: Number of values kept in a most-common-value list.
+MCV_TARGET = 8
 
 
 def numeric_sample(values: Iterable[Any], population: int) -> list[float]:
@@ -152,4 +168,90 @@ class EquiWidthHistogram:
         return (
             f"EquiWidthHistogram([{self.low}, {self.high}], "
             f"bins={len(self.bins)}, sample={self.sample_size})"
+        )
+
+
+def _text_sample(values: Iterable[Any], population: int) -> list[str]:
+    """A systematic sample of the string values in ``values``.
+
+    Mirrors :func:`numeric_sample`: every k-th element, [] as soon as a
+    non-string value is seen (the column is not MCV-able), ``None``
+    values skipped — NULL never equals anything.
+    """
+    step = max(1, population // SAMPLE_TARGET)
+    sample: list[str] = []
+    for position, value in enumerate(values):
+        if value is None:
+            continue
+        if not isinstance(value, str):
+            return []
+        if position % step == 0:
+            sample.append(value)
+    return sample
+
+
+class MostCommonValues:
+    """Most-common-value list over a sample of one TEXT column.
+
+    ``eq_fraction`` answers "what fraction of rows equal this value":
+    the sampled frequency for a value in the list, and an even split of
+    the remaining probability mass over the remaining sampled distinct
+    values otherwise.  An estimate (sampled) — consumers use it for
+    cost ranking only, never for correctness.
+    """
+
+    __slots__ = ("fractions", "remainder_fraction", "remainder_distinct", "sample_size")
+
+    def __init__(
+        self,
+        fractions: dict[str, float],
+        remainder_fraction: float,
+        remainder_distinct: int,
+        sample_size: int,
+    ) -> None:
+        self.fractions = fractions
+        self.remainder_fraction = remainder_fraction
+        self.remainder_distinct = remainder_distinct
+        self.sample_size = sample_size
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[Any], population: int
+    ) -> "MostCommonValues | None":
+        """Build from a column's values, or None when not MCV-able
+        (non-string values, or an empty/NULL-only sample)."""
+        sample = _text_sample(values, population)
+        if not sample:
+            return None
+        counts = Counter(sample)
+        size = len(sample)
+        common = counts.most_common(MCV_TARGET)
+        fractions = {value: count / size for value, count in common}
+        covered = sum(count for _value, count in common)
+        return cls(
+            fractions,
+            remainder_fraction=(size - covered) / size,
+            remainder_distinct=len(counts) - len(common),
+            sample_size=size,
+        )
+
+    # ------------------------------------------------------------------
+
+    def eq_fraction(self, value: str) -> float:
+        """Estimated fraction of rows with ``column == value``."""
+        fraction = self.fractions.get(value)
+        if fraction is not None:
+            return fraction
+        if self.remainder_distinct > 0:
+            return self.remainder_fraction / self.remainder_distinct
+        # every sampled distinct value is in the list, so an unseen
+        # value is rarer than anything sampled
+        return 1.0 / (2 * self.sample_size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MostCommonValues({len(self.fractions)} values, "
+            f"sample={self.sample_size})"
         )

@@ -26,7 +26,7 @@ from .index import HashIndex, SortedIndex
 from .locking import RWLock
 from .plancache import PlanCache
 from .schema import Schema
-from .stats import MIN_ROWS, EquiWidthHistogram
+from .stats import MIN_ROWS, EquiWidthHistogram, MostCommonValues
 from .types import DataType
 
 __all__ = ["Table", "ChangeEvent"]
@@ -70,6 +70,8 @@ class Table:
         self._rows_shared = False
         #: sampled per-column histograms: column -> (built version, hist)
         self._histograms: dict[str, tuple[int, EquiWidthHistogram | None]] = {}
+        #: sampled per-column most-common-value lists, same layout
+        self._mcvs: dict[str, tuple[int, MostCommonValues | None]] = {}
         pk_column = schema.column(schema.primary_key)
         self._auto_pk = pk_column.dtype is DataType.INT
         for unique_column in schema.unique_columns():
@@ -437,6 +439,28 @@ class Table:
         )
         self._histograms[column] = (self.version, histogram)
         return histogram
+
+    def common_values(self, column: str) -> MostCommonValues | None:
+        """A sampled most-common-value list of ``column``, or None.
+
+        None for non-TEXT columns and for tables below the statistics
+        row floor.  Same lifecycle as :meth:`histogram` (lazy build,
+        rebuilt after mutation drift); feeds equality selectivity on
+        unindexed string columns.  Advisory only.
+        """
+        if len(self._rows) < MIN_ROWS or not self.schema.has_column(column):
+            return None
+        cached = self._mcvs.get(column)
+        if cached is not None:
+            built_version, mcv = cached
+            if self.version - built_version <= max(64, len(self._rows) // 8):
+                return mcv
+        mcv = MostCommonValues.from_values(
+            (row.get(column) for row in list(self._rows.values())),
+            len(self._rows),
+        )
+        self._mcvs[column] = (self.version, mcv)
+        return mcv
 
     # ------------------------------------------------------------------
     # internals

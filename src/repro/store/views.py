@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from .errors import RowNotFoundError, UnknownTableError
 from .plancache import PlanCache
-from .stats import MIN_ROWS, EquiWidthHistogram
+from .stats import MIN_ROWS, EquiWidthHistogram, MostCommonValues
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .index import HashIndexSnapshot, SortedIndexSnapshot
@@ -76,8 +76,10 @@ class ReadView:
         #: the table version this view observes
         self.version = version
         self.plan_cache = _VIEW_PLAN_CACHE
-        #: per-column histograms built lazily from the frozen rows
+        #: per-column histograms / MCV lists built lazily from the
+        #: frozen rows
         self._histograms: dict[str, EquiWidthHistogram | None] = {}
+        self._mcvs: dict[str, MostCommonValues | None] = {}
 
     # ------------------------------------------------------------------
     # reads (the Table read surface)
@@ -160,6 +162,18 @@ class ReadView:
                 len(self._rows),
             )
         return self._histograms[column]
+
+    def common_values(self, column: str) -> MostCommonValues | None:
+        """A sampled most-common-value list over the frozen rows (see
+        ``Table.common_values``); cached for the view's lifetime."""
+        if len(self._rows) < MIN_ROWS or not self.schema.has_column(column):
+            return None
+        if column not in self._mcvs:
+            self._mcvs[column] = MostCommonValues.from_values(
+                (row.get(column) for row in self._rows.values()),
+                len(self._rows),
+            )
+        return self._mcvs[column]
 
     # ------------------------------------------------------------------
 

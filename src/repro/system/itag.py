@@ -393,8 +393,9 @@ class ITagSystem:
     def open_projects(self, view=None) -> list[dict]:
         """Projects taggers can join, with pay and provider approval rate.
 
-        One planned join (projects in state ``running`` — a hash-index
-        probe — index-nested-loop joined into ``users`` by primary key)
+        One join planned by the join-graph order search (projects in
+        state ``running`` — a hash-index probe — joined into ``users``,
+        which live statistics resolve to per-row primary-key probes)
         instead of a per-row ``users.get``.  With ``view`` (a
         ``DatabaseView`` from :meth:`read_view`) the same indexed join
         runs against the frozen snapshot: the tagger project list is

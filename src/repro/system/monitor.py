@@ -115,6 +115,15 @@ def project_details_screen(system: ITagSystem, project_id: int) -> str:
             lines.append(line_plot(xs, ys, width=60, height=10))
         gain = system.quality.projected_gain(project_id, 100)
         lines.append(f"projected gain of +100 tasks: {gain:+.4f}")
+    # recent activity: the resources ⋈ posts ⟕ users join graph, ordered
+    # by the join-order search rather than as written
+    activity = system.resources.project_posts_with_taggers(project_id)
+    if activity:
+        recent = sorted(activity, key=lambda row: row["post_ts"])[-3:]
+        lines.append("recent activity:")
+        for row in recent:
+            tagger = row["user_name"] or f"worker-{row['post_tagger_id']}"
+            lines.append(f"  {tagger} tagged {row['name']}")
     lines.append("[Switch Strategy]  [Choose Platform]  [Pause]  [Stop]")
     return "\n".join(lines)
 

@@ -103,10 +103,12 @@ class ProjectRegistry:
     def in_state_with_provider(self, state: str) -> list[dict]:
         """Projects in ``state`` joined with their provider's user row.
 
-        A planned index nested-loop join: the state hash index narrows
-        the left side, each provider is a primary-key probe into
-        ``users``.  Provider columns come back prefixed ``user_``
-        (``user_name``, ``user_approval_rate``, ...).
+        Routed through the join-graph planner (no hand-chosen build or
+        probe side): with live statistics it runs as an index
+        nested-loop — the state hash index narrows the left side, each
+        provider is a primary-key probe into ``users``.  Provider
+        columns come back prefixed ``user_`` (``user_name``,
+        ``user_approval_rate``, ...).
         """
         return (
             Query(self._projects)

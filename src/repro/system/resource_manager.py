@@ -157,15 +157,40 @@ class ResourceManager:
         """A resource's posts joined with their tagger's user row, in
         post order (``user_name``, ``user_approval_rate``, ...).
 
-        Planned as an index nested-loop join: the posts hash index
-        narrows the left side, each tagger is a primary-key probe into
-        ``users``.  Left-outer so posts from taggers that never made it
-        into the users table (pre-existing provider data) still show.
+        Routed through the join-graph planner, which picks both the
+        access paths and the physical join (here: posts hash index on
+        the left, one primary-key probe into ``users`` per post).
+        Left-outer so posts from taggers that never made it into the
+        users table (pre-existing provider data) still show.
         """
         return (
             Query(self._posts)
             .where(Eq("resource_id", resource_id))
             .order_by("seq")
             .join(self._users, on=("tagger_id", "id"), prefix_right="user_", how="left")
+            .all()
+        )
+
+    def project_posts_with_taggers(self, project_id: int) -> list[dict]:
+        """Every post of a project's resources, with resource and
+        tagger context — a three-relation join graph.
+
+        ``resources ⋈ posts ⟕ users``, written left-deep but planned by
+        the join-order search: the project hash index narrows
+        resources, posts chain in through their ``resource_id`` index,
+        and each tagger is a primary-key probe (left-outer, as above).
+        Columns come back raw for resources, ``post_``-prefixed for
+        posts and ``user_``-prefixed for taggers.
+        """
+        return (
+            Query(self._resources)
+            .where(Eq("project_id", project_id))
+            .join(self._posts, on=("id", "resource_id"), prefix_right="post_")
+            .join(
+                self._users,
+                on=("post_tagger_id", "id"),
+                prefix_right="user_",
+                how="left",
+            )
             .all()
         )

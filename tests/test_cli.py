@@ -77,6 +77,22 @@ class TestCommands:
         assert code == 0
         assert "index-nl-join(resources.id = posts.resource_id" in capsys.readouterr().out
 
+    def test_store_explain_chained_joins_show_planned_order(self, capsys):
+        code = main(
+            [
+                "store", "explain", "projects",
+                "--where", "state=name-3",
+                "--join", "users", "--on", "provider_id=id",
+                "--join", "tasks", "--on", "id=project_id",
+                "--rows", "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # the planner chose its own order (tasks narrows before users)
+        assert "[join-order: projects -> tasks -> users (dp)]" in out
+        assert "[plan-cache:" in out
+
     def test_store_explain_rejects_unknown_inputs(self, capsys):
         assert main(["store", "explain", "nope"]) == 2
         assert main(["store", "explain", "resources", "--where", "bogus=1"]) == 2
@@ -84,6 +100,13 @@ class TestCommands:
         assert (
             main(["store", "explain", "resources", "--join", "posts"]) == 2
         )  # missing --on
+        assert (
+            main([
+                "store", "explain", "resources",
+                "--join", "posts", "--on", "id=resource_id",
+                "--join", "tasks",
+            ]) == 2
+        )  # second join lacks its --on
         capsys.readouterr()
 
     def _make_state_dir(self, tmp_path, torn: bool = False):

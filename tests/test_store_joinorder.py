@@ -1,0 +1,739 @@
+"""Tests for multi-way join ordering (the join-graph planner).
+
+Layers:
+
+- targeted assertions: the DP order search reorders a badly-written
+  3-way join (non-left-deep tree, selective relation first), sort-merge
+  join selection and semantics, predicate pushdown, the written-order
+  fallback for colliding column names, join plan-cache behaviour, and
+  MCV-backed string-equality selectivity;
+- a hypothesis property: every planned 3-way join — chained inner and
+  left-outer joins, with NULL keys, random index layouts, pushdown
+  filters and limit/offset — is byte-identical to brute-force nested
+  loops (with ordered roots compared positionally, including the
+  window).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import (
+    Between,
+    Column,
+    Database,
+    DataType,
+    Eq,
+    MostCommonValues,
+    Ne,
+    Query,
+    Schema,
+)
+from repro.store.plan import order_key
+
+# ----------------------------------------------------------------------
+# fixtures / helpers
+# ----------------------------------------------------------------------
+
+
+def _triple(a_rows, b_rows, c_rows, *, b_layout="none", c_layout="none"):
+    """Three joinable tables: a.key -> b.akey, b.ckey -> c.key."""
+    database = Database("joinorder")
+    a = database.create_table(
+        "ta",
+        Schema(
+            [
+                Column("id", DataType.INT),
+                Column("key", DataType.INT, nullable=True),
+                Column("kind", DataType.TEXT),
+            ],
+            primary_key="id",
+        ),
+    )
+    b = database.create_table(
+        "tb",
+        Schema(
+            [
+                Column("id", DataType.INT),
+                Column("akey", DataType.INT, nullable=True),
+                Column("ckey", DataType.INT, nullable=True),
+                Column("tag", DataType.TEXT),
+            ],
+            primary_key="id",
+        ),
+    )
+    c = database.create_table(
+        "tc",
+        Schema(
+            [
+                Column("id", DataType.INT),
+                Column("key", DataType.INT, nullable=True),
+                Column("label", DataType.TEXT),
+            ],
+            primary_key="id",
+        ),
+    )
+    if b_layout in ("hash", "sorted"):
+        b.create_index("akey", kind=b_layout)
+    if c_layout in ("hash", "sorted"):
+        c.create_index("key", kind=c_layout)
+    for key, kind in a_rows:
+        a.insert({"key": key, "kind": kind})
+    for akey, ckey, tag in b_rows:
+        b.insert({"akey": akey, "ckey": ckey, "tag": tag})
+    for key, label in c_rows:
+        c.insert({"key": key, "label": label})
+    return a, b, c
+
+
+def _brute_binary(left_rows, right_rows, *, left_key, right_key, how,
+                  prefix_right, right_columns):
+    """One nested-loop join step over combined dict rows."""
+    out = []
+    for left in left_rows:
+        matches = [
+            right
+            for right in right_rows
+            if left[left_key] is not None
+            and right[right_key] is not None
+            and left[left_key] == right[right_key]
+        ]
+        if matches:
+            for right in matches:
+                combined = dict(left)
+                combined.update(
+                    {f"{prefix_right}{k}": v for k, v in right.items()}
+                )
+                out.append(combined)
+        elif how == "left":
+            combined = dict(left)
+            combined.update({f"{prefix_right}{k}": None for k in right_columns})
+            out.append(combined)
+    return out
+
+
+def _canonical(rows):
+    return sorted(
+        rows,
+        key=lambda row: tuple(
+            order_key(row.get(name)) for name in ("id", "b_id", "c_id")
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# order search
+# ----------------------------------------------------------------------
+
+
+def _skewed_triple():
+    """a is large and unindexed on the join key; c is tiny and
+    selective — written order is the worst order."""
+    a, b, c = _triple(
+        [(i % 40, "x") for i in range(400)],
+        [(i % 40, i % 30, "t") for i in range(300)],
+        [(i, "rare" if i < 2 else "common") for i in range(30)],
+        b_layout="none",
+        c_layout="none",
+    )
+    b.create_index("ckey", kind="hash")
+    c.create_index("label", kind="hash")
+    return a, b, c
+
+
+class TestOrderSearch:
+    def test_search_reorders_a_badly_written_three_way(self):
+        a, b, c = _skewed_triple()
+        join = (
+            Query(a)
+            .join(b, on=("key", "akey"), prefix_right="b_")
+            .join(c, on=("b_ckey", "key"), prefix_right="c_")
+            .where(Eq("c_label", "rare"))
+        )
+        plan = join.explain()
+        # the selective categories relation is joined before the big
+        # unindexed one: order differs from the written ta -> tb -> tc
+        assert "[join-order: ta -> tc -> tb (dp)]" in plan
+        lines = plan.splitlines()
+        assert lines[0].startswith("hash-join")
+        # non-left-deep: the build side (second child) is a join subtree
+        assert lines[1].lstrip().startswith("full-scan")
+        assert any(line.startswith("  index-nl-join") for line in lines)
+
+    def test_search_and_written_orders_agree_on_rows(self):
+        a, b, c = _skewed_triple()
+
+        def build():
+            return (
+                Query(a)
+                .join(b, on=("key", "akey"), prefix_right="b_")
+                .join(c, on=("b_ckey", "key"), prefix_right="c_")
+                .where(Eq("c_label", "rare"))
+            )
+
+        searched = build()
+        written = build()
+        written.order_search = False
+        assert "(written)" in written.explain()
+        assert _canonical(searched.all()) == _canonical(written.all())
+        assert searched.count() == written.count() > 0
+
+    def test_collisions_pin_the_written_order(self):
+        # no prefixes: every table exposes "id", so reordering would
+        # change which relation wins the collision
+        a, b, c = _triple(
+            [(1, "x")], [(1, 2, "t")], [(2, "l")], b_layout="hash", c_layout="hash"
+        )
+        join = Query(a).join(b, on=("key", "akey")).join(c, on=("ckey", "key"))
+        assert "(written)" in join.explain()
+        rows = join.all()
+        assert len(rows) == 1
+        assert rows[0]["label"] == "l"
+
+    def test_ordered_root_is_preserved_through_chained_joins(self):
+        a, b, c = _triple(
+            [(3, "x"), (1, "x"), (2, "x")],
+            [(1, 1, "t"), (2, 1, "t"), (3, 1, "t")],
+            [(1, "l")],
+            b_layout="hash",
+            c_layout="hash",
+        )
+        join = (
+            Query(a)
+            .order_by("key", descending=True)
+            .join(b, on=("key", "akey"), prefix_right="b_")
+            .join(c, on=("b_ckey", "key"), prefix_right="c_")
+        )
+        assert [row["key"] for row in join.all()] == [3, 2, 1]
+
+    def test_greedy_kicks_in_above_the_dp_cutoff(self):
+        database = Database("wide")
+        tables = []
+        for position in range(8):
+            t = database.create_table(
+                f"t{position}",
+                Schema(
+                    [Column("id", DataType.INT), Column("k", DataType.INT)],
+                    primary_key="id",
+                ),
+            )
+            for value in range(4):
+                t.insert({"k": value})
+            tables.append(t)
+        join = Query(tables[0]).join(tables[1], on=("k", "k"), prefix_right="p1_")
+        for position in range(2, 8):
+            join = join.join(
+                tables[position], on=("k", "k"), prefix_right=f"p{position}_"
+            )
+        plan = join.explain()
+        assert "(greedy)" in plan
+        # one row per key value per table: each key group joins 1x1x...
+        assert join.count() == 4
+
+    def test_four_way_search_agrees_with_written_order(self):
+        database = Database("four")
+        specs = {
+            "w": [("k1", 30)],
+            "x": [("k1", 12), ("k2", 18)],
+            "y": [("k2", 18), ("k3", 10)],
+            "z": [("k3", 25)],
+        }
+        tables = {}
+        for name, columns in specs.items():
+            schema_columns = [Column("id", DataType.INT)] + [
+                Column(column, DataType.INT) for column, _rows in columns
+            ]
+            table = database.create_table(
+                name, Schema(schema_columns, primary_key="id")
+            )
+            rows, modulo = (
+                (30, 6) if name in ("w", "z") else (18, 6)
+            )
+            for index in range(rows):
+                table.insert(
+                    {column: (index + offset) % modulo
+                     for offset, (column, _r) in enumerate(columns)}
+                )
+            tables[name] = table
+        tables["x"].create_index("k1", kind="hash")
+        tables["y"].create_index("k2", kind="hash")
+
+        def build(search):
+            join = (
+                Query(tables["w"])
+                .join(tables["x"], on=("k1", "k1"), prefix_right="x_")
+                .join(tables["y"], on=("x_k2", "k2"), prefix_right="y_")
+                .join(tables["z"], on=("y_k3", "k3"), prefix_right="z_")
+            )
+            join.order_search = search
+            return join
+
+        searched = build(True)
+        written = build(False)
+        assert "(dp)" in searched.explain()
+        assert searched.count() == written.count() > 0
+
+    def test_bushy_partition_plans_execute_correctly(self):
+        from repro.store import plan_join_graph
+        from repro.store.joinorder import (
+            _bushy_candidate, _Candidate, _access_cost, JoinGraph,
+        )
+        from repro.store import JoinEdge, Relation
+
+        database = Database("bushy")
+        tables = []
+        for position, name in enumerate(("p", "q", "r", "s")):
+            table = database.create_table(
+                name,
+                Schema(
+                    [Column("id", DataType.INT), Column("k", DataType.INT)],
+                    primary_key="id",
+                ),
+            )
+            for index in range(6):
+                table.insert({"k": index % 3})
+            tables.append(table)
+        relations = [
+            Relation(position, table, None, f"{table.name}_" if position else "")
+            for position, table in enumerate(tables)
+        ]
+        edges = [
+            JoinEdge(0, "k", 1, "k"),
+            JoinEdge(1, "k", 2, "k"),
+            JoinEdge(2, "k", 3, "k"),
+        ]
+        graph = JoinGraph(relations, edges)
+
+        def candidate(positions, plan_builder):
+            plan = plan_builder()
+            return _Candidate(
+                _access_cost(plan), max(plan.estimate(), 0.0), plan,
+                positions, len(positions) > 1,
+            )
+
+        # assemble (p ⋈ q) and (r ⋈ s) via the public planner, then
+        # force the bushy combine across the q-r edge
+        left_pair, _ = plan_join_graph(
+            JoinGraph(relations[:2], edges[:1]),
+            lambda rel: Query(rel.table)._build_plan(None),
+        )
+        right_pair, _ = plan_join_graph(
+            JoinGraph(
+                # positions renumbered: a JoinGraph indexes relations
+                # by position, so a sub-graph starts at 0
+                [Relation(0, tables[2], None, "r_"),
+                 Relation(1, tables[3], None, "s_")],
+                [JoinEdge(0, "k", 1, "k")],
+            ),
+            lambda rel: Query(rel.table)._build_plan(None),
+        )
+        bushy = _bushy_candidate(
+            graph,
+            _Candidate(1.0, 12.0, left_pair, (0, 1), True),
+            _Candidate(1.0, 12.0, right_pair, (2, 3), True),
+            edges[1],
+        )
+        rows = list(bushy.plan.iter_rows())
+        # each k group: 2 rows per table -> 2^4 combinations, 3 groups
+        assert len(rows) == 3 * 16
+        assert all(
+            row["k"] == row["q_k"] == row["r_k"] == row["s_k"] for row in rows
+        )
+        a, b, c = _triple([], [], [], b_layout="hash")
+        join = Query(a).join(b, on=("key", "akey"), prefix_right="b_")
+        with pytest.raises(Exception):
+            join.join(c, on=("nope", "key"), prefix_right="c_")
+
+    def test_disconnected_inputs_are_impossible_by_construction(self):
+        # every chained join must name an existing output column, so a
+        # cross product can never be expressed
+        a, b, c = _triple([], [], [])
+        with pytest.raises(Exception):
+            Query(a).join(b, on=("missing", "akey"))
+
+
+# ----------------------------------------------------------------------
+# sort-merge join
+# ----------------------------------------------------------------------
+
+
+def _sorted_pair(left_rows, right_rows):
+    database = Database("smj")
+    left = database.create_table(
+        "lhs",
+        Schema(
+            [
+                Column("id", DataType.INT),
+                Column("score", DataType.FLOAT, nullable=True),
+                Column("kind", DataType.TEXT),
+            ],
+            primary_key="id",
+        ),
+    )
+    right = database.create_table(
+        "rhs",
+        Schema(
+            [
+                Column("id", DataType.INT),
+                Column("score", DataType.FLOAT, nullable=True),
+                Column("tag", DataType.TEXT),
+            ],
+            primary_key="id",
+        ),
+    )
+    left.create_index("score", kind="sorted")
+    right.create_index("score", kind="sorted")
+    for score, kind in left_rows:
+        left.insert({"score": score, "kind": kind})
+    for score, tag in right_rows:
+        right.insert({"score": score, "tag": tag})
+    return left, right
+
+
+class TestSortMergeJoin:
+    def test_sorted_sorted_equality_join_uses_sort_merge(self):
+        left, right = _sorted_pair(
+            [(i % 10 / 10, "x") for i in range(60)],
+            [(i % 10 / 10, "y") for i in range(60)],
+        )
+        join = Query(left).join(right, on="score", prefix_left="l_", prefix_right="r_")
+        assert "sort-merge-join" in join.explain()
+        assert join.count() == 60 * 6  # 10 groups of 6x6
+
+    def test_pushed_range_predicate_becomes_merge_bounds(self):
+        left, right = _sorted_pair(
+            [(i % 10 / 10, "x") for i in range(60)],
+            [(i % 10 / 10, "y") for i in range(60)],
+        )
+        join = (
+            Query(left)
+            .where(Between("score", 0.2, 0.4))
+            .join(right, on="score", prefix_left="l_", prefix_right="r_")
+        )
+        plan = join.explain()
+        assert "sort-merge-join" in plan
+        assert "0.2 <= v" in plan  # the bound reached the index range
+        assert join.count() == 3 * 6 * 6
+
+    def test_duplicates_on_both_sides_cross_product_per_key(self):
+        left, right = _sorted_pair([(0.5, "a"), (0.5, "b")], [(0.5, "x")] * 3)
+        join = Query(left).join(right, on="score", prefix_left="l_", prefix_right="r_")
+        if "sort-merge-join" not in join.explain():
+            pytest.skip("tiny inputs may cost below the sort-merge crossover")
+        assert join.count() == 6
+
+    def test_null_scores_never_match_and_pad_under_left_join(self):
+        left, right = _sorted_pair(
+            [(None, "a")] + [(0.1 * (i % 5), "k") for i in range(40)],
+            [(None, "x")] + [(0.1 * (i % 5), "t") for i in range(40)],
+        )
+        join = Query(left).join(
+            right, on="score", prefix_left="l_", prefix_right="r_", how="left"
+        )
+        rows = join.all()
+        padded = [row for row in rows if row["r_id"] is None]
+        assert len(padded) == 1  # only the NULL-keyed left row
+        assert padded[0]["l_kind"] == "a"
+        # NULL right keys joined nothing
+        assert all(row["r_score"] is not None for row in rows if row["r_id"] is not None)
+
+    def test_merge_matches_brute_force_exactly(self):
+        left, right = _sorted_pair(
+            [(i % 7 / 10, "x") for i in range(25)],
+            [(i % 4 / 10, "y") for i in range(31)],
+        )
+        join = Query(left).join(right, on="score", prefix_left="l_", prefix_right="r_")
+        expected = 0
+        for lrow in left.scan():
+            expected += sum(
+                1 for rrow in right.scan() if rrow["score"] == lrow["score"]
+            )
+        assert join.count() == expected
+
+
+# ----------------------------------------------------------------------
+# predicate pushdown
+# ----------------------------------------------------------------------
+
+
+class TestPushdown:
+    def test_single_relation_conjuncts_reach_the_relation_plan(self):
+        a, b, c = _skewed_triple()
+        join = (
+            Query(a)
+            .join(b, on=("key", "akey"), prefix_right="b_")
+            .join(c, on=("b_ckey", "key"), prefix_right="c_")
+            .where(Eq("c_label", "rare"))
+        )
+        plan = join.explain()
+        # the filter ran as an index probe inside the c relation, not
+        # as a residual filter over combined rows
+        assert "hash-index(tc.label='rare'" in plan
+        assert "filter(Eq(column='c_label'" not in plan
+
+    def test_right_query_predicates_added_after_join_still_count(self):
+        # builder-style mutation: both input queries are read at plan
+        # time, matching the root side's behaviour
+        a, b, _ = _triple(
+            [(1, "x")] * 3, [(1, 1, "t"), (1, 1, "u")], [], b_layout="hash"
+        )
+        right = Query(b)
+        join = Query(a).join(right, on=("key", "akey"), prefix_right="b_")
+        right.where(Eq("tag", "t"))
+        assert join.count() == 3  # only the tag='t' b row joins
+
+    def test_cross_relation_conjuncts_stay_residual(self):
+        a, b, c = _triple(
+            [(1, "x")], [(1, 1, "x")], [(1, "x")], b_layout="hash", c_layout="hash"
+        )
+        join = (
+            Query(a)
+            .join(b, on=("key", "akey"), prefix_right="b_")
+            .join(c, on=("b_ckey", "key"), prefix_right="c_")
+            .where(Eq("kind", "x") | Eq("b_tag", "x"))
+        )
+        assert "filter(" in join.explain()
+        assert join.count() == 1
+
+    def test_outer_relation_predicates_keep_where_semantics(self):
+        # WHERE on the null-supplying side must see the padded NULLs:
+        # pushing Ne below the outer join would drop the only b row and
+        # pad *both* a rows (count 2); as a residual it keeps exactly
+        # the padded row (this store's Ne matches NULL, plain !=)
+        a, b, _ = _triple(
+            [(1, "x"), (2, "x")], [(1, 1, "t")], [], b_layout="hash"
+        )
+        join = (
+            Query(a)
+            .join(b, on=("key", "akey"), prefix_right="b_", how="left")
+            .where(Ne("b_tag", "t"))
+        )
+        rows = join.all()
+        assert len(rows) == 1
+        assert rows[0]["key"] == 2 and rows[0]["b_tag"] is None
+
+
+# ----------------------------------------------------------------------
+# join plan cache
+# ----------------------------------------------------------------------
+
+
+class TestJoinPlanCache:
+    def _join(self, a, b, c, label):
+        return (
+            Query(a)
+            .join(b, on=("key", "akey"), prefix_right="b_")
+            .join(c, on=("b_ckey", "key"), prefix_right="c_")
+            .where(Eq("c_label", label))
+        )
+
+    def test_repeated_shapes_hit_and_rebind_values(self):
+        a, b, c = _skewed_triple()
+        assert "[plan-cache: miss]" in self._join(a, b, c, "rare").explain()
+        hit = self._join(a, b, c, "common")
+        assert "[plan-cache: hit]" in hit.explain()
+        # the rebound plan still answers for the *new* value
+        expected = self._join(a, b, c, "common")
+        expected.order_search = False
+        assert hit.count() == expected.count() > 0
+
+    def test_hits_preserve_the_order_info(self):
+        a, b, c = _skewed_triple()
+        self._join(a, b, c, "rare").count()
+        assert "[join-order: ta -> tc -> tb" in self._join(a, b, c, "rare").explain()
+
+    def test_ddl_on_any_participant_invalidates(self):
+        a, b, c = _skewed_triple()
+        self._join(a, b, c, "rare").count()
+        assert "[plan-cache: hit]" in self._join(a, b, c, "rare").explain()
+        b.create_index("akey", kind="hash")  # not the cached root table
+        assert "[plan-cache: miss]" in self._join(a, b, c, "rare").explain()
+
+    def test_row_drift_on_any_participant_invalidates(self):
+        a, b, c = _skewed_triple()
+        self._join(a, b, c, "rare").count()
+        for i in range(200):  # triple tc's row count
+            c.insert({"key": i % 30, "label": "common"})
+        assert "[plan-cache: miss]" in self._join(a, b, c, "rare").explain()
+
+    def test_written_order_bypasses_the_cache(self):
+        a, b, c = _skewed_triple()
+        join = self._join(a, b, c, "rare")
+        join.order_search = False
+        assert "[plan-cache: bypass]" in join.explain()
+
+    def test_sort_merge_plans_rebind_new_bounds(self):
+        left, right = _sorted_pair(
+            [(i % 10 / 10, "x") for i in range(60)],
+            [(i % 10 / 10, "y") for i in range(60)],
+        )
+
+        def bounded(low, high):
+            return (
+                Query(left)
+                .where(Between("score", low, high))
+                .join(right, on="score", prefix_left="l_", prefix_right="r_")
+            )
+
+        first = bounded(0.2, 0.4)
+        assert "sort-merge-join" in first.explain()
+        assert first.count() == 3 * 36
+        rebound = bounded(0.0, 0.1)
+        assert "[plan-cache: hit]" in rebound.explain()
+        # the cached merge re-ran with the *new* bounds
+        assert rebound.count() == 2 * 36
+
+    def test_view_joins_bypass_the_cache(self):
+        a, b, c = _skewed_triple()
+        database_view_a = a.read_view()
+        join = (
+            Query(database_view_a)
+            .join(b, on=("key", "akey"), prefix_right="b_")
+        )
+        assert "[plan-cache: bypass]" in join.explain()
+
+
+# ----------------------------------------------------------------------
+# most-common-value statistics
+# ----------------------------------------------------------------------
+
+
+class TestMostCommonValues:
+    def _table(self):
+        database = Database("mcv")
+        table = database.create_table(
+            "t",
+            Schema(
+                [
+                    Column("id", DataType.INT),
+                    Column("kind", DataType.TEXT),
+                    Column("n", DataType.INT),
+                ],
+                primary_key="id",
+            ),
+        )
+        for index in range(200):
+            table.insert({"kind": "url" if index % 10 else "image", "n": index})
+        return table
+
+    def test_mcv_tracks_skew(self):
+        table = self._table()
+        mcv = table.common_values("kind")
+        assert mcv is not None
+        assert mcv.eq_fraction("url") == pytest.approx(0.9, abs=0.05)
+        assert mcv.eq_fraction("image") == pytest.approx(0.1, abs=0.05)
+        # unseen values are rarer than anything sampled
+        assert mcv.eq_fraction("video") < mcv.eq_fraction("image")
+
+    def test_mcv_feeds_string_equality_selectivity(self):
+        table = self._table()
+        common = Eq("kind", "url").selectivity(table)
+        rare = Eq("kind", "image").selectivity(table)
+        assert common == pytest.approx(0.9, abs=0.05)
+        assert rare == pytest.approx(0.1, abs=0.05)
+        assert Ne("kind", "url").selectivity(table) == pytest.approx(0.1, abs=0.05)
+
+    def test_non_text_columns_have_no_mcv(self):
+        table = self._table()
+        assert table.common_values("n") is None
+
+    def test_view_builds_its_own_mcv(self):
+        table = self._table()
+        view = table.read_view()
+        mcv = view.common_values("kind")
+        assert mcv is not None
+        assert mcv.eq_fraction("url") == pytest.approx(0.9, abs=0.05)
+
+    def test_from_values_handles_edge_cases(self):
+        assert MostCommonValues.from_values([], 0) is None
+        assert MostCommonValues.from_values([None, None], 2) is None
+        assert MostCommonValues.from_values(["a", 3], 2) is None
+        mcv = MostCommonValues.from_values(["a", "a", "b"], 3)
+        assert mcv.eq_fraction("a") == pytest.approx(2 / 3)
+
+
+# ----------------------------------------------------------------------
+# property: 3-way chains agree with brute-force nested loops
+# ----------------------------------------------------------------------
+
+_KEYS = (None, 1, 2, 3)
+_a_side = st.lists(
+    st.tuples(st.sampled_from(_KEYS), st.sampled_from(("p", "q"))), max_size=8
+)
+_b_side = st.lists(
+    st.tuples(
+        st.sampled_from(_KEYS), st.sampled_from(_KEYS), st.sampled_from(("p", "q"))
+    ),
+    max_size=8,
+)
+_c_side = st.lists(
+    st.tuples(st.sampled_from(_KEYS), st.sampled_from(("p", "q"))), max_size=8
+)
+_LAYOUTS = ("none", "hash", "sorted")
+
+
+@given(
+    a_rows=_a_side,
+    b_rows=_b_side,
+    c_rows=_c_side,
+    b_layout=st.sampled_from(_LAYOUTS),
+    c_layout=st.sampled_from(_LAYOUTS),
+    how_b=st.sampled_from(("inner", "left")),
+    how_c=st.sampled_from(("inner", "left")),
+    filter_b=st.booleans(),
+    ordered=st.booleans(),
+    window=st.sampled_from(((None, 0), (3, 0), (4, 2), (0, 0))),
+)
+@settings(max_examples=120, deadline=None)
+def test_planned_three_way_joins_agree_with_brute_force(
+    a_rows, b_rows, c_rows, b_layout, c_layout, how_b, how_c,
+    filter_b, ordered, window,
+):
+    a, b, c = _triple(a_rows, b_rows, c_rows, b_layout=b_layout, c_layout=c_layout)
+    root = Query(a)
+    if ordered:
+        root = root.order_by("key")
+    join = (
+        root
+        .join(b, on=("key", "akey"), prefix_right="b_", how=how_b)
+        .join(c, on=("b_ckey", "key"), prefix_right="c_", how=how_c)
+    )
+    if filter_b:
+        join = join.where(Ne("b_tag", "q"))
+
+    a_scan = list(a.scan())
+    if ordered:
+        a_scan.sort(key=lambda row: (order_key(row["key"]), row["id"]))
+    step1 = _brute_binary(
+        a_scan, list(b.scan()), left_key="key", right_key="akey", how=how_b,
+        prefix_right="b_", right_columns=("id", "akey", "ckey", "tag"),
+    )
+    expected = _brute_binary(
+        step1, list(c.scan()), left_key="b_ckey", right_key="key", how=how_c,
+        prefix_right="c_", right_columns=("id", "key", "label"),
+    )
+    if filter_b:
+        # WHERE over combined rows; this store's Ne is plain !=, so a
+        # padded NULL b_tag *passes* the filter
+        expected = [row for row in expected if row["b_tag"] != "q"]
+    got = join.all()
+    assert _canonical(got) == _canonical(expected)
+    limit, offset = window
+    windowed = join.limit(limit).offset(offset) if limit is not None else join
+    got_window = windowed.all()
+    if limit is None:
+        span = len(expected)
+    else:
+        span = max(0, min(limit, len(expected) - offset))
+    assert len(got_window) == span
+    if ordered:
+        # positional comparison: the root order survives the joins and
+        # limit/offset windows the ordered stream
+        expected_keys = [row["key"] for row in expected]
+        assert [row["key"] for row in got] == expected_keys
+        if limit is not None:
+            assert [row["key"] for row in got_window] == (
+                expected_keys[offset:offset + limit]
+            )
