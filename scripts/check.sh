@@ -12,7 +12,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# invariant-lint gate FIRST: AST rule violations (copy/lock/DDL/except/
+# API-boundary disciplines) fail in seconds, before the test suite runs
+python scripts/lint_gate.py
+
 python -m pytest -x -q
+# EXP-ST smoke; store_ops.run() ends with Database.verify(), which
+# cross-checks indexes, maintained counters, and plan-cache generations
 python -m repro run-experiment EXP-ST --fast
 
 # perf-regression smoke gate: the zero-copy read-path claim subset

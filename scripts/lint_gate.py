@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Invariant-lint gate: the engine's conventional disciplines,
+machine-enforced.
+
+Runs the AST-based invariant linter (``repro.analysis.lint``) over
+``src/repro`` with the committed baseline (``lint_baseline.json``) and
+fails — exit code 1 — on any new violation of:
+
+* ``copy-discipline``   — boundary-copy-exactly-once on the read path,
+* ``lock-discipline``   — lock-then-mutate on tables, no fsync/replace
+  under an RWLock,
+* ``ddl-in-transaction``— table/index DDL outside transaction bodies,
+* ``except-hygiene``    — no bare/silently-swallowed broad excepts in
+  the engine and system layers,
+* ``api-boundary``      — public Query/JoinQuery methods never leak
+  zero-copy row references.
+
+Called from scripts/check.sh (before the test suite, so a rule
+violation fails in seconds) and as a dedicated CI step, mirroring
+``scripts/perf_gate.py`` semantics.
+
+Usage: PYTHONPATH=src python scripts/lint_gate.py [--format text|json]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis.lint import Baseline, render_json, render_text, rule_ids, run_lint
+
+#: The rule pack this gate expects; a drifted registry fails loudly
+#: instead of silently gating fewer invariants.
+GATED_RULES = (
+    "api-boundary",
+    "copy-discipline",
+    "ddl-in-transaction",
+    "except-hygiene",
+    "lock-discipline",
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    as_json = "--format" in argv and "json" in argv
+    registered = tuple(rule_ids())
+    if registered != GATED_RULES:
+        print(
+            f"lint gate: expected rule pack {GATED_RULES}, found "
+            f"{registered} — gate out of sync with repro.analysis.lint"
+        )
+        return 1
+    baseline = Baseline.load(REPO_ROOT / "lint_baseline.json")
+    result = run_lint([REPO_ROOT / "src" / "repro"], baseline=baseline)
+    print(render_json(result) if as_json else render_text(result))
+    if not result.clean:
+        print(f"lint gate: {len(result.findings)} NEW violation(s)")
+        return 1
+    print(
+        f"lint gate: all {len(GATED_RULES)} invariant rules hold "
+        f"({result.files_scanned} files, {len(result.baselined)} baselined)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

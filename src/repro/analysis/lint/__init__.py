@@ -1,0 +1,34 @@
+"""Engine invariant linter: AST-based checks for the storage engine's
+load-bearing conventions.
+
+The engine relies on several disciplines that no type checker or test
+can see — boundary-copy-exactly-once on the read path, lock-then-mutate
+on tables, no-fsync-under-lock in group commit, DDL-outside-transactions
+— documented in docs/invariants.md.  This package machine-enforces them
+the same way ``scripts/perf_gate.py`` enforces the perf claims:
+
+* :mod:`walker` — source collection, AST scopes, inline suppressions
+* :mod:`rules` — rule base class, findings, registry
+* :mod:`rulepack` — the shipped invariant rules
+* :mod:`baseline` — committed accepted-debt ledger
+* :mod:`runner` — the lint driver
+* :mod:`report` — text / JSON rendering
+
+Entry points: ``itag lint`` (CLI) and ``scripts/lint_gate.py`` (CI
+gate, runs before the test suite).
+"""
+
+from . import rulepack  # noqa: F401 - registers the rule pack on import
+from .baseline import Baseline, BaselineEntry
+from .report import render_json, render_text
+from .rules import Finding, Rule, all_rules, get_rule, rule_ids
+from .runner import LintResult, lint_sources, run_lint
+from .walker import SourceFile, collect_sources, load_source
+
+__all__ = [
+    "Baseline", "BaselineEntry",
+    "Finding", "Rule", "all_rules", "get_rule", "rule_ids",
+    "LintResult", "run_lint", "lint_sources",
+    "SourceFile", "collect_sources", "load_source",
+    "render_text", "render_json",
+]

@@ -1,0 +1,137 @@
+"""Committed lint baseline: pre-existing, justified debt.
+
+The baseline file maps findings to an accepted count so the gate fails
+only on *new* violations.  Entries key on ``(rule, path, message)`` —
+not the line number — so unrelated edits above a baselined site do not
+invalidate it.  Every entry carries a human justification; entries that
+no longer match anything are reported as stale so the file shrinks as
+debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .rules import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    message: str
+    count: int = 1
+    justification: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "count": self.count,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """The accepted-findings ledger, loaded from / saved to JSON."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                message=raw["message"],
+                count=int(raw.get("count", 1)),
+                justification=raw.get("justification", ""),
+            )
+            for raw in payload.get("entries", [])
+        ]
+        return cls(entries=entries, path=path)
+
+    def save(self, path: str | Path | None = None) -> Path:
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("baseline has no path to save to")
+        payload = {
+            "version": _VERSION,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return target
+
+    # ------------------------------------------------------------------
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition ``findings`` into (new, baselined) and report the
+        entries that matched nothing (stale — safe to delete)."""
+        budget = {entry.key: entry.count for entry in self.entries}
+        new: list[Finding] = []
+        accepted: list[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                accepted.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            entry
+            for entry in self.entries
+            if budget.get(entry.key, 0) >= entry.count
+        ]
+        return new, accepted, stale
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: list[Finding],
+        path: Path | None = None,
+        justification: str = "accepted by --baseline update",
+        previous: "Baseline | None" = None,
+    ) -> "Baseline":
+        """A fresh baseline covering ``findings``, keeping any matching
+        justifications from ``previous``."""
+        kept = (
+            {entry.key: entry.justification for entry in previous.entries}
+            if previous is not None
+            else {}
+        )
+        counts: dict[tuple[str, str, str], int] = {}
+        for finding in findings:
+            counts[finding.baseline_key] = counts.get(finding.baseline_key, 0) + 1
+        entries = [
+            BaselineEntry(
+                rule=rule,
+                path=rel_path,
+                message=message,
+                count=count,
+                justification=kept.get((rule, rel_path, message), justification),
+            )
+            for (rule, rel_path, message), count in sorted(counts.items())
+        ]
+        return cls(entries=entries, path=path)

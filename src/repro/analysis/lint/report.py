@@ -1,0 +1,48 @@
+"""Rendering lint results as terminal text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .runner import LintResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: LintResult, *, verbose_rules: bool = False) -> str:
+    """Human-facing report: one block per new finding, then a summary."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    if result.stale_baseline:
+        lines.append("")
+        lines.append(
+            f"stale baseline entries ({len(result.stale_baseline)}) — the "
+            "debt was paid; remove them (or run --baseline update):"
+        )
+        for entry in result.stale_baseline:
+            lines.append(f"  {entry.path}: [{entry.rule}] {entry.message}")
+    lines.append("")
+    status = "clean" if result.clean else f"{len(result.findings)} finding(s)"
+    lines.append(
+        f"itag lint: {status} — {result.files_scanned} file(s), "
+        f"{len(result.rules_run)} rule(s), {len(result.baselined)} "
+        f"baselined, {len(result.suppressed)} suppressed"
+    )
+    if verbose_rules:
+        lines.append(f"rules: {', '.join(result.rules_run)}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-facing report (the CI artifact)."""
+    payload = {
+        "clean": result.clean,
+        "files_scanned": result.files_scanned,
+        "rules_run": result.rules_run,
+        "findings": [finding.to_dict() for finding in result.findings],
+        "baselined": [finding.to_dict() for finding in result.baselined],
+        "suppressed_count": len(result.suppressed),
+        "stale_baseline": [entry.to_dict() for entry in result.stale_baseline],
+    }
+    return json.dumps(payload, indent=2)

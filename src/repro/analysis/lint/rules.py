@@ -1,0 +1,107 @@
+"""Rule base class, findings, and the rule registry.
+
+A rule encodes one engine invariant as an AST check.  Rules are
+registered at import time (:func:`register`) and looked up by id; each
+finding carries ``file:line``, the rule id, a one-line message, and a
+remediation hint so a violation is actionable straight from CI output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Type
+
+from .walker import SourceFile
+
+__all__ = ["Finding", "Rule", "register", "all_rules", "get_rule", "rule_ids"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Line-independent identity used for baseline matching, so a
+        baselined finding survives unrelated edits above it."""
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+class Rule:
+    """One invariant check.  Subclasses set the class attributes and
+    implement :meth:`check`; :meth:`applies_to` scopes the rule to the
+    part of the tree whose contract it encodes."""
+
+    #: stable kebab-case identifier (suppression + baseline + --rule)
+    id: str = ""
+    #: one-line statement of the invariant
+    summary: str = ""
+    #: how to fix a violation (carried on every finding)
+    hint: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        return True
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, source: SourceFile, line: int, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=source.relpath,
+            line=line,
+            message=message,
+            hint=self.hint,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one rule instance to the registry."""
+    rule = rule_class()
+    if not rule.id:
+        raise ValueError(f"rule {rule_class.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown lint rule {rule_id!r}; have {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,103 @@
+"""Lint driver: collect sources, run rules, apply suppressions and the
+baseline, and summarize the result."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .baseline import Baseline, BaselineEntry
+from .rules import Finding, Rule, all_rules, get_rule
+from .walker import SourceFile, collect_sources
+
+__all__ = ["LintResult", "run_lint", "lint_sources"]
+
+#: Pseudo-rule id for files the linter could not parse.
+SYNTAX_RULE = "syntax-error"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    #: violations not covered by the baseline — these gate the merge
+    findings: list[Finding] = field(default_factory=list)
+    #: violations matched (and accepted) by the committed baseline
+    baselined: list[Finding] = field(default_factory=list)
+    #: violations silenced by inline ``# itag-lint: disable=`` comments
+    suppressed: list[Finding] = field(default_factory=list)
+    #: baseline entries that matched nothing (debt already paid)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def all_raw_findings(self) -> list[Finding]:
+        """Every violation regardless of baseline (for --baseline update)."""
+        return sorted(
+            self.findings + self.baselined,
+            key=lambda finding: (finding.path, finding.line, finding.rule),
+        )
+
+
+def _select_rules(rule_ids: Sequence[str] | None) -> list[Rule]:
+    if not rule_ids:
+        return all_rules()
+    return [get_rule(rule_id) for rule_id in rule_ids]
+
+
+def lint_sources(
+    sources: Iterable[SourceFile],
+    rule_ids: Sequence[str] | None = None,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Run the (selected) rule pack over already-loaded sources."""
+    rules = _select_rules(rule_ids)
+    result = LintResult(rules_run=[rule.id for rule in rules])
+    raw: list[Finding] = []
+    for source in sources:
+        result.files_scanned += 1
+        if source.parse_error is not None:
+            raw.append(
+                Finding(
+                    rule=SYNTAX_RULE,
+                    path=source.relpath,
+                    line=1,
+                    message=source.parse_error,
+                    hint="the linter needs parseable modules",
+                )
+            )
+            continue
+        for rule in rules:
+            if not rule.applies_to(source.relpath):
+                continue
+            for finding in rule.check(source):
+                if source.suppressed(finding.rule, finding.line):
+                    result.suppressed.append(finding)
+                else:
+                    raw.append(finding)
+    raw.sort(key=lambda finding: (finding.path, finding.line, finding.rule))
+    if baseline is not None:
+        new, accepted, stale = baseline.split(raw)
+        result.findings = new
+        result.baselined = accepted
+        result.stale_baseline = stale
+    else:
+        result.findings = raw
+    return result
+
+
+def run_lint(
+    roots: Sequence[str | Path],
+    rule_ids: Sequence[str] | None = None,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint every ``*.py`` under the given roots."""
+    sources: list[SourceFile] = []
+    for root in roots:
+        sources.extend(collect_sources(Path(root)))
+    return lint_sources(sources, rule_ids=rule_ids, baseline=baseline)

@@ -1,0 +1,208 @@
+"""Source collection and AST scaffolding for the invariant linter.
+
+A :class:`SourceFile` bundles everything a rule needs to inspect one
+module: the parsed AST, the raw text, a POSIX-style relative path used
+for rule scoping and baseline keys, and the inline suppression map
+(``# itag-lint: disable=RULE[,RULE...]`` comments).
+
+Rules see *scopes*: the module body plus every function, walked
+shallowly (a nested ``def``/``class`` starts its own scope), so a rule
+can reason about one function's bindings without re-deriving lexical
+structure.  Expression-level subtrees (comprehensions, lambdas, ``with``
+bodies) stay inside their enclosing scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "SourceFile",
+    "Scope",
+    "collect_sources",
+    "load_source",
+    "shallow_walk",
+    "call_name",
+    "attribute_base",
+    "target_names",
+]
+
+#: Inline suppression marker, e.g. ``# itag-lint: disable=copy-discipline``.
+_SUPPRESS_RE = re.compile(r"itag-lint:\s*disable=([\w\-*,\s]+)")
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@dataclass
+class Scope:
+    """One lexical scope: the module itself or one function body."""
+
+    #: "<module>" or the function's name
+    name: str
+    #: the AST node owning the scope (ast.Module or a function def)
+    node: ast.AST
+    #: the class name enclosing a method scope, or None
+    class_name: str | None = None
+
+    def walk(self) -> Iterator[ast.AST]:
+        """Walk this scope without descending into nested defs/classes."""
+        return shallow_walk(self.node)
+
+
+@dataclass
+class SourceFile:
+    """One parsed module plus the metadata rules key off."""
+
+    path: Path
+    #: POSIX relative path (rule scoping + stable baseline key)
+    relpath: str
+    text: str
+    tree: ast.Module | None
+    #: line number -> rule ids suppressed on that line ("all" = every rule)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: syntax error message when the module failed to parse
+    parse_error: str | None = None
+
+    def scopes(self) -> Iterator[Scope]:
+        """The module scope, then every function scope (any nesting)."""
+        if self.tree is None:
+            return
+        yield Scope("<module>", self.tree)
+        stack: list[tuple[ast.AST, str | None]] = [(self.tree, None)]
+        while stack:
+            node, class_name = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield Scope(child.name, child, class_name)
+                    stack.append((child, class_name))
+                elif isinstance(child, ast.ClassDef):
+                    stack.append((child, child.name))
+                elif not isinstance(child, _SCOPE_NODES):
+                    stack.append((child, class_name))
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        return bool(rules) and (rule_id in rules or "all" in rules)
+
+
+def shallow_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """Yield ``root`` and descendants, stopping at nested scope nodes.
+
+    Comprehensions and lambdas are *not* scope boundaries here: they
+    carry the enclosing function's bindings for our purposes (a row ref
+    leaked into a genexp is still a row ref).
+    """
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                continue
+            stack.append(child)
+
+
+def _parse_suppressions(text: str) -> dict[int, set[str]]:
+    """Map line -> suppressed rule ids from ``# itag-lint:`` comments.
+
+    A comment on a code line suppresses that line; a standalone comment
+    line also suppresses the line immediately below it.
+    """
+    mapping: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            rules = {
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            line = token.start[0]
+            mapping.setdefault(line, set()).update(rules)
+            if token.line.strip().startswith("#"):
+                mapping.setdefault(line + 1, set()).update(rules)
+    except tokenize.TokenError:
+        pass  # a torn final line still lints; suppressions best-effort
+    return mapping
+
+
+def load_source(path: Path, relpath: str) -> SourceFile:
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree: ast.Module | None = ast.parse(text, filename=str(path))
+        error = None
+    except SyntaxError as exc:
+        tree = None
+        error = f"{exc.msg} (line {exc.lineno})"
+    return SourceFile(
+        path=path,
+        relpath=relpath,
+        text=text,
+        tree=tree,
+        suppressions=_parse_suppressions(text),
+        parse_error=error,
+    )
+
+
+def collect_sources(root: Path) -> list[SourceFile]:
+    """Every ``*.py`` under ``root`` (or ``root`` itself when a file).
+
+    Relative paths are prefixed with the root's name so rule scoping
+    (``store/...``, ``system/...``) and baseline keys stay stable no
+    matter where the tree is checked out.
+    """
+    root = Path(root)
+    if root.is_file():
+        return [load_source(root, root.name)]
+    sources = []
+    for path in sorted(root.rglob("*.py")):
+        relpath = f"{root.name}/{path.relative_to(root).as_posix()}"
+        sources.append(load_source(path, relpath))
+    return sources
+
+
+# ----------------------------------------------------------------------
+# small AST accessors shared by the rule pack
+# ----------------------------------------------------------------------
+
+
+def call_name(node: ast.AST) -> str | None:
+    """The called name for a Call node: ``foo()`` and ``x.y.foo()`` both
+    give ``"foo"``; anything else (subscripts, lambdas) gives None."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def attribute_base(node: ast.AST) -> str | None:
+    """For ``a.b`` / ``a.b.c`` the root name ``"a"``, else None."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def target_names(target: ast.AST) -> Iterator[str]:
+    """Plain names bound by an assignment/loop target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from target_names(element)

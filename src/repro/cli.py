@@ -13,6 +13,8 @@ Subcommands::
     itag store recover --dir STATE_DIR [--fsync POLICY]
     itag store checkpoint --dir STATE_DIR [--fsync POLICY]
     itag store smoke [--readers N] [--tasks N] [--seed N]
+    itag lint [PATH ...] [--rule ID]... [--baseline check|update|ignore] \\
+        [--baseline-file PATH] [--format text|json] [--list-rules]
     itag version
 
 ``store explain`` prints the physical plan the cost-based planner picks
@@ -30,6 +32,13 @@ the store's consistency checks.  ``store checkpoint`` persists an
 atomic snapshot and prunes the covered WAL prefix.  ``store smoke``
 runs the concurrent-session driver (1 writer vs N snapshot readers) on
 a small synthetic campaign and fails on any torn read.
+
+``itag lint`` runs the engine invariant linter
+(:mod:`repro.analysis.lint`) over the package source (or the given
+paths) and exits 1 on any finding not covered by the committed baseline
+— the same contract as ``scripts/lint_gate.py``, which CI runs before
+the test suite.  ``--baseline update`` rewrites the baseline file to
+accept the current findings; ``--format json`` emits the CI artifact.
 """
 
 from __future__ import annotations
@@ -157,6 +166,36 @@ def build_parser() -> argparse.ArgumentParser:
     smoke_parser.add_argument("--readers", type=int, default=3)
     smoke_parser.add_argument("--tasks", type=int, default=40)
     smoke_parser.add_argument("--seed", type=int, default=7)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="engine invariant linter (concurrency/copy/durability rules)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint_parser.add_argument(
+        "--rule", action="append", default=[], metavar="ID", dest="rules",
+        help="run only this rule (repeatable; see --list-rules)",
+    )
+    lint_parser.add_argument(
+        "--baseline", choices=("check", "update", "ignore"), default="check",
+        help="check against the committed baseline (default), rewrite it "
+        "to accept current findings, or ignore it",
+    )
+    lint_parser.add_argument(
+        "--baseline-file", metavar="PATH",
+        help="baseline location (default: lint_baseline.json at the repo root)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="report format (json is the CI artifact)",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule pack (id, invariant, scope) and exit",
+    )
     return parser
 
 
@@ -382,6 +421,60 @@ def _cmd_store_smoke(args: argparse.Namespace) -> int:
     return 0 if report.consistent else 1
 
 
+def _default_lint_root() -> "Path":
+    from pathlib import Path
+
+    return Path(__file__).resolve().parent
+
+
+def _default_baseline_path() -> "Path":
+    """``lint_baseline.json`` at the repo root of a src-layout checkout
+    (``src/repro`` -> two levels up); callers may override."""
+    from pathlib import Path
+
+    return Path(__file__).resolve().parent.parent.parent / "lint_baseline.json"
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.lint import (
+        Baseline,
+        all_rules,
+        render_json,
+        render_text,
+        rule_ids,
+        run_lint,
+    )
+    from .errors import ReproError
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}: {rule.summary}")
+        return 0
+    unknown = [rule for rule in args.rules if rule not in rule_ids()]
+    if unknown:
+        raise ReproError(
+            f"unknown lint rule(s) {unknown}; have {rule_ids()}"
+        )
+    roots = args.paths or [_default_lint_root()]
+    baseline_path = args.baseline_file or _default_baseline_path()
+    baseline = (
+        Baseline.load(baseline_path) if args.baseline != "ignore" else None
+    )
+    result = run_lint(roots, rule_ids=args.rules or None, baseline=baseline)
+    if args.baseline == "update":
+        updated = Baseline.from_findings(
+            result.all_raw_findings(), previous=baseline
+        )
+        updated.save(baseline_path)
+        print(
+            f"baseline updated: {baseline_path} "
+            f"({len(updated.entries)} entr{'y' if len(updated.entries) == 1 else 'ies'})"
+        )
+        return 0
+    print(render_json(result) if args.fmt == "json" else render_text(result))
+    return 0 if result.clean else 1
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     if args.store_command == "recover":
         return _cmd_store_recover(args)
@@ -465,6 +558,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_demo(args)
         if args.command == "store":
             return _cmd_store(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

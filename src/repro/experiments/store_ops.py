@@ -476,6 +476,8 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
                     reader_passes += 1
                     if len(stamps) > 1 or repeat != stamps or len(view) != stamp_rows:
                         torn_reads += 1
+            # bench thread boundary: failures are counted against the
+            # claim, never raised  itag-lint: disable=except-hygiene
             except Exception as exc:  # noqa: BLE001 - counted as failure
                 with stats_lock:
                     reader_errors.append(repr(exc))

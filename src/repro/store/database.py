@@ -587,9 +587,20 @@ class Database:
         return database
 
     def verify(self) -> None:
-        """Run internal consistency checks across all tables."""
+        """Run internal consistency checks across all tables.
+
+        Three layers, each raising ``ConstraintError`` on violation:
+        every index exactly mirrors its table's rows (including the
+        maintained O(1) distinct counters, cross-checked against a
+        recount), and every table's plan cache passes its metadata
+        checks — join entries rooted on the right table, recorded DDL
+        generations never ahead of the live caches, row-drift counters
+        sane.  Called by ``store recover`` and at the end of the EXP-ST
+        smoke, so a drifted cache or index fails the tier-1 gate.
+        """
         for table in self._tables.values():
             table.verify_indexes()
+            table.plan_cache.verify(owner=table)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = f", dir={str(self._directory)!r}" if self._directory else ""

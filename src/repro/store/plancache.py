@@ -273,6 +273,53 @@ class PlanCache:
             self._entries.clear()
             self.generation += 1
 
+    def verify(self, owner: Any = None) -> None:
+        """Internal consistency checks (``Database.verify``).
+
+        Asserts the metadata the serving path trusts without re-deriving
+        it: recorded DDL generations never exceed a participant cache's
+        current generation (generations only advance, so a larger
+        recorded value means corrupted or rolled-back metadata), join
+        entries are cached on their root relation's table, and recorded
+        row-drift counters are sane.  Raises ``ConstraintError``.
+        """
+        from .errors import ConstraintError
+
+        with self._mutex:
+            for key, entry in self._entries.items():
+                if isinstance(entry, _JoinEntry):
+                    if owner is not None and entry.participants:
+                        root = entry.participants[0][0]
+                        if root is not owner:
+                            raise ConstraintError(
+                                f"plan cache: join entry {key!r} cached on "
+                                f"{getattr(owner, 'name', owner)!r} but rooted "
+                                f"at {getattr(root, 'name', root)!r}"
+                            )
+                    for then_table, then_generation, then_rows in entry.participants:
+                        current = then_table.plan_cache.generation
+                        if then_generation > current:
+                            raise ConstraintError(
+                                f"plan cache: join entry {key!r} pins "
+                                f"{getattr(then_table, 'name', then_table)!r} "
+                                f"at DDL generation {then_generation} > "
+                                f"current {current} (generations only advance)"
+                            )
+                        if then_rows < 0:
+                            raise ConstraintError(
+                                f"plan cache: join entry {key!r} recorded "
+                                f"negative row count {then_rows}"
+                            )
+                elif entry.row_count < 0:
+                    raise ConstraintError(
+                        f"plan cache: entry {key!r} recorded negative row "
+                        f"count {entry.row_count}"
+                    )
+            if self.generation < 0:
+                raise ConstraintError(
+                    f"plan cache: negative DDL generation {self.generation}"
+                )
+
     def clear(self) -> None:
         """Drop all entries and reset statistics (benchmarks, tests)."""
         with self._mutex:

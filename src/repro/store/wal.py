@@ -353,6 +353,8 @@ class WriteAheadLog:
                 os.fsync(self._handle.fileno())
                 self.sync_count += 1
                 self._last_sync = time.monotonic()
+        # leader thread must survive; the error reaches every committer
+        # of the batch via _broken  itag-lint: disable=except-hygiene
         except BaseException as exc:  # noqa: BLE001 - re-raised below
             error = exc
             # The committers of this batch will be told their records

@@ -134,6 +134,8 @@ class SessionDriver:
                 self._system.run_project(self._project_id, tasks=1)
                 with self._report_lock:
                     report.writer_tasks += 1
+        # session boundary: any failure must land in the report, not
+        # kill the thread silently  itag-lint: disable=except-hygiene
         except Exception as exc:  # noqa: BLE001 - surfaced in the report
             with self._report_lock:
                 report.errors.append(f"writer: {exc!r}")
@@ -162,6 +164,8 @@ class SessionDriver:
                         report.torn_reads += 1
                     if not atomic:
                         report.atomicity_violations += 1
+            # session boundary: reader failures are counted as report
+            # errors, never raised  itag-lint: disable=except-hygiene
             except Exception as exc:  # noqa: BLE001 - surfaced in the report
                 with self._report_lock:
                     report.errors.append(f"reader: {exc!r}")

@@ -1,0 +1,485 @@
+"""The engine invariant linter: rule pack, suppressions, baseline,
+CLI, gate — plus the meta-test that the live tree is lint-clean.
+
+Each rule gets four fixture snippets: positive (fires), negative
+(clean), suppressed (inline ``# itag-lint: disable=``), and baselined
+(accepted by a committed baseline entry).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    Baseline,
+    BaselineEntry,
+    all_rules,
+    load_source,
+    render_json,
+    render_text,
+    rule_ids,
+    run_lint,
+)
+from repro.analysis.lint.runner import lint_sources
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def lint_snippet(tmp_path, relpath: str, code: str, **kwargs):
+    """Write one fixture module and lint the fixture package root."""
+    path = tmp_path / "pkg" / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(code, encoding="utf-8")
+    return run_lint([tmp_path / "pkg"], **kwargs)
+
+
+def finding_rules(result):
+    return {finding.rule for finding in result.findings}
+
+
+class TestCopyDiscipline:
+    def test_positive_copy_in_plan_iterator(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "store/plan.py",
+            "class Scan:\n"
+            "    def iter_rows_refs(self):\n"
+            "        for row in self.table.scan_refs():\n"
+            "            yield dict(row)\n",
+        )
+        assert finding_rules(result) == {"copy-discipline"}
+        [finding] = result.findings
+        assert finding.line == 4
+        assert "dict() copy" in finding.message
+
+    def test_positive_row_ref_mutation_anywhere(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "system/helper.py",
+            "def poke(table, pk):\n"
+            "    row = table.ref_or_none(pk)\n"
+            "    row['quality'] = 1.0\n",
+        )
+        assert finding_rules(result) == {"copy-discipline"}
+
+    def test_negative_copy_at_boundary_and_fresh_dict(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "store/plan.py",
+            "class Scan:\n"
+            "    def iter_rows_refs(self):\n"
+            "        return self.table.scan_refs()\n"
+            "    def iter_rows(self):\n"
+            "        return (dict(row) for row in self.iter_rows_refs())\n"
+            "def sanctioned(table, pk):\n"
+            "    row = table.ref_or_none(pk)\n"
+            "    row = dict(row)\n"
+            "    row['quality'] = 1.0\n",
+        )
+        assert result.clean
+
+    def test_suppressed(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "store/plan.py",
+            "class Scan:\n"
+            "    def iter_rows_refs(self):\n"
+            "        for row in self.table.scan_refs():\n"
+            "            yield dict(row)  # itag-lint: disable=copy-discipline\n",
+        )
+        assert result.clean
+        assert len(result.suppressed) == 1
+
+    def test_baselined(self, tmp_path):
+        unchecked = lint_snippet(
+            tmp_path, "store/plan.py",
+            "class Scan:\n"
+            "    def iter_rows_refs(self):\n"
+            "        for row in self.table.scan_refs():\n"
+            "            yield dict(row)\n",
+        )
+        [finding] = unchecked.findings
+        baseline = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    message=finding.message,
+                    justification="fixture debt",
+                )
+            ]
+        )
+        result = run_lint([tmp_path / "pkg"], baseline=baseline)
+        assert result.clean
+        assert len(result.baselined) == 1
+        assert not result.stale_baseline
+
+
+class TestLockDiscipline:
+    def test_positive_internal_mutation(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "system/hack.py",
+            "def hack(table, pk, row):\n"
+            "    table._rows[pk] = row\n"
+            "    table._indexes.pop('quality')\n",
+        )
+        assert finding_rules(result) == {"lock-discipline"}
+        assert len(result.findings) == 2
+
+    def test_positive_fsync_under_rwlock(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "store/commit.py",
+            "import os\n"
+            "def bad(table, path, tmp):\n"
+            "    with table._lock.write_locked():\n"
+            "        os.replace(tmp, path)\n"
+            "        os.fsync(3)\n",
+        )
+        assert finding_rules(result) == {"lock-discipline"}
+        assert len(result.findings) == 2
+
+    def test_negative_owner_files_and_fsync_outside_lock(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "store/table.py",
+            "class Table:\n"
+            "    def insert(self, pk, row):\n"
+            "        with self._lock.write_locked():\n"
+            "            self._rows[pk] = row\n"
+            "def stage_then_sync(os, path, tmp, lock):\n"
+            "    with lock.write_locked():\n"
+            "        staged = tmp\n"
+            "    os.replace(staged, path)\n",
+        )
+        assert result.clean
+
+    def test_negative_own_init_storage(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "store/views.py",
+            "class ReadView:\n"
+            "    def __init__(self, rows):\n"
+            "        self._rows = rows\n",
+        )
+        assert result.clean
+
+    def test_suppressed(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "system/hack.py",
+            "def hack(table, pk, row):\n"
+            "    table._rows[pk] = row  # itag-lint: disable=lock-discipline\n",
+        )
+        assert result.clean
+        assert len(result.suppressed) == 1
+
+
+class TestDdlInTransaction:
+    POSITIVE = (
+        "def migrate(db):\n"
+        "    with db.transaction():\n"
+        "        db.create_index('quality')\n"
+    )
+
+    def test_positive(self, tmp_path):
+        result = lint_snippet(tmp_path, "system/migrate.py", self.POSITIVE)
+        assert finding_rules(result) == {"ddl-in-transaction"}
+
+    def test_negative_ddl_outside(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "system/migrate.py",
+            "def migrate(db, table):\n"
+            "    db.create_table('t', None)\n"
+            "    table.create_index('quality')\n"
+            "    with db.transaction():\n"
+            "        table.insert({})\n",
+        )
+        assert result.clean
+
+    def test_suppressed_standalone_comment(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "system/migrate.py",
+            "def migrate(db):\n"
+            "    with db.transaction():\n"
+            "        # itag-lint: disable=ddl-in-transaction\n"
+            "        db.create_index('quality')\n",
+        )
+        assert result.clean
+        assert len(result.suppressed) == 1
+
+    def test_baselined_count_budget(self, tmp_path):
+        """A count-1 entry accepts one occurrence; the second is new."""
+        doubled = self.POSITIVE + "        db.drop_index('quality')\n"
+        unchecked = lint_snippet(tmp_path, "system/migrate.py", doubled)
+        assert len(unchecked.findings) == 2
+        first, second = unchecked.findings
+        baseline = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule=first.rule, path=first.path, message=first.message
+                )
+            ]
+        )
+        result = run_lint([tmp_path / "pkg"], baseline=baseline)
+        assert len(result.findings) == 1
+        assert result.findings[0].message == second.message
+        assert len(result.baselined) == 1
+
+
+class TestExceptHygiene:
+    def test_positive_bare_and_swallowed(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "store/oops.py",
+            "def a():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except:\n"
+            "        pass\n"
+            "def b():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except Exception:\n"
+            "        pass\n",
+        )
+        assert finding_rules(result) == {"except-hygiene"}
+        assert len(result.findings) == 2
+        assert "bare" in result.findings[0].message
+        assert "swallowed" in result.findings[1].message
+
+    def test_negative_reraise_narrow_and_out_of_scope(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "store/fine.py",
+            "def a():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except Exception:\n"
+            "        raise\n"
+            "    try:\n"
+            "        pass\n"
+            "    except (OSError, ValueError):\n"
+            "        pass\n",
+        )
+        assert result.clean
+        # the rule only patrols the engine/system layers
+        out_of_scope = lint_snippet(
+            tmp_path, "quality/loose.py",
+            "def a():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except:\n"
+            "        pass\n",
+        )
+        assert out_of_scope.clean
+
+    def test_suppressed(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "store/oops.py",
+            "def a():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except Exception:  # itag-lint: disable=except-hygiene\n"
+            "        pass\n",
+        )
+        assert result.clean
+
+
+class TestApiBoundary:
+    def test_positive_return_yield_leaks(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "store/query.py",
+            "class Query:\n"
+            "    def all_fast(self):\n"
+            "        return list(self._iter_row_refs())\n"
+            "    def rows(self):\n"
+            "        return [row for row in self._iter_row_refs()]\n"
+            "    def __iter__(self):\n"
+            "        for row in self._iter_row_refs():\n"
+            "            yield row\n",
+        )
+        assert finding_rules(result) == {"api-boundary"}
+        assert len(result.findings) == 3
+
+    def test_negative_private_projected_and_other_classes(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "store/query.py",
+            "class Query:\n"
+            "    def _iter_row_refs(self):\n"
+            "        return self._build_plan().iter_rows_refs()\n"
+            "    def pks(self):\n"
+            "        return [row['id'] for row in self._iter_row_refs()]\n"
+            "    def count(self):\n"
+            "        return sum(1 for _ in self._iter_row_refs())\n"
+            "    def all(self):\n"
+            "        return list(self._execute())\n"
+            "class NotAQuery:\n"
+            "    def leak(self):\n"
+            "        return list(self._iter_row_refs())\n",
+        )
+        assert result.clean
+
+    def test_suppressed(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "store/query.py",
+            "class JoinQuery:\n"
+            "    def leak(self):\n"
+            "        return self._iter_row_refs()  # itag-lint: disable=api-boundary\n",
+        )
+        assert result.clean
+
+
+class TestFrameworkMechanics:
+    def test_rule_registry_is_the_shipped_pack(self):
+        assert rule_ids() == [
+            "api-boundary",
+            "copy-discipline",
+            "ddl-in-transaction",
+            "except-hygiene",
+            "lock-discipline",
+        ]
+        for rule in all_rules():
+            assert rule.summary and rule.hint
+
+    def test_rule_filter(self, tmp_path):
+        code = (
+            "def hack(table, pk, row):\n"
+            "    try:\n"
+            "        table._rows[pk] = row\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        both = lint_snippet(tmp_path, "store/hack.py", code)
+        assert finding_rules(both) == {"lock-discipline", "except-hygiene"}
+        only = lint_snippet(
+            tmp_path, "store/hack.py", code, rule_ids=["except-hygiene"]
+        )
+        assert finding_rules(only) == {"except-hygiene"}
+
+    def test_syntax_error_is_reported(self, tmp_path):
+        result = lint_snippet(tmp_path, "store/broken.py", "def broken(:\n")
+        assert [finding.rule for finding in result.findings] == ["syntax-error"]
+
+    def test_stale_baseline_reported(self, tmp_path):
+        baseline = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule="except-hygiene",
+                    path="pkg/store/paid.py",
+                    message="bare 'except:' (catches SystemExit/KeyboardInterrupt)",
+                )
+            ]
+        )
+        result = lint_snippet(
+            tmp_path, "store/paid.py", "x = 1\n", baseline=baseline
+        )
+        assert result.clean
+        assert len(result.stale_baseline) == 1
+        assert "stale baseline" in render_text(result)
+
+    def test_baseline_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        baseline = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule="copy-discipline",
+                    path="pkg/store/plan.py",
+                    message="m",
+                    count=2,
+                    justification="because",
+                )
+            ]
+        )
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert [entry.to_dict() for entry in loaded.entries] == [
+            entry.to_dict() for entry in baseline.entries
+        ]
+
+    def test_json_report_shape(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "store/oops.py",
+            "def a():\n    try:\n        pass\n    except:\n        pass\n",
+        )
+        payload = json.loads(render_json(result))
+        assert payload["clean"] is False
+        [finding] = payload["findings"]
+        assert set(finding) == {"rule", "path", "line", "message", "hint"}
+        assert finding["path"].endswith("store/oops.py")
+        assert finding["line"] == 4
+
+    def test_cli_lint_json_and_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "pkg" / "store"
+        bad.mkdir(parents=True)
+        (bad / "oops.py").write_text(
+            "def a():\n    try:\n        pass\n    except:\n        pass\n",
+            encoding="utf-8",
+        )
+        code = main(
+            ["lint", str(tmp_path / "pkg"), "--baseline", "ignore",
+             "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["findings"][0]["rule"] == "except-hygiene"
+        (bad / "oops.py").write_text("x = 1\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path / "pkg"), "--baseline", "ignore"]) == 0
+
+    def test_cli_baseline_update_then_clean(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "pkg" / "store"
+        bad.mkdir(parents=True)
+        (bad / "oops.py").write_text(
+            "def a():\n    try:\n        pass\n    except:\n        pass\n",
+            encoding="utf-8",
+        )
+        baseline_file = tmp_path / "baseline.json"
+        args = ["lint", str(tmp_path / "pkg"), "--baseline-file", str(baseline_file)]
+        assert main(args) == 1
+        assert main(args + ["--baseline", "update"]) == 0
+        assert baseline_file.exists()
+        capsys.readouterr()
+        assert main(args) == 0
+
+
+class TestLiveTree:
+    """The shipped tree must be lint-clean modulo the committed baseline."""
+
+    def test_src_tree_clean_with_committed_baseline(self):
+        baseline = Baseline.load(REPO_ROOT / "lint_baseline.json")
+        result = run_lint([SRC_ROOT], baseline=baseline)
+        assert result.clean, render_text(result)
+        # the committed baseline carries no stale (already-paid) entries
+        assert not result.stale_baseline, render_text(result)
+        # every accepted entry documents why it is acceptable
+        assert all(entry.justification for entry in baseline.entries)
+
+    def test_gate_fails_on_seeded_violation(self):
+        """lint_gate semantics: a fresh violation in the live tree is a
+        new finding even with the committed baseline applied."""
+        import ast
+
+        from repro.analysis.lint.walker import SourceFile, collect_sources
+
+        sources = collect_sources(SRC_ROOT)
+        evil = "def hack(table, pk, row):\n    table._rows[pk] = row\n"
+        sources.append(
+            SourceFile(
+                path=SRC_ROOT / "system" / "seeded.py",
+                relpath="repro/system/seeded.py",
+                text=evil,
+                tree=ast.parse(evil),
+            )
+        )
+        baseline = Baseline.load(REPO_ROOT / "lint_baseline.json")
+        result = lint_sources(sources, baseline=baseline)
+        assert not result.clean
+        assert finding_rules(result) == {"lock-discipline"}
+
+    def test_lint_gate_script_passes_on_shipped_tree(self):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "lint_gate", REPO_ROOT / "scripts" / "lint_gate.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.main([]) == 0

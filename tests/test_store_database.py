@@ -4,8 +4,11 @@ import pytest
 
 from repro.store import (
     Column,
+    ConstraintError,
     Database,
     DataType,
+    Eq,
+    Query,
     Schema,
     StoreError,
     UnknownTableError,
@@ -103,6 +106,83 @@ class TestSnapshots:
         path.write_text("{not json", encoding="utf-8")
         with pytest.raises(StoreError, match="corrupt"):
             load_database(path)
+
+    def test_verify_cross_checks_plan_caches(self):
+        """Database.verify() covers cached-plan metadata, not just
+        index membership: warmed single-table and join entries pass."""
+        database = Database("d")
+        left = database.create_table("left", schema())
+        right = database.create_table(
+            "right",
+            Schema(
+                [Column("id", DataType.INT), Column("name", DataType.TEXT)],
+                primary_key="id",
+            ),
+        )
+        for name in ("a", "b", "c"):
+            left.insert({"name": name, "payload": None})
+            right.insert({"name": name})
+        Query(left).where(Eq("name", "a")).count()
+        Query(left).join(right, on=("name", "name"), prefix_right="r_").all()
+        assert len(left.plan_cache) >= 1
+        database.verify()
+
+    def test_verify_rejects_regressed_ddl_generation(self):
+        """A join entry pinning a participant at a generation beyond the
+        participant cache's current one means metadata rolled backwards."""
+        database = Database("d")
+        left = database.create_table("left", schema())
+        right = database.create_table(
+            "right",
+            Schema(
+                [Column("id", DataType.INT), Column("name", DataType.TEXT)],
+                primary_key="id",
+            ),
+        )
+        left.insert({"name": "a", "payload": None})
+        right.insert({"name": "a"})
+        Query(left).join(right, on=("name", "name"), prefix_right="r_").all()
+        entry = next(
+            e for e in left.plan_cache._entries.values() if hasattr(e, "participants")
+        )
+        entry.participants = tuple(
+            (table, generation + 99, rows)
+            for table, generation, rows in entry.participants
+        )
+        with pytest.raises(ConstraintError, match="generations only advance"):
+            database.verify()
+
+    def test_verify_rejects_negative_row_counter(self):
+        database = Database("d")
+        table = database.create_table("t", schema())
+        table.insert({"name": "a", "payload": None})
+        Query(table).where(Eq("name", "a")).count()
+        entry = next(iter(table.plan_cache._entries.values()))
+        entry.row_count = -1
+        with pytest.raises(ConstraintError, match="negative row"):
+            database.verify()
+
+    def test_verify_rejects_misrooted_join_entry(self):
+        database = Database("d")
+        left = database.create_table("left", schema())
+        right = database.create_table(
+            "right",
+            Schema(
+                [Column("id", DataType.INT), Column("name", DataType.TEXT)],
+                primary_key="id",
+            ),
+        )
+        left.insert({"name": "a", "payload": None})
+        right.insert({"name": "a"})
+        Query(left).join(right, on=("name", "name"), prefix_right="r_").all()
+        key, entry = next(
+            (k, e)
+            for k, e in left.plan_cache._entries.items()
+            if hasattr(e, "participants")
+        )
+        right.plan_cache._entries[key] = entry
+        with pytest.raises(ConstraintError, match="rooted"):
+            database.verify()
 
     def test_csv_export(self, tmp_path):
         database = self.build()
