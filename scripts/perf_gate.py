@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""Perf-regression smoke gate: the EXP-ST read-path claim subset.
+"""Perf-regression smoke gate: the EXP-ST read/commit-path claim subset.
 
 Runs a reduced EXP-ST (small row count, no WAL) and fails — exit code
-1 — if any of the zero-copy read-path claims regressed:
+1 — if any of the gated claims regressed:
 
 * hash-index point-query throughput (the >12k ops/sec floor, 5x the
   pre-zero-copy baseline),
@@ -12,11 +12,15 @@ Runs a reduced EXP-ST (small row count, no WAL) and fails — exit code
 * maintained O(1) statistics (n_distinct counter, histogram accuracy),
 * the 3-way-join order search beating the written left-deep baseline
   (so multi-way join ordering can never silently regress below the
-  plans callers would have hand-written).
+  plans callers would have hand-written),
+* cross-transaction group commit: 4 disjoint writers outpacing a
+  single writer at fsync=always, and batching their commits under
+  shared fsyncs (so per-table locking can never silently fall back to
+  serialized commits).
 
-Called from scripts/check.sh and as a dedicated CI step, so a read-path
-regression fails the merge even when it is not large enough to break a
-functional test.
+Called from scripts/check.sh and as a dedicated CI step, so a
+performance regression fails the merge even when it is not large
+enough to break a functional test.
 
 Usage: PYTHONPATH=src python scripts/perf_gate.py [rows]
 """
@@ -36,6 +40,8 @@ GATED_CLAIMS = (
     "n_distinct is O(1)",
     "sampled histogram matches exact range selectivity",
     "searched order beats the written left-deep order",
+    "cross-transaction group commit scales",
+    "cross-transaction group commit batches concurrent commits",
 )
 
 
@@ -59,7 +65,7 @@ def main() -> int:
     if failed:
         print(f"perf gate: {len(failed)} claim(s) REGRESSED")
         return 1
-    print(f"perf gate: all {len(gated)} read-path claims hold (rows={rows})")
+    print(f"perf gate: all {len(gated)} gated claims hold (rows={rows})")
     return 0
 
 

@@ -218,6 +218,12 @@ _TABLE_INTERNALS_OWNERS = (
     "store/wal.py",
 )
 _TABLE_INTERNALS = frozenset({"_rows", "_indexes"})
+#: The lock manager's wait-for-graph state is owned by store/lockmgr.py
+#: alone: every mutation happens under its condition mutex, and a
+#: foreign write would corrupt deadlock detection (a phantom edge or a
+#: leaked holder wedges every later waiter).
+_LOCKMGR_INTERNALS_OWNER = "store/lockmgr.py"
+_LOCKMGR_INTERNALS = frozenset({"_holders", "_waiting", "_victims"})
 #: Calls that hit the disk durability path (directly or via the atomic
 #: write helpers, which fsync + os.replace internally).
 _DURABILITY_CALLS = frozenset(
@@ -232,12 +238,14 @@ _DURABILITY_CALLS = frozenset(
 )
 
 
-def _internals_attribute(node: ast.AST) -> ast.Attribute | None:
+def _internals_attribute(
+    node: ast.AST, internals: frozenset[str] = _TABLE_INTERNALS
+) -> ast.Attribute | None:
     """``x._rows`` / ``x._indexes`` attribute node, unwrapping one
     subscript level (``x._rows[pk]``)."""
     if isinstance(node, ast.Subscript):
         node = node.value
-    if isinstance(node, ast.Attribute) and node.attr in _TABLE_INTERNALS:
+    if isinstance(node, ast.Attribute) and node.attr in internals:
         return node
     return None
 
@@ -249,25 +257,42 @@ class LockDisciplineRule(Rule):
     id = "lock-discipline"
     summary = (
         "table internals are mutated only by table/transaction/WAL "
-        "machinery, and durability syscalls never run under an RWLock"
+        "machinery, lock-manager state only by store/lockmgr.py, and "
+        "durability syscalls never run under an RWLock"
     )
     hint = (
         "route mutations through Table's public methods (they take the "
-        "write lock), and stage durable writes outside lock scopes as "
+        "write lock) and lock state through LockManager's acquire/"
+        "release_all, and stage durable writes outside lock scopes as "
         "group commit does; see docs/durability.md"
     )
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
-        protected = not any(
+        table_protected = not any(
             source.relpath.endswith(owner) for owner in _TABLE_INTERNALS_OWNERS
         )
+        lockmgr_protected = not source.relpath.endswith(
+            _LOCKMGR_INTERNALS_OWNER
+        )
         for scope in source.scopes():
-            if protected:
-                yield from self._internal_mutations(source, scope)
+            if table_protected:
+                yield from self._internal_mutations(
+                    source, scope, _TABLE_INTERNALS,
+                    "the table/transaction/WAL machinery",
+                )
+            if lockmgr_protected:
+                yield from self._internal_mutations(
+                    source, scope, _LOCKMGR_INTERNALS,
+                    "the lock manager (store/lockmgr.py)",
+                )
             yield from self._fsync_under_lock(source, scope)
 
     def _internal_mutations(
-        self, source: SourceFile, scope: Scope
+        self,
+        source: SourceFile,
+        scope: Scope,
+        internals: frozenset[str],
+        owner_label: str,
     ) -> Iterator[Finding]:
         for node in scope.walk():
             if isinstance(node, (ast.Assign, ast.AugAssign)):
@@ -277,7 +302,7 @@ class LockDisciplineRule(Rule):
                     else [node.target]
                 )
                 for target in targets:
-                    attribute = _internals_attribute(target)
+                    attribute = _internals_attribute(target, internals)
                     if attribute is None:
                         continue
                     # a class initializing ITS OWN storage attribute
@@ -290,17 +315,17 @@ class LockDisciplineRule(Rule):
                         continue
                     yield self.finding(
                         source, node.lineno,
-                        f"assignment into .{attribute.attr} outside the "
-                        "table/transaction/WAL machinery",
+                        f"assignment into .{attribute.attr} outside "
+                        f"{owner_label}",
                     )
             elif isinstance(node, ast.Delete):
                 for target in node.targets:
-                    attribute = _internals_attribute(target)
+                    attribute = _internals_attribute(target, internals)
                     if attribute is not None:
                         yield self.finding(
                             source, node.lineno,
-                            f"del on .{attribute.attr} outside the "
-                            "table/transaction/WAL machinery",
+                            f"del on .{attribute.attr} outside "
+                            f"{owner_label}",
                         )
             elif isinstance(node, ast.Call):
                 func = node.func
@@ -308,12 +333,12 @@ class LockDisciplineRule(Rule):
                     isinstance(func, ast.Attribute)
                     and func.attr in DICT_MUTATORS | {"add", "remove", "discard"}
                 ):
-                    attribute = _internals_attribute(func.value)
+                    attribute = _internals_attribute(func.value, internals)
                     if attribute is not None:
                         yield self.finding(
                             source, node.lineno,
-                            f".{attribute.attr}.{func.attr}() outside the "
-                            "table/transaction/WAL machinery",
+                            f".{attribute.attr}.{func.attr}() outside "
+                            f"{owner_label}",
                         )
 
     def _fsync_under_lock(

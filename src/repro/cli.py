@@ -12,7 +12,7 @@ Subcommands::
         [--join TABLE --on LEFT=RIGHT [--how inner|left]]... [--rows N]
     itag store recover --dir STATE_DIR [--fsync POLICY]
     itag store checkpoint --dir STATE_DIR [--fsync POLICY]
-    itag store smoke [--readers N] [--tasks N] [--seed N]
+    itag store smoke [--readers N] [--writers N] [--tasks N] [--seed N]
     itag lint [PATH ...] [--rule ID]... [--baseline check|update|ignore] \\
         [--baseline-file PATH] [--format text|json] [--list-rules]
     itag version
@@ -30,8 +30,9 @@ crash recovery did (checkpoint loaded, committed records replayed, torn
 tail discarded/repaired), and exits 0 when the recovered state passes
 the store's consistency checks.  ``store checkpoint`` persists an
 atomic snapshot and prunes the covered WAL prefix.  ``store smoke``
-runs the concurrent-session driver (1 writer vs N snapshot readers) on
-a small synthetic campaign and fails on any torn read.
+runs the concurrent-session driver (N writers vs N snapshot readers)
+on a small synthetic campaign, reporting per-writer commit/abort/
+deadlock-retry counters, and fails on any torn read.
 
 ``itag lint`` runs the engine invariant linter
 (:mod:`repro.analysis.lint`) over the package source (or the given
@@ -161,9 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     smoke_parser = store_sub.add_parser(
         "smoke",
-        help="concurrent-session smoke: 1 writer vs N snapshot readers",
+        help="concurrent-session smoke: N writers vs N snapshot readers",
     )
     smoke_parser.add_argument("--readers", type=int, default=3)
+    smoke_parser.add_argument("--writers", type=int, default=1)
     smoke_parser.add_argument("--tasks", type=int, default=40)
     smoke_parser.add_argument("--seed", type=int, default=7)
 
@@ -414,7 +416,11 @@ def _cmd_store_smoke(args: argparse.Namespace) -> int:
     system.upload_resources(project, data.provider_corpus)
     system.start_project(project, noise_model=data.dataset.noise_model)
     driver = SessionDriver(
-        system, project, readers=args.readers, writer_tasks=args.tasks
+        system,
+        project,
+        readers=args.readers,
+        writer_tasks=args.tasks,
+        writers=args.writers,
     )
     report = driver.run()
     print(report.describe())

@@ -15,6 +15,7 @@ Public surface::
 from .database import CHECKPOINT_KEEP, Database, RecoveryReport
 from .errors import (
     ConstraintError,
+    DeadlockError,
     DuplicateKeyError,
     QueryError,
     RowNotFoundError,
@@ -32,7 +33,13 @@ from .index import (
     SortedIndexSnapshot,
 )
 from .joinorder import JoinEdge, JoinGraph, Relation, plan_join_graph
-from .locking import RWLock
+from .locking import ActivityBarrier, RWLock
+from .lockmgr import (
+    DEFAULT_LOCK_TIMEOUT,
+    LOCK_EXCLUSIVE,
+    LOCK_SHARED,
+    LockManager,
+)
 from .persist import (
     export_table_csv,
     load_database,
@@ -91,6 +98,8 @@ __all__ = [
     "Database", "Table", "Schema", "Column", "DataType", "Transaction",
     "WriteAheadLog", "WalRecord", "FSYNC_POLICIES", "RecoveryReport",
     "CHECKPOINT_KEEP", "ReadView", "DatabaseView", "RWLock",
+    "ActivityBarrier", "LockManager", "LOCK_SHARED", "LOCK_EXCLUSIVE",
+    "DEFAULT_LOCK_TIMEOUT",
     "write_text_atomic", "write_bytes_atomic",
     "Query", "JoinQuery", "Predicate", "TruePredicate",
     "Eq", "Ne", "Lt", "Le", "Gt", "Ge", "In", "Between", "Contains",
@@ -105,5 +114,5 @@ __all__ = [
     "save_database", "load_database", "export_table_csv",
     "StoreError", "SchemaError", "ConstraintError", "DuplicateKeyError",
     "RowNotFoundError", "UnknownTableError", "UnknownColumnError",
-    "TransactionError", "QueryError", "WalError",
+    "TransactionError", "DeadlockError", "QueryError", "WalError",
 ]

@@ -14,20 +14,30 @@ Two ways to run one:
   ``os.replace``) and only then garbage-collects the covered WAL
   prefix.
 
-Concurrency model (single-writer / multi-reader):
+Concurrency model (multi-writer / multi-reader, strict 2PL):
 
-* Transactions are exclusive: a second thread's ``begin()`` blocks
-  until the active transaction finishes; the same thread nesting
-  transactions is an error.
-* Autocommit mutations are serialized per table by the table's write
-  lock and journaled as single-change commit records.
+* Transactions run **concurrently**: each takes per-table S/X locks
+  from the database's :class:`~repro.store.lockmgr.LockManager` as it
+  touches tables, so disjoint table footprints commit in parallel and
+  conflicting ones serialize table-by-table.  Deadlocks abort the
+  youngest participant with
+  :class:`~repro.store.errors.DeadlockError`; the victim rolls back
+  cleanly and may retry.  The same thread nesting transactions is
+  still an error.
+* Commit holds every table lock through the WAL append (released only
+  after the record is durable), so the WAL's group-commit pipeline
+  amortizes one fsync across *independent* transactions.
+* Autocommit mutations take an ephemeral X lock on their one table and
+  are journaled as single-change commit records.
 * Readers never block writers: :meth:`read_view` returns a
-  copy-on-write snapshot of every table, consistent at a transaction
-  boundary, for torn-free long scans and joins.
+  copy-on-write snapshot of every table, captured under the activity
+  barrier at a transaction boundary, for torn-free long scans and
+  joins.  DDL and checkpoints drain the barrier the same way.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import threading
 from contextlib import contextmanager
@@ -36,6 +46,8 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from .errors import TransactionError, UnknownTableError
+from .locking import ActivityBarrier
+from .lockmgr import DEFAULT_LOCK_TIMEOUT, LOCK_EXCLUSIVE, LockManager
 from .schema import Schema
 from .table import ChangeEvent, Table
 from .transaction import Transaction
@@ -95,14 +107,22 @@ class Database:
     ...     db.table("resources").insert({"name": "url-1", ...})
     """
 
-    def __init__(self, name: str = "db") -> None:
+    def __init__(
+        self, name: str = "db", *, lock_timeout: float = DEFAULT_LOCK_TIMEOUT
+    ) -> None:
         self.name = name
         self._tables: dict[str, Table] = {}
-        self._transaction: Transaction | None = None
-        self._txn_owner: int | None = None
-        # RLock: read_view() holds it while capturing per-table views,
-        # each of which re-enters it through the table's view barrier
-        self._txn_mutex = threading.RLock()
+        #: per-table S/X locks arbitrating transaction conflicts
+        self._lockmgr = LockManager(timeout=lock_timeout)
+        #: activity accounting: transactions and autocommit mutations
+        #: register; view capture, DDL and checkpoints drain it
+        self._barrier = ActivityBarrier()
+        #: one monotonic owner-id space shared by transactions and
+        #: ephemeral autocommit owners — the lock manager's "youngest
+        #: victim" rule compares these
+        self._owner_counter = itertools.count(1)
+        self._active_txns: dict[int, Transaction] = {}
+        self._registry_lock = threading.Lock()
         self._local = threading.local()
         self._wal: WriteAheadLog | None = None
         self._recovering = False
@@ -129,6 +149,7 @@ class Database:
         name: str | None = None,
         fsync: str = "interval",
         fsync_interval: float = DEFAULT_FSYNC_INTERVAL,
+        lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
     ) -> "Database":
         """Open (or create) a managed durability directory.
 
@@ -177,6 +198,7 @@ class Database:
             database = cls(name or directory.name)
         if name is not None:
             database.name = name
+        database._lockmgr.timeout = float(lock_timeout)
 
         wal = WriteAheadLog(
             directory / "wal.log", fsync=fsync, fsync_interval=fsync_interval
@@ -214,9 +236,10 @@ class Database:
 
     def create_table(self, name: str, schema: Schema) -> Table:
         self._reject_ddl_in_transaction("create_table")
-        # the txn mutex serializes DDL with checkpoint/to_snapshot/
-        # read_view, which iterate the table registry under it
-        with self._txn_mutex:
+        # the activity barrier serializes DDL with checkpoint/
+        # to_snapshot/read_view and drains in-flight transactions, which
+        # iterate or mutate the table registry
+        with self._barrier.exclusive():
             if name in self._tables:
                 raise TransactionError(f"table {name!r} already exists")
             table = Table(name, schema)
@@ -224,6 +247,7 @@ class Database:
             table.set_ddl_listener(self._on_table_ddl)
             table.set_view_barrier(self._view_barrier)
             table.set_write_barrier(self._write_barrier)
+            table.set_read_barrier(self._read_barrier)
             self._tables[name] = table
             self._log_ddl(
                 {"op": "create_table", "table": name, "schema": schema.to_dict()}
@@ -232,7 +256,7 @@ class Database:
 
     def drop_table(self, name: str) -> None:
         self._reject_ddl_in_transaction("drop_table")
-        with self._txn_mutex:
+        with self._barrier.exclusive():
             if name not in self._tables:
                 raise UnknownTableError(f"no table {name!r} to drop")
             # schema change: queries holding the table object must replan
@@ -246,7 +270,7 @@ class Database:
         of) the transaction's commit record — a committed log that
         replays out of order, and an undo log that cannot restore a
         dropped table.  Forbid it, like classic embedded engines."""
-        if self._transaction is not None and self._txn_owner == threading.get_ident():
+        if self._current_transaction() is not None:
             raise TransactionError(
                 f"{op} inside a transaction is not supported; commit or "
                 "roll back first"
@@ -308,28 +332,43 @@ class Database:
 
     @property
     def in_transaction(self) -> bool:
-        return self._transaction is not None
+        """True while *any* transaction is active on the database."""
+        return bool(self._active_txns)
+
+    @property
+    def lock_manager(self) -> LockManager:
+        """The per-table lock manager (introspection / stats)."""
+        return self._lockmgr
+
+    def _current_transaction(self) -> Transaction | None:
+        """This thread's active transaction, or None."""
+        return getattr(self._local, "txn", None)
 
     def _begin_transaction(self, transaction: Transaction) -> None:
-        if (
-            self._transaction is not None
-            and self._txn_owner == threading.get_ident()
-        ):
+        if self._current_transaction() is not None:
             raise TransactionError(
                 f"database {self.name!r}: nested transactions are not supported"
             )
-        # Another thread's transaction: block until it finishes
-        # (single-writer discipline), instead of raising.
-        self._txn_mutex.acquire()
-        self._transaction = transaction
-        self._txn_owner = threading.get_ident()
+        # Register as a barrier activity: DDL / checkpoints / view
+        # capture drain active transactions; other transactions do NOT
+        # serialize here — conflicts are arbitrated per table by the
+        # lock manager.
+        self._barrier.enter()
+        transaction._txn_id = next(self._owner_counter)
+        with self._registry_lock:
+            self._active_txns[transaction._txn_id] = transaction
+        self._local.txn = transaction
 
     def _end_transaction(self, transaction: Transaction) -> None:
-        if self._transaction is not transaction:
+        if self._current_transaction() is not transaction:
             raise TransactionError("ending a transaction that is not active")
-        self._transaction = None
-        self._txn_owner = None
-        self._txn_mutex.release()
+        self._local.txn = None
+        with self._registry_lock:
+            self._active_txns.pop(transaction._txn_id, None)
+        # 2PL release point: commit calls this only after its WAL record
+        # is durable, rollback only after memory is fully restored.
+        self._lockmgr.release_all(transaction._txn_id)
+        self._barrier.leave()
 
     # ------------------------------------------------------------------
     # change routing (undo log + WAL)
@@ -352,8 +391,8 @@ class Database:
             self._local.suppress_wal = previous
 
     def _on_change(self, event: ChangeEvent) -> None:
-        transaction = self._transaction
-        if transaction is not None and self._txn_owner == threading.get_ident():
+        transaction = self._current_transaction()
+        if transaction is not None:
             transaction._observe(event)
             return
         if self._wal is not None and not self._recovering and not self._wal_suppressed:
@@ -424,7 +463,7 @@ class Database:
         Serializes against transactions so the snapshot sits at a
         commit boundary.
         """
-        if self._transaction is not None and self._txn_owner == threading.get_ident():
+        if self._current_transaction() is not None:
             raise TransactionError("checkpoint inside a transaction is not allowed")
         if self._directory is not None:
             if self._wal is None:
@@ -440,8 +479,7 @@ class Database:
                     "checkpoint(path=...) conflicts with a managed durability "
                     "directory; use save_database for side exports"
                 )
-        self._txn_mutex.acquire()
-        try:
+        with self._barrier.exclusive():
             wal = self._wal
             # Read the LSN *before* snapshotting: every record at or
             # below it was applied before the snapshot began, so the
@@ -479,8 +517,6 @@ class Database:
             # holds everywhere; prune explicitly via wal.truncate() or
             # checkpoint(path=...) once the snapshot is safe).
             return snapshot
-        finally:
-            self._txn_mutex.release()
 
     def _prune_checkpoints(self) -> None:
         if self._directory is None:
@@ -498,28 +534,68 @@ class Database:
 
     @contextmanager
     def _view_barrier(self) -> Iterator[None]:
-        """Hold the transaction slot while a view is captured, so the
-        capture sits at a commit boundary.  The owner of an active
-        transaction passes through (it sees its own writes)."""
-        if self._transaction is not None and self._txn_owner == threading.get_ident():
+        """Drain in-flight activities while a view is captured, so the
+        capture sits at a transaction boundary.  A thread with an
+        active transaction passes through (it sees its own writes)."""
+        if self._current_transaction() is not None:
             yield
             return
-        with self._txn_mutex:
+        with self._barrier.exclusive():
             yield
 
     @contextmanager
-    def _write_barrier(self) -> Iterator[None]:
-        """Serialize autocommit mutations with transactions.
+    def _write_barrier(self, table_name: str) -> Iterator[None]:
+        """Per-table write admission, taken by every table mutation
+        *before* the table's RWLock (lock order is fixed database-wide:
+        activity barrier → lock manager → table lock).
 
-        Taken by every table mutation *before* the table's write lock
-        (transaction owners re-enter the RLock), so an autocommit write
-        from another thread cannot interleave with an open transaction
-        — whose rollback would otherwise replay stale before-images
-        over the autocommitted (and already journaled) change.  Lock
-        order is always transaction mutex → table lock.
+        * Inside a transaction: take (or upgrade to) the transaction's
+          X lock on ``table_name`` — held until commit is durable.
+        * Autocommit: register as a barrier activity and take an
+          ephemeral X lock under a fresh owner id for the duration of
+          the mutation envelope, so an autocommit write can never
+          interleave with an open transaction on the same table —
+          whose rollback would otherwise replay stale before-images
+          over the autocommitted (and already journaled) change.
+          Nested mutations on the same thread (``upsert`` fanning into
+          ``insert``, the autocommit journal-failure compensation)
+          reuse the outer owner.
         """
-        with self._txn_mutex:
+        transaction = self._current_transaction()
+        if transaction is not None:
+            transaction._lock_write(table_name)
             yield
+            return
+        owner = getattr(self._local, "auto_owner", None)
+        if owner is not None:
+            # nested autocommit mutation: same ephemeral owner (no-op
+            # re-acquire when it is the same table)
+            self._lockmgr.acquire(owner, table_name, LOCK_EXCLUSIVE)
+            yield
+            return
+        with self._barrier.activity():
+            owner = next(self._owner_counter)
+            self._local.auto_owner = owner
+            try:
+                self._lockmgr.acquire(owner, table_name, LOCK_EXCLUSIVE)
+                yield
+            finally:
+                self._local.auto_owner = None
+                self._lockmgr.release_all(owner)
+
+    def _read_barrier(self, table_name: str) -> None:
+        """Per-table read admission, called by table read surfaces.
+
+        Inside a transaction this takes the transaction's S lock on
+        ``table_name`` (upgraded to X by the first write), so a
+        conflicting writer cannot invalidate what the transaction has
+        read (repeatable reads under 2PL).  Plain reads outside a
+        transaction stay lock-free — they capture atomically, and
+        snapshot views are frozen.
+        """
+        transaction = self._current_transaction()
+        if transaction is not None:
+            transaction._lock_read(table_name)
 
     def read_view(self) -> "DatabaseView":
         """A consistent copy-on-write view of every table.
@@ -595,12 +671,18 @@ class Database:
         recount), and every table's plan cache passes its metadata
         checks — join entries rooted on the right table, recorded DDL
         generations never ahead of the live caches, row-drift counters
-        sane.  Called by ``store recover`` and at the end of the EXP-ST
-        smoke, so a drifted cache or index fails the tier-1 gate.
+        sane.  At quiescence (no active transaction, no in-flight
+        activity) it additionally asserts the lock table is empty — a
+        leaked table lock after a commit/rollback/deadlock-abort path
+        would wedge the next conflicting writer.  Called by ``store
+        recover`` and at the end of the EXP-ST smoke, so a drifted
+        cache, index or lock table fails the tier-1 gate.
         """
         for table in self._tables.values():
             table.verify_indexes()
             table.plan_cache.verify(owner=table)
+        if not self._active_txns and self._barrier.idle:
+            self._lockmgr.assert_quiescent()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = f", dir={str(self._directory)!r}" if self._directory else ""

@@ -37,6 +37,15 @@ class TransactionError(StoreError):
     """Illegal transaction usage (nested begin, commit without begin, ...)."""
 
 
+class DeadlockError(TransactionError):
+    """The transaction was aborted to break a lock deadlock (or its lock
+    wait timed out).  The transaction has NOT been rolled back yet when
+    this is raised from a lock acquisition — exiting the ``with
+    db.transaction():`` block (or calling ``rollback()``) restores the
+    pre-transaction state via the undo log, after which the transaction
+    may simply be retried."""
+
+
 class QueryError(StoreError):
     """A query is malformed (bad predicate, bad aggregate, ...)."""
 

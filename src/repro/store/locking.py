@@ -1,12 +1,21 @@
-"""Reader-writer locking for the embedded store.
+"""Locking primitives for the embedded store.
 
-The store follows a single-writer / multi-reader discipline: writers
-(row mutations, DDL) serialize on the write side of an :class:`RWLock`,
-while readers either run lock-free against copy-on-write snapshots
-(:mod:`repro.store.views`) or take the read side for short capture
-windows.  The lock is writer-reentrant so a mutation path that fans out
-into helper mutations (``Query.update_rows`` looping ``Table.update``,
-undo-log rollback replaying ``Table.apply``) never self-deadlocks.
+Two primitives back the multi-writer concurrency model:
+
+* :class:`RWLock` — the per-table reader-writer lock guarding the
+  physical row/index structures for the duration of one mutation.
+  Writer-reentrant so a mutation path that fans out into helper
+  mutations (``Query.update_rows`` looping ``Table.update``, undo-log
+  rollback replaying ``Table.apply``) never self-deadlocks.
+* :class:`ActivityBarrier` — database-wide activity accounting with an
+  exclusive drain.  Transactions and autocommit mutations register as
+  *activities*; view capture, DDL and checkpoints take the *exclusive*
+  side, which waits for in-flight activities to finish and holds out
+  new ones (writer preference).  This replaces the old database-wide
+  transaction mutex: it no longer serializes writers against each
+  other — logical write/write conflicts are arbitrated table-by-table
+  by :class:`repro.store.lockmgr.LockManager` — it only provides the
+  transaction-boundary fence that snapshot capture and DDL need.
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["RWLock"]
+__all__ = ["RWLock", "ActivityBarrier"]
 
 
 class RWLock:
@@ -86,3 +95,100 @@ class RWLock:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RWLock(readers={self._readers}, writer={self._writer})"
+
+
+class ActivityBarrier:
+    """Counts in-flight store activities and offers an exclusive drain.
+
+    * ``enter()`` / ``leave()`` bracket a long-lived activity (an open
+      transaction); ``activity()`` is the context-manager form for a
+      short one (an autocommit mutation).  Both are reentrant per
+      thread — nested activities on one thread count once.
+    * ``exclusive()`` waits until no activity is in flight, then holds
+      out new ones until released.  Pending exclusives have preference
+      over new activities (so a checkpoint cannot starve under write
+      load), and the holder is thread-reentrant — it may start nested
+      activities and nested exclusives of its own (snapshot
+      materialization creates tables and applies rows while holding the
+      barrier).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active = 0
+        self._exclusive_holder: int | None = None
+        self._exclusive_depth = 0
+        self._exclusive_waiters = 0
+        self._local = threading.local()
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    # -- activity side -------------------------------------------------
+
+    def enter(self) -> None:
+        me = threading.get_ident()
+        depth = self._depth()
+        if depth == 0:
+            with self._cond:
+                while self._exclusive_holder not in (None, me) or (
+                    self._exclusive_holder is None and self._exclusive_waiters
+                ):
+                    self._cond.wait()
+                self._active += 1
+        self._local.depth = depth + 1
+
+    def leave(self) -> None:
+        depth = self._depth() - 1
+        self._local.depth = depth
+        if depth == 0:
+            with self._cond:
+                self._active -= 1
+                if self._active == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def activity(self) -> Iterator[None]:
+        self.enter()
+        try:
+            yield
+        finally:
+            self.leave()
+
+    # -- exclusive side ------------------------------------------------
+
+    @contextmanager
+    def exclusive(self) -> Iterator[None]:
+        me = threading.get_ident()
+        with self._cond:
+            if self._exclusive_holder == me:
+                self._exclusive_depth += 1
+            else:
+                self._exclusive_waiters += 1
+                try:
+                    while self._active > 0 or self._exclusive_holder is not None:
+                        self._cond.wait()
+                finally:
+                    self._exclusive_waiters -= 1
+                self._exclusive_holder = me
+                self._exclusive_depth = 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._exclusive_depth -= 1
+                if self._exclusive_depth == 0:
+                    self._exclusive_holder = None
+                    self._cond.notify_all()
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is in flight — no activity, no exclusive."""
+        with self._cond:
+            return self._active == 0 and self._exclusive_holder is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ActivityBarrier(active={self._active}, "
+            f"exclusive={self._exclusive_holder})"
+        )

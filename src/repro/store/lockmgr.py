@@ -1,0 +1,258 @@
+"""Per-table shared/exclusive lock manager with deadlock handling.
+
+The multi-writer concurrency protocol (strict two-phase locking):
+
+* A transaction takes an **S** (shared) lock on a table the first time
+  it reads from it and an **X** (exclusive) lock the first time it
+  writes to it — upgrading S to X in place when the first write follows
+  a read.  Locks are acquired incrementally as tables are touched and
+  held until the transaction ends; the commit path releases them only
+  **after** the commit record is durable per the WAL's fsync policy
+  (2PL held through the log write), so conflicting transactions
+  serialize in WAL order while disjoint transactions commit in
+  parallel and share one group fsync.
+* Autocommit mutations take an ephemeral X lock on their single table
+  for the duration of the mutation envelope (apply + journal).
+* Snapshot-view readers take no lock-manager locks at all — they read
+  copy-on-write snapshots (MVCC readers).
+
+Deadlock handling is wait-for-graph cycle detection with a configurable
+timeout fallback.  Every waiter re-runs detection when it parks (and on
+each wait slice), so a cycle is found the moment its last edge appears.
+The victim is the **youngest** transaction on the cycle (highest owner
+id — owner ids are allocated monotonically), which is marked and woken;
+it raises :class:`DeadlockError` from its pending acquisition, rolls
+back cleanly through its undo log (rollback only touches tables the
+victim already holds X on, so it can never block), and may retry.
+A waiter that exhausts ``timeout`` seconds without a grant raises
+:class:`DeadlockError` as well — the fallback for anything the graph
+cannot see (e.g. an owner wedged outside the lock manager).
+
+The wait-for-graph state (``_holders``, ``_waiting``, ``_victims``) is
+owned by this module alone and mutated only under ``_cond`` — the
+invariant linter's ``lock-discipline`` rule enforces the module
+boundary the same way it guards ``Table._rows``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from .errors import ConstraintError, DeadlockError
+
+__all__ = [
+    "LockManager",
+    "LOCK_SHARED",
+    "LOCK_EXCLUSIVE",
+    "DEFAULT_LOCK_TIMEOUT",
+]
+
+LOCK_SHARED = "S"
+LOCK_EXCLUSIVE = "X"
+
+#: Fallback lock-wait timeout (seconds).  Genuine deadlocks are broken
+#: by cycle detection within one wait slice; the timeout only catches
+#: waits the graph cannot explain.
+DEFAULT_LOCK_TIMEOUT = 5.0
+
+#: How long one condition-wait slice lasts: bounds how quickly a marked
+#: victim notices and how often waiters re-run cycle detection.
+_WAIT_SLICE = 0.05
+
+
+class LockManager:
+    """Table-granular S/X locks with upgrade, deadlock detection and
+    timeout.
+
+    Owners are opaque integer ids allocated monotonically by the
+    database (transaction ids and ephemeral autocommit owners share one
+    counter, so "younger" is a total order).  The manager never blocks
+    while holding its own mutex for long: waits happen on ``_cond`` in
+    bounded slices.
+    """
+
+    def __init__(self, *, timeout: float = DEFAULT_LOCK_TIMEOUT) -> None:
+        self.timeout = float(timeout)
+        self._cond = threading.Condition()
+        #: table -> {owner id -> "S" | "X"}
+        self._holders: dict[str, dict[int, str]] = {}
+        #: owner id -> (table, wanted mode) for parked waiters
+        self._waiting: dict[int, tuple[str, str]] = {}
+        #: owners chosen as deadlock victims, with the abort reason;
+        #: the owner raises DeadlockError from its pending acquire
+        self._victims: dict[int, str] = {}
+        self.deadlocks_detected = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------
+    # acquire / release
+    # ------------------------------------------------------------------
+
+    def acquire(self, owner: int, table: str, mode: str) -> None:
+        """Grant ``owner`` an S or X lock on ``table``, blocking until
+        compatible.  Re-acquiring a held mode is a no-op; S→X upgrades
+        in place once ``owner`` is the sole holder.  Raises
+        :class:`DeadlockError` if ``owner`` is chosen as a deadlock
+        victim or the wait exceeds :attr:`timeout`."""
+        deadline: float | None = None
+        with self._cond:
+            while True:
+                self._raise_if_victim(owner)
+                held = self._holders.get(table, {})
+                mine = held.get(owner)
+                if mine == LOCK_EXCLUSIVE or (
+                    mode == LOCK_SHARED and mine is not None
+                ):
+                    self._waiting.pop(owner, None)
+                    return
+                if not self._blockers(table, mode, owner):
+                    self._holders.setdefault(table, {})[owner] = mode
+                    self._waiting.pop(owner, None)
+                    return
+                if deadline is None:
+                    deadline = time.monotonic() + self.timeout
+                self._waiting[owner] = (table, mode)
+                cycle = self._cycle_through(owner)
+                if cycle:
+                    self.deadlocks_detected += 1
+                    victim = max(cycle)
+                    reason = (
+                        f"deadlock on table {table!r}: transactions "
+                        f"{sorted(cycle)} wait on each other; aborting the "
+                        f"youngest ({victim})"
+                    )
+                    if victim == owner:
+                        self._waiting.pop(owner, None)
+                        raise DeadlockError(reason)
+                    self._victims[victim] = reason
+                    self._cond.notify_all()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._waiting.pop(owner, None)
+                    self.timeouts += 1
+                    raise DeadlockError(
+                        f"lock wait timeout ({self.timeout:.1f}s) for "
+                        f"{mode} on table {table!r} (owner {owner}); "
+                        "the transaction may be rolled back and retried"
+                    )
+                self._cond.wait(min(remaining, _WAIT_SLICE))
+
+    def release_all(self, owner: int) -> None:
+        """Drop every lock (and any pending wait / victim mark) held by
+        ``owner`` and wake waiters.  Idempotent."""
+        with self._cond:
+            for table in [
+                name for name, held in self._holders.items() if owner in held
+            ]:
+                held = self._holders[table]
+                del held[owner]
+                if not held:
+                    del self._holders[table]
+            self._waiting.pop(owner, None)
+            self._victims.pop(owner, None)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # wait-for graph
+    # ------------------------------------------------------------------
+
+    def _blockers(self, table: str, mode: str, owner: int) -> tuple[int, ...]:
+        """Owners (other than ``owner``) whose held lock is incompatible
+        with ``owner`` taking ``mode`` on ``table``."""
+        held = self._holders.get(table)
+        if not held:
+            return ()
+        if mode == LOCK_SHARED:
+            return tuple(
+                other
+                for other, held_mode in held.items()
+                if other != owner and held_mode == LOCK_EXCLUSIVE
+            )
+        return tuple(other for other in held if other != owner)
+
+    def _raise_if_victim(self, owner: int) -> None:
+        reason = self._victims.pop(owner, None)
+        if reason is not None:
+            self._waiting.pop(owner, None)
+            raise DeadlockError(reason)
+
+    def _cycle_through(self, owner: int) -> tuple[int, ...]:
+        """Owners forming a wait-for cycle through ``owner`` (empty if
+        none).  Edges run waiter → blockers; only parked waiters have
+        outgoing edges, so every cycle member is abortable in place."""
+        edges = {
+            waiter: self._blockers(table, mode, waiter)
+            for waiter, (table, mode) in self._waiting.items()
+        }
+        forward: set[int] = set()
+        stack = [owner]
+        while stack:
+            for nxt in edges.get(stack.pop(), ()):
+                if nxt not in forward:
+                    forward.add(nxt)
+                    stack.append(nxt)
+        if owner not in forward:
+            return ()
+        reverse: dict[int, set[int]] = {}
+        for source, targets in edges.items():
+            for target in targets:
+                reverse.setdefault(target, set()).add(source)
+        backward: set[int] = set()
+        stack = [owner]
+        while stack:
+            for prev in reverse.get(stack.pop(), ()):
+                if prev not in backward:
+                    backward.add(prev)
+                    stack.append(prev)
+        return tuple((forward & backward) | {owner})
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def held_by(self, owner: int) -> dict[str, str]:
+        """``table -> mode`` snapshot of the locks ``owner`` holds."""
+        with self._cond:
+            return {
+                table: held[owner]
+                for table, held in self._holders.items()
+                if owner in held
+            }
+
+    def lock_count(self) -> int:
+        with self._cond:
+            return sum(len(held) for held in self._holders.values())
+
+    def assert_quiescent(self) -> None:
+        """Raise ``ConstraintError`` unless the lock table is empty —
+        every commit/rollback/deadlock-abort path must end in
+        ``release_all``, so at quiescence nothing may be held or
+        parked (checked by :meth:`Database.verify`)."""
+        with self._cond:
+            if self._holders or self._waiting:
+                raise ConstraintError(
+                    "lock manager not quiescent: held="
+                    f"{ {t: dict(h) for t, h in self._holders.items()} } "
+                    f"waiting={dict(self._waiting)}"
+                )
+
+    def stats(self) -> dict[str, Any]:
+        with self._cond:
+            return {
+                "tables_locked": len(self._holders),
+                "locks_held": sum(len(held) for held in self._holders.values()),
+                "waiters": len(self._waiting),
+                "deadlocks_detected": self.deadlocks_detected,
+                "timeouts": self.timeouts,
+                "timeout_seconds": self.timeout,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"LockManager(locks={stats['locks_held']}, "
+            f"waiters={stats['waiters']}, "
+            f"deadlocks={stats['deadlocks_detected']})"
+        )

@@ -1,10 +1,13 @@
 """In-memory table with primary key, constraints, indexes and
 copy-on-write snapshot views.
 
-Concurrency: mutations take the table's write lock (reentrant for one
-writer), so the single-writer path is fully serialized per table.
-Plain reads stay lock-free — they capture the row mapping atomically —
-while :meth:`read_view` returns a frozen snapshot under the read lock:
+Concurrency: mutations run under the database's per-table write
+barrier (a transaction's X lock or an ephemeral autocommit lock from
+the lock manager) and then the table's write lock (reentrant for one
+writer), so the write path is fully serialized per table while
+disjoint tables mutate in parallel.  Plain reads stay lock-free — they
+capture the row mapping atomically — while :meth:`read_view` returns a
+frozen snapshot under the read lock:
 the next mutation copies the row mapping instead of mutating it in
 place, so the view observes a stable version forever.  Every mutation
 bumps :attr:`version`, which views use to report staleness.
@@ -60,7 +63,8 @@ class Table:
         self._listeners: list[ChangeListener] = []
         self._ddl_listener: DdlListener | None = None
         self._view_barrier: Callable[[], Any] | None = None
-        self._write_barrier: Callable[[], Any] | None = None
+        self._write_barrier: Callable[[str], Any] | None = None
+        self._read_barrier: Callable[[str], Any] | None = None
         self._autoincrement = 1
         self._lock = RWLock()
         #: bumped on every mutation; read views record it at capture
@@ -97,18 +101,33 @@ class Table:
         observe a half-applied transaction)."""
         self._view_barrier = barrier
 
-    def set_write_barrier(self, barrier: Callable[[], Any] | None) -> None:
-        """Register a context-manager factory that every mutation runs
-        under (the database's transaction mutex, so autocommit writes
-        serialize with open transactions instead of interleaving)."""
+    def set_write_barrier(self, barrier: Callable[[str], Any] | None) -> None:
+        """Register a context-manager factory (called with the table
+        name) that every mutation runs under — the database's per-table
+        write admission: a transaction's X lock, or an ephemeral X lock
+        for autocommit writes, so the two can never interleave on one
+        table."""
         self._write_barrier = barrier
+
+    def set_read_barrier(self, barrier: Callable[[str], Any] | None) -> None:
+        """Register a callable (invoked with the table name) that read
+        surfaces call before touching rows — the database's per-table
+        read admission (a transaction's S lock; a no-op outside
+        transactions, where reads capture atomically)."""
+        self._read_barrier = barrier
+
+    def _touch_read(self) -> None:
+        barrier = self._read_barrier
+        if barrier is not None:
+            barrier(self.name)
 
     @contextmanager
     def _write_locked(self) -> Iterator[None]:
         """The full mutation envelope: write barrier (if any), then the
-        table's write lock — lock order is fixed database-wide."""
+        table's write lock — lock order is fixed database-wide
+        (activity barrier → lock manager → table RWLock)."""
         if self._write_barrier is not None:
-            with self._write_barrier():
+            with self._write_barrier(self.name):
                 with self._lock.write_locked():
                     yield
             return
@@ -194,6 +213,7 @@ class Table:
             return pk
 
     def get(self, pk: Any) -> dict[str, Any]:
+        self._touch_read()
         # single-step read: a membership check followed by a subscript
         # could race a concurrent delete into a raw KeyError
         row = self._rows.get(pk)
@@ -202,10 +222,12 @@ class Table:
         return dict(row)
 
     def get_or_none(self, pk: Any) -> dict[str, Any] | None:
+        self._touch_read()
         row = self._rows.get(pk)
         return dict(row) if row is not None else None
 
     def contains(self, pk: Any) -> bool:
+        self._touch_read()
         return pk in self._rows
 
     def update(self, pk: Any, changes: dict[str, Any]) -> dict[str, Any]:
@@ -309,6 +331,7 @@ class Table:
 
     def scan(self) -> Iterator[dict[str, Any]]:
         """Yield copies of all rows in primary-key insertion order."""
+        self._touch_read()
         for row in list(self._rows.values()):
             yield dict(row)
 
@@ -322,12 +345,15 @@ class Table:
         are never mutated in place (updates bind fresh dicts), so the
         references stay stable.
         """
+        self._touch_read()
         return iter(list(self._rows.values()))
 
     def primary_keys(self) -> list[Any]:
+        self._touch_read()
         return list(self._rows)
 
     def __len__(self) -> int:
+        self._touch_read()
         return len(self._rows)
 
     def create_index(self, column: str, *, kind: str = "hash") -> None:
@@ -379,10 +405,12 @@ class Table:
                 self._ddl_listener("drop_index", self.name, column, None)
 
     def index_for(self, column: str) -> HashIndex | SortedIndex | None:
+        self._touch_read()
         return self._indexes.get(column)
 
     def indexes(self) -> dict[str, HashIndex | SortedIndex]:
         """The live index registry (column -> index), for the planner."""
+        self._touch_read()
         return dict(self._indexes)
 
     def index_columns(self) -> list[str]:
@@ -395,6 +423,7 @@ class Table:
         deleted between planning and fetch is silently dropped rather
         than raising.
         """
+        self._touch_read()
         for pk in pks:
             row = self._rows.get(pk)
             if row is not None:
@@ -404,6 +433,7 @@ class Table:
         """Like :meth:`rows_for_pks` but yields row *references* — the
         zero-copy internal surface used by plan execution (see
         :meth:`scan_refs` for why references are safe)."""
+        self._touch_read()
         rows = self._rows
         for pk in pks:
             row = rows.get(pk)
@@ -412,6 +442,7 @@ class Table:
 
     def ref_or_none(self, pk: Any) -> dict[str, Any] | None:
         """Row reference for ``pk``, or None (zero-copy internal read)."""
+        self._touch_read()
         return self._rows.get(pk)
 
     # ------------------------------------------------------------------

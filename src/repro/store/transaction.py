@@ -9,10 +9,19 @@ A transaction records two things per change while it is active:
   the write-ahead log.  An aborted transaction therefore leaves zero
   bytes of net log growth: nothing is journaled until commit.
 
-Transactions are flat (no nesting) and exclusive per database: a
-second thread calling ``begin()`` blocks until the active transaction
-finishes (single-writer discipline); the *same* thread nesting
-transactions is an error, as in classic autocommit engines.
+Transactions are flat (no nesting per thread) but **concurrent per
+database**: each transaction takes per-table S/X locks from the
+database's :class:`~repro.store.lockmgr.LockManager` as it touches
+tables (S on first read, upgraded to X on first write), so
+transactions with disjoint table footprints run and commit in
+parallel, while conflicting ones serialize table-by-table.  Strict
+two-phase locking: every lock is held until commit is durable (or
+rollback completes) and released in one batch — the release point *is*
+the serialization point, so WAL order equals conflict order.  A lock
+wait that deadlocks (or times out) raises
+:class:`~repro.store.errors.DeadlockError` out of the touching table
+operation; exiting the ``with`` block rolls the victim back cleanly
+and the transaction may be retried.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from .errors import TransactionError
+from .lockmgr import LOCK_EXCLUSIVE, LOCK_SHARED
 from .table import ChangeEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -75,6 +85,11 @@ class Transaction:
         self._active = False
         self._finished = False
         self._rolling_back = False
+        #: monotonic owner id, allocated at begin(); "younger" victim
+        #: selection in the lock manager compares these
+        self._txn_id: int = 0
+        self._slocks: set[str] = set()
+        self._xlocks: set[str] = set()
 
     @property
     def active(self) -> bool:
@@ -83,6 +98,32 @@ class Transaction:
     @property
     def change_count(self) -> int:
         return len(self._changes)
+
+    @property
+    def txn_id(self) -> int:
+        return self._txn_id
+
+    # -- per-table 2PL lock acquisition (called from table barriers) ---
+
+    def _lock_read(self, table_name: str) -> None:
+        """First read of ``table_name``: take an S lock (no-op once any
+        lock on the table is held)."""
+        if table_name in self._xlocks or table_name in self._slocks:
+            return
+        self._database._lockmgr.acquire(self._txn_id, table_name, LOCK_SHARED)
+        self._slocks.add(table_name)
+
+    def _lock_write(self, table_name: str) -> None:
+        """First write of ``table_name``: take (or upgrade to) an X
+        lock.  Rollback only touches tables already in ``_xlocks``, so
+        undo replay re-enters here as a no-op and can never block."""
+        if table_name in self._xlocks:
+            return
+        self._database._lockmgr.acquire(
+            self._txn_id, table_name, LOCK_EXCLUSIVE
+        )
+        self._xlocks.add(table_name)
+        self._slocks.discard(table_name)
 
     def begin(self) -> "Transaction":
         if self._active or self._finished:
@@ -95,14 +136,21 @@ class Transaction:
         if not self._active:
             raise TransactionError("commit without active transaction")
         try:
-            # Journal before releasing the transaction slot so WAL order
-            # matches the serialization order of committed transactions.
+            # Journal while still holding every table lock (strict 2PL
+            # through the log write): _log_commit returns only once the
+            # record is durable per the WAL's fsync policy, and because
+            # conflicting transactions cannot reach this point
+            # concurrently, WAL order equals conflict-serialization
+            # order.  Disjoint committers *do* reach it concurrently and
+            # share one group fsync.
             self._database._log_commit(self._changes)
         except Exception:
             # A commit that cannot reach the log did not happen: undo the
             # in-memory changes so memory and log agree, then re-raise.
             self._rollback_in_place()
             raise
+        # The durable-ack is the 2PL release point: _end_transaction
+        # drops every table lock in one batch.
         self._database._end_transaction(self)
         self._active = False
         self._finished = True
@@ -114,12 +162,13 @@ class Transaction:
         self._rollback_in_place()
 
     def _rollback_in_place(self) -> None:
-        """Replay the undo log, then release the transaction slot.
+        """Replay the undo log, then release the table locks.
 
-        Order matters: the slot (and with it the database's transaction
-        mutex) is released only after memory is fully restored, so a
-        snapshot view or a blocked ``begin()`` on another thread never
-        observes aborted changes mid-undo.  While rolling back,
+        Order matters: the locks are released only after memory is
+        fully restored, so no other transaction (or snapshot view) can
+        observe aborted changes mid-undo.  Undo replay cannot block or
+        deadlock — every table it touches is already X-locked by this
+        transaction, so ``_lock_write`` no-ops.  While rolling back,
         ``_observe`` is a no-op — the undo of the undo is not recorded
         and never reaches the WAL, so an abort leaves zero bytes of net
         log growth.

@@ -26,14 +26,25 @@ under the pipeline lock, one leader drains the queue with a single
 followers return once their record is on disk.  Fsync policies:
 
 * ``always``   — every commit is fsynced before it returns (group
-  fsync: one ``fsync`` covers the whole drained batch).
+  fsync: one ``fsync`` covers the whole drained batch).  Because the
+  database holds table locks through the append and releases them only
+  on the durability ack, *independent transactions* from concurrent
+  writers land in one drained batch and share that fsync — commit
+  throughput scales with writer count instead of paying one fsync per
+  transaction.
 * ``interval`` — commits are flushed to the OS on every drain and
   fsynced when at least ``fsync_interval`` seconds have passed since
-  the last sync (the default).  Note: the fsync piggybacks on later
-  commits (or ``flush``/``sync``/``close``) — an idle tail stays
-  OS-buffered until one of those happens.
+  the last sync (the default).  A background flusher daemon (started
+  lazily on the first append) fsyncs an idle dirty tail after the
+  interval, so durability staleness is bounded by wall clock even when
+  commits stop arriving.
 * ``never``    — flush to the OS only; durability is left to the
   kernel (fastest; used by tests and bulk loads).
+
+Transaction records additionally carry the sorted set of tables the
+transaction touched (``"tables": [...]``), making the log
+self-describing for recovery tooling and letting replay cross-check
+that every change targets a declared table.
 
 This replaces what the original iTag deployment got from MySQL's
 binlog/InnoDB; here it keeps campaign state recoverable across process
@@ -61,6 +72,13 @@ __all__ = ["WriteAheadLog", "WalRecord", "FSYNC_POLICIES", "DEFAULT_FSYNC_INTERV
 
 FSYNC_POLICIES = ("always", "interval", "never")
 DEFAULT_FSYNC_INTERVAL = 0.05
+#: Max time an ``always``-policy batch leader waits for straggler
+#: commits before the durable write, when the last group size says
+#: concurrent committers are in flight.  Kept near the cost of one
+#: fsync so a mispredicted wait never loses more than the fsync it
+#: tried to save; a lone writer never waits (the hint falls back to 1
+#: on the first solo batch).
+GROUP_COMMIT_WAIT = 0.0002
 
 #: (op, table, pk, after_row) — the logical redo entry for one change.
 Change = tuple[str, str, Any, dict | None]
@@ -73,6 +91,9 @@ class WalRecord:
     lsn: int
     changes: tuple[Change, ...] = ()
     ddl: dict[str, Any] | None = None
+    #: sorted table footprint of the transaction (empty on DDL records
+    #: and on logs written before the field existed)
+    tables: tuple[str, ...] = ()
 
     @property
     def is_ddl(self) -> bool:
@@ -90,12 +111,20 @@ class _ScanResult:
     data_after_tear: bool = False
 
 
-def _encode_record(lsn: int, *, changes: Iterable[Change] | None, ddl: dict | None) -> bytes:
+def _encode_record(
+    lsn: int,
+    *,
+    changes: Iterable[Change] | None,
+    ddl: dict | None,
+    tables: tuple[str, ...] = (),
+) -> bytes:
     payload: dict[str, Any] = {"lsn": lsn}
     if ddl is not None:
         payload["ddl"] = ddl
     else:
         payload["txn"] = [list(change) for change in (changes or ())]
+        if tables:
+            payload["tables"] = list(tables)
     body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
     crc = zlib.crc32(body) & 0xFFFFFFFF
     return b"%08x " % crc + body + b"\n"
@@ -115,7 +144,10 @@ def _decode_line(line: bytes) -> WalRecord:
     changes = tuple(
         (entry[0], entry[1], entry[2], entry[3]) for entry in payload["txn"]
     )
-    return WalRecord(lsn=lsn, changes=changes)
+    # "tables" is optional: logs written before the field existed decode
+    # with an empty footprint (the cross-check below is skipped for them)
+    tables = tuple(payload.get("tables", ()))
+    return WalRecord(lsn=lsn, changes=changes, tables=tables)
 
 
 def _scan_log(raw: bytes) -> _ScanResult:
@@ -229,6 +261,11 @@ class WriteAheadLog:
 
         # group-commit pipeline state ----------------------------------
         self._cond = threading.Condition()
+        #: collector-only wait channel on the SAME lock as ``_cond``:
+        #: an enqueue during a collection window wakes just the
+        #: collecting leader, not every parked follower (a notify_all
+        #: herd costs more than the fsync the collection saves)
+        self._collect_cond = threading.Condition(self._cond._lock)
         self._queue: list[bytes] = []
         self._enqueued = 0
         self._completed = 0
@@ -241,6 +278,22 @@ class WriteAheadLog:
         self.sync_count = 0
         self.group_commits = 0
         self.grouped_records = 0
+        #: size of the last written batch; >1 means concurrent
+        #: committers were just seen, so a leader that drained fewer
+        #: records briefly collects stragglers before paying the fsync
+        self._group_hint = 1
+        #: True while a leader is inside its collection window, so
+        #: enqueuers know to notify it
+        self._collecting = False
+
+        # background interval flusher ----------------------------------
+        #: True while bytes written to the file may not be fsynced yet
+        self._dirty = False
+        #: started lazily on the first append under the ``interval``
+        #: policy; bounds durability staleness by wall clock when
+        #: commits stop arriving (no piggyback fsync would ever fire)
+        self._flusher: threading.Thread | None = None
+        self._flusher_stop = threading.Event()
 
     # ------------------------------------------------------------------
     # properties
@@ -272,13 +325,19 @@ class WriteAheadLog:
     # commit path (group commit)
     # ------------------------------------------------------------------
 
-    def commit_transaction(self, changes: Iterable[ChangeEvent | Change]) -> int:
+    def commit_transaction(
+        self,
+        changes: Iterable[ChangeEvent | Change],
+        *,
+        tables: Iterable[str] | None = None,
+    ) -> int:
         """Append one committed transaction; returns its LSN.
 
         Accepts full :data:`ChangeEvent` tuples (before-images are
         dropped — the log is redo-only) or bare ``(op, table, pk,
-        after)`` entries.  Blocks until the record is durable per the
-        fsync policy.
+        after)`` entries.  ``tables`` overrides the record's declared
+        table footprint (default: derived from the changes).  Blocks
+        until the record is durable per the fsync policy.
         """
         redo: list[Change] = []
         for entry in changes:
@@ -287,22 +346,37 @@ class WriteAheadLog:
             else:
                 op, table_name, pk, after = entry
             redo.append((op, table_name, pk, after))
-        return self._commit(changes=redo, ddl=None)
+        if tables is None:
+            footprint = tuple(sorted({change[1] for change in redo}))
+        else:
+            footprint = tuple(sorted(set(tables)))
+        return self._commit(changes=redo, ddl=None, tables=footprint)
 
     def log_ddl(self, ddl: dict[str, Any]) -> int:
         """Append one autocommitted DDL record; returns its LSN."""
         return self._commit(changes=None, ddl=ddl)
 
-    def _commit(self, *, changes: list[Change] | None, ddl: dict | None) -> int:
+    def _commit(
+        self,
+        *,
+        changes: list[Change] | None,
+        ddl: dict | None,
+        tables: tuple[str, ...] = (),
+    ) -> int:
         with self._cond:
             self._check_usable()
             self._scan_cache = None
             self._sequence += 1
             lsn = self._sequence
-            self._queue.append(_encode_record(lsn, changes=changes, ddl=ddl))
+            self._queue.append(
+                _encode_record(lsn, changes=changes, ddl=ddl, tables=tables)
+            )
             self._count += 1
             self._enqueued += 1
             ticket = self._enqueued
+            if self._collecting:
+                self._collect_cond.notify()
+        self._ensure_flusher()
         while True:
             with self._cond:
                 if self._completed >= ticket:
@@ -317,6 +391,23 @@ class WriteAheadLog:
                     self._cond.wait()
                     continue
                 self._writing = True
+                # adaptive collection: when recent batches prove other
+                # committers are in flight, wait a bounded moment for
+                # them to enqueue so one fsync covers the whole group;
+                # the hint decays to 1 under a lone writer, making the
+                # wait free in the uncontended case
+                if (
+                    self.fsync_policy == "always"
+                    and len(self._queue) < self._group_hint
+                ):
+                    self._collecting = True
+                    deadline = time.monotonic() + GROUP_COMMIT_WAIT
+                    while len(self._queue) < self._group_hint:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._collect_cond.wait(remaining)
+                    self._collecting = False
                 batch, self._queue = self._queue, []
             self._lead_write(batch, fsync=None)
 
@@ -344,6 +435,7 @@ class WriteAheadLog:
                 offset_before = self._handle.tell()
                 self._handle.write(b"".join(batch))
                 self._handle.flush()
+                self._dirty = True
             if fsync is None:
                 fsync = self.fsync_policy == "always" or (
                     self.fsync_policy == "interval"
@@ -353,6 +445,7 @@ class WriteAheadLog:
                 os.fsync(self._handle.fileno())
                 self.sync_count += 1
                 self._last_sync = time.monotonic()
+                self._dirty = False
         # leader thread must survive; the error reaches every committer
         # of the batch via _broken  itag-lint: disable=except-hygiene
         except BaseException as exc:  # noqa: BLE001 - re-raised below
@@ -388,6 +481,7 @@ class WriteAheadLog:
                 self._completed += len(batch)
                 self.group_commits += 1
                 self.grouped_records += len(batch)
+                self._group_hint = max(1, len(batch))
                 self._cond.notify_all()
         if error is not None:
             raise WalError(f"WAL {self.path} write failed: {error!r}") from error
@@ -443,6 +537,7 @@ class WriteAheadLog:
                 os.fsync(self._handle.fileno())
                 self.sync_count += 1
                 self._last_sync = time.monotonic()
+                self._dirty = False
         finally:
             self._release()
 
@@ -452,6 +547,12 @@ class WriteAheadLog:
         A broken log skips the flush/fsync — after a write failure the
         file was truncated back to its last good record, and nothing
         that failed may reach the disk afterwards."""
+        # stop the background flusher before quiescing so it cannot race
+        # the handle close; it exits within one wait slice
+        self._flusher_stop.set()
+        flusher = self._flusher
+        if flusher is not None and flusher is not threading.current_thread():
+            flusher.join(timeout=1.0)
         self._quiesce()
         try:
             if self._closed:
@@ -462,10 +563,73 @@ class WriteAheadLog:
                     os.fsync(self._handle.fileno())
                 except OSError:  # pragma: no cover - exotic filesystems
                     pass
+                self._dirty = False
             self._handle.close()
             self._closed = True
         finally:
             self._release()
+
+    # ------------------------------------------------------------------
+    # background interval flusher
+    # ------------------------------------------------------------------
+
+    def _ensure_flusher(self) -> None:
+        """Lazily start the interval flusher daemon (``interval`` policy
+        only): it fsyncs an idle dirty tail once ``fsync_interval``
+        passes with no commit to piggyback on, bounding durability
+        staleness by wall clock."""
+        if self.fsync_policy != "interval" or self._flusher is not None:
+            return
+        with self._cond:
+            if self._flusher is not None:
+                return
+            self._flusher_stop = threading.Event()
+            self._flusher = threading.Thread(
+                target=self._flush_loop,
+                name=f"wal-flusher-{self.path.name}",
+                daemon=True,
+            )
+            self._flusher.start()
+
+    def _flush_loop(self) -> None:
+        interval = max(self.fsync_interval, 0.01)
+        stop = self._flusher_stop
+        while not stop.wait(interval):
+            if self._closed or self._broken is not None:
+                return
+            if not self._dirty:
+                continue
+            if time.monotonic() - self._last_sync < self.fsync_interval:
+                continue
+            # a commit racing this sync is harmless: sync() quiesces the
+            # pipeline, and an extra fsync is only wasted work.  A
+            # failure here must not kill the daemon silently mid-life —
+            # it marks nothing, but the next commit's own write path
+            # surfaces the error to a caller.
+            try:
+                self.sync()
+            except (WalError, OSError):
+                return
+
+    def last_sync_age(self) -> float:
+        """Seconds since the last fsync (staleness bound; ~0 when the
+        log is clean and freshly synced)."""
+        return time.monotonic() - self._last_sync
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for monitoring and the store smoke output."""
+        return {
+            "records": self._count,
+            "lsn": self._sequence,
+            "fsync_policy": self.fsync_policy,
+            "sync_count": self.sync_count,
+            "group_commits": self.group_commits,
+            "grouped_records": self.grouped_records,
+            "last_sync_age": self.last_sync_age(),
+            "dirty": self._dirty,
+            "flusher_running": self._flusher is not None
+            and self._flusher.is_alive(),
+        }
 
     # ------------------------------------------------------------------
     # reading / replay
@@ -523,6 +687,12 @@ class WriteAheadLog:
                     database._apply_ddl(record.ddl)
                     continue
                 for op, table_name, pk, row in record.changes:
+                    if record.tables and table_name not in record.tables:
+                        raise WalError(
+                            f"WAL record lsn={record.lsn} changes table "
+                            f"{table_name!r} outside its declared footprint "
+                            f"{list(record.tables)}"
+                        )
                     table = database.table(table_name)
                     if op == "insert" and table.contains(pk):
                         table.apply("update", pk, row)
@@ -571,6 +741,7 @@ class WriteAheadLog:
                             record.lsn,
                             changes=list(record.changes) if not record.is_ddl else None,
                             ddl=record.ddl,
+                            tables=record.tables,
                         )
                     )
                 handle.flush()

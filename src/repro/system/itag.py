@@ -24,6 +24,9 @@ mode (Sec. IV).
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 
 from ..config import QualityConfig
@@ -34,7 +37,7 @@ from ..crowd.social import SocialPlatform
 from ..errors import ProjectError
 from ..quality.estimator import QualityBoard
 from ..rng import RngRegistry
-from ..store import Database
+from ..store import Database, DeadlockError
 from ..strategies import make_strategy
 from ..tagging.corpus import Corpus
 from ..tagging.post import Post
@@ -47,7 +50,11 @@ from .resource_manager import ResourceManager
 from .tag_manager import TagManager
 from .user_manager import UserManager
 
-__all__ = ["ITagSystem"]
+__all__ = ["ITagSystem", "TASK_COMMIT_RETRIES"]
+
+#: How many times one task's commit transaction is retried after a
+#: deadlock abort before the error propagates to the caller.
+TASK_COMMIT_RETRIES = 5
 
 
 class ITagSystem:
@@ -90,6 +97,15 @@ class ITagSystem:
         self._platforms: dict[str, CrowdPlatform] = {}
         self._noise_models: dict[int, NoiseModel] = {}
         self._clock = 0.0
+        # Multi-writer support: the simulation state (runtimes, quality
+        # boards, platform clocks, RNG streams) is not thread-safe, so
+        # concurrent writer sessions serialize task *simulation* on this
+        # mutex while the database transaction — the part that pays the
+        # fsync — commits outside it, in parallel across writers.
+        self._task_mutex = threading.RLock()
+        #: total deadlock-abort retries absorbed by _run_single
+        self.deadlock_retries = 0
+        self._txn_local = threading.local()
 
     # ------------------------------------------------------------------
     # durability
@@ -248,41 +264,72 @@ class ITagSystem:
         return outcomes
 
     def _run_single(self, project_id: int) -> TaskOutcome:
-        row = self.projects.get(project_id)
-        runtime = self.quality.runtime(project_id)
-        outcome = self.quality.run_one_task(
-            project_id,
-            budget_total=row["budget_total"],
-            budget_spent=row["budget_spent"],
-        )
-        self._clock = max(self._clock, runtime.platform.now)
-        resource = runtime.corpus.resource(outcome.resource_id)
+        # Simulation half: runtimes, quality boards, clocks and RNG
+        # streams are plain Python objects, so concurrent writer
+        # sessions serialize this part on the task mutex.  The database
+        # half below runs *outside* it — that is where the commit fsync
+        # lives, and it parallelizes across writers.
+        with self._task_mutex:
+            row = self.projects.get(project_id)
+            runtime = self.quality.runtime(project_id)
+            outcome = self.quality.run_one_task(
+                project_id,
+                budget_total=row["budget_total"],
+                budget_spent=row["budget_spent"],
+            )
+            self._clock = max(self._clock, runtime.platform.now)
+            clock = self._clock
+            resource = runtime.corpus.resource(outcome.resource_id)
+            average = runtime.board.average_quality()
         # One task = one transaction = one commit-scoped WAL record:
         # concurrent snapshot readers see the decision, the resource
         # stats, the notification and the spend together or not at all.
-        with self.database.transaction():
-            worker_id = self.users.ensure_tagger(outcome.worker_id)
-            self.users.record_decision(worker_id, approved=outcome.approved)
-            if outcome.approved:
-                self.resources.record_post(resource, outcome.quality_after)
-                self.notifications.notify(
-                    row["provider_id"],
-                    "post_approved",
-                    f"resource {resource.name}: post by worker {outcome.worker_id} "
-                    f"approved (quality {outcome.quality_after:.3f})",
-                    ts=self._clock,
-                )
-            else:
-                self.notifications.notify(
-                    row["provider_id"],
-                    "post_rejected",
-                    f"resource {resource.name}: post by worker {outcome.worker_id} "
-                    "rejected",
-                    ts=self._clock,
-                )
-            average = runtime.board.average_quality()
-            self.projects.record_spend(project_id, avg_quality=average)
+        # A deadlock abort (overlapping table footprints across writer
+        # sessions) rolls back cleanly via the undo log; every statement
+        # in the body re-reads database state, so the retry is safe.
+        retries = 0
+        while True:
+            try:
+                with self.database.transaction():
+                    worker_id = self.users.ensure_tagger(outcome.worker_id)
+                    self.users.record_decision(worker_id, approved=outcome.approved)
+                    if outcome.approved:
+                        self.resources.record_post(resource, outcome.quality_after)
+                        self.notifications.notify(
+                            row["provider_id"],
+                            "post_approved",
+                            f"resource {resource.name}: post by worker "
+                            f"{outcome.worker_id} approved "
+                            f"(quality {outcome.quality_after:.3f})",
+                            ts=clock,
+                        )
+                    else:
+                        self.notifications.notify(
+                            row["provider_id"],
+                            "post_rejected",
+                            f"resource {resource.name}: post by worker "
+                            f"{outcome.worker_id} rejected",
+                            ts=clock,
+                        )
+                    self.projects.record_spend(project_id, avg_quality=average)
+                break
+            except DeadlockError:
+                retries += 1
+                if retries > TASK_COMMIT_RETRIES:
+                    raise
+                # brief linear backoff so the surviving transaction can
+                # finish before the retry re-contends
+                time.sleep(0.001 * retries)
+        self._txn_local.retries = retries
+        if retries:
+            with self._task_mutex:
+                self.deadlock_retries += retries
         return outcome
+
+    @property
+    def last_task_retries(self) -> int:
+        """Deadlock retries absorbed by this thread's last task."""
+        return getattr(self._txn_local, "retries", 0)
 
     def _complete(self, project_id: int) -> None:
         row = self.projects.get(project_id)

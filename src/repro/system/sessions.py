@@ -1,11 +1,14 @@
 """Concurrent-session driver: parallel tagger sessions over one system.
 
 The original iTag deployment served many tagger browsers concurrently
-off MySQL; this driver reproduces that shape on the embedded store: one
-**writer session** runs platform tagging tasks (each task is one
-transaction — see ``ITagSystem._run_single``), while N **reader
-sessions** hammer the tagger-facing read path, primarily on snapshot
-views (:meth:`~repro.store.database.Database.read_view`): the
+off MySQL; this driver reproduces that shape on the embedded store: N
+**writer sessions** run platform tagging tasks concurrently from a
+shared task pool (each task is one transaction — see
+``ITagSystem._run_single``; overlapping table footprints are arbitrated
+by the per-table lock manager, deadlock aborts are retried and
+counted), while N **reader sessions** hammer the tagger-facing read
+path, primarily on snapshot views
+(:meth:`~repro.store.database.Database.read_view`): the
 ``open_projects`` planned join and the consistency sweeps below run
 against the reader's frozen view, planned with the same indexed access
 paths as the live tables (copy-on-write index snapshots) — the
@@ -34,12 +37,23 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from ..store import Query, In
+from ..errors import ProjectError
+from ..store import DeadlockError, In, Query
 
-__all__ = ["SessionReport", "SessionDriver"]
+__all__ = ["SessionReport", "SessionDriver", "WriterStats"]
 
 #: per-task notification kinds (exactly one is written per tagging task)
 _TASK_KINDS = ("post_approved", "post_rejected")
+
+
+@dataclass
+class WriterStats:
+    """Per-writer-session counters (one writer thread each)."""
+
+    name: str = "writer-0"
+    commits: int = 0
+    aborts: int = 0
+    deadlock_retries: int = 0
 
 
 @dataclass
@@ -47,10 +61,13 @@ class SessionReport:
     """What a :class:`SessionDriver` run observed."""
 
     readers: int = 0
+    writers: int = 1
     writer_tasks: int = 0
     reader_passes: int = 0
     torn_reads: int = 0
     atomicity_violations: int = 0
+    deadlock_retries: int = 0
+    writer_sessions: list[WriterStats] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
 
@@ -64,12 +81,20 @@ class SessionReport:
 
     def describe(self) -> str:
         lines = [
-            f"concurrent sessions: 1 writer ({self.writer_tasks} tasks), "
+            f"concurrent sessions: {self.writers} writer(s) "
+            f"({self.writer_tasks} tasks), "
             f"{self.readers} readers ({self.reader_passes} passes) "
             f"in {self.elapsed_seconds:.2f}s",
             f"  torn reads: {self.torn_reads}",
             f"  atomicity violations: {self.atomicity_violations}",
+            f"  deadlock retries: {self.deadlock_retries}",
         ]
+        for stats in self.writer_sessions:
+            lines.append(
+                f"  {stats.name}: {stats.commits} commits, "
+                f"{stats.aborts} aborts, "
+                f"{stats.deadlock_retries} deadlock retries"
+            )
         for message in self.errors:
             lines.append(f"  error: {message}")
         lines.append(
@@ -79,11 +104,20 @@ class SessionReport:
 
 
 class SessionDriver:
-    """Run one writer session against N snapshot-reader sessions.
+    """Run N writer sessions against N snapshot-reader sessions.
 
-    >>> driver = SessionDriver(system, project_id, readers=3, writer_tasks=50)
+    >>> driver = SessionDriver(system, project_id, readers=3,
+    ...                        writer_tasks=50, writers=2)
     >>> report = driver.run()
     >>> assert report.consistent
+
+    ``writer_tasks`` is the *shared* task pool: the writer sessions
+    claim tasks from it until it drains (or the project leaves the
+    running state).  With ``writers > 1`` the sessions race on the same
+    project tables; deadlock aborts inside a task are retried by the
+    system (counted per writer), and races the engine rejects by design
+    — a spend that would exceed the budget, a double completion
+    transition — are counted as aborts, not errors.
     """
 
     def __init__(
@@ -93,52 +127,107 @@ class SessionDriver:
         *,
         readers: int = 3,
         writer_tasks: int = 50,
+        writers: int = 1,
     ) -> None:
         self._system = system
         self._project_id = project_id
         self._readers = max(1, readers)
+        self._writers = max(1, writers)
         self._writer_tasks = writer_tasks
+        self._tasks_left = writer_tasks
+        self._task_lock = threading.Lock()
         self._stop = threading.Event()
         self._report_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
     def run(self) -> SessionReport:
-        report = SessionReport(readers=self._readers)
+        report = SessionReport(readers=self._readers, writers=self._writers)
+        self._tasks_left = self._writer_tasks
         start = time.perf_counter()
-        threads = [
+        readers = [
             threading.Thread(
                 target=self._reader_session, args=(report,), name=f"tagger-{index}"
             )
             for index in range(self._readers)
         ]
-        for thread in threads:
+        writers = []
+        for index in range(self._writers):
+            stats = WriterStats(name=f"writer-{index}")
+            report.writer_sessions.append(stats)
+            writers.append(
+                threading.Thread(
+                    target=self._writer_session,
+                    args=(report, stats),
+                    name=stats.name,
+                )
+            )
+        for thread in readers:
             thread.start()
         try:
-            self._writer_session(report)
+            for thread in writers:
+                thread.start()
+            for thread in writers:
+                thread.join(timeout=60.0)
         finally:
             self._stop.set()
-        for thread in threads:
+        for thread in readers:
             thread.join(timeout=30.0)
         report.elapsed_seconds = time.perf_counter() - start
+        report.deadlock_retries = sum(
+            stats.deadlock_retries for stats in report.writer_sessions
+        )
         return report
 
     # ------------------------------------------------------------------
 
-    def _writer_session(self, report: SessionReport) -> None:
+    def _claim_task(self) -> bool:
+        with self._task_lock:
+            if self._tasks_left <= 0:
+                return False
+            self._tasks_left -= 1
+            return True
+
+    def _return_task(self) -> None:
+        with self._task_lock:
+            self._tasks_left += 1
+
+    def _writer_session(self, report: SessionReport, stats: WriterStats) -> None:
+        system = self._system
         try:
-            for _ in range(self._writer_tasks):
-                state = self._system.projects.get(self._project_id)["state"]
+            while self._claim_task():
+                state = system.projects.get(self._project_id)["state"]
                 if state != "running":
-                    break
-                self._system.run_project(self._project_id, tasks=1)
+                    self._return_task()
+                    return
+                try:
+                    system.run_project(self._project_id, tasks=1)
+                except DeadlockError:
+                    # the system's retry budget is exhausted: count the
+                    # abort and put the task back for another writer
+                    with self._report_lock:
+                        stats.aborts += 1
+                    self._return_task()
+                    continue
+                except ProjectError:
+                    # an engine-rejected race with a concurrent writer:
+                    # over-budget spend, double completion transition,
+                    # or the project left "running" mid-task — all
+                    # rolled back cleanly, so the task is just lost to
+                    # this writer
+                    with self._report_lock:
+                        stats.aborts += 1
+                    return
+                retries = getattr(system, "last_task_retries", 0)
                 with self._report_lock:
+                    stats.commits += 1
+                    stats.deadlock_retries += retries
                     report.writer_tasks += 1
         # session boundary: any failure must land in the report, not
         # kill the thread silently  itag-lint: disable=except-hygiene
         except Exception as exc:  # noqa: BLE001 - surfaced in the report
             with self._report_lock:
-                report.errors.append(f"writer: {exc!r}")
+                report.errors.append(f"{stats.name}: {exc!r}")
 
     def _reader_session(self, report: SessionReport) -> None:
         database = self._system.database

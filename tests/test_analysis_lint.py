@@ -161,6 +161,28 @@ class TestLockDiscipline:
         )
         assert result.clean
 
+    def test_positive_lockmgr_state_mutation(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "system/hack.py",
+            "def hack(manager, owner, table):\n"
+            "    manager._holders[table] = {owner: 'X'}\n"
+            "    manager._waiting.pop(owner)\n"
+            "    del manager._victims[owner]\n",
+        )
+        assert finding_rules(result) == {"lock-discipline"}
+        assert len(result.findings) == 3
+
+    def test_negative_lockmgr_owns_its_state(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "store/lockmgr.py",
+            "class LockManager:\n"
+            "    def release_all(self, owner):\n"
+            "        self._waiting.pop(owner, None)\n"
+            "        self._victims.pop(owner, None)\n"
+            "        self._holders.clear()\n",
+        )
+        assert result.clean
+
     def test_suppressed(self, tmp_path):
         result = lint_snippet(
             tmp_path, "system/hack.py",

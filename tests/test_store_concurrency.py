@@ -1,22 +1,31 @@
-"""Concurrency suite: snapshot readers vs writers, serialized txns,
-group commit under thread load.
+"""Concurrency suite: snapshot readers vs writers, per-table locking,
+deadlock handling, group commit under thread load.
 
-The store's contract is single-writer / multi-reader: transactions from
-different threads serialize (blocking, not raising), autocommit writes
-are safe from any thread, and readers using copy-on-write views are
-never torn — a view observes exactly one version of each table forever.
+The store's contract is two-phase-locked multi-writer / multi-reader:
+transactions take shared/exclusive per-table locks and run concurrently
+when their table footprints are disjoint; conflicting footprints block,
+and wait-for cycles abort the youngest transaction with
+``DeadlockError`` (rolled back cleanly, safe to retry).  Autocommit
+writes are safe from any thread, and readers using copy-on-write views
+are never torn — a view observes exactly one version of each table
+forever.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.store import (
     Column,
+    ConstraintError,
     Database,
     DataType,
+    DeadlockError,
     Eq,
     Query,
     Schema,
@@ -199,6 +208,10 @@ class TestSnapshotReaders:
 
 class TestTransactionSerialization:
     def test_cross_thread_increments_never_lost(self):
+        """Three threads bump one counter transactionally.  Their
+        footprints overlap, so the lock manager serializes them; an
+        S->X upgrade race aborts the younger side with DeadlockError,
+        which a retry (fresh transaction) must absorb losslessly."""
         database = Database("c")
         table = make_table(database)
         table.insert({"stamp": 0})
@@ -206,12 +219,20 @@ class TestTransactionSerialization:
 
         def bump():
             for _ in range(per_thread):
-                with database.transaction():
-                    current = table.get(1)["stamp"]
-                    table.update(1, {"stamp": current + 1})
+                attempt = 0
+                while True:
+                    try:
+                        with database.transaction():
+                            current = table.get(1)["stamp"]
+                            table.update(1, {"stamp": current + 1})
+                        break
+                    except DeadlockError:
+                        attempt += 1
+                        time.sleep(0.0001 * attempt)
 
         run_threads([bump, bump, bump])
         assert table.get(1)["stamp"] == 3 * per_thread
+        database.verify()
 
     def test_rollback_completes_before_transaction_slot_is_released(self):
         """Regression: rollback used to release the transaction mutex
@@ -248,6 +269,131 @@ class TestTransactionSerialization:
         with database.transaction():
             with pytest.raises(TransactionError, match="nested"):
                 database.transaction().begin()
+
+
+class TestPerTableLocking:
+    def test_disjoint_footprints_run_concurrently(self):
+        """Two transactions on different tables must both be open at
+        the same moment — proven by a cross-signal: each thread waits,
+        inside its transaction, for the other to enter its own."""
+        database = Database("c")
+        left = make_table(database, "left")
+        right = make_table(database, "right")
+        a_in = threading.Event()
+        b_in = threading.Event()
+        overlapped = []
+
+        def writer_a():
+            with database.transaction():
+                left.insert({"stamp": 1})
+                a_in.set()
+                overlapped.append(b_in.wait(timeout=10.0))
+
+        def writer_b():
+            with database.transaction():
+                right.insert({"stamp": 2})
+                b_in.set()
+                overlapped.append(a_in.wait(timeout=10.0))
+
+        run_threads([writer_a, writer_b])
+        assert overlapped == [True, True]
+        assert len(left) == 1 and len(right) == 1
+        database.verify()
+
+    def test_opposite_lock_order_deadlock_aborts_one_commits_other(self):
+        """The injection from the paper-book: two transactions acquire
+        the same two tables in opposite order, rendezvous after their
+        first lock, then cross.  The wait-for graph must abort exactly
+        one with DeadlockError (not hang, not abort both); the survivor
+        commits and the aborted side rolls back cleanly."""
+        database = Database("c", lock_timeout=30.0)
+        left = make_table(database, "left")
+        right = make_table(database, "right")
+        left.insert({"stamp": 0})
+        right.insert({"stamp": 0})
+        rendezvous = threading.Barrier(2, timeout=10.0)
+        outcomes: list[str] = []
+        outcome_lock = threading.Lock()
+
+        def crossed(first, second):
+            def run():
+                try:
+                    with database.transaction():
+                        first.update(1, {"stamp": 1})
+                        rendezvous.wait()
+                        second.update(1, {"stamp": 1})
+                    with outcome_lock:
+                        outcomes.append("committed")
+                except DeadlockError:
+                    with outcome_lock:
+                        outcomes.append("aborted")
+            return run
+
+        run_threads([crossed(left, right), crossed(right, left)])
+        assert sorted(outcomes) == ["aborted", "committed"]
+        # the aborted side rolled back: exactly one table kept the
+        # survivor's write on the row it reached second
+        assert {left.get(1)["stamp"], right.get(1)["stamp"]} == {1}
+        database.verify()
+
+    def test_deadlock_victim_is_younger_transaction(self):
+        database = Database("c", lock_timeout=30.0)
+        left = make_table(database, "left")
+        right = make_table(database, "right")
+        left.insert({})
+        right.insert({})
+        older_in = threading.Event()
+        younger_in = threading.Event()
+        results: dict[str, str] = {}
+
+        def older():
+            with database.transaction():
+                left.update(1, {"stamp": 1})
+                older_in.set()
+                assert younger_in.wait(timeout=10.0)
+                right.update(1, {"stamp": 1})
+            results["older"] = "committed"
+
+        def younger():
+            assert older_in.wait(timeout=10.0)
+            try:
+                with database.transaction():
+                    right.update(1, {"stamp": 2})
+                    younger_in.set()
+                    left.update(1, {"stamp": 2})
+                results["younger"] = "committed"
+            except DeadlockError:
+                results["younger"] = "aborted"
+
+        run_threads([older, younger])
+        assert results == {"older": "committed", "younger": "aborted"}
+        assert left.get(1)["stamp"] == 1 and right.get(1)["stamp"] == 1
+        database.verify()
+
+    def test_lock_timeout_fallback_raises_deadlock_error(self):
+        """A lock that simply never frees (held by a foreign owner the
+        cycle detector cannot see through) must fall back to the
+        configured timeout instead of waiting forever."""
+        database = Database("c", lock_timeout=0.2)
+        make_table(database)
+        database.lock_manager.acquire(999_999, "items", "X")
+        try:
+            with pytest.raises(DeadlockError, match="lock wait timeout"):
+                with database.transaction():
+                    database.table("items").insert({})
+        finally:
+            database.lock_manager.release_all(999_999)
+        database.verify()
+
+    def test_verify_flags_leaked_locks_at_quiescence(self):
+        database = Database("c")
+        make_table(database)
+        database.verify()  # clean before
+        database.lock_manager.acquire(999_999, "items", "S")
+        with pytest.raises(ConstraintError, match="lock"):
+            database.verify()
+        database.lock_manager.release_all(999_999)
+        database.verify()  # release is idempotent and drains fully
 
 
 class TestGroupCommit:
@@ -325,6 +471,74 @@ class TestPlanCacheThreadSafety:
         assert not errors, errors
 
 
+class TestConcurrentStress:
+    """Randomized multi-writer schedules vs a single-threaded oracle."""
+
+    @given(
+        plans=st.lists(
+            st.lists(
+                st.sampled_from([0, 1, 2]), min_size=1, max_size=3, unique=True
+            ),
+            min_size=2,
+            max_size=4,
+        ),
+        per_thread=st.integers(min_value=3, max_value=10),
+    )
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_threaded_increments_match_single_threaded_oracle(
+        self, plans, per_thread
+    ):
+        """Each thread owns a random table subset (disjoint or
+        overlapping, in arbitrary acquisition order) and increments
+        every table in its set inside one transaction per round,
+        retrying deadlock aborts.  The final counters must equal the
+        single-threaded oracle: no lost updates, no double-applies
+        from rollback+retry."""
+        database = Database("stress")
+        tables = [make_table(database, f"t{index}") for index in range(3)]
+        for table in tables:
+            table.insert({"stamp": 0})
+        errors: list[str] = []
+
+        def worker(plan):
+            def run():
+                try:
+                    for _ in range(per_thread):
+                        attempt = 0
+                        while True:
+                            try:
+                                with database.transaction():
+                                    for slot in plan:
+                                        table = tables[slot]
+                                        current = table.get(1)["stamp"]
+                                        table.update(
+                                            1, {"stamp": current + 1}
+                                        )
+                                break
+                            except DeadlockError:
+                                attempt += 1
+                                time.sleep(0.0001 * attempt)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(repr(exc))
+            return run
+
+        run_threads([worker(plan) for plan in plans])
+        assert not errors, errors
+        expected = {
+            slot: per_thread * sum(1 for plan in plans if slot in plan)
+            for slot in range(3)
+        }
+        actual = {
+            slot: tables[slot].get(1)["stamp"] for slot in range(3)
+        }
+        assert actual == expected
+        database.verify()
+
+
 class TestSessionDriver:
     def test_concurrent_tagger_sessions_stay_consistent(self):
         from repro.datasets import make_delicious_like
@@ -344,3 +558,26 @@ class TestSessionDriver:
         assert report.consistent, report.describe()
         assert report.writer_tasks == 25
         assert report.reader_passes > 0
+
+    def test_multi_writer_sessions_split_the_task_pool(self):
+        from repro.datasets import make_delicious_like
+        from repro.system import ITagSystem, SessionDriver
+
+        data = make_delicious_like(
+            n_resources=8, initial_posts_total=40, master_seed=7, population_size=12
+        )
+        system = ITagSystem(master_seed=7)
+        provider = system.register_provider("p")
+        project = system.create_project(provider, "campaign", budget=90)
+        system.upload_resources(project, data.provider_corpus)
+        system.start_project(project, noise_model=data.dataset.noise_model)
+        report = SessionDriver(
+            system, project, readers=2, writer_tasks=30, writers=3
+        ).run()
+        assert report.consistent, report.describe()
+        assert report.writers == 3
+        assert len(report.writer_sessions) == 3
+        # the shared pool drains exactly once across the racing writers
+        assert sum(s.commits for s in report.writer_sessions) == report.writer_tasks
+        assert report.writer_tasks <= 30
+        system.database.verify()

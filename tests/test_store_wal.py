@@ -1,6 +1,7 @@
 """Unit tests: commit-scoped WAL — framing, group commit, recovery."""
 
 import os
+import time
 
 import pytest
 
@@ -319,3 +320,95 @@ class TestFsyncPolicies:
         for index in range(5):
             database.table("items").insert({"value": f"v{index}"})
         assert wal.sync_count == 0
+        # no flusher daemon outside the interval policy
+        assert not wal.stats()["flusher_running"]
+
+
+class TestIntervalFlusher:
+    def test_idle_dirty_log_is_synced_by_the_background_flusher(self, tmp_path):
+        """Under the interval policy a lone commit may land between
+        piggyback fsyncs; with no further commits arriving, only the
+        background flusher bounds its durability staleness."""
+        wal = WriteAheadLog(
+            tmp_path / "db.wal", fsync="interval", fsync_interval=0.02
+        )
+        database = make_database()
+        database.attach_wal(wal)
+        database.table("items").insert({"value": "lone"})
+        assert wal.stats()["flusher_running"]
+        deadline = time.monotonic() + 5.0
+        while wal.stats()["dirty"] and time.monotonic() < deadline:
+            time.sleep(0.01)
+        stats = wal.stats()
+        assert not stats["dirty"]
+        assert stats["sync_count"] >= 1
+        assert wal.last_sync_age() < 5.0
+        database.close()
+        # close() stops and joins the daemon
+        assert not wal.stats()["flusher_running"]
+
+
+class TestTransactionFootprints:
+    def test_commit_records_carry_the_table_set(self, tmp_path):
+        database = make_database()
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
+        database.attach_wal(wal)
+        table = database.table("items")
+        with database.transaction():
+            table.insert({"value": "a"})
+            table.insert({"value": "b"})
+        record = wal.records()[0]
+        assert record.tables == ("items",)
+        # the footprint survives the on-disk roundtrip
+        wal.flush()
+        assert WriteAheadLog(tmp_path / "db.wal").records()[0].tables == ("items",)
+
+    def test_footprint_survives_truncate_through(self, tmp_path):
+        database = make_database()
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
+        database.attach_wal(wal)
+        table = database.table("items")
+        for index in range(3):
+            with database.transaction():
+                table.insert({"value": f"v{index}"})
+        wal.truncate_through(1)
+        remaining = wal.records()
+        assert [record.lsn for record in remaining] == [2, 3]
+        assert all(record.tables == ("items",) for record in remaining)
+
+    def test_footprint_less_records_still_decode(self, tmp_path):
+        """Logs written before the ``tables`` field existed decode with
+        an empty footprint (and replay without footprint validation)."""
+        import json
+        import zlib
+
+        payload = {"lsn": 1, "txn": [["insert", "items", 1, {"id": 1, "value": "x", "score": None}]]}
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        (tmp_path / "db.wal").write_bytes(b"%08x " % crc + body + b"\n")
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
+        records = wal.records()
+        assert len(records) == 1
+        assert records[0].tables == ()
+        recovered = make_database()
+        assert wal.replay_into(recovered) == 1
+        assert recovered.table("items").get(1)["value"] == "x"
+
+    def test_replay_rejects_changes_outside_declared_footprint(self, tmp_path):
+        """A record whose change list touches a table missing from its
+        declared footprint is corrupt — replay must refuse it."""
+        import json
+        import zlib
+
+        payload = {
+            "lsn": 1,
+            "tables": ["other"],
+            "txn": [["insert", "items", 1, {"id": 1, "value": "x", "score": None}]],
+        }
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        (tmp_path / "db.wal").write_bytes(b"%08x " % crc + body + b"\n")
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
+        recovered = make_database()
+        with pytest.raises(WalError, match="footprint"):
+            wal.replay_into(recovered)
