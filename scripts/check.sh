@@ -60,3 +60,7 @@ grep -q "verify: ok" "$fixture_dir/recover.out"
 
 # concurrency smoke: 1 writer vs snapshot readers, zero torn reads
 python -m repro store smoke --readers 3 --tasks 40
+
+# same-table concurrency smoke: 4 writers on rows of ONE shared table
+# (per-row locking), snapshot readers, consistency gate
+python -m repro store smoke --readers 2 --tasks 40 --writers 4 --same-table

@@ -16,7 +16,11 @@ Runs a reduced EXP-ST (small row count, no WAL) and fails — exit code
 * cross-transaction group commit: 4 disjoint writers outpacing a
   single writer at fsync=always, and batching their commits under
   shared fsyncs (so per-table locking can never silently fall back to
-  serialized commits).
+  serialized commits),
+* per-row locking: 4 writers on disjoint rows of the *same* table
+  sustaining >1.5x the single-writer commit rate at fsync=always (so
+  row-granular admission can never silently degrade back to table-level
+  serialization).
 
 Called from scripts/check.sh and as a dedicated CI step, so a
 performance regression fails the merge even when it is not large
@@ -42,6 +46,7 @@ GATED_CLAIMS = (
     "searched order beats the written left-deep order",
     "cross-transaction group commit scales",
     "cross-transaction group commit batches concurrent commits",
+    "per-row locking scales same-table writers",
 )
 
 

@@ -218,12 +218,24 @@ _TABLE_INTERNALS_OWNERS = (
     "store/wal.py",
 )
 _TABLE_INTERNALS = frozenset({"_rows", "_indexes"})
-#: The lock manager's wait-for-graph state is owned by store/lockmgr.py
-#: alone: every mutation happens under its condition mutex, and a
-#: foreign write would corrupt deadlock detection (a phantom edge or a
-#: leaked holder wedges every later waiter).
+#: The lock manager's two-level lock table and wait-for-graph state are
+#: owned by store/lockmgr.py alone: every mutation happens under its
+#: condition mutex, and a foreign write would corrupt deadlock
+#: detection (a phantom edge or a leaked holder wedges every later
+#: waiter) or desynchronize the O(1) row-lock counters that escalation
+#: and verify() rely on.
 _LOCKMGR_INTERNALS_OWNER = "store/lockmgr.py"
-_LOCKMGR_INTERNALS = frozenset({"_holders", "_waiting", "_victims"})
+_LOCKMGR_INTERNALS = frozenset(
+    {
+        "_holders",
+        "_waiting",
+        "_victims",
+        "_row_holders",
+        "_owner_row_pks",
+        "_row_owner_counts",
+        "_row_x_counts",
+    }
+)
 #: Calls that hit the disk durability path (directly or via the atomic
 #: write helpers, which fsync + os.replace internally).
 _DURABILITY_CALLS = frozenset(
@@ -241,9 +253,10 @@ _DURABILITY_CALLS = frozenset(
 def _internals_attribute(
     node: ast.AST, internals: frozenset[str] = _TABLE_INTERNALS
 ) -> ast.Attribute | None:
-    """``x._rows`` / ``x._indexes`` attribute node, unwrapping one
-    subscript level (``x._rows[pk]``)."""
-    if isinstance(node, ast.Subscript):
+    """``x._rows`` / ``x._indexes`` attribute node, unwrapping any
+    subscript nesting (``x._rows[pk]``, ``x._row_holders[table][pk]``
+    — the lock manager's two-level maps take two subscripts)."""
+    while isinstance(node, ast.Subscript):
         node = node.value
     if isinstance(node, ast.Attribute) and node.attr in internals:
         return node

@@ -12,7 +12,8 @@ Subcommands::
         [--join TABLE --on LEFT=RIGHT [--how inner|left]]... [--rows N]
     itag store recover --dir STATE_DIR [--fsync POLICY]
     itag store checkpoint --dir STATE_DIR [--fsync POLICY]
-    itag store smoke [--readers N] [--writers N] [--tasks N] [--seed N]
+    itag store smoke [--readers N] [--writers N] [--tasks N] [--seed N] \\
+        [--same-table]
     itag lint [PATH ...] [--rule ID]... [--baseline check|update|ignore] \\
         [--baseline-file PATH] [--format text|json] [--list-rules]
     itag version
@@ -32,7 +33,11 @@ the store's consistency checks.  ``store checkpoint`` persists an
 atomic snapshot and prunes the covered WAL prefix.  ``store smoke``
 runs the concurrent-session driver (N writers vs N snapshot readers)
 on a small synthetic campaign, reporting per-writer commit/abort/
-deadlock-retry counters, and fails on any torn read.
+deadlock-retry counters plus the lock manager's deadlock/victim/
+timeout/escalation totals, and fails on any torn read.  With
+``--same-table`` the writers instead increment disjoint rows of one
+shared counter table — the per-row-locking hot path — and the run
+additionally fails on any lost update.
 
 ``itag lint`` runs the engine invariant linter
 (:mod:`repro.analysis.lint`) over the package source (or the given
@@ -168,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
     smoke_parser.add_argument("--writers", type=int, default=1)
     smoke_parser.add_argument("--tasks", type=int, default=40)
     smoke_parser.add_argument("--seed", type=int, default=7)
+    smoke_parser.add_argument(
+        "--same-table",
+        action="store_true",
+        help="writers increment disjoint rows of ONE shared table "
+        "(per-row locking hot path) instead of running tagging tasks",
+    )
 
     lint_parser = subparsers.add_parser(
         "lint",
@@ -421,6 +432,7 @@ def _cmd_store_smoke(args: argparse.Namespace) -> int:
         readers=args.readers,
         writer_tasks=args.tasks,
         writers=args.writers,
+        same_table=args.same_table,
     )
     report = driver.run()
     print(report.describe())

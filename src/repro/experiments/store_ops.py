@@ -15,7 +15,9 @@ selectivity probes), transactional updates, plus the durable write
 path: commit throughput per group-commit fsync policy, concurrent
 snapshot readers vs. a transactional writer, crash-recovery time
 vs. WAL length, multi-writer commit scaling at ``fsync=always``
-(disjoint per-table lock footprints, cross-transaction group commit),
+(disjoint per-table lock footprints *and* disjoint rows of one shared
+table — per-row locking — under cross-transaction group commit), lock
+escalation for bulk writers,
 and a deadlock storm (adverse lock orders resolved by abort-and-retry).  There is no paper number to match; the claims are
 that the substrate sustains campaign workloads comfortably (>10k
 simple ops/sec, >12k indexed point queries/sec — 5x the copy-per-row
@@ -26,13 +28,16 @@ their scan/sort/materialize/replan baselines, that maintained
 statistics are O(1)-cheap and accurate, that group commit with
 ``interval`` fsync beats per-commit fsync, that cross-transaction
 group commit lets 4 disjoint writers outpace a single writer at
-``fsync=always`` while batching their commits under shared fsyncs,
-and that concurrent snapshot readers return consistent (untorn)
-results under writer load.
+``fsync=always`` while batching their commits under shared fsyncs —
+including 4 writers on disjoint rows of the *same* table, which per-row
+locking admits concurrently — that a bulk writer's row locks escalate
+to one table lock, and that concurrent snapshot readers return
+consistent (untorn) results under writer load.
 """
 
 from __future__ import annotations
 
+import random
 import tempfile
 import threading
 import time
@@ -550,32 +555,47 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
             )
 
     # cross-transaction group commit: writer scaling at fsync=always ----
-    # Disjoint per-writer tables, so the lock manager admits the
-    # transactions concurrently and the WAL leader batches their
-    # commits under one fsync; the single-writer lane pays a full
-    # fsync per commit.  The two lanes are measured back-to-back and
-    # the best of three interleaved pairs is kept: fsync latency on a
-    # journaling filesystem drifts between runs, and pairing keeps the
-    # ratio comparison inside one drift window.
+    # Two multi-writer shapes, each against a lone-writer baseline:
+    # disjoint per-writer *tables* (PR 7's shape) and disjoint *rows of
+    # one shared table* (per-row locking — writers collide at the table
+    # but hold IX + row X, so the lock manager admits them concurrently
+    # and the WAL leader batches their commits under one fsync; the
+    # single-writer lane pays a full fsync per commit).  The lanes are
+    # measured back-to-back and the best of three interleaved groups is
+    # kept: fsync latency on a journaling filesystem drifts between
+    # runs, and pairing keeps the ratio comparisons inside one drift
+    # window.
     scale_commits = 100
 
-    def scaling_lane(writers: int, state_dir: Path) -> tuple[float, int]:
+    def scaling_lane(
+        writers: int, state_dir: Path, *, same_table: bool = False
+    ) -> tuple[float, int]:
         durable = Database.open(state_dir, fsync="always")
-        targets = [
-            durable.create_table(f"lane_{index}", _counter_schema())
-            for index in range(writers)
-        ]
+        if same_table:
+            shared = durable.create_table("lane_shared", _counter_schema())
+            targets = [shared] * writers
+        else:
+            targets = [
+                durable.create_table(f"lane_{index}", _counter_schema())
+                for index in range(writers)
+            ]
         gate = threading.Barrier(writers + 1)
 
-        def commit_lane(target, db=durable, start_gate=gate) -> None:
+        def commit_lane(index: int, target, db=durable, start_gate=gate) -> None:
             start_gate.wait()
+            base = index * scale_commits
             for position in range(scale_commits):
                 with db.transaction():
-                    target.insert({"n": position})
+                    if same_table:
+                        # explicit disjoint pks of the one shared
+                        # table: row X locks never conflict
+                        target.insert({"id": base + position + 1, "n": position})
+                    else:
+                        target.insert({"n": position})
 
         lanes = [
-            threading.Thread(target=commit_lane, args=(target,))
-            for target in targets
+            threading.Thread(target=commit_lane, args=(index, target))
+            for index, target in enumerate(targets)
         ]
         for lane in lanes:
             lane.start()
@@ -591,6 +611,8 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
 
     scaling_rates = {1: 0.0, 4: 0.0}
     scaling_ratio = 0.0
+    same_table_rates = {1: 0.0, 4: 0.0}
+    same_table_ratio = 0.0
     single_syncs = 0
     sync_fraction = 1.0
     with tempfile.TemporaryDirectory() as raw_dir:
@@ -601,20 +623,42 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
             multi_rate, syncs_4 = scaling_lane(
                 4, Path(raw_dir) / f"scale-4-{attempt}"
             )
+            shared_rate, _shared_syncs = scaling_lane(
+                4, Path(raw_dir) / f"scale-s-{attempt}", same_table=True
+            )
             sync_fraction = min(sync_fraction, syncs_4 / (4 * scale_commits))
             if multi_rate / single_rate > scaling_ratio:
                 scaling_ratio = multi_rate / single_rate
                 scaling_rates = {1: single_rate, 4: multi_rate}
                 single_syncs = syncs_1
-    for writers in (1, 4):
+            if shared_rate / single_rate > same_table_ratio:
+                same_table_ratio = shared_rate / single_rate
+                same_table_rates = {1: single_rate, 4: shared_rate}
+    for writers, label, rates in (
+        (1, "writer", scaling_rates),
+        (4, "disjoint writers", scaling_rates),
+        (4, "same-table writers", same_table_rates),
+    ):
         ops = writers * scale_commits
-        label = "writer" if writers == 1 else "disjoint writers"
         result.add_row(
             f"txn commit (fsync=always, {writers} {label})",
             ops,
-            f"{ops / scaling_rates[writers]:.4f}",
-            f"{scaling_rates[writers]:,.0f}",
+            f"{ops / rates[writers]:.4f}",
+            f"{rates[writers]:,.0f}",
         )
+
+    # lock escalation: a transaction sweeping one table trades its row
+    # locks for a single table lock past the (here, lowered) threshold,
+    # keeping the lock table small for bulk writers
+    sweeper = Database("sweeper")
+    sweep_table = sweeper.create_table("sweep", _counter_schema())
+    sweeper.lock_manager.escalation_threshold = 32
+    with sweeper.transaction():
+        for index in range(64):
+            sweep_table.insert({"n": index})
+        sweep_mid = sweeper.lock_manager.stats()
+    escalation_stats = sweeper.lock_manager.stats()
+    sweeper.verify()
 
     # deadlock storm: adverse lock orders resolve by abort-and-retry ----
     # Two writer pairs, each pair incrementing the same two counters in
@@ -637,6 +681,7 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
         nonlocal storm_aborts
         pair = (counters[2 * (index // 2)], counters[2 * (index // 2) + 1])
         first, second = pair if index % 2 == 0 else (pair[1], pair[0])
+        jitter = random.Random(9000 + index)
         try:
             for _ in range(storm_rounds):
                 attempt = 0
@@ -655,10 +700,12 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
                         attempt += 1
                         with storm_lock:
                             storm_aborts += 1
-                        # linear backoff, exactly like the system layer:
-                        # an instant retry respins the same cycle and
-                        # can starve the surviving older transaction
-                        time.sleep(0.0002 * attempt)
+                        # jittered linear backoff, exactly like the
+                        # system layer: an instant retry respins the
+                        # same cycle, and deterministic delays make the
+                        # aborted peers retry in lockstep and
+                        # re-collide (seeded per writer, reproducible)
+                        time.sleep(0.0002 * attempt * (0.5 + jitter.random()))
         # bench thread boundary: failures are counted against the
         # claim, never raised  itag-lint: disable=except-hygiene
         except Exception as exc:  # noqa: BLE001 - counted as failure
@@ -836,11 +883,32 @@ def run(*, rows: int = 5000, wal_path=None) -> ExperimentResult:
         f"{single_syncs} fsyncs for {scale_commits} single-writer commits",
     )
     result.check(
+        "per-row locking scales same-table writers: 4 writers on "
+        "disjoint rows of one table sustain >1.5x the single-writer "
+        "commit rate at fsync=always",
+        same_table_ratio > 1.5,
+        f"{same_table_rates[4]:,.0f} vs {same_table_rates[1]:,.0f} "
+        f"commits/sec ({same_table_ratio:.2f}x)",
+    )
+    result.check(
+        "lock escalation folds a bulk writer's row locks into one "
+        "table lock past the threshold, and the lock table drains",
+        escalation_stats["escalations"] >= 1
+        and sweep_mid["row_locks_held"] == 0
+        and sweep_mid["table_locks_held"] == 1
+        and escalation_stats["locks_held"] == 0,
+        f"{escalation_stats['escalations']} escalation(s) at threshold 32; "
+        f"mid-txn: {sweep_mid['row_locks_held']} row locks, "
+        f"{sweep_mid['table_locks_held']} table lock(s); drained after commit",
+    )
+    result.check(
         "a 4-writer deadlock storm resolves by abort-and-retry: every "
         "increment lands and the lock table drains",
         storm_counts == [2 * storm_rounds] * 4 and not storm_errors,
-        f"counts={storm_counts}, {storm_aborts} aborted commits retried, "
-        f"{storm_stats['deadlocks_detected']} deadlocks detected",
+        f"counts={storm_counts}, {storm_aborts} aborted commits retried; "
+        f"lock stats: {storm_stats['deadlocks_detected']} deadlocks, "
+        f"{storm_stats['victims']} victims, {storm_stats['timeouts']} "
+        f"timeouts, {storm_stats['escalations']} escalations",
     )
     database.verify()
     return result

@@ -16,19 +16,24 @@ Two ways to run one:
 
 Concurrency model (multi-writer / multi-reader, strict 2PL):
 
-* Transactions run **concurrently**: each takes per-table S/X locks
+* Transactions run **concurrently**: each takes hierarchical locks
   from the database's :class:`~repro.store.lockmgr.LockManager` as it
-  touches tables, so disjoint table footprints commit in parallel and
-  conflicting ones serialize table-by-table.  Deadlocks abort the
+  touches data — intention locks (IS/IX) at table granularity plus
+  row-granular S/X locks keyed by ``(table, pk)``, escalated to a full
+  table lock past a per-table row-lock threshold — so transactions
+  writing disjoint rows of the *same* table commit in parallel, while
+  same-row (or row-vs-scan) conflicts serialize.  Deadlocks abort the
   youngest participant with
   :class:`~repro.store.errors.DeadlockError`; the victim rolls back
   cleanly and may retry.  The same thread nesting transactions is
   still an error.
-* Commit holds every table lock through the WAL append (released only
+* Commit holds every lock through the WAL append (released only
   after the record is durable), so the WAL's group-commit pipeline
-  amortizes one fsync across *independent* transactions.
-* Autocommit mutations take an ephemeral X lock on their one table and
-  are journaled as single-change commit records.
+  amortizes one fsync across *independent* transactions — including
+  row-disjoint writers of one table.
+* Autocommit mutations take an ephemeral IX + row X lock on the one
+  row they touch (table X for table-wide changes) and are journaled
+  as single-change commit records.
 * Readers never block writers: :meth:`read_view` returns a
   copy-on-write snapshot of every table, captured under the activity
   barrier at a transaction boundary, for torn-free long scans and
@@ -47,7 +52,12 @@ from typing import Any, Iterator
 
 from .errors import TransactionError, UnknownTableError
 from .locking import ActivityBarrier
-from .lockmgr import DEFAULT_LOCK_TIMEOUT, LOCK_EXCLUSIVE, LockManager
+from .lockmgr import (
+    DEFAULT_LOCK_TIMEOUT,
+    LOCK_EXCLUSIVE,
+    LOCK_INTENT_EXCLUSIVE,
+    LockManager,
+)
 from .schema import Schema
 from .table import ChangeEvent, Table
 from .transaction import Transaction
@@ -544,58 +554,84 @@ class Database:
             yield
 
     @contextmanager
-    def _write_barrier(self, table_name: str) -> Iterator[None]:
-        """Per-table write admission, taken by every table mutation
-        *before* the table's RWLock (lock order is fixed database-wide:
-        activity barrier → lock manager → table lock).
+    def _write_barrier(self, table_name: str, pk: Any = None) -> Iterator[None]:
+        """Write admission, taken by every table mutation *before* the
+        table's RWLock (lock order is fixed database-wide: activity
+        barrier → lock manager → table lock — row-lock waits park in
+        the manager and never hold the physical table lock).
 
-        * Inside a transaction: take (or upgrade to) the transaction's
-          X lock on ``table_name`` — held until commit is durable.
-        * Autocommit: register as a barrier activity and take an
-          ephemeral X lock under a fresh owner id for the duration of
+        ``pk`` is the primary key of the one row being mutated, or
+        ``None`` for table-wide mutations (index DDL).
+
+        * Inside a transaction: take the transaction's IX table lock
+          plus an X row lock on ``pk`` (full table X when ``pk`` is
+          None) — held until commit is durable.
+        * Autocommit: register as a barrier activity and take the same
+          locks under a fresh ephemeral owner id for the duration of
           the mutation envelope, so an autocommit write can never
-          interleave with an open transaction on the same table —
-          whose rollback would otherwise replay stale before-images
-          over the autocommitted (and already journaled) change.
-          Nested mutations on the same thread (``upsert`` fanning into
+          interleave with an open transaction on the same row — whose
+          rollback would otherwise replay stale before-images over the
+          autocommitted (and already journaled) change.  Nested
+          mutations on the same thread (``upsert`` fanning into
           ``insert``, the autocommit journal-failure compensation)
           reuse the outer owner.
         """
         transaction = self._current_transaction()
         if transaction is not None:
-            transaction._lock_write(table_name)
+            if pk is None:
+                transaction._lock_write(table_name)
+            else:
+                transaction._lock_write_row(table_name, pk)
             yield
             return
         owner = getattr(self._local, "auto_owner", None)
         if owner is not None:
             # nested autocommit mutation: same ephemeral owner (no-op
-            # re-acquire when it is the same table)
-            self._lockmgr.acquire(owner, table_name, LOCK_EXCLUSIVE)
+            # re-acquire when it is the same row or table)
+            self._acquire_auto(owner, table_name, pk)
             yield
             return
         with self._barrier.activity():
             owner = next(self._owner_counter)
             self._local.auto_owner = owner
             try:
-                self._lockmgr.acquire(owner, table_name, LOCK_EXCLUSIVE)
+                self._acquire_auto(owner, table_name, pk)
                 yield
             finally:
                 self._local.auto_owner = None
                 self._lockmgr.release_all(owner)
 
-    def _read_barrier(self, table_name: str) -> None:
-        """Per-table read admission, called by table read surfaces.
+    def _acquire_auto(self, owner: int, table_name: str, pk: Any) -> None:
+        """Lock footprint for one autocommit mutation: IX + row X on
+        ``pk``, or a full table X when ``pk`` is None (table-wide)."""
+        if pk is None:
+            self._lockmgr.acquire(owner, table_name, LOCK_EXCLUSIVE)
+            return
+        granted = self._lockmgr.acquire(
+            owner, table_name, LOCK_INTENT_EXCLUSIVE
+        )
+        if granted != LOCK_EXCLUSIVE:
+            self._lockmgr.acquire_row(owner, table_name, pk, LOCK_EXCLUSIVE)
 
-        Inside a transaction this takes the transaction's S lock on
-        ``table_name`` (upgraded to X by the first write), so a
-        conflicting writer cannot invalidate what the transaction has
-        read (repeatable reads under 2PL).  Plain reads outside a
+    def _read_barrier(self, table_name: str, pk: Any = None) -> None:
+        """Read admission, called by table read surfaces.  ``pk`` is
+        the primary key of a point read, or ``None`` for whole-table
+        reads (scans, index iteration, len).
+
+        Inside a transaction this takes the transaction's IS table
+        lock plus a row S lock on ``pk`` (table-level S for whole-table
+        reads), so a conflicting writer cannot invalidate what the
+        transaction has read (repeatable reads under 2PL); the first
+        write of a read pk upgrades S→X.  Plain reads outside a
         transaction stay lock-free — they capture atomically, and
         snapshot views are frozen.
         """
         transaction = self._current_transaction()
         if transaction is not None:
-            transaction._lock_read(table_name)
+            if pk is None:
+                transaction._lock_read(table_name)
+            else:
+                transaction._lock_read_row(table_name, pk)
 
     def read_view(self) -> "DatabaseView":
         """A consistent copy-on-write view of every table.
@@ -672,9 +708,12 @@ class Database:
         checks — join entries rooted on the right table, recorded DDL
         generations never ahead of the live caches, row-drift counters
         sane.  At quiescence (no active transaction, no in-flight
-        activity) it additionally asserts the lock table is empty — a
-        leaked table lock after a commit/rollback/deadlock-abort path
-        would wedge the next conflicting writer.  Called by ``store
+        activity) it additionally asserts the **two-level** lock table
+        is fully drained — table grants, row grants, and waiters all
+        empty, checked via O(1) maintained counters without walking
+        row entries — because a leaked table *or row* lock after a
+        commit/rollback/deadlock-abort path would wedge the next
+        conflicting writer.  Called by ``store
         recover`` and at the end of the EXP-ST smoke, so a drifted
         cache, index or lock table fails the tier-1 gate.
         """

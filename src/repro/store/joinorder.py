@@ -36,7 +36,12 @@ when unindexed).  Operator costs:
 Ordering contracts.  A root query with ``order_by`` pins relation 0
 first and restricts the search to order-preserving operators (index
 nested-loop, hash with the build on the right), exactly the guarantee
-the binary planner made.  Left-outer (null-supplying) relations are
+the binary planner made — with one **interesting-order** exception:
+a sort-merge join whose merge key *is* the requested (ascending)
+order column produces its output already ordered, so the candidate
+survives the pinning and the plan needs no sort node at all (the
+chosen plan reports it via ``info["interesting_order"]``, surfaced by
+``explain()``).  Left-outer (null-supplying) relations are
 never reordered across their preserved side: the inner core is
 ordered freely, then outer relations are appended in written order.
 
@@ -286,6 +291,11 @@ class _Candidate:
     plan: Plan
     order: tuple[int, ...]  # join sequence, for explain and tie-breaks
     renamed: bool  # True once rows carry prefixed (combined) names
+    #: True when this plan's output already arrives in the root
+    #: order_by order via a sort-merge over relation 0 (an "interesting
+    #: order": the ordering fell out of the join, no sort node needed);
+    #: order-preserving extensions keep the flag
+    interesting_order: bool = False
 
     def key_for(self, graph: JoinGraph, position: int, column: str) -> str:
         """The name ``column`` of relation ``position`` carries in this
@@ -333,7 +343,10 @@ def _inlj_candidate(
         right_predicate=relation.predicate, **common,
     )
     cost = base.cost + base.card * (1.0 + node.avg_matches())
-    return _Candidate(cost, card, node, order, True)
+    return _Candidate(
+        cost, card, node, order, True,
+        interesting_order=base.interesting_order,
+    )
 
 
 def _extension_candidates(
@@ -376,8 +389,19 @@ def _extension_candidates(
         yield nested_loop
 
     # 2. sort-merge: both join columns sorted-indexed, single base
-    #    relation on the left (its rows must arrive in key order)
-    if not base.renamed and not order_pinned:
+    #    relation on the left (its rows must arrive in key order).
+    #    Under a pinned root ordering the candidate survives only when
+    #    it *satisfies* that ordering by itself — anchor is relation 0
+    #    and the merge key is the requested (ascending) order column:
+    #    sort-merge output is ordered by the merge key, so the root
+    #    order_by costs no sort node at all (an interesting order)
+    interesting = (
+        order_pinned
+        and anchor == 0
+        and anchor_column == graph.order_column
+        and not graph.order_descending
+    )
+    if not base.renamed and (not order_pinned or interesting):
         anchor_relation = graph.relations[anchor]
         left_index = anchor_relation.table.index_for(anchor_column)
         right_index = relation.table.index_for(new_column)
@@ -409,14 +433,20 @@ def _extension_candidates(
                     left_predicate=left_residual, right_predicate=right_residual,
                     right_columns=right_columns,
                 )
-                yield _Candidate(cost, card, node, order, True)
+                yield _Candidate(
+                    cost, card, node, order, True,
+                    interesting_order=interesting,
+                )
 
-    # 3a. hash join, build over the new relation
+    # 3a. hash join, build over the new relation (preserves left order)
     node = HashJoin(
         base.plan, addition.plan, build_side="right", **common
     )
     cost = base.cost + addition.cost + base.card + HASH_BUILD_FACTOR * addition.card
-    yield _Candidate(cost, card, node, order, True)
+    yield _Candidate(
+        cost, card, node, order, True,
+        interesting_order=base.interesting_order,
+    )
 
     # 3b. hash join flipped: stream the new relation, build over the
     #     partial plan (inner only; breaks left-row order)
@@ -724,4 +754,6 @@ def plan_join_graph(
             graph.relations[position].table.name for position in final.order
         ),
     }
+    if final.interesting_order:
+        info["interesting_order"] = graph.order_column
     return final.plan, info

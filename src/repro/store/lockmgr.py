@@ -1,37 +1,75 @@
-"""Per-table shared/exclusive lock manager with deadlock handling.
+"""Two-level (table + row) lock manager with intention locks,
+escalation and deadlock handling.
 
-The multi-writer concurrency protocol (strict two-phase locking):
+The multi-writer concurrency protocol (strict two-phase locking) over a
+**lock hierarchy**: intention locks at table granularity plus S/X locks
+at row granularity, so writers touching disjoint rows of the *same*
+table no longer serialize:
 
-* A transaction takes an **S** (shared) lock on a table the first time
-  it reads from it and an **X** (exclusive) lock the first time it
-  writes to it — upgrading S to X in place when the first write follows
-  a read.  Locks are acquired incrementally as tables are touched and
-  held until the transaction ends; the commit path releases them only
-  **after** the commit record is durable per the WAL's fsync policy
-  (2PL held through the log write), so conflicting transactions
-  serialize in WAL order while disjoint transactions commit in
+* A transaction takes an **IS** (intention-shared) table lock plus a
+  row **S** lock the first time it point-reads a row, and an **IX**
+  (intention-exclusive) table lock plus a row **X** lock the first time
+  it writes one.  Whole-table reads (scans, index iteration, ``len``)
+  take a table-level **S** lock; index/table DDL and autocommit
+  fallbacks take table-level **X**.  Upgrades happen in place along the
+  mode lattice (``IS < IX < X``, ``IS < S < X``); the incomparable
+  ``IX``+``S`` combination — read a whole table after writing rows of
+  it — goes straight to ``X`` (no SIX mode).
+* Compatibility is the classic intention matrix::
+
+          IS   IX   S    X
+      IS  ok   ok   ok   --
+      IX  ok   ok   --   --
+      S   ok   --   ok   --
+      X   --   --   --   --
+
+  Row locks use plain S/X compatibility, and a table-level S or X also
+  *covers* rows: a table-S holder blocks foreign row-X grants and a
+  table-X holder blocks all foreign row grants (checked through O(1)
+  per-owner row counters, never by walking row entries).
+* **Escalation**: once one owner holds more than
+  :attr:`escalation_threshold` row locks on a single table (default
+  ``DEFAULT_ESCALATION_THRESHOLD``), the manager upgrades it to a full
+  table lock (X when any of its row locks are exclusive, else S) and
+  drops the row entries — the lock table stays bounded no matter how
+  wide a transaction sweeps.  Escalation widens the footprint, so it
+  runs through the same blocking acquire as any other request and
+  therefore **re-runs deadlock detection**: two escalating writers on
+  one table form a cycle and the youngest aborts.
+* Locks are held until the transaction ends; the commit path releases
+  them only **after** the commit record is durable per the WAL's fsync
+  policy (2PL held through the log write), so conflicting transactions
+  serialize in WAL order while row-disjoint transactions commit in
   parallel and share one group fsync.
-* Autocommit mutations take an ephemeral X lock on their single table
-  for the duration of the mutation envelope (apply + journal).
+* Autocommit mutations take an ephemeral IX + row X (or a plain table
+  X for DDL) for the duration of the mutation envelope.
 * Snapshot-view readers take no lock-manager locks at all — they read
   copy-on-write snapshots (MVCC readers).
 
 Deadlock handling is wait-for-graph cycle detection with a configurable
-timeout fallback.  Every waiter re-runs detection when it parks (and on
-each wait slice), so a cycle is found the moment its last edge appears.
-The victim is the **youngest** transaction on the cycle (highest owner
-id — owner ids are allocated monotonically), which is marked and woken;
-it raises :class:`DeadlockError` from its pending acquisition, rolls
-back cleanly through its undo log (rollback only touches tables the
-victim already holds X on, so it can never block), and may retry.
-A waiter that exhausts ``timeout`` seconds without a grant raises
-:class:`DeadlockError` as well — the fallback for anything the graph
-cannot see (e.g. an owner wedged outside the lock manager).
+timeout fallback, generalized over both lock levels: a parked waiter is
+keyed ``(table, pk-or-None, mode)`` and its blockers are computed from
+table holders, row holders and covering locks alike, so cycles through
+any mix of row and table waits are found the moment the last edge
+appears.  The victim is the **youngest** transaction on the cycle
+(highest owner id — owner ids are allocated monotonically), which is
+marked and woken; it raises :class:`DeadlockError` from its pending
+acquisition, rolls back cleanly through its undo log (rollback only
+touches rows the victim already holds X locks on, so it can never
+block), and may retry.  A waiter that exhausts ``timeout`` seconds
+without a grant raises :class:`DeadlockError` as well — the fallback
+for anything the graph cannot see.
 
-The wait-for-graph state (``_holders``, ``_waiting``, ``_victims``) is
-owned by this module alone and mutated only under ``_cond`` — the
-invariant linter's ``lock-discipline`` rule enforces the module
-boundary the same way it guards ``Table._rows``.
+Quiescence auditing is O(1): the manager maintains ``_table_lock_count``
+and ``_row_lock_count`` alongside the holder maps, so
+:meth:`assert_quiescent` (called by ``Database.verify``) checks two
+counters and three dict-emptiness flags instead of walking row entries.
+
+The two-level lock state (``_holders``, ``_row_holders``,
+``_owner_row_pks``, ``_row_owner_counts``, ``_row_x_counts``,
+``_waiting``, ``_victims``) is owned by this module alone and mutated
+only under ``_cond`` — the invariant linter's ``lock-discipline`` rule
+enforces the module boundary the same way it guards ``Table._rows``.
 """
 
 from __future__ import annotations
@@ -44,11 +82,16 @@ from .errors import ConstraintError, DeadlockError
 
 __all__ = [
     "LockManager",
+    "LOCK_INTENT_SHARED",
+    "LOCK_INTENT_EXCLUSIVE",
     "LOCK_SHARED",
     "LOCK_EXCLUSIVE",
     "DEFAULT_LOCK_TIMEOUT",
+    "DEFAULT_ESCALATION_THRESHOLD",
 ]
 
+LOCK_INTENT_SHARED = "IS"
+LOCK_INTENT_EXCLUSIVE = "IX"
 LOCK_SHARED = "S"
 LOCK_EXCLUSIVE = "X"
 
@@ -57,14 +100,55 @@ LOCK_EXCLUSIVE = "X"
 #: waits the graph cannot explain.
 DEFAULT_LOCK_TIMEOUT = 5.0
 
+#: Row locks one owner may hold on a single table before the manager
+#: escalates it to a full table lock.
+DEFAULT_ESCALATION_THRESHOLD = 256
+
 #: How long one condition-wait slice lasts: bounds how quickly a marked
 #: victim notices and how often waiters re-run cycle detection.
 _WAIT_SLICE = 0.05
 
+#: mode -> the set of modes another owner may hold concurrently
+_COMPATIBLE = {
+    LOCK_INTENT_SHARED: frozenset(
+        {LOCK_INTENT_SHARED, LOCK_INTENT_EXCLUSIVE, LOCK_SHARED}
+    ),
+    LOCK_INTENT_EXCLUSIVE: frozenset(
+        {LOCK_INTENT_SHARED, LOCK_INTENT_EXCLUSIVE}
+    ),
+    LOCK_SHARED: frozenset({LOCK_INTENT_SHARED, LOCK_SHARED}),
+    LOCK_EXCLUSIVE: frozenset(),
+}
+
+#: mode -> the modes it subsumes (re-acquiring a covered mode is a no-op)
+_COVERS = {
+    LOCK_INTENT_SHARED: frozenset({LOCK_INTENT_SHARED}),
+    LOCK_INTENT_EXCLUSIVE: frozenset(
+        {LOCK_INTENT_SHARED, LOCK_INTENT_EXCLUSIVE}
+    ),
+    LOCK_SHARED: frozenset({LOCK_INTENT_SHARED, LOCK_SHARED}),
+    LOCK_EXCLUSIVE: frozenset(
+        {LOCK_INTENT_SHARED, LOCK_INTENT_EXCLUSIVE, LOCK_SHARED, LOCK_EXCLUSIVE}
+    ),
+}
+
+
+def _combine(held: str, wanted: str) -> str:
+    """The weakest table mode covering both ``held`` and ``wanted``.
+
+    The lattice has no SIX mode, so the one incomparable pair
+    (``IX`` + ``S``) joins at ``X``.
+    """
+    if wanted in _COVERS[held]:
+        return held
+    if held in _COVERS[wanted]:
+        return wanted
+    return LOCK_EXCLUSIVE
+
 
 class LockManager:
-    """Table-granular S/X locks with upgrade, deadlock detection and
-    timeout.
+    """Hierarchical IS/IX/S/X locks with upgrade, escalation, deadlock
+    detection and timeout.
 
     Owners are opaque integer ids allocated monotonically by the
     database (transaction ids and ephemeral autocommit owners share one
@@ -73,104 +157,321 @@ class LockManager:
     bounded slices.
     """
 
-    def __init__(self, *, timeout: float = DEFAULT_LOCK_TIMEOUT) -> None:
+    def __init__(
+        self,
+        *,
+        timeout: float = DEFAULT_LOCK_TIMEOUT,
+        escalation_threshold: int = DEFAULT_ESCALATION_THRESHOLD,
+    ) -> None:
         self.timeout = float(timeout)
+        self.escalation_threshold = int(escalation_threshold)
         self._cond = threading.Condition()
-        #: table -> {owner id -> "S" | "X"}
+        #: table -> {owner id -> "IS" | "IX" | "S" | "X"}
         self._holders: dict[str, dict[int, str]] = {}
-        #: owner id -> (table, wanted mode) for parked waiters
-        self._waiting: dict[int, tuple[str, str]] = {}
+        #: table -> {pk -> {owner id -> "S" | "X"}}
+        self._row_holders: dict[str, dict[Any, dict[int, str]]] = {}
+        #: owner id -> {table -> set of row-locked pks} (release/escalate
+        #: walk only the owner's own entries)
+        self._owner_row_pks: dict[int, dict[str, set[Any]]] = {}
+        #: table -> {owner id -> row locks held} — O(1) "who holds rows
+        #: here" for table-X admission and the escalation trigger
+        self._row_owner_counts: dict[str, dict[int, int]] = {}
+        #: table -> {owner id -> exclusive row locks held} — O(1)
+        #: table-S admission (S is compatible with foreign row S)
+        self._row_x_counts: dict[str, dict[int, int]] = {}
+        #: owner id -> (table, pk-or-None, wanted mode) for parked
+        #: waiters; pk None means a table-level request
+        self._waiting: dict[int, tuple[str, Any, str]] = {}
         #: owners chosen as deadlock victims, with the abort reason;
         #: the owner raises DeadlockError from its pending acquire
         self._victims: dict[int, str] = {}
+        #: O(1) quiescence counters (mirror the maps above)
+        self._table_lock_count = 0
+        self._row_lock_count = 0
         self.deadlocks_detected = 0
+        self.victims_aborted = 0
         self.timeouts = 0
+        self.escalations = 0
 
     # ------------------------------------------------------------------
     # acquire / release
     # ------------------------------------------------------------------
 
-    def acquire(self, owner: int, table: str, mode: str) -> None:
-        """Grant ``owner`` an S or X lock on ``table``, blocking until
-        compatible.  Re-acquiring a held mode is a no-op; S→X upgrades
-        in place once ``owner`` is the sole holder.  Raises
-        :class:`DeadlockError` if ``owner`` is chosen as a deadlock
-        victim or the wait exceeds :attr:`timeout`."""
-        deadline: float | None = None
+    def acquire(self, owner: int, table: str, mode: str) -> str:
+        """Grant ``owner`` a table-level lock on ``table``, blocking
+        until compatible, and return the resulting held mode.
+        Re-acquiring a covered mode is a no-op; upgrades (IS→IX, S→X,
+        IX+S→X, …) happen in place once every incompatible holder is
+        gone.  Raises :class:`DeadlockError` if ``owner`` is chosen as
+        a deadlock victim or the wait exceeds :attr:`timeout`."""
+        if mode not in _COMPATIBLE:
+            raise ConstraintError(f"unknown lock mode {mode!r}")
+        return self._acquire(owner, table, None, mode)
+
+    def acquire_row(
+        self, owner: int, table: str, pk: Any, mode: str
+    ) -> str | None:
+        """Grant ``owner`` an S or X lock on row ``(table, pk)``.
+
+        Returns the table-level mode the grant **escalated** to (``S``
+        or ``X``) once ``owner`` crosses :attr:`escalation_threshold`
+        row locks on ``table``, or None when the plain row lock was
+        granted.  Escalation re-enters the blocking acquire path, so it
+        re-runs deadlock detection over the widened footprint; the
+        escalated owner's row entries on the table are folded into the
+        table lock and dropped."""
+        if mode not in (LOCK_SHARED, LOCK_EXCLUSIVE):
+            raise ConstraintError(f"unknown row lock mode {mode!r}")
+        self._acquire(owner, table, pk, mode)
         with self._cond:
-            while True:
-                self._raise_if_victim(owner)
-                held = self._holders.get(table, {})
-                mine = held.get(owner)
-                if mine == LOCK_EXCLUSIVE or (
-                    mode == LOCK_SHARED and mine is not None
-                ):
-                    self._waiting.pop(owner, None)
-                    return
-                if not self._blockers(table, mode, owner):
-                    self._holders.setdefault(table, {})[owner] = mode
-                    self._waiting.pop(owner, None)
-                    return
-                if deadline is None:
-                    deadline = time.monotonic() + self.timeout
-                self._waiting[owner] = (table, mode)
-                cycle = self._cycle_through(owner)
-                if cycle:
-                    self.deadlocks_detected += 1
-                    victim = max(cycle)
-                    reason = (
-                        f"deadlock on table {table!r}: transactions "
-                        f"{sorted(cycle)} wait on each other; aborting the "
-                        f"youngest ({victim})"
-                    )
-                    if victim == owner:
-                        self._waiting.pop(owner, None)
-                        raise DeadlockError(reason)
-                    self._victims[victim] = reason
-                    self._cond.notify_all()
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    self._waiting.pop(owner, None)
-                    self.timeouts += 1
-                    raise DeadlockError(
-                        f"lock wait timeout ({self.timeout:.1f}s) for "
-                        f"{mode} on table {table!r} (owner {owner}); "
-                        "the transaction may be rolled back and retried"
-                    )
-                self._cond.wait(min(remaining, _WAIT_SLICE))
+            count = self._row_owner_counts.get(table, {}).get(owner, 0)
+            table_mode = self._holders.get(table, {}).get(owner)
+            if count <= self.escalation_threshold or table_mode == LOCK_EXCLUSIVE:
+                return None
+        return self._escalate(owner, table)
+
+    def _escalate(self, owner: int, table: str) -> str:
+        """Upgrade ``owner`` to a full table lock on ``table`` and fold
+        its row locks into it.  Blocks (and may abort as a deadlock
+        victim) like any acquire — the widened footprint re-runs cycle
+        detection."""
+        with self._cond:
+            exclusive = self._row_x_counts.get(table, {}).get(owner, 0) > 0
+            table_mode = self._holders.get(table, {}).get(owner)
+        target = (
+            LOCK_EXCLUSIVE
+            if exclusive or table_mode == LOCK_INTENT_EXCLUSIVE
+            else LOCK_SHARED
+        )
+        granted = self._acquire(owner, table, None, target)
+        with self._cond:
+            self._drop_rows_locked(owner, table)
+            self.escalations += 1
+            self._cond.notify_all()
+        return granted
 
     def release_all(self, owner: int) -> None:
-        """Drop every lock (and any pending wait / victim mark) held by
-        ``owner`` and wake waiters.  Idempotent."""
+        """Drop every table and row lock (and any pending wait / victim
+        mark) held by ``owner`` and wake waiters.  Idempotent."""
         with self._cond:
+            for table in list(self._owner_row_pks.get(owner, ())):
+                self._drop_rows_locked(owner, table)
+            self._owner_row_pks.pop(owner, None)
             for table in [
                 name for name, held in self._holders.items() if owner in held
             ]:
                 held = self._holders[table]
                 del held[owner]
+                self._table_lock_count -= 1
                 if not held:
                     del self._holders[table]
             self._waiting.pop(owner, None)
             self._victims.pop(owner, None)
             self._cond.notify_all()
 
+    def _drop_rows_locked(self, owner: int, table: str) -> None:
+        """Remove every row lock ``owner`` holds on ``table`` (called
+        under ``_cond`` by release and escalation)."""
+        owned = self._owner_row_pks.get(owner)
+        pks = owned.pop(table, None) if owned else None
+        if owned is not None and not owned:
+            self._owner_row_pks.pop(owner, None)
+        if not pks:
+            return
+        rows = self._row_holders.get(table)
+        if rows is not None:
+            for pk in pks:
+                entry = rows.get(pk)
+                if entry is not None and entry.pop(owner, None) is not None:
+                    self._row_lock_count -= 1
+                    if not entry:
+                        del rows[pk]
+            if not rows:
+                del self._row_holders[table]
+        for counts_by_table in (self._row_owner_counts, self._row_x_counts):
+            counts = counts_by_table.get(table)
+            if counts is not None:
+                counts.pop(owner, None)
+                if not counts:
+                    del counts_by_table[table]
+
+    # ------------------------------------------------------------------
+    # the blocking acquire loop (both levels)
+    # ------------------------------------------------------------------
+
+    def _acquire(self, owner: int, table: str, pk: Any, mode: str) -> str:
+        deadline: float | None = None
+        with self._cond:
+            while True:
+                self._raise_if_victim(owner)
+                if pk is None:
+                    granted = self._try_table(owner, table, mode)
+                else:
+                    granted = self._try_row(owner, table, pk, mode)
+                if granted is not None:
+                    self._waiting.pop(owner, None)
+                    return granted
+                if deadline is None:
+                    deadline = time.monotonic() + self.timeout
+                self._waiting[owner] = (table, pk, mode)
+                cycle = self._cycle_through(owner)
+                if cycle:
+                    self.deadlocks_detected += 1
+                    victim = max(cycle)
+                    what = (
+                        f"table {table!r}"
+                        if pk is None
+                        else f"row ({table!r}, {pk!r})"
+                    )
+                    reason = (
+                        f"deadlock on {what}: transactions "
+                        f"{sorted(cycle)} wait on each other; aborting the "
+                        f"youngest ({victim})"
+                    )
+                    if victim == owner:
+                        self._waiting.pop(owner, None)
+                        self.victims_aborted += 1
+                        raise DeadlockError(reason)
+                    if victim not in self._victims:
+                        self._victims[victim] = reason
+                        self.victims_aborted += 1
+                    self._cond.notify_all()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._waiting.pop(owner, None)
+                    self.timeouts += 1
+                    what = (
+                        f"table {table!r}"
+                        if pk is None
+                        else f"row ({table!r}, {pk!r})"
+                    )
+                    raise DeadlockError(
+                        f"lock wait timeout ({self.timeout:.1f}s) for "
+                        f"{mode} on {what} (owner {owner}); "
+                        "the transaction may be rolled back and retried"
+                    )
+                self._cond.wait(min(remaining, _WAIT_SLICE))
+
+    def _try_table(self, owner: int, table: str, mode: str) -> str | None:
+        """Grant (or upgrade to) a table-level lock if admissible;
+        returns the resulting mode or None when blocked."""
+        held = self._holders.get(table, {})
+        mine = held.get(owner)
+        needed = mode if mine is None else _combine(mine, mode)
+        if mine is not None and needed == mine:
+            return mine
+        if self._table_blockers(table, needed, owner):
+            return None
+        if mine is None:
+            self._holders.setdefault(table, {})[owner] = needed
+            self._table_lock_count += 1
+        else:
+            self._holders[table][owner] = needed
+        return needed
+
+    def _try_row(self, owner: int, table: str, pk: Any, mode: str) -> str | None:
+        """Grant (or upgrade to) a row lock if admissible; returns the
+        resulting mode or None when blocked.  A covering table lock
+        held by ``owner`` satisfies the request without creating a row
+        entry."""
+        table_mode = self._holders.get(table, {}).get(owner)
+        if table_mode == LOCK_EXCLUSIVE or (
+            table_mode == LOCK_SHARED and mode == LOCK_SHARED
+        ):
+            return table_mode
+        entry = self._row_holders.get(table, {}).get(pk, {})
+        mine = entry.get(owner)
+        needed = (
+            mode
+            if mine is None
+            else (
+                LOCK_EXCLUSIVE
+                if LOCK_EXCLUSIVE in (mine, mode)
+                else LOCK_SHARED
+            )
+        )
+        if mine is not None and needed == mine:
+            return mine
+        if self._row_blockers(table, pk, needed, owner):
+            return None
+        bucket = self._row_holders.setdefault(table, {}).setdefault(pk, {})
+        bucket[owner] = needed
+        if mine is None:
+            self._owner_row_pks.setdefault(owner, {}).setdefault(
+                table, set()
+            ).add(pk)
+            counts = self._row_owner_counts.setdefault(table, {})
+            counts[owner] = counts.get(owner, 0) + 1
+            self._row_lock_count += 1
+        if needed == LOCK_EXCLUSIVE and mine != LOCK_EXCLUSIVE:
+            xcounts = self._row_x_counts.setdefault(table, {})
+            xcounts[owner] = xcounts.get(owner, 0) + 1
+        return needed
+
     # ------------------------------------------------------------------
     # wait-for graph
     # ------------------------------------------------------------------
 
-    def _blockers(self, table: str, mode: str, owner: int) -> tuple[int, ...]:
-        """Owners (other than ``owner``) whose held lock is incompatible
-        with ``owner`` taking ``mode`` on ``table``."""
+    def _table_blockers(
+        self, table: str, mode: str, owner: int
+    ) -> tuple[int, ...]:
+        """Owners (other than ``owner``) blocking a table-level ``mode``
+        grant: incompatible table-level holders, plus — for the
+        row-covering S and X modes — owners holding conflicting row
+        locks, found through the O(1) per-owner counters."""
+        blockers = []
         held = self._holders.get(table)
-        if not held:
-            return ()
-        if mode == LOCK_SHARED:
-            return tuple(
-                other
-                for other, held_mode in held.items()
-                if other != owner and held_mode == LOCK_EXCLUSIVE
-            )
-        return tuple(other for other in held if other != owner)
+        if held:
+            compatible = _COMPATIBLE[mode]
+            for other, other_mode in held.items():
+                if other != owner and other_mode not in compatible:
+                    blockers.append(other)
+        if mode == LOCK_EXCLUSIVE:
+            row_counts: dict[int, int] | None = self._row_owner_counts.get(table)
+        elif mode == LOCK_SHARED:
+            row_counts = self._row_x_counts.get(table)
+        else:
+            row_counts = None
+        if row_counts:
+            for other, count in row_counts.items():
+                if other != owner and count > 0:
+                    blockers.append(other)
+        return tuple(blockers)
+
+    def _row_blockers(
+        self, table: str, pk: Any, mode: str, owner: int
+    ) -> tuple[int, ...]:
+        """Owners (other than ``owner``) blocking a row ``mode`` grant
+        on ``(table, pk)``: conflicting holders of the same row, plus
+        holders of a covering table-level lock (table X blocks every
+        foreign row grant; table S blocks foreign row X)."""
+        blockers = []
+        entry = self._row_holders.get(table, {}).get(pk)
+        if entry:
+            for other, other_mode in entry.items():
+                if other != owner and (
+                    mode == LOCK_EXCLUSIVE or other_mode == LOCK_EXCLUSIVE
+                ):
+                    blockers.append(other)
+        held = self._holders.get(table)
+        if held:
+            for other, other_mode in held.items():
+                if other == owner:
+                    continue
+                if other_mode == LOCK_EXCLUSIVE or (
+                    other_mode == LOCK_SHARED and mode == LOCK_EXCLUSIVE
+                ):
+                    blockers.append(other)
+        return tuple(blockers)
+
+    def _blockers_of(self, waiter: int, want: tuple[str, Any, str]) -> tuple[int, ...]:
+        table, pk, mode = want
+        if pk is None:
+            held = self._holders.get(table, {})
+            mine = held.get(waiter)
+            needed = mode if mine is None else _combine(mine, mode)
+            return self._table_blockers(table, needed, waiter)
+        return self._row_blockers(table, pk, mode, waiter)
 
     def _raise_if_victim(self, owner: int) -> None:
         reason = self._victims.pop(owner, None)
@@ -180,11 +481,12 @@ class LockManager:
 
     def _cycle_through(self, owner: int) -> tuple[int, ...]:
         """Owners forming a wait-for cycle through ``owner`` (empty if
-        none).  Edges run waiter → blockers; only parked waiters have
-        outgoing edges, so every cycle member is abortable in place."""
+        none).  Edges run waiter → blockers over both lock levels; only
+        parked waiters have outgoing edges, so every cycle member is
+        abortable in place."""
         edges = {
-            waiter: self._blockers(table, mode, waiter)
-            for waiter, (table, mode) in self._waiting.items()
+            waiter: self._blockers_of(waiter, want)
+            for waiter, want in self._waiting.items()
         }
         forward: set[int] = set()
         stack = [owner]
@@ -213,7 +515,8 @@ class LockManager:
     # ------------------------------------------------------------------
 
     def held_by(self, owner: int) -> dict[str, str]:
-        """``table -> mode`` snapshot of the locks ``owner`` holds."""
+        """``table -> mode`` snapshot of the table-level locks ``owner``
+        holds."""
         with self._cond:
             return {
                 table: held[owner]
@@ -221,20 +524,40 @@ class LockManager:
                 if owner in held
             }
 
-    def lock_count(self) -> int:
+    def row_locks_held_by(self, owner: int) -> dict[str, int]:
+        """``table -> row lock count`` snapshot for ``owner``."""
         with self._cond:
-            return sum(len(held) for held in self._holders.values())
+            return {
+                table: len(pks)
+                for table, pks in self._owner_row_pks.get(owner, {}).items()
+            }
+
+    def lock_count(self) -> int:
+        """Total grants held across both levels (O(1) counters)."""
+        with self._cond:
+            return self._table_lock_count + self._row_lock_count
 
     def assert_quiescent(self) -> None:
-        """Raise ``ConstraintError`` unless the lock table is empty —
-        every commit/rollback/deadlock-abort path must end in
-        ``release_all``, so at quiescence nothing may be held or
-        parked (checked by :meth:`Database.verify`)."""
+        """Raise ``ConstraintError`` unless the whole two-level lock
+        table has drained — every commit/rollback/deadlock-abort path
+        must end in ``release_all``, so at quiescence nothing may be
+        held or parked (checked by :meth:`Database.verify`).  O(1):
+        compares the maintained counters and dict-emptiness flags, never
+        walking row entries."""
         with self._cond:
-            if self._holders or self._waiting:
+            if (
+                self._table_lock_count
+                or self._row_lock_count
+                or self._holders
+                or self._row_holders
+                or self._waiting
+            ):
                 raise ConstraintError(
-                    "lock manager not quiescent: held="
-                    f"{ {t: dict(h) for t, h in self._holders.items()} } "
+                    "lock manager not quiescent: "
+                    f"table_locks={self._table_lock_count} "
+                    f"row_locks={self._row_lock_count} "
+                    f"held={ {t: dict(h) for t, h in self._holders.items()} } "
+                    f"rows={ {t: len(r) for t, r in self._row_holders.items()} } "
                     f"waiting={dict(self._waiting)}"
                 )
 
@@ -242,10 +565,15 @@ class LockManager:
         with self._cond:
             return {
                 "tables_locked": len(self._holders),
-                "locks_held": sum(len(held) for held in self._holders.values()),
+                "locks_held": self._table_lock_count + self._row_lock_count,
+                "table_locks_held": self._table_lock_count,
+                "row_locks_held": self._row_lock_count,
                 "waiters": len(self._waiting),
                 "deadlocks_detected": self.deadlocks_detected,
+                "victims": self.victims_aborted,
                 "timeouts": self.timeouts,
+                "escalations": self.escalations,
+                "escalation_threshold": self.escalation_threshold,
                 "timeout_seconds": self.timeout,
             }
 
@@ -253,6 +581,8 @@ class LockManager:
         stats = self.stats()
         return (
             f"LockManager(locks={stats['locks_held']}, "
+            f"rows={stats['row_locks_held']}, "
             f"waiters={stats['waiters']}, "
-            f"deadlocks={stats['deadlocks_detected']})"
+            f"deadlocks={stats['deadlocks_detected']}, "
+            f"escalations={stats['escalations']})"
         )

@@ -1420,14 +1420,24 @@ class JoinQuery:
     def explain(self) -> str:
         """The physical join plan as an indented tree, plus
         ``[join-order: ...]`` (the planner-chosen relation order and
-        search algorithm) and ``[plan-cache: ...]`` lines."""
+        search algorithm), an ``[interesting-order: ...]`` line when
+        the sort-merge output already satisfies the root ``order_by``
+        (no sort node), and ``[plan-cache: ...]`` lines."""
         rendered = self._build_plan().render()
         order = " -> ".join(self._order_info.get("order", ()))
         algorithm = self._order_info.get("algorithm", "cached")
-        return (
-            f"{rendered}\n[join-order: {order or 'cached'} ({algorithm})]"
-            f"\n[plan-cache: {self._plan_source}]"
-        )
+        lines = [
+            rendered,
+            f"[join-order: {order or 'cached'} ({algorithm})]",
+        ]
+        satisfied = self._order_info.get("interesting_order")
+        if satisfied:
+            lines.append(
+                f"[interesting-order: sort-merge output already ordered "
+                f"by {satisfied!r}; sort skipped]"
+            )
+        lines.append(f"[plan-cache: {self._plan_source}]")
+        return "\n".join(lines)
 
     # execution --------------------------------------------------------
 

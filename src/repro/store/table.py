@@ -1,11 +1,16 @@
 """In-memory table with primary key, constraints, indexes and
 copy-on-write snapshot views.
 
-Concurrency: mutations run under the database's per-table write
-barrier (a transaction's X lock or an ephemeral autocommit lock from
-the lock manager) and then the table's write lock (reentrant for one
-writer), so the write path is fully serialized per table while
-disjoint tables mutate in parallel.  Plain reads stay lock-free — they
+Concurrency: mutations run under the database's write barrier (a
+transaction's IX table lock plus a row X lock on the touched pk — or a
+full table X for DDL and escalated transactions — from the lock
+manager) and then the table's write lock (reentrant for one writer),
+so the physical apply is serialized per table while logical conflicts
+are arbitrated per row: writers on disjoint rows of the same table
+overlap their transactions and share group fsyncs.  Autoincrement
+assignment is reserved from an atomic counter *before* the row lock is
+taken, so two concurrent inserters never contend on a pk.  Plain reads
+stay lock-free — they
 capture the row mapping atomically — while :meth:`read_view` returns a
 frozen snapshot under the read lock:
 the next mutation copies the row mapping instead of mutating it in
@@ -15,6 +20,7 @@ bumps :attr:`version`, which views use to report staleness.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator
 
@@ -63,9 +69,12 @@ class Table:
         self._listeners: list[ChangeListener] = []
         self._ddl_listener: DdlListener | None = None
         self._view_barrier: Callable[[], Any] | None = None
-        self._write_barrier: Callable[[str], Any] | None = None
-        self._read_barrier: Callable[[str], Any] | None = None
+        self._write_barrier: Callable[[str, Any], Any] | None = None
+        self._read_barrier: Callable[[str, Any], Any] | None = None
         self._autoincrement = 1
+        #: serializes autoincrement reservation, which happens *before*
+        #: the write envelope so the row lock can cover the chosen pk
+        self._auto_lock = threading.Lock()
         self._lock = RWLock()
         #: bumped on every mutation; read views record it at capture
         self.version = 0
@@ -101,33 +110,43 @@ class Table:
         observe a half-applied transaction)."""
         self._view_barrier = barrier
 
-    def set_write_barrier(self, barrier: Callable[[str], Any] | None) -> None:
+    def set_write_barrier(
+        self, barrier: Callable[[str, Any], Any] | None
+    ) -> None:
         """Register a context-manager factory (called with the table
-        name) that every mutation runs under — the database's per-table
-        write admission: a transaction's X lock, or an ephemeral X lock
-        for autocommit writes, so the two can never interleave on one
-        table."""
+        name and the touched pk, or None for table-wide DDL) that every
+        mutation runs under — the database's write admission: a
+        transaction's IX + row X locks (a full table X for DDL), or
+        ephemeral equivalents for autocommit writes, so conflicting
+        writes can never interleave on one row."""
         self._write_barrier = barrier
 
-    def set_read_barrier(self, barrier: Callable[[str], Any] | None) -> None:
-        """Register a callable (invoked with the table name) that read
-        surfaces call before touching rows — the database's per-table
-        read admission (a transaction's S lock; a no-op outside
-        transactions, where reads capture atomically)."""
+    def set_read_barrier(
+        self, barrier: Callable[[str, Any], Any] | None
+    ) -> None:
+        """Register a callable (invoked with the table name and the
+        read pk, or None for whole-table reads) that read surfaces call
+        before touching rows — the database's read admission (a
+        transaction's IS + row S locks for point reads, a table S lock
+        for scans; a no-op outside transactions, where reads capture
+        atomically)."""
         self._read_barrier = barrier
 
-    def _touch_read(self) -> None:
+    def _touch_read(self, pk: Any = None) -> None:
         barrier = self._read_barrier
         if barrier is not None:
-            barrier(self.name)
+            barrier(self.name, pk)
 
     @contextmanager
-    def _write_locked(self) -> Iterator[None]:
-        """The full mutation envelope: write barrier (if any), then the
-        table's write lock — lock order is fixed database-wide
-        (activity barrier → lock manager → table RWLock)."""
+    def _write_locked(self, pk: Any = None) -> Iterator[None]:
+        """The full mutation envelope: write barrier (if any) keyed by
+        the touched pk (None = table-wide), then the table's write lock
+        — lock order is fixed database-wide (activity barrier → lock
+        manager → table RWLock).  Row locks are acquired *before* the
+        RWLock so a parked lock wait never holds the table's physical
+        lock."""
         if self._write_barrier is not None:
-            with self._write_barrier(self.name):
+            with self._write_barrier(self.name, pk):
                 with self._lock.write_locked():
                     yield
             return
@@ -182,23 +201,39 @@ class Table:
     # CRUD
     # ------------------------------------------------------------------
 
+    def _reserve_autoincrement(self) -> int:
+        """Atomically claim the next autoincrement pk.  Runs *before*
+        the write envelope so the row lock covers the chosen pk; a
+        failed insert burns the value (gaps are fine, like any
+        sequence-backed engine)."""
+        with self._auto_lock:
+            value = self._autoincrement
+            self._autoincrement = value + 1
+            return value
+
+    def _bump_autoincrement(self, floor: int) -> None:
+        with self._auto_lock:
+            if floor > self._autoincrement:
+                self._autoincrement = floor
+
     def insert(self, row: dict[str, Any]) -> Any:
         """Insert a row, returning its primary key.
 
         If the primary key is an INT column and absent from ``row``, an
-        autoincrement value is assigned.
+        autoincrement value is assigned (reserved atomically, so
+        concurrent inserters of the same table never collide on a pk).
         """
-        with self._write_locked():
-            pk_name = self.schema.primary_key
-            working = dict(row)
-            if pk_name not in working or working[pk_name] is None:
-                if not self._auto_pk:
-                    raise ConstraintError(
-                        f"table {self.name!r}: TEXT primary key {pk_name!r} must be provided"
-                    )
-                working[pk_name] = self._autoincrement
-            coerced = self.schema.coerce_row(working)
-            pk = coerced[pk_name]
+        pk_name = self.schema.primary_key
+        working = dict(row)
+        if pk_name not in working or working[pk_name] is None:
+            if not self._auto_pk:
+                raise ConstraintError(
+                    f"table {self.name!r}: TEXT primary key {pk_name!r} must be provided"
+                )
+            working[pk_name] = self._reserve_autoincrement()
+        coerced = self.schema.coerce_row(working)
+        pk = coerced[pk_name]
+        with self._write_locked(pk):
             if pk in self._rows:
                 raise DuplicateKeyError(
                     f"table {self.name!r}: duplicate primary key {pk!r}"
@@ -208,12 +243,12 @@ class Table:
             self._rows[pk] = coerced
             self._index_add(coerced, pk)
             if self._auto_pk and isinstance(pk, int):
-                self._autoincrement = max(self._autoincrement, pk + 1)
+                self._bump_autoincrement(pk + 1)
             self._emit(("insert", self.name, pk, None, dict(coerced)))
             return pk
 
     def get(self, pk: Any) -> dict[str, Any]:
-        self._touch_read()
+        self._touch_read(pk)
         # single-step read: a membership check followed by a subscript
         # could race a concurrent delete into a raw KeyError
         row = self._rows.get(pk)
@@ -222,17 +257,17 @@ class Table:
         return dict(row)
 
     def get_or_none(self, pk: Any) -> dict[str, Any] | None:
-        self._touch_read()
+        self._touch_read(pk)
         row = self._rows.get(pk)
         return dict(row) if row is not None else None
 
     def contains(self, pk: Any) -> bool:
-        self._touch_read()
+        self._touch_read(pk)
         return pk in self._rows
 
     def update(self, pk: Any, changes: dict[str, Any]) -> dict[str, Any]:
         """Apply ``changes`` to the row at ``pk``; returns the new row."""
-        with self._write_locked():
+        with self._write_locked(pk):
             if pk not in self._rows:
                 raise RowNotFoundError(f"table {self.name!r}: no row with pk {pk!r}")
             if self.schema.primary_key in changes:
@@ -254,7 +289,7 @@ class Table:
 
     def delete(self, pk: Any) -> dict[str, Any]:
         """Delete and return the row at ``pk``."""
-        with self._write_locked():
+        with self._write_locked(pk):
             if pk not in self._rows:
                 raise RowNotFoundError(f"table {self.name!r}: no row with pk {pk!r}")
             self._prepare_write()
@@ -265,10 +300,16 @@ class Table:
 
     def upsert(self, row: dict[str, Any]) -> Any:
         """Insert, or update if the primary key already exists."""
-        with self._write_locked():
-            pk_name = self.schema.primary_key
-            pk = row.get(pk_name)
-            if pk is not None and pk in self._rows:
+        pk_name = self.schema.primary_key
+        pk = row.get(pk_name)
+        if pk is None:
+            return self.insert(row)
+        # row-lock the explicit pk first so the exists-check cannot race
+        # a concurrent writer of the same row; the nested update/insert
+        # re-enters the envelope as a no-op (row lock held, RWLock
+        # writer-reentrant)
+        with self._write_locked(pk):
+            if pk in self._rows:
                 self.update(pk, {k: v for k, v in row.items() if k != pk_name})
                 return pk
             return self.insert(row)
@@ -286,7 +327,7 @@ class Table:
         and by WAL replay/snapshot loading (which run on databases with
         no WAL attached).
         """
-        with self._write_locked():
+        with self._write_locked(pk):
             if op == "insert":
                 if row is None:
                     raise ConstraintError("apply(insert) needs a row")
@@ -299,7 +340,7 @@ class Table:
                 self._rows[pk] = restored
                 self._index_add(restored, pk)
                 if self._auto_pk and isinstance(pk, int):
-                    self._autoincrement = max(self._autoincrement, pk + 1)
+                    self._bump_autoincrement(pk + 1)
                 self._emit(("insert", self.name, pk, None, dict(restored)))
                 return
             if op == "update":
@@ -442,7 +483,7 @@ class Table:
 
     def ref_or_none(self, pk: Any) -> dict[str, Any] | None:
         """Row reference for ``pk``, or None (zero-copy internal read)."""
-        self._touch_read()
+        self._touch_read(pk)
         return self._rows.get(pk)
 
     # ------------------------------------------------------------------

@@ -10,18 +10,22 @@ A transaction records two things per change while it is active:
   bytes of net log growth: nothing is journaled until commit.
 
 Transactions are flat (no nesting per thread) but **concurrent per
-database**: each transaction takes per-table S/X locks from the
+database**: each transaction takes hierarchical locks from the
 database's :class:`~repro.store.lockmgr.LockManager` as it touches
-tables (S on first read, upgraded to X on first write), so
-transactions with disjoint table footprints run and commit in
-parallel, while conflicting ones serialize table-by-table.  Strict
-two-phase locking: every lock is held until commit is durable (or
-rollback completes) and released in one batch — the release point *is*
-the serialization point, so WAL order equals conflict order.  A lock
-wait that deadlocks (or times out) raises
-:class:`~repro.store.errors.DeadlockError` out of the touching table
-operation; exiting the ``with`` block rolls the victim back cleanly
-and the transaction may be retried.
+data — an IS table lock plus a row S lock on the first point read of a
+pk, an IX table lock plus a row X lock on the first write of a pk, and
+a table-level S lock for whole-table reads (scans, index iteration) —
+so transactions writing **disjoint rows of the same table** run and
+commit in parallel, while same-row (or row-vs-scan) conflicts
+serialize.  A transaction that sweeps past the lock manager's
+escalation threshold on one table is upgraded to a full table lock and
+its row entries are folded in.  Strict two-phase locking: every lock
+is held until commit is durable (or rollback completes) and released
+in one batch — the release point *is* the serialization point, so WAL
+order equals conflict order.  A lock wait that deadlocks (or times
+out) raises :class:`~repro.store.errors.DeadlockError` out of the
+touching table operation; exiting the ``with`` block rolls the victim
+back cleanly and the transaction may be retried.
 """
 
 from __future__ import annotations
@@ -29,7 +33,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from .errors import TransactionError
-from .lockmgr import LOCK_EXCLUSIVE, LOCK_SHARED
+from .lockmgr import (
+    LOCK_EXCLUSIVE,
+    LOCK_INTENT_EXCLUSIVE,
+    LOCK_INTENT_SHARED,
+    LOCK_SHARED,
+)
 from .table import ChangeEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -88,8 +97,16 @@ class Transaction:
         #: monotonic owner id, allocated at begin(); "younger" victim
         #: selection in the lock manager compares these
         self._txn_id: int = 0
+        #: table-level bookkeeping mirroring the lock manager's grants,
+        #: so covered re-acquisitions skip the manager entirely
         self._slocks: set[str] = set()
         self._xlocks: set[str] = set()
+        self._islocks: set[str] = set()
+        self._ixlocks: set[str] = set()
+        #: row-level bookkeeping: table -> pks this transaction holds
+        #: row locks on (cleared when a table lock covers them)
+        self._row_slocks: dict[str, set[Any]] = {}
+        self._row_xlocks: dict[str, set[Any]] = {}
 
     @property
     def active(self) -> bool:
@@ -103,27 +120,108 @@ class Transaction:
     def txn_id(self) -> int:
         return self._txn_id
 
-    # -- per-table 2PL lock acquisition (called from table barriers) ---
+    # -- hierarchical 2PL lock acquisition (called from table barriers) -
+
+    def _note_table_exclusive(self, table_name: str) -> None:
+        """Record a full table X lock (direct grant, upgrade, or
+        escalation) — the lock manager has folded any row entries in,
+        so the per-row bookkeeping can be dropped too."""
+        self._xlocks.add(table_name)
+        self._slocks.discard(table_name)
+        self._islocks.discard(table_name)
+        self._ixlocks.discard(table_name)
+        self._row_slocks.pop(table_name, None)
+        self._row_xlocks.pop(table_name, None)
+
+    def _note_table_shared(self, table_name: str) -> None:
+        """Record a full table S lock (scan grant or read escalation)."""
+        self._slocks.add(table_name)
+        self._islocks.discard(table_name)
+        self._row_slocks.pop(table_name, None)
 
     def _lock_read(self, table_name: str) -> None:
-        """First read of ``table_name``: take an S lock (no-op once any
-        lock on the table is held)."""
+        """Whole-table read (scan, index iteration, len): take a
+        table-level S lock (no-op once S or X is held).  Holding IX —
+        rows already written — combines to a full X in the manager."""
         if table_name in self._xlocks or table_name in self._slocks:
             return
-        self._database._lockmgr.acquire(self._txn_id, table_name, LOCK_SHARED)
-        self._slocks.add(table_name)
+        granted = self._database._lockmgr.acquire(
+            self._txn_id, table_name, LOCK_SHARED
+        )
+        if granted == LOCK_EXCLUSIVE:
+            self._note_table_exclusive(table_name)
+        else:
+            self._note_table_shared(table_name)
+
+    def _lock_read_row(self, table_name: str, pk: Any) -> None:
+        """Point read of ``pk``: take IS at the table plus a row S lock
+        (no-op when a covering table or row lock is already held)."""
+        if table_name in self._xlocks or table_name in self._slocks:
+            return
+        row_x = self._row_xlocks.get(table_name)
+        if row_x is not None and pk in row_x:
+            return
+        row_s = self._row_slocks.get(table_name)
+        if row_s is not None and pk in row_s:
+            return
+        lockmgr = self._database._lockmgr
+        if (
+            table_name not in self._islocks
+            and table_name not in self._ixlocks
+        ):
+            lockmgr.acquire(self._txn_id, table_name, LOCK_INTENT_SHARED)
+            self._islocks.add(table_name)
+        escalated = lockmgr.acquire_row(
+            self._txn_id, table_name, pk, LOCK_SHARED
+        )
+        if escalated == LOCK_EXCLUSIVE:
+            self._note_table_exclusive(table_name)
+        elif escalated == LOCK_SHARED:
+            self._note_table_shared(table_name)
+        else:
+            self._row_slocks.setdefault(table_name, set()).add(pk)
+
+    def _lock_write_row(self, table_name: str, pk: Any) -> None:
+        """First write of ``pk``: take IX at the table plus a row X
+        lock.  Rollback only touches pks already in ``_row_xlocks`` (or
+        tables in ``_xlocks`` after escalation), so undo replay
+        re-enters here as a no-op and can never block."""
+        if table_name in self._xlocks:
+            return
+        row_x = self._row_xlocks.get(table_name)
+        if row_x is not None and pk in row_x:
+            return
+        lockmgr = self._database._lockmgr
+        if table_name not in self._ixlocks:
+            granted = lockmgr.acquire(
+                self._txn_id, table_name, LOCK_INTENT_EXCLUSIVE
+            )
+            if granted == LOCK_EXCLUSIVE:
+                # held S before this write: the manager combined to X
+                self._note_table_exclusive(table_name)
+                return
+            self._ixlocks.add(table_name)
+            self._islocks.discard(table_name)
+        escalated = lockmgr.acquire_row(
+            self._txn_id, table_name, pk, LOCK_EXCLUSIVE
+        )
+        if escalated is not None:
+            self._note_table_exclusive(table_name)
+            return
+        self._row_xlocks.setdefault(table_name, set()).add(pk)
+        row_s = self._row_slocks.get(table_name)
+        if row_s is not None:
+            row_s.discard(pk)
 
     def _lock_write(self, table_name: str) -> None:
-        """First write of ``table_name``: take (or upgrade to) an X
-        lock.  Rollback only touches tables already in ``_xlocks``, so
-        undo replay re-enters here as a no-op and can never block."""
+        """Table-wide write (DDL-style): take (or upgrade to) a full X
+        lock on ``table_name``."""
         if table_name in self._xlocks:
             return
         self._database._lockmgr.acquire(
             self._txn_id, table_name, LOCK_EXCLUSIVE
         )
-        self._xlocks.add(table_name)
-        self._slocks.discard(table_name)
+        self._note_table_exclusive(table_name)
 
     def begin(self) -> "Transaction":
         if self._active or self._finished:
@@ -136,13 +234,13 @@ class Transaction:
         if not self._active:
             raise TransactionError("commit without active transaction")
         try:
-            # Journal while still holding every table lock (strict 2PL
+            # Journal while still holding every lock (strict 2PL
             # through the log write): _log_commit returns only once the
             # record is durable per the WAL's fsync policy, and because
             # conflicting transactions cannot reach this point
             # concurrently, WAL order equals conflict-serialization
-            # order.  Disjoint committers *do* reach it concurrently and
-            # share one group fsync.
+            # order.  Row-disjoint committers *do* reach it concurrently
+            # and share one group fsync.
             self._database._log_commit(self._changes)
         except Exception:
             # A commit that cannot reach the log did not happen: undo the
@@ -150,7 +248,7 @@ class Transaction:
             self._rollback_in_place()
             raise
         # The durable-ack is the 2PL release point: _end_transaction
-        # drops every table lock in one batch.
+        # drops every table and row lock in one batch.
         self._database._end_transaction(self)
         self._active = False
         self._finished = True
@@ -162,16 +260,17 @@ class Transaction:
         self._rollback_in_place()
 
     def _rollback_in_place(self) -> None:
-        """Replay the undo log, then release the table locks.
+        """Replay the undo log, then release the locks.
 
         Order matters: the locks are released only after memory is
         fully restored, so no other transaction (or snapshot view) can
         observe aborted changes mid-undo.  Undo replay cannot block or
-        deadlock — every table it touches is already X-locked by this
-        transaction, so ``_lock_write`` no-ops.  While rolling back,
-        ``_observe`` is a no-op — the undo of the undo is not recorded
-        and never reaches the WAL, so an abort leaves zero bytes of net
-        log growth.
+        deadlock — every row it touches is already X-locked by this
+        transaction (row lock or escalated table lock), so
+        ``_lock_write_row`` no-ops.  While rolling back, ``_observe``
+        is a no-op — the undo of the undo is not recorded and never
+        reaches the WAL, so an abort leaves zero bytes of net log
+        growth.
         """
         self._rolling_back = True
         with self._database._no_wal():

@@ -106,6 +106,11 @@ class ITagSystem:
         #: total deadlock-abort retries absorbed by _run_single
         self.deadlock_retries = 0
         self._txn_local = threading.local()
+        #: jittered deadlock-retry backoff stream: seeded from the
+        #: session RNG so reruns are reproducible, locked because numpy
+        #: generators are not thread-safe
+        self._backoff_rng = self.rng.stream("deadlock-backoff")
+        self._backoff_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # durability
@@ -317,14 +322,25 @@ class ITagSystem:
                 retries += 1
                 if retries > TASK_COMMIT_RETRIES:
                     raise
-                # brief linear backoff so the surviving transaction can
-                # finish before the retry re-contends
-                time.sleep(0.001 * retries)
+                # brief jittered backoff so the surviving transaction
+                # can finish before the retry re-contends; without the
+                # jitter, N victims aborted off one cycle sleep the
+                # same delay and re-collide in lockstep
+                time.sleep(self._retry_backoff(retries))
         self._txn_local.retries = retries
         if retries:
             with self._task_mutex:
                 self.deadlock_retries += retries
         return outcome
+
+    def _retry_backoff(self, retries: int) -> float:
+        """Delay before the ``retries``-th deadlock retry: linear in the
+        attempt, scaled by a seeded uniform jitter in [0.5, 1.5) so
+        concurrent victims desynchronize instead of retrying in
+        lockstep — reproducible across reruns via the session RNG."""
+        with self._backoff_lock:
+            jitter = 0.5 + float(self._backoff_rng.random())
+        return 0.001 * retries * jitter
 
     @property
     def last_task_retries(self) -> int:

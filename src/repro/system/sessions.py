@@ -29,6 +29,16 @@ Every reader pass checks two isolation invariants on its view:
 
 Violations are counted, not raised, so the report shows exactly how
 (un)torn the read path is; the expected count is zero.
+
+**Same-table mode** (``same_table=True``, ``itag store smoke
+--same-table``): instead of running platform tagging tasks, every
+writer session increments *its own row* of one shared counter table —
+the per-row-locking hot path (IS + row S on the read, upgraded to IX +
+row X on the write), where writers collide at the table but never at a
+row.  The run ends with a consistency gate: each writer's counter must
+equal its commit count.  Either mode finishes by capturing the lock
+manager's counters (deadlocks, victims, timeouts, escalations) into
+the report, so lock behavior is observable rather than inferred.
 """
 
 from __future__ import annotations
@@ -38,12 +48,16 @@ import time
 from dataclasses import dataclass, field
 
 from ..errors import ProjectError
-from ..store import DeadlockError, In, Query
+from ..store import Column, DataType, DeadlockError, In, Query, Schema
 
 __all__ = ["SessionReport", "SessionDriver", "WriterStats"]
 
 #: per-task notification kinds (exactly one is written per tagging task)
 _TASK_KINDS = ("post_approved", "post_rejected")
+
+#: shared counter table used by same-table writer mode (one row per
+#: writer session, incremented under per-row locks)
+SAME_TABLE_NAME = "session_counters"
 
 
 @dataclass
@@ -67,7 +81,9 @@ class SessionReport:
     torn_reads: int = 0
     atomicity_violations: int = 0
     deadlock_retries: int = 0
+    same_table: bool = False
     writer_sessions: list[WriterStats] = field(default_factory=list)
+    lock_stats: dict = field(default_factory=dict)
     errors: list[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
 
@@ -80,8 +96,9 @@ class SessionReport:
         )
 
     def describe(self) -> str:
+        mode = " [same-table rows]" if self.same_table else ""
         lines = [
-            f"concurrent sessions: {self.writers} writer(s) "
+            f"concurrent sessions: {self.writers} writer(s){mode} "
             f"({self.writer_tasks} tasks), "
             f"{self.readers} readers ({self.reader_passes} passes) "
             f"in {self.elapsed_seconds:.2f}s",
@@ -94,6 +111,14 @@ class SessionReport:
                 f"  {stats.name}: {stats.commits} commits, "
                 f"{stats.aborts} aborts, "
                 f"{stats.deadlock_retries} deadlock retries"
+            )
+        if self.lock_stats:
+            lines.append(
+                "  lock manager: "
+                f"{self.lock_stats.get('deadlocks_detected', 0)} deadlocks, "
+                f"{self.lock_stats.get('victims', 0)} victims, "
+                f"{self.lock_stats.get('timeouts', 0)} timeouts, "
+                f"{self.lock_stats.get('escalations', 0)} escalations"
             )
         for message in self.errors:
             lines.append(f"  error: {message}")
@@ -128,6 +153,7 @@ class SessionDriver:
         readers: int = 3,
         writer_tasks: int = 50,
         writers: int = 1,
+        same_table: bool = False,
     ) -> None:
         self._system = system
         self._project_id = project_id
@@ -135,6 +161,7 @@ class SessionDriver:
         self._writers = max(1, writers)
         self._writer_tasks = writer_tasks
         self._tasks_left = writer_tasks
+        self._same_table = same_table
         self._task_lock = threading.Lock()
         self._stop = threading.Event()
         self._report_lock = threading.Lock()
@@ -142,8 +169,14 @@ class SessionDriver:
     # ------------------------------------------------------------------
 
     def run(self) -> SessionReport:
-        report = SessionReport(readers=self._readers, writers=self._writers)
+        report = SessionReport(
+            readers=self._readers,
+            writers=self._writers,
+            same_table=self._same_table,
+        )
         self._tasks_left = self._writer_tasks
+        if self._same_table:
+            self._prepare_counters()
         start = time.perf_counter()
         readers = [
             threading.Thread(
@@ -152,13 +185,16 @@ class SessionDriver:
             for index in range(self._readers)
         ]
         writers = []
+        writer_target = (
+            self._counter_session if self._same_table else self._writer_session
+        )
         for index in range(self._writers):
             stats = WriterStats(name=f"writer-{index}")
             report.writer_sessions.append(stats)
             writers.append(
                 threading.Thread(
-                    target=self._writer_session,
-                    args=(report, stats),
+                    target=writer_target,
+                    args=(report, stats, index),
                     name=stats.name,
                 )
             )
@@ -177,7 +213,72 @@ class SessionDriver:
         report.deadlock_retries = sum(
             stats.deadlock_retries for stats in report.writer_sessions
         )
+        if self._same_table:
+            self._check_counters(report)
+        report.lock_stats = dict(self._system.database.lock_manager.stats())
         return report
+
+    # -- same-table writer mode ----------------------------------------
+
+    def _prepare_counters(self) -> None:
+        """Create (or reset) the shared counter table: one row per
+        writer session, all starting at zero."""
+        database = self._system.database
+        if not database.has_table(SAME_TABLE_NAME):
+            database.create_table(
+                SAME_TABLE_NAME,
+                Schema(
+                    [Column("id", DataType.INT), Column("n", DataType.INT)],
+                    primary_key="id",
+                ),
+            )
+        table = database.table(SAME_TABLE_NAME)
+        for index in range(self._writers):
+            table.upsert({"id": index + 1, "n": 0})
+
+    def _check_counters(self, report: SessionReport) -> None:
+        """Consistency gate: each writer's counter row must equal its
+        commit count — a lost update under per-row locking would leave
+        the counter short."""
+        table = self._system.database.table(SAME_TABLE_NAME)
+        for index, stats in enumerate(report.writer_sessions):
+            landed = table.get(index + 1)["n"]
+            if landed != stats.commits:
+                report.errors.append(
+                    f"{stats.name}: counter row shows {landed} increments "
+                    f"for {stats.commits} commits (lost update)"
+                )
+
+    def _counter_session(
+        self, report: SessionReport, stats: WriterStats, index: int
+    ) -> None:
+        """Same-table writer: read-then-increment its own row of the
+        shared counter table, one transaction per claimed task.  The
+        read takes IS + row S, the write upgrades to IX + row X —
+        writers share the table but never a row, so the lock manager
+        admits every increment concurrently."""
+        database = self._system.database
+        table = database.table(SAME_TABLE_NAME)
+        pk = index + 1
+        try:
+            while self._claim_task():
+                try:
+                    with database.transaction():
+                        current = table.get(pk)["n"]
+                        table.update(pk, {"n": current + 1})
+                except DeadlockError:
+                    with self._report_lock:
+                        stats.aborts += 1
+                    self._return_task()
+                    continue
+                with self._report_lock:
+                    stats.commits += 1
+                    report.writer_tasks += 1
+        # session boundary: any failure must land in the report, not
+        # kill the thread silently  itag-lint: disable=except-hygiene
+        except Exception as exc:  # noqa: BLE001 - surfaced in the report
+            with self._report_lock:
+                report.errors.append(f"{stats.name}: {exc!r}")
 
     # ------------------------------------------------------------------
 
@@ -192,7 +293,9 @@ class SessionDriver:
         with self._task_lock:
             self._tasks_left += 1
 
-    def _writer_session(self, report: SessionReport, stats: WriterStats) -> None:
+    def _writer_session(
+        self, report: SessionReport, stats: WriterStats, index: int
+    ) -> None:
         system = self._system
         try:
             while self._claim_task():

@@ -172,6 +172,18 @@ class TestLockDiscipline:
         assert finding_rules(result) == {"lock-discipline"}
         assert len(result.findings) == 3
 
+    def test_positive_lockmgr_row_state_mutation(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "system/hack.py",
+            "def hack(manager, owner, table, pk):\n"
+            "    manager._row_holders[table][pk] = {owner: 'X'}\n"
+            "    manager._owner_row_pks.pop(owner)\n"
+            "    manager._row_owner_counts[table][owner] += 1\n"
+            "    del manager._row_x_counts[table]\n",
+        )
+        assert finding_rules(result) == {"lock-discipline"}
+        assert len(result.findings) == 4
+
     def test_negative_lockmgr_owns_its_state(self, tmp_path):
         result = lint_snippet(
             tmp_path, "store/lockmgr.py",
@@ -179,7 +191,9 @@ class TestLockDiscipline:
             "    def release_all(self, owner):\n"
             "        self._waiting.pop(owner, None)\n"
             "        self._victims.pop(owner, None)\n"
-            "        self._holders.clear()\n",
+            "        self._holders.clear()\n"
+            "        self._row_holders.clear()\n"
+            "        self._owner_row_pks.pop(owner, None)\n",
         )
         assert result.clean
 

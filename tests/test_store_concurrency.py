@@ -1,11 +1,14 @@
-"""Concurrency suite: snapshot readers vs writers, per-table locking,
-deadlock handling, group commit under thread load.
+"""Concurrency suite: snapshot readers vs writers, hierarchical
+locking, deadlock handling, group commit under thread load.
 
 The store's contract is two-phase-locked multi-writer / multi-reader:
-transactions take shared/exclusive per-table locks and run concurrently
-when their table footprints are disjoint; conflicting footprints block,
-and wait-for cycles abort the youngest transaction with
-``DeadlockError`` (rolled back cleanly, safe to retry).  Autocommit
+transactions take intention locks (IS/IX) at table granularity plus
+row-granular S/X locks keyed by ``(table, pk)``, so writers run
+concurrently when their row footprints are disjoint — even on the
+same table; conflicting footprints block, and wait-for cycles abort
+the youngest transaction with ``DeadlockError`` (rolled back cleanly,
+safe to retry).  A writer crossing the escalation threshold trades
+its row locks for one table lock.  Autocommit
 writes are safe from any thread, and readers using copy-on-write views
 are never torn — a view observes exactly one version of each table
 forever.
@@ -396,6 +399,116 @@ class TestPerTableLocking:
         database.verify()  # release is idempotent and drains fully
 
 
+class TestRowLevelLocking:
+    def test_disjoint_rows_of_one_table_run_concurrently(self):
+        """Two transactions writing different rows of the *same* table
+        must both be open at the same moment — the point of the
+        IS/IX + row-lock hierarchy.  Proven by a cross-signal, as in
+        the disjoint-tables test above."""
+        database = Database("c")
+        table = make_table(database)
+        table.insert({})
+        table.insert({})
+        a_in = threading.Event()
+        b_in = threading.Event()
+        overlapped = []
+
+        def writer_a():
+            with database.transaction():
+                table.update(1, {"stamp": 1})
+                a_in.set()
+                overlapped.append(b_in.wait(timeout=10.0))
+
+        def writer_b():
+            with database.transaction():
+                table.update(2, {"stamp": 2})
+                b_in.set()
+                overlapped.append(a_in.wait(timeout=10.0))
+
+        run_threads([writer_a, writer_b])
+        assert overlapped == [True, True]
+        assert table.get(1)["stamp"] == 1 and table.get(2)["stamp"] == 2
+        database.verify()
+
+    def test_escalation_threshold_crossing_folds_row_locks(self):
+        """A bulk writer crossing the escalation threshold trades its
+        row locks for one table X lock; row locks the table lock now
+        covers are dropped, and later row acquires are satisfied by
+        the covering lock without new entries."""
+        database = Database("c")
+        database.lock_manager.escalation_threshold = 8
+        table = make_table(database)
+        for _ in range(20):
+            table.insert({})
+        with database.transaction():
+            for pk in range(1, 21):
+                table.update(pk, {"stamp": 1})
+            stats = database.lock_manager.stats()
+            assert stats["escalations"] == 1
+            assert stats["row_locks_held"] == 0
+            assert stats["table_locks_held"] == 1
+        after = database.lock_manager.stats()
+        assert after["locks_held"] == 0
+        assert after["escalations"] == 1
+        database.verify()
+
+    def test_escalation_induced_deadlock_aborts_younger_writer(self):
+        """Escalation re-runs deadlock detection over the widened
+        footprint: an older bulk writer escalating to table X while a
+        younger writer holds IX (and then waits on one of the older
+        writer's rows) forms a cycle; the younger side must abort."""
+        database = Database("c", lock_timeout=30.0)
+        database.lock_manager.escalation_threshold = 3
+        table = make_table(database)
+        for _ in range(10):
+            table.insert({})
+        older_in = threading.Event()
+        younger_in = threading.Event()
+        results: dict[str, str] = {}
+
+        def older():
+            with database.transaction():
+                table.update(1, {"stamp": 1})
+                table.update(2, {"stamp": 1})
+                older_in.set()
+                assert younger_in.wait(timeout=10.0)
+                # rows 3 and 4 cross the threshold -> escalate to
+                # table X, which blocks on the younger writer's IX
+                table.update(3, {"stamp": 1})
+                table.update(4, {"stamp": 1})
+            results["older"] = "committed"
+
+        def younger():
+            assert older_in.wait(timeout=10.0)
+            try:
+                with database.transaction():
+                    table.update(9, {"stamp": 2})
+                    younger_in.set()
+                    table.update(1, {"stamp": 2})
+                results["younger"] = "committed"
+            except DeadlockError:
+                results["younger"] = "aborted"
+
+        run_threads([older, younger])
+        assert results == {"older": "committed", "younger": "aborted"}
+        assert table.get(1)["stamp"] == 1
+        assert table.get(9)["stamp"] == 0  # younger rolled back
+        stats = database.lock_manager.stats()
+        assert stats["escalations"] >= 1
+        assert stats["victims"] >= 1
+        database.verify()
+
+    def test_verify_flags_leaked_row_lock(self):
+        database = Database("c")
+        make_table(database)
+        database.verify()  # clean before
+        database.lock_manager.acquire_row(4242, "items", 1, "X")
+        with pytest.raises(ConstraintError, match="lock"):
+            database.verify()
+        database.lock_manager.release_all(4242)
+        database.verify()  # release drains the row level too
+
+
 class TestGroupCommit:
     def test_concurrent_autocommit_inserts_all_journaled(self, tmp_path):
         database = Database("c")
@@ -535,6 +648,75 @@ class TestConcurrentStress:
         actual = {
             slot: tables[slot].get(1)["stamp"] for slot in range(3)
         }
+        assert actual == expected
+        database.verify()
+
+
+class TestRowStress:
+    """Randomized same-table multi-writer schedules vs a
+    single-threaded oracle — the row-granular analogue of
+    :class:`TestConcurrentStress`."""
+
+    @given(
+        plans=st.lists(
+            st.lists(
+                st.sampled_from(range(6)), min_size=1, max_size=4, unique=True
+            ),
+            min_size=2,
+            max_size=4,
+        ),
+        per_thread=st.integers(min_value=3, max_value=10),
+    )
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_threaded_row_increments_match_single_threaded_oracle(
+        self, plans, per_thread
+    ):
+        """Each thread owns a random pk subset of ONE table — disjoint
+        or overlapping, in arbitrary acquisition order — and increments
+        every row in its set inside one transaction per round, retrying
+        deadlock aborts.  Disjoint subsets proceed under row locks;
+        overlapping ones serialize or abort-and-retry.  The final
+        counters must equal the single-threaded oracle: no lost
+        updates, no double-applies from rollback+retry."""
+        database = Database("stress")
+        table = make_table(database)
+        for _ in range(6):
+            table.insert({"stamp": 0})
+        errors: list[str] = []
+
+        def worker(plan):
+            def run():
+                try:
+                    for _ in range(per_thread):
+                        attempt = 0
+                        while True:
+                            try:
+                                with database.transaction():
+                                    for slot in plan:
+                                        pk = slot + 1
+                                        current = table.get(pk)["stamp"]
+                                        table.update(
+                                            pk, {"stamp": current + 1}
+                                        )
+                                break
+                            except DeadlockError:
+                                attempt += 1
+                                time.sleep(0.0001 * attempt)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(repr(exc))
+            return run
+
+        run_threads([worker(plan) for plan in plans])
+        assert not errors, errors
+        expected = {
+            slot: per_thread * sum(1 for plan in plans if slot in plan)
+            for slot in range(6)
+        }
+        actual = {slot: table.get(slot + 1)["stamp"] for slot in range(6)}
         assert actual == expected
         database.verify()
 

@@ -439,6 +439,58 @@ class TestSortMergeJoin:
         # NULL right keys joined nothing
         assert all(row["r_score"] is not None for row in rows if row["r_id"] is not None)
 
+    def test_interesting_order_skips_sort_and_notes_explain(self):
+        left, right = _sorted_pair(
+            [(i % 10 / 10, "x") for i in range(60)],
+            [(i % 10 / 10, "y") for i in range(60)],
+        )
+        join = (
+            Query(left)
+            .order_by("score")
+            .join(right, on="score", prefix_left="l_", prefix_right="r_")
+        )
+        plan = join.explain()
+        assert "sort-merge-join" in plan
+        assert "[interesting-order:" in plan
+        assert "sort(" not in plan  # the merge output is already ordered
+        scores = [row["l_score"] for row in join.all()]
+        assert scores == sorted(scores)
+
+    def test_interesting_order_note_survives_plan_cache_hits(self):
+        left, right = _sorted_pair(
+            [(i % 10 / 10, "x") for i in range(60)],
+            [(i % 10 / 10, "y") for i in range(60)],
+        )
+
+        def build():
+            return (
+                Query(left)
+                .order_by("score")
+                .join(right, on="score", prefix_left="l_", prefix_right="r_")
+            )
+
+        first = build().explain()
+        assert "[interesting-order:" in first
+        assert "[plan-cache: miss]" in first
+        second = build().explain()
+        assert "[interesting-order:" in second
+        assert "[plan-cache: hit]" in second
+
+    def test_descending_order_gets_no_interesting_order_note(self):
+        left, right = _sorted_pair(
+            [(i % 10 / 10, "x") for i in range(60)],
+            [(i % 10 / 10, "y") for i in range(60)],
+        )
+        join = (
+            Query(left)
+            .order_by("score", descending=True)
+            .join(right, on="score", prefix_left="l_", prefix_right="r_")
+        )
+        plan = join.explain()
+        assert "[interesting-order:" not in plan
+        scores = [row["l_score"] for row in join.all()]
+        assert scores == sorted(scores, reverse=True)
+
     def test_merge_matches_brute_force_exactly(self):
         left, right = _sorted_pair(
             [(i % 7 / 10, "x") for i in range(25)],
