@@ -4,8 +4,10 @@
 # (index paths beat scans, planned joins beat materializing hash_join,
 # warm plan cache beats cold planning, group commit beats per-commit
 # fsync, snapshot readers stay untorn, crash recovery matches the
-# committed state), plus two durability smokes: crash recovery of a
-# WAL with a torn tail via the CLI, and the concurrent-session driver.
+# committed state), plus durability smokes: crash recovery of a WAL
+# with a torn tail via the CLI, recovery across a rotated multi-segment
+# WAL (with incremental-checkpoint pruning), and the concurrent-session
+# driver.
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -18,8 +20,10 @@ python scripts/lint_gate.py
 
 python -m pytest -x -q
 # EXP-ST smoke; store_ops.run() ends with Database.verify(), which
-# cross-checks indexes, maintained counters, and plan-cache generations
-python -m repro run-experiment EXP-ST --fast
+# cross-checks indexes, maintained counters, and plan-cache generations.
+# The result JSON is saved so CI can publish it as a bench artifact.
+bench_json="${BENCH_JSON:-exp-st-bench.json}"
+python -m repro run-experiment EXP-ST --fast --save "$bench_json"
 
 # perf-regression smoke gate: the zero-copy read-path claim subset
 # (point query, view-indexed read, warm plan cache, O(1) statistics)
@@ -49,14 +53,46 @@ db.checkpoint()
 for i in range(5):
     table.insert({"v": f"post-{i}"})
 db.close()
-# simulate a crash mid-append: a half-written record at the tail
-with (state / "wal.log").open("ab") as handle:
+# simulate a crash mid-append: a half-written record at the tail of
+# the ACTIVE segment (wal.log is a directory of wal-NNNNNN.log files)
+active = sorted((state / "wal.log").glob("wal-*.log"))[-1]
+with active.open("ab") as handle:
     handle.write(b'00000000 {"lsn": 999, "txn": [["insert", "items"')
 print(f"fixture ready: {state}")
 PY
 python -m repro store recover --dir "$fixture_dir/state" | tee "$fixture_dir/recover.out"
 grep -q "discarded torn tail" "$fixture_dir/recover.out"
 grep -q "verify: ok" "$fixture_dir/recover.out"
+
+# segment-rotation smoke: a tiny segment budget forces many rotations;
+# recovery must stitch the committed state back together from every
+# segment, and an incremental checkpoint must prune the covered ones.
+python - "$fixture_dir" <<'PY'
+import sys
+from pathlib import Path
+from repro.store import Column, DataType, Database, Schema
+
+state = Path(sys.argv[1]) / "segments"
+db = Database.open(state, fsync="never", wal_segment_bytes=512)
+table = db.create_table(
+    "items",
+    Schema([Column("id", DataType.INT), Column("v", DataType.TEXT)], primary_key="id"),
+)
+for i in range(40):
+    with db.transaction():
+        table.insert({"v": f"v{i}"})
+segments = db.wal.segment_count
+db.close()
+assert segments > 3, f"expected rotation, got {segments} segment(s)"
+print(f"fixture ready: {state} ({segments} segments)")
+PY
+python -m repro store recover --dir "$fixture_dir/segments" | tee "$fixture_dir/segments.out"
+grep -q "replayed 41 committed records" "$fixture_dir/segments.out"
+grep -Eq "from [0-9]+ wal segment" "$fixture_dir/segments.out"
+grep -q "verify: ok" "$fixture_dir/segments.out"
+python -m repro store checkpoint --dir "$fixture_dir/segments" --stats \
+    | tee "$fixture_dir/segments-ckpt.out"
+grep -q "kind: incremental" "$fixture_dir/segments-ckpt.out"
 
 # concurrency smoke: 1 writer vs snapshot readers, zero torn reads
 python -m repro store smoke --readers 3 --tasks 40

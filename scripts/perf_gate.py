@@ -20,7 +20,13 @@ Runs a reduced EXP-ST (small row count, no WAL) and fails — exit code
 * per-row locking: 4 writers on disjoint rows of the *same* table
   sustaining >1.5x the single-writer commit rate at fsync=always (so
   row-granular admission can never silently degrade back to table-level
-  serialization).
+  serialization),
+* incremental checkpoints: a generation touching 1 of 64 tables
+  beating a full snapshot by >5x (so checkpoint cost keeps tracking
+  the dirty fraction instead of database size),
+* chunked sorted-index inserts beating the flat-list seed path by >3x
+  with read equivalence (so ordered-index maintenance can never
+  silently fall back to O(n) memmove inserts).
 
 Called from scripts/check.sh and as a dedicated CI step, so a
 performance regression fails the merge even when it is not large
@@ -47,6 +53,8 @@ GATED_CLAIMS = (
     "cross-transaction group commit scales",
     "cross-transaction group commit batches concurrent commits",
     "per-row locking scales same-table writers",
+    "incremental checkpoint at 1/64 dirty tables",
+    "chunked sorted-index inserts beat the flat-list seed path",
 )
 
 

@@ -11,7 +11,7 @@ Subcommands::
         [--order-by COL] [--descending] [--limit N] \\
         [--join TABLE --on LEFT=RIGHT [--how inner|left]]... [--rows N]
     itag store recover --dir STATE_DIR [--fsync POLICY]
-    itag store checkpoint --dir STATE_DIR [--fsync POLICY]
+    itag store checkpoint --dir STATE_DIR [--fsync POLICY] [--full] [--stats]
     itag store smoke [--readers N] [--writers N] [--tasks N] [--seed N] \\
         [--same-table]
     itag lint [PATH ...] [--rule ID]... [--baseline check|update|ignore] \\
@@ -29,8 +29,12 @@ printed tree shows the *planner-chosen* join order — the
 ``store recover`` opens a managed durability directory, reports what
 crash recovery did (checkpoint loaded, committed records replayed, torn
 tail discarded/repaired), and exits 0 when the recovered state passes
-the store's consistency checks.  ``store checkpoint`` persists an
-atomic snapshot and prunes the covered WAL prefix.  ``store smoke``
+the store's consistency checks.  ``store checkpoint`` writes one
+checkpoint generation — incremental by default (manifest + per-table
+files, clean tables reused), legacy full snapshot with ``--full`` —
+then prunes covered WAL segments; ``--stats`` prints the
+rewritten/reused split, bytes, segment counts and timing.  ``store
+smoke``
 runs the concurrent-session driver (N writers vs N snapshot readers)
 on a small synthetic campaign, reporting per-writer commit/abort/
 deadlock-retry counters plus the lock manager's deadlock/victim/
@@ -161,9 +165,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     checkpoint_parser = store_sub.add_parser(
         "checkpoint",
-        help="write an atomic snapshot and prune the covered WAL prefix",
+        help="write a checkpoint generation and prune covered WAL segments",
     )
     add_durability_flags(checkpoint_parser)
+    checkpoint_parser.add_argument(
+        "--full", action="store_true",
+        help="write a legacy full snapshot (checkpoint-NNNNNN.json) "
+        "instead of an incremental manifest generation",
+    )
+    checkpoint_parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-checkpoint stats (tables rewritten vs reused, "
+        "bytes, wal segments dropped/live, timing)",
+    )
 
     smoke_parser = store_sub.add_parser(
         "smoke",
@@ -178,6 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="writers increment disjoint rows of ONE shared table "
         "(per-row locking hot path) instead of running tagging tasks",
+    )
+    smoke_parser.add_argument(
+        "--durable",
+        action="store_true",
+        help="journal the run to a temporary durability directory and "
+        "report checkpoint timing plus WAL segment counts",
     )
 
     lint_parser = subparsers.add_parser(
@@ -399,19 +419,40 @@ def _cmd_store_checkpoint(args: argparse.Namespace) -> int:
         print(database.recovery.describe())
         wal = database.wal
         records_before = len(wal) if wal is not None else 0
-        database.checkpoint()
+        stats = database.checkpoint(full=args.full)
         records_after = len(wal) if wal is not None else 0
         written = database.last_checkpoint_path
         print(
             f"checkpoint written: {written.name if written else '?'} "
             f"(wal records {records_before} -> {records_after})"
         )
+        if args.stats:
+            print(
+                f"  kind: {stats['kind']} (generation {stats['generation']}, "
+                f"wal_lsn {stats['wal_lsn']})"
+            )
+            print(
+                f"  tables: {stats['tables_rewritten']} rewritten, "
+                f"{stats['tables_reused']} reused of {stats['tables_total']}"
+            )
+            print(
+                f"  wal: {stats['wal_records_dropped']} records pruned, "
+                f"{stats['wal_segments']} segment(s) live"
+            )
+            print(
+                f"  wrote {stats['bytes_written']} bytes "
+                f"in {stats['duration_s'] * 1000.0:.1f} ms"
+            )
     finally:
         database.close()
     return 0
 
 
 def _cmd_store_smoke(args: argparse.Namespace) -> int:
+    import contextlib
+    import tempfile
+    from pathlib import Path
+
     from .datasets import make_delicious_like
     from .system import ITagSystem, SessionDriver
 
@@ -421,22 +462,29 @@ def _cmd_store_smoke(args: argparse.Namespace) -> int:
         master_seed=args.seed,
         population_size=20,
     )
-    system = ITagSystem(master_seed=args.seed)
-    provider = system.register_provider("smoke-provider")
-    project = system.create_project(provider, "smoke", budget=args.tasks * 3)
-    system.upload_resources(project, data.provider_corpus)
-    system.start_project(project, noise_model=data.dataset.noise_model)
-    driver = SessionDriver(
-        system,
-        project,
-        readers=args.readers,
-        writer_tasks=args.tasks,
-        writers=args.writers,
-        same_table=args.same_table,
-    )
-    report = driver.run()
-    print(report.describe())
-    return 0 if report.consistent else 1
+    with contextlib.ExitStack() as stack:
+        system_args = {}
+        if args.durable:
+            tmp = stack.enter_context(tempfile.TemporaryDirectory())
+            system_args["data_dir"] = Path(tmp) / "state"
+        system = ITagSystem(master_seed=args.seed, **system_args)
+        provider = system.register_provider("smoke-provider")
+        project = system.create_project(provider, "smoke", budget=args.tasks * 3)
+        system.upload_resources(project, data.provider_corpus)
+        system.start_project(project, noise_model=data.dataset.noise_model)
+        driver = SessionDriver(
+            system,
+            project,
+            readers=args.readers,
+            writer_tasks=args.tasks,
+            writers=args.writers,
+            same_table=args.same_table,
+        )
+        report = driver.run()
+        if args.durable:
+            system.database.close()
+        print(report.describe())
+        return 0 if report.consistent else 1
 
 
 def _default_lint_root() -> "Path":

@@ -92,11 +92,17 @@ from .table import Table
 from .transaction import Transaction
 from .types import DataType
 from .views import DatabaseView, ReadView
-from .wal import FSYNC_POLICIES, WalRecord, WriteAheadLog
+from .wal import (
+    DEFAULT_SEGMENT_BYTES,
+    FSYNC_POLICIES,
+    WalRecord,
+    WriteAheadLog,
+)
 
 __all__ = [
     "Database", "Table", "Schema", "Column", "DataType", "Transaction",
-    "WriteAheadLog", "WalRecord", "FSYNC_POLICIES", "RecoveryReport",
+    "WriteAheadLog", "WalRecord", "FSYNC_POLICIES", "DEFAULT_SEGMENT_BYTES",
+    "RecoveryReport",
     "CHECKPOINT_KEEP", "ReadView", "DatabaseView", "RWLock",
     "ActivityBarrier", "LockManager", "LOCK_SHARED", "LOCK_EXCLUSIVE",
     "DEFAULT_LOCK_TIMEOUT",

@@ -5,14 +5,29 @@ Two ways to run one:
 * **In-memory** (the default): ``Database("itag")`` — tables live in
   process memory; an optional WAL can be attached by hand.
 * **Managed durability directory**: ``Database.open(dir)`` owns a
-  directory holding ``checkpoint-NNNNNN.json`` snapshot files plus
-  ``wal.log`` and implements crash recovery — load the newest valid
-  checkpoint, replay only the committed WAL suffix (records with
-  ``lsn`` greater than the checkpoint's ``wal_lsn``), and discard torn
-  tail records instead of raising.  ``close()`` flushes and releases
-  the log; ``checkpoint()`` persists a snapshot atomically (temp file +
-  ``os.replace``) and only then garbage-collects the covered WAL
-  prefix.
+  directory holding checkpoint generations plus a ``wal.log``
+  *segment directory* and implements crash recovery — load the newest
+  valid checkpoint, replay only the committed WAL suffix (records
+  with ``lsn`` greater than the checkpoint's ``wal_lsn``), and
+  discard torn tail records instead of raising.  ``close()`` flushes
+  and releases the log.
+
+  Checkpoints are **incremental** by default: generation ``N`` is a
+  manifest (``checkpoint-NNNNNN.manifest.json``) naming one snapshot
+  file per table (``table-<name>-NNNNNN.json``), and only tables
+  whose :attr:`~repro.store.table.Table.version` counter moved since
+  the previous checkpoint are rewritten — clean tables re-reference
+  the file the previous generation already wrote, so checkpoint cost
+  tracks the *dirty fraction*, not total database size.  Every file
+  is published atomically (temp + ``os.replace``); the manifest
+  rename is the commit point, and the WAL is pruned (whole covered
+  segments deleted) only after it lands.  ``checkpoint(full=True)``
+  still writes the legacy single-file ``checkpoint-NNNNNN.json``
+  format, which recovery reads interchangeably.  Retention keeps
+  ``CHECKPOINT_KEEP`` *generations* (manifest or full); table files
+  referenced by no retained manifest are garbage-collected, and
+  unreadable generations are quarantined to ``*.corrupt`` so they
+  never count against retention.
 
 Concurrency model (multi-writer / multi-reader, strict 2PL):
 
@@ -45,6 +60,7 @@ from __future__ import annotations
 import itertools
 import json
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -61,7 +77,7 @@ from .lockmgr import (
 from .schema import Schema
 from .table import ChangeEvent, Table
 from .transaction import Transaction
-from .wal import DEFAULT_FSYNC_INTERVAL, WriteAheadLog
+from .wal import DEFAULT_FSYNC_INTERVAL, DEFAULT_SEGMENT_BYTES, WriteAheadLog
 
 __all__ = ["Database", "RecoveryReport", "CHECKPOINT_KEEP"]
 
@@ -69,6 +85,38 @@ __all__ = ["Database", "RecoveryReport", "CHECKPOINT_KEEP"]
 #: fallback (atomic replace makes a corrupt newest nearly impossible,
 #: but a fallback costs one file).
 CHECKPOINT_KEEP = 2
+
+#: Generation file names.  A *manifest* generation is
+#: ``checkpoint-NNNNNN.manifest.json`` plus the ``table-*.json`` files
+#: it references; a *full* generation is the legacy single-file
+#: ``checkpoint-NNNNNN.json``.  Note the legacy glob
+#: ``checkpoint-*.json`` matches both — discovery always dispatches on
+#: the manifest suffix first.
+_MANIFEST_SUFFIX = ".manifest.json"
+_CHECKPOINT_PREFIX = "checkpoint-"
+
+
+def _generation_of(path: Path) -> tuple[int, str] | None:
+    """Parse a checkpoint file name into ``(generation, kind)`` where
+    kind is ``"manifest"`` or ``"full"``; None for non-generation files
+    (quarantined ``.corrupt``, stray temp files, unparseable names)."""
+    name = path.name
+    if not name.startswith(_CHECKPOINT_PREFIX):
+        return None
+    if name.endswith(_MANIFEST_SUFFIX):
+        stem, kind = name[len(_CHECKPOINT_PREFIX):-len(_MANIFEST_SUFFIX)], "manifest"
+    elif name.endswith(".json"):
+        stem, kind = name[len(_CHECKPOINT_PREFIX):-len(".json")], "full"
+    else:
+        return None
+    try:
+        return int(stem), kind
+    except ValueError:
+        return None
+
+
+def _table_file_name(table_name: str, generation: int) -> str:
+    return f"table-{table_name}-{generation:06d}.json"
 
 
 @dataclass
@@ -78,25 +126,34 @@ class RecoveryReport:
     directory: str
     checkpoint_path: str | None = None
     checkpoint_lsn: int = 0
+    #: "manifest" (incremental generation) or "full" (legacy single
+    #: file); None when no checkpoint was found
+    checkpoint_kind: str | None = None
+    checkpoint_generation: int = 0
+    #: table snapshot files composed for a manifest generation
+    checkpoint_table_files: int = 0
     records_replayed: int = 0
     changes_applied: int = 0
     torn_tail: str | None = None
     repaired_bytes: int = 0
+    wal_segments: int = 0
     skipped_checkpoints: list[str] = field(default_factory=list)
 
     def describe(self) -> str:
         lines = [f"recovered database from {self.directory}"]
         if self.checkpoint_path:
-            lines.append(
-                f"  checkpoint: {self.checkpoint_path} (wal_lsn {self.checkpoint_lsn})"
-            )
+            detail = f"{self.checkpoint_kind}, wal_lsn {self.checkpoint_lsn}"
+            if self.checkpoint_kind == "manifest":
+                detail += f", {self.checkpoint_table_files} table files"
+            lines.append(f"  checkpoint: {self.checkpoint_path} ({detail})")
         else:
             lines.append("  checkpoint: none (replaying the full log)")
         for name in self.skipped_checkpoints:
             lines.append(f"  skipped unreadable checkpoint: {name}")
         lines.append(
             f"  replayed {self.records_replayed} committed records "
-            f"({self.changes_applied} changes)"
+            f"({self.changes_applied} changes) from "
+            f"{self.wal_segments} wal segment(s)"
         )
         if self.torn_tail:
             lines.append(
@@ -145,6 +202,13 @@ class Database:
         #: path of the newest checkpoint written by this process (None
         #: until the first managed checkpoint())
         self.last_checkpoint_path: Path | None = None
+        #: incremental-checkpoint baseline: per-table ``version`` at
+        #: the moment the last generation was taken, and the table file
+        #: that generation references.  A table is *clean* (file
+        #: reused, not rewritten) iff its live version still equals the
+        #: baseline AND a baseline file exists.
+        self._checkpoint_versions: dict[str, int] = {}
+        self._checkpoint_files: dict[str, str] = {}
         self.recovery: RecoveryReport | None = None
 
     # ------------------------------------------------------------------
@@ -160,45 +224,79 @@ class Database:
         fsync: str = "interval",
         fsync_interval: float = DEFAULT_FSYNC_INTERVAL,
         lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
+        wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
     ) -> "Database":
         """Open (or create) a managed durability directory.
 
-        Loads the newest valid checkpoint, replays the committed WAL
-        suffix on top (torn tail records are discarded and the file is
-        repaired in place), attaches the log, and returns the database
-        with a :class:`RecoveryReport` in :attr:`recovery`.
+        Loads the newest valid checkpoint generation — a manifest plus
+        its per-table snapshot files, or a legacy full snapshot —
+        replays the committed WAL suffix on top (torn tail records are
+        discarded and the log is repaired in place), attaches the log,
+        and returns the database with a :class:`RecoveryReport` in
+        :attr:`recovery`.  A generation whose manifest or any
+        referenced table file is unreadable is quarantined to
+        ``*.corrupt`` and recovery falls back to the next-newest one,
+        whose WAL suffix was retained (never-lossy fallback).
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         report = RecoveryReport(directory=str(directory))
 
+        candidates: list[tuple[int, str, Path]] = []
+        max_index = 0
+        for path in directory.glob("checkpoint-*"):
+            parsed = _generation_of(path)
+            if parsed is None:
+                if path.name.endswith(".json"):
+                    report.skipped_checkpoints.append(path.name)
+                continue
+            index, kind = parsed
+            max_index = max(max_index, index)
+            candidates.append((index, kind, path))
+
         database: "Database" | None = None
         checkpoint_lsn = 0
-        max_index = 0
-        for path in sorted(directory.glob("checkpoint-*.json"), reverse=True):
-            try:
-                index = int(path.stem.split("-", 1)[1])
-            except ValueError:
-                report.skipped_checkpoints.append(path.name)
-                continue
-            max_index = max(max_index, index)
-            if database is not None:
-                continue
-            # materialize inside the try: a checkpoint that parses as
-            # JSON but is structurally broken must fall back to the
-            # older generation, not abort recovery
+        checkpoint_files: dict[str, str] = {}
+        for index, kind, path in sorted(candidates, reverse=True):
+            # materialize inside the try: a generation that parses as
+            # JSON but is structurally broken (or, for a manifest, is
+            # missing a table file) must fall back to the older
+            # generation, not abort recovery
             try:
                 payload = json.loads(path.read_text(encoding="utf-8"))
-                lsn = int(payload.pop("wal_lsn", 0))
-                database = cls.from_snapshot(payload)
+                if kind == "manifest":
+                    lsn = int(payload.get("wal_lsn", 0))
+                    files = {
+                        str(table_name): str(info["file"])
+                        for table_name, info in payload["tables"].items()
+                    }
+                    tables = {
+                        table_name: json.loads(
+                            (directory / file_name).read_text(encoding="utf-8")
+                        )
+                        for table_name, file_name in files.items()
+                    }
+                    database = cls.from_snapshot(
+                        {"name": payload.get("name", "db"), "tables": tables}
+                    )
+                    checkpoint_files = files
+                    report.checkpoint_table_files = len(files)
+                else:
+                    lsn = int(payload.pop("wal_lsn", 0))
+                    database = cls.from_snapshot(payload)
                 checkpoint_lsn = lsn
                 report.checkpoint_path = str(path)
                 report.checkpoint_lsn = lsn
+                report.checkpoint_kind = kind
+                report.checkpoint_generation = index
+                break
             except Exception:  # noqa: BLE001 - any unreadable generation
                 report.skipped_checkpoints.append(path.name)
                 # Quarantine: an unreadable generation must not count
                 # toward CHECKPOINT_KEEP, or the next prune would keep
-                # it and delete the readable fallback instead.
+                # it and delete the readable fallback instead.  (Table
+                # files it referenced become unreferenced and are
+                # garbage-collected by the next checkpoint's prune.)
                 try:
                     path.rename(path.with_name(path.name + ".corrupt"))
                 except OSError:  # pragma: no cover - concurrent cleanup
@@ -210,12 +308,25 @@ class Database:
             database.name = name
         database._lockmgr.timeout = float(lock_timeout)
 
+        # Incremental baseline: capture per-table versions *before* WAL
+        # replay, so any table the replay touches counts as dirty at
+        # the next checkpoint (its on-disk file no longer matches).
+        database._checkpoint_files = checkpoint_files
+        database._checkpoint_versions = {
+            table_name: table.version
+            for table_name, table in database._tables.items()
+        }
+
         wal = WriteAheadLog(
-            directory / "wal.log", fsync=fsync, fsync_interval=fsync_interval
+            directory / "wal.log",
+            fsync=fsync,
+            fsync_interval=fsync_interval,
+            segment_bytes=wal_segment_bytes,
         )
         wal.ensure_sequence_at_least(checkpoint_lsn)
         report.torn_tail = wal.torn_tail
         report.repaired_bytes = wal.repaired_bytes
+        report.wal_segments = wal.segment_count
         committed = wal.records()
         pending = [record for record in committed if record.lsn > checkpoint_lsn]
         report.records_replayed = len(pending)
@@ -272,6 +383,11 @@ class Database:
             # schema change: queries holding the table object must replan
             self._tables[name].plan_cache.bump()
             del self._tables[name]
+            # A table recreated under the same name starts a fresh
+            # version counter that could coincide with the baseline —
+            # drop the baseline so it can never reuse the old file.
+            self._checkpoint_versions.pop(name, None)
+            self._checkpoint_files.pop(name, None)
             self._log_ddl({"op": "drop_table", "table": name})
 
     def _reject_ddl_in_transaction(self, op: str) -> None:
@@ -451,24 +567,39 @@ class Database:
     def wal(self) -> WriteAheadLog | None:
         return self._wal
 
-    def checkpoint(self, path: str | Path | None = None) -> dict[str, Any]:
+    def checkpoint(
+        self, path: str | Path | None = None, *, full: bool = False
+    ) -> dict[str, Any]:
         """Snapshot the database durably, then prune the covered log.
 
-        In a managed directory the snapshot is written atomically to
-        ``checkpoint-NNNNNN.json`` (temp file + ``os.replace``) and the
-        WAL is pruned **only after the rename lands** — a crash between
-        the two steps leaves the previous checkpoint plus the full log,
-        which recovery handles (replay is idempotent).  Pruning keeps
-        every record above the *previous* generation's ``wal_lsn``, so
-        if the newest checkpoint file is ever unreadable, recovery
-        falls back to the older generation and replays forward without
-        losing a single committed record (matching ``CHECKPOINT_KEEP``
-        retained generations).  With an explicit ``path`` the same
-        persist-then-prune order is used via :func:`save_database`.
-        With neither, the snapshot is returned and the WAL is left
-        untouched — the caller persists on its own and prunes
-        explicitly (``wal.truncate()`` / ``checkpoint(path=...)``) once
-        the snapshot is safe.
+        In a managed directory the default is an **incremental**
+        generation: each table whose ``version`` moved since the last
+        checkpoint gets a fresh ``table-<name>-NNNNNN.json`` snapshot
+        file; clean tables re-reference the file the previous
+        generation wrote.  The manifest
+        (``checkpoint-NNNNNN.manifest.json``) naming the complete file
+        set is written last — its atomic rename is the commit point —
+        and only then is the WAL pruned, whole covered segments at a
+        time.  ``full=True`` writes the legacy single-file
+        ``checkpoint-NNNNNN.json`` instead (and resets the incremental
+        baseline, so the next incremental generation rewrites every
+        table).  Either way the managed path returns a stats dict
+        (generation, kind, tables rewritten/reused, bytes, wal
+        segments) rather than the snapshot.
+
+        A crash between any two steps is safe: table files land before
+        the manifest that references them, and the previous checkpoint
+        plus the unpruned log recover the same state (replay is
+        idempotent).  Pruning keeps every record above the *previous*
+        generation's ``wal_lsn``, so if the newest generation is ever
+        unreadable, recovery falls back to the older one and replays
+        forward without losing a single committed record (matching
+        ``CHECKPOINT_KEEP`` retained generations).  With an explicit
+        ``path`` the same persist-then-prune order is used via
+        :func:`save_database`.  With neither, the snapshot is returned
+        and the WAL is left untouched — the caller persists on its own
+        and prunes explicitly (``wal.truncate()`` /
+        ``checkpoint(path=...)``) once the snapshot is safe.
 
         Serializes against transactions so the snapshot sits at a
         commit boundary.
@@ -495,27 +626,10 @@ class Database:
             # below it was applied before the snapshot began, so the
             # snapshot covers it; later records survive the truncation.
             covered_lsn = wal.sequence if wal is not None else 0
-            snapshot = self.to_snapshot()
             if self._directory is not None:
-                from .persist import write_text_atomic
-
-                payload = dict(snapshot)
-                payload["wal_lsn"] = covered_lsn
-                index = self._checkpoint_index + 1
-                target = self._directory / f"checkpoint-{index:06d}.json"
-                write_text_atomic(
-                    target, json.dumps(payload, sort_keys=True)
-                )
-                self._checkpoint_index = index
-                self.last_checkpoint_path = target
-                if wal is not None:
-                    # keep the suffix the previous (still-retained)
-                    # generation would need, so falling back to it is
-                    # never lossy
-                    wal.truncate_through(self._covered_lsn)
-                self._covered_lsn = covered_lsn
-                self._prune_checkpoints()
-            elif path is not None:
+                return self._checkpoint_managed(covered_lsn, full=full)
+            snapshot = self.to_snapshot()
+            if path is not None:
                 from .persist import save_database
 
                 save_database(self, path)
@@ -528,15 +642,136 @@ class Database:
             # checkpoint(path=...) once the snapshot is safe).
             return snapshot
 
+    def _checkpoint_managed(self, covered_lsn: int, *, full: bool) -> dict[str, Any]:
+        """Write one checkpoint generation into the managed directory
+        (caller holds the exclusive barrier) and prune the covered log.
+        Returns the stats dict described by :meth:`checkpoint`."""
+        from .persist import write_text_atomic
+
+        started = time.perf_counter()
+        index = self._checkpoint_index + 1
+        bytes_written = 0
+        if full:
+            payload = dict(self.to_snapshot())
+            payload["wal_lsn"] = covered_lsn
+            target = self._directory / f"{_CHECKPOINT_PREFIX}{index:06d}.json"
+            text = json.dumps(payload, sort_keys=True)
+            write_text_atomic(target, text)
+            bytes_written = len(text)
+            rewritten, reused = len(self._tables), 0
+            # the single file covers everything; no table files exist
+            # for the next incremental generation to reuse
+            self._checkpoint_files = {}
+        else:
+            files: dict[str, str] = {}
+            rewritten = reused = 0
+            for table_name in sorted(self._tables):
+                table = self._tables[table_name]
+                previous = self._checkpoint_files.get(table_name)
+                if (
+                    previous is not None
+                    and self._checkpoint_versions.get(table_name) == table.version
+                ):
+                    files[table_name] = previous
+                    reused += 1
+                    continue
+                file_name = _table_file_name(table_name, index)
+                text = json.dumps(self._snapshot_table(table), sort_keys=True)
+                write_text_atomic(self._directory / file_name, text)
+                bytes_written += len(text)
+                files[table_name] = file_name
+                rewritten += 1
+            manifest = {
+                "format": "checkpoint-manifest",
+                "name": self.name,
+                "generation": index,
+                "wal_lsn": covered_lsn,
+                "tables": {
+                    table_name: {
+                        "file": file_name,
+                        "version": self._tables[table_name].version,
+                    }
+                    for table_name, file_name in files.items()
+                },
+            }
+            target = (
+                self._directory / f"{_CHECKPOINT_PREFIX}{index:06d}{_MANIFEST_SUFFIX}"
+            )
+            text = json.dumps(manifest, sort_keys=True)
+            # commit point: the generation exists iff this rename lands
+            write_text_atomic(target, text)
+            bytes_written += len(text)
+            self._checkpoint_files = files
+        self._checkpoint_versions = {
+            table_name: table.version
+            for table_name, table in self._tables.items()
+        }
+        self._checkpoint_index = index
+        self.last_checkpoint_path = target
+        records_dropped = 0
+        if self._wal is not None:
+            # keep the suffix the previous (still-retained) generation
+            # would need, so falling back to it is never lossy
+            records_dropped = self._wal.truncate_through(self._covered_lsn)
+        self._covered_lsn = covered_lsn
+        self._prune_checkpoints()
+        return {
+            "kind": "full" if full else "incremental",
+            "generation": index,
+            "path": str(target),
+            "wal_lsn": covered_lsn,
+            "tables_total": len(self._tables),
+            "tables_rewritten": rewritten,
+            "tables_reused": reused,
+            "bytes_written": bytes_written,
+            "wal_records_dropped": records_dropped,
+            "wal_segments": self._wal.segment_count if self._wal is not None else 0,
+            "duration_s": time.perf_counter() - started,
+        }
+
     def _prune_checkpoints(self) -> None:
+        """Retention: keep the newest ``CHECKPOINT_KEEP`` generations
+        (manifest or full), delete older generation files, and
+        garbage-collect ``table-*.json`` files referenced by no
+        retained manifest."""
         if self._directory is None:
             return
-        paths = sorted(self._directory.glob("checkpoint-*.json"))
-        for stale in paths[:-CHECKPOINT_KEEP]:
-            try:
-                stale.unlink()
-            except OSError:  # pragma: no cover - concurrent cleanup
-                pass
+        generations: dict[int, list[tuple[str, Path]]] = {}
+        for candidate in self._directory.glob("checkpoint-*"):
+            parsed = _generation_of(candidate)
+            if parsed is None:
+                continue
+            index, kind = parsed
+            generations.setdefault(index, []).append((kind, candidate))
+        ordered = sorted(generations)
+        retained, stale = ordered[-CHECKPOINT_KEEP:], ordered[:-CHECKPOINT_KEEP]
+        for index in stale:
+            for _kind, candidate in generations[index]:
+                try:
+                    candidate.unlink()
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+        referenced: set[str] = set()
+        for index in retained:
+            for kind, candidate in generations[index]:
+                if kind != "manifest":
+                    continue
+                try:
+                    manifest = json.loads(candidate.read_text(encoding="utf-8"))
+                    for info in manifest.get("tables", {}).values():
+                        referenced.add(str(info["file"]))
+                # an unreadable retained manifest means we cannot know
+                # what it references: skip GC entirely rather than
+                # risk deleting a table file it still needs
+                # itag-lint: disable=except-hygiene
+                except Exception:
+                    return
+        for table_file in self._directory.glob("table-*.json"):
+            if table_file.name not in referenced:
+                try:
+                    table_file.unlink()
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
 
     # ------------------------------------------------------------------
     # snapshot-isolated reads
@@ -664,23 +899,30 @@ class Database:
         return {
             "name": self.name,
             "tables": {
-                name: {
-                    "schema": table.schema.to_dict(),
-                    "rows": sorted(
-                        table.scan(),
-                        key=lambda row: row[table.schema.primary_key],
-                    ),
-                    "indexes": [
-                        {"column": column, "kind": index.kind}
-                        for column, index in (
-                            (column, table.index_for(column))
-                            for column in table.index_columns()
-                        )
-                        if index is not None
-                    ],
-                }
+                name: self._snapshot_table(table)
                 for name, table in self._tables.items()
             },
+        }
+
+    @staticmethod
+    def _snapshot_table(table: Table) -> dict[str, Any]:
+        """One table's snapshot payload — the per-table unit that
+        incremental checkpoints write to ``table-<name>-NNNNNN.json``
+        (identical to its entry in :meth:`to_snapshot`)."""
+        return {
+            "schema": table.schema.to_dict(),
+            "rows": sorted(
+                table.scan(),
+                key=lambda row: row[table.schema.primary_key],
+            ),
+            "indexes": [
+                {"column": column, "kind": index.kind}
+                for column, index in (
+                    (column, table.index_for(column))
+                    for column in table.index_columns()
+                )
+                if index is not None
+            ],
         }
 
     @classmethod

@@ -405,16 +405,25 @@ class Table:
             )
         if self.schema.column(column).dtype is DataType.JSON:
             raise SchemaError(f"table {self.name!r}: JSON columns cannot be indexed")
-        if kind == "hash":
-            index: HashIndex | SortedIndex = HashIndex(column)
-        elif kind == "sorted":
-            index = SortedIndex(column)
-        else:
+        if kind not in ("hash", "sorted"):
             raise SchemaError(f"unknown index kind {kind!r} (use 'hash' or 'sorted')")
         with self._write_locked():
-            for pk, row in self._rows.items():
-                index.add(row[column], pk)
+            if kind == "hash":
+                index: HashIndex | SortedIndex = HashIndex(column)
+                for pk, row in self._rows.items():
+                    index.add(row[column], pk)
+            else:
+                # bulk backfill: one sort + chunking pass, not n inserts
+                index = SortedIndex.build(
+                    column,
+                    ((row[column], pk) for pk, row in self._rows.items()),
+                )
             self._indexes[column] = index
+            # index DDL changes the table's persisted payload, so it must
+            # move the version counter — incremental checkpoints decide
+            # table-file reuse by version, and a stale file would lose
+            # the index once the DDL's WAL record is pruned
+            self.version += 1
             # new access path: compiled plans may now be suboptimal or hold
             # a stale index object for this column
             self.plan_cache.bump()
@@ -440,6 +449,8 @@ class Table:
             )
         with self._write_locked():
             del self._indexes[column]
+            # persisted payload changed (see create_index)
+            self.version += 1
             # compiled plans may reference the dropped index
             self.plan_cache.bump()
             if self._ddl_listener is not None:
@@ -622,6 +633,13 @@ class Table:
                     f"distinct counter {index.n_distinct()} != recount "
                     f"{index.recount_distinct()}"
                 )
+            if hasattr(index, "verify_structure"):
+                # chunked sorted index: fencepost ordering, chunk size
+                # bounds, maintained size counter
+                try:
+                    index.verify_structure()
+                except ValueError as exc:
+                    raise ConstraintError(f"table {self.name!r}: {exc}") from exc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Table({self.name!r}, rows={len(self._rows)})"

@@ -1,14 +1,15 @@
 """Write-ahead log: commit-scoped logical records with group commit.
 
-The log is a sequence of framed records, one line per **committed
-transaction** (aborted transactions never touch the log)::
+The log is a **directory of segments** (``wal-NNNNNN.log``), each a
+sequence of framed records, one line per **committed transaction**
+(aborted transactions never touch the log)::
 
     <crc32-hex8> {"lsn": 7, "txn": [["insert", "items", 1, {...}], ...]}\\n
     <crc32-hex8> {"lsn": 8, "ddl": {"op": "create_index", ...}}\\n
 
-* ``lsn`` — log sequence number, strictly increasing, preserved across
-  truncation so checkpoints can name the exact suffix that still needs
-  replay.
+* ``lsn`` — log sequence number, strictly increasing across segment
+  boundaries, preserved across truncation so checkpoints can name the
+  exact suffix that still needs replay.
 * ``txn`` — the committed change list as ``[op, table, pk, after_row]``
   entries (full after-images, so replay is idempotent).
 * ``ddl`` — autocommitted schema changes (create/drop table, create/
@@ -18,6 +19,16 @@ transaction** (aborted transactions never touch the log)::
   *detectable*: a crash mid-``write`` leaves a record that fails the
   frame check and is **discarded, not raised** — recovery stops at the
   last intact record (the committed prefix).
+
+Appends go only to the **active segment** (the highest-numbered one).
+When the active segment passes ``segment_bytes`` the group-commit
+leader rotates: the outgoing segment is fsynced *before* the new one
+is created, so a record in segment N+1 proves segment N is complete
+and durable — which is why a tear in a non-final segment is interior
+corruption, never a crash artifact.  Checkpoint pruning then unlinks
+whole covered segments (O(segments dropped)); the live suffix is never
+rewritten.  A log that is still a single regular file (the pre-segment
+layout) is migrated into a one-segment directory on open.
 
 Writes go through a **group-commit pipeline** over one persistent
 buffered append handle: concurrent committers enqueue encoded records
@@ -39,7 +50,10 @@ followers return once their record is on disk.  Fsync policies:
   interval, so durability staleness is bounded by wall clock even when
   commits stop arriving.
 * ``never``    — flush to the OS only; durability is left to the
-  kernel (fastest; used by tests and bulk loads).
+  kernel (fastest; used by tests and bulk loads).  Segment rotation
+  still fsyncs the outgoing segment under every policy: the
+  records-in-N+1-prove-N-durable invariant is what recovery's
+  interior-corruption rule rests on.
 
 Transaction records additionally carry the sorted set of tables the
 transaction touched (``"tables": [...]``), making the log
@@ -68,10 +82,20 @@ from .table import ChangeEvent
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .database import Database
 
-__all__ = ["WriteAheadLog", "WalRecord", "FSYNC_POLICIES", "DEFAULT_FSYNC_INTERVAL"]
+__all__ = [
+    "WriteAheadLog",
+    "WalRecord",
+    "FSYNC_POLICIES",
+    "DEFAULT_FSYNC_INTERVAL",
+    "DEFAULT_SEGMENT_BYTES",
+]
 
 FSYNC_POLICIES = ("always", "interval", "never")
 DEFAULT_FSYNC_INTERVAL = 0.05
+#: Rotate the active segment once it passes this many bytes.  Small
+#: enough that checkpoint pruning reclaims space promptly, large enough
+#: that rotation fsyncs stay rare on the commit path.
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
 #: Max time an ``always``-policy batch leader waits for straggler
 #: commits before the durable write, when the last group size says
 #: concurrent committers are in flight.  Kept near the cost of one
@@ -79,6 +103,9 @@ DEFAULT_FSYNC_INTERVAL = 0.05
 #: tried to save; a lone writer never waits (the hint falls back to 1
 #: on the first solo batch).
 GROUP_COMMIT_WAIT = 0.0002
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
 
 #: (op, table, pk, after_row) — the logical redo entry for one change.
 Change = tuple[str, str, Any, dict | None]
@@ -109,6 +136,31 @@ class _ScanResult:
     #: interior corruption (a damaged sector mid-log), not a crash-torn
     #: tail, and must never be silently repaired away
     data_after_tear: bool = False
+
+
+@dataclass
+class _Segment:
+    """One on-disk segment file and its scanned record bookkeeping."""
+
+    index: int
+    path: Path
+    records: int = 0
+    first_lsn: int = 0
+    last_lsn: int = 0
+
+
+def _segment_name(index: int) -> str:
+    return f"{_SEGMENT_PREFIX}{index:06d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_index(path: Path) -> int | None:
+    name = path.name
+    if not (name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+    if not digits.isdigit():
+        return None
+    return int(digits)
 
 
 def _encode_record(
@@ -150,16 +202,17 @@ def _decode_line(line: bytes) -> WalRecord:
     return WalRecord(lsn=lsn, changes=changes, tables=tables)
 
 
-def _scan_log(raw: bytes) -> _ScanResult:
+def _scan_log(raw: bytes, *, last_lsn: int = 0) -> _ScanResult:
     """Tolerant scan: the longest valid record prefix of ``raw``.
 
     Stops (without raising) at the first torn record — a line that is
     incomplete, fails its CRC, fails to parse, or breaks LSN
-    monotonicity.  Everything before the tear is the committed prefix.
+    monotonicity.  ``last_lsn`` seeds the monotonicity check so scans
+    chain across segment boundaries.  Everything before the tear is the
+    committed prefix.
     """
     result = _ScanResult()
     offset = 0
-    last_lsn = 0
     while offset < len(raw):
         newline = raw.find(b"\n", offset)
         if newline == -1:
@@ -201,12 +254,16 @@ def _any_intact_record(raw: bytes, offset: int) -> bool:
 
 
 class WriteAheadLog:
-    """Commit-scoped append log bound to one file, with group commit.
+    """Commit-scoped append log over a segment directory, with group
+    commit.
 
-    The constructor scans the existing file, repairs a torn tail in
+    ``path`` is the log directory (a pre-segment single-file log at the
+    same path is migrated in place).  The constructor scans the
+    segments in order, repairs a torn tail in the final segment in
     place (truncates to the last intact record; set ``repair=False``
-    for read-only inspection), and keeps the append handle open for the
-    log's lifetime — appends never reopen the file.
+    for read-only inspection), and keeps the append handle on the
+    active segment open for the log's lifetime — appends never reopen
+    the file.
     """
 
     def __init__(
@@ -216,47 +273,38 @@ class WriteAheadLog:
         fsync: str = "interval",
         fsync_interval: float = DEFAULT_FSYNC_INTERVAL,
         repair: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise WalError(
                 f"unknown fsync policy {fsync!r}; use one of {FSYNC_POLICIES}"
             )
+        if segment_bytes < 1:
+            raise WalError("segment_bytes must be positive")
         self.path = Path(path)
         self.fsync_policy = fsync
         self.fsync_interval = float(fsync_interval)
+        self.segment_bytes = int(segment_bytes)
         self.repaired_bytes = 0
         self.torn_tail: str | None = None
+        self.rotations = 0
+        self.segments_dropped = 0
 
-        raw = self.path.read_bytes() if self.path.exists() else b""
-        scan = _scan_log(raw)
-        self.torn_tail = scan.torn_tail
-        if scan.torn_tail is not None and repair:
-            if scan.data_after_tear:
-                # Intact records after the anomaly = interior corruption
-                # (damaged sector), not a crash-torn tail.  Silently
-                # truncating here would destroy every durably-acked
-                # record after the damage — refuse and let an operator
-                # intervene.
-                raise WalError(
-                    f"WAL {self.path} is corrupt mid-log ({scan.torn_tail}) "
-                    "with intact records after the damage; refusing to "
-                    "auto-repair — inspect with repair=False"
-                )
-            with self.path.open("r+b") as handle:
-                handle.truncate(scan.valid_bytes)
-            self.repaired_bytes = len(raw) - scan.valid_bytes
-        self._count = len(scan.records)
-        self._sequence = scan.records[-1].lsn if scan.records else 0
-        # the constructor already decoded the whole file; serve the
-        # first read_committed() from it (recovery reads the log right
-        # after opening) — invalidated by any append or truncation
+        self._migrate_legacy_file()
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._segments = self._discover_segments()
+        records = self._scan_and_repair(repair)
+        self._count = len(records)
+        self._sequence = records[-1].lsn if records else 0
+        # the constructor already decoded every segment; serve the first
+        # read_committed() from it (recovery reads the log right after
+        # opening) — invalidated by any append or truncation
         self._scan_cache: tuple[list[WalRecord], str | None] | None = (
-            list(scan.records),
-            scan.torn_tail,
+            list(records),
+            self.torn_tail,
         )
 
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = self.path.open("ab")
+        self._handle = self._segments[-1].path.open("ab")
         self._closed = False
 
         # group-commit pipeline state ----------------------------------
@@ -266,7 +314,7 @@ class WriteAheadLog:
         #: collecting leader, not every parked follower (a notify_all
         #: herd costs more than the fsync the collection saves)
         self._collect_cond = threading.Condition(self._cond._lock)
-        self._queue: list[bytes] = []
+        self._queue: list[tuple[int, bytes]] = []
         self._enqueued = 0
         self._completed = 0
         self._writing = False
@@ -296,6 +344,79 @@ class WriteAheadLog:
         self._flusher_stop = threading.Event()
 
     # ------------------------------------------------------------------
+    # segment discovery / initial scan
+    # ------------------------------------------------------------------
+
+    def _migrate_legacy_file(self) -> None:
+        """Turn a pre-segment single-file log into a one-segment
+        directory (rename aside, mkdir, move in as segment 1)."""
+        if not self.path.is_file():
+            return
+        aside = self.path.with_name(self.path.name + ".migrate")
+        os.replace(self.path, aside)
+        self.path.mkdir()
+        os.replace(aside, self.path / _segment_name(1))
+        fsync_directory(self.path)
+        fsync_directory(self.path.parent)
+
+    def _discover_segments(self) -> list[_Segment]:
+        found: list[_Segment] = []
+        for child in self.path.iterdir():
+            index = _segment_index(child)
+            if index is not None:
+                found.append(_Segment(index=index, path=child))
+        found.sort(key=lambda seg: seg.index)
+        if not found:
+            first = _Segment(index=1, path=self.path / _segment_name(1))
+            first.path.touch()
+            found.append(first)
+        return found
+
+    def _scan_and_repair(self, repair: bool) -> list[WalRecord]:
+        """Scan segments in order (LSNs chain across boundaries) and
+        apply the per-segment corruption rules:
+
+        * a tear in the *final* segment with nothing intact after it is
+          a crash-torn tail — truncated in place under ``repair``;
+        * a tear anywhere else (an earlier segment, or with intact data
+          after it) is interior corruption — rotation fsyncs segment N
+          before segment N+1 exists, so later records prove the damage
+          was not a crash.  Refused under ``repair``; with
+          ``repair=False`` the committed prefix simply stops there.
+        """
+        records: list[WalRecord] = []
+        last_lsn = 0
+        for pos, segment in enumerate(self._segments):
+            raw = segment.path.read_bytes() if segment.path.exists() else b""
+            scan = _scan_log(raw, last_lsn=last_lsn)
+            segment.records = len(scan.records)
+            if scan.records:
+                segment.first_lsn = scan.records[0].lsn
+                segment.last_lsn = scan.records[-1].lsn
+                last_lsn = segment.last_lsn
+            records.extend(scan.records)
+            if scan.torn_tail is None:
+                continue
+            self.torn_tail = f"{segment.path.name}: {scan.torn_tail}"
+            later_records = any(
+                later.path.exists() and later.path.stat().st_size > 0
+                for later in self._segments[pos + 1 :]
+            )
+            if not repair:
+                return records
+            if scan.data_after_tear or later_records:
+                raise WalError(
+                    f"WAL {self.path} is corrupt mid-log ({self.torn_tail}) "
+                    "with intact records after the damage; refusing to "
+                    "auto-repair — inspect with repair=False"
+                )
+            with segment.path.open("r+b") as handle:
+                handle.truncate(scan.valid_bytes)
+            self.repaired_bytes = len(raw) - scan.valid_bytes
+            return records
+        return records
+
+    # ------------------------------------------------------------------
     # properties
     # ------------------------------------------------------------------
 
@@ -310,9 +431,33 @@ class WriteAheadLog:
         return self._closed
 
     def __len__(self) -> int:
-        """Number of committed records in the file (tracked
-        incrementally; never re-reads the log)."""
+        """Number of committed records on disk (tracked incrementally;
+        never re-reads the log)."""
         return self._count
+
+    def segment_paths(self) -> list[Path]:
+        """The on-disk segment files, oldest first (the last one is the
+        active append target)."""
+        with self._cond:
+            return [segment.path for segment in self._segments]
+
+    @property
+    def segment_count(self) -> int:
+        with self._cond:
+            return len(self._segments)
+
+    def total_bytes(self) -> int:
+        """Bytes across all segments (flushes the pipeline first so the
+        active segment's size is current)."""
+        if not self._closed:
+            self.flush()
+        total = 0
+        for path in self.segment_paths():
+            try:
+                total += path.stat().st_size
+            except FileNotFoundError:  # pragma: no cover - prune race
+                pass
+        return total
 
     def ensure_sequence_at_least(self, lsn: int) -> None:
         """Raise the LSN floor (recovery: the checkpoint's ``wal_lsn``
@@ -369,7 +514,7 @@ class WriteAheadLog:
             self._sequence += 1
             lsn = self._sequence
             self._queue.append(
-                _encode_record(lsn, changes=changes, ddl=ddl, tables=tables)
+                (lsn, _encode_record(lsn, changes=changes, ddl=ddl, tables=tables))
             )
             self._count += 1
             self._enqueued += 1
@@ -411,7 +556,9 @@ class WriteAheadLog:
                 batch, self._queue = self._queue, []
             self._lead_write(batch, fsync=None)
 
-    def _lead_write(self, batch: list[bytes], *, fsync: bool | None) -> None:
+    def _lead_write(
+        self, batch: list[tuple[int, bytes]], *, fsync: bool | None
+    ) -> None:
         """Write one drained batch as the pipeline leader (``_writing``
         is already claimed).  An IO failure marks the log broken: the
         batch's committers — and all later ones — get an error instead
@@ -429,13 +576,19 @@ class WriteAheadLog:
             return
         error: BaseException | None = None
         offset_before = None
+        active = self._segments[-1]
+        bookkeeping_before = (active.records, active.first_lsn, active.last_lsn)
         try:
             if batch:
                 self._handle.flush()
                 offset_before = self._handle.tell()
-                self._handle.write(b"".join(batch))
+                self._handle.write(b"".join(encoded for _lsn, encoded in batch))
                 self._handle.flush()
                 self._dirty = True
+                if not active.records:
+                    active.first_lsn = batch[0][0]
+                active.records += len(batch)
+                active.last_lsn = batch[-1][0]
             if fsync is None:
                 fsync = self.fsync_policy == "always" or (
                     self.fsync_policy == "interval"
@@ -446,6 +599,8 @@ class WriteAheadLog:
                 self.sync_count += 1
                 self._last_sync = time.monotonic()
                 self._dirty = False
+            if batch and self._handle.tell() >= self.segment_bytes:
+                self._rotate_locked()
         # leader thread must survive; the error reaches every committer
         # of the batch via _broken  itag-lint: disable=except-hygiene
         except BaseException as exc:  # noqa: BLE001 - re-raised below
@@ -463,12 +618,12 @@ class WriteAheadLog:
                 pass
             if offset_before is not None:
                 try:
-                    with self.path.open("r+b") as fix:
+                    with active.path.open("r+b") as fix:
                         fix.truncate(offset_before)
                 except OSError:  # pragma: no cover - disk fully gone
                     pass
             try:
-                self._handle = self.path.open("ab")
+                self._handle = self._segments[-1].path.open("ab")
             except OSError:  # pragma: no cover - disk fully gone
                 self._closed = True
         finally:
@@ -478,6 +633,11 @@ class WriteAheadLog:
                     self._broken = error
                     self._last_good = self._completed
                     self._count -= len(batch)  # truncated back out
+                    (
+                        active.records,
+                        active.first_lsn,
+                        active.last_lsn,
+                    ) = bookkeeping_before
                 self._completed += len(batch)
                 self.group_commits += 1
                 self.grouped_records += len(batch)
@@ -485,6 +645,29 @@ class WriteAheadLog:
                 self._cond.notify_all()
         if error is not None:
             raise WalError(f"WAL {self.path} write failed: {error!r}") from error
+
+    def _rotate_locked(self) -> None:
+        """Seal the active segment and open the next one.  Caller is
+        the pipeline leader (``_writing`` held).
+
+        The outgoing segment is fsynced under *every* policy before the
+        new file exists: any record in segment N+1 then proves segment
+        N durable and complete, which is the invariant recovery's
+        interior-corruption refusal rests on.
+        """
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.sync_count += 1
+        self._last_sync = time.monotonic()
+        self._dirty = False
+        self._handle.close()
+        new_index = self._segments[-1].index + 1
+        segment = _Segment(index=new_index, path=self.path / _segment_name(new_index))
+        self._handle = segment.path.open("ab")
+        fsync_directory(self.path)
+        with self._cond:
+            self._segments.append(segment)
+        self.rotations += 1
 
     def _quiesce(self) -> None:
         """Claim pipeline leadership with an empty queue: on return,
@@ -625,6 +808,10 @@ class WriteAheadLog:
             "sync_count": self.sync_count,
             "group_commits": self.group_commits,
             "grouped_records": self.grouped_records,
+            "segments": len(self._segments),
+            "segment_bytes": self.segment_bytes,
+            "rotations": self.rotations,
+            "segments_dropped": self.segments_dropped,
             "last_sync_age": self.last_sync_age(),
             "dirty": self._dirty,
             "flusher_running": self._flusher is not None
@@ -646,9 +833,22 @@ class WriteAheadLog:
             return list(cached[0]), cached[1]
         if not self._closed:
             self.flush()
-        raw = self.path.read_bytes() if self.path.exists() else b""
-        scan = _scan_log(raw)
-        return scan.records, scan.torn_tail
+        records: list[WalRecord] = []
+        torn: str | None = None
+        last_lsn = 0
+        for path in self.segment_paths():
+            try:
+                raw = path.read_bytes()
+            except FileNotFoundError:  # pragma: no cover - prune race
+                continue
+            scan = _scan_log(raw, last_lsn=last_lsn)
+            records.extend(scan.records)
+            if scan.records:
+                last_lsn = scan.records[-1].lsn
+            if scan.torn_tail is not None:
+                torn = f"{path.name}: {scan.torn_tail}"
+                break
+        return records, torn
 
     def records(self) -> list[WalRecord]:
         """The committed records (the torn tail, if any, is excluded)."""
@@ -712,46 +912,46 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
 
     def truncate_through(self, lsn: int) -> int:
-        """Drop committed records with ``lsn <= lsn``; returns the
-        number dropped.
+        """Drop *whole segments* whose records all have ``lsn <= lsn``;
+        returns the number of records dropped.
 
         Used by checkpointing: records already covered by a durable
-        snapshot are garbage.  Records *after* ``lsn`` (commits that
-        raced the checkpoint) are preserved, and the sequence counter
-        never rewinds, so recovery can always tell snapshot-covered
-        records from the live suffix.  The survivor suffix is rewritten
-        atomically (temp file + ``os.replace``) with the pipeline
-        quiesced, so no concurrent group-commit leader can be mid-write
-        on the handle being swapped.
+        snapshot are garbage.  The cost is O(segments dropped) — the
+        live suffix is never rewritten.  A partially-covered segment is
+        kept whole (recovery filters covered records by LSN anyway),
+        and the sequence counter never rewinds.  When the *active*
+        segment is itself fully covered it is first rotated so it too
+        can be unlinked, keeping steady-state space proportional to the
+        live suffix.
         """
         self._quiesce()
         try:
             self._check_usable()
             self._scan_cache = None
             self._handle.flush()
-            raw = self.path.read_bytes() if self.path.exists() else b""
-            scan = _scan_log(raw)
-            keep = [record for record in scan.records if record.lsn > lsn]
-            dropped = len(scan.records) - len(keep)
-            tmp = self.path.with_name(self.path.name + ".tmp")
-            with tmp.open("wb") as handle:
-                for record in keep:
-                    handle.write(
-                        _encode_record(
-                            record.lsn,
-                            changes=list(record.changes) if not record.is_ddl else None,
-                            ddl=record.ddl,
-                            tables=record.tables,
-                        )
-                    )
-                handle.flush()
-                os.fsync(handle.fileno())
-            self._handle.close()
-            os.replace(tmp, self.path)
-            fsync_directory(self.path.parent)
-            self._handle = self.path.open("ab")
-            self._count = len(keep)
-            return dropped
+            active = self._segments[-1]
+            if active.records and active.last_lsn <= lsn:
+                self._rotate_locked()
+            dropped_records = 0
+            dropped_any = False
+            survivors: list[_Segment] = []
+            for segment in self._segments[:-1]:
+                if segment.last_lsn <= lsn:
+                    dropped_records += segment.records
+                    try:
+                        segment.path.unlink()
+                    except FileNotFoundError:  # pragma: no cover - raced GC
+                        pass
+                    self.segments_dropped += 1
+                    dropped_any = True
+                else:
+                    survivors.append(segment)
+            if dropped_any:
+                fsync_directory(self.path)
+            with self._cond:
+                self._segments = survivors + [self._segments[-1]]
+                self._count -= dropped_records
+            return dropped_records
         finally:
             self._release()
 
@@ -762,7 +962,8 @@ class WriteAheadLog:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"WriteAheadLog({str(self.path)!r}, lsn={self._sequence}, "
-            f"records={self._count}, fsync={self.fsync_policy!r})"
+            f"records={self._count}, segments={len(self._segments)}, "
+            f"fsync={self.fsync_policy!r})"
         )
 
 

@@ -116,10 +116,12 @@ class ITagSystem:
     # durability
     # ------------------------------------------------------------------
 
-    def checkpoint(self) -> None:
-        """Persist a snapshot of the relational state and prune the WAL
-        (managed ``data_dir`` deployments; no-op safe for in-memory)."""
-        self.database.checkpoint()
+    def checkpoint(self) -> dict:
+        """Persist the relational state (incremental generation in a
+        managed ``data_dir`` deployment, in-memory snapshot otherwise)
+        and prune the covered WAL segments.  Returns the managed-mode
+        stats dict — or the raw snapshot when in-memory."""
+        return self.database.checkpoint()
 
     def close(self) -> None:
         """Flush and close the durability layer (idempotent)."""

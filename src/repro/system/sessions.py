@@ -84,6 +84,9 @@ class SessionReport:
     same_table: bool = False
     writer_sessions: list[WriterStats] = field(default_factory=list)
     lock_stats: dict = field(default_factory=dict)
+    #: durable-mode only: stats of the checkpoint taken after the run
+    #: (timing, rewritten/reused split, live WAL segment counts)
+    durability: dict = field(default_factory=dict)
     errors: list[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
 
@@ -119,6 +122,18 @@ class SessionReport:
                 f"{self.lock_stats.get('victims', 0)} victims, "
                 f"{self.lock_stats.get('timeouts', 0)} timeouts, "
                 f"{self.lock_stats.get('escalations', 0)} escalations"
+            )
+        if self.durability:
+            lines.append(
+                "  durability: checkpoint "
+                f"gen {self.durability.get('generation', 0)} "
+                f"({self.durability.get('kind', '?')}) in "
+                f"{self.durability.get('checkpoint_ms', 0.0):.1f} ms, "
+                f"{self.durability.get('tables_rewritten', 0)} rewritten / "
+                f"{self.durability.get('tables_reused', 0)} reused, "
+                f"{self.durability.get('wal_records_dropped', 0)} wal records "
+                f"pruned, {self.durability.get('wal_segments', 0)} segment(s) "
+                f"live after {self.durability.get('rotations', 0)} rotation(s)"
             )
         for message in self.errors:
             lines.append(f"  error: {message}")
@@ -215,7 +230,23 @@ class SessionDriver:
         )
         if self._same_table:
             self._check_counters(report)
-        report.lock_stats = dict(self._system.database.lock_manager.stats())
+        database = self._system.database
+        report.lock_stats = dict(database.lock_manager.stats())
+        if database.directory is not None and database.wal is not None:
+            # durable run: take an incremental checkpoint so the report
+            # surfaces checkpoint timing and live WAL segment counts
+            wal_stats = database.wal.stats()
+            checkpoint_stats = database.checkpoint()
+            report.durability = {
+                "kind": checkpoint_stats["kind"],
+                "generation": checkpoint_stats["generation"],
+                "checkpoint_ms": checkpoint_stats["duration_s"] * 1000.0,
+                "tables_rewritten": checkpoint_stats["tables_rewritten"],
+                "tables_reused": checkpoint_stats["tables_reused"],
+                "wal_records_dropped": checkpoint_stats["wal_records_dropped"],
+                "wal_segments": checkpoint_stats["wal_segments"],
+                "rotations": wal_stats.get("rotations", 0),
+            }
         return report
 
     # -- same-table writer mode ----------------------------------------

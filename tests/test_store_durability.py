@@ -83,9 +83,11 @@ def _apply_op(table, op: str, pk: int, value: int) -> None:
     suppress_health_check=[HealthCheck.too_slow],
 )
 def test_recovery_from_any_crash_point_is_a_committed_prefix(txns, cut_fraction):
+    # tiny segments so the cut point regularly lands on and across
+    # segment boundaries, exercising rotation in the crash model
     with tempfile.TemporaryDirectory() as raw_dir:
         directory = Path(raw_dir) / "state"
-        database = open_with_items(directory)
+        database = open_with_items(directory, wal_segment_bytes=256)
         table = database.table("items")
         wal = database.wal
 
@@ -111,13 +113,23 @@ def test_recovery_from_any_crash_point_is_a_committed_prefix(txns, cut_fraction)
                 states_after_record.append(database.to_snapshot()["tables"])
         database.close()
 
-        # crash: truncate the log at an arbitrary byte boundary
-        wal_path = directory / "wal.log"
-        raw = wal_path.read_bytes()
+        # crash: truncate the log at an arbitrary byte boundary of its
+        # logical concatenation.  A crash while appending to segment N
+        # leaves segments 1..N-1 whole and N torn, with no later
+        # segments — so the crashed copy keeps every full segment
+        # below the cut plus a truncated copy of the one containing it.
+        segments = sorted((directory / "wal.log").glob("wal-*.log"))
+        raw = b"".join(segment.read_bytes() for segment in segments)
         cut = round(cut_fraction * len(raw))
         crashed = Path(raw_dir) / "crashed"
-        crashed.mkdir()
-        (crashed / "wal.log").write_bytes(raw[:cut])
+        (crashed / "wal.log").mkdir(parents=True)
+        remaining = cut
+        for segment in segments:
+            if remaining <= 0:
+                break
+            data = segment.read_bytes()
+            (crashed / "wal.log" / segment.name).write_bytes(data[:remaining])
+            remaining -= len(data)
 
         # how many records fit entirely below the cut?
         survivors = 0
@@ -206,14 +218,19 @@ class TestCheckpointAtomicity:
 
     def test_checkpoint_prunes_covered_records_and_old_files(self, tmp_path):
         """The WAL retains exactly the suffix the previous (retained)
-        checkpoint generation would need — never less."""
-        database = open_with_items(tmp_path / "state")
+        checkpoint generation would need — never less.  Pruning is
+        segment-granular, so with one record per segment (segment_bytes
+        small enough to rotate after every write) the retained record
+        set is exact."""
+        database = open_with_items(tmp_path / "state", wal_segment_bytes=1)
         table = database.table("items")
         previous_lsn = 0
         for round_number in range(CHECKPOINT_KEEP + 2):
             table.insert({"value": f"round-{round_number}"})
             lsn_before = database.wal.sequence
-            database.checkpoint()
+            stats = database.checkpoint()
+            assert stats["kind"] == "incremental"
+            assert stats["tables_rewritten"] == 1  # "items" is dirty
             # records above the *previous* generation's lsn survive
             kept = [record.lsn for record in database.wal.records()]
             assert kept == [
@@ -310,6 +327,184 @@ class TestCheckpointAtomicity:
 
         recovered = Database.open(tmp_path / "state", fsync="never")
         assert recovered.table_names() == ["items"]
+        recovered.verify()
+        recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# incremental checkpoints: manifest + per-table files
+# ---------------------------------------------------------------------------
+
+class TestIncrementalCheckpoints:
+    def _two_tables(self, directory) -> Database:
+        database = open_with_items(directory)
+        database.create_table("other", item_schema())
+        database.table("items").insert({"value": "a"})
+        database.table("other").insert({"value": "b"})
+        return database
+
+    def test_clean_tables_reuse_files_dirty_tables_rewrite(self, tmp_path):
+        state = tmp_path / "state"
+        database = self._two_tables(state)
+        stats = database.checkpoint()
+        assert stats["kind"] == "incremental"
+        assert stats["generation"] == 1
+        assert (stats["tables_rewritten"], stats["tables_reused"]) == (2, 0)
+
+        database.table("items").insert({"value": "c"})
+        stats = database.checkpoint()
+        assert (stats["tables_rewritten"], stats["tables_reused"]) == (1, 1)
+        # gen 2 rewrote "items" and re-references gen 1's "other" file
+        assert (state / "table-items-000002.json").exists()
+        assert (state / "table-other-000001.json").exists()
+        assert not (state / "table-other-000002.json").exists()
+        expected = database.to_snapshot()["tables"]
+        database.close()
+
+        recovered = Database.open(state, fsync="never")
+        assert recovered.recovery.checkpoint_kind == "manifest"
+        assert recovered.recovery.checkpoint_generation == 2
+        assert recovered.recovery.checkpoint_table_files == 2
+        assert recovered.recovery.records_replayed == 0
+        assert recovered.to_snapshot()["tables"] == expected
+        recovered.verify()
+        recovered.close()
+
+    def test_noop_checkpoint_reuses_every_file(self, tmp_path):
+        database = self._two_tables(tmp_path / "state")
+        database.checkpoint()
+        stats = database.checkpoint()
+        assert (stats["tables_rewritten"], stats["tables_reused"]) == (0, 2)
+        assert stats["bytes_written"] > 0  # the manifest itself
+        database.close()
+
+    def test_full_checkpoint_interops_with_manifests(self, tmp_path):
+        state = tmp_path / "state"
+        database = self._two_tables(state)
+        stats = database.checkpoint(full=True)
+        assert stats["kind"] == "full"
+        assert (state / "checkpoint-000001.json").exists()
+        # a full snapshot leaves no per-table files to reuse: the next
+        # incremental generation rewrites everything
+        stats = database.checkpoint()
+        assert (stats["tables_rewritten"], stats["tables_reused"]) == (2, 0)
+        expected = database.to_snapshot()["tables"]
+        database.close()
+
+        recovered = Database.open(state, fsync="never")
+        assert recovered.recovery.checkpoint_kind == "manifest"
+        assert recovered.to_snapshot()["tables"] == expected
+        recovered.close()
+
+        # corrupting the newest manifest falls back to the full file
+        newest = state / "checkpoint-000002.manifest.json"
+        newest.write_text("{broken", encoding="utf-8")
+        recovered = Database.open(state, fsync="never")
+        assert recovered.recovery.checkpoint_kind == "full"
+        assert recovered.to_snapshot()["tables"] == expected
+        recovered.close()
+
+    def test_unreferenced_table_files_are_garbage_collected(self, tmp_path):
+        state = tmp_path / "state"
+        database = self._two_tables(state)
+        for round_number in range(CHECKPOINT_KEEP + 2):
+            database.table("items").insert({"value": f"r{round_number}"})
+            database.checkpoint()
+        # only the retained generations' "items" files survive; the
+        # never-rewritten "other" file stays referenced by every
+        # manifest and must NOT be collected
+        live = sorted(p.name for p in state.glob("table-*.json"))
+        last = CHECKPOINT_KEEP + 2
+        assert live == sorted(
+            [f"table-items-{gen:06d}.json" for gen in (last - 1, last)]
+            + ["table-other-000001.json"]
+        )
+        database.close()
+
+    def test_missing_table_file_quarantines_manifest(self, tmp_path):
+        state = tmp_path / "state"
+        database = self._two_tables(state)
+        database.checkpoint()
+        database.table("items").insert({"value": "c"})
+        database.checkpoint()
+        expected = database.to_snapshot()["tables"]
+        database.close()
+
+        (state / "table-items-000002.json").unlink()
+        recovered = Database.open(state, fsync="never")
+        report = recovered.recovery
+        assert "checkpoint-000002.manifest.json" in report.skipped_checkpoints
+        assert report.checkpoint_generation == 1  # fell back
+        assert (state / "checkpoint-000002.manifest.json.corrupt").exists()
+        # gen 1 plus the retained WAL suffix reproduces the full state
+        assert recovered.to_snapshot()["tables"] == expected
+        recovered.verify()
+        recovered.close()
+
+    def test_recreated_table_never_reuses_stale_file(self, tmp_path):
+        """Drop + recreate under the same name can reproduce the same
+        version counter value; the baseline must not survive the drop,
+        or the next checkpoint would re-reference the stale file."""
+        state = tmp_path / "state"
+        database = self._two_tables(state)
+        database.checkpoint()
+        database.drop_table("other")
+        database.create_table("other", item_schema())
+        database.table("other").insert({"value": "replacement"})
+        stats = database.checkpoint()
+        # untouched "items" is still reused; recreated "other" is dirty
+        assert (stats["tables_rewritten"], stats["tables_reused"]) == (1, 1)
+        database.close()
+
+        recovered = Database.open(state, fsync="never")
+        assert [row["value"] for row in recovered.table("other").scan()] == [
+            "replacement"
+        ]
+        recovered.verify()
+        recovered.close()
+
+    @pytest.mark.parametrize("crash_call", [1, 2, 3])
+    @pytest.mark.parametrize("after_replace", [False, True])
+    def test_crash_anywhere_in_publish_sequence_is_lossless(
+        self, tmp_path, monkeypatch, crash_call, after_replace
+    ):
+        """An incremental checkpoint publishes via a sequence of atomic
+        renames (one per rewritten table file, then the manifest).  A
+        crash before or after ANY of those renames must recover every
+        acked commit: table files land before the manifest that
+        references them, and the WAL is pruned only after the manifest
+        rename — so the previous generation plus the unpruned log
+        always reproduces the state."""
+        import repro.store.persist as persist_module
+
+        state = tmp_path / "state"
+        database = self._two_tables(state)
+        database.checkpoint()
+        database.table("items").insert({"value": "c"})
+        database.table("other").insert({"value": "d"})
+        expected = database.to_snapshot()["tables"]
+
+        calls = {"count": 0}
+        real_replace = persist_module.os.replace
+
+        def exploding_replace(src, dst):
+            calls["count"] += 1
+            if calls["count"] == crash_call:
+                if after_replace:
+                    real_replace(src, dst)
+                raise OSError("simulated crash in checkpoint publish")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.store.persist.os.replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            database.checkpoint()
+        monkeypatch.undo()
+        # both rewritten table files plus the manifest rename
+        assert calls["count"] == crash_call
+        database.close()
+
+        recovered = Database.open(state, fsync="never")
+        assert recovered.to_snapshot()["tables"] == expected
         recovered.verify()
         recovered.close()
 

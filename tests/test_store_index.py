@@ -214,3 +214,122 @@ class TestIndexSnapshots:
         index.clear()
         assert snap.lookup("a") == {1}
         assert len(index) == 0
+
+
+class TestChunkedSortedIndex:
+    """The two-level chunk/spine structure behind SortedIndex."""
+
+    def _filled(self, count, chunk_target=None):
+        from repro.store.index import SORTED_CHUNK_TARGET
+
+        index = SortedIndex.build("v", ((i, i) for i in range(count)))
+        assert len(index._chunks) == -(-count // SORTED_CHUNK_TARGET)
+        return index
+
+    def test_bulk_build_matches_incremental_adds(self):
+        import random
+
+        rng = random.Random(11)
+        pairs = [(rng.randrange(50), pk) for pk in range(3000)]
+        built = SortedIndex.build("v", pairs)
+        grown = SortedIndex("v")
+        for value, pk in pairs:
+            grown.add(value, pk)
+        built.verify_structure()
+        grown.verify_structure()
+        assert list(built.iter_items()) == list(grown.iter_items())
+        assert built.n_distinct() == grown.n_distinct()
+        assert len(built) == len(grown)
+
+    def test_inserts_split_overfull_chunks(self):
+        from repro.store.index import SORTED_CHUNK_MAX
+
+        index = SortedIndex("v")
+        for i in range(SORTED_CHUNK_MAX + 10):
+            index.add(i, i)
+        index.verify_structure()
+        assert len(index._chunks) >= 2
+        assert list(index.iter_pks()) == list(range(SORTED_CHUNK_MAX + 10))
+
+    def test_deletes_unlink_emptied_chunks(self):
+        index = self._filled(2000)
+        for i in range(2000):
+            index.remove(i, i)
+        index.verify_structure()
+        assert index._chunks == []
+        assert len(index) == 0
+        assert index.n_distinct() == 0
+
+    def test_range_and_estimates_span_chunk_boundaries(self):
+        index = self._filled(2000)
+        got = index.range(500, 1500)
+        assert got == list(range(500, 1501))
+        assert index.estimate_range(500, 1500) == len(got)
+        assert index.estimate_range(1500, 500) == 0  # reversed bounds
+        assert index.estimate_eq(777) == 1
+        assert index.lookup(777) == {777}
+
+    def test_duplicate_value_group_spans_chunks(self):
+        from repro.store.index import SORTED_CHUNK_MAX
+
+        count = SORTED_CHUNK_MAX + 200  # one value group > one chunk
+        index = SortedIndex("v")
+        for pk in range(count):
+            index.add("same", pk)
+        index.verify_structure()
+        assert len(index._chunks) >= 2
+        assert index.n_distinct() == 1
+        assert index.estimate_eq("same") == count
+        assert list(index.iter_eq("same")) == list(range(count))
+        # descending stream keeps ties in ascending pk order
+        assert list(index.iter_pks(descending=True)) == list(range(count))
+
+    def test_snapshot_shares_chunks_until_first_touch(self):
+        index = self._filled(3000)
+        snap = index.snapshot()
+        assert snap._chunks is index._chunks  # O(1) pin
+        index.add(1500.5, 9999)  # detaches directory, privatizes 1 chunk
+        assert snap._chunks is not index._chunks
+        shared = sum(
+            1
+            for mine, theirs in zip(index._chunks, snap._chunks)
+            if mine is theirs
+        )
+        # all but the touched chunk still shared with the snapshot
+        assert shared >= len(snap._chunks) - 1
+        assert 9999 not in snap.lookup(1500.5)
+        assert 9999 in index.lookup(1500.5)
+        index.verify_structure()
+        snap.verify_structure()
+
+    def test_snapshot_isolated_from_chunk_split(self):
+        from repro.store.index import SORTED_CHUNK_MAX
+
+        index = SortedIndex("v")
+        for i in range(SORTED_CHUNK_MAX):
+            index.add(i, i)
+        snap = index.snapshot()
+        for i in range(200):
+            index.add(i + 0.5, 10_000 + i)  # forces a split
+        index.verify_structure()
+        snap.verify_structure()
+        assert len(snap) == SORTED_CHUNK_MAX
+        assert list(snap.iter_pks()) == list(range(SORTED_CHUNK_MAX))
+
+    def test_verify_structure_catches_violations(self):
+        import pytest
+
+        index = self._filled(2000)
+        index._spine[0] = index._chunks[1][-1]  # break a fencepost
+        with pytest.raises(ValueError, match="fencepost"):
+            index.verify_structure()
+
+        index = self._filled(2000)
+        index._size += 1
+        with pytest.raises(ValueError, match="maintained size"):
+            index.verify_structure()
+
+        index = self._filled(2000)
+        index._chunks[1] = []
+        with pytest.raises(ValueError, match="empty chunk"):
+            index.verify_structure()

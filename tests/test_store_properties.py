@@ -116,3 +116,137 @@ def test_wal_replay_reproduces_final_state(tmp_path_factory, ops):
     WriteAheadLog(path).replay_into(recovered)
     replayed = {row["id"]: row for row in recovered.table("t").scan()}
     assert replayed == final
+
+
+# ----------------------------------------------------------------------
+# chunked sorted index vs a plain-sorted-list oracle
+# ----------------------------------------------------------------------
+
+# One index op: (kind, value-hint, pk-hint).  Small chunk bounds (patched
+# below) make short sequences cross many chunk splits/unlinks.
+_index_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "add", "add", "remove", "snapshot"]),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=60),
+    ),
+    max_size=120,
+)
+
+
+def _check_against_oracle(surface, oracle: list[tuple[int, int]]) -> None:
+    """Compare every read path of a sorted index (live or snapshot)
+    against the brute-force sorted list of (value, pk) pairs."""
+    surface.verify_structure()
+    assert list(surface.iter_items()) == oracle
+    assert len(surface) == len(oracle)
+    values = [value for value, _pk in oracle]
+    assert surface.n_distinct() == len(set(values))
+    assert surface.recount_distinct() == len(set(values))
+    assert list(surface.iter_pks()) == [pk for _value, pk in oracle]
+    # range reads at a few bound shapes, including reversed and half-open
+    for low, high, inc_low, inc_high in [
+        (None, None, True, True),
+        (5, 15, True, True),
+        (5, 15, False, False),
+        (15, 5, True, True),
+        (None, 10, True, False),
+        (10, None, False, True),
+    ]:
+        expected = [
+            pk
+            for value, pk in oracle
+            if (
+                low is None
+                or (value > low if not inc_low else value >= low)
+            )
+            and (
+                high is None
+                or (value < high if not inc_high else value <= high)
+            )
+        ]
+        got = surface.range(low, high, include_low=inc_low, include_high=inc_high)
+        assert got == expected
+        assert list(
+            surface.iter_range(
+                low, high, include_low=inc_low, include_high=inc_high
+            )
+        ) == expected
+        assert (
+            surface.estimate_range(
+                low, high, include_low=inc_low, include_high=inc_high
+            )
+            == len(expected)
+        )
+    for value in set(values) | {3, 99}:
+        expected_pks = [pk for v, pk in oracle if v == value]
+        assert list(surface.iter_eq(value)) == expected_pks
+        assert surface.lookup(value) == set(expected_pks)
+        assert surface.estimate_eq(value) == len(expected_pks)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_index_ops)
+def test_chunked_sorted_index_matches_sorted_list_oracle(ops):
+    """Insert/delete/snapshot interleavings leave the chunked index
+    byte-identical to a plain sorted list, and every snapshot stays
+    frozen at its generation (COW isolation)."""
+    import bisect
+    from unittest import mock
+
+    from repro.store import index as index_module
+
+    with mock.patch.object(index_module, "SORTED_CHUNK_TARGET", 4), \
+            mock.patch.object(index_module, "SORTED_CHUNK_MAX", 8):
+        index = index_module.SortedIndex("v")
+        oracle: list[tuple[int, int]] = []
+        pinned = []  # (snapshot, frozen oracle copy)
+        for kind, value, pk in ops:
+            if kind == "add":
+                if (value, pk) in oracle:
+                    continue  # table maintenance never double-adds
+                index.add(value, pk)
+                bisect.insort(oracle, (value, pk))
+            elif kind == "remove":
+                index.remove(value, pk)
+                if (value, pk) in oracle:
+                    oracle.remove((value, pk))
+            else:
+                pinned.append((index.snapshot(), list(oracle)))
+        _check_against_oracle(index, oracle)
+        for snapshot, frozen in pinned:
+            _check_against_oracle(snapshot, frozen)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    count=st.integers(min_value=0, max_value=400),
+)
+def test_chunked_bulk_build_equals_incremental(seed, count):
+    """SortedIndex.build (sort + chunking pass) is read-identical to n
+    incremental adds, across duplicates and NULLs."""
+    import random
+    from unittest import mock
+
+    from repro.store import index as index_module
+
+    rng = random.Random(seed)
+    pairs = [
+        (rng.choice([None, *range(12)]), pk) for pk in range(count)
+    ]
+    with mock.patch.object(index_module, "SORTED_CHUNK_TARGET", 4), \
+            mock.patch.object(index_module, "SORTED_CHUNK_MAX", 8):
+        built = index_module.SortedIndex.build("v", pairs)
+        grown = index_module.SortedIndex("v")
+        for value, pk in pairs:
+            grown.add(value, pk)
+        built.verify_structure()
+        grown.verify_structure()
+        assert list(built.iter_items()) == list(grown.iter_items())
+        assert list(built.iter_pks(descending=True)) == list(
+            grown.iter_pks(descending=True)
+        )
+        assert built.lookup(None) == grown.lookup(None)
+        assert built.n_distinct() == grown.n_distinct()
+        assert len(built) == len(grown)

@@ -15,6 +15,11 @@ from repro.store import (
 )
 
 
+def segment_files(path):
+    """The on-disk segment files of a WAL directory, oldest first."""
+    return sorted(child for child in path.iterdir() if child.name.startswith("wal-"))
+
+
 def make_database() -> Database:
     database = Database("walled")
     database.create_table(
@@ -97,16 +102,14 @@ class TestCommitScopedRecords:
         database.attach_wal(wal)
         table = database.table("items")
         table.insert({"value": "keep"})
-        wal.flush()
-        size_before = os.path.getsize(path)
+        size_before = wal.total_bytes()
         records_before = len(wal)
         with pytest.raises(RuntimeError):
             with database.transaction():
                 table.insert({"value": "gone"})
                 table.update(1, {"value": "mutated"})
                 raise RuntimeError("boom")
-        wal.flush()
-        assert os.path.getsize(path) == size_before
+        assert wal.total_bytes() == size_before
         assert len(wal) == records_before
         assert table.get(1)["value"] == "keep"
 
@@ -140,15 +143,31 @@ class TestCommitScopedRecords:
         database.table("items").insert({"value": "b"})
         assert wal.records()[0].lsn == 2
 
-    def test_truncate_through_keeps_suffix(self, tmp_path):
+    def test_truncate_through_drops_whole_covered_segments(self, tmp_path):
+        # segment_bytes=1: every commit rotates, one record per segment
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never", segment_bytes=1)
+        database = make_database()
+        database.attach_wal(wal)
+        for index in range(4):
+            database.table("items").insert({"value": f"v{index}"})
+        assert wal.stats()["segments"] >= 4
+        dropped = wal.truncate_through(2)
+        assert dropped == 2
+        assert [record.lsn for record in wal.records()] == [3, 4]
+        assert wal.stats()["segments_dropped"] >= 2
+
+    def test_truncate_through_keeps_partially_covered_segment(self, tmp_path):
+        """A segment that still holds live records is kept whole —
+        pruning never rewrites a segment.  Recovery filters the covered
+        records by LSN, so keeping them is harmless."""
         wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
         database = make_database()
         database.attach_wal(wal)
         for index in range(4):
             database.table("items").insert({"value": f"v{index}"})
         dropped = wal.truncate_through(2)
-        assert dropped == 2
-        assert [record.lsn for record in wal.records()] == [3, 4]
+        assert dropped == 0  # all four share the active segment
+        assert [record.lsn for record in wal.records()] == [1, 2, 3, 4]
 
     def test_checkpoint_snapshot_plus_wal(self, tmp_path):
         database = make_database()
@@ -214,21 +233,23 @@ class TestTornTails:
     def test_half_written_record_discarded(self, tmp_path):
         self._seed(tmp_path)
         path = tmp_path / "db.wal"
-        raw = path.read_bytes()
-        path.write_bytes(raw + b'00000000 {"lsn": 4, "txn": [')
+        segment = segment_files(path)[-1]
+        raw = segment.read_bytes()
+        segment.write_bytes(raw + b'00000000 {"lsn": 4, "txn": [')
         wal = WriteAheadLog(path, fsync="never", repair=False)
         assert len(wal.records()) == 3
         assert wal.torn_tail is not None
-        assert path.read_bytes() == raw + b'00000000 {"lsn": 4, "txn": ['
+        assert segment.read_bytes() == raw + b'00000000 {"lsn": 4, "txn": ['
 
     def test_repair_truncates_in_place(self, tmp_path):
         self._seed(tmp_path)
         path = tmp_path / "db.wal"
-        raw = path.read_bytes()
-        path.write_bytes(raw + b"garbage-that-is-not-a-record\n")
+        segment = segment_files(path)[-1]
+        raw = segment.read_bytes()
+        segment.write_bytes(raw + b"garbage-that-is-not-a-record\n")
         wal = WriteAheadLog(path, fsync="never")
         assert wal.repaired_bytes == len(b"garbage-that-is-not-a-record\n")
-        assert path.read_bytes() == raw
+        assert segment.read_bytes() == raw
         assert len(wal) == 3
 
     def test_interior_corruption_refuses_auto_repair(self, tmp_path):
@@ -237,26 +258,48 @@ class TestTornTails:
         commits, so opening for write refuses; inspection still works."""
         self._seed(tmp_path)
         path = tmp_path / "db.wal"
-        lines = path.read_bytes().splitlines(keepends=True)
+        segment = segment_files(path)[-1]
+        lines = segment.read_bytes().splitlines(keepends=True)
         corrupted = bytearray(lines[1])
         corrupted[-5] ^= 0xFF
         damaged = lines[0] + bytes(corrupted) + lines[2]
-        path.write_bytes(damaged)
+        segment.write_bytes(damaged)
         with pytest.raises(WalError, match="refusing to auto-repair"):
             WriteAheadLog(path, fsync="never")
-        assert path.read_bytes() == damaged  # nothing destroyed
+        assert segment.read_bytes() == damaged  # nothing destroyed
         records, torn = WriteAheadLog(path, fsync="never", repair=False).read_committed()
         assert [record.lsn for record in records] == [1]
+        assert torn is not None
+
+    def test_tear_in_nonfinal_segment_refuses_auto_repair(self, tmp_path):
+        """Rotation fsyncs segment N before N+1 exists, so a tear in a
+        non-final segment cannot be a crash artifact — it is interior
+        corruption even though the tear sits at that segment's tail."""
+        database = make_database()
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never", segment_bytes=1)
+        database.attach_wal(wal)
+        for index in range(3):
+            database.table("items").insert({"value": f"v{index}"})
+        database.close()
+        first = segment_files(tmp_path / "db.wal")[0]
+        first.write_bytes(first.read_bytes()[:-7])  # tear its tail
+        with pytest.raises(WalError, match="refusing to auto-repair"):
+            WriteAheadLog(tmp_path / "db.wal", fsync="never")
+        records, torn = WriteAheadLog(
+            tmp_path / "db.wal", fsync="never", repair=False
+        ).read_committed()
+        assert records == []  # prefix ends at the first segment's tear
         assert torn is not None
 
     def test_crc_mismatch_ends_committed_prefix(self, tmp_path):
         self._seed(tmp_path)
         path = tmp_path / "db.wal"
-        lines = path.read_bytes().splitlines(keepends=True)
+        segment = segment_files(path)[-1]
+        lines = segment.read_bytes().splitlines(keepends=True)
         # flip one byte inside the second record's payload
         corrupted = bytearray(lines[1])
         corrupted[-5] ^= 0xFF
-        path.write_bytes(lines[0] + bytes(corrupted) + lines[2])
+        segment.write_bytes(lines[0] + bytes(corrupted) + lines[2])
         wal = WriteAheadLog(path, fsync="never", repair=False)
         records, torn = wal.read_committed()
         # everything from the first bad record on is untrusted,
@@ -267,8 +310,9 @@ class TestTornTails:
     def test_non_monotonic_lsn_ends_committed_prefix(self, tmp_path):
         self._seed(tmp_path)
         path = tmp_path / "db.wal"
-        lines = path.read_bytes().splitlines(keepends=True)
-        path.write_bytes(lines[0] + lines[2] + lines[1])
+        segment = segment_files(path)[-1]
+        lines = segment.read_bytes().splitlines(keepends=True)
+        segment.write_bytes(lines[0] + lines[2] + lines[1])
         wal = WriteAheadLog(path, fsync="never", repair=False)
         records, torn = wal.read_committed()
         assert [record.lsn for record in records] == [1, 3]
@@ -277,8 +321,9 @@ class TestTornTails:
     def test_recovery_applies_only_committed_prefix(self, tmp_path):
         self._seed(tmp_path)
         path = tmp_path / "db.wal"
-        raw = path.read_bytes()
-        path.write_bytes(raw[: len(raw) - 7])  # crash mid-last-record
+        segment = segment_files(path)[-1]
+        raw = segment.read_bytes()
+        segment.write_bytes(raw[: len(raw) - 7])  # crash mid-last-record
         recovered = make_database()
         applied = WriteAheadLog(path, fsync="never").replay_into(recovered)
         assert applied == 2
@@ -292,6 +337,83 @@ class TestTornTails:
         wal = WriteAheadLog(path)
         assert wal.records() == []
         assert wal.torn_tail is None
+
+
+class TestSegmentRotation:
+    def test_appends_rotate_at_the_size_threshold(self, tmp_path):
+        database = make_database()
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never", segment_bytes=256)
+        database.attach_wal(wal)
+        for index in range(20):
+            database.table("items").insert({"value": f"v{index:03d}"})
+        stats = wal.stats()
+        assert stats["rotations"] > 0
+        assert stats["segments"] == stats["rotations"] + 1
+        assert len(segment_files(tmp_path / "db.wal")) == stats["segments"]
+        # every non-active segment respects the size floor that triggered
+        # its rotation
+        for segment in segment_files(tmp_path / "db.wal")[:-1]:
+            assert segment.stat().st_size >= 256
+        database.close()
+
+        reopened = WriteAheadLog(tmp_path / "db.wal", fsync="never")
+        assert [record.lsn for record in reopened.records()] == list(range(1, 21))
+        assert reopened.sequence == 20
+
+    def test_reopen_continues_in_the_active_segment(self, tmp_path):
+        database = make_database()
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never", segment_bytes=256)
+        database.attach_wal(wal)
+        for index in range(10):
+            database.table("items").insert({"value": f"v{index:03d}"})
+        segments_before = len(segment_files(tmp_path / "db.wal"))
+        database.close()
+
+        database2 = make_database()
+        wal2 = WriteAheadLog(tmp_path / "db.wal", fsync="never", segment_bytes=10**9)
+        database2.attach_wal(wal2)
+        database2.table("items").insert({"value": "resumed", "score": None})
+        assert len(segment_files(tmp_path / "db.wal")) == segments_before
+        assert wal2.records()[-1].lsn == 11
+
+    def test_truncate_rotates_a_fully_covered_active_segment(self, tmp_path):
+        database = make_database()
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="never")
+        database.attach_wal(wal)
+        for index in range(3):
+            database.table("items").insert({"value": f"v{index}"})
+        dropped = wal.truncate()
+        assert dropped == 3
+        assert wal.records() == []
+        assert len(wal) == 0
+        # the covered active segment was rotated away and unlinked; one
+        # fresh active segment remains
+        assert len(segment_files(tmp_path / "db.wal")) == 1
+        assert wal.sequence == 3
+        database.table("items").insert({"value": "later"})
+        assert wal.records()[0].lsn == 4
+
+    def test_legacy_single_file_log_migrates_to_a_segment_directory(self, tmp_path):
+        path = tmp_path / "db.wal"
+        database = make_database()
+        wal = WriteAheadLog(path, fsync="never")
+        database.attach_wal(wal)
+        database.table("items").insert({"value": "old-layout"})
+        database.close()
+        # simulate the pre-segment layout: collapse the directory back
+        # into a single regular file at the same path
+        raw = b"".join(seg.read_bytes() for seg in segment_files(path))
+        for seg in segment_files(path):
+            seg.unlink()
+        path.rmdir()
+        path.write_bytes(raw)
+
+        reopened = WriteAheadLog(path, fsync="never")
+        assert path.is_dir()
+        assert [seg.name for seg in segment_files(path)] == ["wal-000001.log"]
+        records = reopened.records()
+        assert len(records) == 1
+        assert records[0].changes[0][3]["value"] == "old-layout"
 
 
 class TestFsyncPolicies:
@@ -371,9 +493,10 @@ class TestTransactionFootprints:
         for index in range(3):
             with database.transaction():
                 table.insert({"value": f"v{index}"})
-        wal.truncate_through(1)
+        wal.truncate_through(3)
+        database.table("items").insert({"value": "late"})
         remaining = wal.records()
-        assert [record.lsn for record in remaining] == [2, 3]
+        assert [record.lsn for record in remaining] == [4]
         assert all(record.tables == ("items",) for record in remaining)
 
     def test_footprint_less_records_still_decode(self, tmp_path):
